@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestRunSelectedExperiments executes the cheap experiments end to end —
+// the same code paths `-exp figure4 -exp figure5 -exp table5` run.
+func TestRunSelectedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := map[string]bool{"figure4": true, "figure5": true, "table5": true}
+	if err := runAll(run, false, 0.01, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	if err := runAll(map[string]bool{"nonexistent": true}, false, 0.01, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+}

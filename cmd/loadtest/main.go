@@ -1,0 +1,113 @@
+// Command loadtest measures end-to-end pipeline throughput — the paper's
+// deployment goal of handling "high volume and high velocity of the log
+// streams in real-time" (§II-A). It trains a model on D1, then pushes the
+// test corpus through the full service (agent → bus → log manager → engine
+// → detectors → anomaly storage) repeatedly, reporting logs/second at each
+// partition count.
+//
+//	loadtest -partitions 1,2,4,8 -logs 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"loglens/internal/core"
+	"loglens/internal/datagen"
+	"loglens/internal/experiments"
+)
+
+func main() {
+	partList := flag.String("partitions", "1,2,4", "comma-separated partition counts to sweep")
+	logCount := flag.Int("logs", 100000, "logs to stream per configuration")
+	sources := flag.Int("sources", 4, "number of concurrent log sources (partition parallelism comes from sources)")
+	staged := flag.Bool("staged", false, "run the staged topology (parser and detector as separate stages over the bus)")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if err := run(*partList, *logCount, *sources, *staged, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(partList string, logCount, sources int, staged bool, seed int64) error {
+	corpus := datagen.D1(seed)
+	// Materialize the stream: the test corpus repeated to the target
+	// size.
+	lines := make([]string, 0, logCount)
+	for len(lines) < logCount {
+		n := logCount - len(lines)
+		if n > len(corpus.Test) {
+			n = len(corpus.Test)
+		}
+		lines = append(lines, corpus.Test[:n]...)
+	}
+
+	fmt.Printf("%-12s %-10s %-14s %-12s %-10s\n", "partitions", "logs", "elapsed", "logs/sec", "anomalies")
+	for _, ps := range strings.Split(partList, ",") {
+		parts, err := strconv.Atoi(strings.TrimSpace(ps))
+		if err != nil || parts <= 0 {
+			return fmt.Errorf("bad partition count %q", ps)
+		}
+		elapsed, anomalies, err := runOne(corpus, lines, parts, sources, staged)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12d %-10d %-14v %-12.0f %-10d\n",
+			parts, len(lines), elapsed.Round(time.Millisecond),
+			float64(len(lines))/elapsed.Seconds(), anomalies)
+	}
+	return nil
+}
+
+func runOne(corpus datagen.Corpus, lines []string, partitions, sources int, staged bool) (time.Duration, uint64, error) {
+	p, err := core.New(core.Config{
+		Partitions:            partitions,
+		DisableHeartbeat:      true,
+		DisableAnomalyStorage: true,
+		Staged:                staged,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// One model shared by every synthetic source (they all speak D1).
+	if _, _, err := p.Train("lt", experiments.ToLogs("lt", corpus.Train)); err != nil {
+		return 0, 0, err
+	}
+	if err := p.Start(); err != nil {
+		return 0, 0, err
+	}
+
+	agents := make([]interface{ Send(string) error }, sources)
+	for i := range agents {
+		ag, err := p.Agent(fmt.Sprintf("src-%d", i), 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		agents[i] = ag
+	}
+
+	// Route whole corpus copies to one source each, so event traces stay
+	// intact within a source and the detector exercises its normal path.
+	chunk := len(corpus.Test)
+	start := time.Now()
+	for i, line := range lines {
+		if err := agents[(i/chunk)%sources].Send(line); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := p.Drain(10 * time.Minute); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	anomalies := p.AnomalyCount()
+	if err := p.Stop(); err != nil {
+		return 0, 0, err
+	}
+	return elapsed, anomalies, nil
+}

@@ -1,0 +1,254 @@
+// Command loglens runs the LogLens service on files: it learns models from
+// a training log (the system's "correct" behaviour), then streams a
+// production log through the full pipeline and reports anomalies.
+//
+//	loglens -train normal.log -stream production.log
+//	loglens -train normal.log -stream - -dashboard :8080
+//
+// With -dashboard the visualization server stays up after the stream ends
+// (Ctrl-C to exit); -final-heartbeat injects a trailing heartbeat so
+// events that never completed are reported as missing-end anomalies.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/core"
+	"loglens/internal/dashboard"
+	"loglens/internal/heartbeat"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/preprocess"
+)
+
+type options struct {
+	trainPath    string
+	streamPath   string
+	source       string
+	dashAddr     string
+	hbInterval   time.Duration
+	finalHB      bool
+	rate         int
+	quiet        bool
+	loadModel    string
+	saveModel    string
+	volumeWindow time.Duration
+	stateDir     string
+	listen       string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.trainPath, "train", "", "training log file (required unless -load-model)")
+	flag.StringVar(&o.streamPath, "stream", "", "log file to analyze ('-' for stdin; required)")
+	flag.StringVar(&o.source, "source", "default", "log source name")
+	flag.StringVar(&o.dashAddr, "dashboard", "", "serve the dashboard on this address (e.g. :8080)")
+	flag.DurationVar(&o.hbInterval, "heartbeat", time.Second, "heartbeat controller interval (0 disables)")
+	flag.BoolVar(&o.finalHB, "final-heartbeat", true, "inject a trailing heartbeat at end of stream")
+	flag.IntVar(&o.rate, "rate", 0, "replay rate in logs/sec (0 = unthrottled)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress per-anomaly output")
+	flag.StringVar(&o.loadModel, "load-model", "", "load a model JSON file instead of training")
+	flag.StringVar(&o.saveModel, "save-model", "", "write the trained model to this JSON file")
+	flag.DurationVar(&o.volumeWindow, "volume-window", 0, "also learn a per-pattern rate profile with this window (enables the volume detector)")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist log/model/anomaly storage to this directory at exit (and restore at startup)")
+	flag.StringVar(&o.listen, "listen", "", "also accept remote shiplogs agents on this TCP address (e.g. :5044)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "loglens:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	if (o.trainPath == "" && o.loadModel == "") || o.streamPath == "" {
+		return fmt.Errorf("-stream and one of -train/-load-model are required")
+	}
+
+	p, err := core.New(core.Config{
+		DisableHeartbeat: o.hbInterval <= 0,
+		Heartbeat:        heartbeat.Config{Interval: o.hbInterval},
+		ArchiveLogs:      true,
+		Builder:          modelmgr.BuilderConfig{VolumeWindow: o.volumeWindow},
+	})
+	if err != nil {
+		return err
+	}
+	if o.stateDir != "" {
+		if _, err := os.Stat(o.stateDir); err == nil {
+			if err := p.Store().LoadDir(o.stateDir); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "restored storage from %s\n", o.stateDir)
+		}
+	}
+
+	var model *modelmgr.Model
+	if o.loadModel != "" {
+		data, err := os.ReadFile(o.loadModel)
+		if err != nil {
+			return err
+		}
+		model = &modelmgr.Model{}
+		if err := json.Unmarshal(data, model); err != nil {
+			return fmt.Errorf("parse %s: %w", o.loadModel, err)
+		}
+		if err := p.Manager().Save(model); err != nil {
+			return err
+		}
+		p.InstallModel(model)
+		fmt.Fprintf(os.Stderr, "loaded model %q: %d patterns, %d automata\n",
+			model.ID, model.Patterns.Len(), len(model.Sequence.Automata))
+	} else {
+		trainLogs, err := readLogs(o.trainPath, o.source)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "training on %d logs from %s...\n", len(trainLogs), o.trainPath)
+		start := time.Now()
+		var report *modelmgr.BuildReport
+		model, report, err = p.Train("file-model", trainLogs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model %q: %d patterns, %d automata, %d/%d patterns with event IDs (%v)\n",
+			model.ID, report.Patterns, report.Automata, report.CoveredPatterns, report.Patterns, time.Since(start).Round(time.Millisecond))
+	}
+	if o.saveModel != "" {
+		data, err := json.MarshalIndent(model, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.saveModel, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model written to %s\n", o.saveModel)
+	}
+
+	source, dashAddr, rate, quiet, finalHB, streamPath := o.source, o.dashAddr, o.rate, o.quiet, o.finalHB, o.streamPath
+
+	var lastLogTime time.Time
+	p.OnAnomaly(func(r anomaly.Record) {
+		if quiet {
+			return
+		}
+		fmt.Printf("ANOMALY %-26s severity=%-8s source=%s event=%s  %s\n",
+			r.Type, r.Severity, r.Source, r.EventID, r.Reason)
+	})
+
+	if err := p.Start(); err != nil {
+		return err
+	}
+	defer p.Stop()
+
+	if o.listen != "" {
+		bound, err := p.Listen(o.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "accepting remote agents on %s (shiplogs -addr %s -source ...)\n", bound, bound)
+	}
+
+	if dashAddr != "" {
+		srv := dashboard.New(p)
+		go func() {
+			fmt.Fprintf(os.Stderr, "dashboard on http://%s/\n", dashAddr)
+			if err := http.ListenAndServe(dashAddr, srv); err != nil {
+				fmt.Fprintln(os.Stderr, "dashboard:", err)
+			}
+		}()
+	}
+
+	ag, err := p.Agent(source, rate)
+	if err != nil {
+		return err
+	}
+
+	in := os.Stdin
+	if streamPath != "-" {
+		f, err := os.Open(streamPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	pp := preprocess.New(nil, nil)
+	n := 0
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		if err := ag.Send(line); err != nil {
+			return err
+		}
+		n++
+		if r := pp.Process(line); r.HasTime && r.Time.After(lastLogTime) {
+			lastLogTime = r.Time
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if err := p.Drain(5 * time.Minute); err != nil {
+		return err
+	}
+	if finalHB {
+		t := lastLogTime
+		if t.IsZero() {
+			t = time.Now()
+		}
+		p.InjectHeartbeat(source, t.Add(24*time.Hour))
+		time.Sleep(100 * time.Millisecond)
+		if err := p.Drain(time.Minute); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "processed %d logs: %d anomalies (%d unparsed)\n",
+		n, p.AnomalyCount(), p.UnparsedCount())
+
+	if o.stateDir != "" {
+		if err := p.Store().SaveDir(o.stateDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "storage persisted to %s\n", o.stateDir)
+	}
+
+	if dashAddr != "" {
+		fmt.Fprintln(os.Stderr, "stream done; dashboard still serving (Ctrl-C to exit)")
+		select {}
+	}
+	return nil
+}
+
+func readLogs(path, source string) ([]logtypes.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []logtypes.Log
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	seq := uint64(0)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		seq++
+		out = append(out, logtypes.Log{Source: source, Seq: seq, Arrival: time.Now(), Raw: line})
+	}
+	return out, scanner.Err()
+}

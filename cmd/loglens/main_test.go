@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeCorpus(t *testing.T, dir string) (trainPath, testPath string) {
+	t.Helper()
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var train, stream []byte
+	for i := 0; i < 150; i++ {
+		t0 := base.Add(time.Duration(i*10) * time.Second)
+		id := fmt.Sprintf("ev-%04d", i)
+		train = append(train, []byte(fmt.Sprintf("%s task %s start prio %d\n", t0.Format("2006/01/02 15:04:05.000"), id, i%5))...)
+		train = append(train, []byte(fmt.Sprintf("%s task %s done code %d\n", t0.Add(2*time.Second).Format("2006/01/02 15:04:05.000"), id, i%3))...)
+	}
+	tt := base.Add(time.Hour)
+	stream = append(stream, []byte(fmt.Sprintf("%s task ok-1 start prio 1\n", tt.Format("2006/01/02 15:04:05.000")))...)
+	stream = append(stream, []byte(fmt.Sprintf("%s task ok-1 done code 0\n", tt.Add(2*time.Second).Format("2006/01/02 15:04:05.000")))...)
+	stream = append(stream, []byte(fmt.Sprintf("%s task bad-1 done code 0\n", tt.Add(3*time.Second).Format("2006/01/02 15:04:05.000")))...)
+	stream = append(stream, []byte("garbage line\n")...)
+
+	trainPath = filepath.Join(dir, "train.log")
+	testPath = filepath.Join(dir, "stream.log")
+	os.WriteFile(trainPath, train, 0o644)
+	os.WriteFile(testPath, stream, 0o644)
+	return
+}
+
+func TestRunTrainAndStream(t *testing.T) {
+	dir := t.TempDir()
+	trainPath, streamPath := writeCorpus(t, dir)
+	modelPath := filepath.Join(dir, "model.json")
+	stateDir := filepath.Join(dir, "state")
+
+	o := options{
+		trainPath:  trainPath,
+		streamPath: streamPath,
+		source:     "tasks",
+		hbInterval: 0, // deterministic
+		finalHB:    true,
+		quiet:      true,
+		saveModel:  modelPath,
+		stateDir:   stateDir,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Errorf("model not saved: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "anomalies.index.json")); err != nil {
+		t.Errorf("state not persisted: %v", err)
+	}
+
+	// Second run: load the saved model and restore the state dir.
+	o2 := options{
+		loadModel:  modelPath,
+		streamPath: streamPath,
+		source:     "tasks",
+		hbInterval: 0,
+		quiet:      true,
+		stateDir:   stateDir,
+	}
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(options{streamPath: "-"}); err == nil {
+		t.Error("missing -train/-load-model must fail")
+	}
+	if err := run(options{trainPath: "x"}); err == nil {
+		t.Error("missing -stream must fail")
+	}
+	if err := run(options{trainPath: "/nope/missing", streamPath: "-"}); err == nil {
+		t.Error("unreadable train file must fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Command logreplay materializes the evaluation corpora and replays them
+// as a log stream on stdout — the replay agent of §VI ("we have developed
+// an agent, which emulates the log streaming behavior"). Pipe it into
+// cmd/loglens or redirect to files:
+//
+//	logreplay -dataset D1 -phase train > d1-train.log
+//	logreplay -dataset D1 -phase test | loglens -train d1-train.log -stream -
+//	logreplay -dataset D4 -scale 0.05 -rate 10000 > d4.log
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loglens/internal/datagen"
+)
+
+func main() {
+	dataset := flag.String("dataset", "D1", "dataset: D1, D2, D3, D4, D5, D6, ss7, customapp")
+	phase := flag.String("phase", "test", "phase: train or test")
+	scale := flag.Float64("scale", 0.05, "corpus scale for D3-D6 and ss7")
+	seed := flag.Int64("seed", 42, "generator seed")
+	rate := flag.Int("rate", 0, "replay rate in logs/sec (0 = as fast as possible)")
+	flag.Parse()
+
+	lines, err := materialize(*dataset, *phase, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logreplay:", err)
+		os.Exit(1)
+	}
+	if err := replay(lines, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "logreplay:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d %s/%s lines\n", len(lines), *dataset, *phase)
+}
+
+func materialize(dataset, phase string, scale float64, seed int64) ([]string, error) {
+	var c datagen.Corpus
+	switch dataset {
+	case "D1":
+		c = datagen.D1(seed)
+	case "D2":
+		c = datagen.D2(seed)
+	case "D3", "D4", "D5", "D6":
+		for _, spec := range datagen.TableIVSpecs {
+			if spec.Name == dataset {
+				c = datagen.TableIVCorpus(spec, scale, seed)
+			}
+		}
+	case "ss7":
+		s := datagen.SS7(scale, seed)
+		c = datagen.Corpus{Train: s.Train, Test: s.Test}
+	case "customapp":
+		c = datagen.CustomApp(36700, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	switch phase {
+	case "train":
+		return c.Train, nil
+	case "test":
+		return c.Test, nil
+	default:
+		return nil, fmt.Errorf("unknown phase %q", phase)
+	}
+}
+
+func replay(lines []string, rate int) error {
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	var ticker *time.Ticker
+	if rate > 0 {
+		ticker = time.NewTicker(time.Second / time.Duration(rate))
+		defer ticker.Stop()
+	}
+	for _, line := range lines {
+		if ticker != nil {
+			<-ticker.C
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestMaterializeAllDatasets(t *testing.T) {
+	for _, tc := range []struct {
+		dataset string
+		phase   string
+		want    int // 0 = just non-empty
+	}{
+		{"D1", "train", 16000},
+		{"D1", "test", 16000},
+		{"D2", "train", 18000},
+		{"D3", "test", 0},
+		{"D4", "train", 0},
+		{"D5", "test", 0},
+		{"D6", "train", 0},
+		{"ss7", "train", 0},
+		{"ss7", "test", 0},
+		{"customapp", "train", 36700},
+	} {
+		lines, err := materialize(tc.dataset, tc.phase, 0.005, 1)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.dataset, tc.phase, err)
+		}
+		if tc.want > 0 && len(lines) != tc.want {
+			t.Errorf("%s/%s: %d lines, want %d", tc.dataset, tc.phase, len(lines), tc.want)
+		}
+		if len(lines) == 0 {
+			t.Errorf("%s/%s: empty", tc.dataset, tc.phase)
+		}
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	if _, err := materialize("bogus", "test", 1, 1); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if _, err := materialize("D1", "bogus", 1, 1); err == nil {
+		t.Error("unknown phase must fail")
+	}
+}

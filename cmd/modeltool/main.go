@@ -1,0 +1,254 @@
+// Command modeltool implements the model manager's expert workflow (§II,
+// §III-A4): inspecting stored models and editing them — renaming fields,
+// specializing/generalizing tokens, changing datatypes, deleting patterns
+// or automata — before handing them back to a running service.
+//
+//	modeltool -model m.json inspect
+//	modeltool -model m.json -out m2.json rename -pattern 1 -field P1F1 -to logTime
+//	modeltool -model m.json -out m2.json specialize -pattern 1 -field P1F2 -value 127.0.0.1
+//	modeltool -model m.json -out m2.json generalize -pattern 1 -value user1 -type NOTSPACE -name userName
+//	modeltool -model m.json -out m2.json settype -pattern 1 -field sql -type ANYDATA
+//	modeltool -model m.json -out m2.json delete-pattern -pattern 3
+//	modeltool -model m.json -out m2.json delete-automaton -automaton 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+	"loglens/internal/logmine"
+	"loglens/internal/modelmgr"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modeltool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("modeltool", flag.ContinueOnError)
+	modelPath := global.String("model", "", "model JSON file (required)")
+	outPath := global.String("out", "", "output file for edits (default: overwrite input)")
+
+	// Split global flags from the subcommand.
+	var cmdIdx int
+	for cmdIdx = 0; cmdIdx < len(args); cmdIdx++ {
+		if len(args[cmdIdx]) > 0 && args[cmdIdx][0] != '-' {
+			break
+		}
+		if args[cmdIdx] == "-model" || args[cmdIdx] == "-out" {
+			cmdIdx++ // skip the value
+		}
+	}
+	if err := global.Parse(args[:cmdIdx]); err != nil {
+		return err
+	}
+	if cmdIdx >= len(args) {
+		return fmt.Errorf("no command; want inspect, diff, accept, rename, specialize, generalize, settype, delete-pattern, or delete-automaton")
+	}
+	cmd, rest := args[cmdIdx], args[cmdIdx+1:]
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	if *outPath == "" {
+		*outPath = *modelPath
+	}
+
+	model, err := load(*modelPath)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "inspect":
+		inspect(model)
+		return nil
+	case "hierarchy":
+		hierarchy(model)
+		return nil
+	case "diff":
+		return diff(model, rest)
+	case "accept":
+		if err := accept(model, rest); err != nil {
+			return err
+		}
+		return save(model, *outPath)
+	case "rename", "specialize", "generalize", "settype", "delete-pattern", "delete-automaton":
+		if err := edit(model, cmd, rest); err != nil {
+			return err
+		}
+		return save(model, *outPath)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// hierarchy prints the LogMine pattern tree: the model's patterns
+// re-clustered level by level into progressively more general shapes.
+func hierarchy(m *modelmgr.Model) {
+	levels := logmine.BuildHierarchy(m.Patterns, logmine.HierarchyConfig{})
+	for lvl, l := range levels {
+		fmt.Printf("level %d (%d patterns):\n", lvl, l.Patterns.Len())
+		for _, p := range l.Patterns.Patterns() {
+			fmt.Printf("  %3d: %s\n", p.ID, p)
+		}
+	}
+}
+
+// diff prints how another model differs from this one.
+func diff(m *modelmgr.Model, args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	with := fs.String("with", "", "model JSON file to compare against (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *with == "" {
+		return fmt.Errorf("diff: -with is required")
+	}
+	other, err := load(*with)
+	if err != nil {
+		return err
+	}
+	fmt.Print(modelmgr.DiffModels(m, other).String())
+	return nil
+}
+
+// accept folds operator-approved log lines into the model as new patterns
+// (the §VIII feedback loop).
+func accept(m *modelmgr.Model, args []string) error {
+	fs := flag.NewFlagSet("accept", flag.ContinueOnError)
+	logsPath := fs.String("logs", "", "file of accepted log lines (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logsPath == "" {
+		return fmt.Errorf("accept: -logs is required")
+	}
+	data, err := os.ReadFile(*logsPath)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	added, err := m.AcceptNormal(lines, nil, logmine.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "added %d pattern(s) from %d accepted lines\n", added, len(lines))
+	return nil
+}
+
+func load(path string) (*modelmgr.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m modelmgr.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func save(m *modelmgr.Model, path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func inspect(m *modelmgr.Model) {
+	fmt.Printf("model %q created %s\n", m.ID, m.CreatedAt.Format("2006-01-02 15:04:05"))
+	fmt.Printf("\npatterns (%d):\n", m.Patterns.Len())
+	for _, p := range m.Patterns.Patterns() {
+		idField := ""
+		if f, ok := m.Sequence.IDFields[p.ID]; ok {
+			idField = "  [event ID: " + f + "]"
+		}
+		fmt.Printf("  %3d: %s%s\n", p.ID, p.String(), idField)
+	}
+	if shadowed := grok.FindShadowed(m.Patterns); len(shadowed) > 0 {
+		fmt.Printf("\nwarnings:\n")
+		for _, sp := range shadowed {
+			fmt.Printf("  pattern %d is shadowed by pattern %d and can never match\n", sp.Shadowed, sp.By)
+		}
+	}
+	fmt.Printf("\nautomata (%d):\n", len(m.Sequence.Automata))
+	for _, a := range m.Sequence.Automata {
+		fmt.Printf("  %3d: key %s  begin=%d end=%d  duration [%v, %v]  traces %d\n",
+			a.ID, a.Key, a.BeginPattern, a.EndPattern, a.MinDuration, a.MaxDuration, a.Traces)
+		for _, s := range a.States {
+			fmt.Printf("        state pattern %d: occurrences [%d, %d]\n", s.PatternID, s.MinOcc, s.MaxOcc)
+		}
+	}
+}
+
+func edit(m *modelmgr.Model, cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	patternID := fs.Int("pattern", 0, "pattern ID")
+	field := fs.String("field", "", "field name")
+	to := fs.String("to", "", "new field name (rename)")
+	value := fs.String("value", "", "token value (specialize/generalize)")
+	typeName := fs.String("type", "", "datatype (generalize/settype)")
+	name := fs.String("name", "", "field name for the generalized token")
+	automatonID := fs.Int("automaton", 0, "automaton ID (delete-automaton)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if cmd == "delete-automaton" {
+		if !m.Sequence.Delete(*automatonID) {
+			return fmt.Errorf("no automaton %d", *automatonID)
+		}
+		return nil
+	}
+	if cmd == "delete-pattern" {
+		if !m.Patterns.Delete(*patternID) {
+			return fmt.Errorf("no pattern %d", *patternID)
+		}
+		delete(m.Sequence.IDFields, *patternID)
+		return nil
+	}
+
+	p, ok := m.Patterns.Get(*patternID)
+	if !ok {
+		return fmt.Errorf("no pattern %d", *patternID)
+	}
+	switch cmd {
+	case "rename":
+		if err := p.RenameField(*field, *to); err != nil {
+			return err
+		}
+		// Keep the sequence model's ID-field mapping consistent.
+		if m.Sequence.IDFields[*patternID] == *field {
+			m.Sequence.IDFields[*patternID] = *to
+		}
+		return nil
+	case "specialize":
+		return p.Specialize(*field, *value)
+	case "generalize":
+		typ, err := datatype.Parse(*typeName)
+		if err != nil {
+			return err
+		}
+		return p.GeneralizeValue(*value, typ, *name)
+	case "settype":
+		typ, err := datatype.Parse(*typeName)
+		if err != nil {
+			return err
+		}
+		return p.SetFieldType(*field, typ)
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}

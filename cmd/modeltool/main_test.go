@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+)
+
+// writeModel builds a small model file for the tool to edit.
+func writeModel(t *testing.T) string {
+	t.Helper()
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var lines []string
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("ev-%04d", i)
+		t0 := base.Add(time.Duration(i*10) * time.Second)
+		lines = append(lines,
+			fmt.Sprintf("%s task %s start prio %d", t0.Format("2006/01/02 15:04:05.000"), id, i%5),
+			fmt.Sprintf("%s task %s done code %d", t0.Add(2*time.Second).Format("2006/01/02 15:04:05.000"), id, i%3))
+	}
+	m, _, err := modelmgr.NewBuilder(modelmgr.BuilderConfig{}).Build("demo", experiments.ToLogs("t", lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func loadFile(t *testing.T, path string) *modelmgr.Model {
+	t.Helper()
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunInspect(t *testing.T) {
+	path := writeModel(t)
+	if err := run([]string{"-model", path, "inspect"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRenameKeepsIDFields(t *testing.T) {
+	path := writeModel(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	// P1F2 carries the event ID; renaming it must update the sequence
+	// model's mapping too.
+	if err := run([]string{"-model", path, "-out", out, "rename", "-pattern", "1", "-field", "P1F2", "-to", "taskId"}); err != nil {
+		t.Fatal(err)
+	}
+	m := loadFile(t, out)
+	p, _ := m.Patterns.Get(1)
+	if p.Field("taskId") < 0 {
+		t.Errorf("rename not applied: %s", p)
+	}
+	if m.Sequence.IDFields[1] != "taskId" {
+		t.Errorf("ID-field mapping stale: %v", m.Sequence.IDFields)
+	}
+}
+
+func TestRunEdits(t *testing.T) {
+	path := writeModel(t)
+	out := filepath.Join(t.TempDir(), "out.json")
+	steps := [][]string{
+		{"-model", path, "-out", out, "specialize", "-pattern", "1", "-field", "P1F3", "-value", "3"},
+		{"-model", out, "settype", "-pattern", "2", "-field", "P2F3", "-type", "NOTSPACE"},
+		{"-model", out, "generalize", "-pattern", "1", "-value", "task", "-type", "WORD", "-name", "kind"},
+		{"-model", out, "delete-automaton", "-automaton", "1"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	m := loadFile(t, out)
+	p1, _ := m.Patterns.Get(1)
+	if p1.Field("kind") < 0 {
+		t.Errorf("generalize lost: %s", p1)
+	}
+	if len(m.Sequence.Automata) != 0 {
+		t.Errorf("automaton not deleted")
+	}
+	// delete-pattern.
+	if err := run([]string{"-model", out, "delete-pattern", "-pattern", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	m = loadFile(t, out)
+	if m.Patterns.Len() != 1 {
+		t.Errorf("patterns = %d", m.Patterns.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeModel(t)
+	for _, args := range [][]string{
+		{"inspect"},               // no -model
+		{"-model", path},          // no command
+		{"-model", path, "bogus"}, // unknown command
+		{"-model", "/nope/missing", "inspect"},
+		{"-model", path, "rename", "-pattern", "9", "-field", "x", "-to", "y"},
+		{"-model", path, "delete-automaton", "-automaton", "42"},
+		{"-model", path, "generalize", "-pattern", "1", "-value", "task", "-type", "BOGUS"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunDiffAndAccept(t *testing.T) {
+	path := writeModel(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+
+	// accept: new shape folds in.
+	logsFile := filepath.Join(dir, "accepted.log")
+	if err := os.WriteFile(logsFile, []byte("gc pause 12 ms\ngc pause 9 ms\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", path, "-out", out, "accept", "-logs", logsFile}); err != nil {
+		t.Fatal(err)
+	}
+	m := loadFile(t, out)
+	if m.Patterns.Len() != 3 {
+		t.Fatalf("patterns after accept = %d, want 3", m.Patterns.Len())
+	}
+
+	// diff: original vs edited shows the added pattern.
+	if err := run([]string{"-model", path, "diff", "-with", out}); err != nil {
+		t.Fatal(err)
+	}
+	d := modelmgr.DiffModels(loadFile(t, path), m)
+	if len(d.PatternsAdded) != 1 {
+		t.Errorf("diff = %+v", d)
+	}
+
+	// Error paths.
+	if err := run([]string{"-model", path, "diff"}); err == nil {
+		t.Error("diff without -with must fail")
+	}
+	if err := run([]string{"-model", path, "accept"}); err == nil {
+		t.Error("accept without -logs must fail")
+	}
+}

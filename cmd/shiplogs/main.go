@@ -1,0 +1,91 @@
+// Command shiplogs is the remote log agent (§II): it reads log lines from
+// a file or stdin and ships them to a LogLens service over TCP.
+//
+//	shiplogs -addr loglens-host:5044 -source web-1 -file access.log
+//	tail -f app.log | shiplogs -addr :5044 -source app
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loglens/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "", "LogLens service address (required)")
+	source := flag.String("source", "", "log source name (required)")
+	file := flag.String("file", "-", "log file to ship ('-' for stdin)")
+	rate := flag.Int("rate", 0, "ship rate in logs/sec (0 = unthrottled)")
+	flag.Parse()
+
+	if err := run(*addr, *source, *file, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "shiplogs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, source, file string, rate int) error {
+	if addr == "" || source == "" {
+		return fmt.Errorf("-addr and -source are required")
+	}
+	in := os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	client, err := wire.Dial(addr, source)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	var limiter *time.Ticker
+	if rate > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(rate))
+		defer limiter.Stop()
+	}
+
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), wire.MaxFrameBytes)
+	ctx := context.Background()
+	var n uint64
+	for scanner.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		if limiter != nil {
+			<-limiter.C
+		}
+		if err := client.Send(line); err != nil {
+			return err
+		}
+		n++
+		if n%1024 == 0 {
+			if err := client.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if err := client.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shipped %d logs from %s as source %q\n", n, file, source)
+	return nil
+}

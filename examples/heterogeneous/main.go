@@ -1,0 +1,117 @@
+// Heterogeneous: the paper's central design goal — "handling heterogeneous
+// logs ... irrespective of its origin" (§II-A). One pipeline monitors
+// three log sources with entirely different formats and timestamp styles:
+// a web tier (ISO timestamps, request workflows), a storage array (syslog
+// style, volume workflows), and a Java application (US-style dates,
+// unparsed-anomaly monitoring only). Each source gets its own unsupervised
+// model; sources stay isolated.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/core"
+	"loglens/internal/experiments"
+)
+
+func main() {
+	p, err := core.New(core.Config{DisableHeartbeat: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+	// Web tier: ISO-8601 timestamps.
+	var web []string
+	for i := 0; i < 150; i++ {
+		t0 := base.Add(time.Duration(i*7) * time.Second)
+		id := fmt.Sprintf("rq-%05d", i)
+		web = append(web,
+			fmt.Sprintf("%s INFO http request %s accepted route /api/v%d", t0.Format("2006-01-02T15:04:05"), id, i%3+1),
+			fmt.Sprintf("%s INFO http request %s completed status %d", t0.Add(time.Second).Format("2006-01-02T15:04:05"), id, 200),
+		)
+	}
+
+	// Storage array: syslog-style "MMM dd HH:mm:ss".
+	var storage []string
+	for i := 0; i < 150; i++ {
+		t0 := base.Add(time.Duration(i*11) * time.Second)
+		id := fmt.Sprintf("vol-%05d", i)
+		storage = append(storage,
+			fmt.Sprintf("%s array3 snapshot %s started size %d gb", t0.Format("Jan 02 15:04:05"), id, 8*(i%16+1)),
+			fmt.Sprintf("%s array3 snapshot %s sealed blocks %d", t0.Add(2*time.Second).Format("Jan 02 15:04:05"), id, 1024+i),
+		)
+	}
+
+	// Java app: US-style dates, no event workflow — stateless
+	// monitoring only.
+	var app []string
+	for i := 0; i < 150; i++ {
+		t0 := base.Add(time.Duration(i*13) * time.Second)
+		app = append(app,
+			fmt.Sprintf("%s com.example.Worker heap used %d mb of %d mb", t0.Format("02/01/2006 15:04:05"), 100+i%400, 512),
+		)
+	}
+
+	for _, src := range []struct {
+		name  string
+		lines []string
+	}{{"web", web}, {"storage", storage}, {"app", app}} {
+		m, report, err := p.TrainFor(src.name, src.name+"-model", experiments.ToLogs(src.name, src.lines))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("source %-8s -> model %q: %d patterns, %d automata\n",
+			src.name, m.ID, report.Patterns, report.Automata)
+	}
+
+	p.OnAnomaly(func(r anomaly.Record) {
+		fmt.Printf("  ANOMALY source=%-8s [%s] %s\n", r.Source, r.Type, r.Reason)
+	})
+	if err := p.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	agents := map[string]interface{ Send(string) error }{}
+	for _, name := range []string{"web", "storage", "app"} {
+		ag, err := p.Agent(name, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agents[name] = ag
+	}
+
+	tt := base.Add(time.Hour)
+	fmt.Println("\nstreaming mixed production traffic:")
+	// Normal traffic on every source.
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90000 accepted route /api/v1", tt.Format("2006-01-02T15:04:05")))
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90000 completed status 200", tt.Add(time.Second).Format("2006-01-02T15:04:05")))
+	agents["storage"].Send(fmt.Sprintf("%s array3 snapshot vol-90000 started size 32 gb", tt.Format("Jan 02 15:04:05")))
+	agents["storage"].Send(fmt.Sprintf("%s array3 snapshot vol-90000 sealed blocks 2000", tt.Add(2*time.Second).Format("Jan 02 15:04:05")))
+	agents["app"].Send(fmt.Sprintf("%s com.example.Worker heap used 250 mb of 512 mb", tt.Format("02/01/2006 15:04:05")))
+
+	// Three anomalies, one per source class:
+	// a web request accepted three times before completing (occurrence
+	// violation),
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90001 accepted route /api/v1", tt.Add(5*time.Second).Format("2006-01-02T15:04:05")))
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90001 accepted route /api/v1", tt.Add(5*time.Second).Format("2006-01-02T15:04:05")))
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90001 accepted route /api/v1", tt.Add(6*time.Second).Format("2006-01-02T15:04:05")))
+	agents["web"].Send(fmt.Sprintf("%s INFO http request rq-90001 completed status 200", tt.Add(7*time.Second).Format("2006-01-02T15:04:05")))
+	// a snapshot sealing that was never started (missing begin),
+	agents["storage"].Send(fmt.Sprintf("%s array3 snapshot vol-90001 sealed blocks 5", tt.Add(8*time.Second).Format("Jan 02 15:04:05")))
+	// and a Java stack trace the app model has never seen (unparsed).
+	agents["app"].Send("java.lang.OutOfMemoryError: Java heap space at com.example.Worker.run")
+
+	if err := p.Drain(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d anomalies across %d heterogeneous sources (%d stateless)\n",
+		p.AnomalyCount(), 3, p.UnparsedCount())
+}

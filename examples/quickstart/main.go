@@ -1,0 +1,85 @@
+// Quickstart: the smallest complete LogLens run. Train on a handful of
+// "correct" logs, stream production logs through the pipeline, and see
+// both anomaly classes — an unparsed log (stateless, §III) and a log
+// sequence that breaks the learned workflow (stateful, §IV).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/core"
+	"loglens/internal/logtypes"
+)
+
+func main() {
+	// Training corpus: a tiny request workflow. Each request logs
+	// "received" and then "served"; LogLens discovers the patterns, the
+	// req-NNN event ID, and the two-state automaton on its own.
+	var training []logtypes.Log
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("req-%03d", i)
+		t0 := base.Add(time.Duration(i*5) * time.Second)
+		training = append(training,
+			logtypes.Log{Source: "web", Seq: uint64(2*i + 1), Raw: fmt.Sprintf(
+				"%s 10.0.0.%d request %s received path /api/items/%d",
+				t0.Format("2006/01/02 15:04:05.000"), i%5+1, id, i%40)},
+			logtypes.Log{Source: "web", Seq: uint64(2*i + 2), Raw: fmt.Sprintf(
+				"%s 10.0.0.%d request %s served bytes %d",
+				t0.Add(time.Duration(1+i%2)*time.Second).Format("2006/01/02 15:04:05.000"), i%5+1, id, 512+i)},
+		)
+	}
+
+	pipeline, err := core.New(core.Config{DisableHeartbeat: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, report, err := pipeline.Train("quickstart", training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d patterns and %d automaton(s) from %d logs in %v\n",
+		report.Patterns, report.Automata, report.TrainingLogs, report.Elapsed.Round(time.Millisecond))
+	for _, p := range model.Patterns.Patterns() {
+		fmt.Printf("  pattern %d: %s\n", p.ID, p)
+	}
+
+	pipeline.OnAnomaly(func(r anomaly.Record) {
+		fmt.Printf("ANOMALY [%s] %s\n", r.Type, r.Reason)
+	})
+	if err := pipeline.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	agent, err := pipeline.Agent("web", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Production stream: one normal request, one request served without
+	// ever being received (missing begin state), and one line no
+	// pattern matches.
+	prod := base.Add(time.Hour)
+	stamp := func(d time.Duration) string { return prod.Add(d).Format("2006/01/02 15:04:05.000") }
+	for _, line := range []string{
+		stamp(0) + " 10.0.0.1 request req-900 received path /api/items/7",
+		stamp(time.Second) + " 10.0.0.1 request req-900 served bytes 600",
+		stamp(2*time.Second) + " 10.0.0.2 request req-901 served bytes 999",
+		"segfault at 0x0 in worker thread",
+	} {
+		if err := agent.Send(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := pipeline.Drain(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := pipeline.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d anomalies (%d unparsed) from 4 production logs\n",
+		pipeline.AnomalyCount(), pipeline.UnparsedCount())
+}

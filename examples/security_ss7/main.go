@@ -1,0 +1,58 @@
+// Security: the §VII-B case study — discovering SS7 spoofing attacks from
+// telecom signalling logs with no domain knowledge. LogLens learns the
+// normal protocol sequence (InvokePurgeMs -> InvokeSendAuthenticationInfo
+// -> InvokeUpdateLocation) from two hours of traffic, then flags the
+// attack traces in the final hour: sequences that never reach
+// InvokeUpdateLocation because the attacker only wants credentials
+// (Figure 7). The anomalies arrive in intensive bursts, which temporal
+// clustering surfaces as the four attack windows of Figure 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"loglens/internal/datagen"
+	"loglens/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "background-traffic scale (1.0 = the paper's 2.7M logs)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	corpus := datagen.SS7(*scale, *seed)
+	fmt.Printf("SS7 corpus: %d training logs (10:00-12:00), %d detection logs (12:00-13:00)\n",
+		len(corpus.Train), len(corpus.Test))
+
+	res, err := experiments.RunSS7(corpus, 5*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model: %d patterns, %d automata (trained in %v, no domain knowledge)\n",
+		res.Report.Patterns, res.Report.Automata, res.TrainTime.Round(time.Millisecond))
+	fmt.Printf("detection: %d anomalous sequences in %v\n",
+		res.Anomalies, res.DetectTime.Round(time.Millisecond))
+	fmt.Printf("spoofing signature (missing InvokeUpdateLocation): %d of %d\n",
+		res.SpoofingSignature, res.Anomalies)
+
+	fmt.Printf("\nattack bursts (temporal clusters, as in Figure 6):\n")
+	for i, cl := range res.Clusters {
+		fmt.Printf("  burst %d: %s .. %s  %4d spoofing attempts\n",
+			i+1, cl.Start.Format("15:04:05"), cl.End.Format("15:04:05"), cl.Count())
+	}
+
+	// A sample attack trace, as an analyst would pull it up.
+	if len(res.Clusters) > 0 && len(res.Clusters[0].Records) > 0 {
+		r := res.Clusters[0].Records[0]
+		fmt.Printf("\nsample attack trace (event %s):\n", r.EventID)
+		for _, l := range r.Logs {
+			fmt.Printf("  %s\n", l.Raw)
+		}
+		fmt.Println("  <no InvokeUpdateLocation: the attacker never completes the protocol>")
+	}
+	fmt.Printf("\npaper: 994 anomalies in 4 clusters found in 5 minutes vs 2 expert-days of manual analysis (576x)\n")
+}

@@ -1,0 +1,3 @@
+module loglens
+
+go 1.22

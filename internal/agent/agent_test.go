@@ -1,0 +1,173 @@
+package agent
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/bus"
+)
+
+func TestSend(t *testing.T) {
+	b := bus.New()
+	a, err := New(b, Config{Source: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("second line"); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := b.NewConsumer("g", LogsTopic)
+	msgs := c.TryPoll(0)
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	m := msgs[0]
+	if m.Headers[HeaderSource] != "s1" {
+		t.Errorf("source header = %q", m.Headers[HeaderSource])
+	}
+	if m.Headers[HeaderSeq] != "1" || msgs[1].Headers[HeaderSeq] != "2" {
+		t.Errorf("seq headers = %q %q", m.Headers[HeaderSeq], msgs[1].Headers[HeaderSeq])
+	}
+	if m.Key != "s1" {
+		t.Errorf("key = %q (source keys keep per-source ordering)", m.Key)
+	}
+	if string(m.Value) != "hello world" {
+		t.Errorf("value = %q", m.Value)
+	}
+	if a.Sent() != 2 {
+		t.Errorf("Sent = %d", a.Sent())
+	}
+}
+
+func TestRunFromReader(t *testing.T) {
+	b := bus.New()
+	a, err := New(b, Config{Source: "file"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := "line one\n\nline two\nline three"
+	n, err := a.Run(context.Background(), strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("lines = %d, want 3 (empty line skipped)", n)
+	}
+	c, _ := b.NewConsumer("g", LogsTopic)
+	if got := len(c.TryPoll(0)); got != 3 {
+		t.Errorf("published = %d", got)
+	}
+}
+
+func TestReplayRateLimited(t *testing.T) {
+	b := bus.New()
+	a, err := New(b, Config{Source: "r", RatePerSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 10)
+	for i := range lines {
+		lines[i] = "x"
+	}
+	start := time.Now()
+	n, err := a.Replay(context.Background(), lines)
+	if err != nil || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// 10 lines at 100/sec needs >= ~90ms.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("rate limit ignored: %v", elapsed)
+	}
+}
+
+func TestReplayCancel(t *testing.T) {
+	b := bus.New()
+	a, _ := New(b, Config{Source: "r", RatePerSec: 10})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	lines := make([]string, 100)
+	for i := range lines {
+		lines[i] = "x"
+	}
+	n, err := a.Replay(ctx, lines)
+	if err == nil {
+		t.Error("cancelled replay must fail")
+	}
+	if n >= 100 {
+		t.Errorf("replayed %d lines despite cancel", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(bus.New(), Config{}); err == nil {
+		t.Error("empty source must fail")
+	}
+}
+
+func TestMultipleAgentsShareTopic(t *testing.T) {
+	b := bus.New()
+	a1, err := New(b, Config{Source: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(b, Config{Source: "b"})
+	if err != nil {
+		t.Fatalf("second agent must reuse the topic: %v", err)
+	}
+	a1.Send("from a")
+	a2.Send("from b")
+	c, _ := b.NewConsumer("g", LogsTopic)
+	sources := map[string]bool{}
+	for _, m := range c.TryPoll(0) {
+		sources[m.Headers[HeaderSource]] = true
+	}
+	if !sources["a"] || !sources["b"] {
+		t.Errorf("sources = %v", sources)
+	}
+}
+
+func TestReplayTimed(t *testing.T) {
+	b := bus.New()
+	a, err := New(b, Config{Source: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three logs spanning 2 log-seconds, replayed at 20x: ~100ms wall.
+	lines := []string{
+		"2016/02/23 09:00:00.000 step one",
+		"2016/02/23 09:00:01.000 step two",
+		"2016/02/23 09:00:02.000 step three",
+		"no timestamp here",
+	}
+	start := time.Now()
+	n, err := a.ReplayTimed(context.Background(), lines, 20, nil)
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("timed replay too fast: %v (pacing ignored)", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("timed replay too slow: %v", elapsed)
+	}
+}
+
+func TestReplayTimedCancel(t *testing.T) {
+	b := bus.New()
+	a, _ := New(b, Config{Source: "r"})
+	lines := []string{
+		"2016/02/23 09:00:00.000 a",
+		"2016/02/23 10:00:00.000 b", // an hour later: would block
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.ReplayTimed(ctx, lines, 1, nil); err == nil {
+		t.Error("cancelled timed replay must fail")
+	}
+}

@@ -1,0 +1,147 @@
+// Package anomaly defines the anomaly records LogLens reports (§II
+// "Anomaly Storage": each anomaly has a type, severity, reason, timestamp
+// and associated logs), covering both the stateless parser anomalies and
+// the four stateful log-sequence anomaly types of Table II. It also
+// provides the temporal clustering used to analyze anomaly bursts in the
+// SS7 case study (§VII-B, Figure 6).
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"loglens/internal/logtypes"
+)
+
+// Type classifies an anomaly.
+type Type int
+
+const (
+	// UnparsedLog is the stateless anomaly: a log matched no pattern
+	// (§III-B).
+	UnparsedLog Type = iota + 1
+	// MissingBegin is Table II type 1: an event's logs appeared without
+	// its begin state.
+	MissingBegin
+	// MissingEnd is Table II type 1: an event never reached its end
+	// state (detected on heartbeat-driven expiry).
+	MissingEnd
+	// MissingIntermediate is Table II type 2: a required intermediate
+	// state never occurred.
+	MissingIntermediate
+	// OccurrenceViolation is Table II type 3: an intermediate state
+	// occurred fewer or more times than the learned min/max.
+	OccurrenceViolation
+	// DurationViolation is Table II type 4: the begin-to-end duration
+	// fell outside the learned min/max.
+	DurationViolation
+	// VolumeSpike and VolumeDrop come from the log-volume analytics
+	// application built on the parser (§I: parsed outputs are "a
+	// building block for designing various log analysis features"): a
+	// pattern's windowed log rate deviated far above or below its
+	// learned profile.
+	VolumeSpike
+	VolumeDrop
+)
+
+var typeNames = map[Type]string{
+	UnparsedLog:         "unparsed-log",
+	MissingBegin:        "missing-begin-state",
+	MissingEnd:          "missing-end-state",
+	MissingIntermediate: "missing-intermediate-state",
+	OccurrenceViolation: "occurrence-violation",
+	DurationViolation:   "duration-violation",
+	VolumeSpike:         "volume-spike",
+	VolumeDrop:          "volume-drop",
+}
+
+// String returns the kebab-case name used in storage and dashboards.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("unknown(%d)", int(t))
+}
+
+// Severity grades operator attention.
+type Severity int
+
+const (
+	// Info marks anomalies kept for audit only.
+	Info Severity = iota + 1
+	// Warning marks anomalies that merit review.
+	Warning
+	// Critical marks anomalies needing immediate attention.
+	Critical
+)
+
+var severityNames = map[Severity]string{Info: "info", Warning: "warning", Critical: "critical"}
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	if n, ok := severityNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown(%d)", int(s))
+}
+
+// Record is one reported anomaly.
+type Record struct {
+	// Type classifies the anomaly.
+	Type Type
+	// Severity grades it.
+	Severity Severity
+	// Reason is a human-readable explanation.
+	Reason string
+	// Timestamp is when the anomaly happened in log time.
+	Timestamp time.Time
+	// Source is the log source.
+	Source string
+	// EventID identifies the event instance (stateful anomalies).
+	EventID string
+	// AutomatonID identifies the violated automaton (stateful
+	// anomalies).
+	AutomatonID int
+	// Logs are the associated raw logs.
+	Logs []logtypes.Log
+}
+
+// Cluster is a temporally tight burst of anomalies.
+type Cluster struct {
+	// Start and End bound the burst in log time.
+	Start, End time.Time
+	// Records are the member anomalies ordered by timestamp.
+	Records []Record
+}
+
+// Count returns the number of anomalies in the cluster.
+func (c Cluster) Count() int { return len(c.Records) }
+
+// Clusterize groups anomaly records into temporal clusters: records whose
+// timestamps are within gap of the previous record join its cluster
+// (single-linkage in time). The SS7 case study uses this to surface attack
+// bursts (Figure 6: "in each cluster, its anomalies are temporally close
+// to each other").
+func Clusterize(records []Record, gap time.Duration) []Cluster {
+	if len(records) == 0 {
+		return nil
+	}
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Timestamp.Before(sorted[j].Timestamp)
+	})
+	var clusters []Cluster
+	cur := Cluster{Start: sorted[0].Timestamp, End: sorted[0].Timestamp, Records: sorted[:1:1]}
+	for _, r := range sorted[1:] {
+		if r.Timestamp.Sub(cur.End) <= gap {
+			cur.Records = append(cur.Records, r)
+			cur.End = r.Timestamp
+			continue
+		}
+		clusters = append(clusters, cur)
+		cur = Cluster{Start: r.Timestamp, End: r.Timestamp, Records: []Record{r}}
+	}
+	return append(clusters, cur)
+}

@@ -1,0 +1,122 @@
+package anomaly
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 5, 9, 12, 0, 0, 0, time.UTC)
+
+func rec(offset time.Duration) Record {
+	return Record{Type: MissingEnd, Timestamp: t0.Add(offset)}
+}
+
+func TestTypeStrings(t *testing.T) {
+	tests := map[Type]string{
+		UnparsedLog:         "unparsed-log",
+		MissingBegin:        "missing-begin-state",
+		MissingEnd:          "missing-end-state",
+		MissingIntermediate: "missing-intermediate-state",
+		OccurrenceViolation: "occurrence-violation",
+		DurationViolation:   "duration-violation",
+	}
+	for typ, want := range tests {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type must still print")
+	}
+	if Info.String() != "info" || Critical.String() != "critical" || Warning.String() != "warning" {
+		t.Error("severity names")
+	}
+	if Severity(99).String() == "" {
+		t.Error("unknown severity must still print")
+	}
+}
+
+func TestClusterizeBasic(t *testing.T) {
+	records := []Record{
+		rec(0), rec(10 * time.Second), rec(20 * time.Second), // burst 1
+		rec(10 * time.Minute), rec(10*time.Minute + 5*time.Second), // burst 2
+		rec(30 * time.Minute), // singleton
+	}
+	clusters := Clusterize(records, time.Minute)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+	if clusters[0].Count() != 3 || clusters[1].Count() != 2 || clusters[2].Count() != 1 {
+		t.Errorf("counts = %d %d %d", clusters[0].Count(), clusters[1].Count(), clusters[2].Count())
+	}
+	if !clusters[0].Start.Equal(t0) || !clusters[0].End.Equal(t0.Add(20*time.Second)) {
+		t.Errorf("bounds = %v..%v", clusters[0].Start, clusters[0].End)
+	}
+}
+
+func TestClusterizeUnsortedInput(t *testing.T) {
+	records := []Record{rec(30 * time.Minute), rec(0), rec(10 * time.Second)}
+	clusters := Clusterize(records, time.Minute)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	if clusters[0].Count() != 2 {
+		t.Errorf("first cluster = %d", clusters[0].Count())
+	}
+	// Input slice must not be reordered.
+	if !records[0].Timestamp.Equal(t0.Add(30 * time.Minute)) {
+		t.Error("Clusterize mutated its input")
+	}
+}
+
+func TestClusterizeEdges(t *testing.T) {
+	if Clusterize(nil, time.Minute) != nil {
+		t.Error("empty input")
+	}
+	one := Clusterize([]Record{rec(0)}, time.Minute)
+	if len(one) != 1 || one[0].Count() != 1 {
+		t.Errorf("singleton: %v", one)
+	}
+	// Gap exactly equal to threshold joins (<=).
+	two := Clusterize([]Record{rec(0), rec(time.Minute)}, time.Minute)
+	if len(two) != 1 {
+		t.Errorf("boundary gap must join: %d clusters", len(two))
+	}
+}
+
+// Property: clusters partition the records, are time-ordered, and no
+// intra-cluster gap exceeds the threshold.
+func TestClusterizeInvariants(t *testing.T) {
+	gap := 30 * time.Second
+	f := func(offsets []uint16) bool {
+		var records []Record
+		for _, o := range offsets {
+			records = append(records, rec(time.Duration(o)*time.Second))
+		}
+		clusters := Clusterize(records, gap)
+		total := 0
+		var prevEnd time.Time
+		for i, c := range clusters {
+			total += c.Count()
+			if c.Count() == 0 {
+				return false
+			}
+			if i > 0 && c.Start.Sub(prevEnd) <= gap {
+				return false // adjacent clusters must be separated
+			}
+			prev := c.Records[0].Timestamp
+			for _, r := range c.Records[1:] {
+				if r.Timestamp.Before(prev) || r.Timestamp.Sub(prev) > gap {
+					return false
+				}
+				prev = r.Timestamp
+			}
+			prevEnd = c.End
+		}
+		return total == len(records)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

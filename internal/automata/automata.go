@@ -1,0 +1,291 @@
+// Package automata implements the event-automata model of the stateful
+// log-sequence anomaly detector (§IV-A2). An automaton captures one event
+// type's normal behaviour: its begin and end states, the min/max
+// occurrence of every intermediate state, and the min/max duration between
+// begin and end (Figure 3). The model is learned by replaying training
+// traces grouped by the automatically discovered event ID.
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"loglens/internal/idfield"
+	"loglens/internal/logtypes"
+)
+
+// State is one automaton state: the log pattern it corresponds to ("each
+// state corresponds to a log in that event") with its learned occurrence
+// bounds.
+type State struct {
+	// PatternID is the log pattern backing this state.
+	PatternID int `json:"pattern"`
+	// MinOcc and MaxOcc bound how many times the state occurs in one
+	// event.
+	MinOcc int `json:"minOcc"`
+	MaxOcc int `json:"maxOcc"`
+}
+
+// Automaton models one event type.
+type Automaton struct {
+	// ID identifies the automaton within its model.
+	ID int `json:"id"`
+	// BeginPattern and EndPattern are the begin and end states' pattern
+	// IDs.
+	BeginPattern int `json:"begin"`
+	EndPattern   int `json:"end"`
+	// States holds the occurrence rules of every state, begin and end
+	// included, keyed in pattern order.
+	States []State `json:"states"`
+	// MinDuration and MaxDuration bound the begin-to-end span.
+	MinDuration time.Duration `json:"minDurationNanos"`
+	MaxDuration time.Duration `json:"maxDurationNanos"`
+	// Key is the collapsed pattern-sequence signature the automaton was
+	// merged under (consecutive repeats collapse, so retries of one
+	// action stay one state).
+	Key string `json:"key"`
+	// Traces counts the training traces merged into this automaton.
+	Traces int `json:"traces"`
+}
+
+// State returns the occurrence rule for a pattern and whether the pattern
+// is a state of this automaton.
+func (a *Automaton) State(patternID int) (State, bool) {
+	for _, s := range a.States {
+		if s.PatternID == patternID {
+			return s, true
+		}
+	}
+	return State{}, false
+}
+
+// Model is the stateful detector's model: the automata plus the ID-field
+// mapping used to extract event IDs from parsed logs.
+type Model struct {
+	// Automata holds every learned automaton, ordered by ID.
+	Automata []*Automaton `json:"automata"`
+	// IDFields maps pattern ID to the field carrying the event ID.
+	IDFields map[int]string `json:"idFields"`
+}
+
+// AutomataFor returns the automata that contain the pattern as a state.
+func (m *Model) AutomataFor(patternID int) []*Automaton {
+	var out []*Automaton
+	for _, a := range m.Automata {
+		if _, ok := a.State(patternID); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Get returns the automaton with the given ID.
+func (m *Model) Get(id int) (*Automaton, bool) {
+	for _, a := range m.Automata {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the automaton with the given ID (the model-edit operation
+// exercised in Table V). It reports whether an automaton was removed.
+func (m *Model) Delete(id int) bool {
+	for i, a := range m.Automata {
+		if a.ID == id {
+			m.Automata = append(m.Automata[:i], m.Automata[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy, so edited models never disturb running
+// detectors holding the original.
+func (m *Model) Clone() *Model {
+	c := &Model{IDFields: make(map[int]string, len(m.IDFields))}
+	for k, v := range m.IDFields {
+		c.IDFields[k] = v
+	}
+	for _, a := range m.Automata {
+		b := *a
+		b.States = append([]State(nil), a.States...)
+		c.Automata = append(c.Automata, &b)
+	}
+	return c
+}
+
+// EventID extracts the event ID of a parsed log under this model.
+func (m *Model) EventID(l *logtypes.ParsedLog) (string, bool) {
+	field, ok := m.IDFields[l.PatternID]
+	if !ok {
+		return "", false
+	}
+	return l.FieldValue(field)
+}
+
+// MarshalJSON/UnmarshalJSON use an int-keyed map encoding for IDFields.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Automata []*Automaton      `json:"automata"`
+		IDFields map[string]string `json:"idFields"`
+	}
+	a := alias{Automata: m.Automata, IDFields: make(map[string]string, len(m.IDFields))}
+	for k, v := range m.IDFields {
+		a.IDFields[strconv.Itoa(k)] = v
+	}
+	return json.Marshal(a)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	type alias struct {
+		Automata []*Automaton      `json:"automata"`
+		IDFields map[string]string `json:"idFields"`
+	}
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return fmt.Errorf("automata: unmarshal model: %w", err)
+	}
+	m.Automata = a.Automata
+	m.IDFields = make(map[int]string, len(a.IDFields))
+	for k, v := range a.IDFields {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("automata: unmarshal model: bad pattern id %q", k)
+		}
+		m.IDFields[id] = v
+	}
+	return nil
+}
+
+// Learn builds the automata model from a training corpus (§IV-A2). Logs
+// are grouped into traces by discovered event ID, each trace is reduced to
+// its collapsed pattern-sequence key, and traces sharing a key merge into
+// one automaton whose rules are the min/max of the observed statistics.
+func Learn(logs []*logtypes.ParsedLog, disc idfield.Discovery) *Model {
+	type traceInfo struct {
+		key      string
+		begin    int
+		end      int
+		counts   map[int]int
+		duration time.Duration
+	}
+
+	// Group logs by event ID, ordered by log time (arrival sequence
+	// breaks ties).
+	groups := make(map[string][]*logtypes.ParsedLog)
+	var order []string
+	for _, l := range logs {
+		id, ok := disc.EventID(l)
+		if !ok || id == "" {
+			continue
+		}
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], l)
+	}
+
+	traces := make([]traceInfo, 0, len(groups))
+	for _, id := range order {
+		g := groups[id]
+		sort.SliceStable(g, func(i, j int) bool {
+			ti, tj := g[i].EventTime(), g[j].EventTime()
+			if !ti.Equal(tj) {
+				return ti.Before(tj)
+			}
+			return g[i].Seq < g[j].Seq
+		})
+		tr := traceInfo{counts: make(map[int]int)}
+		var keyParts []string
+		prev := -1
+		for _, l := range g {
+			tr.counts[l.PatternID]++
+			if l.PatternID != prev {
+				keyParts = append(keyParts, strconv.Itoa(l.PatternID))
+				prev = l.PatternID
+			}
+		}
+		tr.key = strings.Join(keyParts, ">")
+		tr.begin = g[0].PatternID
+		tr.end = g[len(g)-1].PatternID
+		tr.duration = g[len(g)-1].EventTime().Sub(g[0].EventTime())
+		traces = append(traces, tr)
+	}
+
+	// Merge traces by key.
+	m := &Model{IDFields: disc.FieldOf}
+	if m.IDFields == nil {
+		m.IDFields = map[int]string{}
+	}
+	byKey := make(map[string]*Automaton)
+	occ := make(map[string]map[int][2]int)   // key -> pattern -> [min,max]
+	presence := make(map[string]map[int]int) // key -> pattern -> traces containing it
+	for _, tr := range traces {
+		a, ok := byKey[tr.key]
+		if !ok {
+			a = &Automaton{
+				ID:           len(m.Automata) + 1,
+				BeginPattern: tr.begin,
+				EndPattern:   tr.end,
+				MinDuration:  tr.duration,
+				MaxDuration:  tr.duration,
+				Key:          tr.key,
+			}
+			byKey[tr.key] = a
+			occ[tr.key] = make(map[int][2]int)
+			presence[tr.key] = make(map[int]int)
+			m.Automata = append(m.Automata, a)
+		}
+		a.Traces++
+		if tr.duration < a.MinDuration {
+			a.MinDuration = tr.duration
+		}
+		if tr.duration > a.MaxDuration {
+			a.MaxDuration = tr.duration
+		}
+		bounds := occ[tr.key]
+		for pid, n := range tr.counts {
+			presence[tr.key][pid]++
+			b, seen := bounds[pid]
+			if !seen {
+				bounds[pid] = [2]int{n, n}
+				continue
+			}
+			if n < b[0] {
+				b[0] = n
+			}
+			if n > b[1] {
+				b[1] = n
+			}
+			bounds[pid] = b
+		}
+	}
+
+	for key, a := range byKey {
+		// A state absent from some merged trace gets MinOcc 0.
+		bounds := occ[key]
+		pids := make([]int, 0, len(bounds))
+		for pid := range bounds {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			b := bounds[pid]
+			minOcc := b[0]
+			// A state absent from some trace merged under this
+			// key is optional.
+			if presence[key][pid] < a.Traces {
+				minOcc = 0
+			}
+			a.States = append(a.States, State{PatternID: pid, MinOcc: minOcc, MaxOcc: b[1]})
+		}
+	}
+	return m
+}

@@ -1,0 +1,204 @@
+package automata
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/idfield"
+	"loglens/internal/logtypes"
+)
+
+var t0 = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+// trace builds the parsed logs of one event: pattern IDs in order, one
+// second apart, starting at offset seconds after t0.
+func trace(eventID string, offset int, patterns ...int) []*logtypes.ParsedLog {
+	out := make([]*logtypes.ParsedLog, len(patterns))
+	for i, pid := range patterns {
+		out[i] = &logtypes.ParsedLog{
+			Log:          logtypes.Log{Source: "s", Seq: uint64(offset*100 + i)},
+			PatternID:    pid,
+			Fields:       []logtypes.Field{{Name: "id", Value: eventID}},
+			Timestamp:    t0.Add(time.Duration(offset+i) * time.Second),
+			HasTimestamp: true,
+		}
+	}
+	return out
+}
+
+func disc(patterns ...int) idfield.Discovery {
+	d := idfield.Discovery{FieldOf: map[int]string{}}
+	for _, p := range patterns {
+		d.FieldOf[p] = "id"
+	}
+	return d
+}
+
+func TestLearnSingleAutomaton(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("e1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("e2", 10, 1, 2, 2, 3)...)
+	logs = append(logs, trace("e3", 20, 1, 2, 3)...)
+
+	m := Learn(logs, disc(1, 2, 3))
+	if len(m.Automata) != 1 {
+		t.Fatalf("automata = %d, want 1", len(m.Automata))
+	}
+	a := m.Automata[0]
+	if a.BeginPattern != 1 || a.EndPattern != 3 {
+		t.Errorf("begin/end = %d/%d", a.BeginPattern, a.EndPattern)
+	}
+	if a.Key != "1>2>3" {
+		t.Errorf("key = %q (consecutive repeats must collapse)", a.Key)
+	}
+	if a.Traces != 3 {
+		t.Errorf("traces = %d", a.Traces)
+	}
+	s2, ok := a.State(2)
+	if !ok || s2.MinOcc != 1 || s2.MaxOcc != 2 {
+		t.Errorf("state 2 = %+v, want MinOcc 1 MaxOcc 2", s2)
+	}
+	// Durations: 2s (1,2,3) and 3s (1,2,2,3).
+	if a.MinDuration != 2*time.Second || a.MaxDuration != 3*time.Second {
+		t.Errorf("duration bounds = [%v,%v]", a.MinDuration, a.MaxDuration)
+	}
+}
+
+func TestLearnMultipleAutomata(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("a1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("b1", 5, 4, 5)...)
+	logs = append(logs, trace("a2", 10, 1, 2, 3)...)
+	logs = append(logs, trace("b2", 15, 4, 5)...)
+
+	m := Learn(logs, disc(1, 2, 3, 4, 5))
+	if len(m.Automata) != 2 {
+		t.Fatalf("automata = %d, want 2", len(m.Automata))
+	}
+	if got := m.AutomataFor(2); len(got) != 1 || got[0].Key != "1>2>3" {
+		t.Errorf("AutomataFor(2) = %v", got)
+	}
+	if got := m.AutomataFor(5); len(got) != 1 || got[0].Key != "4>5" {
+		t.Errorf("AutomataFor(5) = %v", got)
+	}
+	if got := m.AutomataFor(99); got != nil {
+		t.Errorf("AutomataFor(99) = %v", got)
+	}
+}
+
+func TestLearnSkipsUntrackedPatterns(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("e1", 0, 1, 2)...)
+	// Pattern 9 has no ID field: its logs are ignored.
+	logs = append(logs, &logtypes.ParsedLog{PatternID: 9, Fields: []logtypes.Field{{Name: "x", Value: "v"}}})
+	m := Learn(logs, disc(1, 2))
+	if len(m.Automata) != 1 {
+		t.Fatalf("automata = %d", len(m.Automata))
+	}
+	if _, ok := m.Automata[0].State(9); ok {
+		t.Error("untracked pattern leaked into automaton")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("a1", 0, 1, 2)...)
+	logs = append(logs, trace("b1", 5, 3, 4)...)
+	m := Learn(logs, disc(1, 2, 3, 4))
+	if len(m.Automata) != 2 {
+		t.Fatalf("automata = %d", len(m.Automata))
+	}
+	id := m.Automata[0].ID
+	if !m.Delete(id) {
+		t.Fatal("Delete failed")
+	}
+	if m.Delete(id) {
+		t.Fatal("double Delete must fail")
+	}
+	if len(m.Automata) != 1 {
+		t.Errorf("automata = %d after delete", len(m.Automata))
+	}
+	if _, ok := m.Get(id); ok {
+		t.Error("Get must miss after delete")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	m := Learn(trace("e1", 0, 1, 2), disc(1, 2))
+	c := m.Clone()
+	c.Delete(c.Automata[0].ID)
+	c.IDFields[99] = "zzz"
+	if len(m.Automata) != 1 {
+		t.Error("Clone shares automata slice")
+	}
+	if _, ok := m.IDFields[99]; ok {
+		t.Error("Clone shares IDFields map")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("e1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("e2", 10, 1, 2, 2, 3)...)
+	m := Learn(logs, disc(1, 2, 3))
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Model
+	if err := json.Unmarshal(data, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Automata) != 1 || m2.Automata[0].Key != "1>2>3" {
+		t.Fatalf("round trip: %+v", m2.Automata)
+	}
+	if m2.IDFields[2] != "id" {
+		t.Errorf("IDFields lost: %v", m2.IDFields)
+	}
+	if m2.Automata[0].MaxDuration != m.Automata[0].MaxDuration {
+		t.Errorf("durations lost")
+	}
+}
+
+func TestEventIDExtraction(t *testing.T) {
+	m := Learn(trace("e1", 0, 1, 2), disc(1, 2))
+	l := trace("e9", 0, 1)[0]
+	id, ok := m.EventID(l)
+	if !ok || id != "e9" {
+		t.Errorf("EventID = %q/%v", id, ok)
+	}
+}
+
+func TestLearnOrdersByTime(t *testing.T) {
+	// Logs delivered out of order must still form the right key.
+	logs := trace("e1", 0, 1, 2, 3)
+	shuffled := []*logtypes.ParsedLog{logs[2], logs[0], logs[1]}
+	m := Learn(shuffled, disc(1, 2, 3))
+	if m.Automata[0].Key != "1>2>3" {
+		t.Errorf("key = %q, want time-ordered 1>2>3", m.Automata[0].Key)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("e1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("e2", 10, 1, 2, 2, 3)...)
+	m := Learn(logs, disc(1, 2, 3))
+	dot := m.DOT()
+	for _, want := range []string{
+		"digraph automaton_1",
+		"start -> p1",
+		"p1 -> p2",
+		"p2 -> p3",
+		"p3 -> end",
+		`p2 -> p2 [style=dashed, label="x2"]`, // the repeatable state
+		"occ [1,2]",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

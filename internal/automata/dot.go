@@ -1,0 +1,76 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the automaton as a Graphviz digraph in the style of the
+// paper's Figure 3: one node per state annotated with its occurrence
+// bounds, edges along the learned pattern-sequence key, and a label
+// carrying the event-duration rule.
+func (a *Automaton) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph automaton_%d {\n", a.ID)
+	fmt.Fprintf(&b, "  rankdir=LR;\n")
+	fmt.Fprintf(&b, "  label=\"automaton %d: duration [%s, %s], %d training traces\";\n",
+		a.ID, a.MinDuration, a.MaxDuration, a.Traces)
+	fmt.Fprintf(&b, "  start [shape=point];\n")
+	fmt.Fprintf(&b, "  end [shape=doublecircle, label=\"end\"];\n")
+
+	for _, s := range a.States {
+		shape := "circle"
+		if s.PatternID == a.BeginPattern || s.PatternID == a.EndPattern {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  p%d [shape=%s, label=\"pattern %d\\nocc [%d,%d]\"];\n",
+			s.PatternID, shape, s.PatternID, s.MinOcc, s.MaxOcc)
+	}
+
+	// Edges along the collapsed sequence key; a state whose MaxOcc
+	// exceeds 1 gets a self-loop (repeats collapse in the key).
+	seq := a.sequence()
+	if len(seq) > 0 {
+		fmt.Fprintf(&b, "  start -> p%d;\n", seq[0])
+		for i := 1; i < len(seq); i++ {
+			fmt.Fprintf(&b, "  p%d -> p%d;\n", seq[i-1], seq[i])
+		}
+		fmt.Fprintf(&b, "  p%d -> end;\n", seq[len(seq)-1])
+	}
+	for _, s := range a.States {
+		if s.MaxOcc > 1 {
+			fmt.Fprintf(&b, "  p%d -> p%d [style=dashed, label=\"x%d\"];\n", s.PatternID, s.PatternID, s.MaxOcc)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sequence parses the collapsed key back into pattern IDs.
+func (a *Automaton) sequence() []int {
+	if a.Key == "" {
+		return nil
+	}
+	parts := strings.Split(a.Key, ">")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var id int
+		if _, err := fmt.Sscanf(p, "%d", &id); err == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// DOT renders every automaton of the model into one digraph document
+// (separate graphs concatenated, as Graphviz accepts).
+func (m *Model) DOT() string {
+	autos := append([]*Automaton(nil), m.Automata...)
+	sort.Slice(autos, func(i, j int) bool { return autos[i].ID < autos[j].ID })
+	var b strings.Builder
+	for _, a := range autos {
+		b.WriteString(a.DOT())
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package bus is the in-process message bus LogLens ships logs and
+// control messages over — the substitution for Apache Kafka (§II uses
+// Kafka "for shipping logs and communicating among different components").
+// It preserves the Kafka semantics the system depends on: named topics
+// split into partitions, strict ordering and monotone offsets within a
+// partition, key-hash partitioning, consumer groups with shared offsets,
+// and offset seeking for replay.
+package bus
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Message is one bus record.
+type Message struct {
+	// Topic and Partition locate the message; Offset is its position
+	// within the partition.
+	Topic     string
+	Partition int
+	Offset    int64
+	// Key routes the message to a partition (same key, same partition).
+	Key string
+	// Value is the payload.
+	Value []byte
+	// Headers carry optional metadata (e.g. the heartbeat tag of §V-B).
+	Headers map[string]string
+	// Time is the publish wall-clock time.
+	Time time.Time
+}
+
+// pollInterval bounds how long a blocking Poll waits before re-checking
+// all subscribed partitions and its context.
+const pollInterval = 50 * time.Millisecond
+
+// Bus is the broker. It is safe for concurrent use.
+type Bus struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+
+	groupsMu sync.Mutex
+	groups   map[string]*group
+}
+
+type topic struct {
+	name       string
+	partitions []*partition
+	rr         int // round-robin cursor for keyless publishes
+}
+
+type partition struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	log  []Message
+}
+
+func newPartition() *partition {
+	p := &partition{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// New creates an empty broker.
+func New() *Bus {
+	return &Bus{
+		topics: make(map[string]*topic),
+		groups: make(map[string]*group),
+	}
+}
+
+// CreateTopic declares a topic with the given partition count. Creating an
+// existing topic with the same partition count is a no-op; changing the
+// count is an error.
+func (b *Bus) CreateTopic(name string, partitions int) error {
+	if partitions <= 0 {
+		return fmt.Errorf("bus: topic %q: partitions must be positive", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		if len(t.partitions) != partitions {
+			return fmt.Errorf("bus: topic %q exists with %d partitions", name, len(t.partitions))
+		}
+		return nil
+	}
+	t := &topic{name: name}
+	for i := 0; i < partitions; i++ {
+		t.partitions = append(t.partitions, newPartition())
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Topics lists the declared topic names.
+func (b *Bus) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Partitions returns a topic's partition count.
+func (b *Bus) Partitions(topicName string) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.partitions), nil
+}
+
+func (b *Bus) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("bus: unknown topic %q", name)
+	}
+	return t, nil
+}
+
+// Publish appends a message, choosing the partition by key hash (or round
+// robin for the empty key). It returns the partition and offset assigned.
+func (b *Bus) Publish(topicName, key string, value []byte, headers map[string]string) (int, int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	var pi int
+	if key == "" {
+		b.mu.Lock()
+		pi = t.rr % len(t.partitions)
+		t.rr++
+		b.mu.Unlock()
+	} else {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		pi = int(h.Sum32()) % len(t.partitions)
+	}
+	off, err := b.publishTo(t, pi, key, value, headers)
+	return pi, off, err
+}
+
+// PublishTo appends a message to an explicit partition — the custom
+// partitioner hook used to fan heartbeat messages to every partition
+// (§V-B).
+func (b *Bus) PublishTo(topicName string, partition int, key string, value []byte, headers map[string]string) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, fmt.Errorf("bus: topic %q has no partition %d", topicName, partition)
+	}
+	return b.publishTo(t, partition, key, value, headers)
+}
+
+// Broadcast appends a copy of the message to every partition of the topic.
+func (b *Bus) Broadcast(topicName, key string, value []byte, headers map[string]string) error {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return err
+	}
+	for i := range t.partitions {
+		if _, err := b.publishTo(t, i, key, value, headers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Bus) publishTo(t *topic, pi int, key string, value []byte, headers map[string]string) (int64, error) {
+	p := t.partitions[pi]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := Message{
+		Topic:     t.name,
+		Partition: pi,
+		Offset:    int64(len(p.log)),
+		Key:       key,
+		Value:     append([]byte(nil), value...),
+		Time:      time.Now(),
+	}
+	if len(headers) > 0 {
+		m.Headers = make(map[string]string, len(headers))
+		for k, v := range headers {
+			m.Headers[k] = v
+		}
+	}
+	p.log = append(p.log, m)
+	p.cond.Broadcast()
+	return m.Offset, nil
+}
+
+// EndOffset returns the next offset that will be assigned in a partition.
+func (b *Bus) EndOffset(topicName string, partition int) (int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, fmt.Errorf("bus: topic %q has no partition %d", topicName, partition)
+	}
+	p := t.partitions[partition]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.log)), nil
+}
+
+// read returns up to max messages from offset, blocking until at least one
+// is available or the context is done.
+func (p *partition) read(ctx context.Context, offset int64, max int) ([]Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for int64(len(p.log)) <= offset {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Wake periodically so context cancellation is honored even
+		// without new messages.
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+			case <-done:
+			}
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}()
+		p.cond.Wait()
+		close(done)
+	}
+	end := int64(len(p.log))
+	if int64(max) > 0 && offset+int64(max) < end {
+		end = offset + int64(max)
+	}
+	out := make([]Message, end-offset)
+	copy(out, p.log[offset:end])
+	return out, nil
+}
+
+// tryRead returns up to max messages from offset without blocking.
+func (p *partition) tryRead(offset int64, max int) []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int64(len(p.log)) <= offset {
+		return nil
+	}
+	end := int64(len(p.log))
+	if max > 0 && offset+int64(max) < end {
+		end = offset + int64(max)
+	}
+	out := make([]Message, end-offset)
+	copy(out, p.log[offset:end])
+	return out
+}

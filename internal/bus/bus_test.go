@@ -1,0 +1,234 @@
+package bus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishConsume(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("logs", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := b.Publish("logs", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.NewConsumer("g1", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.TryPoll(0)
+	if len(msgs) != 10 {
+		t.Fatalf("got %d messages, want 10", len(msgs))
+	}
+	if c.TryPoll(0) != nil {
+		t.Error("second poll must be empty (offsets advanced)")
+	}
+	if c.Lag() != 0 {
+		t.Errorf("lag = %d", c.Lag())
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 4)
+	for i := 0; i < 20; i++ {
+		b.Publish("t", "same-key", []byte(fmt.Sprintf("%d", i)), nil)
+	}
+	c, _ := b.NewConsumer("g", "t")
+	msgs := c.TryPoll(0)
+	if len(msgs) != 20 {
+		t.Fatalf("got %d", len(msgs))
+	}
+	// Same key -> same partition -> strict order.
+	part := msgs[0].Partition
+	for i, m := range msgs {
+		if m.Partition != part {
+			t.Fatalf("key split across partitions")
+		}
+		if string(m.Value) != fmt.Sprintf("%d", i) {
+			t.Fatalf("order violated at %d: %s", i, m.Value)
+		}
+		if m.Offset != int64(i) {
+			t.Fatalf("offset %d at position %d", m.Offset, i)
+		}
+	}
+}
+
+func TestConsumerGroupsIndependent(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	b.Publish("t", "", []byte("x"), nil)
+	c1, _ := b.NewConsumer("g1", "t")
+	c2, _ := b.NewConsumer("g2", "t")
+	if len(c1.TryPoll(0)) != 1 || len(c2.TryPoll(0)) != 1 {
+		t.Error("each group must see the message once")
+	}
+	// Same group shares offsets.
+	b.Publish("t", "", []byte("y"), nil)
+	c3, _ := b.NewConsumer("g1", "t")
+	got := len(c1.TryPoll(0)) + len(c3.TryPoll(0))
+	if got != 1 {
+		t.Errorf("same-group consumers saw the message %d times", got)
+	}
+}
+
+func TestBroadcastToAllPartitions(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 3)
+	if err := b.Broadcast("t", "hb", []byte("heartbeat"), map[string]string{"type": "hb"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := b.NewConsumer("g", "t")
+	msgs := c.TryPoll(0)
+	if len(msgs) != 3 {
+		t.Fatalf("broadcast reached %d partitions, want 3", len(msgs))
+	}
+	seen := map[int]bool{}
+	for _, m := range msgs {
+		seen[m.Partition] = true
+		if m.Headers["type"] != "hb" {
+			t.Error("headers lost")
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("partitions hit: %v", seen)
+	}
+}
+
+func TestSeekReplay(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	for i := 0; i < 5; i++ {
+		b.Publish("t", "", []byte{byte(i)}, nil)
+	}
+	c, _ := b.NewConsumer("g", "t")
+	c.TryPoll(0)
+	if err := c.Seek("t", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.TryPoll(0)
+	if len(msgs) != 3 || msgs[0].Offset != 2 {
+		t.Fatalf("replay from 2: %v", msgs)
+	}
+}
+
+func TestBlockingPoll(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	c, _ := b.NewConsumer("g", "t")
+
+	done := make(chan []Message, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		msgs, err := c.Poll(ctx, 0)
+		if err != nil {
+			t.Errorf("poll: %v", err)
+		}
+		done <- msgs
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Publish("t", "", []byte("late"), nil)
+	select {
+	case msgs := <-done:
+		if len(msgs) != 1 || string(msgs[0].Value) != "late" {
+			t.Fatalf("got %v", msgs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poll never woke")
+	}
+}
+
+func TestPollContextCancel(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	c, _ := b.NewConsumer("g", "t")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Poll(ctx, 0); err == nil {
+		t.Fatal("cancelled poll must fail")
+	}
+}
+
+func TestTopicErrors(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", 0); err == nil {
+		t.Error("zero partitions must fail")
+	}
+	b.CreateTopic("t", 2)
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Errorf("idempotent create failed: %v", err)
+	}
+	if err := b.CreateTopic("t", 3); err == nil {
+		t.Error("partition count change must fail")
+	}
+	if _, _, err := b.Publish("missing", "", nil, nil); err == nil {
+		t.Error("publish to unknown topic must fail")
+	}
+	if _, err := b.PublishTo("t", 9, "", nil, nil); err == nil {
+		t.Error("publish to invalid partition must fail")
+	}
+	if _, err := b.NewConsumer("g"); err == nil {
+		t.Error("consumer without topics must fail")
+	}
+	if _, err := b.NewConsumer("g", "missing"); err == nil {
+		t.Error("consumer on unknown topic must fail")
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 4)
+	var wg sync.WaitGroup
+	const producers, each = 8, 100
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish("t", fmt.Sprintf("p%d", p), []byte("x"), nil)
+			}
+		}(p)
+	}
+	wg.Wait()
+	c, _ := b.NewConsumer("g", "t")
+	if got := len(c.TryPoll(0)); got != producers*each {
+		t.Fatalf("got %d messages, want %d", got, producers*each)
+	}
+}
+
+func TestEndOffset(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	if off, _ := b.EndOffset("t", 0); off != 0 {
+		t.Errorf("empty end offset = %d", off)
+	}
+	b.Publish("t", "", []byte("a"), nil)
+	if off, _ := b.EndOffset("t", 0); off != 1 {
+		t.Errorf("end offset = %d", off)
+	}
+}
+
+func TestMaxPoll(t *testing.T) {
+	b := New()
+	b.CreateTopic("t", 1)
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "", []byte{byte(i)}, nil)
+	}
+	c, _ := b.NewConsumer("g", "t")
+	if got := len(c.TryPoll(3)); got != 3 {
+		t.Fatalf("TryPoll(3) = %d", got)
+	}
+	if got := len(c.TryPoll(0)); got != 7 {
+		t.Fatalf("remainder = %d", got)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+	"loglens/internal/preprocess"
+	"loglens/internal/timestamp"
+	"loglens/internal/tokenize"
+)
+
+// TestCustomPreprocessorEndToEnd configures user delimiters, a sub-token
+// split rule ("123KB" -> "123 KB", the §III-A1 example), and a custom
+// timestamp format, and verifies the same preprocessing drives both
+// training and live detection.
+func TestCustomPreprocessorEndToEnd(t *testing.T) {
+	tok := tokenize.New(tokenize.WithRules(tokenize.MustRule(`([0-9]+)(KB|MB)`, "$1 $2")))
+	ts := timestamp.New(timestamp.WithFormats(timestamp.MustFormat("yyyy.MM.dd-HH:mm:ss")))
+	pp := preprocess.New(tok, ts)
+
+	p, err := New(Config{
+		DisableHeartbeat: true,
+		Builder:          modelmgr.BuilderConfig{Preprocessor: pp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var train []string
+	for i := 0; i < 120; i++ {
+		t0 := base.Add(time.Duration(i*10) * time.Second)
+		id := fmt.Sprintf("wr-%04d", i)
+		train = append(train,
+			fmt.Sprintf("%s write %s began", t0.Format("2006.01.02-15:04:05"), id),
+			fmt.Sprintf("%s write %s flushed %dKB", t0.Add(time.Second).Format("2006.01.02-15:04:05"), id, 64+i),
+		)
+	}
+	model, report, err := p.Train("custom", experiments.ToLogs("io", train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns != 2 || report.Automata != 1 {
+		for _, pat := range model.Patterns.Patterns() {
+			t.Logf("pattern %d: %s", pat.ID, pat)
+		}
+		t.Fatalf("patterns=%d automata=%d", report.Patterns, report.Automata)
+	}
+	// The split rule must have separated the size from the unit: the
+	// flush pattern ends "... %{NUMBER} KB".
+	var sawSplitUnit bool
+	for _, pat := range model.Patterns.Patterns() {
+		s := pat.String()
+		if len(s) > 2 && s[len(s)-2:] == "KB" && !pat.HasAnyData() {
+			sawSplitUnit = true
+		}
+	}
+	if !sawSplitUnit {
+		t.Error("split rule not applied during training")
+	}
+
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("io", 0)
+	tt := base.Add(time.Hour)
+	// A normal event in the custom format must parse and close cleanly
+	// at detection time too.
+	ag.Send(fmt.Sprintf("%s write wr-9000 began", tt.Format("2006.01.02-15:04:05")))
+	ag.Send(fmt.Sprintf("%s write wr-9000 flushed 128KB", tt.Add(time.Second).Format("2006.01.02-15:04:05")))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.UnparsedCount() != 0 {
+		t.Errorf("unparsed = %d: detection-side preprocessing diverged from training", p.UnparsedCount())
+	}
+	if p.AnomalyCount() != 0 {
+		t.Errorf("anomalies = %d", p.AnomalyCount())
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+)
+
+// TestDataDriftRelearning exercises §II-A "Handling data drift": the
+// target system evolves and emits a new log format; the old model flags it
+// as unparsed anomalies; a periodic rebuild from the archived logs learns
+// the new format; after the zero-downtime update the noise stops.
+func TestDataDriftRelearning(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true, ArchiveLogs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 1: the service logs only "ping" events.
+	var era1 []string
+	for i := 0; i < 150; i++ {
+		t0 := msBase.Add(time.Duration(i*10) * time.Second)
+		id := fmt.Sprintf("pg-%04d", i)
+		era1 = append(era1,
+			fmt.Sprintf("%s ping %s sent ttl %d", msStamp(t0), id, 32+i%8),
+			fmt.Sprintf("%s ping %s pong rtt %d ms", msStamp(t0.Add(time.Second)), id, 1+i%9),
+		)
+	}
+	if _, _, err := p.Train("era1", experiments.ToLogs("svc", era1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("svc", 0)
+
+	// Era 2: a software update adds a new "trace" log format. Under the
+	// era-1 model every trace log is an unparsed anomaly.
+	tt := msBase.Add(time.Hour)
+	var era2 []string
+	for i := 0; i < 60; i++ {
+		t0 := tt.Add(time.Duration(i*5) * time.Second)
+		id := fmt.Sprintf("pg-9%03d", i)
+		era2 = append(era2,
+			fmt.Sprintf("%s ping %s sent ttl 33", msStamp(t0), id),
+			fmt.Sprintf("%s ping %s pong rtt 4 ms", msStamp(t0.Add(time.Second)), id),
+			fmt.Sprintf("%s trace span sp-%04d duration %d us", msStamp(t0.Add(2*time.Second)), i, 100+i),
+		)
+	}
+	for _, line := range era2 {
+		ag.Send(line)
+	}
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	driftNoise := p.UnparsedCount()
+	if driftNoise != 60 {
+		t.Fatalf("drift noise = %d unparsed, want 60", driftNoise)
+	}
+
+	// Relearn from the archived logs (the log manager stored both
+	// eras under the source's index) and hot-swap the model.
+	m2, report, err := p.Manager().Rebuild("era2", "svc", time.Time{}.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns < 3 {
+		t.Fatalf("relearned model has %d patterns, want the trace pattern included", report.Patterns)
+	}
+	if err := p.Controller().Announce(modelmgr.Instruction{Op: modelmgr.OpUpdate, ModelID: m2.ID}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Model() == nil || p.Model().ID != "era2" {
+		if time.Now().After(deadline) {
+			t.Fatal("relearned model never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Era 2 traffic is clean under the relearned model.
+	tt = tt.Add(2 * time.Hour)
+	for i := 0; i < 20; i++ {
+		t0 := tt.Add(time.Duration(i*5) * time.Second)
+		id := fmt.Sprintf("pg-8%03d", i)
+		ag.Send(fmt.Sprintf("%s ping %s sent ttl 33", msStamp(t0), id))
+		ag.Send(fmt.Sprintf("%s ping %s pong rtt 4 ms", msStamp(t0.Add(time.Second)), id))
+		ag.Send(fmt.Sprintf("%s trace span sp-8%03d duration 120 us", msStamp(t0.Add(2*time.Second)), i))
+	}
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UnparsedCount(); got != driftNoise {
+		t.Fatalf("unparsed grew from %d to %d after relearning: drift not absorbed", driftNoise, got)
+	}
+}
+
+// TestAcceptUnparsedFeedbackLoop: flagged-but-benign logs stop being
+// anomalies after the operator accepts them (§VIII), with the update
+// applied live.
+func TestAcceptUnparsedFeedbackLoop(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []string
+	for i := 0; i < 60; i++ {
+		train = append(train, fmt.Sprintf("svc ready check %d ok", i))
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("s", train)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("s", 0)
+
+	benign := []string{
+		"cache warm segment 1 loaded",
+		"cache warm segment 2 loaded",
+		"cache warm segment 3 loaded",
+	}
+	for _, l := range benign {
+		ag.Send(l)
+	}
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.UnparsedCount() != 3 {
+		t.Fatalf("unparsed = %d, want 3 before feedback", p.UnparsedCount())
+	}
+
+	added, next, err := p.AcceptUnparsed(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d", added)
+	}
+	// Wait for the rebroadcast to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Model() == nil || p.Model().ID != next.ID {
+		if time.Now().After(deadline) {
+			t.Fatal("feedback model never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ag.Send("cache warm segment 4 loaded")
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.UnparsedCount() != 3 {
+		t.Fatalf("unparsed = %d: the accepted shape is still flagged", p.UnparsedCount())
+	}
+	// The new model is in the model storage for audit.
+	if _, err := p.Manager().Load(next.ID); err != nil {
+		t.Errorf("feedback model not saved: %v", err)
+	}
+}

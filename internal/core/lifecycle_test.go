@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+)
+
+// TestLifecycleRobustness exercises the awkward corners of pipeline
+// startup and shutdown.
+func TestLifecycleRobustness(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop before Start is a no-op.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("stop before start: %v", err)
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("s", []string{"alpha 1", "alpha 2", "alpha 3"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Double Start fails cleanly.
+	if err := p.Start(); err == nil {
+		t.Fatal("double start must fail")
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Double Stop is a no-op.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("double stop: %v", err)
+	}
+}
+
+// TestStopWithInflightTraffic: shutting down while agents send must not
+// deadlock or panic; logs sent before Stop and drained are all processed.
+func TestStopWithInflightTraffic(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("s", []string{"tick 1", "tick 2", "tick 3"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("s", 0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ag.Send("tick 9")
+			i++
+			if i%100 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.UnparsedCount() != 0 {
+		t.Errorf("unparsed = %d", p.UnparsedCount())
+	}
+	// Everything the log manager forwarded was processed.
+	m := p.Engine().Metrics()
+	if m.Records == 0 {
+		t.Error("no records processed")
+	}
+}
+
+// TestDrainTimeout: a drain deadline that cannot be met reports an error
+// instead of hanging.
+func TestDrainTimeout(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("s", []string{"x 1", "x 2"})); err != nil {
+		t.Fatal(err)
+	}
+	// Never started: the bus is never pumped, so pending logs cannot
+	// drain.
+	ag, agErr := p.Agent("s", 0)
+	if agErr != nil {
+		t.Fatal(agErr)
+	}
+	ag.Send("x 3")
+	if err := p.Drain(50 * time.Millisecond); err == nil {
+		t.Fatal("drain must time out when nothing consumes")
+	}
+}
+
+// TestAccessorsAndAggregates covers the operational read APIs on a live
+// pipeline: bus/store access, per-pattern counts, detector stats.
+func TestAccessorsAndAggregates(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bus() == nil || p.Store() == nil {
+		t.Fatal("bus/store accessors")
+	}
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var train []string
+	for i := 0; i < 80; i++ {
+		t0 := base.Add(time.Duration(i*10) * time.Second)
+		id := fmt.Sprintf("tk-%04d", i)
+		train = append(train,
+			fmt.Sprintf("%s task %s start prio %d", t0.Format("2006/01/02 15:04:05.000"), id, i%5),
+			fmt.Sprintf("%s task %s done code %d", t0.Add(2*time.Second).Format("2006/01/02 15:04:05.000"), id, i%3),
+		)
+	}
+	model, _, err := p.Train("m", experiments.ToLogs("s", train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("s", 0)
+	tt := base.Add(time.Hour)
+	ag.Send(fmt.Sprintf("%s task ok-1 start prio 1", tt.Format("2006/01/02 15:04:05.000")))
+	ag.Send(fmt.Sprintf("%s task ok-1 done code 0", tt.Add(2*time.Second).Format("2006/01/02 15:04:05.000")))
+	ag.Send(fmt.Sprintf("%s task open-1 start prio 1", tt.Add(time.Minute).Format("2006/01/02 15:04:05.000")))
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := p.PatternCounts()
+	total := uint64(0)
+	for _, n := range counts {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("pattern counts total = %d, want 3: %v", total, counts)
+	}
+	stats := p.DetectorStats()
+	if stats.LogsProcessed != 3 || stats.EventsClosed != 1 {
+		t.Errorf("detector stats = %+v", stats)
+	}
+	if got := p.OpenStates(); got != 1 {
+		t.Errorf("open states = %d, want 1 (the open-1 event)", got)
+	}
+
+	// applyInstruction's delete path, routed through the controller.
+	if err := p.Controller().Announce(modelmgr.Instruction{Op: modelmgr.OpDelete, ModelID: model.ID}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Model() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("delete instruction never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

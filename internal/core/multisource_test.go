@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/logtypes"
+)
+
+var msBase = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+func msStamp(t time.Time) string { return t.Format("2006/01/02 15:04:05.000") }
+
+func webTrain(n int) []logtypes.Log {
+	var lines []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("rq-%05d", i)
+		t0 := msBase.Add(time.Duration(i*10) * time.Second)
+		lines = append(lines,
+			fmt.Sprintf("%s request %s received path /p/%d", msStamp(t0), id, i%9),
+			fmt.Sprintf("%s request %s served bytes %d", msStamp(t0.Add(time.Second)), id, 100+i),
+		)
+	}
+	return experiments.ToLogs("web", lines)
+}
+
+func dbTrain(n int) []logtypes.Log {
+	var lines []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("tx-%05d", i)
+		t0 := msBase.Add(time.Duration(i*10) * time.Second)
+		lines = append(lines,
+			fmt.Sprintf("%s txn %s begin table t%d", msStamp(t0), id, i%7),
+			fmt.Sprintf("%s txn %s commit rows %d", msStamp(t0.Add(time.Second)), id, i%50),
+		)
+	}
+	return experiments.ToLogs("db", lines)
+}
+
+// TestPerSourceModels runs two sources with dedicated models through one
+// pipeline: each source's logs must be parsed and sequence-checked under
+// its own model (§II: the log manager identifies sources; models are
+// per source).
+func TestPerSourceModels(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.TrainFor("web", "web-model", webTrain(200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.TrainFor("db", "db-model", dbTrain(200)); err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelFor("web").ID != "web-model" || p.ModelFor("db").ID != "db-model" {
+		t.Fatalf("model routing: web=%v db=%v", p.ModelFor("web"), p.ModelFor("db"))
+	}
+
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	web, _ := p.Agent("web", 0)
+	db, _ := p.Agent("db", 0)
+
+	tt := msBase.Add(time.Hour)
+	// Normal traffic on both sources.
+	web.Send(fmt.Sprintf("%s request rq-90000 received path /p/1", msStamp(tt)))
+	web.Send(fmt.Sprintf("%s request rq-90000 served bytes 1", msStamp(tt.Add(time.Second))))
+	db.Send(fmt.Sprintf("%s txn tx-90000 begin table t1", msStamp(tt)))
+	db.Send(fmt.Sprintf("%s txn tx-90000 commit rows 3", msStamp(tt.Add(time.Second))))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnomalyCount(); got != 0 {
+		t.Fatalf("normal cross-source traffic flagged: %d", got)
+	}
+
+	// A db-format log arriving on the web source is unparsed under the
+	// web model — per-source isolation.
+	web.Send(fmt.Sprintf("%s txn tx-90001 begin table t1", msStamp(tt.Add(2*time.Second))))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.UnparsedCount(); got != 1 {
+		t.Fatalf("cross-source log not isolated: unparsed=%d", got)
+	}
+
+	// A stateful anomaly on db only.
+	db.Send(fmt.Sprintf("%s txn tx-90002 commit rows 3", msStamp(tt.Add(3*time.Second)))) // missing begin
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnomalyCount(); got != 2 {
+		t.Fatalf("anomalies = %d, want 2 (one unparsed + one missing-begin)", got)
+	}
+}
+
+// TestSourceFallsBackToDefaultModel: a source without a dedicated model
+// uses the default.
+func TestSourceFallsBackToDefaultModel(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("default-model", webTrain(100)); err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelFor("anything").ID != "default-model" {
+		t.Fatal("fallback broken")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("other-source", 0)
+	tt := msBase.Add(time.Hour)
+	ag.Send(fmt.Sprintf("%s request rq-1 received path /p/1", msStamp(tt)))
+	ag.Send(fmt.Sprintf("%s request rq-1 served bytes 9", msStamp(tt.Add(time.Second))))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.AnomalyCount() != 0 || p.UnparsedCount() != 0 {
+		t.Errorf("default-model fallback failed: anomalies=%d unparsed=%d", p.AnomalyCount(), p.UnparsedCount())
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/experiments"
+	"loglens/internal/wire"
+)
+
+// TestRemoteAgentOverTCP ships logs from a wire client into a listening
+// pipeline — the §II deployment shape with agents on other machines.
+func TestRemoteAgentOverTCP(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []string
+	for i := 0; i < 100; i++ {
+		t0 := msBase.Add(time.Duration(i*10) * time.Second)
+		id := fmt.Sprintf("jb-%04d", i)
+		train = append(train,
+			fmt.Sprintf("%s job %s queued prio %d", msStamp(t0), id, i%4),
+			fmt.Sprintf("%s job %s finished rc %d", msStamp(t0.Add(2*time.Second)), id, i%2),
+		)
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("remote", train)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := wire.Dial(addr, "remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := msBase.Add(time.Hour)
+	var lines []string
+	// A normal remote trace plus a missing-begin trace.
+	lines = append(lines,
+		fmt.Sprintf("%s job jb-9000 queued prio 1", msStamp(tt)),
+		fmt.Sprintf("%s job jb-9000 finished rc 0", msStamp(tt.Add(2*time.Second))),
+		fmt.Sprintf("%s job jb-9001 finished rc 0", msStamp(tt.Add(3*time.Second))),
+	)
+	if _, err := client.Stream(context.Background(), lines); err != nil {
+		t.Fatal(err)
+	}
+	// A remote heartbeat frame, too.
+	if err := client.SendHeartbeat(tt.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wire server hands frames to the bus asynchronously; wait for
+	// them to land, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for p.logmgrLag() == 0 && p.logmgr.Received() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnomalyCount(); got != 1 {
+		t.Fatalf("anomalies = %d, want 1 (the remote missing-begin trace)", got)
+	}
+	if p.UnparsedCount() != 0 {
+		t.Errorf("unparsed = %d", p.UnparsedCount())
+	}
+}

@@ -1,0 +1,773 @@
+// Package core wires the LogLens components of Figure 1 into a runnable
+// real-time log-analysis service: agents ship raw logs over the bus, the
+// log manager identifies sources and archives logs, the streaming engine
+// runs the stateless parser and the stateful sequence detector per
+// partition under a broadcast model, the heartbeat controller expires open
+// states, the model manager/controller rebuild and hot-swap models with
+// zero downtime, and anomalies land in the anomaly storage and user
+// callbacks.
+//
+// This package is the public API of the library: construct a Pipeline,
+// Train it on "correct" logs, Start it, and stream production logs in.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/anomaly"
+	"loglens/internal/bus"
+	"loglens/internal/heartbeat"
+	"loglens/internal/logmanager"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/parser"
+	"loglens/internal/preprocess"
+	"loglens/internal/seqdetect"
+	"loglens/internal/store"
+	"loglens/internal/stream"
+	"loglens/internal/volume"
+	"loglens/internal/wire"
+)
+
+// ModelBroadcastID is the broadcast-variable ID the default model is
+// published under; per-source models use ModelBroadcastID + "@" + source
+// (§V-B: partitioning groups logs with "the same model, source").
+const ModelBroadcastID = "model"
+
+func modelIDFor(source string) string {
+	if source == "" {
+		return ModelBroadcastID
+	}
+	return ModelBroadcastID + "@" + source
+}
+
+// AnomaliesIndex is the anomaly-storage index name.
+const AnomaliesIndex = "anomalies"
+
+// Config tunes a Pipeline. The zero value is usable.
+type Config struct {
+	// Partitions is the streaming parallelism (default 4).
+	Partitions int
+	// BatchInterval is the micro-batch window (default 10ms).
+	BatchInterval time.Duration
+	// Seq tunes the stateful detector.
+	Seq seqdetect.Config
+	// Volume tunes the log-volume detector (active only when the model
+	// carries a rate profile; see BuilderConfig.VolumeWindow).
+	Volume volume.Config
+	// Builder tunes the model builder.
+	Builder modelmgr.BuilderConfig
+	// Heartbeat tunes the heartbeat controller.
+	Heartbeat heartbeat.Config
+	// DisableHeartbeat turns the controller off (the Figure 5 "without
+	// HB" configuration).
+	DisableHeartbeat bool
+	// ArchiveLogs stores raw logs in the log storage.
+	ArchiveLogs bool
+	// StoreAnomalies writes anomalies to the anomaly storage (default
+	// on; the throughput benches disable it).
+	DisableAnomalyStorage bool
+	// Staged runs the parser and the sequence detector as separate
+	// streaming stages connected through the bus (the Figure 1
+	// deployment shape, components communicating over Kafka) instead of
+	// fused into one operator. Fused is the default: lower latency, no
+	// serialization; Staged scales the stages independently.
+	Staged bool
+}
+
+// Pipeline is a running LogLens deployment.
+type Pipeline struct {
+	cfg Config
+
+	bus    *bus.Bus
+	store  *store.Store
+	engine *stream.Engine
+	// detectEngine is the second stage of the staged topology (nil when
+	// fused).
+	detectEngine *stream.Engine
+	hb           *heartbeat.Controller
+	logmgr       *logmanager.Manager
+
+	builder    *modelmgr.Builder
+	manager    *modelmgr.Manager
+	controller *modelmgr.Controller
+
+	mu        sync.Mutex
+	callbacks []func(anomaly.Record)
+	current   *modelmgr.Model
+	bySource  map[string]*modelmgr.Model
+	running   bool
+
+	anomalies       atomic.Uint64
+	unparsed        atomic.Uint64
+	forwarded       atomic.Uint64
+	parsedForwarded atomic.Uint64
+
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
+	runErr     chan error
+	pumpDone   chan struct{}
+	pumpExited chan struct{}
+
+	wireServers []*wire.Server
+}
+
+// New constructs a Pipeline with its own bus and storage.
+func New(cfg Config) (*Pipeline, error) {
+	p := &Pipeline{
+		cfg:      cfg,
+		bus:      bus.New(),
+		store:    store.New(),
+		bySource: make(map[string]*modelmgr.Model),
+		runErr:   make(chan error, 1),
+	}
+	p.builder = modelmgr.NewBuilder(cfg.Builder)
+	p.manager = modelmgr.NewManager(p.store, p.builder)
+	var err error
+	p.controller, err = modelmgr.NewController(p.bus)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.DisableHeartbeat {
+		p.hb = heartbeat.New(cfg.Heartbeat)
+	}
+	engineCfg := stream.Config{
+		Partitions:    cfg.Partitions,
+		BatchInterval: cfg.BatchInterval,
+	}
+	if cfg.Staged {
+		p.engine = stream.New(engineCfg, p.parseOperator)
+		p.engine.SetSink(p.parseSink)
+		p.detectEngine = stream.New(engineCfg, p.detectOperator)
+		p.detectEngine.SetSink(p.sink)
+	} else {
+		p.engine = stream.New(engineCfg, p.operator)
+		p.engine.SetSink(p.sink)
+	}
+	p.logmgr = logmanager.New(p.bus, p.store, logmanager.Config{ArchiveLogs: cfg.ArchiveLogs}, p.forward)
+	// Heartbeats arrive tagged on the data channel (§V-B) and become
+	// heartbeat records fanned to every partition of the stateful stage.
+	p.logmgr.OnHeartbeat(func(source string, t time.Time) {
+		if p.detectEngine != nil {
+			p.parsedForwarded.Add(1)
+			p.detectEngine.Send(stream.Record{Key: source, Time: t, Heartbeat: true})
+			return
+		}
+		p.forwarded.Add(1)
+		p.engine.Send(stream.Record{Key: source, Time: t, Heartbeat: true})
+	})
+	return p, nil
+}
+
+// Bus exposes the message bus (for agents and tools).
+func (p *Pipeline) Bus() *bus.Bus { return p.bus }
+
+// Store exposes the log/model/anomaly storage (for the dashboard and
+// tools).
+func (p *Pipeline) Store() *store.Store { return p.store }
+
+// Manager exposes the model manager.
+func (p *Pipeline) Manager() *modelmgr.Manager { return p.manager }
+
+// Controller exposes the model controller.
+func (p *Pipeline) Controller() *modelmgr.Controller { return p.controller }
+
+// Engine exposes the streaming engine (for metrics).
+func (p *Pipeline) Engine() *stream.Engine { return p.engine }
+
+// AnomalyCount returns the total anomalies reported so far.
+func (p *Pipeline) AnomalyCount() uint64 { return p.anomalies.Load() }
+
+// UnparsedCount returns the stateless (unparsed-log) anomaly count.
+func (p *Pipeline) UnparsedCount() uint64 { return p.unparsed.Load() }
+
+// OnAnomaly registers a callback invoked (from the engine loop, serially)
+// for every anomaly.
+func (p *Pipeline) OnAnomaly(fn func(anomaly.Record)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.callbacks = append(p.callbacks, fn)
+}
+
+// Model returns the currently installed default model.
+func (p *Pipeline) Model() *modelmgr.Model {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.current
+}
+
+// ModelFor returns the model serving a source: its dedicated model if one
+// is installed, else the default.
+func (p *Pipeline) ModelFor(source string) *modelmgr.Model {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.bySource[source]; ok {
+		return m
+	}
+	return p.current
+}
+
+// Train builds a model from training logs, saves it in the model storage,
+// and installs it. With the pipeline running the install is a
+// zero-downtime rebroadcast.
+func (p *Pipeline) Train(id string, logs []logtypes.Log) (*modelmgr.Model, *modelmgr.BuildReport, error) {
+	m, report, err := p.builder.Build(id, logs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.manager.Save(m); err != nil {
+		return nil, nil, err
+	}
+	p.InstallModel(m)
+	return m, report, nil
+}
+
+// TrainFor is Train for a source-dedicated model: logs from that source
+// are analyzed with it, while other sources keep the default model.
+func (p *Pipeline) TrainFor(source, id string, logs []logtypes.Log) (*modelmgr.Model, *modelmgr.BuildReport, error) {
+	m, report, err := p.builder.Build(id, logs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.manager.Save(m); err != nil {
+		return nil, nil, err
+	}
+	p.InstallModelFor(source, m)
+	return m, report, nil
+}
+
+// InstallModel makes m the active default model. While running, the swap
+// is the §V-A rebroadcast: applied between micro-batches, no restart, no
+// state loss.
+func (p *Pipeline) InstallModel(m *modelmgr.Model) {
+	p.installModel("", m)
+}
+
+// InstallModelFor installs a model dedicated to one source; other sources
+// keep using the default model. A nil model removes the dedication (or,
+// for the empty source, deletes the default model).
+func (p *Pipeline) InstallModelFor(source string, m *modelmgr.Model) {
+	p.installModel(source, m)
+}
+
+func (p *Pipeline) installModel(source string, m *modelmgr.Model) {
+	p.mu.Lock()
+	if source == "" {
+		p.current = m
+	} else if m == nil {
+		delete(p.bySource, source)
+	} else {
+		p.bySource[source] = m
+	}
+	running := p.running
+	p.mu.Unlock()
+	if running {
+		p.engine.Rebroadcast(modelIDFor(source), m)
+		if p.detectEngine != nil {
+			p.detectEngine.Rebroadcast(modelIDFor(source), m)
+		}
+	} else {
+		p.engine.Broadcast(modelIDFor(source), m)
+		if p.detectEngine != nil {
+			p.detectEngine.Broadcast(modelIDFor(source), m)
+		}
+	}
+}
+
+// Agent creates a shipping agent for a source.
+func (p *Pipeline) Agent(source string, ratePerSec int) (*agent.Agent, error) {
+	return agent.New(p.bus, agent.Config{Source: source, RatePerSec: ratePerSec, TopicPartitions: p.engine.Partitions()})
+}
+
+// Listen accepts remote agents over TCP (the §II deployment: agent
+// daemons on other machines ship logs to the log manager). Frames are
+// published onto the logs data channel exactly as local agents publish.
+// It returns the bound address; Stop closes the listener.
+func (p *Pipeline) Listen(addr string) (string, error) {
+	if err := p.bus.CreateTopic(agent.LogsTopic, p.engine.Partitions()); err != nil {
+		return "", err
+	}
+	srv := wire.NewServer(func(f wire.Frame) {
+		if f.HB {
+			p.publishHeartbeat(f.Source, f.Time)
+			return
+		}
+		p.bus.Publish(agent.LogsTopic, f.Source, []byte(f.Raw), map[string]string{
+			agent.HeaderSource: f.Source,
+			agent.HeaderSeq:    strconv.FormatUint(f.Seq, 10),
+		})
+	})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	p.wireServers = append(p.wireServers, srv)
+	p.mu.Unlock()
+	return bound, nil
+}
+
+// Start launches the service: the streaming engine, the log manager pump,
+// the heartbeat controller, and the control-instruction watcher. It
+// returns immediately; Stop shuts everything down.
+func (p *Pipeline) Start() error {
+	p.mu.Lock()
+	if p.running {
+		p.mu.Unlock()
+		return fmt.Errorf("core: pipeline already running")
+	}
+	p.running = true
+	p.mu.Unlock()
+
+	// The logs topic must exist before consumers attach.
+	if err := p.bus.CreateTopic(agent.LogsTopic, p.engine.Partitions()); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.runErr <- p.engine.Run(context.Background())
+	}()
+
+	if p.detectEngine != nil {
+		if err := p.bus.CreateTopic(ParsedTopic, p.engine.Partitions()); err != nil {
+			return err
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.detectEngine.Run(context.Background())
+		}()
+		p.pumpDone = make(chan struct{})
+		p.pumpExited = make(chan struct{})
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer close(p.pumpExited)
+			p.pumpParsed(p.pumpDone)
+		}()
+	}
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.logmgr.Run(ctx)
+	}()
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.controller.Watch(ctx, "pipeline", p.applyInstruction)
+	}()
+
+	if p.hb != nil {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.hb.Run(ctx, func(hb heartbeat.Heartbeat) {
+				p.publishHeartbeat(hb.Source, hb.Time)
+			})
+		}()
+	}
+	return nil
+}
+
+// publishHeartbeat ships a heartbeat-tagged message on the logs data
+// channel, exactly as the external heartbeat controller does (§V-B). The
+// log manager recognizes the tag and the custom partitioner fans the
+// resulting record to every partition.
+func (p *Pipeline) publishHeartbeat(source string, t time.Time) {
+	p.bus.Publish(agent.LogsTopic, source, nil, map[string]string{
+		agent.HeaderSource:    source,
+		agent.HeaderHeartbeat: t.Format(time.RFC3339Nano),
+	})
+}
+
+// Drain waits until every log shipped so far has flowed through the bus
+// into the engine, then waits for the engine to go idle. Call it before
+// reading exact anomaly counts in batch experiments.
+func (p *Pipeline) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// Phase 1: bus drained into the engine.
+	for {
+		if p.logmgrLag() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: drain timed out with bus lag %d", p.logmgrLag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 2: engine has processed everything forwarded.
+	for {
+		m := p.engine.Metrics()
+		if m.Records >= p.forwarded.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: drain timed out with %d/%d records", m.Records, p.forwarded.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p.detectEngine == nil {
+		return nil
+	}
+	// Staged phases: the parsed topic drained into the detector stage,
+	// and the detector stage has processed everything.
+	for {
+		if p.parsedLag() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: drain timed out with parsed lag %d", p.parsedLag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		m := p.detectEngine.Metrics()
+		if m.Records >= p.parsedForwarded.Load() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: drain timed out with %d/%d detector records", m.Records, p.parsedForwarded.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// InjectHeartbeat ships one heartbeat with an explicit log time through
+// the data channel — the deterministic replacement for the wall-clock
+// controller in replay experiments.
+func (p *Pipeline) InjectHeartbeat(source string, t time.Time) {
+	p.publishHeartbeat(source, t)
+}
+
+// Stop shuts the pipeline down: input closes, in-flight batches finish,
+// stages drain front to back, background loops exit.
+func (p *Pipeline) Stop() error {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return nil
+	}
+	p.running = false
+	servers := p.wireServers
+	p.wireServers = nil
+	p.mu.Unlock()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	p.cancel()
+	p.engine.Close()
+	err := <-p.runErr
+	if p.detectEngine != nil {
+		// The parse stage has emitted everything; let the pump drain
+		// the parsed topic, then close the detector stage.
+		deadline := time.Now().Add(time.Minute)
+		for p.parsedLag() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		close(p.pumpDone)
+		<-p.pumpExited
+		p.detectEngine.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// AcceptUnparsed is the operator feedback loop of §VIII: lines the parser
+// flagged as unparsed anomalies but a human marked as normal are clustered
+// into new patterns, folded into a clone of the default model, and
+// installed with zero downtime. It returns the number of patterns added
+// and the new model.
+func (p *Pipeline) AcceptUnparsed(lines []string) (int, *modelmgr.Model, error) {
+	p.mu.Lock()
+	current := p.current
+	p.mu.Unlock()
+	if current == nil {
+		return 0, nil, fmt.Errorf("core: no model installed")
+	}
+	next := current.Clone()
+	next.ID = current.ID + "+accepted"
+	added, err := next.AcceptNormal(lines, p.cfg.Builder.Preprocessor, p.cfg.Builder.Logmine)
+	if err != nil {
+		return 0, nil, err
+	}
+	if added == 0 {
+		return 0, current, nil
+	}
+	if err := p.manager.Save(next); err != nil {
+		return 0, nil, err
+	}
+	p.InstallModel(next)
+	return added, next, nil
+}
+
+// Anomalies queries the anomaly storage.
+func (p *Pipeline) Anomalies(q store.Query) []store.Hit {
+	return p.store.Index(AnomaliesIndex).Search(q)
+}
+
+// PatternCounts aggregates per-pattern parse counts across all partitions
+// and sources (taken at a micro-batch barrier).
+func (p *Pipeline) PatternCounts() map[int]uint64 {
+	total := make(map[int]uint64)
+	p.engine.Inspect(func(partition int, states *stream.StateMap) {
+		states.Range(func(key string, v any) bool {
+			if st, ok := v.(*coreOpState); ok && st.parser != nil {
+				for id, n := range st.parser.PatternCounts() {
+					total[id] += n
+				}
+			}
+			return true
+		})
+	})
+	return total
+}
+
+// DetectorStats aggregates the sequence detectors' counters across all
+// partitions and sources (taken at a micro-batch barrier).
+func (p *Pipeline) DetectorStats() seqdetect.Stats {
+	var total seqdetect.Stats
+	e := p.engine
+	if p.detectEngine != nil {
+		e = p.detectEngine
+	}
+	e.Inspect(func(partition int, states *stream.StateMap) {
+		states.Range(func(key string, v any) bool {
+			if st, ok := v.(*coreOpState); ok && st.detector != nil {
+				s := st.detector.Stats()
+				total.LogsProcessed += s.LogsProcessed
+				total.LogsSkipped += s.LogsSkipped
+				total.EventsClosed += s.EventsClosed
+				total.EventsExpired += s.EventsExpired
+				total.Anomalies += s.Anomalies
+			}
+			return true
+		})
+	})
+	return total
+}
+
+// OpenStates counts the open (automaton, event) states held across all
+// partitions and sources — the memory the heartbeat-driven expiry of §V-B
+// keeps bounded. The count is taken at a micro-batch barrier, so it is
+// consistent.
+func (p *Pipeline) OpenStates() int {
+	total := 0
+	e := p.engine
+	if p.detectEngine != nil {
+		e = p.detectEngine
+	}
+	e.Inspect(func(partition int, states *stream.StateMap) {
+		states.Range(func(key string, v any) bool {
+			if st, ok := v.(*coreOpState); ok && st.detector != nil {
+				total += st.detector.OpenStates()
+			}
+			return true
+		})
+	})
+	return total
+}
+
+func (p *Pipeline) logmgrLag() int64 {
+	c, err := p.bus.NewConsumer("log-manager", agent.LogsTopic)
+	if err != nil {
+		return 0
+	}
+	return c.Lag()
+}
+
+// forward is the log manager's downstream hook.
+func (p *Pipeline) forward(l logtypes.Log) {
+	p.forwarded.Add(1)
+	p.engine.Send(stream.Record{Key: l.Source, Value: l, Time: l.Arrival})
+}
+
+// applyInstruction reacts to model-controller messages. Instructions with
+// a Source target that source's dedicated model slot.
+func (p *Pipeline) applyInstruction(ins modelmgr.Instruction) {
+	switch ins.Op {
+	case modelmgr.OpAdd, modelmgr.OpUpdate:
+		m, err := p.manager.Load(ins.ModelID)
+		if err != nil {
+			return
+		}
+		p.installModel(ins.Source, m)
+	case modelmgr.OpDelete:
+		p.mu.Lock()
+		var match bool
+		if ins.Source == "" {
+			match = p.current != nil && p.current.ID == ins.ModelID
+		} else {
+			m := p.bySource[ins.Source]
+			match = m != nil && m.ID == ins.ModelID
+		}
+		p.mu.Unlock()
+		if match {
+			p.installModel(ins.Source, nil)
+		}
+	}
+}
+
+// coreOpState is the per-partition processing state living in the
+// engine's state map: parser and detector instances bound to the current
+// model.
+type coreOpState struct {
+	model    *modelmgr.Model
+	parser   *parser.Parser
+	detector *seqdetect.Detector
+	volume   *volume.Detector // nil unless the model carries a profile
+}
+
+// operator is the per-record ProcessFunc: stateless parse, then stateful
+// sequence detection; heartbeats trigger open-state expiry. Each source
+// gets its own parser/detector state bound to its effective model (the
+// source's dedicated model, or the default).
+func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
+	source := rec.Key
+	if l, ok := rec.Value.(logtypes.Log); ok {
+		source = l.Source
+	}
+	m := p.effectiveModel(ctx, source)
+	if m == nil {
+		return nil // no model (yet, or deleted): detectors idle
+	}
+
+	key := "__op@" + source
+	sv, _ := ctx.States().Get(key)
+	st, _ := sv.(*coreOpState)
+	if st == nil {
+		// The detection-side preprocessor must match the training
+		// side (custom delimiters, split rules, timestamp formats),
+		// with a fresh per-partition cache.
+		pp := p.cfg.Builder.Preprocessor
+		if pp == nil {
+			pp = preprocess.New(nil, nil)
+		}
+		st = &coreOpState{
+			model:    m,
+			parser:   m.NewParser(pp.Clone()),
+			detector: m.NewDetector(p.cfg.Seq),
+		}
+		if m.Volume != nil {
+			st.volume = volume.New(m.Volume, p.cfg.Volume)
+		}
+		ctx.States().Put(key, st)
+	} else if st.model != m {
+		// Zero-downtime model swap: same parser/detector objects,
+		// state preserved, new rules.
+		st.parser.SetPatterns(m.Patterns)
+		st.detector.SetModel(m.Sequence)
+		switch {
+		case m.Volume == nil:
+			st.volume = nil
+		case st.volume == nil:
+			st.volume = volume.New(m.Volume, p.cfg.Volume)
+		default:
+			st.volume.SetProfile(m.Volume)
+		}
+		st.model = m
+	}
+
+	if rec.Heartbeat {
+		recs := st.detector.HeartbeatFor(rec.Key, rec.Time)
+		if st.volume != nil {
+			recs = append(recs, st.volume.Advance(rec.Time)...)
+		}
+		return wrapRecords(recs)
+	}
+
+	l, ok := rec.Value.(logtypes.Log)
+	if !ok {
+		return nil
+	}
+	pl, err := st.parser.Parse(l)
+	if err != nil {
+		p.unparsed.Add(1)
+		return []any{anomaly.Record{
+			Type:      anomaly.UnparsedLog,
+			Severity:  anomaly.Warning,
+			Reason:    "log matches no pattern",
+			Timestamp: l.Arrival,
+			Source:    l.Source,
+			Logs:      []logtypes.Log{l},
+		}}
+	}
+	if p.hb != nil && pl.HasTimestamp {
+		p.hb.Observe(l.Source, pl.Timestamp)
+	}
+	recs := st.detector.Process(pl)
+	if st.volume != nil {
+		recs = append(recs, st.volume.Process(pl)...)
+	}
+	return wrapRecords(recs)
+}
+
+// effectiveModel resolves the model serving a source via the worker's
+// broadcast cache: the source-dedicated variable when present, else the
+// default.
+func (p *Pipeline) effectiveModel(ctx *stream.Context, source string) *modelmgr.Model {
+	if source != "" {
+		if v, ok := ctx.Broadcast(modelIDFor(source)); ok {
+			if m, _ := v.(*modelmgr.Model); m != nil {
+				return m
+			}
+		}
+	}
+	v, ok := ctx.Broadcast(ModelBroadcastID)
+	if !ok {
+		return nil
+	}
+	m, _ := v.(*modelmgr.Model)
+	return m
+}
+
+func wrapRecords(recs []anomaly.Record) []any {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]any, len(recs))
+	for i, r := range recs {
+		out[i] = r
+	}
+	return out
+}
+
+// sink receives anomalies from the engine barrier, stores them, and runs
+// callbacks.
+func (p *Pipeline) sink(o any) {
+	rec, ok := o.(anomaly.Record)
+	if !ok {
+		return
+	}
+	p.anomalies.Add(1)
+	if !p.cfg.DisableAnomalyStorage {
+		p.store.Index(AnomaliesIndex).PutAuto(store.Document{
+			"type":      rec.Type.String(),
+			"severity":  rec.Severity.String(),
+			"reason":    rec.Reason,
+			"ts":        rec.Timestamp,
+			"source":    rec.Source,
+			"eventId":   rec.EventID,
+			"automaton": rec.AutomatonID,
+			"logCount":  len(rec.Logs),
+		})
+	}
+	p.mu.Lock()
+	cbs := p.callbacks
+	p.mu.Unlock()
+	for _, fn := range cbs {
+		fn(rec)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/datagen"
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+	"loglens/internal/store"
+)
+
+// TestPipelineEndToEndD1 streams the full D1 corpus through the real
+// service path — agent, bus, log manager, streaming engine, parser,
+// sequence detector, anomaly storage — and must find exactly the 21
+// ground-truth anomalies (Figure 4, over the deployed system rather than
+// the batch harness).
+func TestPipelineEndToEndD1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := datagen.D1(23)
+
+	p, err := New(Config{DisableHeartbeat: true}) // heartbeats injected deterministically below
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("d1", experiments.ToLogs("d1", c.Train)); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var records []anomaly.Record
+	p.OnAnomaly(func(r anomaly.Record) {
+		mu.Lock()
+		records = append(records, r)
+		mu.Unlock()
+	})
+
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := p.Agent("d1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range c.Test {
+		if err := ag.Send(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The final heartbeat reports the still-open (missing-end) events.
+	p.InjectHeartbeat("d1", c.Truth.LastLogTime.Add(24*time.Hour))
+	time.Sleep(50 * time.Millisecond) // one heartbeat record: give the engine a batch
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != c.Truth.TotalAnomalies {
+		for _, r := range records {
+			t.Logf("%s event=%s: %s", r.Type, r.EventID, r.Reason)
+		}
+		t.Fatalf("pipeline found %d anomalies, ground truth %d", len(records), c.Truth.TotalAnomalies)
+	}
+	if got := p.AnomalyCount(); got != uint64(c.Truth.TotalAnomalies) {
+		t.Errorf("AnomalyCount = %d", got)
+	}
+	if p.UnparsedCount() != 0 {
+		t.Errorf("unparsed = %d", p.UnparsedCount())
+	}
+	// Anomalies are queryable from the anomaly storage.
+	hits := p.Anomalies(store.Query{Term: map[string]any{"source": "d1"}})
+	if len(hits) != c.Truth.TotalAnomalies {
+		t.Errorf("anomaly storage has %d records", len(hits))
+	}
+}
+
+// TestPipelineZeroDowntimeModelUpdate exercises the §V-A path over the
+// service: a model update mid-stream must not lose records and must change
+// detection behaviour (the Table V deletion) without a restart.
+func TestPipelineZeroDowntimeModelUpdate(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train a trivial two-pattern model via the builder on synthetic
+	// event traces.
+	var train []string
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("ev-%04d", i)
+		t0 := base.Add(time.Duration(i*10) * time.Second)
+		train = append(train,
+			fmt.Sprintf("%s task %s start prio %d", t0.Format("2006/01/02 15:04:05.000"), id, i%5),
+			fmt.Sprintf("%s task %s done code %d", t0.Add(2*time.Second).Format("2006/01/02 15:04:05.000"), id, i%3),
+		)
+	}
+	model, _, err := p.Train("m1", experiments.ToLogs("tasks", train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Sequence.Automata) != 1 {
+		t.Fatalf("automata = %d, want 1", len(model.Sequence.Automata))
+	}
+
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := p.Agent("tasks", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a missing-begin trace under the full model -> anomaly.
+	send := func(line string) {
+		if err := ag.Send(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tt := base.Add(time.Hour)
+	send(fmt.Sprintf("%s task bad-1 done code 1", tt.Format("2006/01/02 15:04:05.000")))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnomalyCount(); got != 1 {
+		t.Fatalf("phase 1 anomalies = %d, want 1", got)
+	}
+
+	// Phase 2: delete the automaton through the model manager +
+	// controller (the real update path), then the same trace is
+	// silent.
+	m2 := model.Clone()
+	m2.ID = "m2"
+	m2.Sequence.Delete(m2.Sequence.Automata[0].ID)
+	if err := p.Manager().Save(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Controller().Announce(modelmgr.Instruction{Op: modelmgr.OpUpdate, ModelID: "m2"}); err != nil {
+		t.Fatal(err)
+	}
+	// The instruction flows through the control topic asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := p.Model(); m != nil && m.ID == "m2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("model update never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	tt = tt.Add(time.Minute)
+	send(fmt.Sprintf("%s task bad-2 done code 1", tt.Format("2006/01/02 15:04:05.000")))
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AnomalyCount(); got != 1 {
+		t.Fatalf("after deletion anomalies = %d, want still 1 (no restart, rules gone)", got)
+	}
+	if p.Engine().Metrics().UpdatesApplied == 0 {
+		t.Error("model update did not go through the rebroadcast path")
+	}
+}
+
+// TestPipelineUnparsedAnomaly checks the stateless path end to end.
+func TestPipelineUnparsedAnomaly(t *testing.T) {
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []string
+	for i := 0; i < 50; i++ {
+		train = append(train, fmt.Sprintf("service heartbeat seq %d", i))
+	}
+	if _, _, err := p.Train("m", experiments.ToLogs("s", train)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("s", 0)
+	ag.Send("service heartbeat seq 51")
+	ag.Send("kernel panic totally unexpected")
+	if err := p.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.UnparsedCount() != 1 {
+		t.Errorf("unparsed = %d, want 1", p.UnparsedCount())
+	}
+	hits := p.Anomalies(store.Query{Term: map[string]any{"type": anomaly.UnparsedLog.String()}})
+	if len(hits) != 1 {
+		t.Errorf("stored unparsed anomalies = %d", len(hits))
+	}
+}

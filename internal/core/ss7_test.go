@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/datagen"
+	"loglens/internal/experiments"
+)
+
+// TestPipelineSS7CaseStudy runs the §VII-B case study through the
+// deployed service rather than the batch harness: 994 spoofing anomalies
+// in 4 bursts must come out of the live pipeline's anomaly storage.
+func TestPipelineSS7CaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := datagen.SS7(0.01, 7)
+
+	p, err := New(Config{DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("ss7", experiments.ToLogs("ss7", c.Train)); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var records []anomaly.Record
+	p.OnAnomaly(func(r anomaly.Record) {
+		mu.Lock()
+		records = append(records, r)
+		mu.Unlock()
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := p.Agent("ss7", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range c.Test {
+		if err := ag.Send(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	p.InjectHeartbeat("ss7", c.Truth.LastLogTime.Add(time.Hour))
+	time.Sleep(50 * time.Millisecond)
+	if err := p.Drain(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) != c.Truth.Anomalies {
+		t.Fatalf("pipeline found %d anomalies, want %d", len(records), c.Truth.Anomalies)
+	}
+	for _, r := range records {
+		if r.Type != anomaly.MissingEnd {
+			t.Fatalf("non-spoofing anomaly leaked: %+v", r)
+		}
+	}
+	clusters := anomaly.Clusterize(records, 5*time.Minute)
+	if len(clusters) != c.Truth.Clusters {
+		t.Fatalf("clusters = %d, want %d", len(clusters), c.Truth.Clusters)
+	}
+}

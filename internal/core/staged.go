@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/logtypes"
+	"loglens/internal/preprocess"
+	"loglens/internal/stream"
+	"loglens/internal/volume"
+)
+
+// ParsedTopic is the bus topic carrying parsed logs between the parser
+// stage and the sequence-detector stage in the staged topology — the
+// Figure 1 deployment shape, where the log parser and the log sequence
+// anomaly detector are separate services communicating over Kafka.
+const ParsedTopic = "parsed"
+
+// parseOperator is the parser stage of the staged topology: stateless
+// parsing only. Parsed logs are emitted downstream; unparsed logs are
+// stateless anomalies.
+func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
+	l, ok := rec.Value.(logtypes.Log)
+	if !ok {
+		return nil // heartbeats bypass the parse stage
+	}
+	m := p.effectiveModel(ctx, l.Source)
+	if m == nil {
+		return nil
+	}
+
+	key := "__op@" + l.Source
+	sv, _ := ctx.States().Get(key)
+	st, _ := sv.(*coreOpState)
+	if st == nil {
+		pp := p.cfg.Builder.Preprocessor
+		if pp == nil {
+			pp = preprocess.New(nil, nil)
+		}
+		st = &coreOpState{model: m, parser: m.NewParser(pp.Clone())}
+		ctx.States().Put(key, st)
+	} else if st.model != m {
+		st.parser.SetPatterns(m.Patterns)
+		st.model = m
+	}
+
+	pl, err := st.parser.Parse(l)
+	if err != nil {
+		p.unparsed.Add(1)
+		return []any{anomaly.Record{
+			Type:      anomaly.UnparsedLog,
+			Severity:  anomaly.Warning,
+			Reason:    "log matches no pattern",
+			Timestamp: l.Arrival,
+			Source:    l.Source,
+			Logs:      []logtypes.Log{l},
+		}}
+	}
+	if p.hb != nil && pl.HasTimestamp {
+		p.hb.Observe(l.Source, pl.Timestamp)
+	}
+	return []any{pl}
+}
+
+// parseSink routes the parser stage's outputs: anomalies to the common
+// sink, parsed logs onto the bus for the detector stage.
+func (p *Pipeline) parseSink(o any) {
+	switch v := o.(type) {
+	case anomaly.Record:
+		p.sink(v)
+	case *logtypes.ParsedLog:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		p.bus.Publish(ParsedTopic, v.Source, data, nil)
+	}
+}
+
+// detectOperator is the detector stage: stateful sequence detection plus
+// the optional volume application, fed by parsed logs from the bus and by
+// heartbeat records.
+func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any {
+	source := rec.Key
+	if pl, ok := rec.Value.(*logtypes.ParsedLog); ok {
+		source = pl.Source
+	}
+	m := p.effectiveModel(ctx, source)
+	if m == nil {
+		return nil
+	}
+
+	key := "__op@" + source
+	sv, _ := ctx.States().Get(key)
+	st, _ := sv.(*coreOpState)
+	if st == nil {
+		st = &coreOpState{model: m, detector: m.NewDetector(p.cfg.Seq)}
+		if m.Volume != nil {
+			st.volume = volume.New(m.Volume, p.cfg.Volume)
+		}
+		ctx.States().Put(key, st)
+	} else if st.model != m {
+		st.detector.SetModel(m.Sequence)
+		switch {
+		case m.Volume == nil:
+			st.volume = nil
+		case st.volume == nil:
+			st.volume = volume.New(m.Volume, p.cfg.Volume)
+		default:
+			st.volume.SetProfile(m.Volume)
+		}
+		st.model = m
+	}
+
+	if rec.Heartbeat {
+		recs := st.detector.HeartbeatFor(rec.Key, rec.Time)
+		if st.volume != nil {
+			recs = append(recs, st.volume.Advance(rec.Time)...)
+		}
+		return wrapRecords(recs)
+	}
+	pl, ok := rec.Value.(*logtypes.ParsedLog)
+	if !ok {
+		return nil
+	}
+	recs := st.detector.Process(pl)
+	if st.volume != nil {
+		recs = append(recs, st.volume.Process(pl)...)
+	}
+	return wrapRecords(recs)
+}
+
+// pumpParsed consumes the parsed topic into the detector stage until the
+// consumer's context is done.
+func (p *Pipeline) pumpParsed(done <-chan struct{}) {
+	consumer, err := p.bus.NewConsumer("parsed-pump", ParsedTopic)
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-done:
+			// Final drain of anything already published.
+			for _, msg := range consumer.TryPoll(0) {
+				p.forwardParsed(msg.Value)
+			}
+			return
+		default:
+		}
+		msgs := consumer.TryPoll(0)
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for _, msg := range msgs {
+			p.forwardParsed(msg.Value)
+		}
+	}
+}
+
+func (p *Pipeline) forwardParsed(data []byte) {
+	var pl logtypes.ParsedLog
+	if err := json.Unmarshal(data, &pl); err != nil {
+		return
+	}
+	p.parsedForwarded.Add(1)
+	p.detectEngine.Send(stream.Record{Key: pl.Source, Value: &pl, Time: pl.EventTime()})
+}
+
+// parsedLag reports unconsumed parsed-topic messages.
+func (p *Pipeline) parsedLag() int64 {
+	c, err := p.bus.NewConsumer("parsed-pump", ParsedTopic)
+	if err != nil {
+		return 0
+	}
+	return c.Lag()
+}

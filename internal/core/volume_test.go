@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/experiments"
+	"loglens/internal/modelmgr"
+)
+
+// TestVolumeDetectorEndToEnd runs the third analytics application through
+// the full pipeline: a model with a learned rate profile flags a log-storm
+// window as a volume spike and a silent stretch (surfaced by heartbeats)
+// as a volume drop.
+func TestVolumeDetectorEndToEnd(t *testing.T) {
+	p, err := New(Config{
+		DisableHeartbeat: true, // heartbeats injected deterministically
+		Builder:          modelmgr.BuilderConfig{VolumeWindow: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Training: a steady 20 health logs per 10s window for 50 windows.
+	var train []string
+	for w := 0; w < 50; w++ {
+		for i := 0; i < 20; i++ {
+			ts := msBase.Add(time.Duration(w)*10*time.Second + time.Duration(i)*100*time.Millisecond)
+			train = append(train, fmt.Sprintf("%s worker heartbeat mem %d kb", msStamp(ts), 1000+w*20+i))
+		}
+	}
+	model, _, err := p.Train("vol", experiments.ToLogs("svc", train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Volume == nil || len(model.Volume.Stats) == 0 {
+		t.Fatal("volume profile not learned")
+	}
+
+	var spikes, drops int
+	p.OnAnomaly(func(r anomaly.Record) {
+		switch r.Type {
+		case anomaly.VolumeSpike:
+			spikes++
+		case anomaly.VolumeDrop:
+			drops++
+		default:
+			t.Errorf("unexpected anomaly %v: %s", r.Type, r.Reason)
+		}
+	})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, _ := p.Agent("svc", 0)
+
+	day := msBase.Add(24 * time.Hour)
+	send := func(w, count int) {
+		for i := 0; i < count; i++ {
+			ts := day.Add(time.Duration(w)*10*time.Second + time.Duration(i)*10*time.Millisecond)
+			ag.Send(fmt.Sprintf("%s worker heartbeat mem %d kb", msStamp(ts), 5000+i))
+		}
+	}
+	send(0, 20)  // normal
+	send(1, 300) // storm
+	send(2, 20)  // normal
+	// windows 3,4: silence; a heartbeat at window 5 surfaces them.
+	p.InjectHeartbeat("svc", day.Add(50*time.Second))
+	if err := p.Drain(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	if spikes != 1 {
+		t.Errorf("spikes = %d, want 1", spikes)
+	}
+	if drops < 2 {
+		t.Errorf("drops = %d, want the silent windows flagged", drops)
+	}
+}

@@ -1,0 +1,280 @@
+// Package dashboard is the visualization component of §II: an HTTP server
+// over the log, model, and anomaly storages. It serves a JSON API for
+// ad-hoc queries (anomaly listings, histograms, model inventory — the
+// queries the paper runs through Elasticsearch/Kibana) and a minimal HTML
+// front page summarizing system health.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"loglens/internal/core"
+	"loglens/internal/modelmgr"
+	"loglens/internal/store"
+)
+
+// Server serves the dashboard over a pipeline's storage.
+type Server struct {
+	pipeline *core.Pipeline
+	mux      *http.ServeMux
+}
+
+// New builds a dashboard server for the pipeline.
+func New(p *core.Pipeline) *Server {
+	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("/api/anomalies/histogram", s.handleHistogram)
+	s.mux.HandleFunc("/api/anomalies/by-type", s.handleByType)
+	s.mux.HandleFunc("/api/models", s.handleModels)
+	s.mux.HandleFunc("/api/models/dot", s.handleModelDOT)
+	s.mux.HandleFunc("/api/patterns", s.handlePatterns)
+	s.mux.HandleFunc("/api/sources", s.handleSources)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleAnomalies lists anomalies, filterable by type, source, severity,
+// and time range, newest first.
+//
+//	GET /api/anomalies?type=missing-end-state&source=d1&since=RFC3339&limit=100
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	q := store.Query{Term: map[string]any{}, SortBy: "ts", Desc: true}
+	for _, f := range []string{"type", "source", "severity"} {
+		if v := r.URL.Query().Get(f); v != "" {
+			q.Term[f] = v
+		}
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad since: %v", err)
+			return
+		}
+		q.RangeField, q.RangeMin = "ts", t
+	}
+	if v := r.URL.Query().Get("until"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad until: %v", err)
+			return
+		}
+		if q.RangeField == "" {
+			q.RangeField = "ts"
+		}
+		q.RangeMax = t
+	}
+	q.Limit = 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		q.Limit = n
+	}
+	hits := s.pipeline.Store().Index(core.AnomaliesIndex).Search(q)
+	docs := make([]store.Document, 0, len(hits))
+	for _, h := range hits {
+		docs = append(docs, h.Doc)
+	}
+	writeJSON(w, map[string]any{"total": len(docs), "anomalies": docs})
+}
+
+// handleHistogram buckets anomalies over time.
+//
+//	GET /api/anomalies/histogram?interval=10m&type=missing-end-state
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	interval := 10 * time.Minute
+	if v := r.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad interval %q", v)
+			return
+		}
+		interval = d
+	}
+	q := store.Query{Term: map[string]any{}}
+	if v := r.URL.Query().Get("type"); v != "" {
+		q.Term["type"] = v
+	}
+	times, counts := s.pipeline.Store().Index(core.AnomaliesIndex).Histogram(q, "ts", interval)
+	buckets := make([]map[string]any, len(times))
+	for i := range times {
+		buckets[i] = map[string]any{"start": times[i], "count": counts[i]}
+	}
+	writeJSON(w, map[string]any{"interval": interval.String(), "buckets": buckets})
+}
+
+// handleByType aggregates anomalies by type (optionally within a source).
+//
+//	GET /api/anomalies/by-type?source=d1
+func (s *Server) handleByType(w http.ResponseWriter, r *http.Request) {
+	q := store.Query{Term: map[string]any{}}
+	if v := r.URL.Query().Get("source"); v != "" {
+		q.Term["source"] = v
+	}
+	buckets := s.pipeline.Store().Index(core.AnomaliesIndex).Terms(q, "type", 0)
+	out := make([]map[string]any, len(buckets))
+	for i, b := range buckets {
+		out[i] = map[string]any{"type": b.Value, "count": b.Count}
+	}
+	writeJSON(w, map[string]any{"types": out})
+}
+
+// handleModels lists stored models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	hits := s.pipeline.Store().Index(modelmgr.ModelsIndex).Search(store.Query{SortBy: "createdAt", Desc: true})
+	models := make([]map[string]any, 0, len(hits))
+	for _, h := range hits {
+		models = append(models, map[string]any{
+			"id":        h.Doc["id"],
+			"createdAt": h.Doc["createdAt"],
+			"patterns":  h.Doc["patterns"],
+			"automata":  h.Doc["automata"],
+		})
+	}
+	writeJSON(w, map[string]any{"models": models})
+}
+
+// handleModelDOT renders a stored model's automata as Graphviz (the
+// Figure 3 view).
+//
+//	GET /api/models/dot?id=my-model
+func (s *Server) handleModelDOT(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "id is required")
+		return
+	}
+	m, err := s.pipeline.Manager().Load(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "model %q: %v", id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, m.Sequence.DOT())
+}
+
+// handlePatterns lists the default model's patterns with live per-pattern
+// parse counts — which patterns carry traffic and which are dead.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	m := s.pipeline.Model()
+	if m == nil {
+		writeJSON(w, map[string]any{"patterns": []any{}})
+		return
+	}
+	counts := s.pipeline.PatternCounts()
+	out := make([]map[string]any, 0, m.Patterns.Len())
+	for _, pat := range m.Patterns.Patterns() {
+		out = append(out, map[string]any{
+			"id":     pat.ID,
+			"grok":   pat.String(),
+			"parsed": counts[pat.ID],
+		})
+	}
+	writeJSON(w, map[string]any{"patterns": out})
+}
+
+// handleSources lists known log sources with archived-log and anomaly
+// counts and the model serving each (archived counts require ArchiveLogs).
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	var out []map[string]any
+	seen := map[string]bool{}
+	for _, name := range s.pipeline.Store().Indices() {
+		const prefix = "logs-"
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		source := name[len(prefix):]
+		seen[source] = true
+		entry := map[string]any{
+			"source":    source,
+			"logs":      s.pipeline.Store().Index(name).Count(),
+			"anomalies": s.pipeline.Store().Index(core.AnomaliesIndex).CountWhere(store.Query{Term: map[string]any{"source": source}}),
+		}
+		if m := s.pipeline.ModelFor(source); m != nil {
+			entry["model"] = m.ID
+		}
+		out = append(out, entry)
+	}
+	// Sources seen only through anomalies (archiving off).
+	for _, b := range s.pipeline.Store().Index(core.AnomaliesIndex).Terms(store.Query{}, "source", 0) {
+		if seen[b.Value] {
+			continue
+		}
+		entry := map[string]any{"source": b.Value, "logs": 0, "anomalies": b.Count}
+		if m := s.pipeline.ModelFor(b.Value); m != nil {
+			entry["model"] = m.ID
+		}
+		out = append(out, entry)
+	}
+	writeJSON(w, map[string]any{"sources": out})
+}
+
+// handleStats summarizes pipeline activity.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.pipeline.Engine().Metrics()
+	det := s.pipeline.DetectorStats()
+	writeJSON(w, map[string]any{
+		"anomalies":      s.pipeline.AnomalyCount(),
+		"unparsed":       s.pipeline.UnparsedCount(),
+		"batches":        m.Batches,
+		"records":        m.Records,
+		"modelUpdates":   m.UpdatesApplied,
+		"updateBlocked":  m.UpdateBlocked.String(),
+		"broadcastPulls": m.BroadcastPulls,
+		"openStates":     s.pipeline.OpenStates(),
+		"eventsClosed":   det.EventsClosed,
+		"eventsExpired":  det.EventsExpired,
+	})
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
+<html><head><title>LogLens</title></head><body>
+<h1>LogLens</h1>
+<p>{{.Anomalies}} anomalies reported ({{.Unparsed}} unparsed logs), {{.Records}} records over {{.Batches}} micro-batches.</p>
+<ul>
+<li><a href="/api/anomalies">anomalies</a></li>
+<li><a href="/api/anomalies/histogram">anomaly histogram</a></li>
+<li><a href="/api/models">models</a></li>
+<li><a href="/api/stats">stats</a></li>
+</ul>
+</body></html>`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	m := s.pipeline.Engine().Metrics()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	indexTmpl.Execute(w, map[string]any{
+		"Anomalies": s.pipeline.AnomalyCount(),
+		"Unparsed":  s.pipeline.UnparsedCount(),
+		"Records":   m.Records,
+		"Batches":   m.Batches,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,167 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// d1Base and d2Base anchor the embedded timestamps.
+var (
+	d1Base = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	d2Base = time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+)
+
+// fillerLine renders the padding pattern shared by the sequence datasets:
+// a health log that belongs to no event workflow.
+func fillerLine(pool []string) func(rng *rand.Rand, t time.Time) string {
+	return func(rng *rand.Rand, t time.Time) string {
+		return fmt.Sprintf("%s %s sys health ok mem %d kb", ts(t), pick(rng, pool), 1000+rng.Intn(900000))
+	}
+}
+
+// D1 generates the trace-log dataset of Table III: 16,000 training and
+// 16,000 testing lines, two event types (job and volume workflows — two
+// automata, as in Table V), and exactly 21 anomalous sequences in the test
+// stream of which 1 is a missing-end anomaly (Figures 4 and 5: 21 vs 20).
+//
+// Per-type ground truth (Table V: deleting the volume automaton leaves
+// 13): job = 13 anomalies (4 missing-intermediate, 4 occurrence, 4
+// duration, 1 missing-end), volume = 8 (4 missing-begin, 4 duration).
+func D1(seed int64) Corpus {
+	ips := ipPool(6)
+	job := &seqType{
+		label:    "job",
+		idPrefix: "jb-",
+		steps: []func(rng *rand.Rand, id string, t time.Time) string{
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s job %s submitted queue q%d", ts(t), pick(rng, ips), id, rng.Intn(4)+1)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s job %s scheduled on host h%d", ts(t), pick(rng, ips), id, rng.Intn(40)+1)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s job %s completed rc %d", ts(t), pick(rng, ips), id, rng.Intn(3))
+			},
+		},
+		repeatStep: 1,
+		minGap:     1,
+		maxGap:     3,
+	}
+	volume := &seqType{
+		label:    "volume",
+		idPrefix: "vl-",
+		steps: []func(rng *rand.Rand, id string, t time.Time) string{
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s volume %s attach requested size %d gb", ts(t), pick(rng, ips), id, 8*(rng.Intn(32)+1))
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s volume %s attach completed lun %d", ts(t), pick(rng, ips), id, rng.Intn(64))
+			},
+		},
+		repeatStep: -1,
+		minGap:     1,
+		maxGap:     3,
+	}
+
+	anomalies := []anomalySpec{}
+	for i := 0; i < 4; i++ {
+		anomalies = append(anomalies,
+			anomalySpec{0, anomMissingIntermediate},
+			anomalySpec{0, anomOccurrence},
+			anomalySpec{0, anomDurationSlow},
+			anomalySpec{1, anomMissingBegin},
+			anomalySpec{1, anomDurationSlow},
+		)
+	}
+	anomalies = append(anomalies, anomalySpec{0, anomMissingEnd})
+
+	return buildSequenceCorpus("D1", []*seqType{job, volume},
+		16000, 16000, anomalies, fillerLine(ips), d1Base, seed)
+}
+
+// D2 generates the synthetic dataset of Table III: 18,000/18,000 lines,
+// three event types (three automata, as in Table V), and exactly 13
+// anomalous test sequences of which 3 are missing-end anomalies (Figures 4
+// and 5: 13 vs 10).
+//
+// Per-type ground truth (Table V: deleting the backup automaton leaves 9):
+// deploy = 5 (2 missing-end, 1 missing-intermediate, 1 occurrence, 1
+// duration-fast), migrate = 4 (1 missing-end, 1 missing-intermediate, 1
+// occurrence, 1 duration), backup = 4 (2 missing-begin, 2 duration).
+func D2(seed int64) Corpus {
+	ips := ipPool(5)
+	deploy := &seqType{
+		label:    "deploy",
+		idPrefix: "dp-",
+		steps: []func(rng *rand.Rand, id string, t time.Time) string{
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s deploy %s requested build b%d", ts(t), pick(rng, ips), id, rng.Intn(500)+1)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s deploy %s pushing image layer %d", ts(t), pick(rng, ips), id, rng.Intn(12)+1)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s deploy %s activated replicas %d", ts(t), pick(rng, ips), id, rng.Intn(8)+1)
+			},
+		},
+		repeatStep: 1,
+		minGap:     1,
+		maxGap:     3,
+	}
+	migrate := &seqType{
+		label:    "migrate",
+		idPrefix: "mg-",
+		steps: []func(rng *rand.Rand, id string, t time.Time) string{
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s migrate %s precopy started pages %d", ts(t), pick(rng, ips), id, rng.Intn(90000)+1000)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s migrate %s memory sync round %d", ts(t), pick(rng, ips), id, rng.Intn(9)+1)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s migrate %s switchover pause %d ms", ts(t), pick(rng, ips), id, rng.Intn(400)+20)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s migrate %s finished on node n%d", ts(t), pick(rng, ips), id, rng.Intn(30)+1)
+			},
+		},
+		repeatStep: 1,
+		minGap:     1,
+		maxGap:     3,
+	}
+	backup := &seqType{
+		label:    "backup",
+		idPrefix: "bk-",
+		steps: []func(rng *rand.Rand, id string, t time.Time) string{
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s backup %s snapshot taken bytes %d", ts(t), pick(rng, ips), id, rng.Intn(1<<28)+1024)
+			},
+			func(rng *rand.Rand, id string, t time.Time) string {
+				return fmt.Sprintf("%s %s backup %s uploaded chunks %d", ts(t), pick(rng, ips), id, rng.Intn(2000)+1)
+			},
+		},
+		repeatStep: -1,
+		minGap:     1,
+		maxGap:     3,
+	}
+
+	anomalies := []anomalySpec{
+		{0, anomMissingEnd},
+		{0, anomMissingEnd},
+		{0, anomMissingIntermediate},
+		{0, anomOccurrence},
+		{0, anomDurationFast},
+		{1, anomMissingEnd},
+		{1, anomMissingIntermediate},
+		{1, anomOccurrence},
+		{1, anomDurationSlow},
+		{2, anomMissingBegin},
+		{2, anomMissingBegin},
+		{2, anomDurationSlow},
+		{2, anomDurationSlow},
+	}
+
+	return buildSequenceCorpus("D2", []*seqType{deploy, migrate, backup},
+		18000, 18000, anomalies, fillerLine(ips), d2Base, seed)
+}

@@ -1,0 +1,99 @@
+// Package datagen generates the evaluation corpora of §VI–§VII. The
+// original datasets (Table III) are proprietary or unavailable, so each
+// generator reproduces the published corpus *statistics* that the
+// experiments depend on: log counts, pattern-set cardinality, event
+// structure, timestamp-format mix, and — for the sequence datasets — the
+// exact ground-truth anomaly counts (D1: 21, D2: 13, SS7: 994).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Corpus is one generated dataset.
+type Corpus struct {
+	// Name is the dataset label (D1..D6, ss7, customapp).
+	Name string
+	// Train and Test are the raw log lines of each phase. Datasets used
+	// only for parsing benchmarks put the same lines in both (the
+	// paper's train==test sanity methodology for Table IV).
+	Train []string
+	Test  []string
+	// ExpectedPatterns is the number of GROK patterns discovery should
+	// find (Table IV's "Total Patterns" column).
+	ExpectedPatterns int
+	// Truth carries sequence-anomaly ground truth (nil for parsing-only
+	// corpora).
+	Truth *SequenceTruth
+}
+
+// SequenceTruth is the injected ground truth of a sequence dataset.
+type SequenceTruth struct {
+	// TotalAnomalies is the number of anomalous event sequences
+	// (Figure 4's ground truth).
+	TotalAnomalies int
+	// MissingEnd is how many of them never reach their end state and
+	// are only detectable with heartbeats (Figure 5's gap).
+	MissingEnd int
+	// ByType records per-event-type truth, keyed by type label.
+	ByType map[string]TypeTruth
+	// AnomalousEvents holds the event IDs of every injected anomalous
+	// trace, so harnesses can verify detections event by event
+	// (precision as well as recall).
+	AnomalousEvents map[string]bool
+	// LastLogTime is the latest embedded timestamp in the test stream;
+	// harnesses inject the final heartbeat after it.
+	LastLogTime time.Time
+}
+
+// TypeTruth is the ground truth of one event type.
+type TypeTruth struct {
+	// Anomalies is the number of anomalous sequences of this type.
+	Anomalies int
+	// MissingEnd is how many of them are missing-end anomalies.
+	MissingEnd int
+	// ProbeLine is a sample line of this type's begin state, used by
+	// harnesses to locate the corresponding learned automaton (parse
+	// the probe, look up the automaton containing its pattern).
+	ProbeLine string
+}
+
+// ts renders a timestamp in the unified DATETIME format the generators
+// emit.
+func ts(t time.Time) string {
+	return t.Format("2006/01/02 15:04:05.000")
+}
+
+// alphaWord encodes n as a lower-case letter string ("a".."z", "ba", ...),
+// producing WORD-typed tokens that are unique per n. Distinct WORD
+// literals are the strongest template separators for pattern discovery.
+func alphaWord(n int) string {
+	if n == 0 {
+		return "a"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append(buf, byte('a'+n%26))
+		n /= 26
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return string(buf)
+}
+
+// pick returns a pseudo-random element of pool.
+func pick[T any](rng *rand.Rand, pool []T) T {
+	return pool[rng.Intn(len(pool))]
+}
+
+// ipPool builds n distinct IPv4 addresses.
+func ipPool(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.%d.%d.%d", (i/250)%250, i%250, i%200+1)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+)
+
+func TestAlphaWord(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		w := alphaWord(i)
+		if w == "" {
+			t.Fatalf("alphaWord(%d) empty", i)
+		}
+		for j := 0; j < len(w); j++ {
+			if w[j] < 'a' || w[j] > 'z' {
+				t.Fatalf("alphaWord(%d) = %q not a pure word", i, w)
+			}
+		}
+		if seen[w] {
+			t.Fatalf("alphaWord(%d) = %q repeats", i, w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestD1Shape(t *testing.T) {
+	c := D1(42)
+	if len(c.Train) != 16000 || len(c.Test) != 16000 {
+		t.Fatalf("sizes = %d/%d, want 16000/16000 (Table III)", len(c.Train), len(c.Test))
+	}
+	if c.Truth.TotalAnomalies != 21 {
+		t.Errorf("ground truth = %d, want 21 (Figure 4)", c.Truth.TotalAnomalies)
+	}
+	if c.Truth.MissingEnd != 1 {
+		t.Errorf("missing-end = %d, want 1 (Figure 5: 20 vs 21)", c.Truth.MissingEnd)
+	}
+	if got := c.Truth.ByType["job"].Anomalies; got != 13 {
+		t.Errorf("job anomalies = %d, want 13 (Table V)", got)
+	}
+	if got := c.Truth.ByType["volume"].Anomalies; got != 8 {
+		t.Errorf("volume anomalies = %d, want 8 (Table V)", got)
+	}
+	for label, tt := range c.Truth.ByType {
+		if tt.ProbeLine == "" {
+			t.Errorf("type %s has no probe line", label)
+		}
+	}
+	if c.Truth.LastLogTime.IsZero() {
+		t.Error("LastLogTime unset")
+	}
+}
+
+func TestD2Shape(t *testing.T) {
+	c := D2(42)
+	if len(c.Train) != 18000 || len(c.Test) != 18000 {
+		t.Fatalf("sizes = %d/%d, want 18000/18000 (Table III)", len(c.Train), len(c.Test))
+	}
+	if c.Truth.TotalAnomalies != 13 {
+		t.Errorf("ground truth = %d, want 13 (Figure 4)", c.Truth.TotalAnomalies)
+	}
+	if c.Truth.MissingEnd != 3 {
+		t.Errorf("missing-end = %d, want 3 (Figure 5: 10 vs 13)", c.Truth.MissingEnd)
+	}
+	if got := c.Truth.ByType["backup"].Anomalies; got != 4 {
+		t.Errorf("backup anomalies = %d, want 4 (Table V: 13 -> 9)", got)
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	for _, c := range []Corpus{D1(7), D2(7)} {
+		checkOrdered(t, c.Name+"/train", c.Train)
+		checkOrdered(t, c.Name+"/test", c.Test)
+	}
+}
+
+func checkOrdered(t *testing.T, name string, lines []string) {
+	t.Helper()
+	var prev time.Time
+	for i, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			t.Fatalf("%s: line %d malformed: %q", name, i, line)
+		}
+		stamp, err := time.Parse("2006/01/02 15:04:05.000", f[0]+" "+f[1])
+		if err != nil {
+			t.Fatalf("%s: line %d bad timestamp: %q", name, i, line)
+		}
+		if stamp.Before(prev) {
+			t.Fatalf("%s: line %d out of order", name, i)
+		}
+		prev = stamp
+	}
+}
+
+// TestD1ModelDiscovery runs the real model builder over D1 training data
+// and checks the discovered structures match the corpus design: 6 patterns
+// (3 job steps, 2 volume steps, 1 filler) and 2 automata.
+func TestD1ModelDiscovery(t *testing.T) {
+	c := D1(1)
+	logs := toLogs(c.Train)
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{})
+	m, report, err := builder.Build("d1", logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns != c.ExpectedPatterns {
+		for _, p := range m.Patterns.Patterns() {
+			t.Logf("pattern %d: %s", p.ID, p.String())
+		}
+		t.Fatalf("discovered %d patterns, want %d", report.Patterns, c.ExpectedPatterns)
+	}
+	if report.UnparsedTraining != 0 {
+		t.Errorf("unparsed training logs = %d, want 0", report.UnparsedTraining)
+	}
+	if report.Automata != 2 {
+		for _, a := range m.Sequence.Automata {
+			t.Logf("automaton %d key %s traces %d", a.ID, a.Key, a.Traces)
+		}
+		t.Fatalf("automata = %d, want 2 (Table V)", report.Automata)
+	}
+}
+
+func TestD2ModelDiscovery(t *testing.T) {
+	c := D2(1)
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{})
+	m, report, err := builder.Build("d2", toLogs(c.Train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns != c.ExpectedPatterns {
+		for _, p := range m.Patterns.Patterns() {
+			t.Logf("pattern %d: %s", p.ID, p.String())
+		}
+		t.Fatalf("discovered %d patterns, want %d", report.Patterns, c.ExpectedPatterns)
+	}
+	if report.Automata != 3 {
+		for _, a := range m.Sequence.Automata {
+			t.Logf("automaton %d key %s traces %d", a.ID, a.Key, a.Traces)
+		}
+		t.Fatalf("automata = %d, want 3 (Table V)", report.Automata)
+	}
+}
+
+func TestTableIVCorpusShape(t *testing.T) {
+	spec := TableIVSpec{Name: "mini", Patterns: 40, Logs: 4000}
+	c := TableIVCorpus(spec, 1, 9)
+	if len(c.Train) != 4000 {
+		t.Fatalf("logs = %d", len(c.Train))
+	}
+	// Every template occurs.
+	distinct := map[string]bool{}
+	for _, line := range c.Train {
+		f := strings.Fields(line)
+		// Token 3 is the unique svc word (after the 2-token
+		// timestamp).
+		distinct[f[3]] = true
+	}
+	if len(distinct) != 40 {
+		t.Fatalf("distinct templates seen = %d, want 40", len(distinct))
+	}
+}
+
+// TestTableIVDiscoveryExact verifies pattern discovery recovers exactly
+// the template population on a scaled-down corpus.
+func TestTableIVDiscoveryExact(t *testing.T) {
+	spec := TableIVSpec{Name: "mini", Patterns: 120, Logs: 6000}
+	c := TableIVCorpus(spec, 1, 3)
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{SkipSequence: true})
+	_, report, err := builder.Build("mini", toLogs(c.Train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns != 120 {
+		t.Fatalf("discovered %d patterns, want 120", report.Patterns)
+	}
+	if report.UnparsedTraining != 0 {
+		t.Errorf("unparsed = %d", report.UnparsedTraining)
+	}
+}
+
+func TestSS7Shape(t *testing.T) {
+	c := SS7(0.01, 5)
+	if c.Truth.Anomalies != 994 {
+		t.Errorf("anomalies = %d, want 994", c.Truth.Anomalies)
+	}
+	if c.Truth.Clusters != 4 || len(c.Truth.ClusterStarts) != 4 {
+		t.Errorf("clusters = %d", c.Truth.Clusters)
+	}
+	// Attack sequences: exactly 994 ids with 2 lines and no
+	// InvokeUpdateLocation.
+	byID := map[string][]string{}
+	for _, line := range c.Test {
+		f := strings.Fields(line)
+		// f: date time SS7 <op> imsi <id> vlr ...
+		byID[f[5]] = append(byID[f[5]], f[3])
+	}
+	attacks := 0
+	for _, ops := range byID {
+		hasEnd := false
+		for _, op := range ops {
+			if op == "InvokeUpdateLocation" {
+				hasEnd = true
+			}
+		}
+		if !hasEnd {
+			attacks++
+		}
+	}
+	if attacks != 994 {
+		t.Errorf("attack sequences in corpus = %d, want 994", attacks)
+	}
+	checkOrdered(t, "ss7/test", c.Test)
+}
+
+func TestCustomAppShape(t *testing.T) {
+	c := CustomApp(7340, 2)
+	if len(c.Train) != 7340 {
+		t.Fatalf("logs = %d", len(c.Train))
+	}
+	if c.ExpectedPatterns != 367 {
+		t.Fatalf("expected patterns = %d", c.ExpectedPatterns)
+	}
+}
+
+// TestCustomAppDiscoveryExact verifies the §VII-A claim shape: discovery
+// yields exactly 367 patterns.
+func TestCustomAppDiscoveryExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := CustomApp(3670, 2)
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{SkipSequence: true})
+	_, report, err := builder.Build("customapp", toLogs(c.Train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Patterns != 367 {
+		t.Fatalf("discovered %d patterns, want 367 (§VII-A)", report.Patterns)
+	}
+}
+
+func toLogs(lines []string) []logtypes.Log {
+	out := make([]logtypes.Log, len(lines))
+	for i, line := range lines {
+		out[i] = logtypes.Log{Source: "test", Seq: uint64(i + 1), Raw: line}
+	}
+	return out
+}
+
+func TestAnomalousEventIDsRecorded(t *testing.T) {
+	for _, c := range []Corpus{D1(3), D2(3)} {
+		if len(c.Truth.AnomalousEvents) != c.Truth.TotalAnomalies {
+			t.Errorf("%s: %d anomalous IDs recorded, want %d",
+				c.Name, len(c.Truth.AnomalousEvents), c.Truth.TotalAnomalies)
+		}
+		// Every recorded ID appears in the test stream.
+		joined := strings.Join(c.Test, "\n")
+		for id := range c.Truth.AnomalousEvents {
+			if !strings.Contains(joined, id) {
+				t.Errorf("%s: anomalous event %s missing from the stream", c.Name, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seqType describes one event type of a sequence dataset: its step
+// templates, which step may repeat, and the gap distribution between
+// steps. Step templates take (id, timestamp) and render one line; variable
+// slots must never be pure-word values, so value variation does not split
+// patterns.
+type seqType struct {
+	label      string
+	idPrefix   string
+	steps      []func(rng *rand.Rand, id string, t time.Time) string
+	repeatStep int // index that may occur twice in normal traces (-1 = none)
+	minGap     int // seconds
+	maxGap     int // seconds
+}
+
+// timedLine is a rendered log line with its embedded timestamp, for global
+// time-ordering before emission.
+type timedLine struct {
+	t    time.Time
+	line string
+}
+
+// anomalyKind enumerates the injectable violations.
+type anomalyKind int
+
+const (
+	anomNone anomalyKind = iota
+	anomMissingIntermediate
+	anomOccurrence
+	anomDurationSlow
+	anomDurationFast
+	anomMissingBegin
+	anomMissingEnd
+)
+
+// emitTrace renders one event trace. gapsOverride, when non-nil, fixes the
+// per-step gaps (seconds).
+func (et *seqType) emitTrace(rng *rand.Rand, id string, start time.Time, kind anomalyKind, repeats int) []timedLine {
+	// Build the step index sequence.
+	var seq []int
+	for i := range et.steps {
+		seq = append(seq, i)
+		if i == et.repeatStep {
+			for r := 1; r < repeats; r++ {
+				seq = append(seq, i)
+			}
+		}
+	}
+	switch kind {
+	case anomMissingIntermediate:
+		// Drop one required middle step.
+		mid := len(et.steps) / 2
+		var trimmed []int
+		for _, s := range seq {
+			if s != mid || mid == 0 || mid == len(et.steps)-1 {
+				trimmed = append(trimmed, s)
+			}
+		}
+		seq = trimmed
+	case anomOccurrence:
+		// The repeating step occurs far beyond the learned max.
+		step := et.repeatStep
+		if step < 0 {
+			step = len(et.steps) / 2
+		}
+		var burst []int
+		for _, s := range seq {
+			burst = append(burst, s)
+			if s == step {
+				for r := 0; r < 4; r++ {
+					burst = append(burst, s)
+				}
+			}
+		}
+		seq = dedupeRuns(burst, step, 5)
+	case anomMissingBegin:
+		seq = seq[1:]
+	case anomMissingEnd:
+		seq = seq[:len(seq)-1]
+	}
+
+	// Gap schedule.
+	gap := func() time.Duration {
+		return time.Duration(et.minGap+rng.Intn(et.maxGap-et.minGap+1)) * time.Second
+	}
+	switch kind {
+	case anomDurationSlow:
+		// Stretch every gap to 2x the normal maximum: total duration
+		// far above the learned max yet inside the expiry window.
+		gap = func() time.Duration { return time.Duration(et.maxGap*2) * time.Second }
+	case anomDurationFast:
+		gap = func() time.Duration { return 0 }
+	case anomMissingIntermediate:
+		// Keep the duration unquestionably normal so the missing
+		// state is the only violation.
+		mid := time.Duration(et.minGap+1) * time.Second
+		gap = func() time.Duration { return mid }
+	case anomOccurrence:
+		g := time.Duration(et.minGap) * time.Second
+		gap = func() time.Duration { return g }
+	}
+
+	out := make([]timedLine, 0, len(seq))
+	t := start
+	for i, s := range seq {
+		if i > 0 {
+			t = t.Add(gap())
+		}
+		out = append(out, timedLine{t: t, line: et.steps[s](rng, id, t)})
+	}
+	return out
+}
+
+// dedupeRuns caps runs of step in seq at n occurrences total.
+func dedupeRuns(seq []int, step, n int) []int {
+	count := 0
+	var out []int
+	for _, s := range seq {
+		if s == step {
+			count++
+			if count > n {
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// boundaryTraces emits deterministic traces pinning the learned min/max
+// statistics: all-min gaps without repeats, and all-max gaps with the
+// normal maximum repeats.
+func (et *seqType) boundaryTraces(rng *rand.Rand, idSeq *int, start time.Time) []timedLine {
+	var out []timedLine
+	for r := 0; r < 20; r++ {
+		// All-min, no repeat.
+		id := fmt.Sprintf("%s%06d", et.idPrefix, *idSeq)
+		*idSeq++
+		t := start.Add(time.Duration(r*40) * time.Second)
+		seq := make([]int, len(et.steps))
+		for i := range seq {
+			seq[i] = i
+		}
+		tt := t
+		for i, s := range seq {
+			if i > 0 {
+				tt = tt.Add(time.Duration(et.minGap) * time.Second)
+			}
+			out = append(out, timedLine{t: tt, line: et.steps[s](rng, id, tt)})
+		}
+		// All-max, with repeat (when the type has one).
+		id = fmt.Sprintf("%s%06d", et.idPrefix, *idSeq)
+		*idSeq++
+		t = start.Add(time.Duration(r*40+20) * time.Second)
+		var rseq []int
+		for i := range et.steps {
+			rseq = append(rseq, i)
+			if i == et.repeatStep {
+				rseq = append(rseq, i)
+			}
+		}
+		tt = t
+		for i, s := range rseq {
+			if i > 0 {
+				tt = tt.Add(time.Duration(et.maxGap) * time.Second)
+			}
+			out = append(out, timedLine{t: tt, line: et.steps[s](rng, id, tt)})
+		}
+	}
+	return out
+}
+
+// seqDataset renders a full sequence dataset: training (normal traces plus
+// boundary traces) and testing (normal traces plus the injected anomaly
+// schedule), both padded with filler lines to the exact target sizes.
+type anomalySpec struct {
+	typeIdx int
+	kind    anomalyKind
+}
+
+func buildSequenceCorpus(name string, types []*seqType, trainLines, testLines int, anomalies []anomalySpec, filler func(rng *rand.Rand, t time.Time) string, base time.Time, seed int64) Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	idSeq := 1
+
+	truth := &SequenceTruth{
+		ByType:          make(map[string]TypeTruth),
+		AnomalousEvents: make(map[string]bool),
+	}
+
+	// Reserve ~3% of each phase for filler lines, so the filler pattern
+	// is always present in both phases (otherwise test fillers would
+	// surface as spurious unparsed-log anomalies).
+	trainTarget := trainLines - trainLines/33
+	testTarget := testLines - testLines/33
+
+	// Training: boundary traces then random normal traces.
+	var train []timedLine
+	for _, et := range types {
+		train = append(train, et.boundaryTraces(rng, &idSeq, base)...)
+	}
+	cursor := base.Add(20 * time.Minute)
+	for len(train) < trainTarget-1 {
+		et := types[rng.Intn(len(types))]
+		id := fmt.Sprintf("%s%06d", et.idPrefix, idSeq)
+		idSeq++
+		repeats := 1
+		if et.repeatStep >= 0 && rng.Intn(2) == 0 {
+			repeats = 2
+		}
+		tr := et.emitTrace(rng, id, cursor, anomNone, repeats)
+		if len(train)+len(tr) > trainTarget {
+			break
+		}
+		train = append(train, tr...)
+		cursor = cursor.Add(time.Duration(1+rng.Intn(3)) * time.Second)
+	}
+	train = padAndSort(train, trainLines, filler, rng)
+
+	// Testing: the anomalous traces are generated first (they are
+	// short), then normal traces fill the remaining budget, and the two
+	// streams interleave by timestamp.
+	testBase := base.Add(24 * time.Hour)
+	var test []timedLine
+
+	// Anomalous traces, spread evenly across the test span.
+	span := time.Duration(testLines/4) * time.Second
+	for i, spec := range anomalies {
+		et := types[spec.typeIdx]
+		id := fmt.Sprintf("%s%06d", et.idPrefix, idSeq)
+		idSeq++
+		start := testBase.Add(span * time.Duration(i+1) / time.Duration(len(anomalies)+1))
+		tr := et.emitTrace(rng, id, start, spec.kind, 1)
+		test = append(test, tr...)
+		truth.AnomalousEvents[id] = true
+		tt := truth.ByType[et.label]
+		tt.Anomalies++
+		if spec.kind == anomMissingEnd {
+			tt.MissingEnd++
+			truth.MissingEnd++
+		}
+		truth.ByType[et.label] = tt
+		truth.TotalAnomalies++
+	}
+
+	// Normal traces fill the rest of the budget.
+	probes := make(map[string]string)
+	cursor = testBase
+	for {
+		et := types[rng.Intn(len(types))]
+		id := fmt.Sprintf("%s%06d", et.idPrefix, idSeq)
+		idSeq++
+		repeats := 1
+		if et.repeatStep >= 0 && rng.Intn(2) == 0 {
+			repeats = 2
+		}
+		tr := et.emitTrace(rng, id, cursor, anomNone, repeats)
+		if len(test)+len(tr) > testTarget {
+			break
+		}
+		test = append(test, tr...)
+		if probes[et.label] == "" {
+			probes[et.label] = tr[0].line
+		}
+		cursor = cursor.Add(time.Duration(1+rng.Intn(3)) * time.Second)
+		if cursor.After(testBase.Add(span)) {
+			cursor = testBase.Add(time.Duration(rng.Int63n(int64(span))))
+		}
+	}
+	test = padAndSort(test, testLines, filler, rng)
+
+	for _, et := range types {
+		tt := truth.ByType[et.label]
+		tt.ProbeLine = probes[et.label]
+		if tt.ProbeLine == "" {
+			// No normal trace of this type fit the budget: render a
+			// detached probe (never added to the corpus).
+			id := fmt.Sprintf("%sprobe", et.idPrefix)
+			tt.ProbeLine = et.steps[0](rng, id, testBase)
+		}
+		truth.ByType[et.label] = tt
+	}
+	if len(test) > 0 {
+		truth.LastLogTime = maxTime(test)
+	}
+
+	return Corpus{
+		Name:             name,
+		Train:            lines(train),
+		Test:             lines(test),
+		ExpectedPatterns: totalPatterns(types) + 1, // +1 for the filler pattern
+		Truth:            truth,
+	}
+}
+
+func totalPatterns(types []*seqType) int {
+	n := 0
+	for _, et := range types {
+		n += len(et.steps)
+	}
+	return n
+}
+
+// padAndSort fills the line budget with filler lines woven through the
+// time span, then sorts everything by timestamp (stable: emission order
+// breaks ties).
+func padAndSort(ls []timedLine, target int, filler func(rng *rand.Rand, t time.Time) string, rng *rand.Rand) []timedLine {
+	if len(ls) == 0 {
+		ls = append(ls, timedLine{t: time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)})
+		ls = ls[:0]
+	}
+	span := maxTime(ls).Sub(minTime(ls))
+	start := minTime(ls)
+	for len(ls) < target {
+		off := time.Duration(rng.Int63n(int64(span) + 1))
+		t := start.Add(off)
+		ls = append(ls, timedLine{t: t, line: filler(rng, t)})
+	}
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].t.Before(ls[j].t) })
+	return ls
+}
+
+func minTime(ls []timedLine) time.Time {
+	m := ls[0].t
+	for _, l := range ls {
+		if l.t.Before(m) {
+			m = l.t
+		}
+	}
+	return m
+}
+
+func maxTime(ls []timedLine) time.Time {
+	m := ls[0].t
+	for _, l := range ls {
+		if l.t.After(m) {
+			m = l.t
+		}
+	}
+	return m
+}
+
+func lines(ls []timedLine) []string {
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.line
+	}
+	return out
+}

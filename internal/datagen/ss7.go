@@ -1,0 +1,129 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SS7Truth extends the sequence truth with the expected burst structure of
+// Figure 6.
+type SS7Truth struct {
+	// Anomalies is the expected anomaly count (994 in §VII-B).
+	Anomalies int
+	// Clusters is the number of attack bursts (4 in Figure 6).
+	Clusters int
+	// ClusterStarts are the burst start times.
+	ClusterStarts []time.Time
+	// TrainEnd separates the 2h training window from the 1h detection
+	// window.
+	TrainEnd time.Time
+	// LastLogTime is the latest test timestamp (for the final
+	// heartbeat).
+	LastLogTime time.Time
+}
+
+// SS7Corpus is the Signaling System No. 7 security dataset of §VII-B: the
+// full corpus spans 3 hours (2016/05/09 10:00–13:00), the first two hours
+// are training, and the final hour contains spoofing attacks — sequences
+// following "InvokePurgeMs -> InvokeSendAuthenticationInfo" without the
+// terminating "InvokeUpdateLocation", arriving in 4 intensive bursts
+// totalling exactly 994 anomalous sequences.
+type SS7Corpus struct {
+	Train []string
+	Test  []string
+	Truth SS7Truth
+}
+
+// SS7 generates the dataset. scale in (0,1] shrinks the normal-traffic
+// volume (the paper's corpus is 2.7M logs); the 994 attack sequences and
+// 4 bursts are generated at full count regardless of scale, since they are
+// the case study's findings.
+func SS7(scale float64, seed int64) SS7Corpus {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Date(2016, 5, 9, 10, 0, 0, 0, time.UTC)
+	trainEnd := start.Add(2 * time.Hour)
+	testEnd := start.Add(3 * time.Hour)
+
+	const fullLogs = 2_700_000
+	total := int(float64(fullLogs) * scale)
+	trainLogs := total * 2 / 3
+	testLogs := total - trainLogs
+
+	vlrs := ipPool(12)
+	imsi := func(n int) string { return fmt.Sprintf("4046855%08d", n) }
+	render := func(op string, id string, t time.Time, rng *rand.Rand) string {
+		return fmt.Sprintf("%s SS7 %s imsi %s vlr %s tcap %d", ts(t), op, id, pick(rng, vlrs), rng.Intn(1<<20))
+	}
+
+	// Normal sequences: PurgeMs -> SendAuthenticationInfo ->
+	// UpdateLocation, gaps of 1-3 seconds.
+	emitNormal := func(n int, lo, hi time.Time, idBase int) []timedLine {
+		span := hi.Sub(lo)
+		var out []timedLine
+		seqLines := 3
+		count := n / seqLines
+		for i := 0; i < count; i++ {
+			id := imsi(idBase + i)
+			t := lo.Add(time.Duration(rng.Int63n(int64(span) - int64(10*time.Second))))
+			out = append(out, timedLine{t, render("InvokePurgeMs", id, t, rng)})
+			t = t.Add(time.Duration(1+rng.Intn(3)) * time.Second)
+			out = append(out, timedLine{t, render("InvokeSendAuthenticationInfo", id, t, rng)})
+			t = t.Add(time.Duration(1+rng.Intn(3)) * time.Second)
+			out = append(out, timedLine{t, render("InvokeUpdateLocation", id, t, rng)})
+		}
+		return out
+	}
+
+	train := emitNormal(trainLogs, start, trainEnd, 0)
+	sort.SliceStable(train, func(i, j int) bool { return train[i].t.Before(train[j].t) })
+
+	// Test: normal background plus 4 attack bursts. Attack sequences
+	// miss the final InvokeUpdateLocation — the spoofing signature of
+	// Figure 7.
+	attackCounts := []int{250, 250, 250, 244} // 994 total
+	burstStarts := []time.Time{
+		trainEnd.Add(8 * time.Minute),
+		trainEnd.Add(22 * time.Minute),
+		trainEnd.Add(37 * time.Minute),
+		trainEnd.Add(51 * time.Minute),
+	}
+	attackLines := 0
+	for _, c := range attackCounts {
+		attackLines += c * 2
+	}
+	normalTest := testLogs - attackLines
+	if normalTest < 0 {
+		normalTest = 0
+	}
+	test := emitNormal(normalTest, trainEnd, testEnd, 10_000_000)
+
+	idBase := 20_000_000
+	for b, count := range attackCounts {
+		for i := 0; i < count; i++ {
+			id := imsi(idBase + b*10000 + i)
+			// Each burst spans ~90 seconds: intensive spoofing.
+			t := burstStarts[b].Add(time.Duration(rng.Int63n(int64(90 * time.Second))))
+			test = append(test, timedLine{t, render("InvokePurgeMs", id, t, rng)})
+			t = t.Add(time.Duration(1+rng.Intn(2)) * time.Second)
+			test = append(test, timedLine{t, render("InvokeSendAuthenticationInfo", id, t, rng)})
+		}
+	}
+	sort.SliceStable(test, func(i, j int) bool { return test[i].t.Before(test[j].t) })
+
+	return SS7Corpus{
+		Train: lines(train),
+		Test:  lines(test),
+		Truth: SS7Truth{
+			Anomalies:     994,
+			Clusters:      4,
+			ClusterStarts: burstStarts,
+			TrainEnd:      trainEnd,
+			LastLogTime:   test[len(test)-1].t,
+		},
+	}
+}

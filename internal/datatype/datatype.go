@@ -1,0 +1,297 @@
+// Package datatype implements the LogLens datatype lattice used to classify
+// log tokens (Table I of the paper): WORD, NUMBER, IP, NOTSPACE, DATETIME
+// and the ANYDATA wildcard. Datatypes underpin both log-signatures and
+// pattern-signatures, and the isCovered generality relation drives the
+// dynamic-programming signature matcher.
+package datatype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a LogLens datatype.
+type Type uint8
+
+// The datatype universe. Order matters only for readability; generality is
+// defined by Covers, not by ordinal value.
+const (
+	// Unknown is the zero value and never appears in a well-formed
+	// signature.
+	Unknown Type = iota
+	// Word matches [a-zA-Z]+.
+	Word
+	// Number matches an optionally signed decimal with optional
+	// fractional part.
+	Number
+	// IP matches a dotted-quad IPv4 address.
+	IP
+	// DateTime matches the unified timestamp format
+	// yyyy/MM/dd HH:mm:ss.SSS.
+	DateTime
+	// NotSpace matches any run of non-whitespace characters. It covers
+	// Word, Number, IP and DateTime.
+	NotSpace
+	// AnyData is the wildcard datatype: it matches any number of tokens
+	// (including zero) and is introduced only through user edits.
+	AnyData
+)
+
+var names = map[Type]string{
+	Word:     "WORD",
+	Number:   "NUMBER",
+	IP:       "IP",
+	DateTime: "DATETIME",
+	NotSpace: "NOTSPACE",
+	AnyData:  "ANYDATA",
+}
+
+var byName = map[string]Type{
+	"WORD":     Word,
+	"NUMBER":   Number,
+	"IP":       IP,
+	"DATETIME": DateTime,
+	"NOTSPACE": NotSpace,
+	"ANYDATA":  AnyData,
+}
+
+// String returns the canonical upper-case name used in GROK expressions
+// and signatures.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("UNKNOWN(%d)", uint8(t))
+}
+
+// Parse maps a canonical name ("WORD", "IP", ...) back to its Type.
+func Parse(s string) (Type, error) {
+	if t, ok := byName[strings.ToUpper(s)]; ok {
+		return t, nil
+	}
+	return Unknown, fmt.Errorf("datatype: unknown type %q", s)
+}
+
+// Known reports whether s names a built-in datatype.
+func Known(s string) bool {
+	_, ok := byName[strings.ToUpper(s)]
+	return ok
+}
+
+// Detect returns the most specific datatype matching the token. A token
+// that matches none of the specific rules is NOTSPACE (tokens are produced
+// by whitespace splitting, so they contain no spaces by construction).
+// DATETIME is detected against the unified format only; raw heterogeneous
+// timestamp formats are recognized earlier by the timestamp identifier.
+func Detect(token string) Type {
+	switch {
+	case token == "":
+		return NotSpace
+	case isDateTime(token):
+		return DateTime
+	case isIP(token):
+		return IP
+	case isNumber(token):
+		return Number
+	case isWord(token):
+		return Word
+	default:
+		return NotSpace
+	}
+}
+
+// Matches reports whether the token conforms to datatype t. AnyData
+// matches everything, including the empty string.
+func Matches(t Type, token string) bool {
+	switch t {
+	case Word:
+		return isWord(token)
+	case Number:
+		return isNumber(token)
+	case IP:
+		return isIP(token)
+	case DateTime:
+		return isDateTime(token)
+	case NotSpace:
+		return token != "" && !strings.ContainsAny(token, " \t")
+	case AnyData:
+		return true
+	default:
+		return false
+	}
+}
+
+// Covers reports whether the RegEx language of datatype outer is a
+// superset of datatype inner: isCovered(inner, outer) in the paper's
+// notation. Every type covers itself. NOTSPACE covers all single-token
+// types; ANYDATA covers everything.
+func Covers(outer, inner Type) bool {
+	if outer == inner {
+		return true
+	}
+	switch outer {
+	case AnyData:
+		return true
+	case NotSpace:
+		return inner == Word || inner == Number || inner == IP || inner == DateTime
+	default:
+		return false
+	}
+}
+
+// Generality returns a rank used to order candidate patterns from most
+// specific to most general (candidate-pattern-groups are scanned in
+// ascending generality so the most specific pattern wins).
+func (t Type) Generality() int {
+	switch t {
+	case Word, Number, IP, DateTime:
+		return 1
+	case NotSpace:
+		return 2
+	case AnyData:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Regexp returns the defining regular expression of the datatype using
+// Go's regexp syntax, as listed in Table I of the paper.
+func (t Type) Regexp() string {
+	switch t {
+	case Word:
+		return `[a-zA-Z]+`
+	case Number:
+		return `-?[0-9]+(\.[0-9]+)?`
+	case IP:
+		return `[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}`
+	case DateTime:
+		return `[0-9]{4}/[0-9]{2}/[0-9]{2} [0-9]{2}:[0-9]{2}:[0-9]{2}\.[0-9]{3}`
+	case NotSpace:
+		return `\S+`
+	case AnyData:
+		return `.*`
+	default:
+		return ``
+	}
+}
+
+// Join returns the most specific datatype covering both a and b. It is
+// used when merging cluster members into one pattern: two aligned tokens
+// of different datatypes generalize to their least upper bound.
+func Join(a, b Type) Type {
+	if a == b {
+		return a
+	}
+	if a == Unknown {
+		return b
+	}
+	if b == Unknown {
+		return a
+	}
+	if a == AnyData || b == AnyData {
+		return AnyData
+	}
+	// All distinct single-token types join at NOTSPACE.
+	return NotSpace
+}
+
+func isWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '-' {
+		i = 1
+		if len(s) == 1 {
+			return false
+		}
+	}
+	digits := 0
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			digits++
+			continue
+		}
+		if c == '.' {
+			// Fractional part: all remaining must be digits, at
+			// least one.
+			frac := s[i+1:]
+			if frac == "" {
+				return false
+			}
+			for j := 0; j < len(frac); j++ {
+				if frac[j] < '0' || frac[j] > '9' {
+					return false
+				}
+			}
+			return digits > 0
+		}
+		return false
+	}
+	return digits > 0
+}
+
+func isIP(s string) bool {
+	part := 0
+	digits := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+			if digits > 3 {
+				return false
+			}
+		case c == '.':
+			if digits == 0 {
+				return false
+			}
+			part++
+			if part > 3 {
+				return false
+			}
+			digits = 0
+		default:
+			return false
+		}
+	}
+	return part == 3 && digits >= 1
+}
+
+// isDateTime checks the unified format yyyy/MM/dd HH:mm:ss.SSS. The token
+// contains a space because the timestamp identifier merges the date and
+// time tokens into a single unified token.
+func isDateTime(s string) bool {
+	const layout = "dddd/dd/dd dd:dd:dd.ddd"
+	if len(s) != len(layout) {
+		return false
+	}
+	for i := 0; i < len(layout); i++ {
+		switch layout[i] {
+		case 'd':
+			if s[i] < '0' || s[i] > '9' {
+				return false
+			}
+		default:
+			if s[i] != layout[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+// Package experiments implements the reproduction harnesses for every
+// table and figure of the paper's evaluation (§VI) and the case studies
+// (§VII). cmd/benchtables, the integration tests, and the benchmark suite
+// all drive these harnesses, so printed tables and asserted counts come
+// from one code path.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/datagen"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/seqdetect"
+)
+
+// SeqOptions configures a sequence-detection run.
+type SeqOptions struct {
+	// WithHeartbeat injects a final heartbeat so open states expire
+	// (Figure 5's "with HB" configuration).
+	WithHeartbeat bool
+	// DeleteType names an event type whose learned automaton is deleted
+	// before detection (Table V's model-edit experiment).
+	DeleteType string
+	// Seq tunes the detector.
+	Seq seqdetect.Config
+}
+
+// SeqResult is the outcome of one sequence-detection run.
+type SeqResult struct {
+	// Model is the trained model (after any deletion).
+	Model *modelmgr.Model
+	// Report is the training report.
+	Report *modelmgr.BuildReport
+	// Detected is the number of anomalous sequences reported.
+	Detected int
+	// TruePositives and FalsePositives verify detections event by
+	// event against the injected ground-truth IDs (Figure 4 reports
+	// recall; we assert precision too).
+	TruePositives, FalsePositives int
+	// MissingEnd is how many were missing-end anomalies.
+	MissingEnd int
+	// Unparsed counts stateless anomalies (expected 0 on D1/D2).
+	Unparsed int
+	// AutomataBefore/After document the Table V deletion.
+	AutomataBefore, AutomataAfter int
+	// Records are the raw anomaly records.
+	Records []anomaly.Record
+	// TrainTime and DetectTime are wall-clock phase times.
+	TrainTime, DetectTime time.Duration
+}
+
+// ToLogs converts raw lines into logtypes.Log records with sequential
+// arrival numbering.
+func ToLogs(source string, lines []string) []logtypes.Log {
+	out := make([]logtypes.Log, len(lines))
+	for i, line := range lines {
+		out[i] = logtypes.Log{Source: source, Seq: uint64(i + 1), Raw: line}
+	}
+	return out
+}
+
+// RunSequence trains on the corpus and detects over its test stream —
+// the harness behind Figure 4, Figure 5, and Table V.
+func RunSequence(c datagen.Corpus, opts SeqOptions) (*SeqResult, error) {
+	if c.Truth == nil {
+		return nil, fmt.Errorf("experiments: corpus %s has no sequence ground truth", c.Name)
+	}
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{})
+
+	start := time.Now()
+	model, report, err := builder.Build(c.Name, ToLogs(c.Name, c.Train))
+	if err != nil {
+		return nil, err
+	}
+	res := &SeqResult{
+		Model:          model,
+		Report:         report,
+		TrainTime:      time.Since(start),
+		AutomataBefore: len(model.Sequence.Automata),
+	}
+
+	p := model.NewParser(nil)
+
+	// Table V: locate the automaton of the named event type via its
+	// probe line and delete it from the model.
+	if opts.DeleteType != "" {
+		tt, ok := c.Truth.ByType[opts.DeleteType]
+		if !ok {
+			return nil, fmt.Errorf("experiments: corpus %s has no type %q", c.Name, opts.DeleteType)
+		}
+		probe, err := p.Parse(logtypes.Log{Source: c.Name, Raw: tt.ProbeLine})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: probe line for %q does not parse: %w", opts.DeleteType, err)
+		}
+		autos := model.Sequence.AutomataFor(probe.PatternID)
+		if len(autos) != 1 {
+			return nil, fmt.Errorf("experiments: probe pattern %d is in %d automata, want 1", probe.PatternID, len(autos))
+		}
+		model.Sequence.Delete(autos[0].ID)
+	}
+	res.AutomataAfter = len(model.Sequence.Automata)
+
+	det := model.NewDetector(opts.Seq)
+	start = time.Now()
+	for i, line := range c.Test {
+		pl, err := p.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i + 1), Raw: line})
+		if err != nil {
+			res.Unparsed++
+			continue
+		}
+		res.Records = append(res.Records, det.Process(pl)...)
+	}
+	if opts.WithHeartbeat {
+		// The final heartbeat: in the live service the heartbeat
+		// controller synthesizes these continuously; in replay a
+		// trailing heartbeat past every expiry window reports the
+		// still-open states.
+		res.Records = append(res.Records, det.HeartbeatFor(c.Name, c.Truth.LastLogTime.Add(24*time.Hour))...)
+	}
+	res.DetectTime = time.Since(start)
+
+	res.Detected = len(res.Records)
+	seen := make(map[string]bool)
+	for _, r := range res.Records {
+		if r.Type == anomaly.MissingEnd {
+			res.MissingEnd++
+		}
+		if c.Truth.AnomalousEvents[r.EventID] {
+			if !seen[r.EventID] {
+				res.TruePositives++
+			}
+			seen[r.EventID] = true
+		} else {
+			res.FalsePositives++
+		}
+	}
+	return res, nil
+}

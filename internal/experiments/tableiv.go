@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"loglens/internal/datagen"
+	"loglens/internal/logstash"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/parser"
+)
+
+// ParserComparison is one Table IV row: LogLens vs Logstash parsing time
+// on one dataset.
+type ParserComparison struct {
+	// Dataset is the corpus name.
+	Dataset string
+	// Patterns is the discovered pattern count (must equal the spec).
+	Patterns int
+	// ExpectedPatterns is the published pattern count.
+	ExpectedPatterns int
+	// Logs is the parsed corpus size.
+	Logs int
+	// LogLensTime and LogstashTime are the parsing wall-clock times.
+	LogLensTime  time.Duration
+	LogstashTime time.Duration
+	// LogstashDNF is true when the baseline exceeded its budget (the
+	// paper stopped Logstash after 48 hours on D4 and D6);
+	// LogstashProjected then extrapolates the full-run time from the
+	// observed rate.
+	LogstashDNF       bool
+	LogstashProjected time.Duration
+	// Speedup is Logstash/LogLens time (projected when DNF).
+	Speedup float64
+	// LogLensAnomalies and LogstashUnmatched must be zero: train==test
+	// sanity checking ("a correct parser does not produce any
+	// anomalies for these datasets").
+	LogLensAnomalies  int
+	LogstashUnmatched int
+	// TrainTime is the pattern-discovery time (reported separately, as
+	// in §VII-A).
+	TrainTime time.Duration
+}
+
+// RunTableIV compares the LogLens parser against the Logstash baseline on
+// one dataset, giving the baseline at most budget of wall-clock time
+// before declaring DNF.
+func RunTableIV(c datagen.Corpus, budget time.Duration) (*ParserComparison, error) {
+	res := &ParserComparison{
+		Dataset:          c.Name,
+		ExpectedPatterns: c.ExpectedPatterns,
+		Logs:             len(c.Test),
+	}
+
+	// Phase 1: discover patterns from a training sample that covers the
+	// full template population (templates are emitted round-robin, so a
+	// prefix of 3x the population size sees each at least thrice).
+	sample := c.Train
+	if max := c.ExpectedPatterns * 3; len(sample) > max {
+		sample = sample[:max]
+	}
+	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{SkipSequence: true})
+	start := time.Now()
+	model, report, err := builder.Build(c.Name, ToLogs(c.Name, sample))
+	if err != nil {
+		return nil, err
+	}
+	res.TrainTime = time.Since(start)
+	res.Patterns = report.Patterns
+
+	// Phase 2: LogLens parses the full test corpus. A GC barrier keeps
+	// garbage from the previous phase (or a previous dataset's regex
+	// churn) out of this measurement.
+	p := model.NewParser(nil)
+	runtime.GC()
+	start = time.Now()
+	for i, line := range c.Test {
+		if _, err := p.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i), Raw: line}); err == parser.ErrNoMatch {
+			res.LogLensAnomalies++
+		}
+	}
+	res.LogLensTime = time.Since(start)
+
+	// Phase 3: the Logstash baseline parses the same corpus under a
+	// budget.
+	pipe, err := logstash.New(model.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	start = time.Now()
+	parsed := 0
+	for i, line := range c.Test {
+		if _, err := pipe.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i), Raw: line}); err == logstash.ErrNoMatch {
+			res.LogstashUnmatched++
+		}
+		parsed++
+		if i%1024 == 0 && time.Since(start) > budget {
+			res.LogstashDNF = true
+			break
+		}
+	}
+	res.LogstashTime = time.Since(start)
+	if res.LogstashDNF && parsed > 0 {
+		res.LogstashProjected = time.Duration(float64(res.LogstashTime) / float64(parsed) * float64(len(c.Test)))
+	} else {
+		res.LogstashProjected = res.LogstashTime
+	}
+	if res.LogLensTime > 0 {
+		res.Speedup = float64(res.LogstashProjected) / float64(res.LogLensTime)
+	}
+	return res, nil
+}
+
+// FormatTableIV renders comparison rows in the paper's Table IV layout.
+func FormatTableIV(rows []*ParserComparison) string {
+	out := fmt.Sprintf("%-8s %-10s %-14s %-16s %-12s\n", "Dataset", "Patterns", "LogLens", "Logstash", "Improvement")
+	for _, r := range rows {
+		logstashCell := r.LogstashTime.Round(time.Millisecond).String()
+		improvement := fmt.Sprintf("%.1fx", r.Speedup)
+		if r.LogstashDNF {
+			logstashCell = fmt.Sprintf("DNF (proj %s)", r.LogstashProjected.Round(time.Second))
+			improvement = fmt.Sprintf(">%.0fx (proj)", r.Speedup)
+		}
+		out += fmt.Sprintf("%-8s %-10d %-14s %-16s %-12s\n",
+			r.Dataset, r.Patterns, r.LogLensTime.Round(time.Millisecond), logstashCell, improvement)
+	}
+	return out
+}

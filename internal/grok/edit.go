@@ -1,0 +1,180 @@
+package grok
+
+import (
+	"fmt"
+	"strings"
+
+	"loglens/internal/datatype"
+)
+
+// The edit operations of §III-A4 let users incorporate domain knowledge
+// into automatically generated patterns: renaming fields, specializing a
+// field to a fixed value, generalizing a literal into a field, and editing
+// field datatypes (including the ANYDATA wildcard).
+
+// RenameField gives field oldName the semantic name newName (e.g. "P1F1"
+// -> "logTime").
+func (p *Pattern) RenameField(oldName, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("grok: rename %q: empty new name", oldName)
+	}
+	i := p.Field(oldName)
+	if i < 0 {
+		return fmt.Errorf("grok: rename: no field %q in pattern %d", oldName, p.ID)
+	}
+	if j := p.Field(newName); j >= 0 && j != i {
+		return fmt.Errorf("grok: rename: field %q already exists in pattern %d", newName, p.ID)
+	}
+	p.Tokens[i].Name = newName
+	return nil
+}
+
+// Specialize replaces the named field with a fixed literal value (e.g.
+// %{IP:P1F2} -> 127.0.0.1).
+func (p *Pattern) Specialize(fieldName, value string) error {
+	i := p.Field(fieldName)
+	if i < 0 {
+		return fmt.Errorf("grok: specialize: no field %q in pattern %d", fieldName, p.ID)
+	}
+	if strings.ContainsAny(value, " \t") {
+		return fmt.Errorf("grok: specialize %q: value must be a single token", fieldName)
+	}
+	p.Tokens[i] = LiteralToken(value)
+	return nil
+}
+
+// Generalize converts the literal token at index idx into a variable field
+// of the given datatype (e.g. user1 -> %{NOTSPACE:userName}).
+func (p *Pattern) Generalize(idx int, typ datatype.Type, name string) error {
+	if idx < 0 || idx >= len(p.Tokens) {
+		return fmt.Errorf("grok: generalize: token index %d out of range in pattern %d", idx, p.ID)
+	}
+	if p.Tokens[idx].IsField {
+		return fmt.Errorf("grok: generalize: token %d of pattern %d is already a field", idx, p.ID)
+	}
+	if name != "" && p.Field(name) >= 0 {
+		return fmt.Errorf("grok: generalize: field %q already exists in pattern %d", name, p.ID)
+	}
+	if typ != datatype.AnyData && !datatype.Matches(typ, p.Tokens[idx].Literal) {
+		return fmt.Errorf("grok: generalize: literal %q does not conform to %v", p.Tokens[idx].Literal, typ)
+	}
+	p.Tokens[idx] = FieldToken(typ, name)
+	return nil
+}
+
+// GeneralizeValue finds the first literal token equal to value and
+// generalizes it.
+func (p *Pattern) GeneralizeValue(value string, typ datatype.Type, name string) error {
+	for i, t := range p.Tokens {
+		if !t.IsField && t.Literal == value {
+			return p.Generalize(i, typ, name)
+		}
+	}
+	return fmt.Errorf("grok: generalize: no literal %q in pattern %d", value, p.ID)
+}
+
+// SetFieldType edits the datatype of the named field. Widening to ANYDATA
+// is how users include multiple tokens under one field.
+func (p *Pattern) SetFieldType(fieldName string, typ datatype.Type) error {
+	i := p.Field(fieldName)
+	if i < 0 {
+		return fmt.Errorf("grok: set type: no field %q in pattern %d", fieldName, p.ID)
+	}
+	p.Tokens[i].Type = typ
+	return nil
+}
+
+// ApplyHeuristicNames renames generated PxFy field names using commonly
+// occurring log idioms, so parsed output is readable without manual
+// renaming (§III-A4). Recognized shapes, for a field at token i:
+//
+//	key = %{...}   -> field named key  ("PDU = %{NUMBER:P1F1}" -> PDU)
+//	key: %{...}    -> field named key
+//	key= %{...}    -> field named key
+//
+// Only fields whose current name is empty or a generated PxFy identifier
+// are renamed, and a name is applied only once per pattern.
+func (p *Pattern) ApplyHeuristicNames() int {
+	renamed := 0
+	taken := map[string]bool{}
+	for _, t := range p.Tokens {
+		if t.IsField && t.Name != "" {
+			taken[t.Name] = true
+		}
+	}
+	for i := range p.Tokens {
+		t := &p.Tokens[i]
+		if !t.IsField || !isGeneratedName(p.ID, t.Name) {
+			continue
+		}
+		key := heuristicKey(p.Tokens, i)
+		if key == "" || taken[key] {
+			continue
+		}
+		t.Name = key
+		taken[key] = true
+		renamed++
+	}
+	return renamed
+}
+
+// heuristicKey inspects the literals before field index i and extracts a
+// key name if they form a "key =", "key:", or "key=" shape.
+func heuristicKey(tokens []Token, i int) string {
+	prev := func(k int) (Token, bool) {
+		if k < 0 || tokens[k].IsField {
+			return Token{}, false
+		}
+		return tokens[k], true
+	}
+	// "key = value": two literal tokens before the field.
+	if sep, ok := prev(i - 1); ok && (sep.Literal == "=" || sep.Literal == ":") {
+		if key, ok := prev(i - 2); ok && isIdentifier(key.Literal) {
+			return key.Literal
+		}
+		return ""
+	}
+	// "key= value" or "key: value": one literal ending in '=' or ':'.
+	if key, ok := prev(i - 1); ok {
+		lit := key.Literal
+		if len(lit) > 1 && (strings.HasSuffix(lit, "=") || strings.HasSuffix(lit, ":")) {
+			name := lit[:len(lit)-1]
+			if isIdentifier(name) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// isGeneratedName reports whether name is empty or the generated PxFy form
+// for pattern id.
+func isGeneratedName(id int, name string) bool {
+	if name == "" {
+		return true
+	}
+	var pid, seq int
+	n, err := fmt.Sscanf(name, "P%dF%d", &pid, &seq)
+	return err == nil && n == 2 && pid == id
+}
+
+// isIdentifier reports whether s looks like a key name: letters, digits,
+// '_', '-', '.' with a leading letter.
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

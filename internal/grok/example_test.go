@@ -1,0 +1,43 @@
+package grok_test
+
+import (
+	"fmt"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+)
+
+// The paper's §III running example: parsing "Connect DB 127.0.0.1 user
+// abc123" with a GROK pattern.
+func ExamplePattern_Match() {
+	p, _ := grok.ParsePattern(1, "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}")
+	fields, ok := p.Match([]string{"Connect", "DB", "127.0.0.1", "user", "abc123"})
+	fmt.Println(ok)
+	for _, f := range fields {
+		fmt.Printf("%s=%s\n", f.Name, f.Value)
+	}
+	// Output:
+	// true
+	// Action=Connect
+	// Server=127.0.0.1
+	// UserName=abc123
+}
+
+// Domain-knowledge edits (§III-A4): renaming a generated field and
+// generalizing a literal.
+func ExamplePattern_RenameField() {
+	p, _ := grok.ParsePattern(1, "%{DATETIME:P1F1} %{IP:P1F2} login user1")
+	p.RenameField("P1F1", "logTime")
+	p.GeneralizeValue("user1", datatype.NotSpace, "userName")
+	fmt.Println(p)
+	// Output:
+	// %{DATETIME:logTime} %{IP:P1F2} login %{NOTSPACE:userName}
+}
+
+// Pattern signatures drive the parser's O(1) index (§III-B).
+func ExamplePattern_Signature() {
+	p, _ := grok.ParsePattern(1, "%{DATETIME:P1F1} %{IP:P1F2} %{WORD:P1F3} user1")
+	fmt.Println(p.Signature())
+	// Output:
+	// DATETIME IP WORD NOTSPACE
+}

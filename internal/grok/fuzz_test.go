@@ -1,0 +1,74 @@
+package grok
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern: arbitrary pattern text must never panic, and accepted
+// patterns must round-trip through String -> ParsePattern.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{
+		"%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}",
+		"%{DATETIME:P1F1} %{IP} login user1",
+		"%{ANYDATA}",
+		"%{BOGUS:x}",
+		"literal only tokens",
+		"%{WORD:}",
+		"%{:name}",
+		"%{}",
+		"%{WORD:a} %{WORD:a}",
+		"  spaces   everywhere  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParsePattern(1, text)
+		if err != nil {
+			return
+		}
+		again, err := ParsePattern(1, p.String())
+		if err != nil {
+			t.Fatalf("round trip rejected %q -> %q: %v", text, p.String(), err)
+		}
+		if again.String() != p.String() {
+			t.Fatalf("round trip unstable: %q -> %q", p.String(), again.String())
+		}
+	})
+}
+
+// FuzzMatch: matching arbitrary token sequences against a wildcard
+// pattern must never panic, and extracted fields must reassemble into a
+// subsequence of the input.
+func FuzzMatch(f *testing.F) {
+	f.Add("query SELECT x FROM y rc 7")
+	f.Add("")
+	f.Add("rc")
+	f.Add("query rc 0")
+	f.Add("query a b c d e f g h i j k l m n o p rc 1")
+	p, err := ParsePattern(1, "query %{ANYDATA:sql} rc %{NUMBER:n}")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tokens := strings.Fields(line)
+		fields, ok := p.Match(tokens)
+		if !ok {
+			return
+		}
+		for _, fl := range fields {
+			for _, part := range strings.Fields(fl.Value) {
+				found := false
+				for _, tok := range tokens {
+					if tok == part {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("captured %q not in input %q", part, line)
+				}
+			}
+		}
+	})
+}

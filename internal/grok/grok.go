@@ -1,0 +1,311 @@
+// Package grok models LogLens patterns as GROK expressions (§III). A
+// pattern is a sequence of tokens, each either a literal or a variable
+// field with a datatype and a name ("%{DATETIME:P1F1} %{IP:P1F2} login").
+// The package implements parsing and composing GROK text, field-ID
+// assignment, pattern signatures, token-level matching with ANYDATA
+// wildcard support, and the domain-knowledge edit operations of §III-A4.
+package grok
+
+import (
+	"fmt"
+	"strings"
+
+	"loglens/internal/datatype"
+	"loglens/internal/logtypes"
+)
+
+// Token is one element of a GROK pattern: either a literal that must match
+// the log token exactly, or a variable field.
+type Token struct {
+	// IsField distinguishes variable fields from literals.
+	IsField bool
+	// Literal is the exact token text (literals only).
+	Literal string
+	// Type is the field datatype (fields only).
+	Type datatype.Type
+	// Name is the field name: a generated PxFy identifier or a
+	// semantic name supplied by a heuristic or a user (fields only).
+	Name string
+}
+
+// FieldToken constructs a variable-field token.
+func FieldToken(t datatype.Type, name string) Token {
+	return Token{IsField: true, Type: t, Name: name}
+}
+
+// LiteralToken constructs a literal token.
+func LiteralToken(text string) Token {
+	return Token{Literal: text}
+}
+
+// String renders the token in GROK notation.
+func (t Token) String() string {
+	if t.IsField {
+		if t.Name == "" {
+			return fmt.Sprintf("%%{%s}", t.Type)
+		}
+		return fmt.Sprintf("%%{%s:%s}", t.Type, t.Name)
+	}
+	return t.Literal
+}
+
+// SignatureType is the datatype the token contributes to the pattern
+// signature: the field's type for fields, the detected datatype of the
+// literal's value otherwise (§III-B "Pattern-Signature Generation").
+func (t Token) SignatureType() datatype.Type {
+	if t.IsField {
+		return t.Type
+	}
+	return datatype.Detect(t.Literal)
+}
+
+// Pattern is one GROK pattern.
+type Pattern struct {
+	// ID is the log-pattern identifier (the P in PxFy field IDs).
+	ID int
+	// Tokens is the pattern body.
+	Tokens []Token
+}
+
+// ParsePattern parses GROK text produced by Pattern.String (or written by
+// a user) into a Pattern. Tokens are whitespace-separated; field tokens
+// have the form %{TYPE} or %{TYPE:Name}.
+func ParsePattern(id int, text string) (*Pattern, error) {
+	fields := strings.Fields(text)
+	p := &Pattern{ID: id, Tokens: make([]Token, 0, len(fields))}
+	for _, f := range fields {
+		if strings.HasPrefix(f, "%{") && strings.HasSuffix(f, "}") {
+			body := f[2 : len(f)-1]
+			typeName, fieldName := body, ""
+			if i := strings.IndexByte(body, ':'); i >= 0 {
+				typeName, fieldName = body[:i], body[i+1:]
+			}
+			typ, err := datatype.Parse(typeName)
+			if err != nil {
+				return nil, fmt.Errorf("grok: pattern %d: %w", id, err)
+			}
+			p.Tokens = append(p.Tokens, FieldToken(typ, fieldName))
+			continue
+		}
+		p.Tokens = append(p.Tokens, LiteralToken(f))
+	}
+	if len(p.Tokens) == 0 {
+		return nil, fmt.Errorf("grok: pattern %d: empty pattern", id)
+	}
+	return p, nil
+}
+
+// String renders the pattern in GROK notation.
+func (p *Pattern) String() string {
+	parts := make([]string, len(p.Tokens))
+	for i, t := range p.Tokens {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Clone returns a deep copy of the pattern.
+func (p *Pattern) Clone() *Pattern {
+	q := &Pattern{ID: p.ID, Tokens: make([]Token, len(p.Tokens))}
+	copy(q.Tokens, p.Tokens)
+	return q
+}
+
+// Signature returns the pattern-signature: the space-joined datatype names
+// of all tokens.
+func (p *Pattern) Signature() string {
+	parts := make([]string, len(p.Tokens))
+	for i, t := range p.Tokens {
+		parts[i] = t.SignatureType().String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// SignatureTypes returns the signature as a datatype slice.
+func (p *Pattern) SignatureTypes() []datatype.Type {
+	out := make([]datatype.Type, len(p.Tokens))
+	for i, t := range p.Tokens {
+		out[i] = t.SignatureType()
+	}
+	return out
+}
+
+// HasAnyData reports whether the pattern contains an ANYDATA wildcard.
+func (p *Pattern) HasAnyData() bool {
+	for _, t := range p.Tokens {
+		if t.IsField && t.Type == datatype.AnyData {
+			return true
+		}
+	}
+	return false
+}
+
+// Generality is the sort key for candidate-pattern-groups: groups are
+// scanned in ascending generality so the most specific pattern parses the
+// log (§III-B step 2). It sums token generalities; literals rank below any
+// field.
+func (p *Pattern) Generality() int {
+	g := 0
+	for _, t := range p.Tokens {
+		if t.IsField {
+			g += t.Type.Generality()
+		}
+	}
+	return g
+}
+
+// FieldCount returns the number of variable fields.
+func (p *Pattern) FieldCount() int {
+	n := 0
+	for _, t := range p.Tokens {
+		if t.IsField {
+			n++
+		}
+	}
+	return n
+}
+
+// Field returns the index of the named field token, or -1.
+func (p *Pattern) Field(name string) int {
+	for i, t := range p.Tokens {
+		if t.IsField && t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AssignFieldIDs names every unnamed field with the generated PxFy scheme:
+// pattern ID x, field sequence y counted from 1 (§III-A3). Fields that
+// already carry a name (heuristic or user-assigned) are left alone, but
+// still consume a sequence number.
+func (p *Pattern) AssignFieldIDs() {
+	seq := 0
+	for i := range p.Tokens {
+		if !p.Tokens[i].IsField {
+			continue
+		}
+		seq++
+		if p.Tokens[i].Name == "" {
+			p.Tokens[i].Name = fmt.Sprintf("P%dF%d", p.ID, seq)
+		}
+	}
+}
+
+// Match matches a tokenized log against the pattern and extracts its
+// fields. For patterns without ANYDATA the match is a direct token-wise
+// comparison; ANYDATA patterns use dynamic programming so the wildcard can
+// absorb any number of tokens (including zero). The returned fields are in
+// pattern order; an ANYDATA field's value is the space-joined absorbed
+// tokens.
+func (p *Pattern) Match(tokens []string) ([]logtypes.Field, bool) {
+	if !p.HasAnyData() {
+		return p.matchExact(tokens)
+	}
+	return p.matchDP(tokens)
+}
+
+// Matches reports whether the pattern matches without extracting fields.
+func (p *Pattern) Matches(tokens []string) bool {
+	_, ok := p.Match(tokens)
+	return ok
+}
+
+func (p *Pattern) matchExact(tokens []string) ([]logtypes.Field, bool) {
+	if len(tokens) != len(p.Tokens) {
+		return nil, false
+	}
+	for i, pt := range p.Tokens {
+		if pt.IsField {
+			if !datatype.Matches(pt.Type, tokens[i]) {
+				return nil, false
+			}
+			continue
+		}
+		if pt.Literal != tokens[i] {
+			return nil, false
+		}
+	}
+	fields := make([]logtypes.Field, 0, p.FieldCount())
+	for i, pt := range p.Tokens {
+		if pt.IsField {
+			fields = append(fields, logtypes.Field{Name: pt.Name, Value: tokens[i]})
+		}
+	}
+	return fields, true
+}
+
+// matchDP is the wildcard-aware matcher. T[i][j] is true when the first i
+// log tokens are matched by the first j pattern tokens; ANYDATA admits
+// T[i][j] = T[i][j-1] || T[i-1][j] (absorb nothing / absorb one more).
+func (p *Pattern) matchDP(tokens []string) ([]logtypes.Field, bool) {
+	r, s := len(tokens), len(p.Tokens)
+	t := make([][]bool, r+1)
+	for i := range t {
+		t[i] = make([]bool, s+1)
+	}
+	t[0][0] = true
+	for j := 1; j <= s; j++ {
+		// Empty log prefix: only leading ANYDATA tokens can match.
+		pt := p.Tokens[j-1]
+		t[0][j] = t[0][j-1] && pt.IsField && pt.Type == datatype.AnyData
+	}
+	for i := 1; i <= r; i++ {
+		for j := 1; j <= s; j++ {
+			pt := p.Tokens[j-1]
+			switch {
+			case pt.IsField && pt.Type == datatype.AnyData:
+				t[i][j] = t[i][j-1] || t[i-1][j]
+			case pt.IsField:
+				t[i][j] = t[i-1][j-1] && datatype.Matches(pt.Type, tokens[i-1])
+			default:
+				t[i][j] = t[i-1][j-1] && pt.Literal == tokens[i-1]
+			}
+		}
+	}
+	if !t[r][s] {
+		return nil, false
+	}
+
+	// Traceback to recover field captures. ANYDATA prefers absorbing as
+	// little as possible (T[i][j-1] first) so neighbouring specific
+	// fields keep their tokens.
+	type capture struct {
+		tokenIdx int // pattern token index
+		parts    []string
+	}
+	var caps []capture
+	i, j := r, s
+	for j > 0 {
+		pt := p.Tokens[j-1]
+		if pt.IsField && pt.Type == datatype.AnyData {
+			var parts []string
+			for i > 0 && !t[i][j-1] && t[i-1][j] {
+				parts = append(parts, tokens[i-1])
+				i--
+			}
+			// Reverse absorbed tokens into reading order.
+			for a, b := 0, len(parts)-1; a < b; a, b = a+1, b-1 {
+				parts[a], parts[b] = parts[b], parts[a]
+			}
+			caps = append(caps, capture{tokenIdx: j - 1, parts: parts})
+			j--
+			continue
+		}
+		if pt.IsField {
+			caps = append(caps, capture{tokenIdx: j - 1, parts: []string{tokens[i-1]}})
+		}
+		i--
+		j--
+	}
+
+	fields := make([]logtypes.Field, 0, len(caps))
+	for k := len(caps) - 1; k >= 0; k-- {
+		c := caps[k]
+		fields = append(fields, logtypes.Field{
+			Name:  p.Tokens[c.tokenIdx].Name,
+			Value: strings.Join(c.parts, " "),
+		})
+	}
+	return fields, true
+}

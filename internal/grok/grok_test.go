@@ -1,0 +1,392 @@
+package grok
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"loglens/internal/datatype"
+	"loglens/internal/logtypes"
+)
+
+func mustPattern(t *testing.T, id int, text string) *Pattern {
+	t.Helper()
+	p, err := ParsePattern(id, text)
+	if err != nil {
+		t.Fatalf("ParsePattern(%q): %v", text, err)
+	}
+	return p
+}
+
+func TestParseComposeRoundTrip(t *testing.T) {
+	texts := []string{
+		"%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}",
+		"%{DATETIME:P1F1} %{IP:P1F2} %{WORD:P1F3} user1",
+		"login %{NOTSPACE} done",
+		"%{ANYDATA:rest}",
+	}
+	for _, text := range texts {
+		p := mustPattern(t, 1, text)
+		if got := p.String(); got != text {
+			t.Errorf("round trip: got %q, want %q", got, text)
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	if _, err := ParsePattern(1, "%{BOGUS:x} y"); err == nil {
+		t.Error("unknown datatype must fail")
+	}
+	if _, err := ParsePattern(1, "   "); err == nil {
+		t.Error("empty pattern must fail")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	// The paper's example: pattern "%{DATETIME:P1F1} %{IP:P1F2}
+	// %{WORD:P1F3} user1" has signature "DATETIME IP WORD NOTSPACE".
+	p := mustPattern(t, 1, "%{DATETIME:P1F1} %{IP:P1F2} %{WORD:P1F3} user1")
+	if got := p.Signature(); got != "DATETIME IP WORD NOTSPACE" {
+		t.Errorf("Signature() = %q", got)
+	}
+}
+
+func TestMatchExact(t *testing.T) {
+	// The paper's running example.
+	p := mustPattern(t, 1, "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}")
+	fields, ok := p.Match(strings.Fields("Connect DB 127.0.0.1 user abc123"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	want := []logtypes.Field{
+		{Name: "Action", Value: "Connect"},
+		{Name: "Server", Value: "127.0.0.1"},
+		{Name: "UserName", Value: "abc123"},
+	}
+	if !reflect.DeepEqual(fields, want) {
+		t.Errorf("fields = %v, want %v", fields, want)
+	}
+	pl := logtypes.ParsedLog{Fields: fields}
+	if got := pl.JSON(); got != `{"Action": "Connect", "Server": "127.0.0.1", "UserName": "abc123"}` {
+		t.Errorf("JSON output = %s", got)
+	}
+}
+
+func TestMatchRejects(t *testing.T) {
+	p := mustPattern(t, 1, "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}")
+	for _, line := range []string{
+		"Connect DB 127.0.0.1 user",          // too short
+		"Connect DB 127.0.0.1 user abc123 x", // too long
+		"Connect XX 127.0.0.1 user abc123",   // literal mismatch
+		"Connect DB not-an-ip user abc123",   // datatype mismatch
+		"123abc DB 127.0.0.1 user abc123",    // WORD violated
+		"Connect DB 127.0.0.1.9 user abc123", // IP violated
+	} {
+		if p.Matches(strings.Fields(line)) {
+			t.Errorf("pattern should not match %q", line)
+		}
+	}
+}
+
+func TestMatchAnyDataMiddle(t *testing.T) {
+	p := mustPattern(t, 1, "query %{ANYDATA:sql} took %{NUMBER:ms} ms")
+	fields, ok := p.Match(strings.Fields("query SELECT * FROM t WHERE x=1 took 42 ms"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	byName := map[string]string{}
+	for _, f := range fields {
+		byName[f.Name] = f.Value
+	}
+	if byName["sql"] != "SELECT * FROM t WHERE x=1" {
+		t.Errorf("sql = %q", byName["sql"])
+	}
+	if byName["ms"] != "42" {
+		t.Errorf("ms = %q", byName["ms"])
+	}
+}
+
+func TestMatchAnyDataEmpty(t *testing.T) {
+	p := mustPattern(t, 1, "start %{ANYDATA:rest}")
+	fields, ok := p.Match([]string{"start"})
+	if !ok {
+		t.Fatal("ANYDATA must match zero tokens")
+	}
+	if fields[0].Value != "" {
+		t.Errorf("empty wildcard captured %q", fields[0].Value)
+	}
+}
+
+func TestMatchAnyDataLeading(t *testing.T) {
+	p := mustPattern(t, 1, "%{ANYDATA:prefix} error %{NUMBER:code}")
+	fields, ok := p.Match(strings.Fields("a b c error 500"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if fields[0].Value != "a b c" || fields[1].Value != "500" {
+		t.Errorf("fields = %v", fields)
+	}
+	// Leading wildcard absorbing nothing.
+	fields, ok = p.Match(strings.Fields("error 500"))
+	if !ok {
+		t.Fatal("no match with empty prefix")
+	}
+	if fields[0].Value != "" {
+		t.Errorf("prefix = %q", fields[0].Value)
+	}
+}
+
+func TestMatchTwoAnyData(t *testing.T) {
+	p := mustPattern(t, 1, "%{ANYDATA:a} sep %{ANYDATA:b}")
+	fields, ok := p.Match(strings.Fields("x y sep z"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if fields[0].Value != "x y" || fields[1].Value != "z" {
+		t.Errorf("fields = %v", fields)
+	}
+	if p.Matches(strings.Fields("x y z")) {
+		t.Error("must not match without the separator literal")
+	}
+}
+
+func TestAnyDataMinimalAbsorption(t *testing.T) {
+	// The wildcard must leave tokens for the specific fields after it.
+	p := mustPattern(t, 1, "%{ANYDATA:a} %{NUMBER:n}")
+	fields, ok := p.Match(strings.Fields("x 1 2"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if fields[0].Value != "x 1" || fields[1].Value != "2" {
+		t.Errorf("fields = %v", fields)
+	}
+}
+
+func TestAssignFieldIDs(t *testing.T) {
+	p := mustPattern(t, 7, "%{DATETIME} %{IP} login %{NOTSPACE:user}")
+	p.AssignFieldIDs()
+	if got := p.String(); got != "%{DATETIME:P7F1} %{IP:P7F2} login %{NOTSPACE:user}" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEditOperations(t *testing.T) {
+	p := mustPattern(t, 1, "%{DATETIME:P1F1} %{IP:P1F2} login user1")
+
+	// Rename: P1F1 -> logTime.
+	if err := p.RenameField("P1F1", "logTime"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Field("logTime") != 0 {
+		t.Error("rename failed")
+	}
+	if err := p.RenameField("missing", "x"); err == nil {
+		t.Error("renaming a missing field must fail")
+	}
+	if err := p.RenameField("logTime", "P1F2"); err == nil {
+		t.Error("renaming onto an existing field must fail")
+	}
+
+	// Specialize: %{IP:P1F2} -> 127.0.0.1.
+	if err := p.Specialize("P1F2", "127.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Tokens[1].IsField || p.Tokens[1].Literal != "127.0.0.1" {
+		t.Error("specialize failed")
+	}
+
+	// Generalize: user1 -> %{NOTSPACE:userName}.
+	if err := p.GeneralizeValue("user1", datatype.NotSpace, "userName"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Field("userName") != 3 {
+		t.Error("generalize failed")
+	}
+	if got := p.String(); got != "%{DATETIME:logTime} 127.0.0.1 login %{NOTSPACE:userName}" {
+		t.Errorf("final pattern %q", got)
+	}
+
+	// SetFieldType: widen to ANYDATA.
+	if err := p.SetFieldType("userName", datatype.AnyData); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasAnyData() {
+		t.Error("SetFieldType to ANYDATA failed")
+	}
+}
+
+func TestGeneralizeValidation(t *testing.T) {
+	p := mustPattern(t, 1, "login user1")
+	if err := p.Generalize(1, datatype.Number, "n"); err == nil {
+		t.Error("generalizing non-number literal to NUMBER must fail")
+	}
+	if err := p.Generalize(9, datatype.Word, "w"); err == nil {
+		t.Error("out of range index must fail")
+	}
+}
+
+func TestHeuristicNames(t *testing.T) {
+	// The paper's example: "PDU = %{NUMBER:P1F1}" is automatically
+	// renamed to "PDU = %{NUMBER:PDU}".
+	p := mustPattern(t, 1, "PDU = %{NUMBER:P1F1}")
+	if n := p.ApplyHeuristicNames(); n != 1 {
+		t.Fatalf("renamed %d fields, want 1", n)
+	}
+	if got := p.String(); got != "PDU = %{NUMBER:PDU}" {
+		t.Errorf("got %q", got)
+	}
+
+	// "key:" shape.
+	p = mustPattern(t, 2, "status: %{WORD:P2F1} rc= %{NUMBER:P2F2}")
+	if n := p.ApplyHeuristicNames(); n != 2 {
+		t.Fatalf("renamed %d fields, want 2", n)
+	}
+	if p.Field("status") < 0 || p.Field("rc") < 0 {
+		t.Errorf("got %q", p.String())
+	}
+
+	// No heuristic match: generic name kept.
+	p = mustPattern(t, 3, "%{WORD:P3F1} end")
+	if n := p.ApplyHeuristicNames(); n != 0 {
+		t.Errorf("renamed %d fields, want 0", n)
+	}
+
+	// User-assigned names are never overwritten.
+	p = mustPattern(t, 4, "PDU = %{NUMBER:myName}")
+	if n := p.ApplyHeuristicNames(); n != 0 {
+		t.Errorf("renamed user-named field: %q", p.String())
+	}
+
+	// Duplicate keys: only the first field takes the name.
+	p = mustPattern(t, 5, "x = %{NUMBER:P5F1} x = %{NUMBER:P5F2}")
+	p.ApplyHeuristicNames()
+	if p.Field("x") < 0 || p.Field("P5F2") < 0 {
+		t.Errorf("got %q", p.String())
+	}
+}
+
+func TestGenerality(t *testing.T) {
+	specific := mustPattern(t, 1, "%{DATETIME:a} %{IP:b} login")
+	general := mustPattern(t, 2, "%{DATETIME:a} %{NOTSPACE:b} login")
+	wildcard := mustPattern(t, 3, "%{DATETIME:a} %{ANYDATA:b} login")
+	if !(specific.Generality() < general.Generality() && general.Generality() < wildcard.Generality()) {
+		t.Errorf("generality order violated: %d %d %d",
+			specific.Generality(), general.Generality(), wildcard.Generality())
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	id1 := s.Add(mustPattern(t, 0, "%{WORD} one"))
+	id2 := s.Add(mustPattern(t, 0, "%{WORD} two"))
+	if id1 == id2 {
+		t.Fatal("IDs must be unique")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	p, ok := s.Get(id1)
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	// Field IDs assigned on Add.
+	if p.Tokens[0].Name == "" {
+		t.Error("Add must assign field IDs")
+	}
+	if !s.Delete(id1) || s.Delete(id1) {
+		t.Error("Delete semantics")
+	}
+	// Explicit IDs are preserved and advance the counter.
+	s2 := NewSet()
+	s2.Add(mustPattern(t, 10, "fixed %{NUMBER}"))
+	if id := s2.Add(mustPattern(t, 0, "auto %{NUMBER}")); id != 11 {
+		t.Errorf("next auto ID = %d, want 11", id)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Add(mustPattern(t, 0, "%{DATETIME} %{IP} login %{NOTSPACE:user}"))
+	s.Add(mustPattern(t, 0, "%{DATETIME} %{IP} logout %{NOTSPACE:user}"))
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s2 Set
+	if err := json.Unmarshal(data, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("round trip lost patterns: %d", s2.Len())
+	}
+	for _, p := range s.Patterns() {
+		q, ok := s2.Get(p.ID)
+		if !ok || q.String() != p.String() {
+			t.Errorf("pattern %d: %q != %q", p.ID, q, p)
+		}
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := NewSet()
+	id := s.Add(mustPattern(t, 0, "%{WORD:w} x"))
+	c := s.Clone()
+	cp, _ := c.Get(id)
+	if err := cp.RenameField("w", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	op, _ := s.Get(id)
+	if op.Field("renamed") >= 0 {
+		t.Error("Clone must deep-copy patterns")
+	}
+}
+
+func TestFindShadowed(t *testing.T) {
+	s := NewSet()
+	specific := mustPattern(t, 0, "job %{WORD:v} done")
+	general := mustPattern(t, 0, "job %{NOTSPACE:v} done")
+	other := mustPattern(t, 0, "disk %{NUMBER:pct} full")
+	s.Add(specific)
+	s.Add(general)
+	s.Add(other)
+
+	pairs := FindShadowed(s)
+	// The WORD pattern is NOT shadowed (NOTSPACE logs exist it cannot
+	// take); nothing here is dead: general catches x-1 etc.
+	if len(pairs) != 0 {
+		t.Fatalf("pairs = %+v, want none (general is reachable)", pairs)
+	}
+
+	// A duplicate of the general pattern IS dead: identical language,
+	// scanned later.
+	dup := mustPattern(t, 0, "job %{NOTSPACE:w} done")
+	s.Add(dup)
+	pairs = FindShadowed(s)
+	if len(pairs) != 1 || pairs[0].Shadowed != dup.ID || pairs[0].By != general.ID {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+
+	// A literal specialization shadowed by a field pattern: "job alpha
+	// done" never wins against... no: the literal is MORE specific
+	// (lower generality) so it scans first and is reachable.
+	lit := mustPattern(t, 0, "job alpha done")
+	s.Add(lit)
+	for _, p := range FindShadowed(s) {
+		if p.Shadowed == lit.ID {
+			t.Fatalf("literal pattern wrongly reported shadowed: %+v", p)
+		}
+	}
+}
+
+func TestFindShadowedWildcards(t *testing.T) {
+	s := NewSet()
+	s.Add(mustPattern(t, 0, "query %{ANYDATA:sql} rc %{NUMBER:n}"))
+	s.Add(mustPattern(t, 0, "query %{NOTSPACE:q} rc %{NUMBER:n}"))
+	// The 4-token wildcard pattern aligned 1:1 covers the NOTSPACE one,
+	// but the NOTSPACE one is more specific and scans first: reachable.
+	// The wildcard pattern accepts other lengths: not shadowed either.
+	if pairs := FindShadowed(s); len(pairs) != 0 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}

@@ -1,0 +1,161 @@
+package grok
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"loglens/internal/datatype"
+)
+
+// compileRef compiles a pattern to an anchored regexp — an independent
+// reference implementation of matching semantics.
+func compileRef(t *testing.T, p *Pattern) *regexp.Regexp {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("^")
+	for i, tok := range p.Tokens {
+		sep := " "
+		if i == 0 {
+			sep = ""
+		}
+		if tok.IsField && tok.Type == datatype.AnyData {
+			// A wildcard absorbs zero tokens (no separator) or a
+			// run of tokens with separators.
+			if i == 0 {
+				b.WriteString(`(?:\S+(?: \S+)* )?`)
+			} else if i == len(p.Tokens)-1 {
+				b.WriteString(`(?: \S+)*`)
+			} else {
+				b.WriteString(`(?: \S+)*`)
+			}
+			continue
+		}
+		b.WriteString(regexp.QuoteMeta(sep))
+		if tok.IsField {
+			b.WriteString("(?:" + tok.Type.Regexp() + ")")
+		} else {
+			b.WriteString(regexp.QuoteMeta(tok.Literal))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		t.Fatalf("compile %q: %v", b.String(), err)
+	}
+	return re
+}
+
+// genPattern builds a random pattern without leading wildcards (the regex
+// reference's leading-wildcard encoding differs in separator handling, so
+// we exercise inner and trailing wildcards here; leading wildcards have
+// dedicated unit tests).
+func genPattern(rng *rand.Rand, id int) *Pattern {
+	n := rng.Intn(5) + 1
+	p := &Pattern{ID: id}
+	words := []string{"login", "error", "disk", "sent", "from"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			p.Tokens = append(p.Tokens, LiteralToken(words[rng.Intn(len(words))]))
+		case 1:
+			p.Tokens = append(p.Tokens, FieldToken(datatype.Number, ""))
+		case 2:
+			p.Tokens = append(p.Tokens, FieldToken(datatype.Word, ""))
+		case 3:
+			p.Tokens = append(p.Tokens, FieldToken(datatype.NotSpace, ""))
+		default:
+			if i > 0 {
+				p.Tokens = append(p.Tokens, FieldToken(datatype.AnyData, ""))
+			} else {
+				p.Tokens = append(p.Tokens, LiteralToken(words[rng.Intn(len(words))]))
+			}
+		}
+	}
+	p.AssignFieldIDs()
+	return p
+}
+
+func genTokens(rng *rand.Rand) []string {
+	n := rng.Intn(7)
+	out := make([]string, n)
+	choices := []string{"login", "error", "42", "-7.5", "abc", "x-1", "disk", "99"}
+	for i := range out {
+		out[i] = choices[rng.Intn(len(choices))]
+	}
+	return out
+}
+
+// TestMatchAgainstRegexReference differentially tests the token matcher
+// (including the wildcard DP) against the regex reference on random
+// patterns and logs.
+func TestMatchAgainstRegexReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		p := genPattern(rng, 1)
+		re := compileRef(t, p)
+		tokens := genTokens(rng)
+		got := p.Matches(tokens)
+		want := re.MatchString(strings.Join(tokens, " "))
+		if got != want {
+			t.Fatalf("pattern %q vs %v: Match=%v regex=%v", p.String(), tokens, got, want)
+		}
+	}
+}
+
+// TestMatchSelfRendered: a pattern always matches a log rendered from
+// itself with conforming field values.
+func TestMatchSelfRendered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := map[datatype.Type][]string{
+		datatype.Word:     {"alpha", "beta"},
+		datatype.Number:   {"42", "-1.5"},
+		datatype.IP:       {"10.0.0.1"},
+		datatype.NotSpace: {"x-9", "a_b"},
+		datatype.DateTime: {"2016/02/23 09:00:31.000"},
+	}
+	for i := 0; i < 2000; i++ {
+		p := genPattern(rng, 1)
+		var tokens []string
+		for _, tok := range p.Tokens {
+			switch {
+			case !tok.IsField:
+				tokens = append(tokens, tok.Literal)
+			case tok.Type == datatype.AnyData:
+				for k := rng.Intn(3); k > 0; k-- {
+					tokens = append(tokens, "wild")
+				}
+			default:
+				vs := values[tok.Type]
+				tokens = append(tokens, vs[rng.Intn(len(vs))])
+			}
+		}
+		if !p.Matches(tokens) {
+			t.Fatalf("pattern %q rejected its own rendering %v", p.String(), tokens)
+		}
+	}
+}
+
+// TestFieldExtractionConsistent: extracted non-wildcard field values
+// appear in the log at their positions.
+func TestFieldExtractionConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		p := genPattern(rng, 1)
+		tokens := genTokens(rng)
+		fields, ok := p.Match(tokens)
+		if !ok {
+			continue
+		}
+		joined := " " + strings.Join(tokens, " ") + " "
+		for _, f := range fields {
+			if f.Value == "" {
+				continue // empty wildcard capture
+			}
+			if !strings.Contains(joined, " "+f.Value+" ") {
+				t.Fatalf("pattern %q extracted %q not present in %v", p.String(), f.Value, tokens)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package grok
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Set is a pattern collection — the log-pattern model produced by the
+// model builder and consumed by the parser. It supports the model-manager
+// operations (add, delete, lookup) and JSON (de)serialization for the
+// model storage.
+type Set struct {
+	patterns map[int]*Pattern
+	nextID   int
+}
+
+// NewSet returns an empty pattern set with IDs starting at 1.
+func NewSet() *Set {
+	return &Set{patterns: make(map[int]*Pattern), nextID: 1}
+}
+
+// Add inserts a pattern, assigning it the next free ID when p.ID is zero,
+// and assigns generated field IDs to unnamed fields. It returns the
+// pattern's ID.
+func (s *Set) Add(p *Pattern) int {
+	if p.ID == 0 {
+		p.ID = s.nextID
+	}
+	if p.ID >= s.nextID {
+		s.nextID = p.ID + 1
+	}
+	p.AssignFieldIDs()
+	s.patterns[p.ID] = p
+	return p.ID
+}
+
+// Delete removes the pattern with the given ID. It reports whether a
+// pattern was removed.
+func (s *Set) Delete(id int) bool {
+	if _, ok := s.patterns[id]; !ok {
+		return false
+	}
+	delete(s.patterns, id)
+	return true
+}
+
+// Get returns the pattern with the given ID.
+func (s *Set) Get(id int) (*Pattern, bool) {
+	p, ok := s.patterns[id]
+	return p, ok
+}
+
+// Len returns the number of patterns.
+func (s *Set) Len() int { return len(s.patterns) }
+
+// Patterns returns all patterns ordered by ID.
+func (s *Set) Patterns() []*Pattern {
+	out := make([]*Pattern, 0, len(s.patterns))
+	for _, p := range s.patterns {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clone returns a deep copy of the set, so edits on one copy (model
+// updates) never disturb detectors holding the other.
+func (s *Set) Clone() *Set {
+	c := NewSet()
+	c.nextID = s.nextID
+	for id, p := range s.patterns {
+		c.patterns[id] = p.Clone()
+	}
+	return c
+}
+
+// setJSON is the serialized form: the GROK text round-trips through
+// ParsePattern, keeping stored models human-editable (§II model manager
+// lets experts inspect and edit models).
+type setJSON struct {
+	Patterns []patternJSON `json:"patterns"`
+}
+
+type patternJSON struct {
+	ID   int    `json:"id"`
+	Grok string `json:"grok"`
+}
+
+// MarshalJSON serializes the set with each pattern in GROK text form.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	out := setJSON{Patterns: make([]patternJSON, 0, len(s.patterns))}
+	for _, p := range s.Patterns() {
+		out.Patterns = append(out.Patterns, patternJSON{ID: p.ID, Grok: p.String()})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON deserializes a set produced by MarshalJSON (or edited by a
+// user).
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in setJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("grok: unmarshal set: %w", err)
+	}
+	s.patterns = make(map[int]*Pattern, len(in.Patterns))
+	s.nextID = 1
+	for _, pj := range in.Patterns {
+		p, err := ParsePattern(pj.ID, pj.Grok)
+		if err != nil {
+			return err
+		}
+		s.Add(p)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package grok
+
+import "loglens/internal/datatype"
+
+// Shadowing is model QA for the reviewer (§II: experts inspect models):
+// pattern B is shadowed by pattern A when every log B parses, A parses
+// too and A is at least as specific — so B can never win a candidate
+// group scan and is dead weight (usually a sign that clustering split one
+// template, or that a user edit over-generalized a pattern).
+
+// ShadowPair reports one shadowed pattern.
+type ShadowPair struct {
+	// Shadowed is the unreachable pattern's ID; By is the pattern that
+	// absorbs its traffic.
+	Shadowed, By int
+}
+
+// FindShadowed returns every shadowed pattern in the set. Wildcard
+// patterns are compared structurally only when shapes align one to one;
+// ANYDATA-bearing patterns are conservative (they shadow nothing unless
+// identical in length).
+func FindShadowed(s *Set) []ShadowPair {
+	patterns := s.Patterns()
+	var out []ShadowPair
+	for _, b := range patterns {
+		for _, a := range patterns {
+			if a.ID == b.ID {
+				continue
+			}
+			// b is dead only if a accepts everything b accepts AND
+			// a is scanned before b in candidate groups (ascending
+			// generality, then length): every log that could reach
+			// b is taken by a first.
+			if covers(a, b) && scanOrderBefore(a, b) {
+				out = append(out, ShadowPair{Shadowed: b.ID, By: a.ID})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether pattern a accepts every log pattern b accepts.
+// It requires positionally aligned tokens (equal length, no ANYDATA
+// length variance beyond identical placement).
+func covers(a, b *Pattern) bool {
+	if len(a.Tokens) != len(b.Tokens) {
+		return false
+	}
+	for i := range a.Tokens {
+		at, bt := a.Tokens[i], b.Tokens[i]
+		switch {
+		case at.IsField && at.Type == datatype.AnyData:
+			// A wildcard aligned one-to-one absorbs any single
+			// token; with equal lengths this is sound.
+			continue
+		case bt.IsField && bt.Type == datatype.AnyData:
+			return false
+		case at.IsField && bt.IsField:
+			if !datatype.Covers(at.Type, bt.Type) {
+				return false
+			}
+		case at.IsField && !bt.IsField:
+			if !datatype.Matches(at.Type, bt.Literal) {
+				return false
+			}
+		case !at.IsField && bt.IsField:
+			return false
+		default:
+			if at.Literal != bt.Literal {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanOrderBefore mirrors the parser's candidate ordering: ascending
+// generality, then token count, then ID.
+func scanOrderBefore(a, b *Pattern) bool {
+	ga, gb := a.Generality(), b.Generality()
+	if ga != gb {
+		return ga < gb
+	}
+	if len(a.Tokens) != len(b.Tokens) {
+		return len(a.Tokens) < len(b.Tokens)
+	}
+	return a.ID < b.ID
+}

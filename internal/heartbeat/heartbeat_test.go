@@ -1,0 +1,136 @@
+package heartbeat
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable wall clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+var wall0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+var log0 = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+func newTestController() (*Controller, *fakeClock) {
+	clock := &fakeClock{now: wall0}
+	c := New(Config{ActivityWindow: time.Hour})
+	c.SetClock(clock.Now)
+	return c, clock
+}
+
+func TestSynthesizedTimeTracksLogRate(t *testing.T) {
+	c, clock := newTestController()
+
+	// Log time advances 2 seconds per wall second (replay at 2x).
+	c.Observe("src", log0)
+	clock.Advance(time.Second)
+	c.Observe("src", log0.Add(2*time.Second))
+	clock.Advance(time.Second)
+	c.Observe("src", log0.Add(4*time.Second))
+
+	// Silence for 10 wall seconds: synthesized log time should advance
+	// by about 20 log seconds.
+	clock.Advance(10 * time.Second)
+	hbs := c.Tick()
+	if len(hbs) != 1 {
+		t.Fatalf("heartbeats = %v", hbs)
+	}
+	got := hbs[0].Time.Sub(log0.Add(4 * time.Second)).Seconds()
+	if got < 15 || got > 25 {
+		t.Errorf("synthesized advance = %.1fs, want ~20s (2x rate)", got)
+	}
+	if hbs[0].Source != "src" {
+		t.Errorf("source = %q", hbs[0].Source)
+	}
+}
+
+func TestSingleObservationAssumesRealTime(t *testing.T) {
+	c, clock := newTestController()
+	c.Observe("src", log0)
+	clock.Advance(5 * time.Second)
+	hbs := c.Tick()
+	if len(hbs) != 1 {
+		t.Fatal("no heartbeat")
+	}
+	got := hbs[0].Time.Sub(log0).Seconds()
+	if got < 4.9 || got > 5.1 {
+		t.Errorf("advance = %.1fs, want ~5s at assumed 1x", got)
+	}
+}
+
+func TestInactiveSourceDropped(t *testing.T) {
+	clock := &fakeClock{now: wall0}
+	c := New(Config{ActivityWindow: time.Minute})
+	c.SetClock(clock.Now)
+	c.Observe("src", log0)
+	clock.Advance(2 * time.Minute)
+	if hbs := c.Tick(); len(hbs) != 0 {
+		t.Fatalf("inactive source still heartbeating: %v", hbs)
+	}
+	if len(c.Sources()) != 0 {
+		t.Error("inactive source not forgotten")
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	c, clock := newTestController()
+	c.Observe("a", log0)
+	c.Observe("b", log0.Add(time.Hour))
+	clock.Advance(time.Second)
+	hbs := c.Tick()
+	if len(hbs) != 2 {
+		t.Fatalf("heartbeats = %v", hbs)
+	}
+}
+
+func TestOutOfOrderLogTimeIgnoredForRegression(t *testing.T) {
+	c, clock := newTestController()
+	c.Observe("src", log0.Add(10*time.Second))
+	clock.Advance(time.Second)
+	// A late-arriving older log must not move last log time backwards.
+	c.Observe("src", log0)
+	clock.Advance(time.Second)
+	hbs := c.Tick()
+	if len(hbs) != 1 {
+		t.Fatal("no heartbeat")
+	}
+	if hbs[0].Time.Before(log0.Add(10 * time.Second)) {
+		t.Errorf("synthesized time went backwards: %v", hbs[0].Time)
+	}
+}
+
+func TestRunEmitsPeriodically(t *testing.T) {
+	c := New(Config{Interval: 5 * time.Millisecond})
+	c.Observe("src", log0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	var mu sync.Mutex
+	count := 0
+	c.Run(ctx, func(hb Heartbeat) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if count < 2 {
+		t.Errorf("emitted %d heartbeats, want several", count)
+	}
+}

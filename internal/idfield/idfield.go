@@ -1,0 +1,215 @@
+// Package idfield implements automatic event-ID-field discovery (§IV-A1):
+// finding, with no domain knowledge, which parsed-log field carries the
+// identifier linking the multiple heterogeneous logs of one event. The
+// algorithm is the paper's Apriori-style two-step: build a reverse index
+// from field content to the (log pattern, field) pairs it occurs in, then
+// accept content-sharing pair lists that tie patterns together.
+package idfield
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"loglens/internal/logtypes"
+)
+
+// PatternField names one field of one log pattern.
+type PatternField struct {
+	PatternID int
+	Field     string
+}
+
+// Discovery is the result of ID-field discovery.
+type Discovery struct {
+	// FieldOf maps each covered pattern ID to the field that carries
+	// the event ID in logs of that pattern.
+	FieldOf map[int]string
+
+	// Groups are the accepted (pattern, field) lists, each the ID
+	// linkage of one event type; Groups[i] ties together the patterns
+	// of one workflow. With a single event type spanning every pattern
+	// this is one list covering all patterns, the paper's exact
+	// acceptance condition.
+	Groups [][]PatternField
+}
+
+// Covers reports whether discovery found an ID field for the pattern.
+func (d Discovery) Covers(patternID int) bool {
+	_, ok := d.FieldOf[patternID]
+	return ok
+}
+
+// Config tunes discovery.
+type Config struct {
+	// MinPatterns is the minimum number of distinct patterns a content
+	// must link before its pair list is considered (default 2: an ID
+	// must tie at least two logs of different patterns together).
+	MinPatterns int
+
+	// MinSupport is the minimum number of distinct content values that
+	// must share a pair list before it is accepted (default 2),
+	// filtering out coincidental one-off collisions.
+	MinSupport int
+
+	// MaxLogsPerContent excludes contents occurring in more logs than
+	// this (default 64). Event IDs are event-scoped — each value
+	// appears in the handful of logs of one event — while server IPs,
+	// status codes, and other non-identifying values repeat without
+	// bound.
+	MaxLogsPerContent int
+}
+
+func (c *Config) setDefaults() {
+	if c.MinPatterns == 0 {
+		c.MinPatterns = 2
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 2
+	}
+	if c.MaxLogsPerContent == 0 {
+		c.MaxLogsPerContent = 64
+	}
+}
+
+// Discover runs ID-field discovery over a training corpus of parsed logs.
+func Discover(logs []*logtypes.ParsedLog, cfg Config) Discovery {
+	cfg.setDefaults()
+
+	// Step 1: reverse index — content value -> set of (pattern, field)
+	// pairs in which it occurs, plus its total log count (§IV-A1
+	// "Building a reverse index").
+	type entry struct {
+		pairs map[PatternField]struct{}
+		logs  int
+	}
+	index := make(map[string]*entry)
+	patterns := make(map[int]struct{})
+	for _, l := range logs {
+		patterns[l.PatternID] = struct{}{}
+		for _, f := range l.Fields {
+			pf := PatternField{PatternID: l.PatternID, Field: f.Name}
+			e, ok := index[f.Value]
+			if !ok {
+				e = &entry{pairs: make(map[PatternField]struct{})}
+				index[f.Value] = e
+			}
+			e.pairs[pf] = struct{}{}
+			e.logs++
+		}
+	}
+
+	// Step 2: group contents by their canonical pair list and count
+	// support (§IV-A1 "ID Field discovery"). Contents occurring in too
+	// many logs cannot identify a single event and are excluded.
+	type candidate struct {
+		pairs   []PatternField
+		support int
+	}
+	byKey := make(map[string]*candidate)
+	for _, e := range index {
+		if e.logs > cfg.MaxLogsPerContent {
+			continue
+		}
+		set := e.pairs
+		pairs := make([]PatternField, 0, len(set))
+		seen := make(map[int]struct{})
+		for pf := range set {
+			pairs = append(pairs, pf)
+			seen[pf.PatternID] = struct{}{}
+		}
+		if len(seen) < cfg.MinPatterns {
+			continue
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].PatternID != pairs[j].PatternID {
+				return pairs[i].PatternID < pairs[j].PatternID
+			}
+			return pairs[i].Field < pairs[j].Field
+		})
+		key := pairKey(pairs)
+		if c, ok := byKey[key]; ok {
+			c.support++
+			continue
+		}
+		byKey[key] = &candidate{pairs: pairs, support: 1}
+	}
+
+	// Rank candidates: highest support first, then wider pattern
+	// coverage, then the canonical key for determinism.
+	cands := make([]*candidate, 0, len(byKey))
+	for _, c := range byKey {
+		if c.support >= cfg.MinSupport {
+			cands = append(cands, c)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].support != cands[j].support {
+			return cands[i].support > cands[j].support
+		}
+		if len(cands[i].pairs) != len(cands[j].pairs) {
+			return len(cands[i].pairs) > len(cands[j].pairs)
+		}
+		return pairKey(cands[i].pairs) < pairKey(cands[j].pairs)
+	})
+
+	// Accept candidates greedily: each pattern gets at most one ID
+	// field; a candidate is accepted if it claims at least one pattern
+	// not yet covered and does not contradict existing assignments.
+	d := Discovery{FieldOf: make(map[int]string)}
+	for _, c := range cands {
+		assign := make(map[int]string)
+		conflict := false
+		fresh := false
+		for _, pf := range c.pairs {
+			cur, dup := assign[pf.PatternID]
+			if dup && cur != pf.Field {
+				// The candidate itself is ambiguous for this
+				// pattern; keep the first (canonical) field.
+				continue
+			}
+			if prev, ok := d.FieldOf[pf.PatternID]; ok {
+				if prev != pf.Field {
+					conflict = true
+					break
+				}
+				assign[pf.PatternID] = pf.Field
+				continue
+			}
+			assign[pf.PatternID] = pf.Field
+			fresh = true
+		}
+		if conflict || !fresh {
+			continue
+		}
+		group := make([]PatternField, 0, len(assign))
+		for pid, field := range assign {
+			d.FieldOf[pid] = field
+			group = append(group, PatternField{PatternID: pid, Field: field})
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].PatternID < group[j].PatternID })
+		d.Groups = append(d.Groups, group)
+	}
+	return d
+}
+
+// EventID extracts the event ID of a parsed log under the discovery, and
+// whether the log participates in sequence tracking at all.
+func (d Discovery) EventID(l *logtypes.ParsedLog) (string, bool) {
+	field, ok := d.FieldOf[l.PatternID]
+	if !ok {
+		return "", false
+	}
+	return l.FieldValue(field)
+}
+
+func pairKey(pairs []PatternField) string {
+	var b strings.Builder
+	for _, pf := range pairs {
+		b.WriteString(pf.Field)
+		b.WriteByte('@')
+		b.WriteString(strconv.Itoa(pf.PatternID))
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package idfield
+
+import (
+	"fmt"
+	"testing"
+
+	"loglens/internal/logtypes"
+)
+
+func plog(pattern int, fields ...logtypes.Field) *logtypes.ParsedLog {
+	return &logtypes.ParsedLog{PatternID: pattern, Fields: fields}
+}
+
+func f(name, value string) logtypes.Field { return logtypes.Field{Name: name, Value: value} }
+
+func TestDiscoverSingleEventType(t *testing.T) {
+	// Three patterns, all carrying the event ID in different fields;
+	// other fields hold unrelated values.
+	var logs []*logtypes.ParsedLog
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("evt-%d", i)
+		logs = append(logs,
+			plog(1, f("P1F1", id), f("P1F2", fmt.Sprintf("10.0.0.%d", i%3))),
+			plog(2, f("P2F1", fmt.Sprintf("%d", i*7)), f("P2F2", id)),
+			plog(3, f("P3F1", id)),
+		)
+	}
+	d := Discover(logs, Config{})
+	if len(d.FieldOf) != 3 {
+		t.Fatalf("FieldOf = %v, want 3 patterns covered", d.FieldOf)
+	}
+	want := map[int]string{1: "P1F1", 2: "P2F2", 3: "P3F1"}
+	for pid, field := range want {
+		if d.FieldOf[pid] != field {
+			t.Errorf("FieldOf[%d] = %q, want %q", pid, d.FieldOf[pid], field)
+		}
+	}
+	if len(d.Groups) != 1 {
+		t.Errorf("Groups = %v, want one covering list", d.Groups)
+	}
+	// EventID extraction.
+	id, ok := d.EventID(plog(2, f("P2F1", "x"), f("P2F2", "evt-42")))
+	if !ok || id != "evt-42" {
+		t.Errorf("EventID = %q/%v", id, ok)
+	}
+	if _, ok := d.EventID(plog(9, f("a", "b"))); ok {
+		t.Error("uncovered pattern must not yield an event ID")
+	}
+}
+
+func TestDiscoverTwoEventTypes(t *testing.T) {
+	// Two disjoint workflows: patterns {1,2} share IDs "a-*", patterns
+	// {3,4} share IDs "b-*".
+	var logs []*logtypes.ParsedLog
+	for i := 0; i < 8; i++ {
+		a := fmt.Sprintf("a-%d", i)
+		b := fmt.Sprintf("b-%d", i)
+		logs = append(logs,
+			plog(1, f("P1F1", a)),
+			plog(2, f("P2F1", a)),
+			plog(3, f("P3F1", b), f("P3F2", "const")),
+			plog(4, f("P4F1", b)),
+		)
+	}
+	d := Discover(logs, Config{})
+	if len(d.Groups) != 2 {
+		t.Fatalf("Groups = %d, want 2 (one per workflow): %v", len(d.Groups), d.Groups)
+	}
+	if d.FieldOf[1] != "P1F1" || d.FieldOf[2] != "P2F1" || d.FieldOf[3] != "P3F1" || d.FieldOf[4] != "P4F1" {
+		t.Errorf("FieldOf = %v", d.FieldOf)
+	}
+}
+
+func TestDiscoverIgnoresConstantValues(t *testing.T) {
+	// A constant value ("OK") occurs in every pattern but is a single
+	// content value: it produces one list with support 1, rejected by
+	// MinSupport; the real IDs have support >= 2.
+	var logs []*logtypes.ParsedLog
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("evt-%d", i)
+		logs = append(logs,
+			plog(1, f("P1F1", id), f("P1F2", "OK")),
+			plog(2, f("P2F1", id), f("P2F2", "OK")),
+		)
+	}
+	d := Discover(logs, Config{})
+	if d.FieldOf[1] != "P1F1" || d.FieldOf[2] != "P2F1" {
+		t.Errorf("FieldOf = %v: constant field must not win", d.FieldOf)
+	}
+}
+
+func TestDiscoverNoLinkage(t *testing.T) {
+	// Every value unique to one log: nothing links patterns.
+	var logs []*logtypes.ParsedLog
+	for i := 0; i < 6; i++ {
+		logs = append(logs,
+			plog(1, f("P1F1", fmt.Sprintf("x-%d", i))),
+			plog(2, f("P2F1", fmt.Sprintf("y-%d", i))),
+		)
+	}
+	d := Discover(logs, Config{})
+	if len(d.FieldOf) != 0 {
+		t.Errorf("FieldOf = %v, want empty", d.FieldOf)
+	}
+	if d.Covers(1) {
+		t.Error("Covers(1) must be false")
+	}
+}
+
+func TestDiscoverEmpty(t *testing.T) {
+	d := Discover(nil, Config{})
+	if len(d.FieldOf) != 0 || len(d.Groups) != 0 {
+		t.Errorf("empty input: %+v", d)
+	}
+}

@@ -1,0 +1,164 @@
+// Package logmanager implements the log manager of §II: it receives logs
+// from agents over the bus, identifies their sources, controls the
+// incoming rate, archives raw logs into the log storage (organized by
+// source), and forwards them downstream to the parser.
+package logmanager
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/bus"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/store"
+)
+
+// Config tunes the Manager.
+type Config struct {
+	// Group is the consumer-group name (default "log-manager").
+	Group string
+
+	// MaxRatePerSec throttles forwarding (0 = unthrottled): the "rate
+	// control" knob protecting downstream parsing from bursts.
+	MaxRatePerSec int
+
+	// ArchiveLogs stores raw logs into the log storage (default
+	// behaviour; the evaluation harness disables it for pure-throughput
+	// runs).
+	ArchiveLogs bool
+}
+
+// Manager pumps logs from the bus into the processing pipeline.
+type Manager struct {
+	cfg       Config
+	bus       *bus.Bus
+	store     *store.Store
+	forward   func(logtypes.Log)
+	forwardHB func(source string, t time.Time)
+
+	received atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// New constructs a Manager. forward is the downstream hook (the parser
+// stage); st may be nil when ArchiveLogs is false.
+func New(b *bus.Bus, st *store.Store, cfg Config, forward func(logtypes.Log)) *Manager {
+	if cfg.Group == "" {
+		cfg.Group = "log-manager"
+	}
+	return &Manager{cfg: cfg, bus: b, store: st, forward: forward}
+}
+
+// OnHeartbeat installs the hook invoked for heartbeat-tagged messages
+// arriving on the data channel (§V-B).
+func (m *Manager) OnHeartbeat(fn func(source string, t time.Time)) {
+	m.forwardHB = fn
+}
+
+// Received returns the number of logs consumed from the bus.
+func (m *Manager) Received() uint64 { return m.received.Load() }
+
+// Run consumes the logs topic until the context is done.
+func (m *Manager) Run(ctx context.Context) error {
+	consumer, err := m.bus.NewConsumer(m.cfg.Group, agent.LogsTopic)
+	if err != nil {
+		return err
+	}
+	var limiter *time.Ticker
+	if m.cfg.MaxRatePerSec > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(m.cfg.MaxRatePerSec))
+		defer limiter.Stop()
+	}
+	for {
+		msgs, err := consumer.Poll(ctx, 0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		for _, msg := range msgs {
+			if limiter != nil {
+				select {
+				case <-limiter.C:
+				case <-ctx.Done():
+					return nil
+				}
+			}
+			m.handle(msg)
+		}
+	}
+}
+
+// DrainOnce consumes and forwards everything currently pending, without
+// blocking — used by batch-mode harnesses that replay a finite corpus.
+func (m *Manager) DrainOnce() int {
+	consumer, err := m.bus.NewConsumer(m.cfg.Group, agent.LogsTopic)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for {
+		msgs := consumer.TryPoll(0)
+		if len(msgs) == 0 {
+			return n
+		}
+		for _, msg := range msgs {
+			m.handle(msg)
+			n++
+		}
+	}
+}
+
+// handle identifies the source, archives, and forwards one message.
+// Heartbeat-tagged messages are routed to the heartbeat hook instead of
+// the log path.
+func (m *Manager) handle(msg bus.Message) {
+	source := msg.Headers[agent.HeaderSource]
+	if source == "" {
+		// Source identification fallback: the partition key.
+		source = msg.Key
+	}
+	if hb := msg.Headers[agent.HeaderHeartbeat]; hb != "" {
+		t, err := time.Parse(time.RFC3339Nano, hb)
+		if err != nil || source == "" {
+			m.dropped.Add(1)
+			return
+		}
+		if m.forwardHB != nil {
+			m.forwardHB(source, t)
+		}
+		return
+	}
+	if source == "" {
+		m.dropped.Add(1)
+		return
+	}
+	var seq uint64
+	if s := msg.Headers[agent.HeaderSeq]; s != "" {
+		seq, _ = strconv.ParseUint(s, 10, 64)
+	}
+	l := logtypes.Log{
+		Source:  source,
+		Seq:     seq,
+		Arrival: msg.Time,
+		Raw:     string(msg.Value),
+	}
+	m.received.Add(1)
+
+	if m.cfg.ArchiveLogs && m.store != nil {
+		m.store.Index(modelmgr.LogsIndexFor(source)).PutAuto(store.Document{
+			"raw":     l.Raw,
+			"seq":     l.Seq,
+			"arrival": l.Arrival,
+			"source":  l.Source,
+		})
+	}
+	if m.forward != nil {
+		m.forward(l)
+	}
+}

@@ -1,0 +1,192 @@
+package logmanager
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/bus"
+	"loglens/internal/logtypes"
+	"loglens/internal/modelmgr"
+	"loglens/internal/store"
+)
+
+func setup(t *testing.T, cfg Config) (*bus.Bus, *store.Store, *Manager, *[]logtypes.Log, *sync.Mutex) {
+	t.Helper()
+	b := bus.New()
+	st := store.New()
+	var mu sync.Mutex
+	var forwarded []logtypes.Log
+	m := New(b, st, cfg, func(l logtypes.Log) {
+		mu.Lock()
+		forwarded = append(forwarded, l)
+		mu.Unlock()
+	})
+	return b, st, m, &forwarded, &mu
+}
+
+func TestDrainOnceForwardsAndArchives(t *testing.T) {
+	b, st, m, forwarded, mu := setup(t, Config{ArchiveLogs: true})
+	a, err := agent.New(b, agent.Config{Source: "web"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Send(fmt.Sprintf("line %d", i))
+	}
+	if n := m.DrainOnce(); n != 5 {
+		t.Fatalf("drained %d", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*forwarded) != 5 {
+		t.Fatalf("forwarded %d", len(*forwarded))
+	}
+	l := (*forwarded)[0]
+	if l.Source != "web" || l.Seq != 1 || l.Raw != "line 0" {
+		t.Errorf("log = %+v", l)
+	}
+	if l.Arrival.IsZero() {
+		t.Error("arrival not set")
+	}
+	// Archived under the per-source index.
+	if got := st.Index(modelmgr.LogsIndexFor("web")).Count(); got != 5 {
+		t.Errorf("archived = %d", got)
+	}
+	if m.Received() != 5 {
+		t.Errorf("received = %d", m.Received())
+	}
+}
+
+func TestArchiveDisabled(t *testing.T) {
+	b, st, m, _, _ := setup(t, Config{})
+	a, _ := agent.New(b, agent.Config{Source: "web"})
+	a.Send("x")
+	m.DrainOnce()
+	if got := st.Index(modelmgr.LogsIndexFor("web")).Count(); got != 0 {
+		t.Errorf("archived = %d with archiving disabled", got)
+	}
+}
+
+func TestSourceFallbackToKey(t *testing.T) {
+	b, _, m, forwarded, mu := setup(t, Config{})
+	b.CreateTopic(agent.LogsTopic, 2)
+	// A message without the source header but with a key.
+	b.Publish(agent.LogsTopic, "keyed-source", []byte("raw"), nil)
+	m.DrainOnce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*forwarded) != 1 || (*forwarded)[0].Source != "keyed-source" {
+		t.Errorf("forwarded = %+v", *forwarded)
+	}
+}
+
+func TestUnidentifiableDropped(t *testing.T) {
+	b, _, m, forwarded, mu := setup(t, Config{})
+	b.CreateTopic(agent.LogsTopic, 1)
+	b.Publish(agent.LogsTopic, "", []byte("orphan"), nil)
+	m.DrainOnce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*forwarded) != 0 {
+		t.Errorf("unidentifiable message forwarded: %+v", *forwarded)
+	}
+}
+
+func TestRunConsumesLive(t *testing.T) {
+	b, _, m, forwarded, mu := setup(t, Config{})
+	a, _ := agent.New(b, agent.Config{Source: "live"})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+
+	for i := 0; i < 3; i++ {
+		a.Send("x")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(*forwarded)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("forwarded %d of 3", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+func TestRateControl(t *testing.T) {
+	b, _, m, _, _ := setup(t, Config{MaxRatePerSec: 100})
+	a, _ := agent.New(b, agent.Config{Source: "s"})
+	for i := 0; i < 10; i++ {
+		a.Send("x")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Run(ctx) }()
+	start := time.Now()
+	for m.Received() < 10 && time.Since(start) < 5*time.Second {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-done
+	if m.Received() != 10 {
+		t.Fatalf("received %d", m.Received())
+	}
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("rate control ignored: 10 logs at 100/s in %v", elapsed)
+	}
+}
+
+func TestHeartbeatTagRouting(t *testing.T) {
+	b, _, m, forwarded, mu := setup(t, Config{})
+	b.CreateTopic(agent.LogsTopic, 1)
+	var hbMu sync.Mutex
+	var hbs []time.Time
+	m.OnHeartbeat(func(source string, ts time.Time) {
+		if source != "svc" {
+			t.Errorf("source = %q", source)
+		}
+		hbMu.Lock()
+		hbs = append(hbs, ts)
+		hbMu.Unlock()
+	})
+	want := time.Date(2016, 2, 23, 9, 0, 31, 0, time.UTC)
+	b.Publish(agent.LogsTopic, "svc", nil, map[string]string{
+		agent.HeaderSource:    "svc",
+		agent.HeaderHeartbeat: want.Format(time.RFC3339Nano),
+	})
+	// A malformed heartbeat timestamp is dropped, not forwarded as a log.
+	b.Publish(agent.LogsTopic, "svc", nil, map[string]string{
+		agent.HeaderSource:    "svc",
+		agent.HeaderHeartbeat: "garbage",
+	})
+	m.DrainOnce()
+	hbMu.Lock()
+	defer hbMu.Unlock()
+	if len(hbs) != 1 || !hbs[0].Equal(want) {
+		t.Errorf("heartbeats = %v", hbs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*forwarded) != 0 {
+		t.Errorf("heartbeat leaked into the log path: %v", *forwarded)
+	}
+}

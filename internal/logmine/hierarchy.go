@@ -1,0 +1,199 @@
+package logmine
+
+import (
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+)
+
+// The original LogMine algorithm is hierarchical: after level-0 clustering
+// of raw logs, the discovered patterns themselves are clustered with
+// progressively relaxed thresholds, producing a pattern tree from most
+// specific to most general. Operators pick the granularity that fits the
+// analysis; LogLens uses level 0 for parsing, but exposes the hierarchy
+// for model review (a coarse level shows the corpus's broad shape).
+
+// HierarchyConfig tunes hierarchical pattern merging.
+type HierarchyConfig struct {
+	// BaseDist is the level-1 distance threshold between patterns
+	// (default 0.5).
+	BaseDist float64
+	// Relax multiplies the threshold per level (default 1.3).
+	Relax float64
+	// MaxLevels caps the hierarchy height above level 0 (default 4).
+	MaxLevels int
+}
+
+func (c *HierarchyConfig) setDefaults() {
+	if c.BaseDist == 0 {
+		c.BaseDist = 0.5
+	}
+	if c.Relax == 0 {
+		c.Relax = 1.3
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 4
+	}
+}
+
+// Level is one hierarchy level.
+type Level struct {
+	// Patterns are this level's merged patterns.
+	Patterns *grok.Set
+	// ParentOf maps a pattern ID of the level below to its pattern ID
+	// at this level (nil for level 0).
+	ParentOf map[int]int
+}
+
+// BuildHierarchy clusters the pattern set upward until everything merges
+// into one pattern or MaxLevels is reached. Level 0 is the input set.
+func BuildHierarchy(set *grok.Set, cfg HierarchyConfig) []Level {
+	cfg.setDefaults()
+	levels := []Level{{Patterns: set}}
+	cur := set
+	dist := cfg.BaseDist
+	for lvl := 0; lvl < cfg.MaxLevels && cur.Len() > 1; lvl++ {
+		next, parents, merged := clusterPatterns(cur, dist)
+		if !merged {
+			// Nothing merged at this threshold: relax and retry on
+			// the same level (counted against MaxLevels).
+			dist *= cfg.Relax
+			continue
+		}
+		levels = append(levels, Level{Patterns: next, ParentOf: parents})
+		cur = next
+		dist *= cfg.Relax
+	}
+	return levels
+}
+
+// clusterPatterns one-pass clusters the set's patterns under the
+// threshold, merging members into generalized patterns. It reports whether
+// any merge happened.
+func clusterPatterns(set *grok.Set, maxDist float64) (*grok.Set, map[int]int, bool) {
+	type cluster struct {
+		rep    *grok.Pattern
+		merged []grok.Token
+		member []int
+	}
+	var clusters []*cluster
+	for _, p := range set.Patterns() {
+		placed := false
+		for _, cl := range clusters {
+			if patternDistance(cl.rep, p) <= maxDist {
+				cl.merged = mergePatternTokens(cl.merged, p.Tokens)
+				cl.member = append(cl.member, p.ID)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{
+				rep:    p,
+				merged: append([]grok.Token(nil), p.Tokens...),
+				member: []int{p.ID},
+			})
+		}
+	}
+
+	out := grok.NewSet()
+	parents := make(map[int]int)
+	merged := false
+	for _, cl := range clusters {
+		toks := cl.merged
+		if len(cl.member) > 1 {
+			// Merged tokens carry names from several parents, which
+			// can collide; strip them so the set renumbers cleanly.
+			toks = append([]grok.Token(nil), toks...)
+			for i := range toks {
+				if toks[i].IsField {
+					toks[i].Name = ""
+				}
+			}
+		}
+		np := &grok.Pattern{Tokens: toks}
+		out.Add(np)
+		for _, id := range cl.member {
+			parents[id] = np.ID
+		}
+		if len(cl.member) > 1 {
+			merged = true
+		}
+	}
+	return out, parents, merged
+}
+
+// patternDistance is the clustering distance between two patterns,
+// treating fields as variable tokens: equal literals score K1, any
+// field/field pair of compatible kinds scores K2, field/literal pairs and
+// incompatible types score K3, unequal WORD literals are penalized as in
+// log clustering.
+func patternDistance(a, b *grok.Pattern) float64 {
+	const (
+		k1, k2, k3, wordPenalty = 1.0, 0.8, 0.25, -2.0
+	)
+	n := len(a.Tokens)
+	if len(b.Tokens) < n {
+		n = len(b.Tokens)
+	}
+	maxLen := len(a.Tokens)
+	if len(b.Tokens) > maxLen {
+		maxLen = len(b.Tokens)
+	}
+	if maxLen == 0 {
+		return 0
+	}
+	score := 0.0
+	for i := 0; i < n; i++ {
+		at, bt := a.Tokens[i], b.Tokens[i]
+		switch {
+		case !at.IsField && !bt.IsField:
+			if at.Literal == bt.Literal {
+				score += k1
+			} else if datatype.Detect(at.Literal) == datatype.Word && datatype.Detect(bt.Literal) == datatype.Word {
+				score += wordPenalty
+			} else {
+				score += k3
+			}
+		case at.IsField && bt.IsField:
+			if at.Type == bt.Type {
+				score += k1
+			} else {
+				score += k2
+			}
+		default:
+			score += k3
+		}
+	}
+	return 1 - score/float64(maxLen)
+}
+
+// mergePatternTokens generalizes two aligned pattern-token sequences via
+// the same alignment machinery used for log merging: agreeing literals
+// stay literal, disagreements become fields, gaps become wildcards.
+func mergePatternTokens(a, b []grok.Token) []grok.Token {
+	// Render b as pseudo-log tokens with types so the existing
+	// alignment merge applies: fields render as their type's
+	// placeholder with the field's type.
+	tokens := make([]string, len(b))
+	types := make([]datatype.Type, len(b))
+	for i, t := range b {
+		if t.IsField {
+			tokens[i] = "%{" + t.Type.String() + "}"
+			types[i] = t.Type
+		} else {
+			tokens[i] = t.Literal
+			types[i] = datatype.Detect(t.Literal)
+		}
+	}
+	out := mergeAligned(a, tokens, types)
+	// Any literal "%{TYPE}" placeholders that survived the merge are
+	// really fields.
+	for i, t := range out {
+		if !t.IsField && len(t.Literal) > 3 && t.Literal[0] == '%' && t.Literal[1] == '{' {
+			if typ, err := datatype.Parse(t.Literal[2 : len(t.Literal)-1]); err == nil {
+				out[i] = grok.FieldToken(typ, "")
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+// Package logmine implements pattern discovery by clustering similar logs
+// (§III-A3), following the LogMine algorithm the paper builds on: a
+// one-pass clustering of preprocessed logs under a normalized similarity
+// distance, followed by merging each cluster's members into a single GROK
+// pattern via sequence alignment. Aligned tokens that agree stay literal;
+// tokens that disagree become variable fields typed by the join of their
+// datatypes; alignment gaps become ANYDATA wildcards.
+package logmine
+
+import (
+	"strings"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+)
+
+// Config tunes the clusterer.
+type Config struct {
+	// MaxDist is the clustering distance threshold: a log joins the
+	// first cluster whose representative is within MaxDist. Smaller
+	// values produce more, tighter patterns. Defaults to 0.4.
+	MaxDist float64
+
+	// K1 is the per-token score for exactly equal tokens (default 1.0).
+	K1 float64
+
+	// K2 is the per-token score for unequal tokens of the same
+	// variable-ish datatype — NUMBER, IP, DATETIME, NOTSPACE — which
+	// are almost certainly two values of one variable field
+	// (default 0.8).
+	K2 float64
+
+	// K3 is the per-token score for tokens of different datatypes,
+	// which can still merge into a widened variable field
+	// (default 0.25).
+	K3 float64
+
+	// WordMismatch is the per-token score for two unequal WORD tokens.
+	// Distinct words are the strongest structural signal that two logs
+	// come from different templates ("login" vs "logout"), so the
+	// default is a penalty of -2.0. A zero value selects the default.
+	WordMismatch float64
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxDist == 0 {
+		c.MaxDist = 0.4
+	}
+	if c.K1 == 0 {
+		c.K1 = 1.0
+	}
+	if c.K2 == 0 {
+		c.K2 = 0.8
+	}
+	if c.K3 == 0 {
+		c.K3 = 0.25
+	}
+	if c.WordMismatch == 0 {
+		c.WordMismatch = -2.0
+	}
+}
+
+// cluster is one discovered log group: the representative (first member)
+// used for distance computation, and the merged pattern accumulated over
+// all members.
+type cluster struct {
+	repTokens []string
+	repTypes  []datatype.Type
+	merged    []grok.Token
+	count     int
+}
+
+// Clusterer performs one-pass clustering of preprocessed logs.
+// It is not safe for concurrent use.
+type Clusterer struct {
+	cfg Config
+
+	clusters []*cluster
+
+	// byLen buckets cluster indices by representative token count: two
+	// token sequences whose lengths differ enough can never be within
+	// MaxDist, so only nearby lengths are candidates.
+	byLen map[int][]int
+
+	// exact maps a joined token string to its cluster index, to
+	// short-circuit verbatim repeats.
+	exact map[string]int
+}
+
+// New constructs a Clusterer.
+func New(cfg Config) *Clusterer {
+	cfg.setDefaults()
+	return &Clusterer{
+		cfg:   cfg,
+		byLen: make(map[int][]int),
+		exact: make(map[string]int),
+	}
+}
+
+// NumClusters returns the number of clusters discovered so far.
+func (c *Clusterer) NumClusters() int { return len(c.clusters) }
+
+// TotalLogs returns the number of logs added so far.
+func (c *Clusterer) TotalLogs() int {
+	n := 0
+	for _, cl := range c.clusters {
+		n += cl.count
+	}
+	return n
+}
+
+// Add clusters one preprocessed log (tokens plus their datatypes; the two
+// slices must have equal length). The log joins the first cluster within
+// MaxDist of its representative, or founds a new cluster.
+func (c *Clusterer) Add(tokens []string, types []datatype.Type) {
+	key := strings.Join(tokens, "\x00")
+	if idx, ok := c.exact[key]; ok {
+		c.clusters[idx].count++
+		return
+	}
+
+	best := c.findCluster(tokens, types)
+	if best < 0 {
+		cl := &cluster{
+			repTokens: append([]string(nil), tokens...),
+			repTypes:  append([]datatype.Type(nil), types...),
+			merged:    tokensToPattern(tokens, types),
+			count:     1,
+		}
+		c.clusters = append(c.clusters, cl)
+		idx := len(c.clusters) - 1
+		c.byLen[len(tokens)] = append(c.byLen[len(tokens)], idx)
+		c.exact[key] = idx
+		return
+	}
+
+	cl := c.clusters[best]
+	cl.count++
+	cl.merged = mergeAligned(cl.merged, tokens, types)
+	c.exact[key] = best
+}
+
+// findCluster returns the index of the first cluster within MaxDist, or
+// -1. Only clusters whose representative length could possibly be within
+// the threshold are compared.
+func (c *Clusterer) findCluster(tokens []string, types []datatype.Type) int {
+	n := len(tokens)
+	if n == 0 {
+		return -1
+	}
+	// dist >= 1 - min(n,m)/max(n,m); bound the candidate lengths.
+	lo := int(float64(n) * (1 - c.cfg.MaxDist))
+	hi := n
+	if c.cfg.MaxDist < 1 {
+		hi = int(float64(n) / (1 - c.cfg.MaxDist))
+	} else {
+		hi = n * 4
+	}
+	for m := lo; m <= hi; m++ {
+		for _, idx := range c.byLen[m] {
+			cl := c.clusters[idx]
+			if c.distance(tokens, types, cl.repTokens, cl.repTypes) <= c.cfg.MaxDist {
+				return idx
+			}
+		}
+	}
+	return -1
+}
+
+// distance is the LogMine normalized similarity distance:
+//
+//	d(P,Q) = 1 - sum(score(p_i, q_i)) / max(|P|, |Q|)
+//
+// where score is K1 for equal tokens, WordMismatch for two unequal WORD
+// tokens, K2 for other equal datatypes, and K3 otherwise. Positions beyond
+// the shorter log contribute nothing.
+func (c *Clusterer) distance(aTok []string, aTyp []datatype.Type, bTok []string, bTyp []datatype.Type) float64 {
+	n := len(aTok)
+	if len(bTok) < n {
+		n = len(bTok)
+	}
+	maxLen := len(aTok)
+	if len(bTok) > maxLen {
+		maxLen = len(bTok)
+	}
+	if maxLen == 0 {
+		return 0
+	}
+	score := 0.0
+	for i := 0; i < n; i++ {
+		switch {
+		case aTok[i] == bTok[i]:
+			score += c.cfg.K1
+		case aTyp[i] == bTyp[i]:
+			if aTyp[i] == datatype.Word {
+				score += c.cfg.WordMismatch
+			} else {
+				score += c.cfg.K2
+			}
+		default:
+			score += c.cfg.K3
+		}
+	}
+	return 1 - score/(c.cfg.K1*float64(maxLen))
+}
+
+// tokensToPattern seeds a cluster's merged pattern from its first member:
+// every token starts literal.
+func tokensToPattern(tokens []string, types []datatype.Type) []grok.Token {
+	out := make([]grok.Token, len(tokens))
+	for i, tok := range tokens {
+		out[i] = grok.LiteralToken(tok)
+		_ = types[i]
+	}
+	return out
+}
+
+// Patterns finalizes clustering: each cluster's merged token sequence
+// becomes a GROK pattern, added to a fresh Set (which assigns pattern and
+// field IDs), with heuristic field names applied (§III-A4).
+func (c *Clusterer) Patterns() *grok.Set {
+	set := grok.NewSet()
+	for _, cl := range c.clusters {
+		p := &grok.Pattern{Tokens: append([]grok.Token(nil), cl.merged...)}
+		set.Add(p)
+		p.ApplyHeuristicNames()
+	}
+	return set
+}
+
+// ClusterSizes returns the member count of each cluster in discovery
+// order, aligned with the pattern IDs assigned by Patterns (ID = index+1).
+func (c *Clusterer) ClusterSizes() []int {
+	out := make([]int, len(c.clusters))
+	for i, cl := range c.clusters {
+		out[i] = cl.count
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package logmine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+	"loglens/internal/preprocess"
+)
+
+func addLine(c *Clusterer, pp *preprocess.Preprocessor, line string) {
+	r := pp.Process(line)
+	c.Add(r.Tokens, r.Types)
+}
+
+func TestClusterSimilarLogs(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	lines := []string{
+		"2016/02/23 09:00:31 127.0.0.1 login user1",
+		"2016/02/23 09:00:35 10.0.0.7 login user2",
+		"2016/02/23 09:00:36 10.0.0.9 login admin9",
+		"2016/02/23 09:01:02 127.0.0.1 logout user1",
+		"2016/02/23 09:01:10 10.0.0.7 logout user2",
+	}
+	for _, l := range lines {
+		addLine(c, pp, l)
+	}
+	if got := c.NumClusters(); got != 2 {
+		t.Fatalf("NumClusters = %d, want 2 (login and logout)", got)
+	}
+	set := c.Patterns()
+	if set.Len() != 2 {
+		t.Fatalf("patterns = %d", set.Len())
+	}
+	p1, _ := set.Get(1)
+	sig := p1.Signature()
+	if sig != "DATETIME IP WORD NOTSPACE" && sig != "DATETIME IP NOTSPACE NOTSPACE" {
+		t.Errorf("unexpected signature %q for %q", sig, p1.String())
+	}
+	// "login" stays literal within its cluster.
+	if !strings.Contains(p1.String(), "login") {
+		t.Errorf("pattern lost stable literal: %q", p1.String())
+	}
+}
+
+func TestExactDuplicatesCount(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	for i := 0; i < 5; i++ {
+		addLine(c, pp, "service heartbeat ok")
+	}
+	if c.NumClusters() != 1 {
+		t.Fatalf("NumClusters = %d", c.NumClusters())
+	}
+	if got := c.ClusterSizes()[0]; got != 5 {
+		t.Errorf("cluster size = %d, want 5", got)
+	}
+	if c.TotalLogs() != 5 {
+		t.Errorf("TotalLogs = %d", c.TotalLogs())
+	}
+	// All-literal pattern: exact logs stay fully literal.
+	p, _ := c.Patterns().Get(1)
+	if p.FieldCount() != 0 {
+		t.Errorf("identical logs must give an all-literal pattern, got %q", p.String())
+	}
+}
+
+func TestDistinctStructuresSeparate(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	addLine(c, pp, "connection from 10.0.0.1 port 8080 established")
+	addLine(c, pp, "disk sda1 usage 93.5 percent threshold exceeded alarm")
+	addLine(c, pp, "user root executed shutdown")
+	if c.NumClusters() != 3 {
+		t.Fatalf("structurally distinct logs must not merge: %d clusters", c.NumClusters())
+	}
+}
+
+func TestVariableFieldTyping(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	addLine(c, pp, "request took 15 ms")
+	addLine(c, pp, "request took 92 ms")
+	addLine(c, pp, "request took 3 ms")
+	set := c.Patterns()
+	if set.Len() != 1 {
+		t.Fatalf("clusters = %d", set.Len())
+	}
+	p, _ := set.Get(1)
+	// The varying token must be a NUMBER field; the rest literal.
+	if p.FieldCount() != 1 {
+		t.Fatalf("pattern %q, want exactly one field", p.String())
+	}
+	i := 2
+	if !p.Tokens[i].IsField || p.Tokens[i].Type != datatype.Number {
+		t.Errorf("token %d = %v, want NUMBER field (pattern %q)", i, p.Tokens[i], p.String())
+	}
+	if fields, ok := p.Match(strings.Fields("request took 77 ms")); !ok || fields[0].Value != "77" {
+		t.Errorf("discovered pattern must parse unseen member: %v %v", fields, ok)
+	}
+}
+
+func TestTypeWidening(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	// Mixed value kinds in the same slot: WORD vs NUMBER widens to
+	// NOTSPACE.
+	addLine(c, pp, "job alpha finished with status ok")
+	addLine(c, pp, "job beta7 finished with status 1")
+	set := c.Patterns()
+	if set.Len() != 1 {
+		t.Fatalf("clusters = %d", set.Len())
+	}
+	p, _ := set.Get(1)
+	last := p.Tokens[len(p.Tokens)-1]
+	if !last.IsField || last.Type != datatype.NotSpace {
+		t.Errorf("status slot should widen to NOTSPACE: %q", p.String())
+	}
+}
+
+func TestGapsBecomeAnyData(t *testing.T) {
+	c := New(Config{MaxDist: 0.5})
+	pp := preprocess.New(nil, nil)
+	addLine(c, pp, "error while writing block 5 to disk sda")
+	addLine(c, pp, "error while writing block 5 to disk sda retrying")
+	if c.NumClusters() != 1 {
+		t.Fatalf("clusters = %d, want 1", c.NumClusters())
+	}
+	p, _ := c.Patterns().Get(1)
+	if !p.HasAnyData() {
+		t.Errorf("length-varying cluster must contain ANYDATA: %q", p.String())
+	}
+	// Both member shapes must parse.
+	for _, l := range []string{
+		"error while writing block 5 to disk sda",
+		"error while writing block 5 to disk sda retrying",
+	} {
+		if !p.Matches(strings.Fields(l)) {
+			t.Errorf("merged pattern %q does not match member %q", p.String(), l)
+		}
+	}
+}
+
+func TestPatternsCoverMembers(t *testing.T) {
+	// Property: every training log parses under the discovered set.
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	var lines []string
+	for i := 0; i < 50; i++ {
+		lines = append(lines,
+			fmt.Sprintf("2016/02/23 09:%02d:%02d 10.0.0.%d login user%d", i%60, (i*7)%60, i%250+1, i),
+			fmt.Sprintf("cache evicted %d entries in %d ms", i*3, i%9+1),
+			fmt.Sprintf("GET /api/v%d/items rc 200 bytes %d", i%3+1, 100+i),
+		)
+	}
+	for _, l := range lines {
+		addLine(c, pp, l)
+	}
+	set := c.Patterns()
+	ppc := pp.Clone()
+	for _, l := range lines {
+		r := ppc.Process(l)
+		matched := false
+		for _, p := range set.Patterns() {
+			if p.Matches(r.Tokens) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("training log %q not covered by discovered patterns", l)
+		}
+	}
+	if set.Len() > 6 {
+		t.Errorf("expected tight clustering, got %d patterns", set.Len())
+	}
+}
+
+func TestHeuristicNamesApplied(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	addLine(c, pp, "stats PDU = 17 rc = 0")
+	addLine(c, pp, "stats PDU = 23 rc = 1")
+	p, _ := c.Patterns().Get(1)
+	if p.Field("PDU") < 0 {
+		t.Errorf("heuristic rename missing: %q", p.String())
+	}
+	if p.Field("rc") < 0 {
+		t.Errorf("heuristic rename missing: %q", p.String())
+	}
+}
+
+func TestMergeAlignedDirect(t *testing.T) {
+	pat := []grok.Token{
+		grok.LiteralToken("a"),
+		grok.LiteralToken("b"),
+		grok.LiteralToken("c"),
+	}
+	got := mergeAligned(pat, []string{"a", "x", "c"}, []datatype.Type{datatype.Word, datatype.Word, datatype.Word})
+	if len(got) != 3 || got[0].Literal != "a" || !got[1].IsField || got[2].Literal != "c" {
+		t.Errorf("merge = %v", got)
+	}
+	if got[1].Type != datatype.Word {
+		t.Errorf("substituted slot type = %v, want WORD", got[1].Type)
+	}
+}
+
+func TestMergeCollapsesAdjacentAnyData(t *testing.T) {
+	pat := []grok.Token{grok.LiteralToken("start"), grok.LiteralToken("end")}
+	toks := []string{"start", "x", "y", "z", "end"}
+	typs := make([]datatype.Type, len(toks))
+	for i, tk := range toks {
+		typs[i] = datatype.Detect(tk)
+	}
+	got := mergeAligned(pat, toks, typs)
+	anyCount := 0
+	for _, tk := range got {
+		if tk.IsField && tk.Type == datatype.AnyData {
+			anyCount++
+		}
+	}
+	if anyCount != 1 {
+		t.Errorf("adjacent wildcards must collapse, got %v", got)
+	}
+}
+
+func TestBuildHierarchy(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	// Four level-0 templates in two natural families: job lifecycle and
+	// volume lifecycle.
+	lines := []string{
+		"job j-1 submitted queue q1",
+		"job j-2 submitted queue q2",
+		"job j-1 completed rc 0",
+		"job j-2 completed rc 1",
+		"volume v-1 attach requested size 8",
+		"volume v-2 attach requested size 16",
+		"volume v-1 attach completed lun 3",
+		"volume v-2 attach completed lun 4",
+	}
+	for _, l := range lines {
+		addLine(c, pp, l)
+	}
+	level0 := c.Patterns()
+	if level0.Len() != 4 {
+		for _, p := range level0.Patterns() {
+			t.Logf("level0: %s", p)
+		}
+		t.Fatalf("level 0 = %d patterns, want 4", level0.Len())
+	}
+
+	levels := BuildHierarchy(level0, HierarchyConfig{})
+	if len(levels) < 2 {
+		t.Fatalf("hierarchy has %d levels, want merging to happen", len(levels))
+	}
+	top := levels[len(levels)-1].Patterns
+	if top.Len() >= level0.Len() {
+		t.Fatalf("top level has %d patterns, want fewer than %d", top.Len(), level0.Len())
+	}
+	// Every level-0 pattern has a parent chain to the top.
+	for _, p := range level0.Patterns() {
+		id := p.ID
+		for lvl := 1; lvl < len(levels); lvl++ {
+			parent, ok := levels[lvl].ParentOf[id]
+			if !ok {
+				t.Fatalf("pattern %d has no parent at level %d", id, lvl)
+			}
+			if _, ok := levels[lvl].Patterns.Get(parent); !ok {
+				t.Fatalf("parent %d missing from level %d", parent, lvl)
+			}
+			id = parent
+		}
+	}
+	// Generalized patterns still match their descendants' logs.
+	ppc := pp.Clone()
+	for _, line := range lines {
+		r := ppc.Process(line)
+		matched := false
+		for _, p := range top.Patterns() {
+			if p.Matches(r.Tokens) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			for _, p := range top.Patterns() {
+				t.Logf("top: %s", p)
+			}
+			t.Fatalf("top-level patterns do not cover %q", line)
+		}
+	}
+}
+
+func TestHierarchySinglePattern(t *testing.T) {
+	pp := preprocess.New(nil, nil)
+	c := New(Config{})
+	addLine(c, pp, "only one shape 42")
+	levels := BuildHierarchy(c.Patterns(), HierarchyConfig{})
+	if len(levels) != 1 {
+		t.Fatalf("single pattern must not grow a hierarchy: %d levels", len(levels))
+	}
+}

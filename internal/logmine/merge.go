@@ -1,0 +1,141 @@
+package logmine
+
+import (
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+)
+
+// Alignment scores for merging a new member into a cluster pattern.
+// Gaps are penalized more than substitutions so variable fields are
+// preferred over ANYDATA wildcards.
+const (
+	scoreEqualLiteral = 4  // literal token identical to the log token
+	scoreFieldMatch   = 2  // field whose datatype admits the log token
+	scoreSameType     = 2  // literal of the same datatype as the log token
+	scoreAnyData      = 1  // wildcard absorbs anything
+	scoreWiden        = 1  // field whose datatype must widen to admit the token
+	scoreSub          = -1 // incompatible substitution
+	scoreGap          = -2 // insertion/deletion
+)
+
+// mergeAligned merges one log (tokens with datatypes) into the cluster's
+// accumulated pattern using global sequence alignment (Needleman-Wunsch).
+// Aligned equal literals stay literal; disagreeing alignments become
+// variable fields typed with the datatype join; gaps become ANYDATA
+// wildcards. Adjacent ANYDATA tokens collapse into one.
+func mergeAligned(pattern []grok.Token, tokens []string, types []datatype.Type) []grok.Token {
+	n, m := len(pattern), len(tokens)
+	// score[i][j]: best alignment score of pattern[:i] vs tokens[:j].
+	score := make([][]int, n+1)
+	move := make([][]byte, n+1) // 'd' diag, 'u' up (pattern gap... pattern token unmatched), 'l' left (log token unmatched)
+	for i := range score {
+		score[i] = make([]int, m+1)
+		move[i] = make([]byte, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		score[i][0] = score[i-1][0] + scoreGap
+		move[i][0] = 'u'
+	}
+	for j := 1; j <= m; j++ {
+		score[0][j] = score[0][j-1] + scoreGap
+		move[0][j] = 'l'
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			diag := score[i-1][j-1] + pairScore(pattern[i-1], tokens[j-1], types[j-1])
+			up := score[i-1][j] + scoreGap
+			left := score[i][j-1] + scoreGap
+			best, mv := diag, byte('d')
+			if up > best {
+				best, mv = up, 'u'
+			}
+			if left > best {
+				best, mv = left, 'l'
+			}
+			score[i][j] = best
+			move[i][j] = mv
+		}
+	}
+
+	// Traceback, building the merged pattern back to front.
+	out := make([]grok.Token, 0, n+2)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch move[i][j] {
+		case 'd':
+			out = append(out, mergePair(pattern[i-1], tokens[j-1], types[j-1]))
+			i--
+			j--
+		case 'u':
+			// Pattern token absent from this log: wildcard.
+			out = append(out, grok.FieldToken(datatype.AnyData, fieldName(pattern[i-1])))
+			i--
+		default: // 'l'
+			// Log token absent from the pattern: wildcard.
+			out = append(out, grok.FieldToken(datatype.AnyData, ""))
+			j--
+		}
+	}
+	// Reverse into reading order, collapsing adjacent ANYDATA tokens.
+	merged := make([]grok.Token, 0, len(out))
+	for k := len(out) - 1; k >= 0; k-- {
+		t := out[k]
+		if t.IsField && t.Type == datatype.AnyData && len(merged) > 0 {
+			last := merged[len(merged)-1]
+			if last.IsField && last.Type == datatype.AnyData {
+				continue
+			}
+		}
+		merged = append(merged, t)
+	}
+	return merged
+}
+
+func pairScore(pt grok.Token, tok string, typ datatype.Type) int {
+	if pt.IsField {
+		if pt.Type == datatype.AnyData {
+			return scoreAnyData
+		}
+		if datatype.Matches(pt.Type, tok) {
+			return scoreFieldMatch
+		}
+		// A single-token field can always widen (via Join) to admit
+		// the token; prefer that over a gap, below a clean match.
+		return scoreWiden
+	}
+	if pt.Literal == tok {
+		return scoreEqualLiteral
+	}
+	if datatype.Detect(pt.Literal) == typ {
+		return scoreSameType
+	}
+	return scoreSub
+}
+
+// mergePair combines an aligned (pattern token, log token) pair into the
+// merged pattern token.
+func mergePair(pt grok.Token, tok string, typ datatype.Type) grok.Token {
+	if !pt.IsField {
+		if pt.Literal == tok {
+			return pt
+		}
+		// Two different concrete values: becomes a variable field
+		// typed by the join of both datatypes.
+		return grok.FieldToken(datatype.Join(datatype.Detect(pt.Literal), typ), "")
+	}
+	if pt.Type == datatype.AnyData {
+		return pt
+	}
+	joined := datatype.Join(pt.Type, typ)
+	if joined == pt.Type {
+		return pt
+	}
+	return grok.FieldToken(joined, fieldName(pt))
+}
+
+func fieldName(t grok.Token) string {
+	if t.IsField {
+		return t.Name
+	}
+	return ""
+}

@@ -1,0 +1,198 @@
+package logstash
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"loglens/internal/grok"
+)
+
+// ParseConfig reads the grok match patterns out of a Logstash pipeline
+// configuration — the subset of logstash.conf syntax that defines parsing
+// behaviour:
+//
+//	filter {
+//	  grok {
+//	    match => { "message" => "%{WORD:action} DB %{IP:server}" }
+//	    match => { "message" => ["%{WORD:a} one", "%{WORD:b} two"] }
+//	  }
+//	}
+//
+// Returned patterns are numbered in file order, matching Logstash's
+// first-match-wins semantics. Comments (#) and unrelated stanzas are
+// ignored. This lets the Table IV baseline run a real deployment's
+// pipeline definition.
+func ParseConfig(text string) (*grok.Set, error) {
+	set := grok.NewSet()
+	toks, err := lexConfig(text)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for i < len(toks) {
+		if toks[i].kind == tokWord && toks[i].text == "match" {
+			var patterns []string
+			i, patterns, err = parseMatch(toks, i)
+			if err != nil {
+				return nil, err
+			}
+			for _, pt := range patterns {
+				p, err := grok.ParsePattern(0, pt)
+				if err != nil {
+					return nil, fmt.Errorf("logstash: config: %w", err)
+				}
+				set.Add(p)
+			}
+			continue
+		}
+		i++
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("logstash: config contains no grok match patterns")
+	}
+	return set, nil
+}
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota + 1
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexConfig tokenizes the config: words, double-quoted strings (with
+// backslash escapes), and punctuation. '#' starts a comment to end of
+// line.
+func lexConfig(text string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(text) && text[j] != '"' {
+				if text[j] == '\\' && j+1 < len(text) {
+					esc, err := unescape(text[j+1])
+					if err != nil {
+						return nil, fmt.Errorf("logstash: config line %d: %w", line, err)
+					}
+					b.WriteByte(esc)
+					j += 2
+					continue
+				}
+				if text[j] == '\n' {
+					line++
+				}
+				b.WriteByte(text[j])
+				j++
+			}
+			if j >= len(text) {
+				return nil, fmt.Errorf("logstash: config line %d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), line: line})
+			i = j + 1
+		case strings.ContainsRune("{}[]=>,", rune(c)):
+			// '=>' lexes as two punct tokens.
+			toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+			i++
+		default:
+			j := i
+			for j < len(text) && !strings.ContainsRune(" \t\r\n#\"{}[]=>,", rune(text[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: text[i:j], line: line})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case '\\', '"':
+		return c, nil
+	default:
+		if c >= ' ' && c < 127 {
+			return c, nil
+		}
+		return 0, fmt.Errorf("bad escape %s", strconv.QuoteRune(rune(c)))
+	}
+}
+
+// parseMatch consumes: match => { "field" => "pattern" } or
+// match => { "field" => ["p1", "p2"] }, returning the next index and the
+// pattern strings.
+func parseMatch(toks []token, i int) (int, []string, error) {
+	at := func(j int, kind tokKind, text string) bool {
+		return j < len(toks) && toks[j].kind == kind && toks[j].text == text
+	}
+	line := toks[i].line
+	j := i + 1
+	// => is two punct tokens '=' '>'.
+	if !at(j, tokPunct, "=") || !at(j+1, tokPunct, ">") {
+		return i + 1, nil, nil // "match" used as a plain word elsewhere
+	}
+	j += 2
+	if !at(j, tokPunct, "{") {
+		return 0, nil, fmt.Errorf("logstash: config line %d: match => expects '{'", line)
+	}
+	j++
+	if j >= len(toks) || toks[j].kind != tokString {
+		return 0, nil, fmt.Errorf("logstash: config line %d: match field must be a string", line)
+	}
+	j++ // the field name (usually "message")
+	if !at(j, tokPunct, "=") || !at(j+1, tokPunct, ">") {
+		return 0, nil, fmt.Errorf("logstash: config line %d: match field expects '=>'", line)
+	}
+	j += 2
+
+	var patterns []string
+	if at(j, tokPunct, "[") {
+		j++
+		for !at(j, tokPunct, "]") {
+			if j >= len(toks) {
+				return 0, nil, fmt.Errorf("logstash: config line %d: unterminated pattern list", line)
+			}
+			if toks[j].kind == tokString {
+				patterns = append(patterns, toks[j].text)
+			} else if !at(j, tokPunct, ",") {
+				return 0, nil, fmt.Errorf("logstash: config line %d: unexpected %q in pattern list", line, toks[j].text)
+			}
+			j++
+		}
+		j++
+	} else if j < len(toks) && toks[j].kind == tokString {
+		patterns = append(patterns, toks[j].text)
+		j++
+	} else {
+		return 0, nil, fmt.Errorf("logstash: config line %d: match expects a pattern string or list", line)
+	}
+	if !at(j, tokPunct, "}") {
+		return 0, nil, fmt.Errorf("logstash: config line %d: match block not closed", line)
+	}
+	return j + 1, patterns, nil
+}

@@ -1,0 +1,121 @@
+package logstash
+
+import (
+	"strings"
+	"testing"
+
+	"loglens/internal/logtypes"
+)
+
+func TestParseConfigSingle(t *testing.T) {
+	cfg := `
+# production web pipeline
+input { beats { port => 5044 } }
+filter {
+  grok {
+    match => { "message" => "%{WORD:action} DB %{IP:server} user %{NOTSPACE:user}" }
+  }
+}
+output { elasticsearch { hosts => ["localhost:9200"] } }
+`
+	set, err := ParseConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("patterns = %d", set.Len())
+	}
+	pipe, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := pipe.Parse(logtypes.Log{Raw: "Connect DB 127.0.0.1 user abc123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pl.FieldValue("user"); v != "abc123" {
+		t.Errorf("user = %q", v)
+	}
+}
+
+func TestParseConfigPatternList(t *testing.T) {
+	cfg := `
+filter {
+  grok {
+    match => { "message" => ["login %{NOTSPACE:u}", "logout %{NOTSPACE:u}"] }
+  }
+  grok {
+    match => { "message" => "error %{NUMBER:code}" }
+  }
+}
+`
+	set, err := ParseConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("patterns = %d, want 3", set.Len())
+	}
+	// File order is preserved (first-match-wins semantics).
+	p1, _ := set.Get(1)
+	if !strings.HasPrefix(p1.String(), "login") {
+		t.Errorf("pattern 1 = %q", p1.String())
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  string
+	}{
+		{"no patterns", `filter { mutate { } }`},
+		{"bad grok type", `filter { grok { match => { "message" => "%{BOGUS:x}" } } }`},
+		{"unterminated string", `filter { grok { match => { "message" => "x } }`},
+		{"missing brace", `filter { grok { match => "p" } }`},
+		{"unterminated list", `filter { grok { match => { "message" => ["a" } }`},
+	} {
+		if _, err := ParseConfig(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestParseConfigCommentsAndEscapes(t *testing.T) {
+	cfg := `
+filter {
+  grok {
+    # quoted-quote literal token, then a field
+    match => { "message" => "say \"hi\" %{WORD:w}" }
+  }
+}
+`
+	set, err := ParseConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, _ := New(set)
+	pl, err := pipe.Parse(logtypes.Log{Raw: `say "hi" world`})
+	if err != nil {
+		t.Fatalf("escaped pattern did not match: %v", err)
+	}
+	if v, _ := pl.FieldValue("w"); v != "world" {
+		t.Errorf("w = %q", v)
+	}
+}
+
+func TestMatchWordElsewhereIgnored(t *testing.T) {
+	// "match" appearing as a value, not a directive.
+	cfg := `
+filter {
+  mutate { add_field => { "note" => "match nothing" } }
+  grok { match => { "message" => "ok %{NUMBER:n}" } }
+}
+`
+	set, err := ParseConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("patterns = %d", set.Len())
+	}
+}

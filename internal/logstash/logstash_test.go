@@ -1,0 +1,169 @@
+package logstash
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"loglens/internal/grok"
+	"loglens/internal/logtypes"
+	"loglens/internal/parser"
+)
+
+func mustSet(t *testing.T, texts ...string) *grok.Set {
+	t.Helper()
+	set := grok.NewSet()
+	for _, text := range texts {
+		p, err := grok.ParsePattern(0, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set.Add(p)
+	}
+	return set
+}
+
+func TestParseBasic(t *testing.T) {
+	set := mustSet(t,
+		"%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}",
+		"cache evicted %{NUMBER:n} entries",
+	)
+	pipe, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.NumPatterns() != 2 {
+		t.Fatalf("patterns = %d", pipe.NumPatterns())
+	}
+	pl, err := pipe.Parse(logtypes.Log{Raw: "Connect DB 127.0.0.1 user abc123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 1 {
+		t.Errorf("pattern = %d", pl.PatternID)
+	}
+	if v, _ := pl.FieldValue("UserName"); v != "abc123" {
+		t.Errorf("UserName = %q", v)
+	}
+	pl, err = pipe.Parse(logtypes.Log{Raw: "cache evicted 42 entries"})
+	if err != nil || pl.PatternID != 2 {
+		t.Fatalf("second pattern: %v %v", pl, err)
+	}
+	if _, err := pipe.Parse(logtypes.Log{Raw: "no match here at all"}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v", err)
+	}
+	s := pipe.Stats()
+	if s.Parsed != 2 || s.Unmatched != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Linear scan: first log tried 1 regex, second 2, third all 2.
+	if s.RegexTries != 1+2+2 {
+		t.Errorf("regex tries = %d", s.RegexTries)
+	}
+}
+
+func TestWhitespaceNormalization(t *testing.T) {
+	pipe, err := New(mustSet(t, "a %{NUMBER:n} b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Parse(logtypes.Log{Raw: "  a   7\tb "}); err != nil {
+		t.Errorf("normalized whitespace must match: %v", err)
+	}
+}
+
+func TestAnchoring(t *testing.T) {
+	pipe, err := New(mustSet(t, "a %{NUMBER:n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []string{"a 7 trailing", "leading a 7"} {
+		if _, err := pipe.Parse(logtypes.Log{Raw: raw}); err == nil {
+			t.Errorf("%q must not match the anchored pattern", raw)
+		}
+	}
+}
+
+func TestLiteralQuoting(t *testing.T) {
+	// Regex metacharacters in literals must be escaped.
+	pipe, err := New(mustSet(t, "q(x)* %{NUMBER:n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Parse(logtypes.Log{Raw: "q(x)* 5"}); err != nil {
+		t.Errorf("quoted literal failed: %v", err)
+	}
+	if _, err := pipe.Parse(logtypes.Log{Raw: "qxxx 5"}); err == nil {
+		t.Error("metacharacters leaked into the regex")
+	}
+}
+
+func TestAnyDataCompiles(t *testing.T) {
+	pipe, err := New(mustSet(t, "start %{ANYDATA:rest} end"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := pipe.Parse(logtypes.Log{Raw: "start a b c end"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pl.FieldValue("rest"); v != "a b c" {
+		t.Errorf("rest = %q", v)
+	}
+}
+
+// TestAgreesWithLogLensParser differentially compares the baseline with
+// the signature-indexed parser over a mixed corpus: both must accept the
+// same logs with the same pattern.
+func TestAgreesWithLogLensParser(t *testing.T) {
+	set := mustSet(t,
+		"%{DATETIME:t} %{IP:ip} job %{NOTSPACE:id} submitted queue %{NOTSPACE:q}",
+		"%{DATETIME:t} %{IP:ip} job %{NOTSPACE:id} completed rc %{NUMBER:rc}",
+		"sys health ok mem %{NUMBER:m} kb",
+	)
+	pipe, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll := parser.New(set, nil)
+	lines := []string{
+		"2016/02/23 09:00:31.000 10.0.0.1 job jb-1 submitted queue q2",
+		"2016/02/23 09:00:35.000 10.0.0.1 job jb-1 completed rc 0",
+		"sys health ok mem 4096 kb",
+		"sys health ok mem xyz kb",
+		"something else entirely",
+	}
+	for i, line := range lines {
+		a, errA := pipe.Parse(logtypes.Log{Raw: line, Seq: uint64(i)})
+		b, errB := ll.Parse(logtypes.Log{Raw: line, Seq: uint64(i)})
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("%q: logstash err=%v loglens err=%v", line, errA, errB)
+			continue
+		}
+		if errA == nil && a.PatternID != b.PatternID {
+			t.Errorf("%q: logstash pattern %d, loglens pattern %d", line, a.PatternID, b.PatternID)
+		}
+	}
+}
+
+func TestLinearCostGrowsWithPatterns(t *testing.T) {
+	// The Table IV effect in miniature: per-log regex tries scale with
+	// the pattern count for logs matching the last pattern.
+	var texts []string
+	for i := 0; i < 50; i++ {
+		texts = append(texts, fmt.Sprintf("unique%c%c token %%{NUMBER:n}", 'a'+i%26, 'a'+(i/26)%26))
+	}
+	pipe, err := New(mustSet(t, texts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A log matching the final pattern (i=49: 49%26='x', 49/26='b')
+	// pays for all 50 regexes.
+	last := "uniquexb token 9"
+	if _, err := pipe.Parse(logtypes.Log{Raw: last}); err != nil {
+		t.Fatalf("last pattern log did not parse: %v", err)
+	}
+	if got := pipe.Stats().RegexTries; got != 50 {
+		t.Errorf("regex tries = %d, want 50 (linear scan)", got)
+	}
+}

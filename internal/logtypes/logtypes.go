@@ -1,0 +1,96 @@
+// Package logtypes defines the core record types shared by every LogLens
+// component: raw logs as collected by agents, and parsed logs as produced
+// by the stateless log parser.
+package logtypes
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Log is a single raw log line together with its provenance metadata.
+// Agents attach the source and arrival information; the content of Raw is
+// exactly the line as it appeared in the origin system.
+type Log struct {
+	// Source identifies the log origin (host, application, or dataset).
+	// The log manager groups storage and model selection by Source.
+	Source string
+
+	// Seq is a per-source monotonically increasing arrival sequence
+	// number assigned by the agent. It breaks ties between logs whose
+	// embedded timestamps are equal.
+	Seq uint64
+
+	// Arrival is the wall-clock time at which LogLens received the log.
+	Arrival time.Time
+
+	// Raw is the unmodified log line.
+	Raw string
+}
+
+// Field is one variable field extracted from a log by a GROK pattern.
+type Field struct {
+	// Name is the field identifier, either the generated PxFy form or a
+	// user/heuristic supplied semantic name (e.g. "logTime").
+	Name string
+
+	// Value is the token content captured from the log.
+	Value string
+}
+
+// ParsedLog is the output of the stateless parser: the original log plus
+// the pattern that matched it and the extracted fields.
+type ParsedLog struct {
+	Log
+
+	// PatternID identifies the GROK pattern that parsed this log.
+	PatternID int
+
+	// Fields holds the extracted variable fields in pattern order.
+	Fields []Field
+
+	// Timestamp is the log's embedded timestamp unified to the
+	// DATETIME format, if one was identified.
+	Timestamp time.Time
+
+	// HasTimestamp reports whether an embedded timestamp was found.
+	// When false, Timestamp is the zero time and consumers should fall
+	// back to Arrival.
+	HasTimestamp bool
+}
+
+// EventTime returns the best available notion of when the log happened:
+// the embedded timestamp when present, otherwise the arrival time.
+func (p *ParsedLog) EventTime() time.Time {
+	if p.HasTimestamp {
+		return p.Timestamp
+	}
+	return p.Arrival
+}
+
+// FieldValue returns the value of the named field and whether it exists.
+func (p *ParsedLog) FieldValue(name string) (string, bool) {
+	for _, f := range p.Fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return "", false
+}
+
+// JSON renders the parsed fields as a compact JSON object in field order,
+// mirroring the parsing output format shown in the paper
+// ({"Action": "Connect", "Server": "127.0.0.1", ...}).
+func (p *ParsedLog) JSON() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range p.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: %q", f.Name, f.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package logtypes
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestEventTime(t *testing.T) {
+	arrival := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	embedded := time.Date(2016, 2, 23, 9, 0, 31, 0, time.UTC)
+
+	withTS := &ParsedLog{Log: Log{Arrival: arrival}, Timestamp: embedded, HasTimestamp: true}
+	if !withTS.EventTime().Equal(embedded) {
+		t.Error("embedded timestamp must win")
+	}
+	withoutTS := &ParsedLog{Log: Log{Arrival: arrival}}
+	if !withoutTS.EventTime().Equal(arrival) {
+		t.Error("arrival time must be the fallback")
+	}
+}
+
+func TestFieldValue(t *testing.T) {
+	pl := &ParsedLog{Fields: []Field{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}}}
+	if v, ok := pl.FieldValue("b"); !ok || v != "2" {
+		t.Errorf("FieldValue(b) = %q/%v", v, ok)
+	}
+	if _, ok := pl.FieldValue("missing"); ok {
+		t.Error("missing field must not be found")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	// The paper's example output shape.
+	pl := &ParsedLog{Fields: []Field{
+		{Name: "Action", Value: "Connect"},
+		{Name: "Server", Value: "127.0.0.1"},
+		{Name: "UserName", Value: "abc123"},
+	}}
+	got := pl.JSON()
+	want := `{"Action": "Connect", "Server": "127.0.0.1", "UserName": "abc123"}`
+	if got != want {
+		t.Errorf("JSON() = %s", got)
+	}
+	// Output must be valid JSON even with quoting-hostile values.
+	pl = &ParsedLog{Fields: []Field{{Name: `k"ey`, Value: `va"lue\`}}}
+	var m map[string]string
+	if err := json.Unmarshal([]byte(pl.JSON()), &m); err != nil {
+		t.Fatalf("invalid JSON %s: %v", pl.JSON(), err)
+	}
+	if m[`k"ey`] != `va"lue\` {
+		t.Errorf("round trip: %v", m)
+	}
+	// Empty field list.
+	if (&ParsedLog{}).JSON() != "{}" {
+		t.Error("empty JSON")
+	}
+}

@@ -1,0 +1,166 @@
+package modelmgr
+
+import (
+	"fmt"
+	"sort"
+
+	"loglens/internal/grok"
+	"loglens/internal/logmine"
+	"loglens/internal/logtypes"
+	"loglens/internal/preprocess"
+)
+
+// AcceptNormal extends the model with patterns learned from logs a human
+// reviewed and marked as normal — the paper's closing lesson (§VIII): "we
+// have to provide options to users for incorporating their domain
+// knowledge ... as well as allow them to edit automatically generated
+// models". Unparsed-log anomalies that an operator accepts stop being
+// anomalies: their shapes are clustered and added to the pattern set.
+// It returns the number of patterns added. The model is modified in place;
+// install it through the controller for a zero-downtime rollout.
+func (m *Model) AcceptNormal(lines []string, pp *preprocess.Preprocessor, cfg logmine.Config) (int, error) {
+	if len(lines) == 0 {
+		return 0, nil
+	}
+	if pp == nil {
+		pp = preprocess.New(nil, nil)
+	}
+	clusterer := logmine.New(cfg)
+	for _, line := range lines {
+		if line == "" {
+			continue
+		}
+		r := pp.Process(line)
+		clusterer.Add(r.Tokens, r.Types)
+	}
+	discovered := clusterer.Patterns()
+
+	// Only genuinely new shapes join the model: a line that already
+	// parses under the existing patterns needs no new pattern.
+	p := m.NewParser(pp.Clone())
+	added := 0
+	for _, pat := range discovered.Patterns() {
+		// Probe with the cluster's own rendering: if any accepted
+		// line parses already, skip this cluster.
+		novel := false
+		for _, line := range lines {
+			r := pp.Clone().Process(line)
+			if pat.Matches(r.Tokens) {
+				if _, err := p.Parse(logtypes.Log{Raw: line}); err != nil {
+					novel = true
+				}
+				break
+			}
+		}
+		if !novel {
+			continue
+		}
+		clone := pat.Clone()
+		clone.ID = 0 // the set assigns the next free ID
+		m.Patterns.Add(clone)
+		clone.ApplyHeuristicNames()
+		added++
+	}
+	if added == 0 {
+		return 0, nil
+	}
+	return added, nil
+}
+
+// Diff describes how one model differs from another — the reviewer's view
+// before installing a relearned model.
+type Diff struct {
+	// PatternsAdded and PatternsRemoved list GROK texts present in only
+	// one model (matching by text, not ID: relearning renumbers).
+	PatternsAdded, PatternsRemoved []string
+	// AutomataAdded and AutomataRemoved list automata keys present in
+	// only one model.
+	AutomataAdded, AutomataRemoved []string
+}
+
+// Empty reports whether the models are behaviourally identical.
+func (d Diff) Empty() bool {
+	return len(d.PatternsAdded) == 0 && len(d.PatternsRemoved) == 0 &&
+		len(d.AutomataAdded) == 0 && len(d.AutomataRemoved) == 0
+}
+
+// String renders the diff for the console.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "models are equivalent\n"
+	}
+	out := ""
+	for _, s := range d.PatternsAdded {
+		out += fmt.Sprintf("+ pattern  %s\n", s)
+	}
+	for _, s := range d.PatternsRemoved {
+		out += fmt.Sprintf("- pattern  %s\n", s)
+	}
+	for _, s := range d.AutomataAdded {
+		out += fmt.Sprintf("+ automaton %s\n", s)
+	}
+	for _, s := range d.AutomataRemoved {
+		out += fmt.Sprintf("- automaton %s\n", s)
+	}
+	return out
+}
+
+// DiffModels compares old against new.
+func DiffModels(oldM, newM *Model) Diff {
+	var d Diff
+	oldPats := map[string]bool{}
+	for _, p := range oldM.Patterns.Patterns() {
+		oldPats[patternShape(p.String())] = true
+	}
+	newPats := map[string]bool{}
+	for _, p := range newM.Patterns.Patterns() {
+		s := patternShape(p.String())
+		newPats[s] = true
+		if !oldPats[s] {
+			d.PatternsAdded = append(d.PatternsAdded, p.String())
+		}
+	}
+	for _, p := range oldM.Patterns.Patterns() {
+		if !newPats[patternShape(p.String())] {
+			d.PatternsRemoved = append(d.PatternsRemoved, p.String())
+		}
+	}
+
+	oldAutos := map[string]bool{}
+	for _, a := range oldM.Sequence.Automata {
+		oldAutos[a.Key] = true
+	}
+	newAutos := map[string]bool{}
+	for _, a := range newM.Sequence.Automata {
+		newAutos[a.Key] = true
+		if !oldAutos[a.Key] {
+			d.AutomataAdded = append(d.AutomataAdded, a.Key)
+		}
+	}
+	for _, a := range oldM.Sequence.Automata {
+		if !newAutos[a.Key] {
+			d.AutomataRemoved = append(d.AutomataRemoved, a.Key)
+		}
+	}
+	sort.Strings(d.PatternsAdded)
+	sort.Strings(d.PatternsRemoved)
+	sort.Strings(d.AutomataAdded)
+	sort.Strings(d.AutomataRemoved)
+	return d
+}
+
+// patternShape normalizes a GROK text for comparison: generated field
+// names are stripped (relearning renumbers PxFy identifiers), leaving the
+// structural shape "%{DATETIME} %{IP} login".
+func patternShape(text string) string {
+	p, err := grok.ParsePattern(1, text)
+	if err != nil {
+		return text
+	}
+	for i := range p.Tokens {
+		if p.Tokens[i].IsField {
+			p.Tokens[i].Name = ""
+		}
+	}
+	return p.String()
+}

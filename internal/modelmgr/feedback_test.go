@@ -1,0 +1,97 @@
+package modelmgr
+
+import (
+	"testing"
+
+	"loglens/internal/logmine"
+	"loglens/internal/logtypes"
+)
+
+func TestAcceptNormal(t *testing.T) {
+	b := NewBuilder(BuilderConfig{})
+	m, _, err := b.Build("m", corpus(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Patterns.Len()
+
+	// The operator accepts a batch of flagged-but-benign logs from a
+	// new subsystem.
+	accepted := []string{
+		"gc pause took 12 ms heap 512 mb",
+		"gc pause took 9 ms heap 498 mb",
+		"gc pause took 30 ms heap 730 mb",
+	}
+	added, err := m.AcceptNormal(accepted, nil, logmine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 new pattern", added)
+	}
+	if m.Patterns.Len() != before+1 {
+		t.Fatalf("patterns = %d", m.Patterns.Len())
+	}
+	// The accepted shape now parses.
+	p := m.NewParser(nil)
+	if _, err := p.Parse(logtypes.Log{Raw: "gc pause took 7 ms heap 600 mb"}); err != nil {
+		t.Errorf("accepted shape still unparsed: %v", err)
+	}
+	// Old traffic still parses.
+	if _, err := p.Parse(corpus(1)[0]); err != nil {
+		t.Errorf("existing pattern broken: %v", err)
+	}
+}
+
+func TestAcceptNormalSkipsKnownShapes(t *testing.T) {
+	b := NewBuilder(BuilderConfig{})
+	m, _, err := b.Build("m", corpus(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines that already parse add nothing.
+	added, err := m.AcceptNormal([]string{corpus(1)[0].Raw, corpus(1)[1].Raw}, nil, logmine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("added = %d, want 0 for already-parsed lines", added)
+	}
+	if _, err := m.AcceptNormal(nil, nil, logmine.Config{}); err != nil {
+		t.Errorf("empty accept: %v", err)
+	}
+}
+
+func TestDiffModels(t *testing.T) {
+	b := NewBuilder(BuilderConfig{})
+	m1, _, err := b.Build("v1", corpus(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical rebuild (different IDs/field numbering) diffs empty.
+	m2, _, err := b.Build("v2", corpus(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffModels(m1, m2); !d.Empty() {
+		t.Fatalf("equivalent models diff: %s", d)
+	}
+
+	// Add a pattern and delete an automaton.
+	m3 := m2.Clone()
+	if _, err := m3.AcceptNormal([]string{"brand new shape 42"}, nil, logmine.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	m3.Sequence.Delete(m3.Sequence.Automata[0].ID)
+	d := DiffModels(m1, m3)
+	if len(d.PatternsAdded) != 1 {
+		t.Errorf("patterns added = %v", d.PatternsAdded)
+	}
+	if len(d.AutomataRemoved) != 1 {
+		t.Errorf("automata removed = %v", d.AutomataRemoved)
+	}
+	if d.Empty() || d.String() == "" {
+		t.Error("diff must render")
+	}
+}

@@ -1,0 +1,143 @@
+package modelmgr
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"loglens/internal/logtypes"
+	"loglens/internal/store"
+)
+
+// ModelsIndex is the model-storage index name.
+const ModelsIndex = "models"
+
+// Manager persists models in the model storage and supports the §II
+// workflows: saving freshly built models, loading (possibly expert-edited)
+// models back, and periodic relearning from the log storage ("users can
+// configure LogLens to automatically instruct model builder every midnight
+// to rebuild models using the last seven days logs").
+type Manager struct {
+	store   *store.Store
+	builder *Builder
+}
+
+// NewManager constructs a Manager over the given storage.
+func NewManager(st *store.Store, builder *Builder) *Manager {
+	return &Manager{store: st, builder: builder}
+}
+
+// Save stores a model in the model storage under its ID.
+func (mgr *Manager) Save(m *Model) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("modelmgr: save %q: %w", m.ID, err)
+	}
+	mgr.store.Index(ModelsIndex).Put(m.ID, store.Document{
+		"id":        m.ID,
+		"createdAt": m.CreatedAt,
+		"patterns":  m.Patterns.Len(),
+		"automata":  len(m.Sequence.Automata),
+		"body":      string(data),
+	})
+	return nil
+}
+
+// Load retrieves a model from the model storage.
+func (mgr *Manager) Load(id string) (*Model, error) {
+	doc, ok := mgr.store.Index(ModelsIndex).Get(id)
+	if !ok {
+		return nil, fmt.Errorf("modelmgr: no model %q", id)
+	}
+	body, _ := doc["body"].(string)
+	var m Model
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return nil, fmt.Errorf("modelmgr: load %q: %w", id, err)
+	}
+	return &m, nil
+}
+
+// Delete removes a model from the model storage.
+func (mgr *Manager) Delete(id string) bool {
+	return mgr.store.Index(ModelsIndex).Delete(id)
+}
+
+// List returns the stored model IDs, newest first.
+func (mgr *Manager) List() []string {
+	hits := mgr.store.Index(ModelsIndex).Search(store.Query{SortBy: "createdAt", Desc: true})
+	out := make([]string, 0, len(hits))
+	for _, h := range hits {
+		if id, ok := h.Doc["id"].(string); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Latest returns the most recently created model.
+func (mgr *Manager) Latest() (*Model, error) {
+	ids := mgr.List()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("modelmgr: model storage is empty")
+	}
+	return mgr.Load(ids[0])
+}
+
+// LogsIndexFor is the log-storage index naming scheme: logs are organized
+// by source (§II: the log storage "organizes logs based on the log source
+// information").
+func LogsIndexFor(source string) string { return "logs-" + source }
+
+// Rebuild builds a fresh model for a source from the logs stored since the
+// given time, saves it, and returns it — one periodic relearning round
+// (handling data drift, §II-A).
+func (mgr *Manager) Rebuild(id, source string, since time.Time) (*Model, *BuildReport, error) {
+	hits := mgr.store.Index(LogsIndexFor(source)).Search(store.Query{
+		RangeField: "arrival",
+		RangeMin:   since,
+		SortBy:     "seq",
+	})
+	logs := make([]logtypes.Log, 0, len(hits))
+	for _, h := range hits {
+		raw, _ := h.Doc["raw"].(string)
+		seq, _ := h.Doc["seq"].(uint64)
+		arrival, _ := h.Doc["arrival"].(time.Time)
+		logs = append(logs, logtypes.Log{Source: source, Raw: raw, Seq: seq, Arrival: arrival})
+	}
+	if len(logs) == 0 {
+		return nil, nil, fmt.Errorf("modelmgr: rebuild %q: no stored logs for source %q since %v", id, source, since)
+	}
+	m, report, err := mgr.builder.Build(id, logs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := mgr.Save(m); err != nil {
+		return nil, nil, err
+	}
+	return m, report, nil
+}
+
+// RelearnLoop rebuilds the model for a source every interval, using the
+// logs from the trailing window, and hands each new model to install
+// (typically the model controller's update path). It blocks until the
+// context is done.
+func (mgr *Manager) RelearnLoop(ctx context.Context, source string, interval, window time.Duration, install func(*Model)) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n++
+			id := fmt.Sprintf("%s-relearn-%d", source, n)
+			m, _, err := mgr.Rebuild(id, source, time.Now().Add(-window))
+			if err != nil {
+				continue // no logs yet; try next round
+			}
+			install(m)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package modelmgr implements the model lifecycle components of §II: the
+// model builder (unsupervised training of the log-pattern and automata
+// models), the model manager (persistence in the model storage, periodic
+// relearning, expert edits), and the model controller (add/update/delete
+// instructions delivered to running detectors without service disruption).
+package modelmgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"loglens/internal/automata"
+	"loglens/internal/grok"
+	"loglens/internal/idfield"
+	"loglens/internal/logmine"
+	"loglens/internal/logtypes"
+	"loglens/internal/parser"
+	"loglens/internal/preprocess"
+	"loglens/internal/seqdetect"
+	"loglens/internal/volume"
+)
+
+// Model is a complete LogLens model: the GROK pattern set driving the
+// stateless parser plus the automata model driving the stateful detector.
+type Model struct {
+	// ID names the model in the model storage.
+	ID string
+	// CreatedAt is the build time.
+	CreatedAt time.Time
+	// Patterns is the log-pattern model.
+	Patterns *grok.Set
+	// Sequence is the log-sequence model.
+	Sequence *automata.Model
+	// Volume is the optional per-pattern rate profile for the
+	// log-volume analytics application (nil when not learned).
+	Volume *volume.Profile
+}
+
+// Clone deep-copies the model so user edits never disturb running
+// detectors.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		ID:        m.ID,
+		CreatedAt: m.CreatedAt,
+		Patterns:  m.Patterns.Clone(),
+		Sequence:  m.Sequence.Clone(),
+	}
+	if m.Volume != nil {
+		v := &volume.Profile{Window: m.Volume.Window, Stats: make(map[int]volume.PatternStats, len(m.Volume.Stats))}
+		for k, s := range m.Volume.Stats {
+			v.Stats[k] = s
+		}
+		c.Volume = v
+	}
+	return c
+}
+
+type modelJSON struct {
+	ID        string          `json:"id"`
+	CreatedAt time.Time       `json:"createdAt"`
+	Patterns  *grok.Set       `json:"patterns"`
+	Sequence  *automata.Model `json:"sequence"`
+	Volume    *volume.Profile `json:"volume,omitempty"`
+}
+
+// MarshalJSON serializes the model for the model storage, with patterns in
+// their human-editable GROK text form.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{ID: m.ID, CreatedAt: m.CreatedAt, Patterns: m.Patterns, Sequence: m.Sequence, Volume: m.Volume})
+}
+
+// UnmarshalJSON restores a stored (possibly expert-edited) model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return fmt.Errorf("modelmgr: unmarshal model: %w", err)
+	}
+	if mj.Patterns == nil {
+		mj.Patterns = grok.NewSet()
+	}
+	if mj.Sequence == nil {
+		mj.Sequence = &automata.Model{IDFields: map[int]string{}}
+	}
+	m.ID, m.CreatedAt, m.Patterns, m.Sequence, m.Volume = mj.ID, mj.CreatedAt, mj.Patterns, mj.Sequence, mj.Volume
+	return nil
+}
+
+// BuildReport summarizes one training run.
+type BuildReport struct {
+	// TrainingLogs is the corpus size.
+	TrainingLogs int
+	// Patterns is the number of discovered GROK patterns.
+	Patterns int
+	// Automata is the number of learned automata.
+	Automata int
+	// CoveredPatterns is how many patterns have a discovered ID field.
+	CoveredPatterns int
+	// UnparsedTraining counts training logs the discovered patterns
+	// failed to re-parse (should be zero; nonzero indicates clustering
+	// drift).
+	UnparsedTraining int
+	// Elapsed is the wall-clock build time.
+	Elapsed time.Duration
+}
+
+// BuilderConfig tunes the model builder.
+type BuilderConfig struct {
+	// Logmine tunes pattern-discovery clustering.
+	Logmine logmine.Config
+	// IDField tunes event-ID discovery.
+	IDField idfield.Config
+	// Preprocessor supplies tokenization and timestamp identification
+	// (nil = defaults).
+	Preprocessor *preprocess.Preprocessor
+	// SkipSequence disables automata learning (pattern-only models for
+	// purely stateless deployments).
+	SkipSequence bool
+	// VolumeWindow, when positive, also learns the per-pattern
+	// rate profile for the volume analytics application.
+	VolumeWindow time.Duration
+}
+
+// Builder builds models from training logs ("assuming that they represent
+// normal behavior", §II).
+type Builder struct {
+	cfg BuilderConfig
+}
+
+// NewBuilder constructs a Builder.
+func NewBuilder(cfg BuilderConfig) *Builder {
+	if cfg.Preprocessor == nil {
+		cfg.Preprocessor = preprocess.New(nil, nil)
+	}
+	return &Builder{cfg: cfg}
+}
+
+// Build runs the full unsupervised pipeline on a training corpus:
+// pattern discovery by clustering (§III-A), then parsing the corpus with
+// the discovered patterns, event-ID discovery (§IV-A1), and automata
+// learning (§IV-A2).
+func (b *Builder) Build(id string, logs []logtypes.Log) (*Model, *BuildReport, error) {
+	if len(logs) == 0 {
+		return nil, nil, fmt.Errorf("modelmgr: build %q: empty training corpus", id)
+	}
+	start := time.Now()
+
+	// Phase 1: discover patterns.
+	pp := b.cfg.Preprocessor.Clone()
+	clusterer := logmine.New(b.cfg.Logmine)
+	for _, l := range logs {
+		r := pp.Process(l.Raw)
+		clusterer.Add(r.Tokens, r.Types)
+	}
+	set := clusterer.Patterns()
+
+	report := &BuildReport{
+		TrainingLogs: len(logs),
+		Patterns:     set.Len(),
+	}
+
+	model := &Model{
+		ID:        id,
+		CreatedAt: time.Now(),
+		Patterns:  set,
+		Sequence:  &automata.Model{IDFields: map[int]string{}},
+	}
+
+	// Phase 2: parse the corpus with the discovered patterns and learn
+	// the sequence model.
+	p := parser.New(set, b.cfg.Preprocessor.Clone())
+	parsed := make([]*logtypes.ParsedLog, 0, len(logs))
+	for _, l := range logs {
+		pl, err := p.Parse(l)
+		if err != nil {
+			report.UnparsedTraining++
+			continue
+		}
+		parsed = append(parsed, pl)
+	}
+
+	if !b.cfg.SkipSequence {
+		disc := idfield.Discover(parsed, b.cfg.IDField)
+		model.Sequence = automata.Learn(parsed, disc)
+		report.Automata = len(model.Sequence.Automata)
+		report.CoveredPatterns = len(model.Sequence.IDFields)
+	}
+	if b.cfg.VolumeWindow > 0 {
+		model.Volume = volume.Learn(parsed, b.cfg.VolumeWindow)
+	}
+	report.Elapsed = time.Since(start)
+	return model, report, nil
+}
+
+// NewParser builds a stateless parser over the model's patterns.
+func (m *Model) NewParser(pp *preprocess.Preprocessor) *parser.Parser {
+	return parser.New(m.Patterns, pp)
+}
+
+// NewDetector builds a stateful detector over the model's sequence model.
+func (m *Model) NewDetector(cfg seqdetect.Config) *seqdetect.Detector {
+	return seqdetect.New(m.Sequence, cfg)
+}

@@ -1,0 +1,31 @@
+package parser
+
+import (
+	"loglens/internal/logtypes"
+)
+
+// ParseLinear parses a log by scanning every pattern in ID order with no
+// signature index — the naive O(m)-comparisons-per-log strategy the paper
+// contrasts against (§III-B "Problem Definition"). It exists for the
+// index-ablation benchmark and for differential testing of the index: both
+// strategies must accept exactly the same logs.
+func (p *Parser) ParseLinear(l logtypes.Log) (*logtypes.ParsedLog, error) {
+	res := p.pp.Process(l.Raw)
+	for _, pat := range p.set.Patterns() {
+		p.stats.CandidateScans++
+		fields, ok := pat.Match(res.Tokens)
+		if !ok {
+			continue
+		}
+		p.stats.Parsed++
+		return &logtypes.ParsedLog{
+			Log:          l,
+			PatternID:    pat.ID,
+			Fields:       fields,
+			Timestamp:    res.Time,
+			HasTimestamp: res.HasTime,
+		}, nil
+	}
+	p.stats.Unmatched++
+	return nil, ErrNoMatch
+}

@@ -1,0 +1,264 @@
+// Package parser implements the LogLens stateless log parser (§III-B):
+// logs are parsed against the discovered GROK pattern set via a
+// log-signature index that reduces per-log cost from O(m) pattern scans to
+// amortized O(1) group lookups. Logs that no pattern parses are stateless
+// anomalies.
+//
+// The parser proceeds in the paper's three steps: (1) compute the log's
+// signature (concatenated token datatypes) and look up its
+// candidate-pattern-group; (2) on a miss, build the group by matching the
+// log-signature against every pattern-signature with the dynamic
+// programming of Algorithm 1 (wildcard-aware), sorting candidates in
+// ascending datatype generality and length; (3) scan the group's patterns
+// until one parses the log.
+package parser
+
+import (
+	"errors"
+	"sort"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+	"loglens/internal/logtypes"
+	"loglens/internal/preprocess"
+)
+
+// ErrNoMatch reports that no pattern parses the log: the log is a
+// stateless anomaly (§III-B step 3).
+var ErrNoMatch = errors.New("parser: log matches no pattern")
+
+// Stats counts parser work for the evaluation harness.
+type Stats struct {
+	// Parsed counts successfully parsed logs.
+	Parsed uint64
+	// Unmatched counts anomalies (ErrNoMatch).
+	Unmatched uint64
+	// GroupHits counts logs whose signature hit an existing group.
+	GroupHits uint64
+	// GroupBuilds counts candidate-pattern-group constructions (cache
+	// misses, each costing one Algorithm-1 pass over all patterns).
+	GroupBuilds uint64
+	// GroupEvictions counts group-index entries evicted at the cap.
+	GroupEvictions uint64
+	// CandidateScans counts full pattern-match attempts inside groups.
+	CandidateScans uint64
+}
+
+// DefaultMaxGroups caps the candidate-pattern-group index size. Anomalous
+// traffic can mint unbounded fresh signatures (every unparsed log shape
+// caches an empty group), so the index evicts its oldest entries beyond
+// the cap rather than growing without bound.
+const DefaultMaxGroups = 65536
+
+// Parser is the stateless anomaly detector. It is NOT safe for concurrent
+// use (the group index and preprocessor caches mutate on every Parse);
+// create one per goroutine with Clone.
+type Parser struct {
+	set       *grok.Set
+	pp        *preprocess.Preprocessor
+	groups    map[string][]*grok.Pattern
+	order     []string // insertion order, for FIFO eviction
+	maxGroups int
+	sortOff   bool
+	stats     Stats
+	perPat    map[int]uint64
+}
+
+// Option configures a Parser.
+type Option func(*Parser)
+
+// WithMaxGroups overrides the group-index cap (0 = unlimited).
+func WithMaxGroups(n int) Option {
+	return func(p *Parser) { p.maxGroups = n }
+}
+
+// WithoutGroupSort disables the ascending-generality candidate ordering —
+// ablation only: groups are scanned in pattern-ID order, so a more general
+// pattern can shadow a specific one.
+func WithoutGroupSort() Option {
+	return func(p *Parser) { p.sortOff = true }
+}
+
+// New constructs a Parser over the given pattern set. A nil preprocessor
+// selects the defaults.
+func New(set *grok.Set, pp *preprocess.Preprocessor, opts ...Option) *Parser {
+	if pp == nil {
+		pp = preprocess.New(nil, nil)
+	}
+	p := &Parser{
+		set:       set,
+		pp:        pp,
+		groups:    make(map[string][]*grok.Pattern),
+		maxGroups: DefaultMaxGroups,
+		perPat:    make(map[int]uint64),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Clone returns an independent Parser sharing the (read-only) pattern set
+// but with its own group index and preprocessor caches.
+func (p *Parser) Clone() *Parser {
+	c := New(p.set, p.pp.Clone())
+	c.maxGroups = p.maxGroups
+	c.sortOff = p.sortOff
+	return c
+}
+
+// SetPatterns swaps in a new pattern set (a model update) and drops the
+// group index, which is rebuilt lazily against the new model.
+func (p *Parser) SetPatterns(set *grok.Set) {
+	p.set = set
+	p.groups = make(map[string][]*grok.Pattern)
+	p.order = p.order[:0]
+}
+
+// Patterns returns the active pattern set.
+func (p *Parser) Patterns() *grok.Set { return p.set }
+
+// Stats returns a snapshot of the work counters.
+func (p *Parser) Stats() Stats { return p.stats }
+
+// PatternCounts returns how many logs each pattern has parsed — the model
+// reviewer's view of which patterns carry traffic (and which are dead).
+func (p *Parser) PatternCounts() map[int]uint64 {
+	out := make(map[int]uint64, len(p.perPat))
+	for id, n := range p.perPat {
+		out[id] = n
+	}
+	return out
+}
+
+// ResetStats zeroes the work counters.
+func (p *Parser) ResetStats() { p.stats = Stats{} }
+
+// Parse parses one log. On success it returns the structured form; if no
+// pattern matches it returns ErrNoMatch and the caller reports the log as
+// an anomaly.
+func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
+	res := p.pp.Process(l.Raw)
+	sig := res.Signature()
+
+	group, ok := p.groups[sig]
+	if ok {
+		p.stats.GroupHits++
+	} else {
+		group = p.buildGroup(res.Types)
+		p.cacheGroup(sig, group)
+		p.stats.GroupBuilds++
+	}
+
+	for _, pat := range group {
+		p.stats.CandidateScans++
+		fields, ok := pat.Match(res.Tokens)
+		if !ok {
+			continue
+		}
+		p.stats.Parsed++
+		p.perPat[pat.ID]++
+		return &logtypes.ParsedLog{
+			Log:          l,
+			PatternID:    pat.ID,
+			Fields:       fields,
+			Timestamp:    res.Time,
+			HasTimestamp: res.HasTime,
+		}, nil
+	}
+	p.stats.Unmatched++
+	return nil, ErrNoMatch
+}
+
+// buildGroup assembles the candidate-pattern-group for a log-signature:
+// all patterns whose pattern-signature can parse it (Algorithm 1), sorted
+// in ascending datatype generality then token count, so the most specific
+// pattern is tried first.
+func (p *Parser) buildGroup(logSig []datatype.Type) []*grok.Pattern {
+	var group []*grok.Pattern
+	for _, pat := range p.set.Patterns() {
+		if IsMatched(logSig, pat.SignatureTypes()) {
+			group = append(group, pat)
+		}
+	}
+	if !p.sortOff {
+		sort.SliceStable(group, func(i, j int) bool {
+			gi, gj := group[i].Generality(), group[j].Generality()
+			if gi != gj {
+				return gi < gj
+			}
+			return len(group[i].Tokens) < len(group[j].Tokens)
+		})
+	}
+	return group
+}
+
+// cacheGroup stores a group under its signature, evicting the oldest
+// entries beyond the cap.
+func (p *Parser) cacheGroup(sig string, group []*grok.Pattern) {
+	if p.maxGroups > 0 && len(p.groups) >= p.maxGroups {
+		evict := len(p.order) / 4
+		if evict < 1 {
+			evict = 1
+		}
+		for _, old := range p.order[:evict] {
+			delete(p.groups, old)
+			p.stats.GroupEvictions++
+		}
+		p.order = append(p.order[:0], p.order[evict:]...)
+	}
+	p.groups[sig] = group
+	p.order = append(p.order, sig)
+}
+
+// IsMatched is Algorithm 1: whether a log-signature can be parsed by a
+// pattern-signature, where ANYDATA in the pattern-signature may absorb any
+// number of log tokens and coverage follows the datatype lattice
+// (isCovered(l, p) is true when p's RegEx language includes l's).
+func IsMatched(logSig, patSig []datatype.Type) bool {
+	r, s := len(logSig), len(patSig)
+	// Fast path: no wildcard means positions align one to one.
+	hasAny := false
+	for _, t := range patSig {
+		if t == datatype.AnyData {
+			hasAny = true
+			break
+		}
+	}
+	if !hasAny {
+		if r != s {
+			return false
+		}
+		for i := 0; i < r; i++ {
+			if logSig[i] != patSig[i] && !datatype.Covers(patSig[i], logSig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Wildcard case: T[i][j] = log prefix i parsed by pattern prefix j.
+	// Two rolling rows keep it O(r*s) time, O(s) space.
+	prev := make([]bool, s+1)
+	cur := make([]bool, s+1)
+	prev[0] = true
+	for j := 1; j <= s; j++ {
+		prev[j] = prev[j-1] && patSig[j-1] == datatype.AnyData
+	}
+	for i := 1; i <= r; i++ {
+		cur[0] = false
+		for j := 1; j <= s; j++ {
+			pj := patSig[j-1]
+			switch {
+			case pj == datatype.AnyData:
+				cur[j] = cur[j-1] || prev[j]
+			case logSig[i-1] == pj || datatype.Covers(pj, logSig[i-1]):
+				cur[j] = prev[j-1]
+			default:
+				cur[j] = false
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[s]
+}

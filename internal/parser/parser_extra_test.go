@@ -1,0 +1,164 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loglens/internal/datatype"
+	"loglens/internal/logtypes"
+)
+
+func TestGroupIndexEviction(t *testing.T) {
+	set := mustSet(t, "stable %{NUMBER:n}")
+	p := New(set, nil, WithMaxGroups(8))
+	// Flood with logs of distinct signatures (anomalous traffic).
+	for i := 0; i < 40; i++ {
+		line := "junk"
+		for j := 0; j <= i%13; j++ {
+			line += fmt.Sprintf(" tok%d", j)
+		}
+		p.Parse(raw(line))
+	}
+	s := p.Stats()
+	if s.GroupEvictions == 0 {
+		t.Errorf("no evictions under flood: %+v", s)
+	}
+	// Parsing still works after evictions.
+	if _, err := p.Parse(raw("stable 42")); err != nil {
+		t.Errorf("parse after eviction: %v", err)
+	}
+	// The index stayed bounded.
+	if len(p.groups) > 9 {
+		t.Errorf("group index grew to %d entries past the cap", len(p.groups))
+	}
+}
+
+func TestGroupSortAblation(t *testing.T) {
+	// With sorting off, whichever pattern has the lower ID wins; the
+	// WORD-specific pattern (ID 2) can be shadowed by NOTSPACE (ID 1).
+	set := mustSet(t, "job %{NOTSPACE:v}", "job %{WORD:v}")
+	p := New(set, nil, WithoutGroupSort())
+	pl, err := p.Parse(raw("job alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 1 {
+		t.Errorf("unsorted group should scan in ID order, got pattern %d", pl.PatternID)
+	}
+}
+
+func TestCloneKeepsOptions(t *testing.T) {
+	set := mustSet(t, "a %{NUMBER}")
+	p := New(set, nil, WithMaxGroups(3), WithoutGroupSort())
+	c := p.Clone()
+	if c.maxGroups != 3 || !c.sortOff {
+		t.Error("Clone dropped options")
+	}
+	// Clone has an empty index.
+	p.Parse(raw("a 1"))
+	if len(c.groups) != 0 {
+		t.Error("Clone shares the group index")
+	}
+}
+
+// isMatchedRef is a brute-force reference for Algorithm 1: recursive
+// backtracking with no memoization.
+func isMatchedRef(logSig, patSig []datatype.Type) bool {
+	if len(patSig) == 0 {
+		return len(logSig) == 0
+	}
+	p := patSig[0]
+	if p == datatype.AnyData {
+		// Absorb zero..all log tokens.
+		for k := 0; k <= len(logSig); k++ {
+			if isMatchedRef(logSig[k:], patSig[1:]) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(logSig) == 0 {
+		return false
+	}
+	if logSig[0] == p || datatype.Covers(p, logSig[0]) {
+		return isMatchedRef(logSig[1:], patSig[1:])
+	}
+	return false
+}
+
+// TestIsMatchedAgainstReference property-tests the DP against the
+// brute-force reference on random signatures.
+func TestIsMatchedAgainstReference(t *testing.T) {
+	types := []datatype.Type{
+		datatype.Word, datatype.Number, datatype.IP,
+		datatype.DateTime, datatype.NotSpace,
+	}
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int, wildcards bool) []datatype.Type {
+		out := make([]datatype.Type, n)
+		for i := range out {
+			if wildcards && rng.Intn(4) == 0 {
+				out[i] = datatype.AnyData
+			} else {
+				out[i] = types[rng.Intn(len(types))]
+			}
+		}
+		return out
+	}
+	for i := 0; i < 5000; i++ {
+		logSig := gen(rng.Intn(8), false)
+		patSig := gen(rng.Intn(8), true)
+		got := IsMatched(logSig, patSig)
+		want := isMatchedRef(logSig, patSig)
+		if got != want {
+			t.Fatalf("IsMatched(%v, %v) = %v, reference %v", logSig, patSig, got, want)
+		}
+	}
+}
+
+// TestIsMatchedProperties: identity and wildcard-absorption laws.
+func TestIsMatchedProperties(t *testing.T) {
+	types := []datatype.Type{datatype.Word, datatype.Number, datatype.IP, datatype.NotSpace}
+	// A signature always matches itself.
+	identity := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10)
+		sig := make([]datatype.Type, n)
+		for i := range sig {
+			sig[i] = types[rng.Intn(len(types))]
+		}
+		return IsMatched(sig, sig)
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	// Replacing any pattern position with ANYDATA preserves matching.
+	widen := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 1
+		sig := make([]datatype.Type, n)
+		pat := make([]datatype.Type, n)
+		for i := range sig {
+			sig[i] = types[rng.Intn(len(types))]
+			pat[i] = sig[i]
+		}
+		pat[rng.Intn(n)] = datatype.AnyData
+		return IsMatched(sig, pat)
+	}
+	if err := quick.Check(widen, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseLinearStats(t *testing.T) {
+	set := mustSet(t, "a %{NUMBER}", "b %{NUMBER}", "c %{NUMBER}")
+	p := New(set, nil)
+	if _, err := p.ParseLinear(logtypes.Log{Raw: "c 3"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().CandidateScans; got != 3 {
+		t.Errorf("linear scans = %d, want 3", got)
+	}
+}

@@ -1,0 +1,238 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"loglens/internal/datatype"
+	"loglens/internal/grok"
+	"loglens/internal/logtypes"
+)
+
+func mustSet(t *testing.T, texts ...string) *grok.Set {
+	t.Helper()
+	set := grok.NewSet()
+	for _, text := range texts {
+		p, err := grok.ParsePattern(0, text)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", text, err)
+		}
+		set.Add(p)
+	}
+	return set
+}
+
+func raw(line string) logtypes.Log { return logtypes.Log{Source: "test", Raw: line} }
+
+func TestParseBasic(t *testing.T) {
+	set := mustSet(t,
+		"%{DATETIME} %{IP} login %{NOTSPACE}",
+		"%{DATETIME} %{IP} logout %{NOTSPACE}",
+	)
+	p := New(set, nil)
+
+	pl, err := p.Parse(raw("2016/02/23 09:00:31 127.0.0.1 login user1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 1 {
+		t.Errorf("PatternID = %d, want 1", pl.PatternID)
+	}
+	if !pl.HasTimestamp || pl.Timestamp.Year() != 2016 {
+		t.Errorf("timestamp not extracted: %+v", pl)
+	}
+	if v, _ := pl.FieldValue("P1F2"); v != "127.0.0.1" {
+		t.Errorf("field P1F2 = %q", v)
+	}
+
+	pl, err = p.Parse(raw("2016/02/23 09:05:00 10.0.0.9 logout admin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 2 {
+		t.Errorf("PatternID = %d, want 2", pl.PatternID)
+	}
+}
+
+func TestParseAnomaly(t *testing.T) {
+	set := mustSet(t, "%{DATETIME} %{IP} login %{NOTSPACE}")
+	p := New(set, nil)
+	_, err := p.Parse(raw("totally unexpected log line"))
+	if !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v, want ErrNoMatch", err)
+	}
+	if s := p.Stats(); s.Unmatched != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGroupCaching(t *testing.T) {
+	set := mustSet(t, "%{DATETIME} %{IP} login %{NOTSPACE}")
+	p := New(set, nil)
+	for i := 0; i < 10; i++ {
+		line := fmt.Sprintf("2016/02/23 09:00:%02d 10.0.0.%d login user%d", i, i+1, i)
+		if _, err := p.Parse(raw(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.GroupBuilds != 1 {
+		t.Errorf("GroupBuilds = %d, want 1 (one distinct signature)", s.GroupBuilds)
+	}
+	if s.GroupHits != 9 {
+		t.Errorf("GroupHits = %d, want 9", s.GroupHits)
+	}
+	// Unmatched signatures cache an empty group too.
+	p.Parse(raw("zzz unknown zzz"))
+	p.Parse(raw("zzz unknown zzz"))
+	if s := p.Stats(); s.GroupBuilds != 2 || s.Unmatched != 2 {
+		t.Errorf("empty group not cached: %+v", s)
+	}
+}
+
+func TestMostSpecificPatternWins(t *testing.T) {
+	set := mustSet(t,
+		"job %{NOTSPACE:v}",
+		"job %{WORD:v}",
+	)
+	p := New(set, nil)
+	pl, err := p.Parse(raw("job alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern 2 (WORD) is more specific than pattern 1 (NOTSPACE).
+	if pl.PatternID != 2 {
+		t.Errorf("PatternID = %d, want the more specific WORD pattern", pl.PatternID)
+	}
+	// A non-word value can only take the NOTSPACE pattern.
+	pl, err = p.Parse(raw("job x-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 1 {
+		t.Errorf("PatternID = %d, want 1", pl.PatternID)
+	}
+}
+
+func TestWildcardPatternInGroups(t *testing.T) {
+	set := mustSet(t,
+		"query %{ANYDATA:sql} rc %{NUMBER:rc}",
+	)
+	p := New(set, nil)
+	pl, err := p.Parse(raw("query SELECT a FROM b WHERE c=2 rc 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pl.FieldValue("sql"); v != "SELECT a FROM b WHERE c=2" {
+		t.Errorf("sql = %q", v)
+	}
+	// Different token counts produce different signatures, but the same
+	// wildcard pattern must appear in each group.
+	pl, err = p.Parse(raw("query SELECT 1 rc 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := pl.FieldValue("sql"); v != "SELECT 1" {
+		t.Errorf("sql = %q", v)
+	}
+}
+
+func TestSetPatternsInvalidatesIndex(t *testing.T) {
+	setA := mustSet(t, "alpha %{NUMBER:n}")
+	p := New(setA, nil)
+	if _, err := p.Parse(raw("alpha 1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Parse(raw("beta 2")); !errors.Is(err, ErrNoMatch) {
+		t.Fatal("beta must not parse under model A")
+	}
+
+	setB := mustSet(t, "alpha %{NUMBER:n}", "beta %{NUMBER:n}")
+	p.SetPatterns(setB)
+	if _, err := p.Parse(raw("beta 2")); err != nil {
+		t.Errorf("beta must parse after the model update: %v", err)
+	}
+}
+
+func TestIsMatched(t *testing.T) {
+	W, N, S, D, A := datatype.Word, datatype.Number, datatype.NotSpace, datatype.DateTime, datatype.AnyData
+	tests := []struct {
+		log, pat []datatype.Type
+		want     bool
+	}{
+		{[]datatype.Type{D, W, N}, []datatype.Type{D, W, N}, true},
+		{[]datatype.Type{D, W, N}, []datatype.Type{D, S, N}, true},  // NOTSPACE covers WORD
+		{[]datatype.Type{D, S, N}, []datatype.Type{D, W, N}, false}, // WORD does not cover NOTSPACE
+		{[]datatype.Type{W}, []datatype.Type{W, W}, false},          // length mismatch
+		{[]datatype.Type{W, W, W}, []datatype.Type{W, A, W}, true},  // wildcard absorbs one
+		{[]datatype.Type{W, W}, []datatype.Type{W, A, W}, true},     // wildcard absorbs zero
+		{[]datatype.Type{W, N, N, W}, []datatype.Type{W, A, W}, true},
+		{[]datatype.Type{N, W}, []datatype.Type{A}, true}, // pure wildcard
+		{nil, []datatype.Type{A}, true},                   // wildcard matches empty
+		{nil, nil, true},
+		{[]datatype.Type{W}, nil, false},
+		{[]datatype.Type{W, N}, []datatype.Type{A, N, A}, true},
+		{[]datatype.Type{N, N}, []datatype.Type{A, W, A}, false}, // W unsatisfied
+	}
+	for _, tt := range tests {
+		if got := IsMatched(tt.log, tt.pat); got != tt.want {
+			t.Errorf("IsMatched(%v, %v) = %v, want %v", tt.log, tt.pat, got, tt.want)
+		}
+	}
+}
+
+// TestIndexEquivalentToLinear differentially tests the signature index
+// against the naive linear scan on a mixed workload: both must accept the
+// same logs with the same pattern assignment.
+func TestIndexEquivalentToLinear(t *testing.T) {
+	set := mustSet(t,
+		"%{DATETIME} %{IP} login %{NOTSPACE}",
+		"%{DATETIME} %{IP} logout %{NOTSPACE}",
+		"cache evicted %{NUMBER} entries in %{NUMBER} ms",
+		"query %{ANYDATA:sql} rc %{NUMBER}",
+		"job %{WORD:v}",
+		"job %{NOTSPACE:v}",
+	)
+	indexed := New(set, nil)
+	linear := New(set, nil)
+
+	lines := []string{
+		"2016/02/23 09:00:31 127.0.0.1 login user1",
+		"2016/02/23 09:00:32 127.0.0.1 logout user1",
+		"cache evicted 15 entries in 3 ms",
+		"query SELECT x FROM y rc 0",
+		"query a b c d e f g rc 12",
+		"job alpha",
+		"job x-9",
+		"unparseable line here today",
+		"cache evicted x entries in 3 ms",
+	}
+	for _, line := range lines {
+		pa, errA := indexed.Parse(raw(line))
+		pb, errB := linear.ParseLinear(raw(line))
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("%q: indexed err=%v linear err=%v", line, errA, errB)
+			continue
+		}
+		if errA == nil && pa.PatternID != pb.PatternID {
+			t.Errorf("%q: indexed pattern %d, linear pattern %d", line, pa.PatternID, pb.PatternID)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	set := mustSet(t, "a %{NUMBER}", "b %{NUMBER}")
+	p := New(set, nil)
+	p.Parse(raw("a 1"))
+	p.Parse(raw("b 2"))
+	p.Parse(raw("c 3"))
+	s := p.Stats()
+	if s.Parsed != 2 || s.Unmatched != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	p.ResetStats()
+	if p.Stats() != (Stats{}) {
+		t.Error("ResetStats failed")
+	}
+}

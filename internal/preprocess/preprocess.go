@@ -1,0 +1,100 @@
+// Package preprocess chains LogLens log preprocessing (§III-A1 and
+// §III-A2): tokenization, timestamp identification with unification into
+// the DATETIME format, and per-token datatype detection. Both the model
+// builder (LogMine clustering) and the stateless parser run logs through
+// the same preprocessor so that signatures agree.
+package preprocess
+
+import (
+	"time"
+
+	"loglens/internal/datatype"
+	"loglens/internal/timestamp"
+	"loglens/internal/tokenize"
+)
+
+// Result is a preprocessed log: tokens with the identified timestamp span
+// replaced by a single unified DATETIME token, the per-token datatypes,
+// and the extracted timestamp.
+type Result struct {
+	// Tokens is the token sequence after timestamp unification.
+	Tokens []string
+	// Types holds the detected datatype of each token.
+	Types []datatype.Type
+	// Time is the embedded timestamp, when found.
+	Time time.Time
+	// HasTime reports whether a timestamp was identified.
+	HasTime bool
+}
+
+// Preprocessor applies tokenization, timestamp unification, and datatype
+// detection. It is NOT safe for concurrent use (the timestamp identifier
+// keeps a mutable cache); Clone one per goroutine.
+type Preprocessor struct {
+	tok *tokenize.Tokenizer
+	ts  *timestamp.Identifier
+}
+
+// New builds a Preprocessor. Nil arguments select defaults (whitespace
+// tokenizer; the 89 predefined timestamp formats).
+func New(tok *tokenize.Tokenizer, ts *timestamp.Identifier) *Preprocessor {
+	if tok == nil {
+		tok = tokenize.New()
+	}
+	if ts == nil {
+		ts = timestamp.New()
+	}
+	return &Preprocessor{tok: tok, ts: ts}
+}
+
+// Clone returns an independent Preprocessor sharing the tokenizer (which
+// is stateless) but with a fresh timestamp-identifier cache.
+func (p *Preprocessor) Clone() *Preprocessor {
+	return &Preprocessor{tok: p.tok, ts: p.ts.Clone()}
+}
+
+// TimestampStats exposes the identifier's work counters.
+func (p *Preprocessor) TimestampStats() timestamp.Stats { return p.ts.Stats() }
+
+// Process preprocesses one raw log line.
+func (p *Preprocessor) Process(line string) Result {
+	tokens := p.tok.Split(line)
+	res := Result{Tokens: tokens}
+	if m, ok := p.ts.Identify(tokens); ok {
+		res.Time = m.Time
+		res.HasTime = true
+		if m.Tokens != 1 || tokens[m.Start] != m.Unified() {
+			// Replace the matched span with one unified token.
+			merged := make([]string, 0, len(tokens)-m.Tokens+1)
+			merged = append(merged, tokens[:m.Start]...)
+			merged = append(merged, m.Unified())
+			merged = append(merged, tokens[m.Start+m.Tokens:]...)
+			res.Tokens = merged
+		}
+	}
+	res.Types = make([]datatype.Type, len(res.Tokens))
+	for i, tok := range res.Tokens {
+		res.Types[i] = datatype.Detect(tok)
+	}
+	return res
+}
+
+// Signature returns the log-signature: the space-joined datatype names of
+// the preprocessed tokens (§III-B step 1).
+func (r Result) Signature() string {
+	if len(r.Types) == 0 {
+		return ""
+	}
+	n := 0
+	for _, t := range r.Types {
+		n += len(t.String()) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, t := range r.Types {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, t.String()...)
+	}
+	return string(buf)
+}

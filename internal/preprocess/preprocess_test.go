@@ -1,0 +1,93 @@
+package preprocess
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"loglens/internal/datatype"
+	"loglens/internal/timestamp"
+	"loglens/internal/tokenize"
+)
+
+func TestProcessUnifiesTimestamp(t *testing.T) {
+	pp := New(nil, nil)
+	r := pp.Process("Feb 23, 2016 09:00:31 10.0.0.1 login user1")
+	if !r.HasTime {
+		t.Fatal("timestamp not identified")
+	}
+	want := time.Date(2016, 2, 23, 9, 0, 31, 0, time.UTC)
+	if !r.Time.Equal(want) {
+		t.Errorf("time = %v", r.Time)
+	}
+	// The 4-token "Feb 23, 2016 09:00:31" collapses into one unified
+	// token.
+	wantTokens := []string{"2016/02/23 09:00:31.000", "10.0.0.1", "login", "user1"}
+	if !reflect.DeepEqual(r.Tokens, wantTokens) {
+		t.Errorf("tokens = %v", r.Tokens)
+	}
+	wantTypes := []datatype.Type{datatype.DateTime, datatype.IP, datatype.Word, datatype.NotSpace}
+	if !reflect.DeepEqual(r.Types, wantTypes) {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestProcessNoTimestamp(t *testing.T) {
+	pp := New(nil, nil)
+	r := pp.Process("plain words 42 here")
+	if r.HasTime {
+		t.Error("no timestamp expected")
+	}
+	if len(r.Tokens) != 4 {
+		t.Errorf("tokens = %v", r.Tokens)
+	}
+}
+
+func TestProcessAlreadyUnified(t *testing.T) {
+	pp := New(nil, nil)
+	line := "2016/02/23 09:00:31.000 x"
+	r := pp.Process(line)
+	if !r.HasTime {
+		t.Fatal("no time")
+	}
+	if len(r.Tokens) != 2 || r.Tokens[0] != "2016/02/23 09:00:31.000" {
+		t.Errorf("tokens = %v", r.Tokens)
+	}
+}
+
+func TestSignature(t *testing.T) {
+	pp := New(nil, nil)
+	r := pp.Process("2016/02/23 09:00:31.000 127.0.0.1 login user1")
+	if got := r.Signature(); got != "DATETIME IP WORD NOTSPACE" {
+		t.Errorf("signature = %q", got)
+	}
+	if (Result{}).Signature() != "" {
+		t.Error("empty signature")
+	}
+}
+
+func TestCustomComponents(t *testing.T) {
+	tok := tokenize.New(tokenize.WithRules(tokenize.MustRule(`([0-9]+)KB`, "$1 KB")))
+	ts := timestamp.New(timestamp.WithoutDefaults(), timestamp.WithFormats(timestamp.MustFormat("yyyy.MM.dd.HH.mm.ss")))
+	pp := New(tok, ts)
+	r := pp.Process("2016.02.23.09.00.31 wrote 123KB")
+	if !r.HasTime {
+		t.Error("custom format not identified")
+	}
+	if len(r.Tokens) != 4 { // DATETIME, wrote, 123, KB
+		t.Errorf("tokens = %v", r.Tokens)
+	}
+}
+
+func TestCloneIndependentCache(t *testing.T) {
+	pp := New(nil, nil)
+	pp.Process("2016/02/23 09:00:31.000 warm the cache")
+	c := pp.Clone()
+	if got := c.TimestampStats(); got != (timestamp.Stats{}) {
+		t.Errorf("clone stats = %+v, want zero", got)
+	}
+	r := c.Process("2016/02/23 09:00:32.000 still works")
+	if !r.HasTime {
+		t.Error("clone lost formats")
+	}
+}

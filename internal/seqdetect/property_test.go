@@ -1,0 +1,142 @@
+package seqdetect
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"loglens/internal/automata"
+	"loglens/internal/idfield"
+	"loglens/internal/logtypes"
+)
+
+// genTrace renders an event trace from the learned workflow shape:
+// begin, 1..maxRepeats intermediates, end, with gaps in [minGap, maxGap].
+func genTrace(rng *rand.Rand, eventID string, start time.Time, repeats, minGap, maxGap int) []*logtypes.ParsedLog {
+	var patterns []int
+	patterns = append(patterns, 1)
+	for r := 0; r < repeats; r++ {
+		patterns = append(patterns, 2)
+	}
+	patterns = append(patterns, 3)
+	out := make([]*logtypes.ParsedLog, len(patterns))
+	t := start
+	for i, pid := range patterns {
+		if i > 0 {
+			t = t.Add(time.Duration(minGap+rng.Intn(maxGap-minGap+1)) * time.Second)
+		}
+		out[i] = &logtypes.ParsedLog{
+			Log:          logtypes.Log{Source: "s", Seq: uint64(i)},
+			PatternID:    pid,
+			Fields:       []logtypes.Field{{Name: "id", Value: eventID}},
+			Timestamp:    t,
+			HasTimestamp: true,
+		}
+	}
+	return out
+}
+
+// TestNormalTracesNeverFlagged: any trace drawn from the training
+// distribution is clean — no false positives, across thousands of random
+// interleavings.
+func TestNormalTracesNeverFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+	// Train over the full parameter envelope so learned bounds cover
+	// every generatable trace.
+	var train []*logtypes.ParsedLog
+	for i := 0; i < 100; i++ {
+		repeats := 1 + i%2
+		train = append(train, genTrace(rng, fmt.Sprintf("t-%d", i), base.Add(time.Duration(i*60)*time.Second), repeats, 1, 3)...)
+	}
+	// Boundary traces pin min/max deterministically.
+	train = append(train, genTrace(rng, "t-min", base.Add(time.Hour), 1, 1, 1)...)
+	train = append(train, genTrace(rng, "t-max", base.Add(2*time.Hour), 2, 3, 3)...)
+
+	disc := discFor("id", 1, 2, 3)
+	model := automata.Learn(train, disc)
+	det := New(model, Config{})
+
+	// Thousands of random normal traces, interleaved.
+	testBase := base.Add(24 * time.Hour)
+	var logs []*logtypes.ParsedLog
+	for i := 0; i < 2000; i++ {
+		repeats := 1 + rng.Intn(2)
+		start := testBase.Add(time.Duration(rng.Intn(100000)) * time.Second)
+		logs = append(logs, genTrace(rng, fmt.Sprintf("e-%d", i), start, repeats, 1, 3)...)
+	}
+	// Global time order.
+	sortByTime(logs)
+
+	for _, l := range logs {
+		if recs := det.Process(l); len(recs) != 0 {
+			t.Fatalf("false positive: %+v", recs[0])
+		}
+	}
+	if det.OpenStates() != 0 {
+		t.Fatalf("open states = %d after all traces closed", det.OpenStates())
+	}
+	recs := det.Flush()
+	if len(recs) != 0 {
+		t.Fatalf("flush found %d leftovers", len(recs))
+	}
+}
+
+// TestCorruptedTracesAlwaysFlagged: every corrupted trace produces exactly
+// one anomaly.
+func TestCorruptedTracesAlwaysFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var train []*logtypes.ParsedLog
+	for i := 0; i < 50; i++ {
+		train = append(train, genTrace(rng, fmt.Sprintf("t-%d", i), base.Add(time.Duration(i*60)*time.Second), 1+i%2, 1, 3)...)
+	}
+	model := automata.Learn(train, discFor("id", 1, 2, 3))
+
+	for trial := 0; trial < 500; trial++ {
+		det := New(model, Config{})
+		tr := genTrace(rng, fmt.Sprintf("bad-%d", trial), base.Add(48*time.Hour), 1, 2, 2)
+		switch trial % 4 {
+		case 0: // drop intermediate
+			tr = append(tr[:1], tr[2:]...)
+		case 1: // drop begin
+			tr = tr[1:]
+		case 2: // stretch duration far past the learned max
+			for i := 1; i < len(tr); i++ {
+				tr[i].Timestamp = tr[i-1].Timestamp.Add(time.Duration(10+rng.Intn(5)) * time.Second)
+			}
+		case 3: // repeat the intermediate far past the learned max
+			mid := tr[1]
+			for k := 0; k < 5; k++ {
+				extra := *mid
+				extra.Timestamp = mid.Timestamp.Add(time.Duration(k) * time.Millisecond)
+				tr = append(tr[:2], append([]*logtypes.ParsedLog{&extra}, tr[2:]...)...)
+			}
+		}
+		var got int
+		for _, l := range tr {
+			got += len(det.Process(l))
+		}
+		got += len(det.Flush())
+		if got != 1 {
+			t.Fatalf("trial %d (kind %d): %d anomalies, want exactly 1", trial, trial%4, got)
+		}
+	}
+}
+
+func discFor(field string, patterns ...int) idfield.Discovery {
+	d := idfield.Discovery{FieldOf: map[int]string{}}
+	for _, p := range patterns {
+		d.FieldOf[p] = field
+	}
+	return d
+}
+
+func sortByTime(logs []*logtypes.ParsedLog) {
+	sort.SliceStable(logs, func(i, j int) bool {
+		return logs[i].Timestamp.Before(logs[j].Timestamp)
+	})
+}

@@ -1,0 +1,286 @@
+package seqdetect
+
+import (
+	"testing"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/automata"
+	"loglens/internal/idfield"
+	"loglens/internal/logtypes"
+)
+
+var t0 = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+func trace(eventID string, offset int, patterns ...int) []*logtypes.ParsedLog {
+	out := make([]*logtypes.ParsedLog, len(patterns))
+	for i, pid := range patterns {
+		out[i] = &logtypes.ParsedLog{
+			Log:          logtypes.Log{Source: "s", Seq: uint64(offset*100 + i), Raw: "raw"},
+			PatternID:    pid,
+			Fields:       []logtypes.Field{{Name: "id", Value: eventID}},
+			Timestamp:    t0.Add(time.Duration(offset+i) * time.Second),
+			HasTimestamp: true,
+		}
+	}
+	return out
+}
+
+func disc(patterns ...int) idfield.Discovery {
+	d := idfield.Discovery{FieldOf: map[int]string{}}
+	for _, p := range patterns {
+		d.FieldOf[p] = "id"
+	}
+	return d
+}
+
+// learnedModel trains the 1->2->3 automaton with durations 2s..4s and
+// state-2 occurrence bounds [1,2].
+func learnedModel() *automata.Model {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("t1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("t2", 10, 1, 2, 2, 3)...)
+	logs = append(logs, trace("t3", 20, 1, 2, 2, 3)...)
+	logs = append(logs, trace("t4", 30, 1, 2, 2, 2, 3)...)
+	return automata.Learn(logs, disc(1, 2, 3))
+}
+
+func feed(d *Detector, logs []*logtypes.ParsedLog) []anomaly.Record {
+	var out []anomaly.Record
+	for _, l := range logs {
+		out = append(out, d.Process(l)...)
+	}
+	return out
+}
+
+func TestNormalTraceNoAnomaly(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	if recs := feed(d, trace("e1", 0, 1, 2, 3)); len(recs) != 0 {
+		t.Fatalf("normal trace flagged: %+v", recs)
+	}
+	if d.OpenStates() != 0 {
+		t.Errorf("open states = %d after clean close", d.OpenStates())
+	}
+	if s := d.Stats(); s.EventsClosed != 1 || s.Anomalies != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMissingIntermediate(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	recs := feed(d, trace("e1", 0, 1, 3))
+	if len(recs) != 1 {
+		t.Fatalf("records = %+v, want 1", recs)
+	}
+	r := recs[0]
+	if r.Type != anomaly.MissingIntermediate {
+		t.Errorf("type = %v", r.Type)
+	}
+	if r.EventID != "e1" || r.AutomatonID == 0 || len(r.Logs) != 2 {
+		t.Errorf("record = %+v", r)
+	}
+}
+
+func TestOccurrenceViolation(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	// State 2 occurs 5 times; learned max is 3 (from t4: 2,2,2).
+	recs := feed(d, trace("e1", 0, 1, 2, 2, 2, 2, 2, 3))
+	if len(recs) != 1 || recs[0].Type != anomaly.OccurrenceViolation {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestDurationViolation(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	// Event spans 60s, far above the 4s learned max (10% slack).
+	logs := trace("e1", 0, 1, 2)
+	end := trace("e1", 60, 3)
+	recs := feed(d, append(logs, end...))
+	if len(recs) != 1 || recs[0].Type != anomaly.DurationViolation {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestDurationSlackAbsorbsNoise(t *testing.T) {
+	d := New(learnedModel(), Config{DurationSlack: 0.5})
+	// 5s duration with max 4s: within 50% slack.
+	logs := []*logtypes.ParsedLog{
+		trace("e1", 0, 1)[0],
+		trace("e1", 2, 2)[0],
+		trace("e1", 5, 3)[0],
+	}
+	if recs := feed(d, logs); len(recs) != 0 {
+		t.Fatalf("slack must absorb 5s: %+v", recs)
+	}
+}
+
+func TestMissingBegin(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	recs := feed(d, trace("e1", 0, 2, 2, 3))
+	if len(recs) != 1 || recs[0].Type != anomaly.MissingBegin {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestMissingEndRequiresHeartbeat(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	// Event starts but never ends.
+	recs := feed(d, trace("e1", 0, 1, 2))
+	if len(recs) != 0 {
+		t.Fatalf("no anomaly should fire without the end or a heartbeat: %+v", recs)
+	}
+	if d.OpenStates() != 1 {
+		t.Fatalf("open states = %d", d.OpenStates())
+	}
+
+	// A heartbeat shortly after: not yet expired (max duration 4s,
+	// expiry factor 2 -> 8s window).
+	recs = d.Heartbeat(t0.Add(5 * time.Second))
+	if len(recs) != 0 {
+		t.Fatalf("premature expiry: %+v", recs)
+	}
+
+	// A heartbeat past the expiry window reports the missing end.
+	recs = d.Heartbeat(t0.Add(30 * time.Second))
+	if len(recs) != 1 || recs[0].Type != anomaly.MissingEnd {
+		t.Fatalf("records = %+v", recs)
+	}
+	if d.OpenStates() != 0 {
+		t.Errorf("expired state not cleaned up: %d", d.OpenStates())
+	}
+	if s := d.Stats(); s.EventsExpired != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFlushReportsOpenStates(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	feed(d, trace("e1", 0, 1, 2))
+	feed(d, trace("e2", 3, 1))
+	recs := d.Flush()
+	if len(recs) != 2 {
+		t.Fatalf("flush records = %+v", recs)
+	}
+	for _, r := range recs {
+		if r.Type != anomaly.MissingEnd {
+			t.Errorf("type = %v", r.Type)
+		}
+	}
+	if d.OpenStates() != 0 {
+		t.Errorf("open states = %d", d.OpenStates())
+	}
+}
+
+func TestInterleavedEvents(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	a := trace("eA", 0, 1, 2, 3)
+	b := trace("eB", 1, 1, 3) // anomalous: missing state 2
+	// Interleave: A1 B1 A2 B3 A3.
+	var recs []anomaly.Record
+	for _, l := range []*logtypes.ParsedLog{a[0], b[0], a[1], b[1], a[2]} {
+		recs = append(recs, d.Process(l)...)
+	}
+	if len(recs) != 1 || recs[0].EventID != "eB" || recs[0].Type != anomaly.MissingIntermediate {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestTwoAutomataIndependent(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("a1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("b1", 10, 4, 5)...)
+	logs = append(logs, trace("a2", 20, 1, 2, 3)...)
+	logs = append(logs, trace("b2", 30, 4, 5)...)
+	m := automata.Learn(logs, disc(1, 2, 3, 4, 5))
+	d := New(m, Config{})
+
+	if recs := feed(d, trace("x1", 0, 4, 5)); len(recs) != 0 {
+		t.Fatalf("normal type-B trace flagged: %+v", recs)
+	}
+	recs := feed(d, trace("x2", 5, 4)) // never ends
+	recs = append(recs, d.Heartbeat(t0.Add(time.Hour))...)
+	if len(recs) != 1 || recs[0].Type != anomaly.MissingEnd {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestSetModelDropsDeletedAutomaton(t *testing.T) {
+	var logs []*logtypes.ParsedLog
+	logs = append(logs, trace("a1", 0, 1, 2, 3)...)
+	logs = append(logs, trace("b1", 10, 4, 5)...)
+	m := automata.Learn(logs, disc(1, 2, 3, 4, 5))
+	d := New(m, Config{})
+
+	// Open one event per automaton.
+	feed(d, trace("x1", 0, 1, 2))
+	feed(d, trace("y1", 0, 4))
+	if d.OpenStates() != 2 {
+		t.Fatalf("open states = %d", d.OpenStates())
+	}
+
+	// Delete the 4->5 automaton via a model update.
+	m2 := m.Clone()
+	var delID int
+	for _, a := range m2.Automata {
+		if a.Key == "4>5" {
+			delID = a.ID
+		}
+	}
+	m2.Delete(delID)
+	d.SetModel(m2)
+	if d.OpenStates() != 1 {
+		t.Fatalf("open states after delete = %d, want 1", d.OpenStates())
+	}
+
+	// The y1 event can no longer produce anomalies.
+	recs := d.Flush()
+	if len(recs) != 1 || recs[0].EventID != "x1" {
+		t.Fatalf("flush after delete = %+v", recs)
+	}
+}
+
+func TestUntrackedLogsSkipped(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	l := &logtypes.ParsedLog{PatternID: 99, Fields: []logtypes.Field{{Name: "id", Value: "e"}}}
+	if recs := d.Process(l); recs != nil {
+		t.Fatalf("untracked pattern produced records: %+v", recs)
+	}
+	if s := d.Stats(); s.LogsSkipped != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestEventIDReuseAfterClose(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	if recs := feed(d, trace("e1", 0, 1, 2, 3)); len(recs) != 0 {
+		t.Fatal("first use flagged")
+	}
+	// Same ID reused later: a fresh event, fresh state.
+	if recs := feed(d, trace("e1", 100, 1, 2, 3)); len(recs) != 0 {
+		t.Fatal("reused ID flagged")
+	}
+	if s := d.Stats(); s.EventsClosed != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAnomalyRecordContents(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	recs := feed(d, trace("e1", 0, 1, 3))
+	if len(recs) != 1 {
+		t.Fatal("want 1 record")
+	}
+	r := recs[0]
+	if r.Severity != anomaly.Warning {
+		t.Errorf("severity = %v", r.Severity)
+	}
+	if r.Source != "s" {
+		t.Errorf("source = %q", r.Source)
+	}
+	if r.Reason == "" {
+		t.Error("reason must be populated")
+	}
+	if r.Timestamp.IsZero() {
+		t.Error("timestamp must be populated")
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SaveDir snapshots every index into dir, one JSON file per index
+// (Elasticsearch persists to disk; our in-memory store offers explicit
+// snapshots so a service restart does not lose the archived logs, models,
+// and anomalies). Existing snapshot files for indices that no longer exist
+// are removed.
+func (s *Store) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	live := make(map[string]bool)
+	for _, name := range s.Indices() {
+		data, err := s.Index(name).Dump()
+		if err != nil {
+			return fmt.Errorf("store: save index %q: %w", name, err)
+		}
+		file := indexFile(name)
+		live[file] = true
+		if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+			return fmt.Errorf("store: save index %q: %w", name, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".index.json") && !live[e.Name()] {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// LoadDir restores every index snapshot found in dir, replacing the
+// contents of indices with matching names and creating missing ones.
+func (s *Store) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".index.json") {
+			continue
+		}
+		name, err := indexName(e.Name())
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("store: load index %q: %w", name, err)
+		}
+		if err := s.Index(name).Load(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexFile maps an index name to a safe file name.
+func indexFile(name string) string {
+	return url.PathEscape(name) + ".index.json"
+}
+
+// indexName reverses indexFile.
+func indexName(file string) (string, error) {
+	base := strings.TrimSuffix(file, ".index.json")
+	name, err := url.PathUnescape(base)
+	if err != nil {
+		return "", fmt.Errorf("store: load: bad snapshot file %q: %w", file, err)
+	}
+	return name, nil
+}

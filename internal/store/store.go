@@ -1,0 +1,451 @@
+// Package store is the in-memory document store backing LogLens's three
+// storage components — log storage, model storage, and anomaly storage —
+// the substitution for Elasticsearch (§II). It offers the surface LogLens
+// actually uses: named indices of JSON-like documents, term and range
+// queries with sorting and limits, counts, and time-histogram aggregations
+// for the dashboard.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Document is one stored record. Values should be JSON-representable
+// (string, float64, int, int64, bool, time.Time, nested maps/slices).
+type Document map[string]any
+
+// Hit is one search result.
+type Hit struct {
+	// ID is the document identifier within its index.
+	ID string
+	// Doc is the stored document.
+	Doc Document
+}
+
+// Store is a collection of named indices. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	indices map[string]*Index
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{indices: make(map[string]*Index)}
+}
+
+// Index returns the named index, creating it on first use (as
+// Elasticsearch auto-creates indices on write).
+func (s *Store) Index(name string) *Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix, ok := s.indices[name]
+	if !ok {
+		ix = newIndex(name)
+		s.indices[name] = ix
+	}
+	return ix
+}
+
+// Indices lists existing index names, sorted.
+func (s *Store) Indices() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.indices))
+	for name := range s.indices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteIndex drops an index and reports whether it existed.
+func (s *Store) DeleteIndex(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.indices[name]; !ok {
+		return false
+	}
+	delete(s.indices, name)
+	return true
+}
+
+// Index is one named document collection. It is safe for concurrent use.
+type Index struct {
+	name string
+	mu   sync.RWMutex
+	docs map[string]Document
+	// order preserves insertion order for stable unsorted scans and
+	// FIFO retention.
+	order     []string
+	seq       uint64
+	retention int
+	evicted   uint64
+}
+
+// SetRetention caps the index at max documents: the oldest documents are
+// evicted as new ones arrive (log storage retention — the paper's system
+// archives millions of logs per day and cannot keep them forever). Zero
+// disables retention.
+func (ix *Index) SetRetention(max int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.retention = max
+	ix.enforceRetentionLocked()
+}
+
+// Evicted returns how many documents retention has dropped.
+func (ix *Index) Evicted() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.evicted
+}
+
+// enforceRetentionLocked drops the oldest documents past the cap.
+func (ix *Index) enforceRetentionLocked() {
+	if ix.retention <= 0 {
+		return
+	}
+	for len(ix.order) > ix.retention {
+		oldest := ix.order[0]
+		ix.order = ix.order[1:]
+		delete(ix.docs, oldest)
+		ix.evicted++
+	}
+}
+
+func newIndex(name string) *Index {
+	return &Index{name: name, docs: make(map[string]Document)}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Put stores a document under the given ID, replacing any previous
+// version.
+func (ix *Index) Put(id string, doc Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docs[id]; !exists {
+		ix.order = append(ix.order, id)
+	}
+	ix.docs[id] = cloneDoc(doc)
+	ix.enforceRetentionLocked()
+}
+
+// PutAuto stores a document under a generated ID and returns the ID.
+func (ix *Index) PutAuto(doc Document) string {
+	ix.mu.Lock()
+	ix.seq++
+	id := ix.name + "-" + strconv.FormatUint(ix.seq, 10)
+	if _, exists := ix.docs[id]; !exists {
+		ix.order = append(ix.order, id)
+	}
+	ix.docs[id] = cloneDoc(doc)
+	ix.enforceRetentionLocked()
+	ix.mu.Unlock()
+	return id
+}
+
+// Get retrieves a document by ID.
+func (ix *Index) Get(id string) (Document, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	doc, ok := ix.docs[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneDoc(doc), true
+}
+
+// Delete removes a document and reports whether it existed.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; !ok {
+		return false
+	}
+	delete(ix.docs, id)
+	for i, oid := range ix.order {
+		if oid == id {
+			ix.order = append(ix.order[:i], ix.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Count returns the number of documents.
+func (ix *Index) Count() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Query selects documents. Zero-valued criteria are ignored.
+type Query struct {
+	// Term requires exact equality on every listed field.
+	Term map[string]any
+
+	// RangeField, when set, constrains a numeric or time field to
+	// [RangeMin, RangeMax] (either bound may be nil for open ranges).
+	RangeField string
+	RangeMin   any
+	RangeMax   any
+
+	// SortBy orders results by a field (ascending unless Desc).
+	SortBy string
+	Desc   bool
+
+	// Limit caps the number of hits (0 = unlimited).
+	Limit int
+}
+
+// Search returns the matching documents.
+func (ix *Index) Search(q Query) []Hit {
+	ix.mu.RLock()
+	var hits []Hit
+	for _, id := range ix.order {
+		doc := ix.docs[id]
+		if matches(doc, q) {
+			hits = append(hits, Hit{ID: id, Doc: cloneDoc(doc)})
+		}
+	}
+	ix.mu.RUnlock()
+
+	if q.SortBy != "" {
+		sort.SliceStable(hits, func(i, j int) bool {
+			less := compareValues(hits[i].Doc[q.SortBy], hits[j].Doc[q.SortBy]) < 0
+			if q.Desc {
+				return !less
+			}
+			return less
+		})
+	}
+	if q.Limit > 0 && len(hits) > q.Limit {
+		hits = hits[:q.Limit]
+	}
+	return hits
+}
+
+// CountWhere returns the number of matching documents without
+// materializing them.
+func (ix *Index) CountWhere(q Query) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, doc := range ix.docs {
+		if matches(doc, q) {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram buckets matching documents by a time field into fixed
+// intervals, returning bucket start times (sorted) and counts — the
+// aggregation behind the dashboard's anomaly timeline (Figure 6).
+func (ix *Index) Histogram(q Query, timeField string, interval time.Duration) ([]time.Time, []int) {
+	if interval <= 0 {
+		return nil, nil
+	}
+	ix.mu.RLock()
+	counts := make(map[int64]int)
+	for _, doc := range ix.docs {
+		if !matches(doc, q) {
+			continue
+		}
+		t, ok := asTime(doc[timeField])
+		if !ok {
+			continue
+		}
+		bucket := t.UnixNano() / int64(interval)
+		counts[bucket]++
+	}
+	ix.mu.RUnlock()
+
+	buckets := make([]int64, 0, len(counts))
+	for b := range counts {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+	times := make([]time.Time, len(buckets))
+	out := make([]int, len(buckets))
+	for i, b := range buckets {
+		times[i] = time.Unix(0, b*int64(interval)).UTC()
+		out[i] = counts[b]
+	}
+	return times, out
+}
+
+// TermBucket is one result row of a Terms aggregation.
+type TermBucket struct {
+	// Value is the field value (stringified).
+	Value string
+	// Count is how many matching documents carry it.
+	Count int
+}
+
+// Terms aggregates matching documents by the distinct values of a field,
+// most frequent first (the Elasticsearch terms aggregation the dashboard
+// uses for per-type anomaly counts).
+func (ix *Index) Terms(q Query, field string, limit int) []TermBucket {
+	ix.mu.RLock()
+	counts := make(map[string]int)
+	for _, doc := range ix.docs {
+		if !matches(doc, q) {
+			continue
+		}
+		v, ok := doc[field]
+		if !ok {
+			continue
+		}
+		counts[fmt.Sprint(v)]++
+	}
+	ix.mu.RUnlock()
+
+	out := make([]TermBucket, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, TermBucket{Value: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Dump serializes the index to JSON ({"id": doc, ...}).
+func (ix *Index) Dump() ([]byte, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return json.Marshal(ix.docs)
+}
+
+// Load replaces the index contents from a Dump.
+func (ix *Index) Load(data []byte) error {
+	var docs map[string]Document
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return fmt.Errorf("store: load index %q: %w", ix.name, err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docs = docs
+	ix.order = ix.order[:0]
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	ix.order = ids
+	return nil
+}
+
+func matches(doc Document, q Query) bool {
+	for field, want := range q.Term {
+		if compareValues(doc[field], want) != 0 {
+			return false
+		}
+	}
+	if q.RangeField != "" {
+		v, ok := doc[q.RangeField]
+		if !ok {
+			return false
+		}
+		if q.RangeMin != nil && compareValues(v, q.RangeMin) < 0 {
+			return false
+		}
+		if q.RangeMax != nil && compareValues(v, q.RangeMax) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compareValues imposes a total order across the value kinds the store
+// accepts: numbers compare numerically, times chronologically, everything
+// else by string form.
+func compareValues(a, b any) int {
+	if ta, ok := asTime(a); ok {
+		if tb, ok := asTime(b); ok {
+			switch {
+			case ta.Before(tb):
+				return -1
+			case ta.After(tb):
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if na, ok := asFloat(a); ok {
+		if nb, ok := asFloat(b); ok {
+			switch {
+			case na < nb:
+				return -1
+			case na > nb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	sa, sb := fmt.Sprint(a), fmt.Sprint(b)
+	switch {
+	case sa < sb:
+		return -1
+	case sa > sb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+func asTime(v any) (time.Time, bool) {
+	switch t := v.(type) {
+	case time.Time:
+		return t, true
+	case string:
+		if parsed, err := time.Parse(time.RFC3339Nano, t); err == nil {
+			return parsed, true
+		}
+	}
+	return time.Time{}, false
+}
+
+func cloneDoc(doc Document) Document {
+	out := make(Document, len(doc))
+	for k, v := range doc {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestOperatorPanicContained: a poisonous record must not kill its
+// partition or the engine — the zero-downtime property extends to operator
+// bugs.
+func TestOperatorPanicContained(t *testing.T) {
+	e := New(Config{Partitions: 2}, func(ctx *Context, rec Record) []any {
+		if rec.Value == "poison" {
+			panic("operator bug")
+		}
+		return []any{rec.Value}
+	})
+	var outs []any
+	e.SetSink(func(o any) { outs = append(outs, o) })
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+	for i := 0; i < 10; i++ {
+		v := any(i)
+		if i == 5 {
+			v = "poison"
+		}
+		e.Send(Record{Key: fmt.Sprintf("k%d", i), Value: v})
+	}
+	e.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 9 {
+		t.Errorf("outputs = %d, want 9 (poison dropped, rest survive)", len(outs))
+	}
+	if got := e.Metrics().OperatorPanics; got != 1 {
+		t.Errorf("panics = %d", got)
+	}
+}

@@ -1,0 +1,513 @@
+// Package stream is the micro-batch streaming engine LogLens runs on —
+// the substitution for Spark Streaming (§II, §V). It reproduces the
+// execution model the paper's Section V contributions modify:
+//
+//   - Input records are collected into micro-batches and partitioned by
+//     key across N workers; each partition's records are processed
+//     serially by an operator, so per-key state needs no locking.
+//   - Broadcast variables live on the driver; workers keep local cached
+//     copies and pull from the driver on a cache miss (the getValue()
+//     protocol of §V-A).
+//   - The rebroadcast extension (§V-A): a broadcast variable can be
+//     updated at runtime with zero downtime. The update is queued, applied
+//     between micro-batches under a serialized lock step, worker-local
+//     caches are invalidated, and the next getValue() pulls the new value
+//     from the driver — the job never restarts and partition state maps
+//     survive.
+//   - Per-partition state maps are exposed to the operator (the
+//     getParentStateMap() extension of §V-B) so heartbeat messages can
+//     enumerate and expire open states they have no key for.
+//   - Heartbeat records are fanned to every partition by the custom
+//     partitioner (§V-B), regardless of key.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Record is one input record.
+type Record struct {
+	// Key selects the partition (records with equal keys are processed
+	// in order by the same partition).
+	Key string
+	// Value is the payload.
+	Value any
+	// Time is the record's event time.
+	Time time.Time
+	// Heartbeat marks the record as a heartbeat: the partitioner
+	// duplicates it to every partition.
+	Heartbeat bool
+}
+
+// ProcessFunc is the per-record operator. It runs serially within a
+// partition and may emit any number of outputs.
+type ProcessFunc func(ctx *Context, rec Record) []any
+
+// Config tunes the engine.
+type Config struct {
+	// Partitions is the worker count (default 4).
+	Partitions int
+	// BatchInterval is the micro-batch collection window (default
+	// 10ms).
+	BatchInterval time.Duration
+	// MaxBatch caps records per micro-batch (default 4096).
+	MaxBatch int
+	// InputBuffer is the Send channel capacity (default 8192).
+	InputBuffer int
+	// Partitioner overrides key-hash partitioning for non-heartbeat
+	// records.
+	Partitioner func(rec Record, partitions int) int
+}
+
+func (c *Config) setDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = 10 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.InputBuffer <= 0 {
+		c.InputBuffer = 8192
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = func(rec Record, partitions int) int {
+			h := fnv.New32a()
+			h.Write([]byte(rec.Key))
+			return int(h.Sum32()) % partitions
+		}
+	}
+}
+
+// Metrics counts engine activity. Snapshot via Engine.Metrics.
+type Metrics struct {
+	// Batches and Records count processed micro-batches and records.
+	Batches uint64
+	Records uint64
+	// UpdatesApplied counts rebroadcasts applied between batches.
+	UpdatesApplied uint64
+	// BroadcastPulls counts worker pulls from the driver (cache
+	// misses); BroadcastHits counts worker-local cache hits.
+	BroadcastPulls uint64
+	BroadcastHits  uint64
+	// UpdateBlocked accumulates the serialized lock-step time spent
+	// applying updates — the only blocking cost of a model update
+	// (§V-A: "the only blocking operation is the in-memory copy").
+	UpdateBlocked time.Duration
+	// OperatorPanics counts records dropped because the operator
+	// panicked on them. The partition survives: one poisonous record
+	// must not take down the zero-downtime service.
+	OperatorPanics uint64
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("stream: engine closed")
+
+type update struct {
+	id    string
+	value any
+}
+
+type inspectReq struct {
+	fn   func(partition int, states *StateMap)
+	done chan struct{}
+}
+
+// Engine is the micro-batch engine. Configure (operator, broadcasts)
+// before Run; Send may be called concurrently with Run.
+type Engine struct {
+	cfg  Config
+	proc ProcessFunc
+	sink func(any)
+
+	input  chan Record
+	closed chan struct{}
+	once   sync.Once
+
+	driver  *driver
+	workers []*worker
+
+	updMu    sync.Mutex
+	pending  []update
+	inspects []inspectReq
+
+	metMu   sync.Mutex
+	metrics Metrics
+}
+
+// driver holds the authoritative broadcast blocks (§V-A: the variable "is
+// initially stored" at the driver; workers pull values over the network).
+type driver struct {
+	mu     sync.RWMutex
+	blocks map[string]block
+}
+
+type block struct {
+	value   any
+	version uint64
+}
+
+// worker is one partition executor: its state map and broadcast cache.
+type worker struct {
+	id     int
+	states *StateMap
+	cache  map[string]block
+}
+
+// New constructs an Engine with the given operator.
+func New(cfg Config, proc ProcessFunc) *Engine {
+	cfg.setDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		proc:   proc,
+		input:  make(chan Record, cfg.InputBuffer),
+		closed: make(chan struct{}),
+		driver: &driver{blocks: make(map[string]block)},
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		e.workers = append(e.workers, &worker{
+			id:     i,
+			states: NewStateMap(),
+			cache:  make(map[string]block),
+		})
+	}
+	return e
+}
+
+// SetSink installs the output consumer, called serially from the engine
+// loop after each micro-batch barrier. Must be set before Run.
+func (e *Engine) SetSink(sink func(any)) { e.sink = sink }
+
+// Partitions returns the partition count.
+func (e *Engine) Partitions() int { return e.cfg.Partitions }
+
+// Broadcast registers (or replaces) a broadcast variable immediately. Use
+// before Run; at runtime use Rebroadcast, which respects the micro-batch
+// lock step.
+func (e *Engine) Broadcast(id string, value any) {
+	e.driver.mu.Lock()
+	b := e.driver.blocks[id]
+	e.driver.blocks[id] = block{value: value, version: b.version + 1}
+	e.driver.mu.Unlock()
+	// Invalidate any existing worker caches (pre-Run this is a no-op).
+	for _, w := range e.workers {
+		delete(w.cache, id)
+	}
+}
+
+// Rebroadcast queues a runtime update of a broadcast variable. It is
+// applied between micro-batches: the driver installs the new value under
+// the same variable ID, every worker's locally cached copy is invalidated,
+// and subsequent getValue() calls pull the fresh value. The stream never
+// stops and no partition state is lost (§V-A).
+func (e *Engine) Rebroadcast(id string, value any) {
+	e.updMu.Lock()
+	e.pending = append(e.pending, update{id: id, value: value})
+	e.updMu.Unlock()
+}
+
+// Send enqueues one input record. It blocks when the input buffer is full
+// (backpressure) and fails after Close.
+func (e *Engine) Send(rec Record) error {
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.input <- rec:
+		return nil
+	case <-e.closed:
+		return ErrClosed
+	}
+}
+
+// Close stops input. Run drains everything already sent, then returns.
+func (e *Engine) Close() {
+	e.once.Do(func() { close(e.closed) })
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() Metrics {
+	e.metMu.Lock()
+	defer e.metMu.Unlock()
+	return e.metrics
+}
+
+// StateMap returns partition p's state map. Safe to use from the operator
+// (same partition) or after Run returns; concurrent external mutation
+// during Run is the caller's responsibility.
+func (e *Engine) StateMap(p int) (*StateMap, error) {
+	if p < 0 || p >= len(e.workers) {
+		return nil, fmt.Errorf("stream: no partition %d", p)
+	}
+	return e.workers[p].states, nil
+}
+
+// Run executes the micro-batch loop until the context is cancelled or
+// Close has been called and the input is drained. Queued rebroadcasts are
+// applied between micro-batches.
+func (e *Engine) Run(ctx context.Context) error {
+	// Flush pending updates/inspections at exit so nothing blocks
+	// forever when Run stops via context cancellation.
+	defer e.applyUpdates()
+	for {
+		batch, drained := e.collect(ctx)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// Model updates run between micro-batches in a serialized
+		// lock step (§V-A).
+		e.applyUpdates()
+
+		if len(batch) > 0 {
+			e.processBatch(batch)
+		}
+		if drained {
+			return nil
+		}
+	}
+}
+
+// collect gathers one micro-batch: up to MaxBatch records within
+// BatchInterval. It reports drained=true when the engine is closed and the
+// input is empty.
+func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
+	var batch []Record
+	timer := time.NewTimer(e.cfg.BatchInterval)
+	defer timer.Stop()
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case rec := <-e.input:
+			batch = append(batch, rec)
+		case <-timer.C:
+			return batch, false
+		case <-ctx.Done():
+			return batch, false
+		case <-e.closed:
+			// Drain whatever has been sent, then stop.
+			for {
+				select {
+				case rec := <-e.input:
+					batch = append(batch, rec)
+					if len(batch) >= e.cfg.MaxBatch {
+						return batch, false
+					}
+				default:
+					return batch, true
+				}
+			}
+		}
+	}
+	return batch, false
+}
+
+// processBatch partitions the batch, runs every partition's records
+// through the operator in parallel, waits for the barrier, and feeds
+// outputs to the sink in partition order.
+func (e *Engine) processBatch(batch []Record) {
+	parts := make([][]Record, e.cfg.Partitions)
+	for _, rec := range batch {
+		if rec.Heartbeat {
+			// Custom partitioner: heartbeats reach every
+			// partition (§V-B).
+			for i := range parts {
+				parts[i] = append(parts[i], rec)
+			}
+			continue
+		}
+		p := e.cfg.Partitioner(rec, e.cfg.Partitions)
+		parts[p] = append(parts[p], rec)
+	}
+
+	outputs := make([][]any, e.cfg.Partitions)
+	var wg sync.WaitGroup
+	for i, w := range e.workers {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker, recs []Record, out *[]any) {
+			defer wg.Done()
+			c := &Context{engine: e, worker: w}
+			for _, rec := range recs {
+				*out = append(*out, e.process(c, rec)...)
+			}
+		}(w, parts[i], &outputs[i])
+	}
+	wg.Wait()
+
+	e.metMu.Lock()
+	e.metrics.Batches++
+	e.metrics.Records += uint64(len(batch))
+	e.metMu.Unlock()
+
+	if e.sink == nil {
+		return
+	}
+	for _, outs := range outputs {
+		for _, o := range outs {
+			e.sink(o)
+		}
+	}
+}
+
+// process runs the operator on one record, containing panics so a
+// poisonous record drops instead of killing the partition (and with it the
+// zero-downtime guarantee).
+func (e *Engine) process(c *Context, rec Record) (out []any) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.metMu.Lock()
+			e.metrics.OperatorPanics++
+			e.metMu.Unlock()
+			out = nil
+		}
+	}()
+	return e.proc(c, rec)
+}
+
+// Inspect runs fn against every partition's state map at the next
+// micro-batch barrier — the same serialized lock step model updates use —
+// and blocks until it has run. It is the race-free way to observe
+// partition state (open-event counts, state-map sizes) while the engine is
+// live. If Run is not active the inspection executes immediately.
+func (e *Engine) Inspect(fn func(partition int, states *StateMap)) {
+	select {
+	case <-e.closed:
+		// Engine stopped (or never started): partitions are quiescent.
+		for _, w := range e.workers {
+			fn(w.id, w.states)
+		}
+		return
+	default:
+	}
+	req := inspectReq{fn: fn, done: make(chan struct{})}
+	e.updMu.Lock()
+	e.inspects = append(e.inspects, req)
+	e.updMu.Unlock()
+	select {
+	case <-req.done:
+	case <-e.closed:
+		// Run exited without draining the queue; partitions are
+		// quiescent now.
+		for _, w := range e.workers {
+			fn(w.id, w.states)
+		}
+	}
+}
+
+// applyUpdates installs queued rebroadcasts and runs queued inspections:
+// new driver blocks under the same IDs, all worker caches invalidated.
+func (e *Engine) applyUpdates() {
+	e.updMu.Lock()
+	pending := e.pending
+	inspects := e.inspects
+	e.pending = nil
+	e.inspects = nil
+	e.updMu.Unlock()
+	for _, req := range inspects {
+		for _, w := range e.workers {
+			req.fn(w.id, w.states)
+		}
+		close(req.done)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	start := time.Now()
+	for _, u := range pending {
+		e.driver.mu.Lock()
+		b := e.driver.blocks[u.id]
+		e.driver.blocks[u.id] = block{value: u.value, version: b.version + 1}
+		e.driver.mu.Unlock()
+		for _, w := range e.workers {
+			delete(w.cache, u.id)
+		}
+	}
+	e.metMu.Lock()
+	e.metrics.UpdatesApplied += uint64(len(pending))
+	e.metrics.UpdateBlocked += time.Since(start)
+	e.metMu.Unlock()
+}
+
+// Context is the operator's view of its partition.
+type Context struct {
+	engine *Engine
+	worker *worker
+}
+
+// Partition returns the partition index.
+func (c *Context) Partition() int { return c.worker.id }
+
+// States returns the partition's state map — the getParentStateMap()
+// analog of §V-B, letting heartbeat handling enumerate open states without
+// their keys.
+func (c *Context) States() *StateMap { return c.worker.states }
+
+// Broadcast returns the current value of a broadcast variable via the
+// worker's getValue() protocol: local cache first, then a pull from the
+// driver on a miss.
+func (c *Context) Broadcast(id string) (any, bool) {
+	if b, ok := c.worker.cache[id]; ok {
+		c.engine.metMu.Lock()
+		c.engine.metrics.BroadcastHits++
+		c.engine.metMu.Unlock()
+		return b.value, true
+	}
+	c.engine.driver.mu.RLock()
+	b, ok := c.engine.driver.blocks[id]
+	c.engine.driver.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	c.worker.cache[id] = b
+	c.engine.metMu.Lock()
+	c.engine.metrics.BroadcastPulls++
+	c.engine.metMu.Unlock()
+	return b.value, true
+}
+
+// StateMap is a per-partition keyed state store. Operators access it
+// without locks (partition execution is serial); the map also supports
+// enumeration so heartbeats can find states whose keys they do not know.
+type StateMap struct {
+	m map[string]any
+}
+
+// NewStateMap returns an empty state map.
+func NewStateMap() *StateMap {
+	return &StateMap{m: make(map[string]any)}
+}
+
+// Get returns the state under key.
+func (s *StateMap) Get(key string) (any, bool) {
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Put stores state under key.
+func (s *StateMap) Put(key string, value any) { s.m[key] = value }
+
+// Delete removes the state under key.
+func (s *StateMap) Delete(key string) { delete(s.m, key) }
+
+// Len returns the number of stored states.
+func (s *StateMap) Len() int { return len(s.m) }
+
+// Range calls fn for every state until fn returns false.
+func (s *StateMap) Range(fn func(key string, value any) bool) {
+	for k, v := range s.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package timestamp
+
+import "sync"
+
+// DefaultFormatCount is the size of the predefined format knowledge base.
+// The paper reports LogLens ships with 89 predefined timestamp formats
+// (§VI-A); the table below is constructed to match.
+const DefaultFormatCount = 89
+
+// dateSpecs are the full-date components of the predefined table
+// (13 styles, covering the heterogeneity examples of §III-A2).
+var dateSpecs = []string{
+	"yyyy/MM/dd",
+	"yyyy-MM-dd",
+	"yyyy.MM.dd",
+	"MM/dd/yyyy",
+	"MM-dd-yyyy",
+	"dd/MM/yyyy",
+	"dd-MM-yyyy",
+	"dd.MM.yyyy",
+	"yyyy/dd/MM",
+	"MMM dd, yyyy",
+	"MMM dd yyyy",
+	"dd MMM yyyy",
+	"yyyy MMM dd",
+}
+
+// partialDateSpecs omit the year, as in syslog-style prefixes
+// (e.g. "MM/dd HH:mm:ss" from the paper's predefined examples).
+var partialDateSpecs = []string{
+	"MM/dd",
+	"dd/MM",
+	"MMM dd",
+	"dd MMM",
+}
+
+// timeSpecs are the time-of-day components (5 styles, including the
+// ":SSS" millisecond separator called out in the paper).
+var timeSpecs = []string{
+	"HH:mm:ss",
+	"HH:mm:ss.SSS",
+	"HH:mm:ss,SSS",
+	"HH:mm:ss:SSS",
+	"HH:mm",
+}
+
+// isoSpecs are single-token ISO-8601 variants.
+var isoSpecs = []string{
+	"yyyy-MM-dd'T'HH:mm:ss",
+	"yyyy-MM-dd'T'HH:mm:ss.SSS",
+	"yyyy-MM-dd'T'HH:mm:ssXXX",
+	"yyyy-MM-dd'T'HH:mm:ss.SSSXXX",
+}
+
+var (
+	defaultsOnce sync.Once
+	defaults     []Format
+)
+
+// Defaults returns the predefined format table (89 formats). The slice is
+// rebuilt per call so callers may reorder it freely.
+func Defaults() []Format {
+	defaultsOnce.Do(buildDefaults)
+	out := make([]Format, len(defaults))
+	copy(out, defaults)
+	return out
+}
+
+func buildDefaults() {
+	specs := make([]string, 0, DefaultFormatCount)
+	for _, d := range dateSpecs {
+		for _, t := range timeSpecs {
+			specs = append(specs, d+" "+t)
+		}
+	}
+	for _, d := range partialDateSpecs {
+		for _, t := range timeSpecs {
+			specs = append(specs, d+" "+t)
+		}
+	}
+	specs = append(specs, isoSpecs...)
+
+	defaults = make([]Format, 0, len(specs))
+	for _, s := range specs {
+		defaults = append(defaults, MustFormat(s))
+	}
+}

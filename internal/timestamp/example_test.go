@@ -1,0 +1,34 @@
+package timestamp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"loglens/internal/timestamp"
+)
+
+// Heterogeneous formats unify into the DATETIME form (§III-A2).
+func ExampleIdentifier_Identify() {
+	id := timestamp.New()
+	for _, line := range []string{
+		"Feb 23, 2016 09:00:31 login ok",
+		"2016-02-23T09:00:31 login ok",
+		"02/23/2016 09:00:31 login ok",
+	} {
+		m, _ := id.Identify(strings.Fields(line))
+		fmt.Println(m.Unified())
+	}
+	// Output:
+	// 2016/02/23 09:00:31.000
+	// 2016/02/23 09:00:31.000
+	// 2016/02/23 09:00:31.000
+}
+
+// User formats use Java SimpleDateFormat notation, as in the paper.
+func ExampleNewFormat() {
+	f, _ := timestamp.NewFormat("yyyy.MM.dd HH:mm:ss")
+	t, ok := f.Parse("2016.02.23 09:00:31")
+	fmt.Println(ok, timestamp.Unify(t))
+	// Output:
+	// true 2016/02/23 09:00:31.000
+}

@@ -1,0 +1,79 @@
+package timestamp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIdentify: arbitrary input must never panic, and every reported match
+// must re-parse under its reported format to the same instant.
+func FuzzIdentify(f *testing.F) {
+	for _, seed := range []string{
+		"2016/02/23 09:00:31.000 login",
+		"Feb 23, 2016 09:00:31 x",
+		"23/02 09:00:31:123",
+		"1456218031",
+		"no timestamps here",
+		"9999/99/99 99:99:99",
+		"-1/-1/-1 1:1:1",
+		"0000/00/00 00:00:00.000",
+		"2016-02-23T09:00:31+05:00",
+	} {
+		f.Add(seed)
+	}
+	id := New()
+	f.Fuzz(func(t *testing.T, line string) {
+		tokens := strings.Fields(line)
+		m, ok := id.Identify(tokens)
+		if !ok {
+			return
+		}
+		if m.Start < 0 || m.Start+m.Tokens > len(tokens) {
+			t.Fatalf("match span [%d,%d) out of bounds for %d tokens", m.Start, m.Start+m.Tokens, len(tokens))
+		}
+		// Re-parse the matched text under the reported spec.
+		var fmtMatch Format
+		found := false
+		for _, fm := range id.Formats() {
+			if fm.Spec == m.Spec {
+				fmtMatch = fm
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("reported spec %q not in format table", m.Spec)
+		}
+		text := strings.Join(tokens[m.Start:m.Start+m.Tokens], " ")
+		got, ok := fmtMatch.Parse(text)
+		if !ok {
+			t.Fatalf("reported match %q does not re-parse under %q", text, m.Spec)
+		}
+		if !got.Equal(m.Time) {
+			t.Fatalf("re-parse of %q gives %v, match said %v", text, got, m.Time)
+		}
+	})
+}
+
+// FuzzConvertSpec: arbitrary SimpleDateFormat specs must never panic.
+func FuzzConvertSpec(f *testing.F) {
+	for _, seed := range []string{
+		"yyyy/MM/dd HH:mm:ss.SSS",
+		"yyyy-MM-dd'T'HH:mm:ssXXX",
+		"'unterminated",
+		"''",
+		"Q",
+		"yyyyyyyyyy",
+		"HH:mm:ss:SSS",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fm, err := NewFormat(spec)
+		if err != nil {
+			return
+		}
+		// A valid format must be usable without panicking.
+		fm.Parse("2016/02/23 09:00:31")
+	})
+}

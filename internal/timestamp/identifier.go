@@ -1,0 +1,312 @@
+package timestamp
+
+import (
+	"strings"
+	"time"
+)
+
+// Match describes an identified timestamp inside a token slice.
+type Match struct {
+	// Start is the index of the first token of the timestamp.
+	Start int
+	// Tokens is how many tokens the timestamp spans.
+	Tokens int
+	// Time is the parsed instant.
+	Time time.Time
+	// Spec is the SimpleDateFormat specification that matched.
+	Spec string
+}
+
+// Unified renders the matched instant in the unified DATETIME format.
+func (m Match) Unified() string { return Unify(m.Time) }
+
+// Stats counts identifier work, used to evaluate the caching and
+// filtering optimizations (§VI-A).
+type Stats struct {
+	// CacheHits counts identifications satisfied by a cached format.
+	CacheHits uint64
+	// CacheMisses counts identifications that had to scan the full
+	// format table after missing the cache.
+	CacheMisses uint64
+	// Filtered counts token positions rejected by the keyword filter
+	// without trying any format.
+	Filtered uint64
+	// FormatTries counts individual format parse attempts.
+	FormatTries uint64
+}
+
+// Identifier recognizes timestamps in tokenized logs. It is NOT safe for
+// concurrent use because the match cache mutates on every call; create one
+// per goroutine with Clone.
+type Identifier struct {
+	formats []Format
+
+	// cache holds (format, token position) pairs in most-recently-used
+	// order: logs from one source keep the same timestamp format at the
+	// same position, so a hit skips the entire position x format scan
+	// (§III-A2 "Caching matched formats").
+	cache    []cacheEntry
+	cacheCap int
+
+	useCache  bool
+	useFilter bool
+
+	stats Stats
+}
+
+type cacheEntry struct {
+	format int
+	pos    int
+}
+
+// Option configures an Identifier.
+type IdentifierOption func(*identifierConfig)
+
+type identifierConfig struct {
+	userFormats []Format
+	noDefaults  bool
+	cacheCap    int
+	noCache     bool
+	noFilter    bool
+}
+
+// WithFormats prepends user-specified formats, which take priority over
+// the predefined table (the paper lets users specify formats that are
+// checked instead of, or before, the predefined list).
+func WithFormats(formats ...Format) IdentifierOption {
+	return func(c *identifierConfig) { c.userFormats = append(c.userFormats, formats...) }
+}
+
+// WithoutDefaults drops the predefined format table, leaving only
+// user-specified formats.
+func WithoutDefaults() IdentifierOption {
+	return func(c *identifierConfig) { c.noDefaults = true }
+}
+
+// WithCacheSize sets the matched-format cache capacity (default 16
+// (format, position) pairs — sources use only a few formats, but the
+// timestamp position varies with the log prefix).
+func WithCacheSize(n int) IdentifierOption {
+	return func(c *identifierConfig) { c.cacheCap = n }
+}
+
+// WithoutCache disables the matched-format cache (for ablation).
+func WithoutCache() IdentifierOption {
+	return func(c *identifierConfig) { c.noCache = true }
+}
+
+// WithoutFilter disables the keyword filter (for ablation).
+func WithoutFilter() IdentifierOption {
+	return func(c *identifierConfig) { c.noFilter = true }
+}
+
+// New constructs an Identifier with the 89 predefined formats plus any
+// user formats, caching and filtering enabled.
+func New(opts ...IdentifierOption) *Identifier {
+	cfg := identifierConfig{cacheCap: 16}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var formats []Format
+	formats = append(formats, cfg.userFormats...)
+	if !cfg.noDefaults {
+		formats = append(formats, Defaults()...)
+	}
+	return &Identifier{
+		formats:   formats,
+		cacheCap:  cfg.cacheCap,
+		useCache:  !cfg.noCache,
+		useFilter: !cfg.noFilter,
+	}
+}
+
+// Clone returns an independent Identifier with the same format table and
+// an empty cache, suitable for use on another goroutine.
+func (id *Identifier) Clone() *Identifier {
+	return &Identifier{
+		formats:   id.formats,
+		cacheCap:  id.cacheCap,
+		useCache:  id.useCache,
+		useFilter: id.useFilter,
+	}
+}
+
+// Formats returns the format table in priority order.
+func (id *Identifier) Formats() []Format {
+	out := make([]Format, len(id.formats))
+	copy(out, id.formats)
+	return out
+}
+
+// Stats returns a snapshot of the work counters.
+func (id *Identifier) Stats() Stats { return id.stats }
+
+// ResetStats zeroes the work counters.
+func (id *Identifier) ResetStats() { id.stats = Stats{} }
+
+// Identify scans the token slice and returns the first timestamp found.
+// Cached (format, position) pairs are tried first; on a miss the full
+// position-by-position scan runs and the winning pair enters the cache.
+func (id *Identifier) Identify(tokens []string) (Match, bool) {
+	if id.useCache {
+		for ci, e := range id.cache {
+			if m, ok := id.tryFormat(e.format, tokens, e.pos); ok {
+				id.stats.CacheHits++
+				id.promote(ci)
+				return m, true
+			}
+		}
+	}
+	for pos := range tokens {
+		m, ok := id.IdentifyAt(tokens, pos)
+		if !ok {
+			continue
+		}
+		if id.useCache {
+			id.stats.CacheMisses++
+			id.insert(cacheEntry{format: id.formatIndex(m.Spec), pos: pos})
+		}
+		return m, true
+	}
+	if id.useCache {
+		id.stats.CacheMisses++
+	}
+	return Match{}, false
+}
+
+// IdentifyAt attempts to identify a timestamp starting exactly at token
+// position pos, scanning the format table in priority order (the cache is
+// not consulted: position-pinned lookups are already O(k)).
+func (id *Identifier) IdentifyAt(tokens []string, pos int) (Match, bool) {
+	if pos < 0 || pos >= len(tokens) {
+		return Match{}, false
+	}
+	if id.useFilter && !canStartTimestamp(tokens[pos]) {
+		id.stats.Filtered++
+		return Match{}, false
+	}
+	for fi := range id.formats {
+		if m, ok := id.tryFormat(fi, tokens, pos); ok {
+			return m, true
+		}
+	}
+	return Match{}, false
+}
+
+// formatIndex locates a format by its spec (formats are few; linear is
+// fine on the miss path).
+func (id *Identifier) formatIndex(spec string) int {
+	for i, f := range id.formats {
+		if f.Spec == spec {
+			return i
+		}
+	}
+	return 0
+}
+
+func (id *Identifier) tryFormat(fi int, tokens []string, pos int) (Match, bool) {
+	f := id.formats[fi]
+	if pos+f.Tokens > len(tokens) {
+		return Match{}, false
+	}
+	id.stats.FormatTries++
+	text := tokens[pos]
+	if f.Tokens > 1 {
+		text = strings.Join(tokens[pos:pos+f.Tokens], " ")
+	}
+	t, ok := f.Parse(text)
+	if !ok {
+		return Match{}, false
+	}
+	return Match{Start: pos, Tokens: f.Tokens, Time: t, Spec: f.Spec}, true
+}
+
+// promote moves the cache entry at position ci to the front (MRU).
+func (id *Identifier) promote(ci int) {
+	if ci == 0 {
+		return
+	}
+	e := id.cache[ci]
+	copy(id.cache[1:ci+1], id.cache[:ci])
+	id.cache[0] = e
+}
+
+// insert places a cache entry at the front, evicting the LRU entry if the
+// cache is full.
+func (id *Identifier) insert(e cacheEntry) {
+	for ci, old := range id.cache {
+		if old == e {
+			id.promote(ci)
+			return
+		}
+	}
+	if id.cacheCap <= 0 {
+		return
+	}
+	if len(id.cache) < id.cacheCap {
+		id.cache = append(id.cache, cacheEntry{})
+	}
+	copy(id.cache[1:], id.cache)
+	id.cache[0] = e
+}
+
+// canStartTimestamp is the keyword filter: a token can begin a timestamp
+// only if it starts with a digit and contains a date/time separator (or is
+// a plausible bare numeric field), or if it starts with a month or weekday
+// name (§III-A2 "Filtering").
+func canStartTimestamp(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	if c >= '0' && c <= '9' {
+		if strings.ContainsAny(tok, "/-.:") {
+			return true
+		}
+		// Bare digit runs: plausible as MM, dd, yyyy, or epoch
+		// seconds/millis.
+		n := 0
+		for n < len(tok) && tok[n] >= '0' && tok[n] <= '9' {
+			n++
+		}
+		if n != len(tok) && tok[n] != ',' {
+			return false
+		}
+		switch n {
+		case 1, 2, 4, 10, 13:
+			return true
+		}
+		return false
+	}
+	return hasMonthOrWeekdayPrefix(tok)
+}
+
+var monthDayKeywords = []string{
+	"jan", "feb", "mar", "apr", "may", "jun",
+	"jul", "aug", "sep", "oct", "nov", "dec",
+	"mon", "tue", "wed", "thu", "fri", "sat", "sun",
+}
+
+func hasMonthOrWeekdayPrefix(tok string) bool {
+	if len(tok) < 3 {
+		return false
+	}
+	var p [3]byte
+	for i := 0; i < 3; i++ {
+		c := tok[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c < 'a' || c > 'z' {
+			return false
+		}
+		p[i] = c
+	}
+	prefix := string(p[:])
+	for _, k := range monthDayKeywords {
+		if prefix == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package timestamp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultsCount(t *testing.T) {
+	got := len(Defaults())
+	if got != DefaultFormatCount {
+		t.Fatalf("predefined format table has %d formats, want %d (paper §VI-A)", got, DefaultFormatCount)
+	}
+}
+
+func TestConvertSpec(t *testing.T) {
+	tests := []struct {
+		spec   string
+		layout string
+	}{
+		{"yyyy/MM/dd HH:mm:ss.SSS", "2006/01/02 15:04:05.000"},
+		{"yyyy-MM-dd'T'HH:mm:ss", "2006-01-02T15:04:05"},
+		{"MMM dd, yyyy HH:mm:ss", "Jan 02, 2006 15:04:05"},
+		{"MM/dd HH:mm:ss", "01/02 15:04:05"},
+		{"dd MMM yyyy HH:mm", "02 Jan 2006 15:04"},
+		{"yyyy-MM-dd'T'HH:mm:ssXXX", "2006-01-02T15:04:05-07:00"},
+		{"HH:mm:ss,SSS", "15:04:05,000"},
+	}
+	for _, tt := range tests {
+		f, err := NewFormat(tt.spec)
+		if err != nil {
+			t.Fatalf("NewFormat(%q): %v", tt.spec, err)
+		}
+		if f.Layout != tt.layout {
+			t.Errorf("NewFormat(%q).Layout = %q, want %q", tt.spec, f.Layout, tt.layout)
+		}
+	}
+}
+
+func TestHeterogeneousFormats(t *testing.T) {
+	// The paper's §III-A2 example: the same instant expressed many ways.
+	id := New()
+	want := time.Date(2016, 2, 23, 9, 0, 31, 0, time.UTC)
+	lines := []string{
+		"2016/02/23 09:00:31",
+		"2016/23/02 09:00:31",
+		"2016/23/02 09:00:31.000",
+		"Feb 23, 2016 09:00:31",
+		"2016 Feb 23 09:00:31",
+		"02/23/2016 09:00:31",
+		"02-23-2016 09:00:31",
+		"23/02/2016 09:00:31",
+		"2016-02-23T09:00:31",
+		"2016-02-23 09:00:31,000",
+		"2016-02-23 09:00:31:000",
+	}
+	for _, line := range lines {
+		tokens := strings.Fields(line)
+		m, ok := id.Identify(tokens)
+		if !ok {
+			t.Errorf("Identify(%q): no match", line)
+			continue
+		}
+		if !m.Time.Equal(want) {
+			t.Errorf("Identify(%q) = %v, want %v", line, m.Time, want)
+		}
+		if got := m.Unified(); got != "2016/02/23 09:00:31.000" {
+			t.Errorf("Unified(%q) = %q", line, got)
+		}
+	}
+}
+
+func TestIdentifyPosition(t *testing.T) {
+	id := New()
+	tokens := strings.Fields("ERROR 2016/02/23 09:00:31.123 disk full")
+	m, ok := id.Identify(tokens)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Start != 1 || m.Tokens != 2 {
+		t.Fatalf("match span = (%d,%d), want (1,2)", m.Start, m.Tokens)
+	}
+	if m.Time.Nanosecond() != 123*1e6 {
+		t.Errorf("millis lost: %v", m.Time)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	id := New()
+	for _, line := range []string{
+		"Connect DB server user abc123",
+		"value=42 rate 99.9 pct",
+		"ip 127.0.0.1 port 8080",
+	} {
+		if m, ok := id.Identify(strings.Fields(line)); ok {
+			t.Errorf("Identify(%q) unexpectedly matched %q at %d", line, m.Spec, m.Start)
+		}
+	}
+}
+
+func TestCacheBehavior(t *testing.T) {
+	id := New()
+	tokens := strings.Fields("2016/02/23 09:00:31.000 server up")
+	if _, ok := id.Identify(tokens); !ok {
+		t.Fatal("no match")
+	}
+	s0 := id.Stats()
+	if s0.CacheHits != 0 {
+		t.Fatalf("first identification must miss the cache, stats %+v", s0)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := id.Identify(tokens); !ok {
+			t.Fatal("no match")
+		}
+	}
+	s1 := id.Stats()
+	if s1.CacheHits != 10 {
+		t.Errorf("expected 10 cache hits, got %+v", s1)
+	}
+	if s1.CacheMisses != s0.CacheMisses {
+		t.Errorf("repeat identifications must not miss: %+v", s1)
+	}
+}
+
+func TestCacheFarFewerTries(t *testing.T) {
+	// A format deep in the predefined table, so the uncached linear
+	// scan pays for dozens of failed tries on every log.
+	tokens := strings.Fields("x 23/02 09:00:31:123 up")
+
+	cached := New()
+	for i := 0; i < 100; i++ {
+		cached.Identify(tokens)
+	}
+	uncached := New(WithoutCache())
+	for i := 0; i < 100; i++ {
+		uncached.Identify(tokens)
+	}
+	if c, u := cached.Stats().FormatTries, uncached.Stats().FormatTries; c*5 > u {
+		t.Errorf("cache should cut format tries by far more: cached=%d uncached=%d", c, u)
+	}
+}
+
+func TestFilterSkipsNonCandidates(t *testing.T) {
+	id := New()
+	tokens := strings.Fields("alpha beta gamma delta")
+	id.Identify(tokens)
+	s := id.Stats()
+	if s.Filtered != uint64(len(tokens)) {
+		t.Errorf("all %d tokens should be filtered, stats %+v", len(tokens), s)
+	}
+	if s.FormatTries != 0 {
+		t.Errorf("filter should prevent all format tries, stats %+v", s)
+	}
+}
+
+func TestFilterDoesNotChangeResults(t *testing.T) {
+	lines := []string{
+		"2016/02/23 09:00:31 ok",
+		"Feb 23, 2016 09:00:31 warn",
+		"plain words only here",
+		"num 42 and ip 10.0.0.1",
+		"23/02 09:00:31:123 partial",
+	}
+	a := New()
+	b := New(WithoutFilter())
+	for _, line := range lines {
+		tokens := strings.Fields(line)
+		ma, oka := a.Identify(tokens)
+		mb, okb := b.Identify(tokens)
+		if oka != okb || (oka && (ma.Start != mb.Start || !ma.Time.Equal(mb.Time))) {
+			t.Errorf("filter changed result for %q: %v/%v vs %v/%v", line, ma, oka, mb, okb)
+		}
+	}
+}
+
+func TestUserFormatsTakePriority(t *testing.T) {
+	user := MustFormat("yyyy.MM.dd.HH.mm.ss")
+	id := New(WithFormats(user))
+	m, ok := id.Identify([]string{"2016.02.23.09.00.31"})
+	if !ok || m.Spec != user.Spec {
+		t.Fatalf("user format not used: %+v ok=%v", m, ok)
+	}
+}
+
+func TestWithoutDefaults(t *testing.T) {
+	id := New(WithoutDefaults(), WithFormats(MustFormat("HH:mm:ss")))
+	if _, ok := id.Identify([]string{"2016/02/23", "09:00:31"}); !ok {
+		t.Error("user format should match the time token")
+	}
+	if _, ok := id.Identify([]string{"2016-02-23T09:00:31"}); ok {
+		t.Error("default formats must be absent")
+	}
+}
+
+func TestEpochFormats(t *testing.T) {
+	id := New(WithFormats(EpochSeconds(), EpochMillis()))
+	m, ok := id.Identify([]string{"1456218031"})
+	if !ok {
+		t.Fatal("epoch seconds not recognized")
+	}
+	if m.Time.Year() != 2016 {
+		t.Errorf("epoch parse wrong: %v", m.Time)
+	}
+	m, ok = id.Identify([]string{"1456218031123"})
+	if !ok {
+		t.Fatal("epoch millis not recognized")
+	}
+	if m.Time.Nanosecond() != 123*1e6 {
+		t.Errorf("epoch millis lost precision: %v", m.Time)
+	}
+	if _, ok := id.Identify([]string{"123456"}); ok {
+		t.Error("6-digit number is not an epoch")
+	}
+}
+
+func TestClone(t *testing.T) {
+	id := New()
+	tokens := strings.Fields("2016/02/23 09:00:31.000 up")
+	id.Identify(tokens)
+	c := id.Clone()
+	if got := c.Stats(); got != (Stats{}) {
+		t.Errorf("clone must start with empty stats: %+v", got)
+	}
+	if _, ok := c.Identify(tokens); !ok {
+		t.Error("clone lost format table")
+	}
+}
+
+func TestAmbiguousDayMonthOrder(t *testing.T) {
+	id := New()
+	// Day > 12 forces dd/MM interpretation.
+	m, ok := id.Identify(strings.Fields("23/02/2016 09:00:31"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Time.Month() != time.February || m.Time.Day() != 23 {
+		t.Errorf("got %v, want Feb 23", m.Time)
+	}
+	// Ambiguous 02/03: MM/dd listed first wins, as documented. Use a
+	// fresh identifier: the one above has cached dd/MM/yyyy, and cached
+	// formats intentionally take priority for source consistency.
+	m, ok = New().Identify(strings.Fields("02/03/2016 09:00:31"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.Time.Month() != time.February {
+		t.Errorf("ambiguous date must resolve MM/dd first, got %v", m.Time)
+	}
+}
+
+func TestRewriteLastColonToDot(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"09:00:31:123", "09:00:31.123"},
+		{"09:00:31", "09:00:31"},
+		{"09:00:31:12", "09:00:31:12"},
+		{"09:00:31:abc", "09:00:31:abc"},
+		{"abc", "abc"},
+	}
+	for _, tt := range tests {
+		if got := rewriteLastColonToDot(tt.in); got != tt.want {
+			t.Errorf("rewriteLastColonToDot(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDefaultsAllParseTheirOwnOutput(t *testing.T) {
+	// Round-trip: format a reference time with each layout, then parse
+	// it back with the same format.
+	ref := time.Date(2021, 11, 28, 13, 45, 59, 123e6, time.UTC)
+	for _, f := range Defaults() {
+		text := ref.Format(f.Layout)
+		if f.pre != nil {
+			// The ":SSS" formats cannot be produced by Format;
+			// build the text by reversing the rewrite.
+			text = strings.Replace(ref.Format(strings.Replace(f.Layout, ".000", ":000", 1)), ":000", ":123", 1)
+		}
+		got, ok := f.Parse(text)
+		if !ok {
+			t.Errorf("format %q cannot parse its own rendering %q", f.Spec, text)
+			continue
+		}
+		if got.Hour() != 13 || got.Minute() != 45 {
+			t.Errorf("format %q parsed %q to %v", f.Spec, text, got)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package tokenize implements LogLens log preprocessing (§III-A1): a log
+// line is split into tokens on a configurable delimiter set, optionally
+// after user-supplied RegEx rules have split compound tokens into
+// sub-tokens (e.g. "123KB" -> "123 KB").
+package tokenize
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// SplitRule rewrites tokens that match Pattern by inserting separators,
+// producing multiple sub-tokens. Replacement may reference capture groups
+// with $1, $2, ... as in regexp.Regexp.ReplaceAllString. The rule is
+// applied only when the whole token matches Pattern.
+type SplitRule struct {
+	Pattern     *regexp.Regexp
+	Replacement string
+}
+
+// MustRule compiles a SplitRule and panics on a bad pattern. Intended for
+// static rule tables.
+func MustRule(pattern, replacement string) SplitRule {
+	return SplitRule{
+		Pattern:     regexp.MustCompile("^(?:" + pattern + ")$"),
+		Replacement: replacement,
+	}
+}
+
+// NewRule compiles a SplitRule, anchoring the pattern so it must match the
+// entire token.
+func NewRule(pattern, replacement string) (SplitRule, error) {
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		return SplitRule{}, fmt.Errorf("tokenize: compile split rule %q: %w", pattern, err)
+	}
+	return SplitRule{Pattern: re, Replacement: replacement}, nil
+}
+
+// Tokenizer splits log lines into tokens. The zero value is not usable;
+// construct one with New.
+type Tokenizer struct {
+	delimiters string
+	rules      []SplitRule
+}
+
+// Option configures a Tokenizer.
+type Option func(*Tokenizer)
+
+// WithDelimiters overrides the default whitespace delimiter set. Each rune
+// in the string is an individual delimiter character.
+func WithDelimiters(delims string) Option {
+	return func(t *Tokenizer) { t.delimiters = delims }
+}
+
+// WithRules appends user RegEx sub-token split rules, applied in order to
+// every token produced by delimiter splitting.
+func WithRules(rules ...SplitRule) Option {
+	return func(t *Tokenizer) { t.rules = append(t.rules, rules...) }
+}
+
+// DefaultDelimiters is the default delimiter set: ASCII whitespace.
+const DefaultDelimiters = " \t\r\n\v\f"
+
+// New constructs a Tokenizer with the default whitespace delimiters,
+// customized by the supplied options.
+func New(opts ...Option) *Tokenizer {
+	t := &Tokenizer{delimiters: DefaultDelimiters}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Split tokenizes one log line. Empty tokens are dropped, so runs of
+// delimiters collapse. The returned slice is freshly allocated.
+func (t *Tokenizer) Split(line string) []string {
+	raw := splitAny(line, t.delimiters)
+	if len(t.rules) == 0 {
+		return raw
+	}
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		out = append(out, t.applyRules(tok)...)
+	}
+	return out
+}
+
+// applyRules applies the first matching rule to the token and re-splits
+// the replacement on spaces. Rules are not applied recursively to their
+// own output to guarantee termination.
+func (t *Tokenizer) applyRules(tok string) []string {
+	for _, r := range t.rules {
+		if r.Pattern.MatchString(tok) {
+			expanded := r.Pattern.ReplaceAllString(tok, r.Replacement)
+			parts := strings.Fields(expanded)
+			if len(parts) > 0 {
+				return parts
+			}
+			return []string{tok}
+		}
+	}
+	return []string{tok}
+}
+
+// splitAny splits s on any rune contained in delims, dropping empty
+// fields. It is allocation-conscious: a single pass sizes the result.
+func splitAny(s, delims string) []string {
+	isDelim := func(c byte) bool { return strings.IndexByte(delims, c) >= 0 }
+	n := 0
+	inTok := false
+	for i := 0; i < len(s); i++ {
+		if isDelim(s[i]) {
+			inTok = false
+		} else if !inTok {
+			inTok = true
+			n++
+		}
+	}
+	out := make([]string, 0, n)
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if isDelim(s[i]) {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitWhitespace(t *testing.T) {
+	tok := New()
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Connect DB 127.0.0.1 user abc123", []string{"Connect", "DB", "127.0.0.1", "user", "abc123"}},
+		{"  leading and   trailing  ", []string{"leading", "and", "trailing"}},
+		{"", nil},
+		{"   ", nil},
+		{"one", []string{"one"}},
+		{"tab\tseparated\tvalues", []string{"tab", "separated", "values"}},
+		{"mixed \t whitespace\nnewline", []string{"mixed", "whitespace", "newline"}},
+	}
+	for _, tt := range tests {
+		got := tok.Split(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Split(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCustomDelimiters(t *testing.T) {
+	tok := New(WithDelimiters(",; "))
+	got := tok.Split("a,b;c d,,e")
+	want := []string{"a", "b", "c", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitRule(t *testing.T) {
+	// The paper's example: "123KB" -> "123 KB".
+	rule := MustRule(`([0-9]+)(KB|MB|GB)`, "$1 $2")
+	tok := New(WithRules(rule))
+	got := tok.Split("read 123KB from disk")
+	want := []string{"read", "123", "KB", "from", "disk"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitRuleOnlyWholeToken(t *testing.T) {
+	rule := MustRule(`([0-9]+)KB`, "$1 KB")
+	tok := New(WithRules(rule))
+	// "x123KB" does not match the anchored rule, so it stays intact.
+	got := tok.Split("x123KB 45KB")
+	want := []string{"x123KB", "45", "KB"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	tok := New(WithRules(
+		MustRule(`([0-9]+)ms`, "$1 ms"),
+		MustRule(`([0-9]+)m`, "$1 m"),
+	))
+	got := tok.Split("took 15ms 3m")
+	want := []string{"took", "15", "ms", "3", "m"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNewRuleInvalid(t *testing.T) {
+	if _, err := NewRule("[bad", "x"); err == nil {
+		t.Error("NewRule with invalid pattern should fail")
+	}
+	if _, err := NewRule("[0-9]+", "$0"); err != nil {
+		t.Errorf("NewRule with valid pattern failed: %v", err)
+	}
+}
+
+// Property: the concatenation of tokens equals the input with delimiters
+// removed (when no rules are configured).
+func TestSplitPreservesContent(t *testing.T) {
+	tok := New()
+	f := func(s string) bool {
+		joined := strings.Join(tok.Split(s), "")
+		stripped := strings.Map(func(r rune) rune {
+			if strings.ContainsRune(DefaultDelimiters, r) {
+				return -1
+			}
+			return r
+		}, s)
+		return joined == stripped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no token contains a delimiter, and no token is empty.
+func TestSplitTokensClean(t *testing.T) {
+	tok := New()
+	f := func(s string) bool {
+		for _, tk := range tok.Split(s) {
+			if tk == "" || strings.ContainsAny(tk, DefaultDelimiters) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

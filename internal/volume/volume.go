@@ -1,0 +1,273 @@
+// Package volume is a third exemplary log-analytics application built on
+// the LogLens parser, demonstrating the system's extensibility beyond the
+// two reference detectors (§I: parsed outputs "can be used as a building
+// block for designing various log analysis features"; §VIII: LogLens is
+// "an extensible system").
+//
+// The detector learns, per log pattern, the distribution of log volume in
+// fixed event-time windows during normal runs, and flags windows whose
+// counts deviate far above (spike) or below (drop) the learned profile.
+// Like the sequence detector it is driven by event time and relies on
+// heartbeats to close windows when a source goes quiet — a silent source
+// is exactly the volume-drop case that can never be detected from log
+// arrivals alone.
+package volume
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/logtypes"
+)
+
+// PatternStats is a pattern's learned windowed-rate profile.
+type PatternStats struct {
+	// Mean and Std describe logs-per-window over the training span.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	// Max is the largest training window observed.
+	Max int `json:"max"`
+	// Windows is the number of training windows profiled.
+	Windows int `json:"windows"`
+}
+
+// Profile is the learned volume model.
+type Profile struct {
+	// Window is the bucketing interval.
+	Window time.Duration `json:"windowNanos"`
+	// Stats maps pattern ID to its rate profile.
+	Stats map[int]PatternStats `json:"-"`
+}
+
+// profileJSON gives Stats a string-keyed encoding.
+type profileJSON struct {
+	Window time.Duration           `json:"windowNanos"`
+	Stats  map[string]PatternStats `json:"stats"`
+}
+
+// MarshalJSON encodes the profile for the model storage.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	out := profileJSON{Window: p.Window, Stats: make(map[string]PatternStats, len(p.Stats))}
+	for id, s := range p.Stats {
+		out.Stats[strconv.Itoa(id)] = s
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a stored profile.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var in profileJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("volume: unmarshal profile: %w", err)
+	}
+	p.Window = in.Window
+	p.Stats = make(map[int]PatternStats, len(in.Stats))
+	for k, s := range in.Stats {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("volume: unmarshal profile: bad pattern id %q", k)
+		}
+		p.Stats[id] = s
+	}
+	return nil
+}
+
+// Learn profiles per-pattern log volume from a training corpus. Windows
+// are aligned to the corpus's own event time; windows inside the span with
+// zero logs of a pattern count as zeros (a pattern that logs every window
+// must learn a tight profile).
+func Learn(logs []*logtypes.ParsedLog, window time.Duration) *Profile {
+	p := &Profile{Window: window, Stats: make(map[int]PatternStats)}
+	if len(logs) == 0 || window <= 0 {
+		return p
+	}
+
+	var minT, maxT time.Time
+	counts := make(map[int]map[int64]int) // pattern -> bucket -> count
+	for _, l := range logs {
+		t := l.EventTime()
+		if minT.IsZero() || t.Before(minT) {
+			minT = t
+		}
+		if t.After(maxT) {
+			maxT = t
+		}
+		b := t.UnixNano() / int64(window)
+		m := counts[l.PatternID]
+		if m == nil {
+			m = make(map[int64]int)
+			counts[l.PatternID] = m
+		}
+		m[b]++
+	}
+
+	first := minT.UnixNano() / int64(window)
+	last := maxT.UnixNano() / int64(window)
+	total := int(last-first) + 1
+	if total < 1 {
+		total = 1
+	}
+	for pid, buckets := range counts {
+		var sum, sumSq float64
+		max := 0
+		for b := first; b <= last; b++ {
+			c := float64(buckets[b])
+			sum += c
+			sumSq += c * c
+			if buckets[b] > max {
+				max = buckets[b]
+			}
+		}
+		mean := sum / float64(total)
+		variance := sumSq/float64(total) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		p.Stats[pid] = PatternStats{
+			Mean:    mean,
+			Std:     math.Sqrt(variance),
+			Max:     max,
+			Windows: total,
+		}
+	}
+	return p
+}
+
+// Config tunes the detector.
+type Config struct {
+	// Sigma is the deviation threshold in standard deviations
+	// (default 6).
+	Sigma float64
+	// MinSpike is the minimum window count for a spike report
+	// (default 10), suppressing noise on rare patterns.
+	MinSpike int
+	// MinDropMean is the minimum learned mean before a zero window can
+	// be a drop (default 5): patterns that barely log cannot "drop".
+	MinDropMean float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Sigma == 0 {
+		c.Sigma = 6
+	}
+	if c.MinSpike == 0 {
+		c.MinSpike = 10
+	}
+	if c.MinDropMean == 0 {
+		c.MinDropMean = 5
+	}
+}
+
+// Detector evaluates windows against a profile. It is NOT safe for
+// concurrent use; the streaming engine runs one per partition.
+type Detector struct {
+	profile *Profile
+	cfg     Config
+
+	bucket int64 // current window (event-time)
+	counts map[int]int
+	source string
+	primed bool
+}
+
+// New constructs a Detector.
+func New(profile *Profile, cfg Config) *Detector {
+	cfg.setDefaults()
+	return &Detector{
+		profile: profile,
+		cfg:     cfg,
+		counts:  make(map[int]int),
+	}
+}
+
+// SetProfile swaps the learned profile (model update) without losing the
+// open window.
+func (d *Detector) SetProfile(p *Profile) { d.profile = p }
+
+// Process feeds one parsed log; crossing a window boundary evaluates and
+// reports the closed window(s).
+func (d *Detector) Process(l *logtypes.ParsedLog) []anomaly.Record {
+	if d.profile == nil || d.profile.Window <= 0 {
+		return nil
+	}
+	d.source = l.Source
+	out := d.Advance(l.EventTime())
+	d.counts[l.PatternID]++
+	return out
+}
+
+// Advance moves event time forward (from a log or a heartbeat), closing
+// every window boundary crossed. Quiet gaps spanning multiple windows
+// evaluate each — that is how a drop on a silent source surfaces.
+func (d *Detector) Advance(t time.Time) []anomaly.Record {
+	if d.profile == nil || d.profile.Window <= 0 {
+		return nil
+	}
+	b := t.UnixNano() / int64(d.profile.Window)
+	if !d.primed {
+		d.bucket = b
+		d.primed = true
+		return nil
+	}
+	var out []anomaly.Record
+	// Evaluate every completed window up to (not including) b. Cap the
+	// number of evaluated empty windows so a huge time jump (e.g. a
+	// final flush heartbeat) cannot report unbounded drops.
+	const maxGapWindows = 16
+	evaluated := 0
+	for d.bucket < b {
+		if evaluated < maxGapWindows {
+			out = append(out, d.closeWindow()...)
+			evaluated++
+		} else {
+			d.counts = make(map[int]int)
+		}
+		d.bucket++
+	}
+	return out
+}
+
+// closeWindow compares the finished window against the profile.
+func (d *Detector) closeWindow() []anomaly.Record {
+	var out []anomaly.Record
+	winStart := time.Unix(0, d.bucket*int64(d.profile.Window)).UTC()
+
+	ids := make([]int, 0, len(d.profile.Stats))
+	for pid := range d.profile.Stats {
+		ids = append(ids, pid)
+	}
+	sort.Ints(ids)
+	for _, pid := range ids {
+		st := d.profile.Stats[pid]
+		c := d.counts[pid]
+		hi := st.Mean + d.cfg.Sigma*st.Std
+		lo := st.Mean - d.cfg.Sigma*st.Std
+		switch {
+		case float64(c) > hi && c >= d.cfg.MinSpike && c > st.Max:
+			out = append(out, anomaly.Record{
+				Type:     anomaly.VolumeSpike,
+				Severity: anomaly.Warning,
+				Reason: fmt.Sprintf("pattern %d logged %d times in window %s, learned %.1f±%.1f (max %d)",
+					pid, c, d.profile.Window, st.Mean, st.Std, st.Max),
+				Timestamp: winStart,
+				Source:    d.source,
+			})
+		case float64(c) < lo && st.Mean >= d.cfg.MinDropMean:
+			out = append(out, anomaly.Record{
+				Type:     anomaly.VolumeDrop,
+				Severity: anomaly.Warning,
+				Reason: fmt.Sprintf("pattern %d logged %d times in window %s, learned %.1f±%.1f",
+					pid, c, d.profile.Window, st.Mean, st.Std),
+				Timestamp: winStart,
+				Source:    d.source,
+			})
+		}
+	}
+	d.counts = make(map[int]int)
+	return out
+}

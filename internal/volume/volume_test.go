@@ -1,0 +1,189 @@
+package volume
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"loglens/internal/anomaly"
+	"loglens/internal/logtypes"
+)
+
+var t0 = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+
+// steady emits `perWindow` logs of the pattern in every 10s window across
+// `windows` windows.
+func steady(pattern, perWindow, windows int) []*logtypes.ParsedLog {
+	var out []*logtypes.ParsedLog
+	for w := 0; w < windows; w++ {
+		for i := 0; i < perWindow; i++ {
+			out = append(out, &logtypes.ParsedLog{
+				Log:          logtypes.Log{Source: "s"},
+				PatternID:    pattern,
+				Timestamp:    t0.Add(time.Duration(w)*10*time.Second + time.Duration(i)*time.Millisecond),
+				HasTimestamp: true,
+			})
+		}
+	}
+	return out
+}
+
+func TestLearnProfile(t *testing.T) {
+	logs := steady(1, 20, 30)
+	logs = append(logs, steady(2, 5, 30)...)
+	p := Learn(logs, 10*time.Second)
+	s1 := p.Stats[1]
+	if s1.Mean < 19.9 || s1.Mean > 20.1 {
+		t.Errorf("pattern 1 mean = %v", s1.Mean)
+	}
+	if s1.Std > 1 {
+		t.Errorf("steady pattern std = %v", s1.Std)
+	}
+	if s1.Max != 20 || s1.Windows != 30 {
+		t.Errorf("stats = %+v", s1)
+	}
+	if p.Stats[2].Mean < 4.9 || p.Stats[2].Mean > 5.1 {
+		t.Errorf("pattern 2 mean = %v", p.Stats[2].Mean)
+	}
+}
+
+func TestLearnCountsEmptyWindows(t *testing.T) {
+	// A pattern logging only in the first of 10 windows must learn a
+	// mean near count/10, not count.
+	logs := steady(1, 10, 1)
+	logs = append(logs, steady(2, 1, 10)...) // stretches the span
+	p := Learn(logs, 10*time.Second)
+	if m := p.Stats[1].Mean; m > 1.5 {
+		t.Errorf("sparse pattern mean = %v, want ~1", m)
+	}
+}
+
+func TestLearnEmpty(t *testing.T) {
+	p := Learn(nil, 10*time.Second)
+	if len(p.Stats) != 0 {
+		t.Error("empty corpus must give empty profile")
+	}
+}
+
+func TestSpikeDetection(t *testing.T) {
+	profile := Learn(steady(1, 20, 30), 10*time.Second)
+	d := New(profile, Config{})
+
+	// One normal window, then a 10x burst, then a closing log.
+	var recs []anomaly.Record
+	feed := func(logs []*logtypes.ParsedLog, shift time.Duration) {
+		for _, l := range logs {
+			l.Timestamp = l.Timestamp.Add(shift)
+			recs = append(recs, d.Process(l)...)
+		}
+	}
+	day := 24 * time.Hour
+	feed(steady(1, 20, 1), day)
+	feed(steady(1, 200, 1), day+10*time.Second)
+	feed(steady(1, 20, 1), day+20*time.Second)
+	// The burst window closes when the next window's log arrives.
+	recs = append(recs, d.Advance(t0.Add(day+40*time.Second))...)
+
+	spikes := 0
+	for _, r := range recs {
+		if r.Type == anomaly.VolumeSpike {
+			spikes++
+		}
+	}
+	if spikes != 1 {
+		t.Fatalf("spikes = %d, want 1 (records: %+v)", spikes, recs)
+	}
+}
+
+func TestDropDetectionNeedsHeartbeat(t *testing.T) {
+	profile := Learn(steady(1, 20, 30), 10*time.Second)
+	d := New(profile, Config{})
+
+	day := 24 * time.Hour
+	var recs []anomaly.Record
+	for _, l := range steady(1, 20, 2) {
+		l.Timestamp = l.Timestamp.Add(day)
+		recs = append(recs, d.Process(l)...)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("normal windows flagged: %+v", recs)
+	}
+	// The source goes silent. Without time advancing, nothing fires.
+	// A heartbeat 3 windows later closes the quiet windows as drops.
+	recs = d.Advance(t0.Add(day + 50*time.Second))
+	drops := 0
+	for _, r := range recs {
+		if r.Type == anomaly.VolumeDrop {
+			drops++
+		}
+	}
+	if drops < 2 {
+		t.Fatalf("drops = %d, want the quiet windows flagged: %+v", drops, recs)
+	}
+}
+
+func TestNormalVariationNotFlagged(t *testing.T) {
+	// Training with variation 15..25/window; test within the envelope.
+	var train []*logtypes.ParsedLog
+	for w := 0; w < 40; w++ {
+		n := 15 + (w*7)%11
+		for i := 0; i < n; i++ {
+			train = append(train, &logtypes.ParsedLog{
+				PatternID:    1,
+				Timestamp:    t0.Add(time.Duration(w)*10*time.Second + time.Duration(i)*time.Millisecond),
+				HasTimestamp: true,
+			})
+		}
+	}
+	profile := Learn(train, 10*time.Second)
+	d := New(profile, Config{})
+	day := 24 * time.Hour
+	var recs []anomaly.Record
+	for w := 0; w < 20; w++ {
+		n := 15 + (w*5)%11
+		for i := 0; i < n; i++ {
+			recs = append(recs, d.Process(&logtypes.ParsedLog{
+				PatternID:    1,
+				Timestamp:    t0.Add(day + time.Duration(w)*10*time.Second + time.Duration(i)*time.Millisecond),
+				HasTimestamp: true,
+			})...)
+		}
+	}
+	if len(recs) != 0 {
+		t.Fatalf("normal variation flagged: %+v", recs)
+	}
+}
+
+func TestGapCapBoundsFlushDrops(t *testing.T) {
+	profile := Learn(steady(1, 20, 30), 10*time.Second)
+	d := New(profile, Config{})
+	d.Process(&logtypes.ParsedLog{PatternID: 1, Timestamp: t0.Add(24 * time.Hour), HasTimestamp: true})
+	// A flush heartbeat a year later must not report thousands of
+	// drops.
+	recs := d.Advance(t0.Add(24*time.Hour + 365*24*time.Hour))
+	if len(recs) > 20 {
+		t.Fatalf("gap produced %d records", len(recs))
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := Learn(steady(1, 20, 10), 10*time.Second)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2 Profile
+	if err := json.Unmarshal(data, &p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Window != p.Window || p2.Stats[1].Mean != p.Stats[1].Mean {
+		t.Errorf("round trip: %+v vs %+v", p2, p)
+	}
+}
+
+func TestNilProfileSafe(t *testing.T) {
+	d := New(nil, Config{})
+	if recs := d.Process(&logtypes.ParsedLog{PatternID: 1, Timestamp: t0, HasTimestamp: true}); recs != nil {
+		t.Error("nil profile must be inert")
+	}
+}

@@ -1,0 +1,239 @@
+// Package wire is the network transport between remote log agents and the
+// LogLens service (§II: "Agent is a daemon process which collects
+// heterogeneous logs from multiple sources and sends them to the log
+// manager"). The protocol is newline-delimited JSON frames over TCP —
+// simple enough to emit from anything, structured enough to carry the
+// source identity and sequence numbers the log manager needs:
+//
+//	{"source":"web-1","seq":42,"raw":"2016/02/23 09:00:31.000 ..."}
+//
+// A frame with "hb":true carries a heartbeat timestamp instead of a log
+// line.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	// Source identifies the log origin.
+	Source string `json:"source"`
+	// Seq is the agent's per-source sequence number.
+	Seq uint64 `json:"seq,omitempty"`
+	// Raw is the log line (log frames).
+	Raw string `json:"raw,omitempty"`
+	// HB marks a heartbeat frame; Time carries its synthesized log
+	// time.
+	HB   bool      `json:"hb,omitempty"`
+	Time time.Time `json:"time,omitempty"`
+}
+
+// MaxFrameBytes bounds a single frame (16 MiB), matching the agent's
+// maximum log-line length.
+const MaxFrameBytes = 16 << 20
+
+// Server accepts agent connections and hands every received frame to a
+// callback. It is safe for concurrent use.
+type Server struct {
+	handler func(Frame)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	frames atomic.Uint64
+	errors atomic.Uint64
+}
+
+// NewServer constructs a Server delivering frames to handler.
+func NewServer(handler func(Frame)) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Frames returns the number of frames received.
+func (s *Server) Frames() uint64 { return s.frames.Load() }
+
+// Errors returns the number of malformed frames dropped.
+func (s *Server) Errors() uint64 { return s.errors.Load() }
+
+// Listen starts accepting connections on addr and returns the bound
+// address (useful with ":0"). Serving happens on background goroutines
+// until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("wire: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), MaxFrameBytes)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil || f.Source == "" {
+			s.errors.Add(1)
+			continue
+		}
+		s.frames.Add(1)
+		s.handler(f)
+	}
+}
+
+// Close stops the listener and drops every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	return nil
+}
+
+// Client ships frames to a remote server. It is safe for concurrent use;
+// writes are serialized.
+type Client struct {
+	source string
+
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+	seq  uint64
+	addr string
+}
+
+// Dial connects a Client for the given source.
+func Dial(addr, source string) (*Client, error) {
+	if source == "" {
+		return nil, fmt.Errorf("wire: source must be set")
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{source: source, conn: conn, w: bufio.NewWriterSize(conn, 64*1024), addr: addr}, nil
+}
+
+// Send ships one log line.
+func (c *Client) Send(raw string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.writeLocked(Frame{Source: c.source, Seq: c.seq, Raw: raw})
+}
+
+// SendHeartbeat ships a heartbeat frame with an explicit log time.
+func (c *Client) SendHeartbeat(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeLocked(Frame{Source: c.source, HB: true, Time: t})
+}
+
+func (c *Client) writeLocked(f Frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered frames to the socket.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// Stream ships every line from lines, flushing periodically, until done or
+// the context ends. It returns the number of lines shipped.
+func (c *Client) Stream(ctx context.Context, lines []string) (uint64, error) {
+	var n uint64
+	for _, line := range lines {
+		if err := ctx.Err(); err != nil {
+			c.Flush()
+			return n, err
+		}
+		if line == "" {
+			continue
+		}
+		if err := c.Send(line); err != nil {
+			return n, err
+		}
+		n++
+		if n%1024 == 0 {
+			if err := c.Flush(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, c.Flush()
+}

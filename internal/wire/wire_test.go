@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func collectServer(t *testing.T) (*Server, string, *[]Frame, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	var frames []Frame
+	srv := NewServer(func(f Frame) {
+		mu.Lock()
+		frames = append(frames, f)
+		mu.Unlock()
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, &frames, &mu
+}
+
+func waitFrames(t *testing.T, mu *sync.Mutex, frames *[]Frame, n int) []Frame {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := len(*frames)
+		mu.Unlock()
+		if got >= n {
+			mu.Lock()
+			defer mu.Unlock()
+			out := make([]Frame, len(*frames))
+			copy(out, *frames)
+			return out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d frames, want %d", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, addr, frames, mu := collectServer(t)
+	c, err := Dial(addr, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Send("line one")
+	c.Send("line two")
+	c.SendHeartbeat(time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC))
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := waitFrames(t, mu, frames, 3)
+	if got[0].Source != "web-1" || got[0].Seq != 1 || got[0].Raw != "line one" {
+		t.Errorf("frame 0 = %+v", got[0])
+	}
+	if got[1].Seq != 2 {
+		t.Errorf("frame 1 = %+v", got[1])
+	}
+	if !got[2].HB || got[2].Time.Year() != 2016 {
+		t.Errorf("heartbeat frame = %+v", got[2])
+	}
+}
+
+func TestStream(t *testing.T) {
+	srv, addr, frames, mu := collectServer(t)
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	lines := make([]string, 3000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("log line %d", i)
+	}
+	lines[100] = "" // skipped
+	n, err := c.Stream(context.Background(), lines)
+	if err != nil || n != 2999 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	waitFrames(t, mu, frames, 2999)
+	if srv.Frames() != 2999 {
+		t.Errorf("server frames = %d", srv.Frames())
+	}
+}
+
+func TestMalformedFramesDropped(t *testing.T) {
+	srv, addr, frames, mu := collectServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("this is not json\n"))
+	conn.Write([]byte(`{"seq":1,"raw":"missing source"}` + "\n"))
+	conn.Write([]byte(`{"source":"ok","seq":1,"raw":"good"}` + "\n"))
+	got := waitFrames(t, mu, frames, 1)
+	if len(got) != 1 || got[0].Raw != "good" {
+		t.Errorf("frames = %+v", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Errors() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Errors() != 2 {
+		t.Errorf("errors = %d, want 2", srv.Errors())
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr, frames, mu := collectServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("src-%d", i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				c.Send("x")
+			}
+			c.Flush()
+		}(i)
+	}
+	wg.Wait()
+	got := waitFrames(t, mu, frames, 200)
+	// Per-source sequence numbers are contiguous.
+	maxSeq := map[string]uint64{}
+	for _, f := range got {
+		if f.Seq != maxSeq[f.Source]+1 {
+			t.Fatalf("source %s sequence jumped to %d", f.Source, f.Seq)
+		}
+		maxSeq[f.Source] = f.Seq
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "s"); err == nil {
+		t.Error("dial to closed port must fail")
+	}
+	_, addr, _, _ := collectServer(t)
+	if _, err := Dial(addr, ""); err == nil {
+		t.Error("empty source must fail")
+	}
+}
+
+func TestServerCloseDropsConnections(t *testing.T) {
+	srv, addr, _, _ := collectServer(t)
+	c, err := Dial(addr, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Writes eventually fail once the server side is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Send("x")
+		if err := c.Flush(); err != nil {
+			return // expected
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("writes never failed after server close")
+}
