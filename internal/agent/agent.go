@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"loglens/internal/bus"
+	"loglens/internal/clock"
 	"loglens/internal/preprocess"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	// TopicPartitions is the partition count used when declaring the
 	// logs topic (default 4).
 	TopicPartitions int
+
+	// Clock paces rate limiting and timestamp-paced replay (default the
+	// wall clock). A fake clock replays hours of log time in
+	// milliseconds, deterministically.
+	Clock clock.Clock
 }
 
 // Agent ships logs from a reader (file, pipe, generator) to the bus.
@@ -62,6 +68,9 @@ func New(b *bus.Bus, cfg Config) (*Agent, error) {
 	parts := cfg.TopicPartitions
 	if parts <= 0 {
 		parts = 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
 	}
 	if err := b.CreateTopic(LogsTopic, parts); err != nil {
 		return nil, err
@@ -93,9 +102,9 @@ func (a *Agent) Run(ctx context.Context, r io.Reader) (uint64, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 
-	var limiter *time.Ticker
+	var limiter clock.Ticker
 	if a.cfg.RatePerSec > 0 {
-		limiter = time.NewTicker(time.Second / time.Duration(a.cfg.RatePerSec))
+		limiter = a.cfg.Clock.NewTicker(time.Second / time.Duration(a.cfg.RatePerSec))
 		defer limiter.Stop()
 	}
 
@@ -106,7 +115,7 @@ func (a *Agent) Run(ctx context.Context, r io.Reader) (uint64, error) {
 		}
 		if limiter != nil {
 			select {
-			case <-limiter.C:
+			case <-limiter.C():
 			case <-ctx.Done():
 				return n, ctx.Err()
 			}
@@ -152,7 +161,7 @@ func (a *Agent) ReplayTimed(ctx context.Context, lines []string, speedup float64
 			if !lastLog.IsZero() && r.Time.After(lastLog) {
 				delay := time.Duration(float64(r.Time.Sub(lastLog)) / speedup)
 				select {
-				case <-time.After(delay):
+				case <-a.cfg.Clock.After(delay):
 				case <-ctx.Done():
 					return n, ctx.Err()
 				}
@@ -172,9 +181,9 @@ func (a *Agent) ReplayTimed(ctx context.Context, lines []string, speedup float64
 // Replay ships a pre-materialized line slice (the dataset replay used in
 // the evaluation harness).
 func (a *Agent) Replay(ctx context.Context, lines []string) (uint64, error) {
-	var limiter *time.Ticker
+	var limiter clock.Ticker
 	if a.cfg.RatePerSec > 0 {
-		limiter = time.NewTicker(time.Second / time.Duration(a.cfg.RatePerSec))
+		limiter = a.cfg.Clock.NewTicker(time.Second / time.Duration(a.cfg.RatePerSec))
 		defer limiter.Stop()
 	}
 	var n uint64
@@ -184,7 +193,7 @@ func (a *Agent) Replay(ctx context.Context, lines []string) (uint64, error) {
 		}
 		if limiter != nil {
 			select {
-			case <-limiter.C:
+			case <-limiter.C():
 			case <-ctx.Done():
 				return n, ctx.Err()
 			}

@@ -13,6 +13,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"loglens/internal/clock"
 )
 
 // Message is one bus record.
@@ -38,6 +40,8 @@ const pollInterval = 50 * time.Millisecond
 
 // Bus is the broker. It is safe for concurrent use.
 type Bus struct {
+	clk clock.Clock
+
 	mu     sync.RWMutex
 	topics map[string]*topic
 
@@ -63,9 +67,16 @@ func newPartition() *partition {
 	return p
 }
 
-// New creates an empty broker.
+// New creates an empty broker on the wall clock.
 func New() *Bus {
+	return NewWithClock(clock.New())
+}
+
+// NewWithClock creates an empty broker stamping publish times from clk —
+// the deterministic configuration used by tests and the chaos harness.
+func NewWithClock(clk clock.Clock) *Bus {
 	return &Bus{
+		clk:    clk,
 		topics: make(map[string]*topic),
 		groups: make(map[string]*group),
 	}
@@ -184,7 +195,7 @@ func (b *Bus) publishTo(t *topic, pi int, key string, value []byte, headers map[
 		Offset:    int64(len(p.log)),
 		Key:       key,
 		Value:     append([]byte(nil), value...),
-		Time:      time.Now(),
+		Time:      b.clk.Now(),
 	}
 	if len(headers) > 0 {
 		m.Headers = make(map[string]string, len(headers))

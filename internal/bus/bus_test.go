@@ -133,7 +133,9 @@ func TestBlockingPoll(t *testing.T) {
 		}
 		done <- msgs
 	}()
-	time.Sleep(20 * time.Millisecond)
+	// No sleep needed for synchronization: whether Poll is already
+	// blocked or not yet started, the publish signal (or the first
+	// TryPoll check) delivers the message.
 	b.Publish("t", "", []byte("late"), nil)
 	select {
 	case msgs := <-done:
@@ -150,12 +152,25 @@ func TestPollContextCancel(t *testing.T) {
 	b.CreateTopic("t", 1)
 	c, _ := b.NewConsumer("g", "t")
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(10 * time.Millisecond)
-		cancel()
-	}()
+	cancel()
 	if _, err := c.Poll(ctx, 0); err == nil {
 		t.Fatal("cancelled poll must fail")
+	}
+	// And a cancellation racing a blocked poll must also wake it.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Poll(ctx2, 0)
+		errc <- err
+	}()
+	cancel2()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled poll must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled poll never returned")
 	}
 }
 

@@ -1,0 +1,96 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Consumer-group offsets must never regress: with producers and several
+// group members running concurrently, every member sees strictly
+// increasing offsets per partition, and across the group every offset is
+// delivered exactly once. This is the plain-bus half of the chaos
+// scenario suite's offset invariant (internal/chaos/scenarios_test.go
+// adds producer faults on top).
+func TestGroupOffsetsNeverRegress(t *testing.T) {
+	b := New()
+	const partitions, producers, each, members = 4, 4, 250, 3
+	if err := b.CreateTopic("t", partitions); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	produced := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish("t", fmt.Sprintf("p%d-%d", p, i), []byte("x"), nil)
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(produced) }()
+
+	var mu sync.Mutex
+	counts := make(map[int]map[int64]int) // partition -> offset -> deliveries
+	var cwg sync.WaitGroup
+	for m := 0; m < members; m++ {
+		c, err := b.NewConsumer("g", "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cwg.Add(1)
+		go func(c *Consumer) {
+			defer cwg.Done()
+			last := make(map[int]int64) // this member's per-partition frontier
+			for {
+				msgs := c.TryPoll(32)
+				if len(msgs) == 0 {
+					select {
+					case <-produced:
+						if c.Lag() == 0 {
+							return
+						}
+					default:
+					}
+					continue
+				}
+				mu.Lock()
+				for _, msg := range msgs {
+					if front, ok := last[msg.Partition]; ok && msg.Offset <= front {
+						t.Errorf("partition %d offset regressed: %d after %d", msg.Partition, msg.Offset, front)
+					}
+					last[msg.Partition] = msg.Offset
+					if counts[msg.Partition] == nil {
+						counts[msg.Partition] = make(map[int64]int)
+					}
+					counts[msg.Partition][msg.Offset]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	cwg.Wait()
+
+	delivered := 0
+	for part, offs := range counts {
+		end, err := b.EndOffset("t", part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(offs)) != end {
+			t.Errorf("partition %d: %d distinct offsets delivered, end %d", part, len(offs), end)
+		}
+		for off, n := range offs {
+			if n != 1 {
+				t.Errorf("partition %d offset %d delivered %d times within the group", part, off, n)
+			}
+		}
+		delivered += len(offs)
+	}
+	if delivered != producers*each {
+		t.Errorf("delivered %d distinct messages, want %d", delivered, producers*each)
+	}
+}

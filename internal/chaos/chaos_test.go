@@ -1,0 +1,242 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"loglens/internal/bus"
+	"loglens/internal/clock"
+	"loglens/internal/stream"
+)
+
+// drain reads every currently available message from a consumer, grouped
+// by partition in delivery order.
+func drain(c *bus.Consumer) map[int][]string {
+	out := make(map[int][]string)
+	for {
+		msgs := c.TryPoll(64)
+		if len(msgs) == 0 {
+			return out
+		}
+		for _, m := range msgs {
+			out[m.Partition] = append(out[m.Partition], string(m.Value))
+		}
+	}
+}
+
+func newTopic(t *testing.T, partitions int) *bus.Bus {
+	t.Helper()
+	b := bus.New()
+	if err := b.CreateTopic("logs", partitions); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	b := newTopic(t, 2)
+	p := NewProducer(b, "logs", clock.NewFake(), Config{Seed: 1})
+	for i := 0; i < 50; i++ {
+		if err := p.Publish(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("m%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Published != 50 || s.Delivered != 50 || s.Dropped+s.Duplicated+s.Delayed+s.Windows != 0 {
+		t.Fatalf("stats = %+v, want 50 published, 50 delivered, no faults", s)
+	}
+	if sched := p.Schedule(); len(sched) != 0 {
+		t.Fatalf("schedule = %v, want empty", sched)
+	}
+}
+
+func TestDropAndDuplicateCertain(t *testing.T) {
+	b := newTopic(t, 1)
+	p := NewProducer(b, "logs", clock.NewFake(), Config{Seed: 1, Drop: 1})
+	for i := 0; i < 10; i++ {
+		_ = p.Publish("k", []byte("m"), nil)
+	}
+	if s := p.Stats(); s.Dropped != 10 || s.Delivered != 0 {
+		t.Fatalf("drop=1 stats = %+v", s)
+	}
+
+	p2 := NewProducer(b, "logs", clock.NewFake(), Config{Seed: 1, Duplicate: 1})
+	for i := 0; i < 10; i++ {
+		_ = p2.Publish("k", []byte("m"), nil)
+	}
+	if s := p2.Stats(); s.Duplicated != 10 || s.Delivered != 20 {
+		t.Fatalf("duplicate=1 stats = %+v", s)
+	}
+}
+
+func TestDelayHeldUntilClockAdvances(t *testing.T) {
+	b := newTopic(t, 1)
+	clk := clock.NewFake()
+	p := NewProducer(b, "logs", clk, Config{Seed: 3, Delay: 1, MaxDelay: 50 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		_ = p.Publish("k", []byte(fmt.Sprintf("m%d", i)), nil)
+	}
+	if s := p.Stats(); s.Delayed != 5 || s.Delivered != 0 {
+		t.Fatalf("before advance: stats = %+v, want all held", s)
+	}
+	clk.Advance(50 * time.Millisecond)
+	if err := p.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Delivered != 5 {
+		t.Fatalf("after advance: stats = %+v, want 5 delivered", s)
+	}
+	c, err := b.NewConsumer("g", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(c)[0]
+	// Released in due-time order (ties by input sequence) — a
+	// deterministic permutation of the inputs.
+	if len(got) != 5 {
+		t.Fatalf("delivered %v, want 5 messages", got)
+	}
+}
+
+func TestReorderWindowPermutesDeterministically(t *testing.T) {
+	cfg := Config{Seed: 9, ReorderWindow: 4}
+	var orders [2][]string
+	for run := 0; run < 2; run++ {
+		b := newTopic(t, 1)
+		p := NewProducer(b, "logs", clock.NewFake(), cfg)
+		for i := 0; i < 10; i++ {
+			_ = p.Publish("k", []byte(fmt.Sprintf("m%d", i)), nil)
+		}
+		if err := p.Flush(); err != nil { // release the partial last window
+			t.Fatal(err)
+		}
+		c, err := b.NewConsumer("g", "logs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		orders[run] = drain(c)[0]
+		if len(orders[run]) != 10 {
+			t.Fatalf("run %d delivered %d messages, want 10", run, len(orders[run]))
+		}
+	}
+	if !reflect.DeepEqual(orders[0], orders[1]) {
+		t.Fatalf("same seed, different delivery orders:\n%v\n%v", orders[0], orders[1])
+	}
+	if reflect.DeepEqual(orders[0], []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8", "m9"}) {
+		t.Fatalf("reorder window left input order intact: %v", orders[0])
+	}
+}
+
+func TestScheduleReproducible(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.1, Duplicate: 0.1, Delay: 0.2, MaxDelay: 40 * time.Millisecond, ReorderWindow: 3}
+	var scheds [2][]string
+	var delivered [2]map[int][]string
+	for run := 0; run < 2; run++ {
+		b := newTopic(t, 3)
+		clk := clock.NewFake()
+		p := NewProducer(b, "logs", clk, cfg)
+		for i := 0; i < 100; i++ {
+			_ = p.Publish(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("m%d", i)), nil)
+			if i%10 == 9 {
+				clk.Advance(10 * time.Millisecond)
+				_ = p.Release()
+			}
+		}
+		clk.Advance(time.Second)
+		_ = p.Release()
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		scheds[run] = p.Schedule()
+		c, err := b.NewConsumer("g", "logs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered[run] = drain(c)
+	}
+	if len(scheds[0]) == 0 {
+		t.Fatal("fault plan injected nothing; widen probabilities")
+	}
+	if !reflect.DeepEqual(scheds[0], scheds[1]) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", scheds[0], scheds[1])
+	}
+	if !reflect.DeepEqual(delivered[0], delivered[1]) {
+		t.Fatalf("same seed, different per-partition deliveries:\n%v\n%v", delivered[0], delivered[1])
+	}
+}
+
+func TestDifferentSeedsDifferentSchedules(t *testing.T) {
+	var scheds [2][]string
+	for run, seed := range []int64{1, 2} {
+		b := newTopic(t, 1)
+		p := NewProducer(b, "logs", clock.NewFake(), Config{Seed: seed, Drop: 0.3})
+		for i := 0; i < 50; i++ {
+			_ = p.Publish("k", []byte("m"), nil)
+		}
+		scheds[run] = p.Schedule()
+	}
+	if reflect.DeepEqual(scheds[0], scheds[1]) {
+		t.Fatalf("seeds 1 and 2 produced identical schedules: %v", scheds[0])
+	}
+}
+
+func TestWrapOperatorCrashesAreDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Crash: 0.3}
+	// Run the same per-partition record sequence twice and record which
+	// indexes crash; the hash decision must not depend on interleaving.
+	crashesOf := func() []int {
+		var stats Stats
+		var crashed []int
+		proc := WrapOperator(cfg, &stats, func(ctx *stream.Context, rec stream.Record) []any {
+			return []any{rec.Value}
+		})
+		for i := 0; i < 40; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						crashed = append(crashed, i)
+					}
+				}()
+				proc(testContext(t), stream.Record{Value: i})
+			}()
+		}
+		return crashed
+	}
+	a, b := crashesOf(), crashesOf()
+	if len(a) == 0 {
+		t.Fatal("crash plan injected nothing; widen probability")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different crash indexes: %v vs %v", a, b)
+	}
+}
+
+// testContext builds a partition-0 operator context by running a one-shot
+// engine batch and capturing the context the operator receives.
+func testContext(t *testing.T) *stream.Context {
+	t.Helper()
+	ch := make(chan *stream.Context, 1)
+	eng := stream.New(stream.Config{Partitions: 1, BatchInterval: time.Millisecond},
+		func(ctx *stream.Context, rec stream.Record) []any {
+			select {
+			case ch <- ctx:
+			default:
+			}
+			return nil
+		})
+	done := make(chan struct{})
+	go func() { defer close(done); _ = eng.Run(context.Background()) }()
+	_ = eng.Send(stream.Record{Key: "k"})
+	eng.Close()
+	<-done
+	select {
+	case ctx := <-ch:
+		return ctx
+	default:
+		t.Fatal("no operator context captured")
+		return nil
+	}
+}

@@ -1,0 +1,309 @@
+// Package clock is the injectable time source used across the LogLens
+// runtime. The paper's headline guarantees are temporal — timely expiry of
+// open automata states via the external heartbeat controller (§V-B) and
+// zero-downtime model rebroadcast between micro-batches (§V-A) — so the
+// components that keep time (bus, stream engine, heartbeat controller,
+// model manager, agents) take a Clock instead of calling the time package
+// directly. Production code uses Real (the zero-configuration default);
+// tests and the chaos harness use Fake, whose Advance fires pending timers
+// deterministically in deadline order, so temporal invariants can be
+// checked in milliseconds of wall time.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source interface. Real forwards to the time package;
+// Fake is driven manually by Advance.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+	// NewTimer returns a one-shot timer firing after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a repeating ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Timer is a one-shot timer.
+type Timer interface {
+	// C is the firing channel.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+	// Reset re-arms the timer for d from now, reporting whether it was
+	// still pending.
+	Reset(d time.Duration) bool
+}
+
+// Ticker is a repeating timer.
+type Ticker interface {
+	// C is the firing channel.
+	C() <-chan time.Time
+	// Stop cancels the ticker.
+	Stop()
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// New returns the wall clock.
+func New() Clock { return Real{} }
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+func (Real) NewTimer(d time.Duration) Timer   { return realTimer{time.NewTimer(d)} }
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time        { return t.t.C }
+func (t realTimer) Stop() bool                 { return t.t.Stop() }
+func (t realTimer) Reset(d time.Duration) bool { return t.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// Fake is a manually driven clock. Time stands still until Advance (or
+// SetTime) moves it; pending timers whose deadlines are crossed fire in
+// deadline order (creation order breaks ties), and tickers re-arm after
+// every firing so a large Advance delivers every elapsed tick the buffered
+// channel can hold. Fake is safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     uint64
+	waiters []*fakeWaiter
+	// waitCond signals changes to the pending-waiter count for BlockUntil.
+	waitCond *sync.Cond
+}
+
+// fakeWaiter is one pending timer, ticker, or sleeper.
+type fakeWaiter struct {
+	deadline time.Time
+	period   time.Duration // 0 for one-shot timers
+	seq      uint64        // creation order, for deterministic ties
+	ch       chan time.Time
+}
+
+// NewFake returns a Fake clock starting at a fixed, arbitrary epoch
+// (2020-01-01 UTC) so scenario schedules are reproducible byte for byte.
+func NewFake() *Fake {
+	return NewFakeAt(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+// NewFakeAt returns a Fake clock starting at start.
+func NewFakeAt(start time.Time) *Fake {
+	f := &Fake{now: start}
+	f.waitCond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.addWaiter(d, 0).ch
+}
+
+// Sleep blocks until another goroutine advances the clock past d.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return &fakeTimer{clock: f, w: f.addWaiter(d, 0)}
+}
+
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	return &fakeTicker{clock: f, w: f.addWaiter(d, d)}
+}
+
+func (f *Fake) addWaiter(d time.Duration, period time.Duration) *fakeWaiter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	w := &fakeWaiter{
+		deadline: f.now.Add(d),
+		period:   period,
+		seq:      f.seq,
+		// Buffered so firing never blocks Advance; ticks beyond the
+		// buffer are dropped, exactly like time.Ticker.
+		ch: make(chan time.Time, 1),
+	}
+	if d <= 0 && period == 0 {
+		// An already-due one-shot fires immediately.
+		w.ch <- f.now
+		return w
+	}
+	f.waiters = append(f.waiters, w)
+	f.waitCond.Broadcast()
+	return w
+}
+
+func (f *Fake) removeWaiter(w *fakeWaiter) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, other := range f.waiters {
+		if other == w {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			f.waitCond.Broadcast()
+			return true
+		}
+	}
+	return false
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker
+// whose deadline is crossed, in deadline order. Tickers re-arm and may
+// fire multiple times during one Advance.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		w := f.nextDueLocked(target)
+		if w == nil {
+			break
+		}
+		// Time jumps to the waiter's deadline so a firing handler that
+		// reads Now sees a consistent, monotone timeline.
+		if w.deadline.After(f.now) {
+			f.now = w.deadline
+		}
+		select {
+		case w.ch <- f.now:
+		default: // receiver lagging: drop the tick, like time.Ticker
+		}
+		if w.period > 0 {
+			w.deadline = w.deadline.Add(w.period)
+		} else {
+			f.removeLocked(w)
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// SetTime jumps the clock to t (which must not move time backwards),
+// firing crossed deadlines exactly as Advance does.
+func (f *Fake) SetTime(t time.Time) {
+	f.mu.Lock()
+	d := t.Sub(f.now)
+	f.mu.Unlock()
+	if d < 0 {
+		panic("clock: SetTime would move time backwards")
+	}
+	f.Advance(d)
+}
+
+// nextDueLocked returns the pending waiter with the earliest deadline not
+// after target, breaking ties by creation order; nil if none is due.
+func (f *Fake) nextDueLocked(target time.Time) *fakeWaiter {
+	var due *fakeWaiter
+	for _, w := range f.waiters {
+		if w.deadline.After(target) {
+			continue
+		}
+		if due == nil || w.deadline.Before(due.deadline) ||
+			(w.deadline.Equal(due.deadline) && w.seq < due.seq) {
+			due = w
+		}
+	}
+	return due
+}
+
+func (f *Fake) removeLocked(w *fakeWaiter) {
+	for i, other := range f.waiters {
+		if other == w {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			f.waitCond.Broadcast()
+			return
+		}
+	}
+}
+
+// Waiters returns the number of pending timers, tickers, and sleepers.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// BlockUntil blocks until at least n timers, tickers, or sleepers are
+// pending on the clock — the synchronization point between a test and a
+// goroutine that is about to wait on fake time (start goroutine,
+// BlockUntil(1), then Advance).
+func (f *Fake) BlockUntil(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.waiters) < n {
+		f.waitCond.Wait()
+	}
+}
+
+// Deadlines returns the pending deadlines in firing order — the fake
+// clock's introspection hook, used by seed-reproducibility assertions.
+func (f *Fake) Deadlines() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]time.Time, 0, len(f.waiters))
+	for _, w := range f.waiters {
+		out = append(out, w.deadline)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+type fakeTimer struct {
+	clock *Fake
+	mu    sync.Mutex
+	w     *fakeWaiter
+}
+
+func (t *fakeTimer) C() <-chan time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.ch
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock.removeWaiter(t.w)
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pending := t.clock.removeWaiter(t.w)
+	t.w = t.clock.addWaiter(d, 0)
+	return pending
+}
+
+type fakeTicker struct {
+	clock *Fake
+	w     *fakeWaiter
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.w.ch }
+func (t *fakeTicker) Stop()               { t.clock.removeWaiter(t.w) }

@@ -1,0 +1,252 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := New()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("real Now = %v, way before %v", now, before)
+	}
+	if c.Since(before) < 0 {
+		t.Error("real Since went negative")
+	}
+	timer := c.NewTimer(time.Millisecond)
+	defer timer.Stop()
+	select {
+	case <-timer.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer never fired")
+	}
+	ticker := c.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	select {
+	case <-ticker.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never fired")
+	}
+}
+
+func TestFakeNowFrozenUntilAdvance(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	if !f.Now().Equal(start) {
+		t.Fatal("fake time moved on its own")
+	}
+	f.Advance(time.Hour)
+	if got := f.Now().Sub(start); got != time.Hour {
+		t.Fatalf("advanced %v, want 1h", got)
+	}
+	if got := f.Since(start); got != time.Hour {
+		t.Fatalf("Since = %v", got)
+	}
+}
+
+func TestFakeTimerFiresAtDeadline(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(10 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("timer fired one second early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-timer.C():
+		if got := at.Sub(f.Now()); got != 0 {
+			t.Errorf("fired at %v, clock now %v", at, f.Now())
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	late := f.NewTimer(3 * time.Second)
+	early := f.NewTimer(time.Second)
+	mid := f.NewTimer(2 * time.Second)
+	// One big Advance crosses all three deadlines; each channel receives
+	// the clock reading at its own firing, so the timeline must be the
+	// deadlines in order regardless of registration order.
+	f.Advance(5 * time.Second)
+	te, tm, tl := <-early.C(), <-mid.C(), <-late.C()
+	if !te.Equal(start.Add(1*time.Second)) || !tm.Equal(start.Add(2*time.Second)) || !tl.Equal(start.Add(3*time.Second)) {
+		t.Fatalf("fire times %v %v %v not the ordered deadlines", te, tm, tl)
+	}
+}
+
+func TestFakeFiringTimesAreDeadlines(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	a := f.NewTimer(time.Second)
+	b := f.NewTimer(2 * time.Second)
+	f.Advance(10 * time.Second)
+	ta := <-a.C()
+	tb := <-b.C()
+	if !ta.Equal(start.Add(time.Second)) {
+		t.Errorf("a fired at %v, want deadline %v", ta, start.Add(time.Second))
+	}
+	if !tb.Equal(start.Add(2 * time.Second)) {
+		t.Errorf("b fired at %v, want deadline %v", tb, start.Add(2*time.Second))
+	}
+	if !f.Now().Equal(start.Add(10 * time.Second)) {
+		t.Errorf("clock ended at %v", f.Now())
+	}
+}
+
+func TestFakeTimerStopAndReset(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(time.Second)
+	if !timer.Stop() {
+		t.Fatal("stop of a pending timer must report true")
+	}
+	if timer.Stop() {
+		t.Fatal("second stop must report false")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	timer.Reset(time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestFakeTickerRearms(t *testing.T) {
+	f := NewFake()
+	ticker := f.NewTicker(time.Second)
+	defer ticker.Stop()
+	for i := 0; i < 5; i++ {
+		f.Advance(time.Second)
+		select {
+		case <-ticker.C():
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+	// A large jump delivers what the buffer holds and drops the rest,
+	// like time.Ticker.
+	f.Advance(10 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-ticker.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1 (buffer size)", n)
+	}
+}
+
+func TestFakeAfterAndSleep(t *testing.T) {
+	f := NewFake()
+	ch := f.After(time.Minute)
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(30 * time.Second)
+		close(done)
+	}()
+	// Both the After and the Sleep register as waiters.
+	f.BlockUntil(2)
+	f.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never woke")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After never fired")
+	}
+	// Zero and negative waits complete immediately.
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+}
+
+func TestFakeSetTime(t *testing.T) {
+	f := NewFake()
+	timer := f.NewTimer(time.Hour)
+	target := f.Now().Add(2 * time.Hour)
+	f.SetTime(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("now = %v, want %v", f.Now(), target)
+	}
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("SetTime did not fire crossed deadline")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards SetTime must panic")
+		}
+	}()
+	f.SetTime(target.Add(-time.Second))
+}
+
+func TestFakeWaitersAndBlockUntil(t *testing.T) {
+	f := NewFake()
+	if f.Waiters() != 0 {
+		t.Fatal("fresh clock has waiters")
+	}
+	timer := f.NewTimer(time.Second)
+	ticker := f.NewTicker(time.Second)
+	if f.Waiters() != 2 {
+		t.Fatalf("waiters = %d", f.Waiters())
+	}
+	if len(f.Deadlines()) != 2 {
+		t.Fatalf("deadlines = %v", f.Deadlines())
+	}
+	timer.Stop()
+	ticker.Stop()
+	if f.Waiters() != 0 {
+		t.Fatalf("waiters after stop = %d", f.Waiters())
+	}
+}
+
+// TestFakeConcurrentAdvance hammers the clock from several goroutines to
+// back the race-detector guarantee.
+func TestFakeConcurrentAdvance(t *testing.T) {
+	f := NewFake()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				timer := f.NewTimer(time.Duration(j) * time.Millisecond)
+				f.Advance(time.Millisecond)
+				timer.Stop()
+				f.Now()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 
 	"loglens/internal/experiments"
 	"loglens/internal/modelmgr"
+	"loglens/internal/testutil"
 )
 
 // TestDataDriftRelearning exercises §II-A "Handling data drift": the
@@ -73,13 +74,10 @@ func TestDataDriftRelearning(t *testing.T) {
 	if err := p.Controller().Announce(modelmgr.Instruction{Op: modelmgr.OpUpdate, ModelID: m2.ID}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for p.Model() == nil || p.Model().ID != "era2" {
-		if time.Now().After(deadline) {
-			t.Fatal("relearned model never installed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		m := p.Model()
+		return m != nil && m.ID == "era2"
+	}, "relearned model never installed")
 
 	// Era 2 traffic is clean under the relearned model.
 	tt = tt.Add(2 * time.Hour)
@@ -144,13 +142,10 @@ func TestAcceptUnparsedFeedbackLoop(t *testing.T) {
 		t.Fatalf("added = %d", added)
 	}
 	// Wait for the rebroadcast to land.
-	deadline := time.Now().Add(5 * time.Second)
-	for p.Model() == nil || p.Model().ID != next.ID {
-		if time.Now().After(deadline) {
-			t.Fatal("feedback model never installed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		m := p.Model()
+		return m != nil && m.ID == next.ID
+	}, "feedback model never installed")
 
 	ag.Send("cache warm segment 4 loaded")
 	if err := p.Drain(30 * time.Second); err != nil {

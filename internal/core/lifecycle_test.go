@@ -8,6 +8,7 @@ import (
 
 	"loglens/internal/experiments"
 	"loglens/internal/modelmgr"
+	"loglens/internal/testutil"
 )
 
 // TestLifecycleRobustness exercises the awkward corners of pipeline
@@ -55,27 +56,16 @@ func TestStopWithInflightTraffic(t *testing.T) {
 	}
 	ag, _ := p.Agent("s", 0)
 
+	// A concurrent sender pushes a fixed burst — no sleeps pacing it;
+	// the drain below must absorb everything in flight.
 	var wg sync.WaitGroup
-	stop := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		i := 0
-		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
+		for i := 0; i < 2000; i++ {
 			ag.Send("tick 9")
-			i++
-			if i%100 == 0 {
-				time.Sleep(time.Millisecond)
-			}
 		}
 	}()
-	time.Sleep(20 * time.Millisecond)
-	close(stop)
 	wg.Wait()
 	if err := p.Drain(30 * time.Second); err != nil {
 		t.Fatal(err)
@@ -171,13 +161,8 @@ func TestAccessorsAndAggregates(t *testing.T) {
 	if err := p.Controller().Announce(modelmgr.Instruction{Op: modelmgr.OpDelete, ModelID: model.ID}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for p.Model() != nil {
-		if time.Now().After(deadline) {
-			t.Fatal("delete instruction never applied")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return p.Model() == nil },
+		"delete instruction never applied")
 	if err := p.Stop(); err != nil {
 		t.Fatal(err)
 	}

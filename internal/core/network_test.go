@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"loglens/internal/experiments"
+	"loglens/internal/testutil"
 	"loglens/internal/wire"
 )
 
@@ -62,10 +63,9 @@ func TestRemoteAgentOverTCP(t *testing.T) {
 
 	// The wire server hands frames to the bus asynchronously; wait for
 	// them to land, then drain.
-	deadline := time.Now().Add(10 * time.Second)
-	for p.logmgrLag() == 0 && p.logmgr.Received() < 3 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return p.logmgrLag() > 0 || p.logmgr.Received() >= 3
+	}, "wire frames never reached the log manager")
 	if err := p.Drain(30 * time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"loglens/internal/agent"
 	"loglens/internal/anomaly"
 	"loglens/internal/bus"
+	"loglens/internal/clock"
 	"loglens/internal/heartbeat"
 	"loglens/internal/logmanager"
 	"loglens/internal/logtypes"
@@ -73,6 +74,11 @@ type Config struct {
 	// StoreAnomalies writes anomalies to the anomaly storage (default
 	// on; the throughput benches disable it).
 	DisableAnomalyStorage bool
+	// Clock is the time source threaded through the bus, the streaming
+	// engines, and the heartbeat controller (default the wall clock).
+	// Injecting a clock.Fake makes the pipeline's temporal behavior —
+	// batch cadence, heartbeat emission — manually drivable in tests.
+	Clock clock.Clock
 	// Staged runs the parser and the sequence detector as separate
 	// streaming stages connected through the bus (the Figure 1
 	// deployment shape, components communicating over Kafka) instead of
@@ -120,9 +126,12 @@ type Pipeline struct {
 
 // New constructs a Pipeline with its own bus and storage.
 func New(cfg Config) (*Pipeline, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
 	p := &Pipeline{
 		cfg:      cfg,
-		bus:      bus.New(),
+		bus:      bus.NewWithClock(cfg.Clock),
 		store:    store.New(),
 		bySource: make(map[string]*modelmgr.Model),
 		runErr:   make(chan error, 1),
@@ -136,10 +145,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if !cfg.DisableHeartbeat {
 		p.hb = heartbeat.New(cfg.Heartbeat)
+		p.hb.SetClock(cfg.Clock)
 	}
 	engineCfg := stream.Config{
 		Partitions:    cfg.Partitions,
 		BatchInterval: cfg.BatchInterval,
+		Clock:         cfg.Clock,
 	}
 	if cfg.Staged {
 		p.engine = stream.New(engineCfg, p.parseOperator)

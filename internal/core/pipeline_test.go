@@ -11,6 +11,7 @@ import (
 	"loglens/internal/experiments"
 	"loglens/internal/modelmgr"
 	"loglens/internal/store"
+	"loglens/internal/testutil"
 )
 
 // TestPipelineEndToEndD1 streams the full D1 corpus through the real
@@ -56,8 +57,7 @@ func TestPipelineEndToEndD1(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The final heartbeat reports the still-open (missing-end) events.
-	p.InjectHeartbeat("d1", c.Truth.LastLogTime.Add(24*time.Hour))
-	time.Sleep(50 * time.Millisecond) // one heartbeat record: give the engine a batch
+	injectHeartbeatAndWait(t, p, "d1", c.Truth.LastLogTime.Add(24*time.Hour))
 	if err := p.Drain(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -151,16 +151,10 @@ func TestPipelineZeroDowntimeModelUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The instruction flows through the control topic asynchronously.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if m := p.Model(); m != nil && m.ID == "m2" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("model update never applied")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		m := p.Model()
+		return m != nil && m.ID == "m2"
+	}, "model update never applied")
 
 	tt = tt.Add(time.Minute)
 	send(fmt.Sprintf("%s task bad-2 done code 1", tt.Format("2006/01/02 15:04:05.000")))

@@ -49,8 +49,7 @@ func TestPipelineSS7CaseStudy(t *testing.T) {
 	if err := p.Drain(2 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	p.InjectHeartbeat("ss7", c.Truth.LastLogTime.Add(time.Hour))
-	time.Sleep(50 * time.Millisecond)
+	injectHeartbeatAndWait(t, p, "ss7", c.Truth.LastLogTime.Add(time.Hour))
 	if err := p.Drain(time.Minute); err != nil {
 		t.Fatal(err)
 	}

@@ -51,8 +51,7 @@ func TestStagedTopologyD1(t *testing.T) {
 	if err := p.Drain(time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	p.InjectHeartbeat("d1", c.Truth.LastLogTime.Add(24*time.Hour))
-	time.Sleep(50 * time.Millisecond)
+	injectHeartbeatAndWait(t, p, "d1", c.Truth.LastLogTime.Add(24*time.Hour))
 	if err := p.Drain(time.Minute); err != nil {
 		t.Fatal(err)
 	}

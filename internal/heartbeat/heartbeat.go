@@ -12,6 +12,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"loglens/internal/clock"
 )
 
 // Heartbeat is one synthesized time signal for a source.
@@ -63,7 +65,7 @@ type Controller struct {
 	cfg     Config
 	mu      sync.Mutex
 	sources map[string]*sourceState
-	now     func() time.Time // injectable clock for tests
+	clk     clock.Clock // injectable clock for tests, chaos, log replay
 }
 
 // New constructs a Controller.
@@ -72,15 +74,22 @@ func New(cfg Config) *Controller {
 	return &Controller{
 		cfg:     cfg,
 		sources: make(map[string]*sourceState),
-		now:     time.Now,
+		clk:     clock.New(),
 	}
 }
 
 // SetClock injects a wall clock, for deterministic tests and log replay.
-func (c *Controller) SetClock(now func() time.Time) {
+// Set it before Run.
+func (c *Controller) SetClock(clk clock.Clock) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.now = now
+	c.clk = clk
+}
+
+func (c *Controller) clock() clock.Clock {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clk
 }
 
 // Observe records one log's embedded timestamp for a source. Call it as
@@ -88,7 +97,7 @@ func (c *Controller) SetClock(now func() time.Time) {
 func (c *Controller) Observe(source string, logTime time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	wall := c.now()
+	wall := c.clk.Now()
 	st, ok := c.sources[source]
 	if !ok {
 		c.sources[source] = &sourceState{lastLogTime: logTime, lastWallTime: wall}
@@ -130,7 +139,7 @@ func (c *Controller) Sources() []string {
 func (c *Controller) Tick() []Heartbeat {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	wall := c.now()
+	wall := c.clk.Now()
 	var out []Heartbeat
 	for source, st := range c.sources {
 		idle := wall.Sub(st.lastWallTime)
@@ -154,13 +163,13 @@ func (c *Controller) Tick() []Heartbeat {
 // done, calling emit for every synthesized heartbeat. It blocks; run it in
 // its own goroutine.
 func (c *Controller) Run(ctx context.Context, emit func(Heartbeat)) {
-	ticker := time.NewTicker(c.cfg.Interval)
+	ticker := c.clock().NewTicker(c.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			for _, hb := range c.Tick() {
 				emit(hb)
 			}

@@ -5,49 +5,33 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"loglens/internal/clock"
 )
-
-// fakeClock is a controllable wall clock.
-type fakeClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-func (f *fakeClock) Now() time.Time {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.now
-}
-
-func (f *fakeClock) Advance(d time.Duration) {
-	f.mu.Lock()
-	f.now = f.now.Add(d)
-	f.mu.Unlock()
-}
 
 var wall0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
 var log0 = time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
 
-func newTestController() (*Controller, *fakeClock) {
-	clock := &fakeClock{now: wall0}
+func newTestController() (*Controller, *clock.Fake) {
+	fake := clock.NewFakeAt(wall0)
 	c := New(Config{ActivityWindow: time.Hour})
-	c.SetClock(clock.Now)
-	return c, clock
+	c.SetClock(fake)
+	return c, fake
 }
 
 func TestSynthesizedTimeTracksLogRate(t *testing.T) {
-	c, clock := newTestController()
+	c, clk := newTestController()
 
 	// Log time advances 2 seconds per wall second (replay at 2x).
 	c.Observe("src", log0)
-	clock.Advance(time.Second)
+	clk.Advance(time.Second)
 	c.Observe("src", log0.Add(2*time.Second))
-	clock.Advance(time.Second)
+	clk.Advance(time.Second)
 	c.Observe("src", log0.Add(4*time.Second))
 
 	// Silence for 10 wall seconds: synthesized log time should advance
 	// by about 20 log seconds.
-	clock.Advance(10 * time.Second)
+	clk.Advance(10 * time.Second)
 	hbs := c.Tick()
 	if len(hbs) != 1 {
 		t.Fatalf("heartbeats = %v", hbs)
@@ -62,9 +46,9 @@ func TestSynthesizedTimeTracksLogRate(t *testing.T) {
 }
 
 func TestSingleObservationAssumesRealTime(t *testing.T) {
-	c, clock := newTestController()
+	c, clk := newTestController()
 	c.Observe("src", log0)
-	clock.Advance(5 * time.Second)
+	clk.Advance(5 * time.Second)
 	hbs := c.Tick()
 	if len(hbs) != 1 {
 		t.Fatal("no heartbeat")
@@ -76,11 +60,11 @@ func TestSingleObservationAssumesRealTime(t *testing.T) {
 }
 
 func TestInactiveSourceDropped(t *testing.T) {
-	clock := &fakeClock{now: wall0}
+	clk := clock.NewFakeAt(wall0)
 	c := New(Config{ActivityWindow: time.Minute})
-	c.SetClock(clock.Now)
+	c.SetClock(clk)
 	c.Observe("src", log0)
-	clock.Advance(2 * time.Minute)
+	clk.Advance(2 * time.Minute)
 	if hbs := c.Tick(); len(hbs) != 0 {
 		t.Fatalf("inactive source still heartbeating: %v", hbs)
 	}
@@ -90,10 +74,10 @@ func TestInactiveSourceDropped(t *testing.T) {
 }
 
 func TestMultipleSources(t *testing.T) {
-	c, clock := newTestController()
+	c, clk := newTestController()
 	c.Observe("a", log0)
 	c.Observe("b", log0.Add(time.Hour))
-	clock.Advance(time.Second)
+	clk.Advance(time.Second)
 	hbs := c.Tick()
 	if len(hbs) != 2 {
 		t.Fatalf("heartbeats = %v", hbs)
@@ -101,12 +85,12 @@ func TestMultipleSources(t *testing.T) {
 }
 
 func TestOutOfOrderLogTimeIgnoredForRegression(t *testing.T) {
-	c, clock := newTestController()
+	c, clk := newTestController()
 	c.Observe("src", log0.Add(10*time.Second))
-	clock.Advance(time.Second)
+	clk.Advance(time.Second)
 	// A late-arriving older log must not move last log time backwards.
 	c.Observe("src", log0)
-	clock.Advance(time.Second)
+	clk.Advance(time.Second)
 	hbs := c.Tick()
 	if len(hbs) != 1 {
 		t.Fatal("no heartbeat")
@@ -116,21 +100,79 @@ func TestOutOfOrderLogTimeIgnoredForRegression(t *testing.T) {
 	}
 }
 
-func TestRunEmitsPeriodically(t *testing.T) {
-	c := New(Config{Interval: 5 * time.Millisecond})
+// An expiry decision driven by synthesized heartbeats can lag a log-time
+// boundary by at most one emission interval: consecutive ticks advance
+// synthesized log time by exactly Interval x rate, so the first tick past
+// any boundary D arrives within one interval of D. This is the
+// controller-side half of the chaos suite's expiry scenario
+// (internal/chaos/scenarios_test.go adds the detector).
+func TestExpiryBoundaryCrossedWithinOneInterval(t *testing.T) {
+	c, clk := newTestController()
+	// Establish a 2x log-time rate.
 	c.Observe("src", log0)
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
-	defer cancel()
-	var mu sync.Mutex
-	count := 0
-	c.Run(ctx, func(hb Heartbeat) {
-		mu.Lock()
-		count++
-		mu.Unlock()
-	})
-	mu.Lock()
-	defer mu.Unlock()
-	if count < 2 {
-		t.Errorf("emitted %d heartbeats, want several", count)
+	clk.Advance(time.Second)
+	c.Observe("src", log0.Add(2*time.Second))
+
+	const boundary = 9 * time.Second // log-time expiry boundary past log0
+	lastWall := wall0.Add(time.Second)
+	var prev time.Time
+	for tick := 1; tick <= 10; tick++ {
+		clk.Advance(time.Second)
+		hbs := c.Tick()
+		if len(hbs) != 1 {
+			t.Fatalf("tick %d: heartbeats = %v", tick, hbs)
+		}
+		synth := hbs[0].Time
+		if tick > 1 {
+			if step := synth.Sub(prev); step != 2*time.Second {
+				t.Fatalf("tick %d advanced synthesized time by %v, want exactly 2s", tick, step)
+			}
+		}
+		prev = synth
+		if synth.Sub(log0) > boundary {
+			// First tick past the boundary: at 2 log-seconds per tick
+			// the overshoot is below one tick's worth of log time.
+			if over := synth.Sub(log0) - boundary; over > 2*time.Second {
+				t.Errorf("boundary overshot by %v, more than one interval of log time", over)
+			}
+			wall := clk.Now()
+			if wall.Sub(lastWall) > time.Duration(tick)*time.Second {
+				t.Errorf("boundary signal after %v of wall time, want within tick %d", wall.Sub(lastWall), tick)
+			}
+			return
+		}
 	}
+	t.Fatal("synthesized time never crossed the expiry boundary")
+}
+
+// TestRunEmitsPeriodically drives the Run loop entirely on the fake clock:
+// every advanced interval yields exactly one emission round, with no wall
+// time spent.
+func TestRunEmitsPeriodically(t *testing.T) {
+	clk := clock.NewFakeAt(wall0)
+	c := New(Config{Interval: time.Second, ActivityWindow: time.Hour})
+	c.SetClock(clk)
+	c.Observe("src", log0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := make(chan Heartbeat, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Run(ctx, func(hb Heartbeat) { emitted <- hb })
+	}()
+
+	// Wait until Run's ticker is registered, then drive five intervals.
+	clk.BlockUntil(1)
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+		select {
+		case <-emitted:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("interval %d emitted nothing", i)
+		}
+	}
+	cancel()
+	wg.Wait()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"loglens/internal/clock"
 	"loglens/internal/logtypes"
 	"loglens/internal/store"
 )
@@ -21,12 +22,17 @@ const ModelsIndex = "models"
 type Manager struct {
 	store   *store.Store
 	builder *Builder
+	clk     clock.Clock
 }
 
 // NewManager constructs a Manager over the given storage.
 func NewManager(st *store.Store, builder *Builder) *Manager {
-	return &Manager{store: st, builder: builder}
+	return &Manager{store: st, builder: builder, clk: clock.New()}
 }
+
+// SetClock injects the relearn-loop time source (default the wall clock).
+// Set it before RelearnLoop starts.
+func (mgr *Manager) SetClock(clk clock.Clock) { mgr.clk = clk }
 
 // Save stores a model in the model storage under its ID.
 func (mgr *Manager) Save(m *Model) error {
@@ -123,17 +129,17 @@ func (mgr *Manager) Rebuild(id, source string, since time.Time) (*Model, *BuildR
 // (typically the model controller's update path). It blocks until the
 // context is done.
 func (mgr *Manager) RelearnLoop(ctx context.Context, source string, interval, window time.Duration, install func(*Model)) {
-	ticker := time.NewTicker(interval)
+	ticker := mgr.clk.NewTicker(interval)
 	defer ticker.Stop()
 	n := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			n++
 			id := fmt.Sprintf("%s-relearn-%d", source, n)
-			m, _, err := mgr.Rebuild(id, source, time.Now().Add(-window))
+			m, _, err := mgr.Rebuild(id, source, mgr.clk.Now().Add(-window))
 			if err != nil {
 				continue // no logs yet; try next round
 			}

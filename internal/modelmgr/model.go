@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"loglens/internal/automata"
+	"loglens/internal/clock"
 	"loglens/internal/grok"
 	"loglens/internal/idfield"
 	"loglens/internal/logmine"
@@ -119,6 +120,9 @@ type BuilderConfig struct {
 	// VolumeWindow, when positive, also learns the per-pattern
 	// rate profile for the volume analytics application.
 	VolumeWindow time.Duration
+	// Clock stamps CreatedAt and measures build time (default the wall
+	// clock); injected by deterministic tests.
+	Clock clock.Clock
 }
 
 // Builder builds models from training logs ("assuming that they represent
@@ -132,6 +136,9 @@ func NewBuilder(cfg BuilderConfig) *Builder {
 	if cfg.Preprocessor == nil {
 		cfg.Preprocessor = preprocess.New(nil, nil)
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
 	return &Builder{cfg: cfg}
 }
 
@@ -143,7 +150,7 @@ func (b *Builder) Build(id string, logs []logtypes.Log) (*Model, *BuildReport, e
 	if len(logs) == 0 {
 		return nil, nil, fmt.Errorf("modelmgr: build %q: empty training corpus", id)
 	}
-	start := time.Now()
+	start := b.cfg.Clock.Now()
 
 	// Phase 1: discover patterns.
 	pp := b.cfg.Preprocessor.Clone()
@@ -161,7 +168,7 @@ func (b *Builder) Build(id string, logs []logtypes.Log) (*Model, *BuildReport, e
 
 	model := &Model{
 		ID:        id,
-		CreatedAt: time.Now(),
+		CreatedAt: b.cfg.Clock.Now(),
 		Patterns:  set,
 		Sequence:  &automata.Model{IDFields: map[int]string{}},
 	}
@@ -188,7 +195,7 @@ func (b *Builder) Build(id string, logs []logtypes.Log) (*Model, *BuildReport, e
 	if b.cfg.VolumeWindow > 0 {
 		model.Volume = volume.Learn(parsed, b.cfg.VolumeWindow)
 	}
-	report.Elapsed = time.Since(start)
+	report.Elapsed = b.cfg.Clock.Since(start)
 	return model, report, nil
 }
 

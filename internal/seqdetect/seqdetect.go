@@ -4,6 +4,13 @@
 // violating the rules produce the Table II anomaly types. Open states are
 // expired — and missing-end-state anomalies reported in time — when the
 // external heartbeat controller advances log time (§V-B).
+//
+// The detector never reads a wall clock: every temporal decision (duration
+// windows, expiry) is a function of the log times and heartbeat times fed
+// to Process and HeartbeatFor. That makes it deterministic by construction
+// under the internal/clock fake-clock harness — drive the heartbeat
+// controller on a clock.Fake and the whole expiry pipeline replays
+// identically; see internal/chaos for the seeded scenario suite.
 package seqdetect
 
 import (

@@ -28,6 +28,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"loglens/internal/clock"
 )
 
 // Record is one input record.
@@ -62,6 +64,10 @@ type Config struct {
 	// Partitioner overrides key-hash partitioning for non-heartbeat
 	// records.
 	Partitioner func(rec Record, partitions int) int
+	// Clock is the engine's time source (default the wall clock). A fake
+	// clock makes the micro-batch cadence manually drivable: batches
+	// close when Advance crosses the BatchInterval deadline.
+	Clock clock.Clock
 }
 
 func (c *Config) setDefaults() {
@@ -83,6 +89,9 @@ func (c *Config) setDefaults() {
 			h.Write([]byte(rec.Key))
 			return int(h.Sum32()) % partitions
 		}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
 	}
 }
 
@@ -282,13 +291,13 @@ func (e *Engine) Run(ctx context.Context) error {
 // input is empty.
 func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 	var batch []Record
-	timer := time.NewTimer(e.cfg.BatchInterval)
+	timer := e.cfg.Clock.NewTimer(e.cfg.BatchInterval)
 	defer timer.Stop()
 	for len(batch) < e.cfg.MaxBatch {
 		select {
 		case rec := <-e.input:
 			batch = append(batch, rec)
-		case <-timer.C:
+		case <-timer.C():
 			return batch, false
 		case <-ctx.Done():
 			return batch, false
@@ -423,7 +432,7 @@ func (e *Engine) applyUpdates() {
 	if len(pending) == 0 {
 		return
 	}
-	start := time.Now()
+	start := e.cfg.Clock.Now()
 	for _, u := range pending {
 		e.driver.mu.Lock()
 		b := e.driver.blocks[u.id]
@@ -435,7 +444,7 @@ func (e *Engine) applyUpdates() {
 	}
 	e.metMu.Lock()
 	e.metrics.UpdatesApplied += uint64(len(pending))
-	e.metrics.UpdateBlocked += time.Since(start)
+	e.metrics.UpdateBlocked += e.cfg.Clock.Since(start)
 	e.metMu.Unlock()
 }
 

@@ -6,7 +6,24 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"loglens/internal/clock"
 )
+
+// advanceUntil drives a fake-clock engine until cond holds, one batch
+// interval per step. The real-time deadline is a failsafe, not a
+// synchronization mechanism.
+func advanceUntil(t *testing.T, clk *clock.Fake, step time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("engine did not reach expected state under fake clock")
+		}
+		clk.BlockUntil(1)
+		clk.Advance(step)
+	}
+}
 
 // run starts the engine, feeds records, closes, and returns collected
 // outputs.
@@ -175,7 +192,9 @@ func TestRebroadcastZeroDowntime(t *testing.T) {
 		model string
 		count int
 	}
-	e := New(Config{Partitions: 2, BatchInterval: time.Millisecond, MaxBatch: 64},
+	clk := clock.NewFake()
+	const interval = time.Millisecond
+	e := New(Config{Partitions: 2, BatchInterval: interval, MaxBatch: 64, Clock: clk},
 		func(ctx *Context, rec Record) []any {
 			v, _ := ctx.Broadcast("model")
 			n, _ := ctx.States().Get("n")
@@ -199,17 +218,9 @@ func TestRebroadcastZeroDowntime(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		e.Send(Record{Key: fmt.Sprintf("k%d", i%7)})
 	}
-	// Wait until the v1 records have actually flowed through before
-	// updating, so both versions are exercised.
-	for {
-		mu.Lock()
-		n := len(outs)
-		mu.Unlock()
-		if n >= 500 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// Drive the fake clock until the v1 records have actually flowed
+	// through before updating, so both versions are exercised.
+	advanceUntil(t, clk, interval, func() bool { return e.Metrics().Records >= 500 })
 	e.Rebroadcast("model", "v2")
 	for i := 0; i < 500; i++ {
 		e.Send(Record{Key: fmt.Sprintf("k%d", i%7)})
@@ -341,7 +352,9 @@ func TestCustomPartitioner(t *testing.T) {
 }
 
 func TestInspectAtBarrier(t *testing.T) {
-	e := New(Config{Partitions: 2, BatchInterval: time.Millisecond},
+	clk := clock.NewFake()
+	const interval = time.Millisecond
+	e := New(Config{Partitions: 2, BatchInterval: interval, Clock: clk},
 		func(ctx *Context, rec Record) []any {
 			ctx.States().Put(rec.Key, rec.Value)
 			return nil
@@ -351,15 +364,26 @@ func TestInspectAtBarrier(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		e.Send(Record{Key: fmt.Sprintf("k%d", i), Value: i})
 	}
-	// Wait for processing.
-	for e.Metrics().Records < 20 {
-		time.Sleep(time.Millisecond)
-	}
+	advanceUntil(t, clk, interval, func() bool { return e.Metrics().Records >= 20 })
+	// Inspect blocks until the next micro-batch barrier, so keep the
+	// fake clock moving while it waits.
 	total := 0
 	parts := map[int]bool{}
-	e.Inspect(func(p int, sm *StateMap) {
-		parts[p] = true
-		total += sm.Len()
+	inspected := make(chan struct{})
+	go func() {
+		defer close(inspected)
+		e.Inspect(func(p int, sm *StateMap) {
+			parts[p] = true
+			total += sm.Len()
+		})
+	}()
+	advanceUntil(t, clk, interval, func() bool {
+		select {
+		case <-inspected:
+			return true
+		default:
+			return false
+		}
 	})
 	if total != 20 {
 		t.Errorf("inspected %d states, want 20", total)
@@ -374,6 +398,80 @@ func TestInspectAtBarrier(t *testing.T) {
 	e.Inspect(func(p int, sm *StateMap) { total += sm.Len() })
 	if total != 20 {
 		t.Errorf("post-shutdown inspect = %d", total)
+	}
+}
+
+// A chain of rebroadcasts must be applied exactly once each, in order:
+// no update is lost, none is applied twice, and every record observes a
+// version that was genuinely installed, never regressing within a
+// partition. Runs entirely on the fake clock.
+func TestRebroadcastNeverLosesOrDoubleAppliesModels(t *testing.T) {
+	clk := clock.NewFake()
+	const interval = time.Millisecond
+	type obs struct {
+		partition int
+		version   int
+	}
+	var mu sync.Mutex
+	var seen []obs
+	e := New(Config{Partitions: 3, BatchInterval: interval, Clock: clk},
+		func(ctx *Context, rec Record) []any {
+			v, ok := ctx.Broadcast("model")
+			if !ok {
+				t.Error("model broadcast missing")
+				return nil
+			}
+			mu.Lock()
+			seen = append(seen, obs{ctx.Partition(), v.(int)})
+			mu.Unlock()
+			return nil
+		})
+	e.Broadcast("model", 1)
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+
+	const versions, perVersion = 5, 40
+	sent := 0
+	for v := 1; v <= versions; v++ {
+		if v > 1 {
+			e.Rebroadcast("model", v)
+		}
+		for i := 0; i < perVersion; i++ {
+			if err := e.Send(Record{Key: fmt.Sprintf("k%d", sent)}); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		// Wave v fully processed before the next update is queued, so
+		// every record's expected version is exact.
+		advanceUntil(t, clk, interval, func() bool {
+			return e.Metrics().Records >= uint64(sent)
+		})
+	}
+	e.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.Metrics().UpdatesApplied; got != versions-1 {
+		t.Errorf("UpdatesApplied = %d, want %d (lost or double-applied update)", got, versions-1)
+	}
+	counts := map[int]int{}
+	last := map[int]int{}
+	for _, o := range seen {
+		if o.version < 1 || o.version > versions {
+			t.Fatalf("observed version %d was never installed", o.version)
+		}
+		if o.version < last[o.partition] {
+			t.Fatalf("partition %d saw version regress %d -> %d", o.partition, last[o.partition], o.version)
+		}
+		last[o.partition] = o.version
+		counts[o.version]++
+	}
+	for v := 1; v <= versions; v++ {
+		if counts[v] != perVersion {
+			t.Errorf("version %d observed by %d records, want %d", v, counts[v], perVersion)
+		}
 	}
 }
 

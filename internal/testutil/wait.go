@@ -1,0 +1,30 @@
+// Package testutil holds small helpers shared by the test suites. Tests
+// must not sleep for synchronization: where an asynchronous effect cannot
+// be driven deterministically by a fake clock (internal/clock), they wait
+// on an observable condition with a failure deadline instead.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitUntil blocks until cond returns true, failing the test if it does
+// not within timeout. It polls with exponential backoff starting at 100µs
+// (capped at 10ms), so fast conditions resolve in microseconds and slow
+// ones don't spin. The timeout is a failure deadline, never a pace: a
+// passing test waits exactly as long as the condition takes.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	backoff := 100 * time.Microsecond
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: %s", timeout, msg)
+		}
+		time.Sleep(backoff)
+		if backoff < 10*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

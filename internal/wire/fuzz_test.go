@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder. Decode must
+// never panic, and any line it accepts must survive an encode/decode
+// round trip losslessly — the canonical-form property the server and
+// client rely on.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"source":"web-1","seq":42,"raw":"2016/02/23 09:00:31.000 task t-1 start"}`))
+	f.Add([]byte(`{"source":"db","hb":true,"time":"2016-02-23T09:00:31Z"}`))
+	f.Add([]byte(`{"source":""}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"source":"s","seq":-1}`))
+	f.Add([]byte(`{"source":"s","time":"not-a-time"}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		frame, err := Decode(line)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if frame.Source == "" {
+			t.Fatalf("Decode accepted a frame without a source: %q", line)
+		}
+		encoded, err := Encode(frame)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v (input %q)", err, line)
+		}
+		again, err := Decode(encoded)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v (wire %q)", err, encoded)
+		}
+		assertFramesEqual(t, frame, again)
+	})
+}
+
+// FuzzRoundTrip drives Encode -> Decode with arbitrary frame contents:
+// every encodable frame must come back field-for-field identical.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("web-1", uint64(42), "2016/02/23 09:00:31.000 task t-1 start", false, int64(1456218031), int64(0))
+	f.Add("db", uint64(0), "", true, int64(1456218031), int64(999999999))
+	f.Add("s", uint64(1<<63), "line with \x00 and \xff bytes", false, int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, source string, seq uint64, raw string, hb bool, sec, nsec int64) {
+		if source == "" {
+			return // unattributable frames are rejected by design
+		}
+		if !utf8.ValidString(source) || !utf8.ValidString(raw) {
+			// JSON coerces invalid UTF-8 to U+FFFD; only valid UTF-8
+			// frames are lossless by contract.
+			return
+		}
+		in := Frame{Source: source, Seq: seq, Raw: raw, HB: hb, Time: time.Unix(sec, nsec).UTC()}
+		encoded, err := Encode(in)
+		if err != nil {
+			return // unencodable (e.g. time outside JSON's year range): fine
+		}
+		out, err := Decode(encoded)
+		if err != nil {
+			t.Fatalf("encodable frame failed to decode: %v (wire %q)", err, encoded)
+		}
+		assertFramesEqual(t, in, out)
+	})
+}
+
+func assertFramesEqual(t *testing.T, a, b Frame) {
+	t.Helper()
+	if a.Source != b.Source || a.Seq != b.Seq || a.HB != b.HB {
+		t.Fatalf("frame fields changed in round trip: %+v vs %+v", a, b)
+	}
+	if a.Raw != b.Raw {
+		t.Fatalf("raw changed in round trip: %q vs %q", a.Raw, b.Raw)
+	}
+	if !a.Time.Equal(b.Time) {
+		t.Fatalf("time changed in round trip: %v vs %v", a.Time, b.Time)
+	}
+}

@@ -40,6 +40,30 @@ type Frame struct {
 // maximum log-line length.
 const MaxFrameBytes = 16 << 20
 
+// Encode serializes one frame to its wire form: a single JSON line,
+// without the trailing newline the transport adds.
+func Encode(f Frame) ([]byte, error) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses one wire line into a Frame. Frames without a source are
+// rejected: the log manager cannot attribute them ("organizes logs based
+// on the log source information", §II).
+func Decode(line []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, fmt.Errorf("wire: decode: %w", err)
+	}
+	if f.Source == "" {
+		return Frame{}, fmt.Errorf("wire: decode: frame has no source")
+	}
+	return f, nil
+}
+
 // Server accepts agent connections and hands every received frame to a
 // callback. It is safe for concurrent use.
 type Server struct {
@@ -117,8 +141,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var f Frame
-		if err := json.Unmarshal(line, &f); err != nil || f.Source == "" {
+		f, err := Decode(line)
+		if err != nil {
 			s.errors.Add(1)
 			continue
 		}
@@ -182,7 +206,7 @@ func (c *Client) SendHeartbeat(t time.Time) error {
 }
 
 func (c *Client) writeLocked(f Frame) error {
-	data, err := json.Marshal(f)
+	data, err := Encode(f)
 	if err != nil {
 		return err
 	}
