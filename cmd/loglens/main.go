@@ -42,6 +42,7 @@ type options struct {
 	volumeWindow time.Duration
 	stateDir     string
 	listen       string
+	metrics      bool
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 	flag.DurationVar(&o.volumeWindow, "volume-window", 0, "also learn a per-pattern rate profile with this window (enables the volume detector)")
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist log/model/anomaly storage to this directory at exit (and restore at startup)")
 	flag.StringVar(&o.listen, "listen", "", "also accept remote shiplogs agents on this TCP address (e.g. :5044)")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump the metrics registry (expvar-style text) to stderr after the stream ends")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -217,6 +219,11 @@ func run(o options) error {
 
 	fmt.Fprintf(os.Stderr, "processed %d logs: %d anomalies (%d unparsed)\n",
 		n, p.AnomalyCount(), p.UnparsedCount())
+
+	if o.metrics {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		p.Metrics().Snapshot().WriteText(os.Stderr)
+	}
 
 	if o.stateDir != "" {
 		if err := p.Store().SaveDir(o.stateDir); err != nil {

@@ -46,6 +46,7 @@ func TestRunTrainAndStream(t *testing.T) {
 		quiet:      true,
 		saveModel:  modelPath,
 		stateDir:   stateDir,
+		metrics:    true,
 	}
 	if err := run(o); err != nil {
 		t.Fatal(err)

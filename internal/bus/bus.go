@@ -11,10 +11,12 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	"loglens/internal/clock"
+	"loglens/internal/metrics"
 )
 
 // Message is one bus record.
@@ -44,6 +46,7 @@ type Bus struct {
 
 	mu     sync.RWMutex
 	topics map[string]*topic
+	reg    *metrics.Registry
 
 	groupsMu sync.Mutex
 	groups   map[string]*group
@@ -59,6 +62,8 @@ type partition struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	log  []Message
+	// produced counts appends; nil until the bus is instrumented.
+	produced *metrics.Counter
 }
 
 func newPartition() *partition {
@@ -82,6 +87,33 @@ func NewWithClock(clk clock.Clock) *Bus {
 	}
 }
 
+// SetMetrics installs the observability registry: per topic-partition
+// produce counters (bus_produced_total), with consume counters and lag
+// gauges added by consumers as they poll. Topics declared before or after
+// the call are both instrumented. Call it during wiring, before traffic.
+func (b *Bus) SetMetrics(reg *metrics.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reg = reg
+	for _, t := range b.topics {
+		t.instrument(reg)
+	}
+}
+
+// instrument binds the produce counter of every partition. Caller holds
+// b.mu.
+func (t *topic) instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, p := range t.partitions {
+		c := reg.Counter("bus_produced_total", "topic", t.name, "partition", strconv.Itoa(i))
+		p.mu.Lock()
+		p.produced = c
+		p.mu.Unlock()
+	}
+}
+
 // CreateTopic declares a topic with the given partition count. Creating an
 // existing topic with the same partition count is a no-op; changing the
 // count is an error.
@@ -101,6 +133,7 @@ func (b *Bus) CreateTopic(name string, partitions int) error {
 	for i := 0; i < partitions; i++ {
 		t.partitions = append(t.partitions, newPartition())
 	}
+	t.instrument(b.reg)
 	b.topics[name] = t
 	return nil
 }
@@ -204,6 +237,9 @@ func (b *Bus) publishTo(t *topic, pi int, key string, value []byte, headers map[
 		}
 	}
 	p.log = append(p.log, m)
+	if p.produced != nil {
+		p.produced.Inc()
+	}
 	p.cond.Broadcast()
 	return m.Offset, nil
 }

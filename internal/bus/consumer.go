@@ -3,7 +3,10 @@ package bus
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+
+	"loglens/internal/metrics"
 )
 
 // Consumer reads messages from one or more topics with per-partition
@@ -11,9 +14,20 @@ import (
 // each message is delivered to one member of the group. A Consumer is safe
 // for concurrent use.
 type Consumer struct {
-	bus    *Bus
-	group  *group
-	topics []string
+	bus       *Bus
+	group     *group
+	groupName string
+	topics    []string
+	// instr caches per-topic-partition consume instruments; guarded by
+	// group.mu (only touched inside TryPoll).
+	instr map[topicPartition]*consumeInstr
+}
+
+// consumeInstr is the per-(group, topic, partition) observability handle:
+// messages consumed and the committed-offset lag behind the partition end.
+type consumeInstr struct {
+	consumed *metrics.Counter
+	lag      *metrics.Gauge
 }
 
 type group struct {
@@ -45,7 +59,13 @@ func (b *Bus) NewConsumer(groupName string, topics ...string) (*Consumer, error)
 		g = &group{offsets: make(map[topicPartition]int64)}
 		b.groups[groupName] = g
 	}
-	return &Consumer{bus: b, group: g, topics: topics}, nil
+	return &Consumer{
+		bus:       b,
+		group:     g,
+		groupName: groupName,
+		topics:    topics,
+		instr:     make(map[topicPartition]*consumeInstr),
+	}, nil
 }
 
 // Poll returns up to max pending messages across the subscription,
@@ -112,6 +132,13 @@ func (c *Consumer) TryPoll(max int) []Message {
 				continue
 			}
 			c.group.offsets[tp] = msgs[len(msgs)-1].Offset + 1
+			if mi := c.instrFor(tp); mi != nil {
+				mi.consumed.Add(uint64(len(msgs)))
+				p.mu.Lock()
+				end := int64(len(p.log))
+				p.mu.Unlock()
+				mi.lag.Set(end - c.group.offsets[tp])
+			}
 			out = append(out, msgs...)
 			if max > 0 {
 				budget -= len(msgs)
@@ -119,6 +146,28 @@ func (c *Consumer) TryPoll(max int) []Message {
 		}
 	}
 	return out
+}
+
+// instrFor resolves (and caches) the consume instruments for a partition;
+// nil when the bus is uninstrumented. Caller holds group.mu.
+func (c *Consumer) instrFor(tp topicPartition) *consumeInstr {
+	if mi, ok := c.instr[tp]; ok {
+		return mi
+	}
+	c.bus.mu.RLock()
+	reg := c.bus.reg
+	c.bus.mu.RUnlock()
+	if reg == nil {
+		// Not cached: the bus may be instrumented later in wiring.
+		return nil
+	}
+	labels := []string{"group", c.groupName, "topic", tp.topic, "partition", strconv.Itoa(tp.partition)}
+	mi := &consumeInstr{
+		consumed: reg.Counter("bus_consumed_total", labels...),
+		lag:      reg.Gauge("bus_lag", labels...),
+	}
+	c.instr[tp] = mi
+	return mi
 }
 
 // Seek rewinds (or forwards) the group's offset for one partition —

@@ -26,6 +26,7 @@ import (
 	"loglens/internal/heartbeat"
 	"loglens/internal/logmanager"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 	"loglens/internal/modelmgr"
 	"loglens/internal/parser"
 	"loglens/internal/preprocess"
@@ -85,6 +86,15 @@ type Config struct {
 	// fused into one operator. Fused is the default: lower latency, no
 	// serialization; Staged scales the stages independently.
 	Staged bool
+	// Metrics is the observability registry threaded through every
+	// component (bus, engines, parser, detector, heartbeat, model
+	// manager). Nil creates a private registry; read it via
+	// Pipeline.Metrics().
+	Metrics *metrics.Registry
+	// Tracer, when set, stamps traced lines at every pipeline stage
+	// (agent → bus → partition → parser → seqdetect → anomaly). Nil
+	// disables tracing at zero hot-path cost.
+	Tracer metrics.Tracer
 }
 
 // Pipeline is a running LogLens deployment.
@@ -115,6 +125,15 @@ type Pipeline struct {
 	forwarded       atomic.Uint64
 	parsedForwarded atomic.Uint64
 
+	// Registry handles, resolved once at construction (the registry is
+	// never nil: Config.Metrics defaults to a private one).
+	reg           *metrics.Registry
+	linesTotal    *metrics.Counter
+	hbTotal       *metrics.Counter
+	parsedTotal   *metrics.Counter
+	unparsedTotal *metrics.Counter
+	lineSeconds   *metrics.Histogram
+
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
 	runErr     chan error
@@ -129,42 +148,64 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.New()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	p := &Pipeline{
 		cfg:      cfg,
 		bus:      bus.NewWithClock(cfg.Clock),
 		store:    store.New(),
 		bySource: make(map[string]*modelmgr.Model),
 		runErr:   make(chan error, 1),
+		reg:      cfg.Metrics,
 	}
+	p.linesTotal = p.reg.Counter("core_lines_total")
+	p.hbTotal = p.reg.Counter("core_heartbeats_total")
+	p.parsedTotal = p.reg.Counter("core_parsed_total")
+	p.unparsedTotal = p.reg.Counter("core_unparsed_total")
+	p.lineSeconds = p.reg.Histogram("core_line_seconds", nil)
+	p.bus.SetMetrics(p.reg)
 	p.builder = modelmgr.NewBuilder(cfg.Builder)
 	p.manager = modelmgr.NewManager(p.store, p.builder)
+	p.manager.Instrument(p.reg)
 	var err error
 	p.controller, err = modelmgr.NewController(p.bus)
 	if err != nil {
 		return nil, err
 	}
+	p.controller.SetMetrics(p.reg)
 	if !cfg.DisableHeartbeat {
 		p.hb = heartbeat.New(cfg.Heartbeat)
 		p.hb.SetClock(cfg.Clock)
+		p.hb.Instrument(p.reg)
 	}
 	engineCfg := stream.Config{
 		Partitions:    cfg.Partitions,
 		BatchInterval: cfg.BatchInterval,
 		Clock:         cfg.Clock,
+		Metrics:       p.reg,
 	}
 	if cfg.Staged {
+		engineCfg.Name = "parse"
 		p.engine = stream.New(engineCfg, p.parseOperator)
 		p.engine.SetSink(p.parseSink)
+		engineCfg.Name = "detect"
 		p.detectEngine = stream.New(engineCfg, p.detectOperator)
 		p.detectEngine.SetSink(p.sink)
 	} else {
+		engineCfg.Name = "main"
 		p.engine = stream.New(engineCfg, p.operator)
 		p.engine.SetSink(p.sink)
 	}
-	p.logmgr = logmanager.New(p.bus, p.store, logmanager.Config{ArchiveLogs: cfg.ArchiveLogs}, p.forward)
+	p.logmgr = logmanager.New(p.bus, p.store, logmanager.Config{
+		ArchiveLogs: cfg.ArchiveLogs,
+		Metrics:     p.reg,
+		Tracer:      cfg.Tracer,
+	}, p.forward)
 	// Heartbeats arrive tagged on the data channel (§V-B) and become
 	// heartbeat records fanned to every partition of the stateful stage.
 	p.logmgr.OnHeartbeat(func(source string, t time.Time) {
+		p.hbTotal.Inc()
 		if p.detectEngine != nil {
 			p.parsedForwarded.Add(1)
 			p.detectEngine.Send(stream.Record{Key: source, Time: t, Heartbeat: true})
@@ -191,6 +232,10 @@ func (p *Pipeline) Controller() *modelmgr.Controller { return p.controller }
 
 // Engine exposes the streaming engine (for metrics).
 func (p *Pipeline) Engine() *stream.Engine { return p.engine }
+
+// Metrics exposes the pipeline's observability registry (never nil). The
+// dashboard serves its Snapshot at /api/metrics.
+func (p *Pipeline) Metrics() *metrics.Registry { return p.reg }
 
 // AnomalyCount returns the total anomalies reported so far.
 func (p *Pipeline) AnomalyCount() uint64 { return p.anomalies.Load() }
@@ -291,9 +336,15 @@ func (p *Pipeline) installModel(source string, m *modelmgr.Model) {
 	}
 }
 
-// Agent creates a shipping agent for a source.
+// Agent creates a shipping agent for a source. The pipeline's tracer, if
+// any, rides along so agent stamps open each traced line's journey.
 func (p *Pipeline) Agent(source string, ratePerSec int) (*agent.Agent, error) {
-	return agent.New(p.bus, agent.Config{Source: source, RatePerSec: ratePerSec, TopicPartitions: p.engine.Partitions()})
+	return agent.New(p.bus, agent.Config{
+		Source:          source,
+		RatePerSec:      ratePerSec,
+		TopicPartitions: p.engine.Partitions(),
+		Tracer:          p.cfg.Tracer,
+	})
 }
 
 // Listen accepts remote agents over TCP (the §II deployment: agent
@@ -602,6 +653,7 @@ func (p *Pipeline) logmgrLag() int64 {
 // forward is the log manager's downstream hook.
 func (p *Pipeline) forward(l logtypes.Log) {
 	p.forwarded.Add(1)
+	p.linesTotal.Inc()
 	p.engine.Send(stream.Record{Key: l.Source, Value: l, Time: l.Arrival})
 }
 
@@ -671,6 +723,9 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 			parser:   m.NewParser(pp.Clone()),
 			detector: m.NewDetector(p.cfg.Seq),
 		}
+		st.parser.Instrument(p.reg)
+		st.detector.Instrument(p.reg)
+		st.detector.SetTracer(p.cfg.Tracer)
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
@@ -703,9 +758,17 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 	if !ok {
 		return nil
 	}
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StagePartition, "p="+strconv.Itoa(ctx.Partition()))
+	}
 	pl, err := st.parser.Parse(l)
 	if err != nil {
 		p.unparsed.Add(1)
+		p.unparsedTotal.Inc()
+		p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
+		if p.cfg.Tracer != nil {
+			p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "unparsed")
+		}
 		return []any{anomaly.Record{
 			Type:      anomaly.UnparsedLog,
 			Severity:  anomaly.Warning,
@@ -715,6 +778,10 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 			Logs:      []logtypes.Log{l},
 		}}
 	}
+	p.parsedTotal.Inc()
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "pattern="+strconv.Itoa(pl.PatternID))
+	}
 	if p.hb != nil && pl.HasTimestamp {
 		p.hb.Observe(l.Source, pl.Timestamp)
 	}
@@ -722,6 +789,7 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 	if st.volume != nil {
 		recs = append(recs, st.volume.Process(pl)...)
 	}
+	p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
 	return wrapRecords(recs)
 }
 
@@ -763,6 +831,13 @@ func (p *Pipeline) sink(o any) {
 		return
 	}
 	p.anomalies.Add(1)
+	// Anomalies are rare relative to lines, so the labeled counter is
+	// resolved per record rather than cached per type.
+	p.reg.Counter("core_anomalies_total", "type", rec.Type.String()).Inc()
+	if p.cfg.Tracer != nil && len(rec.Logs) > 0 {
+		l := rec.Logs[0]
+		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageEmit, "type="+rec.Type.String())
+	}
 	if !p.cfg.DisableAnomalyStorage {
 		p.store.Index(AnomaliesIndex).PutAuto(store.Document{
 			"type":      rec.Type.String(),

@@ -2,10 +2,12 @@ package core
 
 import (
 	"encoding/json"
+	"strconv"
 	"time"
 
 	"loglens/internal/anomaly"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 	"loglens/internal/preprocess"
 	"loglens/internal/stream"
 	"loglens/internal/volume"
@@ -39,15 +41,24 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 			pp = preprocess.New(nil, nil)
 		}
 		st = &coreOpState{model: m, parser: m.NewParser(pp.Clone())}
+		st.parser.Instrument(p.reg)
 		ctx.States().Put(key, st)
 	} else if st.model != m {
 		st.parser.SetPatterns(m.Patterns)
 		st.model = m
 	}
 
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StagePartition, "p="+strconv.Itoa(ctx.Partition()))
+	}
 	pl, err := st.parser.Parse(l)
 	if err != nil {
 		p.unparsed.Add(1)
+		p.unparsedTotal.Inc()
+		p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
+		if p.cfg.Tracer != nil {
+			p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "unparsed")
+		}
 		return []any{anomaly.Record{
 			Type:      anomaly.UnparsedLog,
 			Severity:  anomaly.Warning,
@@ -56,6 +67,10 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 			Source:    l.Source,
 			Logs:      []logtypes.Log{l},
 		}}
+	}
+	p.parsedTotal.Inc()
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "pattern="+strconv.Itoa(pl.PatternID))
 	}
 	if p.hb != nil && pl.HasTimestamp {
 		p.hb.Observe(l.Source, pl.Timestamp)
@@ -96,6 +111,8 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 	st, _ := sv.(*coreOpState)
 	if st == nil {
 		st = &coreOpState{model: m, detector: m.NewDetector(p.cfg.Seq)}
+		st.detector.Instrument(p.reg)
+		st.detector.SetTracer(p.cfg.Tracer)
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
@@ -128,6 +145,9 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 	if st.volume != nil {
 		recs = append(recs, st.volume.Process(pl)...)
 	}
+	// End-to-end latency for staged lines is closed here, after the
+	// second stage (the parse stage only observes unparsed lines).
+	p.lineSeconds.Observe(p.cfg.Clock.Since(pl.Arrival).Seconds())
 	return wrapRecords(recs)
 }
 

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
+	"loglens/internal/testutil"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with observed output")
+
+// TestTraceGolden follows ONE line — web#3, the "req-901 served" line of
+// the quickstart corpus, a request served without ever being received —
+// through every pipeline stage and compares its stage stamps against a
+// checked-in golden file. The stamps of a single line are causally
+// ordered (agent → bus → partition → parser → seqdetect → anomaly), so
+// the sequence is deterministic regardless of how the engine splits
+// batches. Regenerate with: go test ./internal/core -run TraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	// Quickstart training corpus: 200 request pairs.
+	var training []logtypes.Log
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("req-%03d", i)
+		t0 := base.Add(time.Duration(i*5) * time.Second)
+		training = append(training,
+			logtypes.Log{Source: "web", Seq: uint64(2*i + 1), Raw: fmt.Sprintf(
+				"%s 10.0.0.%d request %s received path /api/items/%d",
+				t0.Format("2006/01/02 15:04:05.000"), i%5+1, id, i%40)},
+			logtypes.Log{Source: "web", Seq: uint64(2*i + 2), Raw: fmt.Sprintf(
+				"%s 10.0.0.%d request %s served bytes %d",
+				t0.Add(time.Duration(1+i%2)*time.Second).Format("2006/01/02 15:04:05.000"), i%5+1, id, 512+i)},
+		)
+	}
+
+	// Trace exactly the one line whose journey we compare. Tracing more
+	// than one line would interleave stamps across partitions
+	// nondeterministically.
+	tr := metrics.NewRecordingTracer(func(source string, seq uint64) bool {
+		return source == "web" && seq == 3
+	})
+	fc := clock.NewFake()
+	p, err := New(Config{Clock: fc, DisableHeartbeat: true, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Train("quickstart", training); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := p.Agent("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := base.Add(time.Hour)
+	stamp := func(d time.Duration) string { return prod.Add(d).Format("2006/01/02 15:04:05.000") }
+	lines := []string{
+		stamp(0) + " 10.0.0.1 request req-900 received path /api/items/7",
+		stamp(time.Second) + " 10.0.0.1 request req-900 served bytes 600",
+		stamp(2*time.Second) + " 10.0.0.2 request req-901 served bytes 999", // web#3: missing begin
+		"segfault at 0x0 in worker thread",
+	}
+	for _, line := range lines {
+		if err := ag.Send(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return p.forwarded.Load() == uint64(len(lines))
+	}, "log manager did not forward every line")
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := strings.Join(tr.Lines(), "\n") + "\n"
+	golden := filepath.Join("testdata", "trace_web3.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

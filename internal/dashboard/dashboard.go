@@ -37,6 +37,7 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/api/patterns", s.handlePatterns)
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 	return s
 }
 
@@ -239,6 +240,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"eventsClosed":   det.EventsClosed,
 		"eventsExpired":  det.EventsExpired,
 	})
+}
+
+// handleMetrics exposes the pipeline's metrics registry: a JSON snapshot
+// by default, or the expvar-style text listing with ?format=text.
+//
+//	GET /api/metrics
+//	GET /api/metrics?format=text
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.pipeline.Metrics().Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+		return
+	}
+	writeJSON(w, snap)
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>

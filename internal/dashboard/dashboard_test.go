@@ -210,6 +210,42 @@ func TestPatternsEndpoint(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New(buildPipeline(t))
+	code, body := get(t, srv, "/api/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	counters := body["counters"].(map[string]any)
+	// buildPipeline streams 3 lines: 2 parsed, 1 unparsed.
+	if counters["core_lines_total"].(float64) != 3 {
+		t.Errorf("core_lines_total = %v, want 3", counters["core_lines_total"])
+	}
+	if counters["core_parsed_total"].(float64) != 2 {
+		t.Errorf("core_parsed_total = %v, want 2", counters["core_parsed_total"])
+	}
+	if counters["core_unparsed_total"].(float64) != 1 {
+		t.Errorf("core_unparsed_total = %v, want 1", counters["core_unparsed_total"])
+	}
+	if _, ok := body["histograms"].(map[string]any)["core_line_seconds"]; !ok {
+		t.Error("core_line_seconds histogram missing from snapshot")
+	}
+
+	// Text format: one "name value" line per metric.
+	req := httptest.NewRequest("GET", "/api/metrics?format=text", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("text status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "core_lines_total 3") {
+		t.Errorf("text listing missing core_lines_total:\n%s", rec.Body.String())
+	}
+}
+
 func TestSourcesEndpoint(t *testing.T) {
 	srv := New(buildPipeline(t))
 	code, body := get(t, srv, "/api/sources")

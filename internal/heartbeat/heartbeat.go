@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"loglens/internal/clock"
+	"loglens/internal/metrics"
 )
 
 // Heartbeat is one synthesized time signal for a source.
@@ -66,6 +67,10 @@ type Controller struct {
 	mu      sync.Mutex
 	sources map[string]*sourceState
 	clk     clock.Clock // injectable clock for tests, chaos, log replay
+
+	observations *metrics.Counter
+	emitted      *metrics.Counter
+	tracked      *metrics.Gauge
 }
 
 // New constructs a Controller.
@@ -92,15 +97,34 @@ func (c *Controller) clock() clock.Clock {
 	return c.clk
 }
 
+// Instrument mirrors controller activity into reg: observations fed in,
+// heartbeats synthesized, and the tracked-source gauge. Call before Run.
+func (c *Controller) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observations = reg.Counter("heartbeat_observations_total")
+	c.emitted = reg.Counter("heartbeat_emitted_total")
+	c.tracked = reg.Gauge("heartbeat_sources")
+}
+
 // Observe records one log's embedded timestamp for a source. Call it as
 // logs flow through the log manager; it keeps the rate estimate fresh.
 func (c *Controller) Observe(source string, logTime time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	wall := c.clk.Now()
+	if c.observations != nil {
+		c.observations.Inc()
+	}
 	st, ok := c.sources[source]
 	if !ok {
 		c.sources[source] = &sourceState{lastLogTime: logTime, lastWallTime: wall}
+		if c.tracked != nil {
+			c.tracked.Set(int64(len(c.sources)))
+		}
 		return
 	}
 	wallDelta := wall.Sub(st.lastWallTime).Seconds()
@@ -155,6 +179,12 @@ func (c *Controller) Tick() []Heartbeat {
 		}
 		synth := st.lastLogTime.Add(time.Duration(idle.Seconds() * rate * float64(time.Second)))
 		out = append(out, Heartbeat{Source: source, Time: synth})
+	}
+	if c.emitted != nil {
+		c.emitted.Add(uint64(len(out)))
+	}
+	if c.tracked != nil {
+		c.tracked.Set(int64(len(c.sources)))
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"loglens/internal/agent"
 	"loglens/internal/bus"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 	"loglens/internal/modelmgr"
 	"loglens/internal/store"
 )
@@ -30,6 +31,14 @@ type Config struct {
 	// behaviour; the evaluation harness disables it for pure-throughput
 	// runs).
 	ArchiveLogs bool
+
+	// Metrics, when set, mirrors the received/heartbeat/dropped counters
+	// into the registry (logmanager_* names).
+	Metrics *metrics.Registry
+
+	// Tracer, when set, stamps StageBus for every log consumed off the
+	// bus.
+	Tracer metrics.Tracer
 }
 
 // Manager pumps logs from the bus into the processing pipeline.
@@ -42,6 +51,10 @@ type Manager struct {
 
 	received atomic.Uint64
 	dropped  atomic.Uint64
+
+	recvCounter *metrics.Counter
+	hbCounter   *metrics.Counter
+	dropCounter *metrics.Counter
 }
 
 // New constructs a Manager. forward is the downstream hook (the parser
@@ -50,7 +63,13 @@ func New(b *bus.Bus, st *store.Store, cfg Config, forward func(logtypes.Log)) *M
 	if cfg.Group == "" {
 		cfg.Group = "log-manager"
 	}
-	return &Manager{cfg: cfg, bus: b, store: st, forward: forward}
+	m := &Manager{cfg: cfg, bus: b, store: st, forward: forward}
+	if cfg.Metrics != nil {
+		m.recvCounter = cfg.Metrics.Counter("logmanager_received_total")
+		m.hbCounter = cfg.Metrics.Counter("logmanager_heartbeats_total")
+		m.dropCounter = cfg.Metrics.Counter("logmanager_dropped_total")
+	}
+	return m
 }
 
 // OnHeartbeat installs the hook invoked for heartbeat-tagged messages
@@ -126,8 +145,11 @@ func (m *Manager) handle(msg bus.Message) {
 	if hb := msg.Headers[agent.HeaderHeartbeat]; hb != "" {
 		t, err := time.Parse(time.RFC3339Nano, hb)
 		if err != nil || source == "" {
-			m.dropped.Add(1)
+			m.drop()
 			return
+		}
+		if m.hbCounter != nil {
+			m.hbCounter.Inc()
 		}
 		if m.forwardHB != nil {
 			m.forwardHB(source, t)
@@ -135,7 +157,7 @@ func (m *Manager) handle(msg bus.Message) {
 		return
 	}
 	if source == "" {
-		m.dropped.Add(1)
+		m.drop()
 		return
 	}
 	var seq uint64
@@ -149,6 +171,13 @@ func (m *Manager) handle(msg bus.Message) {
 		Raw:     string(msg.Value),
 	}
 	m.received.Add(1)
+	if m.recvCounter != nil {
+		m.recvCounter.Inc()
+	}
+	if m.cfg.Tracer != nil {
+		m.cfg.Tracer.Stamp(source, seq, metrics.StageBus,
+			msg.Topic+"/"+strconv.Itoa(msg.Partition)+"@"+strconv.FormatInt(msg.Offset, 10))
+	}
 
 	if m.cfg.ArchiveLogs && m.store != nil {
 		m.store.Index(modelmgr.LogsIndexFor(source)).PutAuto(store.Document{
@@ -160,5 +189,13 @@ func (m *Manager) handle(msg bus.Message) {
 	}
 	if m.forward != nil {
 		m.forward(l)
+	}
+}
+
+// drop accounts one unroutable message.
+func (m *Manager) drop() {
+	m.dropped.Add(1)
+	if m.dropCounter != nil {
+		m.dropCounter.Inc()
 	}
 }

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stage names stamped along a log line's journey through the pipeline, in
+// causal order: the agent ships the line, the log manager consumes it off
+// the bus, the streaming engine routes it to a partition, the parser
+// renders a verdict, the sequence detector transitions, and any resulting
+// anomaly is emitted at the sink.
+const (
+	StageAgent     = "agent"
+	StageBus       = "bus"
+	StagePartition = "partition"
+	StageParser    = "parser"
+	StageDetect    = "seqdetect"
+	StageEmit      = "anomaly"
+)
+
+// Tracer receives stage stamps for log lines identified by (source, seq) —
+// the identity agents attach at ship time and every stage can recover.
+// Implementations must be safe for concurrent use: stamps for different
+// lines arrive from different partitions. Stamps for ONE line are causally
+// ordered (each stage happens-before the next), so a tracer filtered to a
+// single line records its journey in order.
+//
+// Components hold a Tracer field that is nil when tracing is disabled; the
+// nil check is the only cost on the hot path (no allocations, no calls).
+type Tracer interface {
+	Stamp(source string, seq uint64, stage, detail string)
+}
+
+// TraceStamp is one recorded stage stamp.
+type TraceStamp struct {
+	Source string
+	Seq    uint64
+	Stage  string
+	Detail string
+}
+
+// String renders the stamp in the stable one-line form used by golden
+// files: "source#seq stage detail" (trailing space trimmed when detail is
+// empty).
+func (s TraceStamp) String() string {
+	if s.Detail == "" {
+		return fmt.Sprintf("%s#%d %s", s.Source, s.Seq, s.Stage)
+	}
+	return fmt.Sprintf("%s#%d %s %s", s.Source, s.Seq, s.Stage, s.Detail)
+}
+
+// RecordingTracer accumulates stamps, optionally filtered to the lines a
+// match function selects. It is safe for concurrent use.
+type RecordingTracer struct {
+	mu     sync.Mutex
+	match  func(source string, seq uint64) bool
+	stamps []TraceStamp
+}
+
+// NewRecordingTracer returns a tracer recording every stamp for which
+// match returns true (nil records everything).
+func NewRecordingTracer(match func(source string, seq uint64) bool) *RecordingTracer {
+	return &RecordingTracer{match: match}
+}
+
+// Stamp implements Tracer.
+func (t *RecordingTracer) Stamp(source string, seq uint64, stage, detail string) {
+	if t.match != nil && !t.match(source, seq) {
+		return
+	}
+	t.mu.Lock()
+	t.stamps = append(t.stamps, TraceStamp{Source: source, Seq: seq, Stage: stage, Detail: detail})
+	t.mu.Unlock()
+}
+
+// Stamps returns a copy of the recorded stamps in arrival order.
+func (t *RecordingTracer) Stamps() []TraceStamp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceStamp(nil), t.stamps...)
+}
+
+// Lines renders the recorded stamps one per line — the golden-file form.
+func (t *RecordingTracer) Lines() []string {
+	stamps := t.Stamps()
+	out := make([]string, len(stamps))
+	for i, s := range stamps {
+		out[i] = s.String()
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"loglens/internal/bus"
+	"loglens/internal/metrics"
 )
 
 // ControlTopic is the bus topic carrying model-control instructions.
@@ -40,6 +41,7 @@ type Instruction struct {
 // instructions and act on them.
 type Controller struct {
 	bus *bus.Bus
+	reg *metrics.Registry
 }
 
 // NewController constructs a Controller, declaring the control topic.
@@ -49,6 +51,11 @@ func NewController(b *bus.Bus) (*Controller, error) {
 	}
 	return &Controller{bus: b}, nil
 }
+
+// SetMetrics installs a registry counting announced instructions by op
+// (modelmgr_announced_total). Announcements are rare control-plane events,
+// so the per-op counter is resolved on each call.
+func (c *Controller) SetMetrics(reg *metrics.Registry) { c.reg = reg }
 
 // Announce publishes one control instruction.
 func (c *Controller) Announce(ins Instruction) error {
@@ -60,6 +67,9 @@ func (c *Controller) Announce(ins Instruction) error {
 		return err
 	}
 	_, _, err = c.bus.Publish(ControlTopic, ins.ModelID, data, map[string]string{"kind": "control"})
+	if err == nil && c.reg != nil {
+		c.reg.Counter("modelmgr_announced_total", "op", string(ins.Op)).Inc()
+	}
 	return err
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"loglens/internal/clock"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 	"loglens/internal/store"
 )
 
@@ -23,6 +24,11 @@ type Manager struct {
 	store   *store.Store
 	builder *Builder
 	clk     clock.Clock
+
+	rebuilds       *metrics.Counter
+	rebuildSeconds *metrics.Histogram
+	saves          *metrics.Counter
+	loads          *metrics.Counter
 }
 
 // NewManager constructs a Manager over the given storage.
@@ -33,6 +39,19 @@ func NewManager(st *store.Store, builder *Builder) *Manager {
 // SetClock injects the relearn-loop time source (default the wall clock).
 // Set it before RelearnLoop starts.
 func (mgr *Manager) SetClock(clk clock.Clock) { mgr.clk = clk }
+
+// Instrument mirrors manager activity into reg: rebuild counts and
+// durations (measured on the manager's clock), plus save/load counts. Call
+// during wiring, before relearning starts.
+func (mgr *Manager) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	mgr.rebuilds = reg.Counter("modelmgr_rebuilds_total")
+	mgr.rebuildSeconds = reg.Histogram("modelmgr_rebuild_seconds", nil)
+	mgr.saves = reg.Counter("modelmgr_saves_total")
+	mgr.loads = reg.Counter("modelmgr_loads_total")
+}
 
 // Save stores a model in the model storage under its ID.
 func (mgr *Manager) Save(m *Model) error {
@@ -47,6 +66,9 @@ func (mgr *Manager) Save(m *Model) error {
 		"automata":  len(m.Sequence.Automata),
 		"body":      string(data),
 	})
+	if mgr.saves != nil {
+		mgr.saves.Inc()
+	}
 	return nil
 }
 
@@ -60,6 +82,9 @@ func (mgr *Manager) Load(id string) (*Model, error) {
 	var m Model
 	if err := json.Unmarshal([]byte(body), &m); err != nil {
 		return nil, fmt.Errorf("modelmgr: load %q: %w", id, err)
+	}
+	if mgr.loads != nil {
+		mgr.loads.Inc()
 	}
 	return &m, nil
 }
@@ -114,12 +139,17 @@ func (mgr *Manager) Rebuild(id, source string, since time.Time) (*Model, *BuildR
 	if len(logs) == 0 {
 		return nil, nil, fmt.Errorf("modelmgr: rebuild %q: no stored logs for source %q since %v", id, source, since)
 	}
+	start := mgr.clk.Now()
 	m, report, err := mgr.builder.Build(id, logs)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := mgr.Save(m); err != nil {
 		return nil, nil, err
+	}
+	if mgr.rebuilds != nil {
+		mgr.rebuilds.Inc()
+		mgr.rebuildSeconds.Observe(mgr.clk.Since(start).Seconds())
 	}
 	return m, report, nil
 }

@@ -1,0 +1,120 @@
+package parser
+
+import (
+	"errors"
+	"testing"
+
+	"loglens/internal/datatype"
+	"loglens/internal/metrics"
+)
+
+// TestParseEmptyLine: a line that tokenizes to nothing must come back as a
+// clean ErrNoMatch anomaly (never a panic or a spurious parse), and the
+// empty signature must cache a group like any other.
+func TestParseEmptyLine(t *testing.T) {
+	set := mustSet(t, "%{DATETIME} %{IP} login %{NOTSPACE}")
+	p := New(set, nil)
+	for _, line := range []string{"", "   ", "\t \t"} {
+		if _, err := p.Parse(raw(line)); !errors.Is(err, ErrNoMatch) {
+			t.Fatalf("Parse(%q) err = %v, want ErrNoMatch", line, err)
+		}
+	}
+	s := p.Stats()
+	if s.Unmatched != 3 || s.Parsed != 0 {
+		t.Fatalf("stats = %+v, want 3 unmatched, 0 parsed", s)
+	}
+	// Whitespace-only lines share the empty signature: one group build,
+	// then hits.
+	if s.GroupBuilds != 1 || s.GroupHits != 2 {
+		t.Fatalf("stats = %+v, want 1 build + 2 hits for the empty signature", s)
+	}
+}
+
+// TestEqualSpecificityTieBreak: when two patterns have equal generality and
+// equal token count, the stable group sort keeps registration order, so the
+// earlier pattern wins deterministically.
+func TestEqualSpecificityTieBreak(t *testing.T) {
+	set := mustSet(t,
+		"alpha %{NOTSPACE}", // pattern 1
+		"%{NOTSPACE} beta",  // pattern 2: same generality, same length
+	)
+	p := New(set, nil)
+	// "alpha beta" parses under both patterns; the tie must break to the
+	// first-registered one, every time.
+	for i := 0; i < 3; i++ {
+		pl, err := p.Parse(raw("alpha beta"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.PatternID != 1 {
+			t.Fatalf("PatternID = %d, want 1 (registration order tie-break)", pl.PatternID)
+		}
+	}
+	// Lines only one of them parses still reach the right pattern.
+	pl, err := p.Parse(raw("gamma beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.PatternID != 2 {
+		t.Fatalf("PatternID = %d, want 2", pl.PatternID)
+	}
+}
+
+// TestWildcardsExceedTokens: a pattern with more ANYDATA wildcards than the
+// log has tokens must still match when the wildcards can absorb zero
+// tokens, both in the Algorithm-1 signature match and the full parse.
+func TestWildcardsExceedTokens(t *testing.T) {
+	// Signature level: three wildcards against a single-token log.
+	logSig := []datatype.Type{datatype.Word}
+	patSig := []datatype.Type{datatype.AnyData, datatype.Word, datatype.AnyData}
+	if !IsMatched(logSig, patSig) {
+		t.Fatal("IsMatched = false: wildcards must be able to absorb zero tokens")
+	}
+	allWild := []datatype.Type{datatype.AnyData, datatype.AnyData}
+	if !IsMatched(nil, allWild) {
+		t.Fatal("IsMatched(empty log, all wildcards) = false, want true")
+	}
+	if IsMatched(logSig, []datatype.Type{datatype.AnyData, datatype.IP, datatype.AnyData}) {
+		t.Fatal("IsMatched = true for a non-covering mandatory token")
+	}
+
+	// Full parse: two wildcards plus a literal against a one-token line.
+	set := mustSet(t, "%{ANYDATA} x %{ANYDATA}")
+	p := New(set, nil)
+	pl, err := p.Parse(raw("x"))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", "x", err)
+	}
+	if pl.PatternID != 1 {
+		t.Fatalf("PatternID = %d, want 1", pl.PatternID)
+	}
+}
+
+// TestInstrumentMirrorsStats: registry counters must track the built-in
+// Stats exactly, including across clones (which share handles).
+func TestInstrumentMirrorsStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	set := mustSet(t, "%{DATETIME} %{IP} login %{NOTSPACE}")
+	p := New(set, nil)
+	p.Instrument(reg)
+	c := p.Clone()
+
+	if _, err := p.Parse(raw("2016/02/23 09:00:31 127.0.0.1 login user1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Parse(raw("garbage that matches nothing here")); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("err = %v, want ErrNoMatch", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("parser_parsed_total"); got != 1 {
+		t.Fatalf("parser_parsed_total = %d, want 1", got)
+	}
+	if got := snap.Counter("parser_unparsed_total"); got != 1 {
+		t.Fatalf("parser_unparsed_total = %d, want 1", got)
+	}
+	// Each parser built its own group (indexes are per-clone).
+	if got := snap.Counter("parser_group_builds_total"); got != 2 {
+		t.Fatalf("parser_group_builds_total = %d, want 2", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"loglens/internal/datatype"
 	"loglens/internal/grok"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 	"loglens/internal/preprocess"
 )
 
@@ -62,6 +63,19 @@ type Parser struct {
 	sortOff   bool
 	stats     Stats
 	perPat    map[int]uint64
+	instr     *parserInstr
+}
+
+// parserInstr mirrors the per-Parse counters into a shared registry.
+// Clones share the same handles: clones are the per-partition copies of
+// one logical parser, so their registry counters aggregate.
+type parserInstr struct {
+	parsed    *metrics.Counter
+	unmatched *metrics.Counter
+	hits      *metrics.Counter
+	builds    *metrics.Counter
+	evictions *metrics.Counter
+	scans     *metrics.Counter
 }
 
 // Option configures a Parser.
@@ -99,12 +113,32 @@ func New(set *grok.Set, pp *preprocess.Preprocessor, opts ...Option) *Parser {
 }
 
 // Clone returns an independent Parser sharing the (read-only) pattern set
-// but with its own group index and preprocessor caches.
+// but with its own group index and preprocessor caches. Registry
+// instruments are shared, aggregating across clones.
 func (p *Parser) Clone() *Parser {
 	c := New(p.set, p.pp.Clone())
 	c.maxGroups = p.maxGroups
 	c.sortOff = p.sortOff
+	c.instr = p.instr
 	return c
+}
+
+// Instrument mirrors the parser's work counters into reg under the
+// parser_* names (signature-index hits/misses, candidate scans, parse
+// verdicts). Counter increments are atomic, so clones sharing the handles
+// may run in different partitions.
+func (p *Parser) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.instr = &parserInstr{
+		parsed:    reg.Counter("parser_parsed_total"),
+		unmatched: reg.Counter("parser_unparsed_total"),
+		hits:      reg.Counter("parser_group_hits_total"),
+		builds:    reg.Counter("parser_group_builds_total"),
+		evictions: reg.Counter("parser_group_evictions_total"),
+		scans:     reg.Counter("parser_candidate_scans_total"),
+	}
 }
 
 // SetPatterns swaps in a new pattern set (a model update) and drops the
@@ -144,19 +178,31 @@ func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
 	group, ok := p.groups[sig]
 	if ok {
 		p.stats.GroupHits++
+		if p.instr != nil {
+			p.instr.hits.Inc()
+		}
 	} else {
 		group = p.buildGroup(res.Types)
 		p.cacheGroup(sig, group)
 		p.stats.GroupBuilds++
+		if p.instr != nil {
+			p.instr.builds.Inc()
+		}
 	}
 
 	for _, pat := range group {
 		p.stats.CandidateScans++
+		if p.instr != nil {
+			p.instr.scans.Inc()
+		}
 		fields, ok := pat.Match(res.Tokens)
 		if !ok {
 			continue
 		}
 		p.stats.Parsed++
+		if p.instr != nil {
+			p.instr.parsed.Inc()
+		}
 		p.perPat[pat.ID]++
 		return &logtypes.ParsedLog{
 			Log:          l,
@@ -167,6 +213,9 @@ func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
 		}, nil
 	}
 	p.stats.Unmatched++
+	if p.instr != nil {
+		p.instr.unmatched.Inc()
+	}
 	return nil, ErrNoMatch
 }
 
@@ -204,6 +253,9 @@ func (p *Parser) cacheGroup(sig string, group []*grok.Pattern) {
 		for _, old := range p.order[:evict] {
 			delete(p.groups, old)
 			p.stats.GroupEvictions++
+			if p.instr != nil {
+				p.instr.evictions.Inc()
+			}
 		}
 		p.order = append(p.order[:0], p.order[evict:]...)
 	}

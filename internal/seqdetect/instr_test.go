@@ -1,0 +1,79 @@
+package seqdetect
+
+import (
+	"strings"
+	"testing"
+
+	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
+)
+
+// TestInstrumentMirrorsStats: the registry counters track the detector's
+// internal stats, the open-states gauge follows event lifecycle by delta,
+// and skipped logs (no automaton for the pattern) are counted.
+func TestInstrumentMirrorsStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d := New(learnedModel(), Config{})
+	d.Instrument(reg)
+	if d.Model() == nil {
+		t.Fatal("Model() returned nil")
+	}
+
+	// One clean trace: 1 -> 2 -> 3 closes the event.
+	if recs := feed(d, trace("e1", 0, 1, 2, 3)); len(recs) != 0 {
+		t.Fatalf("normal trace flagged: %+v", recs)
+	}
+	// One anomalous trace: begin missing.
+	if recs := feed(d, trace("e2", 10, 3)); len(recs) == 0 {
+		t.Fatal("missing-begin not flagged")
+	}
+	// A pattern no automaton knows: skipped.
+	d.Process(&logtypes.ParsedLog{
+		Log:       logtypes.Log{Source: "s", Seq: 999, Raw: "raw"},
+		PatternID: 42,
+		Fields:    []logtypes.Field{{Name: "id", Value: "e3"}},
+	})
+
+	snap := reg.Snapshot()
+	s := d.Stats()
+	if got := snap.Counter("seqdetect_transitions_total"); got != s.LogsProcessed {
+		t.Errorf("transitions = %d, stats say %d", got, s.LogsProcessed)
+	}
+	if got := snap.Counter("seqdetect_skipped_total"); got != s.LogsSkipped {
+		t.Errorf("skipped = %d, stats say %d", got, s.LogsSkipped)
+	}
+	if got := snap.Counter("seqdetect_events_closed_total"); got != s.EventsClosed {
+		t.Errorf("closed = %d, stats say %d", got, s.EventsClosed)
+	}
+	if got := snap.Counter("seqdetect_anomalies_total"); got != s.Anomalies {
+		t.Errorf("anomalies = %d, stats say %d", got, s.Anomalies)
+	}
+	if got := snap.Counter("seqdetect_skipped_total"); got == 0 {
+		t.Error("skipped = 0, want > 0")
+	}
+	if got := snap.Gauge("seqdetect_open_states"); got != int64(d.OpenStates()) {
+		t.Errorf("open gauge = %d, detector says %d", got, d.OpenStates())
+	}
+}
+
+// TestTracerStamps: a tracer installed on the detector stamps every
+// processed log's verdict (open or close) and the skip reasons.
+func TestTracerStamps(t *testing.T) {
+	tr := metrics.NewRecordingTracer(nil)
+	d := New(learnedModel(), Config{})
+	d.SetTracer(tr)
+	feed(d, trace("e1", 0, 1, 2, 3))
+
+	lines := tr.Lines()
+	if len(lines) != 3 {
+		t.Fatalf("stamps = %v, want 3", lines)
+	}
+	for _, l := range lines[:2] {
+		if !strings.Contains(l, "seqdetect event=e1 open") {
+			t.Errorf("stamp %q, want open verdict", l)
+		}
+	}
+	if !strings.Contains(lines[2], "event=e1 close anomalies=0") {
+		t.Errorf("final stamp %q, want clean close", lines[2])
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"loglens/internal/anomaly"
 	"loglens/internal/automata"
 	"loglens/internal/logtypes"
+	"loglens/internal/metrics"
 )
 
 // Config tunes the detector.
@@ -86,6 +87,21 @@ type Detector struct {
 	states  map[stateKey]*openEvent
 	byEvent map[string]map[int]*openEvent // eventID -> autoID -> state
 	stats   Stats
+	instr   *detectInstr
+	tracer  metrics.Tracer
+}
+
+// detectInstr mirrors detector activity into a shared registry. Several
+// detectors (one per stream partition) share the same handles: counters
+// aggregate via atomic adds, and the open-states gauge is maintained by
+// delta so the total spans all partitions.
+type detectInstr struct {
+	transitions *metrics.Counter
+	skipped     *metrics.Counter
+	closed      *metrics.Counter
+	expired     *metrics.Counter
+	anomalies   *metrics.Counter
+	open        *metrics.Gauge
 }
 
 // New constructs a Detector over the model.
@@ -101,6 +117,27 @@ func New(model *automata.Model, cfg Config) *Detector {
 
 // Model returns the active model.
 func (d *Detector) Model() *automata.Model { return d.model }
+
+// Instrument mirrors the detector's counters into reg under the
+// seqdetect_* names. Call before feeding logs; the open-states gauge
+// tracks deltas from the moment of instrumentation.
+func (d *Detector) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	d.instr = &detectInstr{
+		transitions: reg.Counter("seqdetect_transitions_total"),
+		skipped:     reg.Counter("seqdetect_skipped_total"),
+		closed:      reg.Counter("seqdetect_events_closed_total"),
+		expired:     reg.Counter("seqdetect_events_expired_total"),
+		anomalies:   reg.Counter("seqdetect_anomalies_total"),
+		open:        reg.Gauge("seqdetect_open_states"),
+	}
+}
+
+// SetTracer installs a tracer stamping StageDetect for every processed
+// log; nil disables tracing.
+func (d *Detector) SetTracer(tr metrics.Tracer) { d.tracer = tr }
 
 // SetModel swaps in an updated model without losing unrelated state (§V-A:
 // model updates must preserve states). Open states whose automaton no
@@ -130,15 +167,18 @@ func (d *Detector) Stats() Stats { return d.stats }
 func (d *Detector) Process(l *logtypes.ParsedLog) []anomaly.Record {
 	eventID, ok := d.model.EventID(l)
 	if !ok || eventID == "" {
-		d.stats.LogsSkipped++
+		d.skip(l, "no-event-id")
 		return nil
 	}
 	autos := d.model.AutomataFor(l.PatternID)
 	if len(autos) == 0 {
-		d.stats.LogsSkipped++
+		d.skip(l, "no-automaton")
 		return nil
 	}
 	d.stats.LogsProcessed++
+	if d.instr != nil {
+		d.instr.transitions.Inc()
+	}
 
 	now := l.EventTime()
 	closing := false
@@ -159,6 +199,9 @@ func (d *Detector) Process(l *logtypes.ParsedLog) []anomaly.Record {
 				st.missingBegin = true
 			}
 			d.states[key] = st
+			if d.instr != nil {
+				d.instr.open.Add(1)
+			}
 			ev := d.byEvent[eventID]
 			if ev == nil {
 				ev = make(map[int]*openEvent)
@@ -174,9 +217,28 @@ func (d *Detector) Process(l *logtypes.ParsedLog) []anomaly.Record {
 		}
 	}
 	if !closing {
+		if d.tracer != nil {
+			d.tracer.Stamp(l.Source, l.Seq, metrics.StageDetect, "event="+eventID+" open")
+		}
 		return nil
 	}
-	return d.closeEvent(eventID, now)
+	recs := d.closeEvent(eventID, now)
+	if d.tracer != nil {
+		d.tracer.Stamp(l.Source, l.Seq, metrics.StageDetect,
+			fmt.Sprintf("event=%s close anomalies=%d", eventID, len(recs)))
+	}
+	return recs
+}
+
+// skip accounts a log the detector cannot track.
+func (d *Detector) skip(l *logtypes.ParsedLog, why string) {
+	d.stats.LogsSkipped++
+	if d.instr != nil {
+		d.instr.skipped.Inc()
+	}
+	if d.tracer != nil {
+		d.tracer.Stamp(l.Source, l.Seq, metrics.StageDetect, "skip "+why)
+	}
 }
 
 // closeEvent evaluates every open automaton state of the event once an end
@@ -211,6 +273,9 @@ func (d *Detector) closeEvent(eventID string, now time.Time) []anomaly.Record {
 		if len(v) == 0 {
 			// Clean close: drop everything for this event.
 			d.stats.EventsClosed++
+			if d.instr != nil {
+				d.instr.closed.Inc()
+			}
 			d.dropEvent(eventID)
 			return nil
 		}
@@ -220,9 +285,15 @@ func (d *Detector) closeEvent(eventID string, now time.Time) []anomaly.Record {
 	}
 	st := best
 	d.stats.EventsClosed++
+	if d.instr != nil {
+		d.instr.closed.Inc()
+	}
 	d.dropEvent(eventID)
 	rec := d.record(st, bestViolations, now)
 	d.stats.Anomalies++
+	if d.instr != nil {
+		d.instr.anomalies.Inc()
+	}
 	return []anomaly.Record{rec}
 }
 
@@ -271,6 +342,9 @@ func (d *Detector) HeartbeatFor(source string, now time.Time) []anomaly.Record {
 		}
 		violations := d.evaluate(best, now, true)
 		d.stats.EventsExpired++
+		if d.instr != nil {
+			d.instr.expired.Inc()
+		}
 		d.dropEvent(eventID)
 		// The anomaly is timestamped at the event's last observed log,
 		// not at the heartbeat: that is when the event went quiet, and
@@ -278,6 +352,9 @@ func (d *Detector) HeartbeatFor(source string, now time.Time) []anomaly.Record {
 		// (Figure 6).
 		rec := d.record(best, violations, best.last)
 		d.stats.Anomalies++
+		if d.instr != nil {
+			d.instr.anomalies.Inc()
+		}
 		out = append(out, rec)
 	}
 	return out
@@ -416,10 +493,14 @@ func severityOf(t anomaly.Type) anomaly.Severity {
 
 // dropEvent releases every open state of an event.
 func (d *Detector) dropEvent(eventID string) {
+	n := len(d.byEvent[eventID])
 	for autoID := range d.byEvent[eventID] {
 		delete(d.states, stateKey{autoID: autoID, eventID: eventID})
 	}
 	delete(d.byEvent, eventID)
+	if d.instr != nil && n > 0 {
+		d.instr.open.Add(int64(-n))
+	}
 }
 
 // drop releases one state.
@@ -429,5 +510,8 @@ func (d *Detector) drop(st *openEvent) {
 	delete(ev, st.auto.ID)
 	if len(ev) == 0 {
 		delete(d.byEvent, st.eventID)
+	}
+	if d.instr != nil {
+		d.instr.open.Add(-1)
 	}
 }

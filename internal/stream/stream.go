@@ -26,10 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"time"
 
 	"loglens/internal/clock"
+	"loglens/internal/metrics"
 )
 
 // Record is one input record.
@@ -68,6 +70,13 @@ type Config struct {
 	// clock makes the micro-batch cadence manually drivable: batches
 	// close when Advance crosses the BatchInterval deadline.
 	Clock clock.Clock
+	// Name labels this engine's metrics (the "engine" label value);
+	// default "stream". Pipelines running several engines (the staged
+	// topology) give each a distinct name.
+	Name string
+	// Metrics is the observability registry. Nil leaves the engine
+	// uninstrumented: only the built-in Metrics struct is maintained.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -93,6 +102,9 @@ func (c *Config) setDefaults() {
 	if c.Clock == nil {
 		c.Clock = clock.New()
 	}
+	if c.Name == "" {
+		c.Name = "stream"
+	}
 }
 
 // Metrics counts engine activity. Snapshot via Engine.Metrics.
@@ -114,6 +126,11 @@ type Metrics struct {
 	// panicked on them. The partition survives: one poisonous record
 	// must not take down the zero-downtime service.
 	OperatorPanics uint64
+	// RecordsDropped counts records the engine accepted but never ran
+	// through the operator because Run was cancelled mid-batch. Together
+	// with Records it makes the engine conservative: every record Send
+	// accepted is eventually counted processed or dropped.
+	RecordsDropped uint64
 }
 
 // ErrClosed is returned by Send after Close.
@@ -149,6 +166,50 @@ type Engine struct {
 
 	metMu   sync.Mutex
 	metrics Metrics
+
+	// instr mirrors the built-in counters into the shared registry; nil
+	// when Config.Metrics is unset, so uninstrumented engines pay only a
+	// nil check.
+	instr *engineInstr
+}
+
+// batchSizeBuckets are record-count bounds for the batch-size histogram
+// (powers of four up to the default MaxBatch).
+var batchSizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096}
+
+// engineInstr holds the engine's registry handles, resolved once at
+// construction so the per-batch cost is plain atomic updates.
+type engineInstr struct {
+	reg     *metrics.Registry
+	name    string
+	batches *metrics.Counter
+	records *metrics.Counter
+	dropped *metrics.Counter
+	updates *metrics.Counter
+	panics  *metrics.Counter
+	size    *metrics.Histogram
+	latency *metrics.Histogram
+	// entries[p] tracks partition p's state-map size, refreshed at each
+	// micro-batch barrier.
+	entries []*metrics.Gauge
+}
+
+func newEngineInstr(reg *metrics.Registry, name string, partitions int) *engineInstr {
+	in := &engineInstr{
+		reg:     reg,
+		name:    name,
+		batches: reg.Counter("stream_batches_total", "engine", name),
+		records: reg.Counter("stream_records_total", "engine", name),
+		dropped: reg.Counter("stream_records_dropped_total", "engine", name),
+		updates: reg.Counter("stream_updates_applied_total", "engine", name),
+		panics:  reg.Counter("stream_operator_panics_total", "engine", name),
+		size:    reg.Histogram("stream_batch_size", batchSizeBuckets, "engine", name),
+		latency: reg.Histogram("stream_batch_seconds", nil, "engine", name),
+	}
+	for i := 0; i < partitions; i++ {
+		in.entries = append(in.entries, reg.Gauge("stream_state_entries", "engine", name, "partition", strconv.Itoa(i)))
+	}
+	return in
 }
 
 // driver holds the authoritative broadcast blocks (§V-A: the variable "is
@@ -187,6 +248,9 @@ func New(cfg Config, proc ProcessFunc) *Engine {
 			cache:  make(map[string]block),
 		})
 	}
+	if cfg.Metrics != nil {
+		e.instr = newEngineInstr(cfg.Metrics, cfg.Name, cfg.Partitions)
+	}
 	return e
 }
 
@@ -205,6 +269,9 @@ func (e *Engine) Broadcast(id string, value any) {
 	b := e.driver.blocks[id]
 	e.driver.blocks[id] = block{value: value, version: b.version + 1}
 	e.driver.mu.Unlock()
+	if e.instr != nil {
+		e.instr.reg.Gauge("stream_broadcast_version", "engine", e.instr.name, "id", id).Set(int64(b.version + 1))
+	}
 	// Invalidate any existing worker caches (pre-Run this is a no-op).
 	for _, w := range e.workers {
 		delete(w.cache, id)
@@ -270,6 +337,13 @@ func (e *Engine) Run(ctx context.Context) error {
 	for {
 		batch, drained := e.collect(ctx)
 		if err := ctx.Err(); err != nil {
+			// The partially collected batch and anything still queued
+			// in the input buffer will never run through the operator.
+			// Count them dropped so conservation (accepted == processed
+			// + dropped) holds at shutdown. Records Sent concurrently
+			// with the cancellation may still race past this drain;
+			// orderly shutdown (Close before cancel) is exact.
+			e.dropAbandoned(batch)
 			return err
 		}
 
@@ -282,6 +356,29 @@ func (e *Engine) Run(ctx context.Context) error {
 		}
 		if drained {
 			return nil
+		}
+	}
+}
+
+// dropAbandoned accounts a batch that will never be processed plus
+// everything still buffered in the input channel as RecordsDropped.
+func (e *Engine) dropAbandoned(batch []Record) {
+	dropped := uint64(len(batch))
+	for {
+		select {
+		case <-e.input:
+			dropped++
+		default:
+			if dropped == 0 {
+				return
+			}
+			e.metMu.Lock()
+			e.metrics.RecordsDropped += dropped
+			e.metMu.Unlock()
+			if e.instr != nil {
+				e.instr.dropped.Add(dropped)
+			}
+			return
 		}
 	}
 }
@@ -323,6 +420,7 @@ func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 // through the operator in parallel, waits for the barrier, and feeds
 // outputs to the sink in partition order.
 func (e *Engine) processBatch(batch []Record) {
+	start := e.cfg.Clock.Now()
 	parts := make([][]Record, e.cfg.Partitions)
 	for _, rec := range batch {
 		if rec.Heartbeat {
@@ -358,6 +456,17 @@ func (e *Engine) processBatch(batch []Record) {
 	e.metrics.Batches++
 	e.metrics.Records += uint64(len(batch))
 	e.metMu.Unlock()
+	if e.instr != nil {
+		e.instr.batches.Inc()
+		e.instr.records.Add(uint64(len(batch)))
+		e.instr.size.Observe(float64(len(batch)))
+		e.instr.latency.Observe(e.cfg.Clock.Since(start).Seconds())
+		// Workers are quiescent at the barrier: state maps are safe to
+		// read from the engine loop.
+		for i, w := range e.workers {
+			e.instr.entries[i].Set(int64(w.states.Len()))
+		}
+	}
 
 	if e.sink == nil {
 		return
@@ -378,6 +487,9 @@ func (e *Engine) process(c *Context, rec Record) (out []any) {
 			e.metMu.Lock()
 			e.metrics.OperatorPanics++
 			e.metMu.Unlock()
+			if e.instr != nil {
+				e.instr.panics.Inc()
+			}
 			out = nil
 		}
 	}()
@@ -438,6 +550,9 @@ func (e *Engine) applyUpdates() {
 		b := e.driver.blocks[u.id]
 		e.driver.blocks[u.id] = block{value: u.value, version: b.version + 1}
 		e.driver.mu.Unlock()
+		if e.instr != nil {
+			e.instr.reg.Gauge("stream_broadcast_version", "engine", e.instr.name, "id", u.id).Set(int64(b.version + 1))
+		}
 		for _, w := range e.workers {
 			delete(w.cache, u.id)
 		}
@@ -446,6 +561,9 @@ func (e *Engine) applyUpdates() {
 	e.metrics.UpdatesApplied += uint64(len(pending))
 	e.metrics.UpdateBlocked += e.cfg.Clock.Since(start)
 	e.metMu.Unlock()
+	if e.instr != nil {
+		e.instr.updates.Add(uint64(len(pending)))
+	}
 }
 
 // Context is the operator's view of its partition.
