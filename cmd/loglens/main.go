@@ -7,24 +7,33 @@
 //
 // With -dashboard the visualization server stays up after the stream ends
 // (Ctrl-C to exit); -final-heartbeat injects a trailing heartbeat so
-// events that never completed are reported as missing-end anomalies.
+// events that never completed are reported as missing-end anomalies. On
+// SIGINT/SIGTERM the dashboard drains in-flight requests and the flight
+// recorder is flushed to stderr; -trace-out writes the retained span
+// window as Chrome trace-event JSON at exit.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"loglens/internal/anomaly"
+	"loglens/internal/clock"
 	"loglens/internal/core"
 	"loglens/internal/dashboard"
 	"loglens/internal/heartbeat"
 	"loglens/internal/logtypes"
 	"loglens/internal/modelmgr"
+	"loglens/internal/obs"
 	"loglens/internal/preprocess"
 )
 
@@ -43,6 +52,7 @@ type options struct {
 	stateDir     string
 	listen       string
 	metrics      bool
+	traceOut     string
 }
 
 func main() {
@@ -61,6 +71,7 @@ func main() {
 	flag.StringVar(&o.stateDir, "state-dir", "", "persist log/model/anomaly storage to this directory at exit (and restore at startup)")
 	flag.StringVar(&o.listen, "listen", "", "also accept remote shiplogs agents on this TCP address (e.g. :5044)")
 	flag.BoolVar(&o.metrics, "metrics", false, "dump the metrics registry (expvar-style text) to stderr after the stream ends")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the retained span window as Chrome trace JSON to this file at exit")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -74,7 +85,21 @@ func run(o options) error {
 		return fmt.Errorf("-stream and one of -train/-load-model are required")
 	}
 
+	clk := clock.New()
+	ops := obs.New(clk)
+
+	// First SIGINT/SIGTERM starts an orderly drain; stop() restores the
+	// default disposition so a second signal force-kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	p, err := core.New(core.Config{
+		Clock:            clk,
+		Ops:              ops,
 		DisableHeartbeat: o.hbInterval <= 0,
 		Heartbeat:        heartbeat.Config{Interval: o.hbInterval},
 		ArchiveLogs:      true,
@@ -109,19 +134,19 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "loaded model %q: %d patterns, %d automata\n",
 			model.ID, model.Patterns.Len(), len(model.Sequence.Automata))
 	} else {
-		trainLogs, err := readLogs(o.trainPath, o.source)
+		trainLogs, err := readLogs(o.trainPath, o.source, clk)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "training on %d logs from %s...\n", len(trainLogs), o.trainPath)
-		start := time.Now()
+		start := clk.Now()
 		var report *modelmgr.BuildReport
 		model, report, err = p.Train("file-model", trainLogs)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "model %q: %d patterns, %d automata, %d/%d patterns with event IDs (%v)\n",
-			model.ID, report.Patterns, report.Automata, report.CoveredPatterns, report.Patterns, time.Since(start).Round(time.Millisecond))
+			model.ID, report.Patterns, report.Automata, report.CoveredPatterns, report.Patterns, clk.Since(start).Round(time.Millisecond))
 	}
 	if o.saveModel != "" {
 		data, err := json.MarshalIndent(model, "", "  ")
@@ -158,11 +183,12 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "accepting remote agents on %s (shiplogs -addr %s -source ...)\n", bound, bound)
 	}
 
+	var httpSrv *http.Server
 	if dashAddr != "" {
-		srv := dashboard.New(p)
+		httpSrv = &http.Server{Addr: dashAddr, Handler: dashboard.New(p)}
 		go func() {
 			fmt.Fprintf(os.Stderr, "dashboard on http://%s/\n", dashAddr)
-			if err := http.ListenAndServe(dashAddr, srv); err != nil {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "dashboard:", err)
 			}
 		}()
@@ -186,8 +212,33 @@ func run(o options) error {
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	pp := preprocess.New(nil, nil)
 	n := 0
-	for scanner.Scan() {
-		line := scanner.Text()
+	// Scan on a separate goroutine: a blocked read (stdin in serve mode)
+	// must not keep a signal from reaching the drain-and-flush path.
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		for scanner.Scan() {
+			select {
+			case lines <- scanner.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- scanner.Err()
+	}()
+stream:
+	for {
+		var line string
+		var ok bool
+		select {
+		case <-ctx.Done():
+			break stream
+		case line, ok = <-lines:
+			if !ok {
+				break stream
+			}
+		}
 		if line == "" {
 			continue
 		}
@@ -199,19 +250,32 @@ func run(o options) error {
 			lastLogTime = r.Time
 		}
 	}
-	if err := scanner.Err(); err != nil {
-		return err
+	select {
+	case err := <-scanErr:
+		if err != nil {
+			return err
+		}
+	default: // reader still blocked mid-scan; shutdown abandons it
 	}
-	if err := p.Drain(5 * time.Minute); err != nil {
-		return err
+	// A signal bounds the drain tightly — flushing the flight recorder
+	// promptly beats emptying the bus.
+	drainBudget := 5 * time.Minute
+	if ctx.Err() != nil {
+		drainBudget = 10 * time.Second
 	}
-	if finalHB {
+	if err := p.Drain(drainBudget); err != nil {
+		if ctx.Err() == nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	if finalHB && ctx.Err() == nil {
 		t := lastLogTime
 		if t.IsZero() {
-			t = time.Now()
+			t = clk.Now()
 		}
 		p.InjectHeartbeat(source, t.Add(24*time.Hour))
-		time.Sleep(100 * time.Millisecond)
+		clk.Sleep(100 * time.Millisecond)
 		if err := p.Drain(time.Minute); err != nil {
 			return err
 		}
@@ -232,14 +296,57 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "storage persisted to %s\n", o.stateDir)
 	}
 
-	if dashAddr != "" {
+	if dashAddr != "" && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "stream done; dashboard still serving (Ctrl-C to exit)")
-		select {}
+		<-ctx.Done()
 	}
+	if ctx.Err() != nil {
+		// Orderly shutdown: note it in the black box, drain the HTTP
+		// server, then flush the recorder so the last events of the
+		// incident land on stderr.
+		ops.Events.Record(obs.EventShutdown, "loglens", "signal received, draining", 0)
+		drainServer(httpSrv)
+		fmt.Fprintln(os.Stderr, "--- flight recorder ---")
+		if _, err := ops.Events.WriteTo(os.Stderr); err != nil {
+			return err
+		}
+	} else {
+		drainServer(httpSrv)
+	}
+	return writeTrace(o.traceOut, ops)
+}
+
+// drainServer shuts the dashboard server down gracefully, bounding the
+// in-flight-request drain at five seconds.
+func drainServer(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dashboard shutdown:", err)
+	}
+}
+
+// writeTrace exports the retained span window as Chrome trace JSON.
+func writeTrace(path string, ops *obs.Ops) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ops.Spans.WriteChromeTrace(f, time.Time{}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
 	return nil
 }
 
-func readLogs(path, source string) ([]logtypes.Log, error) {
+func readLogs(path, source string, clk clock.Clock) ([]logtypes.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -255,7 +362,7 @@ func readLogs(path, source string) ([]logtypes.Log, error) {
 			continue
 		}
 		seq++
-		out = append(out, logtypes.Log{Source: source, Seq: seq, Arrival: time.Now(), Raw: line})
+		out = append(out, logtypes.Log{Source: source, Seq: seq, Arrival: clk.Now(), Raw: line})
 	}
 	return out, scanner.Err()
 }

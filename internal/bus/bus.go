@@ -17,6 +17,7 @@ import (
 
 	"loglens/internal/clock"
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 )
 
 // Message is one bus record.
@@ -47,6 +48,7 @@ type Bus struct {
 	mu     sync.RWMutex
 	topics map[string]*topic
 	reg    *metrics.Registry
+	events *obs.FlightRecorder
 
 	groupsMu sync.Mutex
 	groups   map[string]*group
@@ -98,6 +100,21 @@ func (b *Bus) SetMetrics(reg *metrics.Registry) {
 	for _, t := range b.topics {
 		t.instrument(reg)
 	}
+}
+
+// SetRecorder installs a flight recorder capturing offset seeks (replay
+// and chaos-injected restarts) at the source; nil disables.
+func (b *Bus) SetRecorder(f *obs.FlightRecorder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = f
+}
+
+// recorder returns the installed flight recorder (nil when disabled).
+func (b *Bus) recorder() *obs.FlightRecorder {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.events
 }
 
 // instrument binds the produce counter of every partition. Caller holds

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 )
 
 // Consumer reads messages from one or more topics with per-partition
@@ -178,8 +179,10 @@ func (c *Consumer) Seek(topicName string, partition int, offset int64) error {
 		return err
 	}
 	c.group.mu.Lock()
-	defer c.group.mu.Unlock()
 	c.group.offsets[topicPartition{topicName, partition}] = offset
+	c.group.mu.Unlock()
+	c.bus.recorder().Record(obs.EventBusSeek, c.groupName,
+		fmt.Sprintf("%s/%d seek", topicName, partition), offset)
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
 	"loglens/internal/modelmgr"
+	"loglens/internal/obs"
 	"loglens/internal/parser"
 	"loglens/internal/preprocess"
 	"loglens/internal/seqdetect"
@@ -95,6 +96,20 @@ type Config struct {
 	// (agent → bus → partition → parser → seqdetect → anomaly). Nil
 	// disables tracing at zero hot-path cost.
 	Tracer metrics.Tracer
+	// Ops is the ops plane (spans, flight recorder, health probes)
+	// threaded through every component. Nil disables it at a nil-check's
+	// cost; construct one with obs.New and serve it via the dashboard.
+	Ops *obs.Ops
+	// BusLagDegraded and BusLagUnhealthy are the bus-lag health-probe
+	// thresholds in messages behind (defaults 1024 and 8192): past the
+	// first the pipeline reports degraded, past the second unhealthy.
+	BusLagDegraded int64
+	BusLagUnhealthy int64
+	// HeartbeatStale is how long a tracked source may go unobserved
+	// before the heartbeat probe reports degraded (default 5 minutes; it
+	// must stay below Heartbeat.ActivityWindow, past which the source is
+	// forgotten and the probe recovers).
+	HeartbeatStale time.Duration
 }
 
 // Pipeline is a running LogLens deployment.
@@ -125,6 +140,10 @@ type Pipeline struct {
 	forwarded       atomic.Uint64
 	parsedForwarded atomic.Uint64
 
+	// events is the ops-plane flight recorder (nil when Config.Ops is
+	// unset).
+	events *obs.FlightRecorder
+
 	// Registry handles, resolved once at construction (the registry is
 	// never nil: Config.Metrics defaults to a private one).
 	reg           *metrics.Registry
@@ -151,6 +170,15 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.BusLagDegraded <= 0 {
+		cfg.BusLagDegraded = 1024
+	}
+	if cfg.BusLagUnhealthy <= 0 {
+		cfg.BusLagUnhealthy = 8192
+	}
+	if cfg.HeartbeatStale <= 0 {
+		cfg.HeartbeatStale = 5 * time.Minute
+	}
 	p := &Pipeline{
 		cfg:      cfg,
 		bus:      bus.NewWithClock(cfg.Clock),
@@ -158,6 +186,7 @@ func New(cfg Config) (*Pipeline, error) {
 		bySource: make(map[string]*modelmgr.Model),
 		runErr:   make(chan error, 1),
 		reg:      cfg.Metrics,
+		events:   obs.EventsOf(cfg.Ops),
 	}
 	p.linesTotal = p.reg.Counter("core_lines_total")
 	p.hbTotal = p.reg.Counter("core_heartbeats_total")
@@ -165,9 +194,11 @@ func New(cfg Config) (*Pipeline, error) {
 	p.unparsedTotal = p.reg.Counter("core_unparsed_total")
 	p.lineSeconds = p.reg.Histogram("core_line_seconds", nil)
 	p.bus.SetMetrics(p.reg)
+	p.bus.SetRecorder(p.events)
 	p.builder = modelmgr.NewBuilder(cfg.Builder)
 	p.manager = modelmgr.NewManager(p.store, p.builder)
 	p.manager.Instrument(p.reg)
+	p.manager.SetRecorder(p.events)
 	var err error
 	p.controller, err = modelmgr.NewController(p.bus)
 	if err != nil {
@@ -178,12 +209,14 @@ func New(cfg Config) (*Pipeline, error) {
 		p.hb = heartbeat.New(cfg.Heartbeat)
 		p.hb.SetClock(cfg.Clock)
 		p.hb.Instrument(p.reg)
+		p.hb.SetOps(cfg.Ops)
 	}
 	engineCfg := stream.Config{
 		Partitions:    cfg.Partitions,
 		BatchInterval: cfg.BatchInterval,
 		Clock:         cfg.Clock,
 		Metrics:       p.reg,
+		Ops:           cfg.Ops,
 	}
 	if cfg.Staged {
 		engineCfg.Name = "parse"
@@ -214,7 +247,101 @@ func New(cfg Config) (*Pipeline, error) {
 		p.forwarded.Add(1)
 		p.engine.Send(stream.Record{Key: source, Time: t, Heartbeat: true})
 	})
+	p.registerProbes()
 	return p, nil
+}
+
+// Ops exposes the pipeline's ops plane (nil when disabled). The
+// dashboard serves its spans, events, and health probes.
+func (p *Pipeline) Ops() *obs.Ops { return p.cfg.Ops }
+
+// Running reports whether the pipeline has been started and its engine
+// loops are live.
+func (p *Pipeline) Running() bool {
+	p.mu.Lock()
+	started := p.running
+	p.mu.Unlock()
+	if !started {
+		return false
+	}
+	if !p.engine.Running() {
+		return false
+	}
+	return p.detectEngine == nil || p.detectEngine.Running()
+}
+
+// registerProbes installs the per-component health probes (no-ops when
+// the ops plane is off). Thresholds come from Config; DESIGN.md's "Ops
+// plane" section documents the semantics.
+func (p *Pipeline) registerProbes() {
+	if p.cfg.Ops == nil || p.cfg.Ops.Health == nil {
+		return
+	}
+	h := p.cfg.Ops.Health
+	h.Register("pipeline", func() obs.ProbeResult {
+		p.mu.Lock()
+		started := p.running
+		p.mu.Unlock()
+		if !started {
+			return obs.ProbeResult{Status: obs.Degraded, Detail: "pipeline not started"}
+		}
+		if !p.engine.Running() || (p.detectEngine != nil && !p.detectEngine.Running()) {
+			return obs.ProbeResult{Status: obs.Unhealthy, Detail: "engine loop not running"}
+		}
+		return obs.ProbeResult{Status: obs.Healthy, Detail: "engine loops live"}
+	})
+	h.Register("bus", func() obs.ProbeResult {
+		lag := p.logmgrLag()
+		detail := fmt.Sprintf("log-manager lag %d (degraded ≥ %d, unhealthy ≥ %d)",
+			lag, p.cfg.BusLagDegraded, p.cfg.BusLagUnhealthy)
+		switch {
+		case lag >= p.cfg.BusLagUnhealthy:
+			return obs.ProbeResult{Status: obs.Unhealthy, Detail: detail}
+		case lag >= p.cfg.BusLagDegraded:
+			return obs.ProbeResult{Status: obs.Degraded, Detail: detail}
+		}
+		return obs.ProbeResult{Status: obs.Healthy, Detail: detail}
+	})
+	h.Register("heartbeat", func() obs.ProbeResult {
+		if p.hb == nil {
+			return obs.ProbeResult{Status: obs.Healthy, Detail: "heartbeat controller disabled"}
+		}
+		var worstSource string
+		var worst time.Duration
+		for source, idle := range p.hb.Staleness() {
+			if idle > worst {
+				worstSource, worst = source, idle
+			}
+		}
+		if worst > p.cfg.HeartbeatStale {
+			return obs.ProbeResult{Status: obs.Degraded, Detail: fmt.Sprintf(
+				"source %q silent for %s (threshold %s)", worstSource, worst, p.cfg.HeartbeatStale)}
+		}
+		return obs.ProbeResult{Status: obs.Healthy, Detail: fmt.Sprintf(
+			"%d tracked sources, max staleness %s", len(p.hb.Staleness()), worst)}
+	})
+	h.Register("broadcast", func() obs.ProbeResult {
+		driver, workers := p.engine.BroadcastVersions(ModelBroadcastID)
+		if driver == 0 {
+			return obs.ProbeResult{Status: obs.Healthy, Detail: "no model broadcast yet"}
+		}
+		var maxSkew uint64
+		for _, v := range workers {
+			// Workers that have never pulled (v == 0) hold no stale
+			// copy; a rebroadcast invalidated their caches.
+			if v > 0 && driver-v > maxSkew {
+				maxSkew = driver - v
+			}
+		}
+		detail := fmt.Sprintf("driver at v%d, max worker skew %d", driver, maxSkew)
+		// Skew of one version is the normal window between a
+		// rebroadcast and the workers' next pull; beyond that a worker
+		// has missed a whole update cycle.
+		if maxSkew > 1 {
+			return obs.ProbeResult{Status: obs.Degraded, Detail: detail}
+		}
+		return obs.ProbeResult{Status: obs.Healthy, Detail: detail}
+	})
 }
 
 // Bus exposes the message bus (for agents and tools).
@@ -664,6 +791,8 @@ func (p *Pipeline) applyInstruction(ins modelmgr.Instruction) {
 	case modelmgr.OpAdd, modelmgr.OpUpdate:
 		m, err := p.manager.Load(ins.ModelID)
 		if err != nil {
+			p.events.Record(obs.EventRebroadcastFailed, ins.ModelID,
+				string(ins.Op)+": "+err.Error(), 0)
 			return
 		}
 		p.installModel(ins.Source, m)
@@ -726,6 +855,7 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 		st.parser.Instrument(p.reg)
 		st.detector.Instrument(p.reg)
 		st.detector.SetTracer(p.cfg.Tracer)
+		st.detector.SetRecorder(p.events)
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
@@ -834,6 +964,7 @@ func (p *Pipeline) sink(o any) {
 	// Anomalies are rare relative to lines, so the labeled counter is
 	// resolved per record rather than cached per type.
 	p.reg.Counter("core_anomalies_total", "type", rec.Type.String()).Inc()
+	p.events.Record(obs.EventAnomaly, rec.Source, rec.Type.String()+": "+rec.Reason, 1)
 	if p.cfg.Tracer != nil && len(rec.Logs) > 0 {
 		l := rec.Logs[0]
 		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageEmit, "type="+rec.Type.String())

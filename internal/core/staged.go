@@ -113,6 +113,7 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 		st = &coreOpState{model: m, detector: m.NewDetector(p.cfg.Seq)}
 		st.detector.Instrument(p.reg)
 		st.detector.SetTracer(p.cfg.Tracer)
+		st.detector.SetRecorder(p.events)
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"loglens/internal/clock"
 	"loglens/internal/core"
 	"loglens/internal/modelmgr"
 	"loglens/internal/store"
@@ -23,11 +24,12 @@ import (
 type Server struct {
 	pipeline *core.Pipeline
 	mux      *http.ServeMux
+	clk      clock.Clock
 }
 
 // New builds a dashboard server for the pipeline.
 func New(p *core.Pipeline) *Server {
-	s := &Server{pipeline: p, mux: http.NewServeMux()}
+	s := &Server{pipeline: p, mux: http.NewServeMux(), clk: clock.New()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/anomalies", s.handleAnomalies)
 	s.mux.HandleFunc("/api/anomalies/histogram", s.handleHistogram)
@@ -38,8 +40,13 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.registerOps()
 	return s
 }
+
+// SetClock injects the server's time source (trace-window cuts, the SSE
+// cadence). Default the wall clock; tests inject a fake.
+func (s *Server) SetClock(clk clock.Clock) { s.clk = clk }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -260,13 +267,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>
 <html><head><title>LogLens</title></head><body>
 <h1>LogLens</h1>
-<p>{{.Anomalies}} anomalies reported ({{.Unparsed}} unparsed logs), {{.Records}} records over {{.Batches}} micro-batches.</p>
+<p id="summary">{{.Anomalies}} anomalies reported ({{.Unparsed}} unparsed logs), {{.Records}} records over {{.Batches}} micro-batches.</p>
 <ul>
 <li><a href="/api/anomalies">anomalies</a></li>
 <li><a href="/api/anomalies/histogram">anomaly histogram</a></li>
 <li><a href="/api/models">models</a></li>
 <li><a href="/api/stats">stats</a></li>
+<li><a href="/api/events">recent events</a></li>
+<li><a href="/healthz">health</a></li>
+<li><a href="/debug/trace?sec=60">trace (Chrome trace JSON)</a></li>
 </ul>
+<script>
+// Live updates: re-render the summary from the SSE metrics stream.
+const es = new EventSource("/api/metrics/stream");
+es.onmessage = (ev) => {
+  const counters = (JSON.parse(ev.data).counters || {});
+  // Keys are canonical "name{labels}" identities; sum across labels.
+  const get = (name) => {
+    let total = 0;
+    for (const [k, v] of Object.entries(counters))
+      if (k === name || k.startsWith(name + "{")) total += v;
+    return total;
+  };
+  document.getElementById("summary").textContent =
+    get("core_anomalies_total") + " anomalies reported (" +
+    get("core_unparsed_total") + " unparsed logs), " +
+    get("stream_records_total") + " records over " +
+    get("stream_batches_total") + " micro-batches.";
+};
+</script>
 </body></html>`))
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -286,6 +315,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBody encodes v without touching headers — for handlers that
+// have already committed a status code.
+func writeJSONBody(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 

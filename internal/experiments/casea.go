@@ -29,12 +29,12 @@ type CaseAResult struct {
 // RunCaseA runs pattern discovery over the custom-application corpus.
 func RunCaseA(c datagen.Corpus) (*CaseAResult, error) {
 	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{SkipSequence: true})
-	start := time.Now()
+	start := expClock.Now()
 	_, report, err := builder.Build(c.Name, ToLogs(c.Name, c.Train))
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	elapsed := expClock.Since(start)
 	const week = 7 * 24 * time.Hour
 	res := &CaseAResult{
 		Logs:             len(c.Train),

@@ -1,0 +1,12 @@
+package experiments
+
+import "loglens/internal/clock"
+
+// expClock times the experiment phases (TrainTime, DetectTime, the Table
+// IV budget). The wall clock by default; SetClock injects a fake so the
+// timing fields are deterministic in tests.
+var expClock clock.Clock = clock.New()
+
+// SetClock injects the experiments' time source. Pass clock.New() to
+// restore the wall clock.
+func SetClock(clk clock.Clock) { expClock = clk }

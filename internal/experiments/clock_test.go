@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"loglens/internal/clock"
+	"loglens/internal/datagen"
+)
+
+// TestSetClockMakesTimingDeterministic: with a fake clock injected, no
+// experiment phase reads the wall clock, so the timing fields come out
+// exactly zero — the proof that no raw time.Now() is left in the
+// measurement paths.
+func TestSetClockMakesTimingDeterministic(t *testing.T) {
+	fc := clock.NewFake()
+	SetClock(fc)
+	defer SetClock(clock.New())
+
+	c := datagen.D1(11)
+	res, err := RunSequence(c, SeqOptions{WithHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainTime != 0 || res.DetectTime != 0 {
+		t.Errorf("fake-clock timings = train %v, detect %v, want 0 (raw wall-clock read in the path)",
+			res.TrainTime, res.DetectTime)
+	}
+
+	ca, err := RunCaseA(datagen.CustomApp(800, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Elapsed != 0 {
+		t.Errorf("fake-clock case-A elapsed = %v, want 0", ca.Elapsed)
+	}
+}

@@ -49,7 +49,7 @@ func RunRebroadcast(records, updates, partitions int) (*RebroadcastResult, error
 	e.Broadcast("model", 0)
 
 	done := make(chan error, 1)
-	start := time.Now()
+	start := expClock.Now()
 	go func() { done <- e.Run(context.Background()) }()
 
 	perUpdate := records / (updates + 1)
@@ -71,7 +71,7 @@ func RunRebroadcast(records, updates, partitions int) (*RebroadcastResult, error
 	if err := <-done; err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	elapsed := expClock.Since(start)
 
 	m := e.Metrics()
 	res := &RebroadcastResult{

@@ -70,7 +70,7 @@ func RunSequence(c datagen.Corpus, opts SeqOptions) (*SeqResult, error) {
 	}
 	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{})
 
-	start := time.Now()
+	start := expClock.Now()
 	model, report, err := builder.Build(c.Name, ToLogs(c.Name, c.Train))
 	if err != nil {
 		return nil, err
@@ -78,7 +78,7 @@ func RunSequence(c datagen.Corpus, opts SeqOptions) (*SeqResult, error) {
 	res := &SeqResult{
 		Model:          model,
 		Report:         report,
-		TrainTime:      time.Since(start),
+		TrainTime:      expClock.Since(start),
 		AutomataBefore: len(model.Sequence.Automata),
 	}
 
@@ -104,7 +104,7 @@ func RunSequence(c datagen.Corpus, opts SeqOptions) (*SeqResult, error) {
 	res.AutomataAfter = len(model.Sequence.Automata)
 
 	det := model.NewDetector(opts.Seq)
-	start = time.Now()
+	start = expClock.Now()
 	for i, line := range c.Test {
 		pl, err := p.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i + 1), Raw: line})
 		if err != nil {
@@ -120,7 +120,7 @@ func RunSequence(c datagen.Corpus, opts SeqOptions) (*SeqResult, error) {
 		// still-open states.
 		res.Records = append(res.Records, det.HeartbeatFor(c.Name, c.Truth.LastLogTime.Add(24*time.Hour))...)
 	}
-	res.DetectTime = time.Since(start)
+	res.DetectTime = expClock.Since(start)
 
 	res.Detected = len(res.Records)
 	seen := make(map[string]bool)

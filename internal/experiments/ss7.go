@@ -31,17 +31,17 @@ type SS7Result struct {
 // final hour, clustering the resulting anomalies by temporal proximity.
 func RunSS7(c datagen.SS7Corpus, clusterGap time.Duration) (*SS7Result, error) {
 	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{})
-	start := time.Now()
+	start := expClock.Now()
 	model, report, err := builder.Build("ss7", ToLogs("ss7", c.Train))
 	if err != nil {
 		return nil, err
 	}
-	res := &SS7Result{Report: report, TrainTime: time.Since(start)}
+	res := &SS7Result{Report: report, TrainTime: expClock.Since(start)}
 
 	p := model.NewParser(nil)
 	det := model.NewDetector(seqdetect.Config{})
 	var records []anomaly.Record
-	start = time.Now()
+	start = expClock.Now()
 	for i, line := range c.Test {
 		pl, err := p.Parse(logtypes.Log{Source: "ss7", Seq: uint64(i + 1), Raw: line})
 		if err != nil {
@@ -50,7 +50,7 @@ func RunSS7(c datagen.SS7Corpus, clusterGap time.Duration) (*SS7Result, error) {
 		records = append(records, det.Process(pl)...)
 	}
 	records = append(records, det.HeartbeatFor("ss7", c.Truth.LastLogTime.Add(time.Hour))...)
-	res.DetectTime = time.Since(start)
+	res.DetectTime = expClock.Since(start)
 
 	res.Anomalies = len(records)
 	for _, r := range records {

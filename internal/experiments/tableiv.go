@@ -62,12 +62,12 @@ func RunTableIV(c datagen.Corpus, budget time.Duration) (*ParserComparison, erro
 		sample = sample[:max]
 	}
 	builder := modelmgr.NewBuilder(modelmgr.BuilderConfig{SkipSequence: true})
-	start := time.Now()
+	start := expClock.Now()
 	model, report, err := builder.Build(c.Name, ToLogs(c.Name, sample))
 	if err != nil {
 		return nil, err
 	}
-	res.TrainTime = time.Since(start)
+	res.TrainTime = expClock.Since(start)
 	res.Patterns = report.Patterns
 
 	// Phase 2: LogLens parses the full test corpus. A GC barrier keeps
@@ -75,13 +75,13 @@ func RunTableIV(c datagen.Corpus, budget time.Duration) (*ParserComparison, erro
 	// churn) out of this measurement.
 	p := model.NewParser(nil)
 	runtime.GC()
-	start = time.Now()
+	start = expClock.Now()
 	for i, line := range c.Test {
 		if _, err := p.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i), Raw: line}); err == parser.ErrNoMatch {
 			res.LogLensAnomalies++
 		}
 	}
-	res.LogLensTime = time.Since(start)
+	res.LogLensTime = expClock.Since(start)
 
 	// Phase 3: the Logstash baseline parses the same corpus under a
 	// budget.
@@ -90,19 +90,19 @@ func RunTableIV(c datagen.Corpus, budget time.Duration) (*ParserComparison, erro
 		return nil, err
 	}
 	runtime.GC()
-	start = time.Now()
+	start = expClock.Now()
 	parsed := 0
 	for i, line := range c.Test {
 		if _, err := pipe.Parse(logtypes.Log{Source: c.Name, Seq: uint64(i), Raw: line}); err == logstash.ErrNoMatch {
 			res.LogstashUnmatched++
 		}
 		parsed++
-		if i%1024 == 0 && time.Since(start) > budget {
+		if i%1024 == 0 && expClock.Since(start) > budget {
 			res.LogstashDNF = true
 			break
 		}
 	}
-	res.LogstashTime = time.Since(start)
+	res.LogstashTime = expClock.Since(start)
 	if res.LogstashDNF && parsed > 0 {
 		res.LogstashProjected = time.Duration(float64(res.LogstashTime) / float64(parsed) * float64(len(c.Test)))
 	} else {

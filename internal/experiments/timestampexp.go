@@ -73,13 +73,13 @@ func RunTimestamp(lines int, seed int64) *TimestampResult {
 	agree := true
 	for ci, c := range configs {
 		var stamps []time.Time
-		start := time.Now()
+		start := expClock.Now()
 		for _, tokens := range workload {
 			if m, ok := c.id.Identify(tokens); ok {
 				stamps = append(stamps, m.Time)
 			}
 		}
-		times[ci] = float64(time.Since(start).Nanoseconds()) / float64(len(workload))
+		times[ci] = float64(expClock.Since(start).Nanoseconds()) / float64(len(workload))
 		if ci == 0 {
 			first = stamps
 			continue

@@ -15,6 +15,7 @@ import (
 
 	"loglens/internal/clock"
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 )
 
 // Heartbeat is one synthesized time signal for a source.
@@ -71,6 +72,10 @@ type Controller struct {
 	observations *metrics.Counter
 	emitted      *metrics.Counter
 	tracked      *metrics.Gauge
+
+	spans    *obs.SpanRecorder
+	events   *obs.FlightRecorder
+	sweepTid int
 }
 
 // New constructs a Controller.
@@ -108,6 +113,31 @@ func (c *Controller) Instrument(reg *metrics.Registry) {
 	c.observations = reg.Counter("heartbeat_observations_total")
 	c.emitted = reg.Counter("heartbeat_emitted_total")
 	c.tracked = reg.Gauge("heartbeat_sources")
+}
+
+// SetOps attaches the ops plane: each Tick sweep becomes a span on its
+// own logical thread, and forgetting a silent source records a
+// flight-recorder event. Call before Run; nil disables.
+func (c *Controller) SetOps(o *obs.Ops) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = obs.SpansOf(o)
+	c.events = obs.EventsOf(o)
+	c.sweepTid = c.spans.Thread("heartbeat sweep")
+}
+
+// Staleness reports, per tracked source, how long it has been since the
+// last observation on the controller's wall clock — the signal the
+// heartbeat-staleness health probe thresholds against.
+func (c *Controller) Staleness() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.sources))
+	wall := c.clk.Now()
+	for source, st := range c.sources {
+		out[source] = wall.Sub(st.lastWallTime)
+	}
+	return out
 }
 
 // Observe records one log's embedded timestamp for a source. Call it as
@@ -163,12 +193,16 @@ func (c *Controller) Sources() []string {
 func (c *Controller) Tick() []Heartbeat {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sweep := c.spans.Start("heartbeat", "sweep", c.sweepTid)
+	defer sweep.End()
 	wall := c.clk.Now()
 	var out []Heartbeat
 	for source, st := range c.sources {
 		idle := wall.Sub(st.lastWallTime)
 		if idle > c.cfg.ActivityWindow {
 			delete(c.sources, source)
+			c.events.Record(obs.EventSourceForgotten, source,
+				"silent past activity window", int64(idle/time.Second))
 			continue
 		}
 		rate := st.rate

@@ -9,6 +9,7 @@ import (
 	"loglens/internal/clock"
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 	"loglens/internal/store"
 )
 
@@ -29,6 +30,8 @@ type Manager struct {
 	rebuildSeconds *metrics.Histogram
 	saves          *metrics.Counter
 	loads          *metrics.Counter
+
+	events *obs.FlightRecorder
 }
 
 // NewManager constructs a Manager over the given storage.
@@ -53,10 +56,15 @@ func (mgr *Manager) Instrument(reg *metrics.Registry) {
 	mgr.loads = reg.Counter("modelmgr_loads_total")
 }
 
+// SetRecorder installs a flight recorder capturing model-storage
+// failures at the source; nil disables.
+func (mgr *Manager) SetRecorder(f *obs.FlightRecorder) { mgr.events = f }
+
 // Save stores a model in the model storage under its ID.
 func (mgr *Manager) Save(m *Model) error {
 	data, err := json.Marshal(m)
 	if err != nil {
+		mgr.events.Record(obs.EventStorageError, m.ID, "save: "+err.Error(), 0)
 		return fmt.Errorf("modelmgr: save %q: %w", m.ID, err)
 	}
 	mgr.store.Index(ModelsIndex).Put(m.ID, store.Document{
@@ -76,11 +84,13 @@ func (mgr *Manager) Save(m *Model) error {
 func (mgr *Manager) Load(id string) (*Model, error) {
 	doc, ok := mgr.store.Index(ModelsIndex).Get(id)
 	if !ok {
+		mgr.events.Record(obs.EventStorageError, id, "load: model not found", 0)
 		return nil, fmt.Errorf("modelmgr: no model %q", id)
 	}
 	body, _ := doc["body"].(string)
 	var m Model
 	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		mgr.events.Record(obs.EventStorageError, id, "load: "+err.Error(), 0)
 		return nil, fmt.Errorf("modelmgr: load %q: %w", id, err)
 	}
 	if mgr.loads != nil {

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+
+	"loglens/internal/clock"
+)
+
+// The disabled path is the price every component pays when the ops plane
+// is off — it must stay in the low single-digit nanoseconds with zero
+// allocations (ISSUE 3 acceptance: ≤ 5ns/op, 0 allocs).
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *SpanRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := r.Start("stream", "batch", 0)
+		s.End()
+	}
+}
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var f *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(EventAnomaly, "src", "detail", 1)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := NewSpanRecorder(clock.New(), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := r.Start("stream", "batch", 0)
+		s.End()
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	f := NewFlightRecorder(clock.New(), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(EventAnomaly, "src", "detail", 1)
+	}
+}

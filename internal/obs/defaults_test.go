@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConstructorDefaults: nil clocks fall back to the real clock and
+// non-positive capacities to the package defaults, so zero-config wiring
+// still yields working recorders.
+func TestConstructorDefaults(t *testing.T) {
+	f := NewFlightRecorder(nil, 0)
+	f.Record(EventShutdown, "x", "", 0)
+	evs := f.Events(EventQuery{})
+	if len(evs) != 1 || evs[0].Time.IsZero() {
+		t.Fatalf("default flight recorder events = %+v", evs)
+	}
+
+	s := NewSpanRecorder(nil, -1)
+	tid := s.Thread("lane")
+	sp := s.Start("cat", "op", tid)
+	sp.End()
+	spans := s.Spans(time.Time{})
+	if len(spans) != 1 || spans[0].Name != "op" {
+		t.Fatalf("default span recorder spans = %+v", spans)
+	}
+
+	// New with a nil clock is the same fallback one level up.
+	o := New(nil)
+	if o.Spans == nil || o.Events == nil || o.Health == nil {
+		t.Fatalf("New(nil) bundle = %+v", o)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import "sync"
+
+// Status is a probe's verdict, ordered by severity: aggregation takes
+// the worst status across probes.
+type Status int
+
+const (
+	// Healthy: the component is operating within thresholds.
+	Healthy Status = iota
+	// Degraded: the component works but is outside its comfort zone
+	// (lag building, a source gone quiet). /readyz fails; /healthz does
+	// not — an orchestrator should stop routing new load, not restart.
+	Degraded
+	// Unhealthy: the component cannot do its job. /healthz returns 503.
+	Unhealthy
+)
+
+// String returns the lowercase status name used in JSON payloads.
+func (s Status) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	default:
+		return "unhealthy"
+	}
+}
+
+// MarshalJSON encodes the status as its string form.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// ProbeResult is one probe's current verdict with human-readable detail.
+type ProbeResult struct {
+	Status Status `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Probe inspects one component and reports its state. Probes must be
+// cheap and non-blocking: they run on every /healthz and /readyz hit.
+type Probe func() ProbeResult
+
+// Health aggregates named per-component probes into one overall status.
+// A nil *Health accepts registrations as no-ops and reports Healthy with
+// no probes, so wiring code needs no nil checks.
+type Health struct {
+	mu     sync.Mutex
+	names  []string // registration order, for stable output
+	probes map[string]Probe
+}
+
+// NewHealth returns an empty probe registry.
+func NewHealth() *Health {
+	return &Health{probes: make(map[string]Probe)}
+}
+
+// Register adds (or replaces) a named probe. Nil-safe.
+func (h *Health) Register(name string, p Probe) {
+	if h == nil || p == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.probes[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.probes[name] = p
+}
+
+// Check runs every probe and returns the worst status plus per-probe
+// results keyed by name. A nil or empty Health is Healthy.
+func (h *Health) Check() (Status, map[string]ProbeResult) {
+	if h == nil {
+		return Healthy, nil
+	}
+	h.mu.Lock()
+	names := append([]string(nil), h.names...)
+	probes := make([]Probe, len(names))
+	for i, n := range names {
+		probes[i] = h.probes[n]
+	}
+	h.mu.Unlock()
+
+	overall := Healthy
+	results := make(map[string]ProbeResult, len(names))
+	for i, n := range names {
+		res := probes[i]()
+		results[n] = res
+		if res.Status > overall {
+			overall = res.Status
+		}
+	}
+	return overall, results
+}

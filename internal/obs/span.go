@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"loglens/internal/clock"
+)
+
+// DefaultSpanCapacity is the span ring size when NewSpanRecorder is given
+// zero: at the default 10ms micro-batch cadence with a handful of spans
+// per batch it holds on the order of a minute of recent history.
+const DefaultSpanCapacity = 8192
+
+// SpanEvent is one completed span: a named duration on a logical thread.
+type SpanEvent struct {
+	// Name is the span label ("batch", "p0 process", "rebroadcast").
+	Name string `json:"name"`
+	// Cat is the component category ("stream/main", "heartbeat").
+	Cat string `json:"cat"`
+	// Tid is the logical thread the span ran on (see Thread).
+	Tid int `json:"tid"`
+	// Start is the span's begin time on the recorder's clock.
+	Start time.Time `json:"start"`
+	// Dur is the span's duration.
+	Dur time.Duration `json:"dur"`
+}
+
+// SpanRecorder accumulates completed spans in a bounded ring. It is safe
+// for concurrent use. A nil *SpanRecorder is a valid disabled recorder:
+// Start returns an inert Span and every method no-ops, so components
+// need no nil checks beyond the ones the calls themselves perform.
+type SpanRecorder struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	ring    []SpanEvent
+	next    uint64 // total spans recorded; next%cap is the write slot
+	threads map[string]int
+	names   []string // thread names by tid
+}
+
+// NewSpanRecorder returns a recorder of the given ring capacity (0 =
+// DefaultSpanCapacity) stamping times from clk.
+func NewSpanRecorder(clk clock.Clock, capacity int) *SpanRecorder {
+	if clk == nil {
+		clk = clock.New()
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanRecorder{
+		clk:     clk,
+		ring:    make([]SpanEvent, capacity),
+		threads: make(map[string]int),
+	}
+}
+
+// Thread resolves (registering if needed) a stable logical-thread ID for
+// a label. Components claim one tid per execution lane at wiring time —
+// the engine's driver loop, each partition worker, the heartbeat sweep —
+// so the exported trace nests spans the way the runtime actually ran
+// them. A nil recorder returns 0.
+func (r *SpanRecorder) Thread(label string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tid, ok := r.threads[label]; ok {
+		return tid
+	}
+	tid := len(r.names)
+	r.threads[label] = tid
+	r.names = append(r.names, label)
+	return tid
+}
+
+// Span is one in-flight span. The zero Span (from a disabled recorder)
+// is inert: End is a no-op.
+type Span struct {
+	rec   *SpanRecorder
+	start time.Time
+	name  string
+	cat   string
+	tid   int
+}
+
+// Start opens a span on a logical thread. The returned Span is a value;
+// call End to record it. On a nil recorder this is one predictable
+// branch and no allocation — the disabled hot-path cost. The enabled
+// path lives in open so Start itself stays inlinable.
+func (r *SpanRecorder) Start(cat, name string, tid int) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.open(cat, name, tid)
+}
+
+//go:noinline
+func (r *SpanRecorder) open(cat, name string, tid int) Span {
+	return Span{rec: r, start: r.clk.Now(), name: name, cat: cat, tid: tid}
+}
+
+// End records the span. No-op for the zero Span.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.record(s)
+}
+
+//go:noinline
+func (r *SpanRecorder) record(s Span) {
+	dur := r.clk.Since(s.start)
+	r.mu.Lock()
+	slot := &r.ring[r.next%uint64(len(r.ring))]
+	slot.Name, slot.Cat, slot.Tid, slot.Start, slot.Dur = s.name, s.cat, s.tid, s.start, dur
+	r.next++
+	r.mu.Unlock()
+}
+
+// Spans returns the recorded spans whose start time is not before since
+// (zero since = everything retained), oldest first.
+func (r *SpanRecorder) Spans(since time.Time) []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	capacity := uint64(len(r.ring))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	out := make([]SpanEvent, 0, n-start)
+	for i := start; i < n; i++ {
+		ev := r.ring[i%capacity]
+		if !since.IsZero() && ev.Start.Before(since) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// ThreadNames returns the registered thread labels indexed by tid.
+func (r *SpanRecorder) ThreadNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto): complete events ("ph":"X") carry
+// microsecond timestamps and durations; metadata events ("ph":"M") name
+// the threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the spans recorded since the given time as
+// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+// chrome://tracing or Perfetto. Spans are emitted in start order;
+// thread_name metadata events map tids back to their labels.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer, since time.Time) error {
+	spans := r.Spans(since)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	events := make([]chromeEvent, 0, len(spans)+8)
+	for tid, label := range r.ThreadNames() {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   s.Start.UnixMicro(),
+			Dur:  s.Dur.Microseconds(),
+			Pid:  1,
+			Tid:  s.Tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

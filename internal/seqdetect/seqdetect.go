@@ -22,6 +22,7 @@ import (
 	"loglens/internal/automata"
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 )
 
 // Config tunes the detector.
@@ -89,6 +90,7 @@ type Detector struct {
 	stats   Stats
 	instr   *detectInstr
 	tracer  metrics.Tracer
+	events  *obs.FlightRecorder
 }
 
 // detectInstr mirrors detector activity into a shared registry. Several
@@ -138,6 +140,10 @@ func (d *Detector) Instrument(reg *metrics.Registry) {
 // SetTracer installs a tracer stamping StageDetect for every processed
 // log; nil disables tracing.
 func (d *Detector) SetTracer(tr metrics.Tracer) { d.tracer = tr }
+
+// SetRecorder installs a flight recorder capturing heartbeat expiries at
+// the source; nil disables.
+func (d *Detector) SetRecorder(f *obs.FlightRecorder) { d.events = f }
 
 // SetModel swaps in an updated model without losing unrelated state (§V-A:
 // model updates must preserve states). Open states whose automaton no
@@ -345,6 +351,8 @@ func (d *Detector) HeartbeatFor(source string, now time.Time) []anomaly.Record {
 		if d.instr != nil {
 			d.instr.expired.Inc()
 		}
+		d.events.Record(obs.EventHeartbeatExpiry, best.source,
+			"event "+eventID+" expired by heartbeat", int64(best.auto.ID))
 		d.dropEvent(eventID)
 		// The anomaly is timestamped at the event's last observed log,
 		// not at the heartbeat: that is when the event went quiet, and

@@ -28,10 +28,12 @@ import (
 	"hash/fnv"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loglens/internal/clock"
 	"loglens/internal/metrics"
+	"loglens/internal/obs"
 )
 
 // Record is one input record.
@@ -77,6 +79,11 @@ type Config struct {
 	// Metrics is the observability registry. Nil leaves the engine
 	// uninstrumented: only the built-in Metrics struct is maintained.
 	Metrics *metrics.Registry
+	// Ops is the ops plane: span tracing of the micro-batch hierarchy
+	// (driver batch → partition → sink) and flight-recorder events for
+	// rebroadcasts, operator panics, and dropped records. Nil disables
+	// both at a nil-check's cost.
+	Ops *obs.Ops
 }
 
 func (c *Config) setDefaults() {
@@ -171,6 +178,17 @@ type Engine struct {
 	// when Config.Metrics is unset, so uninstrumented engines pay only a
 	// nil check.
 	instr *engineInstr
+
+	// spans/events are the ops-plane recorders (nil when Config.Ops is
+	// unset). driverTid is the span thread for the engine loop; workers
+	// carry their own tids.
+	spans     *obs.SpanRecorder
+	events    *obs.FlightRecorder
+	driverTid int
+
+	// running reports whether Run is currently executing — the pipeline
+	// liveness probe's signal.
+	running atomic.Bool
 }
 
 // batchSizeBuckets are record-count bounds for the batch-size histogram
@@ -229,6 +247,13 @@ type worker struct {
 	id     int
 	states *StateMap
 	cache  map[string]block
+	tid    int // span thread for this partition's lane
+
+	// pulled mirrors the versions this worker has actually fetched from
+	// the driver (written only on the rare cache-miss path) so the
+	// version-skew health probe can compare worker views against the
+	// driver without touching the unsynchronized cache map.
+	pulled sync.Map // broadcast id → uint64 version
 }
 
 // New constructs an Engine with the given operator.
@@ -241,11 +266,15 @@ func New(cfg Config, proc ProcessFunc) *Engine {
 		closed: make(chan struct{}),
 		driver: &driver{blocks: make(map[string]block)},
 	}
+	e.spans = obs.SpansOf(cfg.Ops)
+	e.events = obs.EventsOf(cfg.Ops)
+	e.driverTid = e.spans.Thread(cfg.Name + " driver")
 	for i := 0; i < cfg.Partitions; i++ {
 		e.workers = append(e.workers, &worker{
 			id:     i,
 			states: NewStateMap(),
 			cache:  make(map[string]block),
+			tid:    e.spans.Thread(cfg.Name + " p" + strconv.Itoa(i)),
 		})
 	}
 	if cfg.Metrics != nil {
@@ -317,6 +346,28 @@ func (e *Engine) Metrics() Metrics {
 	return e.metrics
 }
 
+// Running reports whether the micro-batch loop is currently executing —
+// true between Run's entry and return. The ops-plane liveness probe
+// reads it.
+func (e *Engine) Running() bool { return e.running.Load() }
+
+// BroadcastVersions reports the driver's current version of a broadcast
+// variable and, per worker, the version that worker last pulled (0 if it
+// has never pulled). The gap between the two is the version skew the
+// ops-plane probe watches after a rebroadcast.
+func (e *Engine) BroadcastVersions(id string) (driver uint64, workers []uint64) {
+	e.driver.mu.RLock()
+	driver = e.driver.blocks[id].version
+	e.driver.mu.RUnlock()
+	workers = make([]uint64, len(e.workers))
+	for i, w := range e.workers {
+		if v, ok := w.pulled.Load(id); ok {
+			workers[i] = v.(uint64)
+		}
+	}
+	return driver, workers
+}
+
 // StateMap returns partition p's state map. Safe to use from the operator
 // (same partition) or after Run returns; concurrent external mutation
 // during Run is the caller's responsibility.
@@ -331,6 +382,8 @@ func (e *Engine) StateMap(p int) (*StateMap, error) {
 // Close has been called and the input is drained. Queued rebroadcasts are
 // applied between micro-batches.
 func (e *Engine) Run(ctx context.Context) error {
+	e.running.Store(true)
+	defer e.running.Store(false)
 	// Flush pending updates/inspections at exit so nothing blocks
 	// forever when Run stops via context cancellation.
 	defer e.applyUpdates()
@@ -378,6 +431,7 @@ func (e *Engine) dropAbandoned(batch []Record) {
 			if e.instr != nil {
 				e.instr.dropped.Add(dropped)
 			}
+			e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "abandoned at cancellation", int64(dropped))
 			return
 		}
 	}
@@ -421,6 +475,7 @@ func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 // outputs to the sink in partition order.
 func (e *Engine) processBatch(batch []Record) {
 	start := e.cfg.Clock.Now()
+	batchSpan := e.spans.Start(e.cfg.Name, "batch", e.driverTid)
 	parts := make([][]Record, e.cfg.Partitions)
 	for _, rec := range batch {
 		if rec.Heartbeat {
@@ -444,6 +499,8 @@ func (e *Engine) processBatch(batch []Record) {
 		wg.Add(1)
 		go func(w *worker, recs []Record, out *[]any) {
 			defer wg.Done()
+			span := e.spans.Start(e.cfg.Name, "p"+strconv.Itoa(w.id)+" process", w.tid)
+			defer span.End()
 			c := &Context{engine: e, worker: w}
 			for _, rec := range recs {
 				*out = append(*out, e.process(c, rec)...)
@@ -469,13 +526,17 @@ func (e *Engine) processBatch(batch []Record) {
 	}
 
 	if e.sink == nil {
+		batchSpan.End()
 		return
 	}
+	sinkSpan := e.spans.Start(e.cfg.Name, "sink", e.driverTid)
 	for _, outs := range outputs {
 		for _, o := range outs {
 			e.sink(o)
 		}
 	}
+	sinkSpan.End()
+	batchSpan.End()
 }
 
 // process runs the operator on one record, containing panics so a
@@ -490,6 +551,8 @@ func (e *Engine) process(c *Context, rec Record) (out []any) {
 			if e.instr != nil {
 				e.instr.panics.Inc()
 			}
+			e.events.Record(obs.EventWorkerCrash, e.cfg.Name,
+				fmt.Sprintf("partition %d operator panic: %v", c.worker.id, r), 1)
 			out = nil
 		}
 	}()
@@ -545,6 +608,7 @@ func (e *Engine) applyUpdates() {
 		return
 	}
 	start := e.cfg.Clock.Now()
+	span := e.spans.Start(e.cfg.Name, "rebroadcast", e.driverTid)
 	for _, u := range pending {
 		e.driver.mu.Lock()
 		b := e.driver.blocks[u.id]
@@ -556,7 +620,9 @@ func (e *Engine) applyUpdates() {
 		for _, w := range e.workers {
 			delete(w.cache, u.id)
 		}
+		e.events.Record(obs.EventRebroadcastApplied, u.id, "installed at micro-batch barrier", int64(b.version+1))
 	}
+	span.End()
 	e.metMu.Lock()
 	e.metrics.UpdatesApplied += uint64(len(pending))
 	e.metrics.UpdateBlocked += e.cfg.Clock.Since(start)
@@ -597,6 +663,7 @@ func (c *Context) Broadcast(id string) (any, bool) {
 		return nil, false
 	}
 	c.worker.cache[id] = b
+	c.worker.pulled.Store(id, b.version)
 	c.engine.metMu.Lock()
 	c.engine.metrics.BroadcastPulls++
 	c.engine.metMu.Unlock()

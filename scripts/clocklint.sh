@@ -1,0 +1,36 @@
+#!/bin/sh
+# clocklint: forbid raw wall-clock reads outside the injectable clock.
+#
+# Every runtime component must take its time from internal/clock so the
+# paper's temporal guarantees (heartbeat expiry, rebroadcast barriers,
+# batch cadence) stay drivable by clock.Fake in tests. A raw time.Now()
+# or time.Since() in product code silently breaks that determinism, so
+# this grep gate fails CI when one appears outside the allowlist.
+#
+# Allowlist rationale:
+#   internal/clock/        the Real clock is the one legitimate caller
+#   internal/core/pipeline.go  Drain/Stop poll real deadlines: they bound
+#                          how long the test process itself waits, and
+#                          must elapse even when fake time stands still
+#   internal/testutil/wait.go  same: WaitUntil's failure deadline is real
+#   cmd/loadtest/          measures real wall-clock throughput by design
+#   examples/datacenter/   demo binary, wall-clock phase timing only
+#
+# Test files (_test.go) are exempt: tests own their clocks.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+allowlist='^internal/clock/|^internal/core/pipeline\.go|^internal/testutil/wait\.go|^cmd/loadtest/|^examples/datacenter/'
+
+violations=$(grep -rn --include='*.go' -E 'time\.(Now|Since)\(' \
+    internal cmd examples 2>/dev/null \
+    | grep -v '_test\.go:' \
+    | grep -vE "$allowlist" || true)
+
+if [ -n "$violations" ]; then
+    echo "clocklint: raw wall-clock read outside internal/clock (use the injected clock.Clock):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "clocklint: ok"
