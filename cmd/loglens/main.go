@@ -53,6 +53,8 @@ type options struct {
 	listen       string
 	metrics      bool
 	traceOut     string
+	ckptDir      string
+	ckptInterval time.Duration
 }
 
 func main() {
@@ -72,6 +74,8 @@ func main() {
 	flag.StringVar(&o.listen, "listen", "", "also accept remote shiplogs agents on this TCP address (e.g. :5044)")
 	flag.BoolVar(&o.metrics, "metrics", false, "dump the metrics registry (expvar-style text) to stderr after the stream ends")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the retained span window as Chrome trace JSON to this file at exit")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "enable crash recovery: write periodic checkpoints to this directory and restore from it at startup")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 30*time.Second, "periodic checkpoint cadence when -checkpoint-dir is set (0 = only explicit/final checkpoints)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -104,9 +108,19 @@ func run(o options) error {
 		Heartbeat:        heartbeat.Config{Interval: o.hbInterval},
 		ArchiveLogs:      true,
 		Builder:          modelmgr.BuilderConfig{VolumeWindow: o.volumeWindow},
+		Recovery:         core.RecoveryConfig{Dir: o.ckptDir, Interval: o.ckptInterval},
 	})
 	if err != nil {
 		return err
+	}
+	if o.ckptDir != "" {
+		restored, err := p.Restore()
+		if err != nil {
+			return fmt.Errorf("restore checkpoint: %w", err)
+		}
+		if restored {
+			fmt.Fprintf(os.Stderr, "restored from checkpoint in %s\n", o.ckptDir)
+		}
 	}
 	if o.stateDir != "" {
 		if _, err := os.Stat(o.stateDir); err == nil {
@@ -278,6 +292,15 @@ stream:
 		clk.Sleep(100 * time.Millisecond)
 		if err := p.Drain(time.Minute); err != nil {
 			return err
+		}
+	}
+
+	if o.ckptDir != "" {
+		gen, err := p.Checkpoint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "checkpoint generation %d written to %s\n", gen, o.ckptDir)
 		}
 	}
 

@@ -1,0 +1,168 @@
+package bus
+
+import (
+	"testing"
+)
+
+func publishN(t *testing.T, b *Bus, topic string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := b.PublishTo(topic, 0, "k", []byte{byte(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManualCommitSplitsReadFromCommitted(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("logs", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "logs", 5)
+
+	c, err := b.NewConsumer("g", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DisableAutoCommit()
+
+	msgs := c.TryPoll(0)
+	if len(msgs) != 5 {
+		t.Fatalf("polled %d, want 5", len(msgs))
+	}
+	// Read frontier advanced; committed did not.
+	if got := c.ReadLag(); got != 0 {
+		t.Errorf("ReadLag = %d, want 0", got)
+	}
+	if got := c.Lag(); got != 5 {
+		t.Errorf("Lag = %d, want 5 (nothing committed)", got)
+	}
+	if got := b.GroupOffsets("g")["logs/0"]; got != 0 {
+		t.Errorf("committed offset = %d, want 0", got)
+	}
+
+	// A second poll does not redeliver the in-flight batch.
+	if again := c.TryPoll(0); len(again) != 0 {
+		t.Fatalf("redelivered %d messages without a seek", len(again))
+	}
+
+	if err := c.Commit("logs", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Lag(); got != 2 {
+		t.Errorf("Lag after Commit(3) = %d, want 2", got)
+	}
+	if got := b.GroupOffsets("g")["logs/0"]; got != 3 {
+		t.Errorf("committed offset = %d, want 3", got)
+	}
+
+	// Commits never regress.
+	if err := c.Commit("logs", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.GroupOffsets("g")["logs/0"]; got != 3 {
+		t.Errorf("committed offset after regressive commit = %d, want 3", got)
+	}
+}
+
+func TestAutoCommitKeepsOffsetsTogether(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("logs", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "logs", 4)
+	c, err := b.NewConsumer("g", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.TryPoll(0)); got != 4 {
+		t.Fatalf("polled %d, want 4", got)
+	}
+	if got := c.Lag(); got != 0 {
+		t.Errorf("Lag = %d, want 0 under auto-commit", got)
+	}
+	if got := b.GroupOffsets("g")["logs/0"]; got != 4 {
+		t.Errorf("committed offset = %d, want 4", got)
+	}
+}
+
+func TestSeekGroupBeforeTopicCreation(t *testing.T) {
+	b := New()
+	// Restore path: offsets installed before the topic exists.
+	b.SeekGroup("g", "logs", 0, 7)
+	if err := b.CreateTopic("logs", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "logs", 10)
+	c, err := b.NewConsumer("g", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := c.TryPoll(0)
+	if len(msgs) != 3 {
+		t.Fatalf("polled %d, want 3 (resume at restored offset 7)", len(msgs))
+	}
+	if msgs[0].Offset != 7 {
+		t.Fatalf("first offset = %d, want 7", msgs[0].Offset)
+	}
+}
+
+func TestSeekMovesBothPositions(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("logs", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "logs", 5)
+	c, err := b.NewConsumer("g", "logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DisableAutoCommit()
+	c.TryPoll(0)
+	if err := c.Seek("logs", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.GroupOffsets("g")["logs/0"]; got != 2 {
+		t.Errorf("committed after Seek = %d, want 2", got)
+	}
+	msgs := c.TryPoll(0)
+	if len(msgs) != 3 || msgs[0].Offset != 2 {
+		t.Fatalf("post-seek poll = %d msgs from %d, want 3 from 2", len(msgs), msgs[0].Offset)
+	}
+}
+
+func TestReadFromIsSideEffectFree(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("deadletter", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, b, "deadletter", 3)
+	c, err := b.NewConsumer("g", "deadletter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.ReadFrom("deadletter", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].Offset != 1 {
+		t.Fatalf("ReadFrom = %d msgs from %d, want 2 from 1", len(msgs), msgs[0].Offset)
+	}
+	if got := c.Lag(); got != 3 {
+		t.Errorf("Lag = %d after peek, want 3 (peek commits nothing)", got)
+	}
+	if _, err := b.ReadFrom("deadletter", 5, 0, 0); err == nil {
+		t.Error("ReadFrom bad partition: want error")
+	}
+}
+
+func TestPartitionKeyRoundTrip(t *testing.T) {
+	key := PartitionKey("parsed/logs", 12)
+	topic, part, err := SplitPartitionKey(key)
+	if err != nil || topic != "parsed/logs" || part != 12 {
+		t.Fatalf("round trip = %q %d %v", topic, part, err)
+	}
+	if _, _, err := SplitPartitionKey("nopartition"); err == nil {
+		t.Error("want error for key without separator")
+	}
+}

@@ -14,11 +14,30 @@ import (
 // offsets. Consumers created with the same group name share offsets, so
 // each message is delivered to one member of the group. A Consumer is safe
 // for concurrent use.
+//
+// Each group tracks two positions per partition:
+//
+//   - the read offset — how far polls have advanced; the next Poll
+//     resumes here, and
+//   - the committed offset — how far processing is durably acknowledged;
+//     a crash/restart resumes here.
+//
+// By default the two move together: every poll commits what it returns
+// (auto-commit, the pre-recovery behavior). A consumer that calls
+// DisableAutoCommit takes over the committed position with explicit
+// Commit calls after its batches are fully processed, turning redelivery
+// of the read-but-uncommitted suffix into the at-least-once contract.
+// Seek and Lag are expressed against the committed position — Lag is
+// "messages a restart would have to reprocess", not "messages not yet
+// polled" (see Consumer.Lag).
 type Consumer struct {
 	bus       *Bus
 	group     *group
 	groupName string
 	topics    []string
+	// manual disables auto-commit for polls issued through this member
+	// of the group.
+	manual bool
 	// instr caches per-topic-partition consume instruments; guarded by
 	// group.mu (only touched inside TryPoll).
 	instr map[topicPartition]*consumeInstr
@@ -32,8 +51,18 @@ type consumeInstr struct {
 }
 
 type group struct {
-	mu      sync.Mutex
-	offsets map[topicPartition]int64
+	mu sync.Mutex
+	// read is the poll frontier; committed is the durable acknowledgment
+	// frontier. committed <= read except transiently across a Seek.
+	read      map[topicPartition]int64
+	committed map[topicPartition]int64
+}
+
+func newGroup() *group {
+	return &group{
+		read:      make(map[topicPartition]int64),
+		committed: make(map[topicPartition]int64),
+	}
 }
 
 type topicPartition struct {
@@ -53,25 +82,60 @@ func (b *Bus) NewConsumer(groupName string, topics ...string) (*Consumer, error)
 			return nil, err
 		}
 	}
-	b.groupsMu.Lock()
-	defer b.groupsMu.Unlock()
-	g, ok := b.groups[groupName]
-	if !ok {
-		g = &group{offsets: make(map[topicPartition]int64)}
-		b.groups[groupName] = g
-	}
 	return &Consumer{
 		bus:       b,
-		group:     g,
+		group:     b.groupByName(groupName),
 		groupName: groupName,
 		topics:    topics,
 		instr:     make(map[topicPartition]*consumeInstr),
 	}, nil
 }
 
+// groupByName returns (creating if needed) the named offset group.
+func (b *Bus) groupByName(name string) *group {
+	b.groupsMu.Lock()
+	defer b.groupsMu.Unlock()
+	g, ok := b.groups[name]
+	if !ok {
+		g = newGroup()
+		b.groups[name] = g
+	}
+	return g
+}
+
+// DisableAutoCommit switches this consumer to manual commits: polls still
+// advance the group's read offsets (so members do not re-read each
+// other's in-flight batches), but the committed offsets move only on
+// explicit Commit calls.
+func (c *Consumer) DisableAutoCommit() {
+	c.group.mu.Lock()
+	c.manual = true
+	c.group.mu.Unlock()
+}
+
+// Commit acknowledges processing of one partition up to (but excluding)
+// offset — the position a restart should resume from. Commits never
+// regress the committed offset; use Seek for deliberate rewinds.
+func (c *Consumer) Commit(topicName string, partition int, offset int64) error {
+	if _, err := c.bus.topic(topicName); err != nil {
+		return err
+	}
+	tp := topicPartition{topicName, partition}
+	c.group.mu.Lock()
+	defer c.group.mu.Unlock()
+	if offset > c.group.committed[tp] {
+		c.group.committed[tp] = offset
+	}
+	if mi := c.instrFor(tp); mi != nil {
+		mi.lag.Set(c.lagLocked(tp))
+	}
+	return nil
+}
+
 // Poll returns up to max pending messages across the subscription,
 // blocking until at least one message is available or the context is done.
-// Offsets advance past everything returned (auto-commit).
+// Read offsets advance past everything returned; with auto-commit (the
+// default) committed offsets follow.
 func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
 	for {
 		if msgs := c.TryPoll(max); len(msgs) > 0 {
@@ -90,8 +154,8 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Message, error) {
 	}
 }
 
-// waitAny blocks until any subscribed partition has data past the
-// committed offset or ctx is done.
+// waitAny blocks until any subscribed partition has data past the read
+// offset or ctx is done.
 func (c *Consumer) waitAny(ctx context.Context) error {
 	// Wait on the first partition of the first topic with a deadline
 	// re-check; other partitions are caught by the TryPoll retry.
@@ -100,7 +164,7 @@ func (c *Consumer) waitAny(ctx context.Context) error {
 		return err
 	}
 	c.group.mu.Lock()
-	off := c.group.offsets[topicPartition{c.topics[0], 0}]
+	off := c.group.read[topicPartition{c.topics[0], 0}]
 	c.group.mu.Unlock()
 	waitCtx, cancel := context.WithTimeout(ctx, pollInterval)
 	defer cancel()
@@ -111,8 +175,9 @@ func (c *Consumer) waitAny(ctx context.Context) error {
 	return nil
 }
 
-// TryPoll returns pending messages without blocking. Offsets advance past
-// everything returned.
+// TryPoll returns pending messages without blocking. Read offsets advance
+// past everything returned; committed offsets follow unless auto-commit is
+// disabled.
 func (c *Consumer) TryPoll(max int) []Message {
 	c.group.mu.Lock()
 	defer c.group.mu.Unlock()
@@ -128,17 +193,17 @@ func (c *Consumer) TryPoll(max int) []Message {
 				return out
 			}
 			tp := topicPartition{topicName, pi}
-			msgs := p.tryRead(c.group.offsets[tp], budget)
+			msgs := p.tryRead(c.group.read[tp], budget)
 			if len(msgs) == 0 {
 				continue
 			}
-			c.group.offsets[tp] = msgs[len(msgs)-1].Offset + 1
+			c.group.read[tp] = msgs[len(msgs)-1].Offset + 1
+			if !c.manual {
+				c.group.committed[tp] = c.group.read[tp]
+			}
 			if mi := c.instrFor(tp); mi != nil {
 				mi.consumed.Add(uint64(len(msgs)))
-				p.mu.Lock()
-				end := int64(len(p.log))
-				p.mu.Unlock()
-				mi.lag.Set(end - c.group.offsets[tp])
+				mi.lag.Set(c.lagLocked(tp))
 			}
 			out = append(out, msgs...)
 			if max > 0 {
@@ -147,6 +212,20 @@ func (c *Consumer) TryPoll(max int) []Message {
 		}
 	}
 	return out
+}
+
+// lagLocked computes the committed-offset lag for one partition. Caller
+// holds group.mu.
+func (c *Consumer) lagLocked(tp topicPartition) int64 {
+	t, err := c.bus.topic(tp.topic)
+	if err != nil || tp.partition >= len(t.partitions) {
+		return 0
+	}
+	p := t.partitions[tp.partition]
+	p.mu.Lock()
+	end := int64(len(p.log))
+	p.mu.Unlock()
+	return end - c.group.committed[tp]
 }
 
 // instrFor resolves (and caches) the consume instruments for a partition;
@@ -171,23 +250,29 @@ func (c *Consumer) instrFor(tp topicPartition) *consumeInstr {
 	return mi
 }
 
-// Seek rewinds (or forwards) the group's offset for one partition —
+// Seek rewinds (or forwards) the group's position for one partition —
 // log replay (§II: stored logs "can also be used for future log
-// replaying").
+// replaying"). Seek moves the read and committed offsets together: the
+// next poll resumes at offset, and a restart would too.
 func (c *Consumer) Seek(topicName string, partition int, offset int64) error {
 	if _, err := c.bus.topic(topicName); err != nil {
 		return err
 	}
+	tp := topicPartition{topicName, partition}
 	c.group.mu.Lock()
-	c.group.offsets[topicPartition{topicName, partition}] = offset
+	c.group.read[tp] = offset
+	c.group.committed[tp] = offset
 	c.group.mu.Unlock()
 	c.bus.recorder().Record(obs.EventBusSeek, c.groupName,
 		fmt.Sprintf("%s/%d seek", topicName, partition), offset)
 	return nil
 }
 
-// Lag returns the total number of unconsumed messages across the
-// subscription.
+// Lag returns the total number of messages past the committed offsets
+// across the subscription — the amount of work a crash/restart would
+// replay. Under auto-commit this equals the unpolled backlog; under
+// manual commits it also counts polled-but-unacknowledged messages, so
+// Lag can be nonzero even when every message has been read.
 func (c *Consumer) Lag() int64 {
 	c.group.mu.Lock()
 	defer c.group.mu.Unlock()
@@ -201,7 +286,29 @@ func (c *Consumer) Lag() int64 {
 			p.mu.Lock()
 			end := int64(len(p.log))
 			p.mu.Unlock()
-			lag += end - c.group.offsets[topicPartition{topicName, pi}]
+			lag += end - c.group.committed[topicPartition{topicName, pi}]
+		}
+	}
+	return lag
+}
+
+// ReadLag returns the total number of unpolled messages across the
+// subscription — the backlog measured at the read frontier. The drain
+// path uses it to decide the bus is empty even while commits trail.
+func (c *Consumer) ReadLag() int64 {
+	c.group.mu.Lock()
+	defer c.group.mu.Unlock()
+	var lag int64
+	for _, topicName := range c.topics {
+		t, err := c.bus.topic(topicName)
+		if err != nil {
+			continue
+		}
+		for pi, p := range t.partitions {
+			p.mu.Lock()
+			end := int64(len(p.log))
+			p.mu.Unlock()
+			lag += end - c.group.read[topicPartition{topicName, pi}]
 		}
 	}
 	return lag

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"loglens/internal/fsx"
+	"loglens/internal/obs"
+)
+
+// Filesystem fault roles, continuing the hash-role sequence so storage
+// decisions stay independent of the message-path streams.
+const (
+	roleFSWrite uint64 = iota + 100
+	roleFSShort
+)
+
+// Injected storage errors. ErrNoSpace mimics ENOSPC: once the byte
+// budget is exhausted every subsequent write fails until Reset.
+var (
+	ErrInjectedWrite = errors.New("chaos: injected write error")
+	ErrShortWrite    = errors.New("chaos: injected short write")
+	ErrNoSpace       = errors.New("chaos: no space left on device (injected)")
+)
+
+// FSConfig is a seeded storage fault plan. Zero values disable each
+// fault, so the zero FSConfig injects nothing.
+type FSConfig struct {
+	// Seed selects the fault schedule, independently of the message-path
+	// Config seed.
+	Seed int64
+	// WriteError is the probability a WriteFile fails outright, leaving
+	// the destination untouched.
+	WriteError float64
+	// ShortWrite is the probability a WriteFile persists only a seeded
+	// prefix of the data before failing — the torn write that atomic
+	// rename must mask.
+	ShortWrite float64
+	// ENOSPCAfter, when positive, is the total byte budget: once
+	// cumulative written bytes exceed it, every write fails with
+	// ErrNoSpace (a disk filling up mid-checkpoint).
+	ENOSPCAfter int64
+}
+
+// FSStats counts injected storage faults.
+type FSStats struct {
+	// Writes counts WriteFile attempts seen by the wrapper.
+	Writes uint64
+	// WriteErrors counts writes failed outright.
+	WriteErrors uint64
+	// ShortWrites counts writes that persisted a partial prefix.
+	ShortWrites uint64
+	// NoSpace counts writes rejected by the exhausted byte budget.
+	NoSpace uint64
+	// Bytes is the cumulative byte count written through the wrapper —
+	// what the ENOSPC budget is charged against. Tests size budgets by
+	// metering a healthy run first.
+	Bytes int64
+}
+
+// FaultFS wraps an fsx.FS with the seeded storage fault plan — the
+// failing-filesystem hook for store snapshot and recovery checkpoint
+// tests. Fault decisions are pure hashes of (seed, write index), so a
+// given save sequence fails at the same operation every run. Faults are
+// recorded to the flight recorder as storage-error events.
+type FaultFS struct {
+	mu     sync.Mutex
+	inner  fsx.FS
+	cfg    FSConfig
+	events *obs.FlightRecorder
+	writes uint64 // write op index, the coordinate of every decision
+	bytes  int64  // cumulative bytes written, for the ENOSPC budget
+	stats  FSStats
+	sched  []string
+}
+
+// NewFaultFS wraps inner (fsx.OS when nil) with the fault plan cfg,
+// recording injected faults to events (nil disables recording).
+func NewFaultFS(inner fsx.FS, cfg FSConfig, events *obs.FlightRecorder) *FaultFS {
+	if inner == nil {
+		inner = fsx.OS{}
+	}
+	return &FaultFS{inner: inner, cfg: cfg, events: events}
+}
+
+// WriteFile routes one write through the fault plan: outright failure,
+// short write (a seeded prefix reaches the disk before the error), or
+// ENOSPC once the byte budget is exhausted.
+func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	seq := f.writes
+	f.writes++
+	f.stats.Writes++
+
+	if f.cfg.ENOSPCAfter > 0 && f.bytes+int64(len(data)) > f.cfg.ENOSPCAfter {
+		f.stats.NoSpace++
+		f.sched = append(f.sched, fmt.Sprintf("w%d:enospc", seq))
+		f.mu.Unlock()
+		f.record(path, "enospc", seq)
+		return fmt.Errorf("chaos: write %s: %w", path, ErrNoSpace)
+	}
+	cfg := Config{Seed: f.cfg.Seed}
+	if cfg.chance(f.cfg.WriteError, roleFSWrite, seq, 0) {
+		f.stats.WriteErrors++
+		f.sched = append(f.sched, fmt.Sprintf("w%d:write-error", seq))
+		f.mu.Unlock()
+		f.record(path, "write-error", seq)
+		return fmt.Errorf("chaos: write %s: %w", path, ErrInjectedWrite)
+	}
+	if cfg.chance(f.cfg.ShortWrite, roleFSShort, seq, 0) && len(data) > 0 {
+		// Persist a seeded strict prefix, then fail — the bytes are on
+		// disk, the caller sees an error.
+		n := int(cfg.magnitude(roleFSShort, seq, 1) * float64(len(data)))
+		if n >= len(data) {
+			n = len(data) - 1
+		}
+		f.stats.ShortWrites++
+		f.bytes += int64(n)
+		f.sched = append(f.sched, fmt.Sprintf("w%d:short=%d/%d", seq, n, len(data)))
+		f.mu.Unlock()
+		f.inner.WriteFile(path, data[:n], perm)
+		f.record(path, fmt.Sprintf("short write %d/%d bytes", n, len(data)), seq)
+		return fmt.Errorf("chaos: write %s: %w", path, ErrShortWrite)
+	}
+	f.bytes += int64(len(data))
+	f.mu.Unlock()
+	return f.inner.WriteFile(path, data, perm)
+}
+
+// record emits a storage-error flight event for an injected fault.
+func (f *FaultFS) record(path, detail string, seq uint64) {
+	f.events.Record(obs.EventStorageError, "chaos-fs",
+		fmt.Sprintf("%s: %s", path, detail), int64(seq))
+}
+
+// Stats returns a snapshot of the storage fault counters.
+func (f *FaultFS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.Bytes = f.bytes
+	return s
+}
+
+// Schedule returns the storage fault schedule so far — the
+// reproducibility witness for save sequences.
+func (f *FaultFS) Schedule() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.sched...)
+}
+
+// Reset clears the byte budget and decision sequence, as if the disk
+// were cleared and the process restarted.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes = 0
+	f.bytes = 0
+}
+
+// Passthrough operations: only writes fail by plan. Reads of torn files
+// surface corruption naturally (partial JSON fails to parse).
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error)         { return f.inner.ReadFile(path) }
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error)   { return f.inner.ReadDir(path) }
+func (f *FaultFS) Remove(path string) error                     { return f.inner.Remove(path) }
+func (f *FaultFS) RemoveAll(path string) error                  { return f.inner.RemoveAll(path) }
+func (f *FaultFS) Rename(oldpath, newpath string) error         { return f.inner.Rename(oldpath, newpath) }

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"loglens/internal/clock"
+	"loglens/internal/fsx"
+	"loglens/internal/obs"
+)
+
+func TestFaultFSWriteError(t *testing.T) {
+	dir := t.TempDir()
+	rec := obs.NewFlightRecorder(clock.NewFake(), 16)
+	ffs := NewFaultFS(fsx.OS{}, FSConfig{Seed: 7, WriteError: 1}, rec)
+	err := ffs.WriteFile(filepath.Join(dir, "a"), []byte("data"), 0o644)
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want ErrInjectedWrite", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); !os.IsNotExist(err) {
+		t.Fatal("destination exists after failed write")
+	}
+	if s := ffs.Stats(); s.WriteErrors != 1 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	evs := rec.Events(obs.EventQuery{Type: obs.EventStorageError})
+	if len(evs) != 1 {
+		t.Fatalf("flight events = %d, want 1 storage-error", len(evs))
+	}
+}
+
+func TestFaultFSShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(fsx.OS{}, FSConfig{Seed: 7, ShortWrite: 1}, nil)
+	data := []byte("0123456789abcdef")
+	path := filepath.Join(dir, "torn")
+	err := ffs.WriteFile(path, data, 0o644)
+	if !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("short write left no file: %v", rerr)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("short write persisted %d/%d bytes, want a strict prefix", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatalf("persisted bytes are not a prefix: %q", got)
+	}
+}
+
+func TestFaultFSENOSPCBudget(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(fsx.OS{}, FSConfig{Seed: 1, ENOSPCAfter: 10}, nil)
+	if err := ffs.WriteFile(filepath.Join(dir, "ok"), []byte("12345678"), 0o644); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := ffs.WriteFile(filepath.Join(dir, "full"), []byte("12345678"), 0o644)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if s := ffs.Stats(); s.NoSpace != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	ffs.Reset()
+	if err := ffs.WriteFile(filepath.Join(dir, "again"), []byte("12345678"), 0o644); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestFaultFSDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		ffs := NewFaultFS(fsx.OS{}, FSConfig{Seed: 42, WriteError: 0.3, ShortWrite: 0.3}, nil)
+		for i := 0; i < 40; i++ {
+			ffs.WriteFile(filepath.Join(dir, "f"), []byte("payload-payload"), 0o644)
+		}
+		return ffs.Schedule()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at p=0.3 over 40 writes")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedules differ:\n%v\n%v", a, b)
+	}
+}
+
+func TestFaultFSAtomicWriteMasksTornWrite(t *testing.T) {
+	// The contract the checkpoint manager relies on: a short write under
+	// WriteFileAtomic tears only the temp file; the destination keeps its
+	// previous contents.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	if err := fsx.WriteFileAtomic(fsx.OS{}, path, []byte(`{"gen":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(fsx.OS{}, FSConfig{Seed: 3, ShortWrite: 1}, nil)
+	if err := fsx.WriteFileAtomic(ffs, path, []byte(`{"gen":2}`), 0o644); err == nil {
+		t.Fatal("want error from torn write")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != `{"gen":1}` {
+		t.Fatalf("destination = %q, %v; want previous generation intact", got, err)
+	}
+}

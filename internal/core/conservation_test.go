@@ -102,7 +102,7 @@ func TestConservationClean(t *testing.T) {
 	if got := snap.Counter("stream_records_total", "engine", "main"); got != n {
 		t.Errorf("stream_records_total = %d, want %d", got, n)
 	}
-	if got := snap.Counter("stream_records_dropped_total", "engine", "main"); got != 0 {
+	if got := snap.Counter("stream_records_dropped_total", "engine", "main", "reason", "abandoned"); got != 0 {
 		t.Errorf("stream_records_dropped_total = %d, want 0", got)
 	}
 	// Parser verdicts: exact split, and the balance closes.
@@ -199,7 +199,7 @@ func TestConservationUnderChaos(t *testing.T) {
 	if got := snap.Counter("stream_records_total", "engine", "main"); got != stats.Delivered {
 		t.Errorf("stream_records_total = %d, want %d", got, stats.Delivered)
 	}
-	if got := snap.Counter("stream_records_dropped_total", "engine", "main"); got != 0 {
+	if got := snap.Counter("stream_records_dropped_total", "engine", "main", "reason", "abandoned"); got != 0 {
 		t.Errorf("stream_records_dropped_total = %d, want 0", got)
 	}
 	parsed := snap.Counter("core_parsed_total")

@@ -31,6 +31,7 @@ import (
 	"loglens/internal/obs"
 	"loglens/internal/parser"
 	"loglens/internal/preprocess"
+	"loglens/internal/recovery"
 	"loglens/internal/seqdetect"
 	"loglens/internal/store"
 	"loglens/internal/stream"
@@ -110,6 +111,10 @@ type Config struct {
 	// must stay below Heartbeat.ActivityWindow, past which the source is
 	// forgotten and the probe recovers).
 	HeartbeatStale time.Duration
+	// Recovery enables the crash-recovery plane: checkpoint/restore,
+	// commit-gated at-least-once consumption, supervised restarts, and
+	// the poison-record quarantine. See RecoveryConfig.
+	Recovery RecoveryConfig
 }
 
 // Pipeline is a running LogLens deployment.
@@ -160,6 +165,23 @@ type Pipeline struct {
 	pumpExited chan struct{}
 
 	wireServers []*wire.Server
+
+	// Recovery plane (nil/zero unless Config.Recovery is enabled).
+	ckpt             *recovery.Manager
+	quarantine       *recovery.Quarantine
+	quarantined      atomic.Uint64
+	quarantinedTotal *metrics.Counter
+	commits          *commitTracker
+	parsedCommits    *commitTracker
+	commitsOn        atomic.Bool
+	pumpPaused       atomic.Bool
+	pumpIdle         atomic.Bool
+	killed           atomic.Bool
+	engineCancel     context.CancelFunc
+	ckptMu           sync.Mutex // serializes Checkpoint calls
+	ckptStatusMu     sync.Mutex
+	ckptLastGen      uint64
+	ckptLastErr      error
 }
 
 // New constructs a Pipeline with its own bus and storage.
@@ -211,6 +233,11 @@ func New(cfg Config) (*Pipeline, error) {
 		p.hb.Instrument(p.reg)
 		p.hb.SetOps(cfg.Ops)
 	}
+	if cfg.Recovery.enabled() {
+		if err := p.initRecovery(); err != nil {
+			return nil, err
+		}
+	}
 	engineCfg := stream.Config{
 		Partitions:    cfg.Partitions,
 		BatchInterval: cfg.BatchInterval,
@@ -218,23 +245,45 @@ func New(cfg Config) (*Pipeline, error) {
 		Metrics:       p.reg,
 		Ops:           cfg.Ops,
 	}
+	if p.ckpt != nil {
+		engineCfg.PanicHook = p.onOperatorPanic
+	}
 	if cfg.Staged {
 		engineCfg.Name = "parse"
+		if p.commits != nil {
+			engineCfg.BatchHook = p.commits.flush
+		}
 		p.engine = stream.New(engineCfg, p.parseOperator)
 		p.engine.SetSink(p.parseSink)
 		engineCfg.Name = "detect"
+		if p.parsedCommits != nil {
+			engineCfg.BatchHook = p.parsedCommits.flush
+		}
 		p.detectEngine = stream.New(engineCfg, p.detectOperator)
 		p.detectEngine.SetSink(p.sink)
 	} else {
 		engineCfg.Name = "main"
+		if p.commits != nil {
+			engineCfg.BatchHook = p.commits.flush
+		}
 		p.engine = stream.New(engineCfg, p.operator)
 		p.engine.SetSink(p.sink)
 	}
-	p.logmgr = logmanager.New(p.bus, p.store, logmanager.Config{
+	lmCfg := logmanager.Config{
 		ArchiveLogs: cfg.ArchiveLogs,
 		Metrics:     p.reg,
 		Tracer:      cfg.Tracer,
-	}, p.forward)
+	}
+	if p.commits != nil {
+		// At-least-once intake: the consumer commits nothing on its own;
+		// every poll batch becomes a pending commit gated on the engine's
+		// resolved watermark.
+		lmCfg.ManualCommit = true
+		lmCfg.OnBatch = func(msgs []bus.Message) {
+			p.commits.register(msgs, p.forwarded.Load())
+		}
+	}
+	p.logmgr = logmanager.New(p.bus, p.store, lmCfg, p.forward)
 	// Heartbeats arrive tagged on the data channel (§V-B) and become
 	// heartbeat records fanned to every partition of the stateful stage.
 	p.logmgr.OnHeartbeat(func(source string, t time.Time) {
@@ -342,6 +391,22 @@ func (p *Pipeline) registerProbes() {
 		}
 		return obs.ProbeResult{Status: obs.Healthy, Detail: detail}
 	})
+	if p.ckpt != nil {
+		h.Register("checkpoint", func() obs.ProbeResult {
+			p.ckptStatusMu.Lock()
+			gen, err := p.ckptLastGen, p.ckptLastErr
+			p.ckptStatusMu.Unlock()
+			switch {
+			case err != nil:
+				return obs.ProbeResult{Status: obs.Degraded,
+					Detail: "last checkpoint failed: " + err.Error()}
+			case gen == 0:
+				return obs.ProbeResult{Status: obs.Healthy, Detail: "no checkpoint yet"}
+			}
+			return obs.ProbeResult{Status: obs.Healthy,
+				Detail: fmt.Sprintf("checkpoint generation %d current", gen)}
+		})
+	}
 }
 
 // Bus exposes the message bus (for agents and tools).
@@ -521,11 +586,21 @@ func (p *Pipeline) Start() error {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
+	// The engines get their own cancellable context: orderly Stop drains
+	// via Close, while Kill aborts mid-batch through the cancel.
+	engineCtx, engineCancel := context.WithCancel(context.Background())
+	p.engineCancel = engineCancel
+	p.killed.Store(false)
+	p.commitsOn.Store(true)
 
+	mainEngineName := "main"
+	if p.detectEngine != nil {
+		mainEngineName = "parse"
+	}
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		p.runErr <- p.engine.Run(context.Background())
+		p.runErr <- p.runSupervised("engine:"+mainEngineName, engineCtx, p.engine.Run)
 	}()
 
 	if p.detectEngine != nil {
@@ -535,7 +610,7 @@ func (p *Pipeline) Start() error {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			p.detectEngine.Run(context.Background())
+			p.runSupervised("engine:detect", engineCtx, p.detectEngine.Run)
 		}()
 		p.pumpDone = make(chan struct{})
 		p.pumpExited = make(chan struct{})
@@ -543,15 +618,35 @@ func (p *Pipeline) Start() error {
 		go func() {
 			defer p.wg.Done()
 			defer close(p.pumpExited)
-			p.pumpParsed(p.pumpDone)
+			p.runSupervised("parsed-pump", ctx, func(context.Context) error {
+				p.pumpParsed(p.pumpDone)
+				return nil
+			})
 		}()
 	}
 
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		p.logmgr.Run(ctx)
+		p.runSupervised("log-manager", ctx, p.logmgr.Run)
 	}()
+
+	if p.ckpt != nil && p.cfg.Recovery.Interval > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			t := p.cfg.Clock.NewTicker(p.cfg.Recovery.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C():
+					p.Checkpoint()
+				}
+			}
+		}()
+	}
 
 	p.wg.Add(1)
 	go func() {
@@ -587,9 +682,13 @@ func (p *Pipeline) publishHeartbeat(source string, t time.Time) {
 // reading exact anomaly counts in batch experiments.
 func (p *Pipeline) Drain(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	// Phase 1: bus drained into the engine.
+	// Phase 1: bus drained into the engine. Negative lag counts as
+	// drained — a group restored from a checkpoint can sit ahead of a
+	// rebuilt in-memory topic (heartbeats interleave on the data topic,
+	// so absolute offsets are not stable across a re-streamed run), and
+	// a consumer ahead of the log has nothing left to read.
 	for {
-		if p.logmgrLag() == 0 {
+		if p.logmgrLag() <= 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -614,7 +713,7 @@ func (p *Pipeline) Drain(timeout time.Duration) error {
 	// Staged phases: the parsed topic drained into the detector stage,
 	// and the detector stage has processed everything.
 	for {
-		if p.parsedLag() == 0 {
+		if p.parsedLag() <= 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -671,6 +770,9 @@ func (p *Pipeline) Stop() error {
 		p.detectEngine.Close()
 	}
 	p.wg.Wait()
+	if p.engineCancel != nil {
+		p.engineCancel()
+	}
 	return err
 }
 
@@ -887,6 +989,9 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 	l, ok := rec.Value.(logtypes.Log)
 	if !ok {
 		return nil
+	}
+	if p.ckpt != nil {
+		p.checkPoison(l)
 	}
 	if p.cfg.Tracer != nil {
 		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StagePartition, "p="+strconv.Itoa(ctx.Partition()))

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/bus"
+	"loglens/internal/fsx"
+	"loglens/internal/logtypes"
+	"loglens/internal/obs"
+	"loglens/internal/preprocess"
+	"loglens/internal/recovery"
+	"loglens/internal/stream"
+	"loglens/internal/volume"
+)
+
+// RecoveryConfig enables the crash-recovery plane (internal/recovery):
+// at-least-once bus consumption with commits gated on processing,
+// periodic atomic checkpoints, supervised component restarts with a
+// circuit breaker, and a poison-record quarantine. Recovery is on when
+// Dir is non-empty.
+//
+// Delivery semantics with recovery on: every log line is processed at
+// least once; a restart restores the last checkpoint and replays the bus
+// from its committed offsets, so counters, operator state, and the
+// anomaly store land exactly where an uninterrupted run would have —
+// work done after the checkpoint is simply redone. Heartbeat controller
+// state is deliberately not checkpointed (heartbeats are periodic and
+// best-effort; the next beat rebuilds it).
+type RecoveryConfig struct {
+	// Dir is the checkpoint directory; non-empty enables recovery.
+	Dir string
+	// Interval is the periodic checkpoint cadence on the pipeline clock
+	// (0 = checkpoints only via explicit Checkpoint calls).
+	Interval time.Duration
+	// FS is the filesystem checkpoints are written through (default the
+	// OS; the chaos harness injects storage faults here).
+	FS fsx.FS
+	// Keep is how many checkpoint generations to retain (default 2).
+	Keep int
+	// PoisonStrikes is K: a record that panics the operator K times
+	// across redeliveries is quarantined to the deadletter topic
+	// (default 3).
+	PoisonStrikes int
+	// PoisonMarker, when non-empty, makes the operator panic on any log
+	// line containing it — the chaos harness's deterministic poison
+	// injection for exercising the quarantine end to end. Only honored
+	// with recovery enabled (a panicking record needs the quarantine to
+	// have somewhere to go).
+	PoisonMarker string
+	// Supervisor knobs: restart backoff range, the sliding window and
+	// restart budget of the circuit breaker, and the jitter seed. Zero
+	// values take the internal/recovery defaults.
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	RestartWindow time.Duration
+	MaxRestarts   int
+	Seed          int64
+}
+
+func (c RecoveryConfig) enabled() bool { return c.Dir != "" }
+
+// logmgrGroup is the log manager's consumer group (the logmanager
+// package default, fixed here because checkpoints record it by name).
+const logmgrGroup = "log-manager"
+
+// parsedPumpGroup is the staged topology's parsed-topic consumer group.
+const parsedPumpGroup = "parsed-pump"
+
+// quiesceTimeout bounds the checkpoint barrier wait.
+const quiesceTimeout = 30 * time.Second
+
+// pendingCommit is one poll batch's offsets waiting for the engine to
+// resolve the records that came out of it.
+type pendingCommit struct {
+	offsets   map[int]int64 // partition -> next offset to consume
+	watermark uint64        // commit when engine Resolved reaches this
+}
+
+// commitTracker implements the at-least-once commit gate for one
+// (group, topic): the log manager registers each consumed poll batch
+// with the sender-side watermark (records forwarded so far), and the
+// engine's BatchHook flushes every pending batch whose watermark the
+// resolved count has passed. Offsets therefore only ever commit once the
+// records they cover are fully processed — a crash in between redelivers
+// them.
+type commitTracker struct {
+	b     *bus.Bus
+	group string
+	topic string
+	on    *atomic.Bool // pipeline-level gate; Kill flips it off
+
+	mu       sync.Mutex
+	pending  []pendingCommit
+	consumer *bus.Consumer
+}
+
+// register queues a consumed batch's offsets behind the watermark.
+func (t *commitTracker) register(msgs []bus.Message, watermark uint64) {
+	if t == nil || len(msgs) == 0 {
+		return
+	}
+	offs := make(map[int]int64)
+	for _, m := range msgs {
+		if m.Offset+1 > offs[m.Partition] {
+			offs[m.Partition] = m.Offset + 1
+		}
+	}
+	t.mu.Lock()
+	t.pending = append(t.pending, pendingCommit{offsets: offs, watermark: watermark})
+	t.mu.Unlock()
+}
+
+// flush commits every pending batch whose watermark resolved has
+// reached. Wired as the engine's BatchHook, so it runs at every
+// micro-batch barrier.
+func (t *commitTracker) flush(resolved uint64) {
+	if t == nil || !t.on.Load() {
+		return
+	}
+	t.mu.Lock()
+	var merged map[int]int64
+	n := 0
+	for ; n < len(t.pending) && t.pending[n].watermark <= resolved; n++ {
+		for part, off := range t.pending[n].offsets {
+			if merged == nil {
+				merged = make(map[int]int64)
+			}
+			if off > merged[part] {
+				merged[part] = off
+			}
+		}
+	}
+	t.pending = t.pending[n:]
+	c := t.consumer
+	if c == nil && merged != nil {
+		if nc, err := t.b.NewConsumer(t.group, t.topic); err == nil {
+			t.consumer = nc
+			c = nc
+		}
+	}
+	t.mu.Unlock()
+	if c == nil {
+		return
+	}
+	for part, off := range merged {
+		c.Commit(t.topic, part, off)
+	}
+}
+
+// initRecovery builds the recovery plane. Called from New before the
+// engines and the log manager so the hooks can be threaded into their
+// configs.
+func (p *Pipeline) initRecovery() error {
+	rc := p.cfg.Recovery
+	p.ckpt = recovery.NewManager(rc.FS, rc.Dir)
+	if rc.Keep > 0 {
+		p.ckpt.SetKeep(rc.Keep)
+	}
+	q, err := recovery.NewQuarantine(rc.PoisonStrikes, p.bus, p.events)
+	if err != nil {
+		return err
+	}
+	p.quarantine = q
+	p.quarantinedTotal = p.reg.Counter("core_quarantined_total")
+	p.commits = &commitTracker{b: p.bus, group: logmgrGroup, topic: agent.LogsTopic, on: &p.commitsOn}
+	if p.cfg.Staged {
+		p.parsedCommits = &commitTracker{b: p.bus, group: parsedPumpGroup, topic: ParsedTopic, on: &p.commitsOn}
+	}
+	return nil
+}
+
+func (p *Pipeline) supervisorConfig() recovery.SupervisorConfig {
+	rc := p.cfg.Recovery
+	return recovery.SupervisorConfig{
+		Clock:       p.cfg.Clock,
+		BackoffBase: rc.BackoffBase,
+		BackoffMax:  rc.BackoffMax,
+		Window:      rc.RestartWindow,
+		MaxRestarts: rc.MaxRestarts,
+		Seed:        rc.Seed,
+		Events:      p.events,
+	}
+}
+
+// runSupervised runs task under a restart supervisor when recovery is
+// enabled (plain invocation otherwise). Each supervisor registers a
+// health probe, so a restart storm degrades /readyz and an open breaker
+// reports unhealthy.
+func (p *Pipeline) runSupervised(name string, ctx context.Context, task func(context.Context) error) error {
+	if p.ckpt == nil {
+		return task(ctx)
+	}
+	sup := recovery.NewSupervisor(name, p.supervisorConfig())
+	if p.cfg.Ops != nil && p.cfg.Ops.Health != nil {
+		p.cfg.Ops.Health.Register("supervisor:"+name, sup.Probe)
+	}
+	return sup.Run(ctx, task)
+}
+
+// onOperatorPanic is the engine PanicHook: strike the record and requeue
+// it for redelivery until the quarantine routes it to the deadletter
+// topic. Quarantined records count toward conservation (lines == parsed
+// + unparsed + quarantined).
+func (p *Pipeline) onOperatorPanic(_ int, rec stream.Record, v any) bool {
+	source, seq, raw := recordIdentity(rec)
+	key := source + "#" + strconv.FormatUint(seq, 10)
+	if p.quarantine.Strike(key, source, seq, raw, fmt.Sprint(v)) {
+		p.quarantined.Add(1)
+		p.quarantinedTotal.Inc()
+		return false
+	}
+	return true
+}
+
+// checkPoison panics on chaos-injected poison lines
+// (RecoveryConfig.PoisonMarker); the engine's panic containment and the
+// quarantine take it from there.
+func (p *Pipeline) checkPoison(l logtypes.Log) {
+	if m := p.cfg.Recovery.PoisonMarker; m != "" && strings.Contains(l.Raw, m) {
+		panic("chaos: poison record " + l.Source + "#" + strconv.FormatUint(l.Seq, 10))
+	}
+}
+
+// recordIdentity extracts (source, seq, raw line) from a stream record
+// for quarantine bookkeeping.
+func recordIdentity(rec stream.Record) (string, uint64, string) {
+	switch l := rec.Value.(type) {
+	case logtypes.Log:
+		return l.Source, l.Seq, l.Raw
+	case *logtypes.ParsedLog:
+		return l.Source, l.Seq, l.Raw
+	}
+	return rec.Key, 0, ""
+}
+
+// QuarantinedCount returns how many records the quarantine routed to the
+// deadletter topic.
+func (p *Pipeline) QuarantinedCount() uint64 { return p.quarantined.Load() }
+
+// DeadLetters peeks up to max quarantined records from the deadletter
+// topic (offset 0 onward) without consuming them. Empty when recovery is
+// disabled or nothing was quarantined.
+func (p *Pipeline) DeadLetters(max int) []bus.Message {
+	msgs, err := p.bus.ReadFrom(recovery.DeadLetterTopic, 0, 0, max)
+	if err != nil {
+		return nil
+	}
+	return msgs
+}
+
+// Checkpoint quiesces the pipeline at a micro-batch barrier and writes
+// one atomic checkpoint generation: committed offsets, cumulative
+// counters, model bindings, per-partition operator state, pending
+// quarantine strikes, and a store snapshot. On a running pipeline intake
+// pauses for the barrier and resumes afterward; on a stopped pipeline
+// the state is already quiescent. Returns the generation written.
+func (p *Pipeline) Checkpoint() (uint64, error) {
+	if p.ckpt == nil {
+		return 0, fmt.Errorf("core: recovery disabled (no checkpoint dir)")
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	p.mu.Lock()
+	running := p.running
+	p.mu.Unlock()
+	if running {
+		defer p.resumeIntake()
+		if err := p.quiesce(quiesceTimeout); err != nil {
+			p.noteCheckpoint(0, err)
+			return 0, err
+		}
+	}
+	gen, err := p.ckpt.Save(p.buildCheckpoint(), p.store)
+	p.noteCheckpoint(gen, err)
+	return gen, err
+}
+
+// noteCheckpoint records the outcome for the health probe and the flight
+// recorder.
+func (p *Pipeline) noteCheckpoint(gen uint64, err error) {
+	p.ckptStatusMu.Lock()
+	p.ckptLastErr = err
+	if err == nil {
+		p.ckptLastGen = gen
+	}
+	p.ckptStatusMu.Unlock()
+	if err != nil {
+		p.events.Record(obs.EventStorageError, "checkpoint", err.Error(), 0)
+		return
+	}
+	p.events.Record(obs.EventCheckpoint, "save", fmt.Sprintf("generation %d", gen), int64(gen))
+}
+
+// quiesce pauses intake and waits until every record consumed so far is
+// fully resolved and its offsets committed — the consistent cut a
+// checkpoint captures: committed == read == resolved.
+func (p *Pipeline) quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wait := func(cond func() bool, what string) error {
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: checkpoint barrier timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+	p.logmgr.Pause()
+	if err := wait(p.logmgr.Idle, "log-manager pause"); err != nil {
+		return err
+	}
+	// Intake parked: forwarded counts are final. Wait for the engine to
+	// resolve everything consumed so far.
+	if err := wait(func() bool {
+		return p.engine.Metrics().Resolved >= p.forwarded.Load()
+	}, "engine resolution"); err != nil {
+		return err
+	}
+	// Resolved advances before the batch's sink runs, so it alone cannot
+	// certify that emitted outputs (parsed-topic publishes, stored
+	// anomalies) have landed. The commit gate fires after the sink at
+	// every barrier — empty ones included — so zero committed lag means
+	// the final sink has run and every consumed offset is committed.
+	// Negative lag (committed ahead of the topic) also counts as drained:
+	// a restored group's offsets can exceed a rebuilt in-memory topic
+	// when heartbeat interleaving shifted absolute positions.
+	if err := wait(func() bool { return p.logmgrLag() <= 0 }, "offset commit"); err != nil {
+		return err
+	}
+	if p.detectEngine != nil {
+		if err := wait(func() bool { return p.parsedReadLag() <= 0 }, "parsed-topic drain"); err != nil {
+			return err
+		}
+		p.pumpPaused.Store(true)
+		if err := wait(p.pumpIdle.Load, "parsed-pump pause"); err != nil {
+			return err
+		}
+		if err := wait(func() bool {
+			return p.detectEngine.Metrics().Resolved >= p.parsedForwarded.Load()
+		}, "detector resolution"); err != nil {
+			return err
+		}
+		if err := wait(func() bool { return p.parsedCommitLag() <= 0 }, "parsed offset commit"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parsedCommitLag is the parsed-pump group's committed lag.
+func (p *Pipeline) parsedCommitLag() int64 {
+	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	if err != nil {
+		return 0
+	}
+	return c.Lag()
+}
+
+func (p *Pipeline) resumeIntake() {
+	p.pumpPaused.Store(false)
+	p.logmgr.Resume()
+}
+
+// parsedReadLag is the parsed-pump group's read-frontier lag: messages
+// published to the parsed topic the pump has not yet consumed.
+func (p *Pipeline) parsedReadLag() int64 {
+	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	if err != nil {
+		return 0
+	}
+	return c.ReadLag()
+}
+
+// buildCheckpoint assembles the checkpoint at an already-quiescent
+// barrier.
+func (p *Pipeline) buildCheckpoint() *recovery.Checkpoint {
+	cp := &recovery.Checkpoint{
+		SavedAt: p.cfg.Clock.Now(),
+		Offsets: make(map[string]map[string]int64),
+		Counters: map[string]uint64{
+			"lines":       p.linesTotal.Value(),
+			"parsed":      p.parsedTotal.Value(),
+			"unparsed":    p.unparsed.Load(),
+			"heartbeats":  p.hbTotal.Value(),
+			"anomalies":   p.anomalies.Load(),
+			"quarantined": p.quarantined.Load(),
+		},
+		Quarantine: p.quarantine.Pending(),
+	}
+	if offs := p.bus.GroupOffsets(logmgrGroup); len(offs) > 0 {
+		cp.Offsets[logmgrGroup] = offs
+	}
+	// The parsed topic is derived state and deliberately not
+	// checkpointed: the barrier guarantees it is fully drained into
+	// detector state at the cut, and after a restore the parse stage
+	// regenerates it from the replayed suffix on a fresh topic — whose
+	// offsets share nothing with the pre-crash topic's.
+	p.mu.Lock()
+	if p.current != nil {
+		cp.DefaultModelID = p.current.ID
+	}
+	if len(p.bySource) > 0 {
+		cp.SourceModels = make(map[string]string, len(p.bySource))
+		for source, m := range p.bySource {
+			cp.SourceModels[source] = m.ID
+		}
+	}
+	running := p.running
+	p.mu.Unlock()
+	for _, ne := range p.namedEngines() {
+		cp.Engines = append(cp.Engines, engineSnapshot(ne.name, ne.engine, running))
+	}
+	return cp
+}
+
+type namedEngine struct {
+	name   string
+	engine *stream.Engine
+}
+
+func (p *Pipeline) namedEngines() []namedEngine {
+	if p.detectEngine != nil {
+		return []namedEngine{{"parse", p.engine}, {"detect", p.detectEngine}}
+	}
+	return []namedEngine{{"main", p.engine}}
+}
+
+func (p *Pipeline) engineByName(name string) *stream.Engine {
+	for _, ne := range p.namedEngines() {
+		if ne.name == name {
+			return ne.engine
+		}
+	}
+	return nil
+}
+
+// engineSnapshot serializes one engine's per-partition operator state.
+// On a running engine the capture happens at a micro-batch barrier (the
+// same lock step model updates use); on a stopped one the partitions are
+// quiescent and read directly.
+func engineSnapshot(name string, e *stream.Engine, running bool) recovery.EngineState {
+	es := recovery.EngineState{Name: name}
+	capture := func(partition int, states *stream.StateMap) {
+		ps := recovery.PartitionState{Index: partition}
+		states.Range(func(key string, v any) bool {
+			st, ok := v.(*coreOpState)
+			if !ok {
+				return true
+			}
+			ks := recovery.KeyState{Key: key}
+			if st.model != nil {
+				ks.ModelID = st.model.ID
+			}
+			if st.parser != nil {
+				sv := st.parser.SaveState()
+				ks.Parser = &sv
+			}
+			if st.detector != nil {
+				sv := st.detector.SaveState()
+				ks.Detector = &sv
+			}
+			if st.volume != nil {
+				sv := st.volume.SaveState()
+				ks.Volume = &sv
+			}
+			ps.Keys = append(ps.Keys, ks)
+			return true
+		})
+		sort.Slice(ps.Keys, func(i, j int) bool { return ps.Keys[i].Key < ps.Keys[j].Key })
+		es.Partitions = append(es.Partitions, ps)
+	}
+	if running {
+		e.Inspect(capture)
+	} else {
+		for i := 0; i < e.Partitions(); i++ {
+			if sm, err := e.StateMap(i); err == nil {
+				capture(i, sm)
+			}
+		}
+	}
+	sort.Slice(es.Partitions, func(i, j int) bool { return es.Partitions[i].Index < es.Partitions[j].Index })
+	return es
+}
+
+// Restore loads the newest checkpoint into a freshly constructed, not
+// yet started pipeline: store snapshot, cumulative counters, model
+// bindings, per-partition operator state, pending quarantine strikes,
+// and the committed bus offsets (installed via SeekGroup so consumption
+// resumes exactly at the cut once the input is replayed onto the bus).
+// Returns false when the checkpoint directory holds no checkpoint.
+func (p *Pipeline) Restore() (bool, error) {
+	if p.ckpt == nil {
+		return false, fmt.Errorf("core: recovery disabled (no checkpoint dir)")
+	}
+	p.mu.Lock()
+	running := p.running
+	p.mu.Unlock()
+	if running {
+		return false, fmt.Errorf("core: restore requires a stopped pipeline")
+	}
+	cp, ok, err := p.ckpt.Load()
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := p.ckpt.RestoreStore(cp, p.store); err != nil {
+		return false, err
+	}
+	p.restoreCounters(cp.Counters)
+	if err := p.restoreModels(cp); err != nil {
+		return false, err
+	}
+	if err := p.restoreEngines(cp.Engines); err != nil {
+		return false, err
+	}
+	p.quarantine.Restore(cp.Quarantine, cp.Counters["quarantined"])
+	for group, offs := range cp.Offsets {
+		for pk, off := range offs {
+			topic, part, err := bus.SplitPartitionKey(pk)
+			if err != nil {
+				return false, err
+			}
+			p.bus.SeekGroup(group, topic, part, off)
+		}
+	}
+	p.ckptStatusMu.Lock()
+	p.ckptLastGen = cp.Generation
+	p.ckptStatusMu.Unlock()
+	p.events.Record(obs.EventCheckpoint, "restore",
+		fmt.Sprintf("restored generation %d", cp.Generation), int64(cp.Generation))
+	return true, nil
+}
+
+// restoreCounters rebases the cumulative conservation counters on a
+// fresh pipeline's zeroed registry. Labeled per-type anomaly counters
+// are not restored — they are diagnostics, not conservation inputs.
+func (p *Pipeline) restoreCounters(c map[string]uint64) {
+	p.linesTotal.Add(c["lines"])
+	p.parsedTotal.Add(c["parsed"])
+	p.unparsedTotal.Add(c["unparsed"])
+	p.unparsed.Store(c["unparsed"])
+	p.hbTotal.Add(c["heartbeats"])
+	p.anomalies.Store(c["anomalies"])
+	p.quarantined.Store(c["quarantined"])
+	if p.quarantinedTotal != nil {
+		p.quarantinedTotal.Add(c["quarantined"])
+	}
+}
+
+// restoreModels rebinds the default and per-source models by ID against
+// the restored model storage.
+func (p *Pipeline) restoreModels(cp *recovery.Checkpoint) error {
+	if cp.DefaultModelID != "" {
+		m, err := p.manager.Load(cp.DefaultModelID)
+		if err != nil {
+			return fmt.Errorf("core: restore default model %q: %w", cp.DefaultModelID, err)
+		}
+		p.installModel("", m)
+	}
+	for source, id := range cp.SourceModels {
+		m, err := p.manager.Load(id)
+		if err != nil {
+			return fmt.Errorf("core: restore model %q for source %q: %w", id, source, err)
+		}
+		p.installModel(source, m)
+	}
+	return nil
+}
+
+// restoreEngines seeds the engines' per-partition state maps with
+// rebuilt operator states. Must run before Start (the partitions are not
+// yet live).
+func (p *Pipeline) restoreEngines(engines []recovery.EngineState) error {
+	for _, es := range engines {
+		e := p.engineByName(es.Name)
+		if e == nil {
+			return fmt.Errorf("core: restore: checkpoint names engine %q this topology does not run (Staged changed?)", es.Name)
+		}
+		for _, ps := range es.Partitions {
+			sm, err := e.StateMap(ps.Index)
+			if err != nil {
+				return fmt.Errorf("core: restore: engine %q partition %d: %w (partition count changed?)", es.Name, ps.Index, err)
+			}
+			for _, ks := range ps.Keys {
+				st := p.rebuildOpState(ks)
+				if st != nil {
+					sm.Put(ks.Key, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildOpState reconstructs one coreOpState from its saved form,
+// binding it to the restored model for its source. Returns nil when the
+// model is gone (the operator will lazily rebuild fresh state if the
+// source reappears under a new model).
+func (p *Pipeline) rebuildOpState(ks recovery.KeyState) *coreOpState {
+	source := strings.TrimPrefix(ks.Key, "__op@")
+	m := p.ModelFor(source)
+	if m == nil {
+		return nil
+	}
+	st := &coreOpState{model: m}
+	if ks.Parser != nil {
+		pp := p.cfg.Builder.Preprocessor
+		if pp == nil {
+			pp = preprocess.New(nil, nil)
+		}
+		st.parser = m.NewParser(pp.Clone())
+		st.parser.Instrument(p.reg)
+		st.parser.RestoreState(*ks.Parser)
+	}
+	if ks.Detector != nil {
+		st.detector = m.NewDetector(p.cfg.Seq)
+		st.detector.Instrument(p.reg)
+		st.detector.SetTracer(p.cfg.Tracer)
+		st.detector.SetRecorder(p.events)
+		st.detector.RestoreState(*ks.Detector)
+	}
+	if ks.Volume != nil && m.Volume != nil {
+		st.volume = volume.New(m.Volume, p.cfg.Volume)
+		st.volume.RestoreState(*ks.Volume)
+	}
+	return st
+}
+
+// Kill simulates a crash: all loops stop immediately, no further offsets
+// commit, in-flight and buffered records are abandoned. Unlike Stop
+// nothing drains — the next pipeline recovers from the last checkpoint.
+// Only available with recovery enabled (tests and chaos harnesses).
+func (p *Pipeline) Kill() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	p.running = false
+	servers := p.wireServers
+	p.wireServers = nil
+	p.mu.Unlock()
+	p.killed.Store(true)
+	p.commitsOn.Store(false)
+	for _, srv := range servers {
+		srv.Close()
+	}
+	// Close the engines first so racing Sends fail fast (ErrClosed)
+	// instead of queueing on input channels nobody drains, then abort
+	// their run loops without draining.
+	p.engine.Close()
+	if p.detectEngine != nil {
+		p.detectEngine.Close()
+	}
+	if p.engineCancel != nil {
+		p.engineCancel()
+	}
+	p.cancel()
+	if p.detectEngine != nil {
+		close(p.pumpDone)
+		<-p.pumpExited
+	}
+	<-p.runErr
+	p.wg.Wait()
+	p.events.Record(obs.EventShutdown, "kill", "crash simulated: loops aborted, nothing drained", 0)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"loglens/internal/anomaly"
+	"loglens/internal/bus"
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
 	"loglens/internal/preprocess"
@@ -26,6 +27,9 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 	l, ok := rec.Value.(logtypes.Log)
 	if !ok {
 		return nil // heartbeats bypass the parse stage
+	}
+	if p.ckpt != nil {
+		p.checkPoison(l)
 	}
 	m := p.effectiveModel(ctx, l.Source)
 	if m == nil {
@@ -153,30 +157,49 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 }
 
 // pumpParsed consumes the parsed topic into the detector stage until the
-// consumer's context is done.
+// consumer's context is done. With recovery enabled the consumer runs
+// with auto-commit off (the detect engine's commit gate advances the
+// group) and honors checkpoint pauses.
 func (p *Pipeline) pumpParsed(done <-chan struct{}) {
-	consumer, err := p.bus.NewConsumer("parsed-pump", ParsedTopic)
+	consumer, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return
+	}
+	if p.parsedCommits != nil {
+		consumer.DisableAutoCommit()
+	}
+	forward := func(msgs []bus.Message) {
+		for _, msg := range msgs {
+			p.forwardParsed(msg.Value)
+		}
+		if p.parsedCommits != nil {
+			p.parsedCommits.register(msgs, p.parsedForwarded.Load())
+		}
 	}
 	for {
 		select {
 		case <-done:
-			// Final drain of anything already published.
-			for _, msg := range consumer.TryPoll(0) {
-				p.forwardParsed(msg.Value)
+			if p.killed.Load() {
+				// Crash simulation: abandon, the checkpoint recovers.
+				return
 			}
+			// Final drain of anything already published.
+			forward(consumer.TryPoll(0))
 			return
 		default:
 		}
+		if p.pumpPaused.Load() {
+			p.pumpIdle.Store(true)
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		p.pumpIdle.Store(false)
 		msgs := consumer.TryPoll(0)
 		if len(msgs) == 0 {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		for _, msg := range msgs {
-			p.forwardParsed(msg.Value)
-		}
+		forward(msgs)
 	}
 }
 
@@ -191,7 +214,7 @@ func (p *Pipeline) forwardParsed(data []byte) {
 
 // parsedLag reports unconsumed parsed-topic messages.
 func (p *Pipeline) parsedLag() int64 {
-	c, err := p.bus.NewConsumer("parsed-pump", ParsedTopic)
+	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return 0
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"loglens/internal/obs"
+	"loglens/internal/recovery"
 )
 
 // registerOps mounts the ops-plane endpoints: health probes, the flight
@@ -20,6 +21,7 @@ func (s *Server) registerOps() {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/api/events", s.handleEvents)
+	s.mux.HandleFunc("/api/deadletter", s.handleDeadLetter)
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/api/metrics/stream", s.handleMetricsStream)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -92,6 +94,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		events = []obs.Event{}
 	}
 	writeJSON(w, map[string]any{"total": len(events), "events": events})
+}
+
+// handleDeadLetter lists quarantined poison records from the deadletter
+// topic, oldest first, with the error context captured at quarantine
+// time. Empty (but valid) when recovery is disabled.
+//
+//	GET /api/deadletter?limit=100
+func (s *Server) handleDeadLetter(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	msgs := s.pipeline.DeadLetters(limit)
+	type dlEntry struct {
+		Source  string    `json:"source"`
+		Seq     string    `json:"seq"`
+		Raw     string    `json:"raw"`
+		Error   string    `json:"error"`
+		Strikes string    `json:"strikes"`
+		Time    time.Time `json:"time"`
+	}
+	entries := make([]dlEntry, 0, len(msgs))
+	for _, m := range msgs {
+		entries = append(entries, dlEntry{
+			Source:  m.Headers[recovery.HeaderDLSource],
+			Seq:     m.Headers[recovery.HeaderDLSeq],
+			Raw:     string(m.Value),
+			Error:   m.Headers[recovery.HeaderDLError],
+			Strikes: m.Headers[recovery.HeaderDLStrikes],
+			Time:    m.Time,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"total":      s.pipeline.QuarantinedCount(),
+		"returned":   len(entries),
+		"deadletter": entries,
+	})
 }
 
 // handleTrace exports the spans of the trailing window as Chrome

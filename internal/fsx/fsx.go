@@ -1,0 +1,61 @@
+// Package fsx abstracts the filesystem operations the persistence and
+// recovery layers depend on, so tests can substitute a fault-injecting
+// implementation (see internal/chaos.FaultFS) and so checkpoint writes
+// can be made atomic in exactly one place.
+//
+// The contract recovery code relies on: WriteFileAtomic either leaves
+// the previous file contents fully intact or fully replaces them — a
+// crash (or injected fault) mid-write never exposes a partial file at
+// the destination path.
+package fsx
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the minimal filesystem surface used by store snapshots and
+// recovery checkpoints. All paths are OS paths, not fs.FS slash paths.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Remove(path string) error
+	RemoveAll(path string) error
+	Rename(oldpath, newpath string) error
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(path, data, perm)
+}
+func (OS) ReadFile(path string) ([]byte, error)      { return os.ReadFile(path) }
+func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+func (OS) Remove(path string) error                  { return os.Remove(path) }
+func (OS) RemoveAll(path string) error               { return os.RemoveAll(path) }
+func (OS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+
+// WriteFileAtomic writes data to path via a temporary sibling file plus
+// rename, so readers (and crash recovery) observe either the old or the
+// new contents, never a torn write. The temp file is removed on failure.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm fs.FileMode) error {
+	if fsys == nil {
+		fsys = OS{}
+	}
+	tmp := path + ".tmp"
+	if err := fsys.WriteFile(tmp, data, perm); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: atomic write %s: %w", filepath.Base(path), err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("fsx: atomic rename %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(OS{}, path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if err := WriteFileAtomic(OS{}, path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic rewrite: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("ReadFile = %q, %v; want v2", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1 (no stray temp files)", len(entries))
+	}
+}
+
+// failFS wraps OS, failing WriteFile or Rename on demand.
+type failFS struct {
+	OS
+	failWrite  bool
+	failRename bool
+}
+
+var errInject = errors.New("injected")
+
+func (f failFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	if f.failWrite {
+		return errInject
+	}
+	return f.OS.WriteFile(path, data, perm)
+}
+
+func (f failFS) Rename(oldpath, newpath string) error {
+	if f.failRename {
+		return errInject
+	}
+	return f.OS.Rename(oldpath, newpath)
+}
+
+func TestWriteFileAtomicPreservesOldOnFailure(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fs   failFS
+	}{
+		{"write-error", failFS{failWrite: true}},
+		{"rename-error", failFS{failRename: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := WriteFileAtomic(tc.fs, path, []byte("new"), 0o644)
+			if !errors.Is(err, errInject) {
+				t.Fatalf("err = %v, want injected", err)
+			}
+			data, _ := os.ReadFile(path)
+			if string(data) != "old" {
+				t.Fatalf("destination = %q after failed write, want old contents intact", data)
+			}
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 1 {
+				t.Fatalf("dir has %d entries after failure, want 1 (temp cleaned)", len(entries))
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomicNilFSDefaultsToOS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(nil, path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic(nil): %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "x" {
+		t.Fatalf("contents = %q", data)
+	}
+}

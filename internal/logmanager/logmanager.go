@@ -39,6 +39,17 @@ type Config struct {
 	// Tracer, when set, stamps StageBus for every log consumed off the
 	// bus.
 	Tracer metrics.Tracer
+
+	// ManualCommit runs the consumer with auto-commit disabled: the
+	// committed offsets only advance when someone (the recovery layer's
+	// commit gate) calls Commit on the group. Run also switches to a
+	// pausable polling loop so a checkpoint can quiesce intake.
+	ManualCommit bool
+
+	// OnBatch, when set, is invoked after every handled poll batch with
+	// the consumed messages — the recovery layer registers their offsets
+	// as a pending commit gated on downstream processing.
+	OnBatch func(msgs []bus.Message)
 }
 
 // Manager pumps logs from the bus into the processing pipeline.
@@ -51,6 +62,13 @@ type Manager struct {
 
 	received atomic.Uint64
 	dropped  atomic.Uint64
+
+	// paused/idle implement checkpoint quiescence: Pause stops the
+	// ManualCommit polling loop from consuming; idle reports that the
+	// loop has observed the pause and is parked, so no more forwards are
+	// in flight.
+	paused atomic.Bool
+	idle   atomic.Bool
 
 	recvCounter *metrics.Counter
 	hbCounter   *metrics.Counter
@@ -81,6 +99,17 @@ func (m *Manager) OnHeartbeat(fn func(source string, t time.Time)) {
 // Received returns the number of logs consumed from the bus.
 func (m *Manager) Received() uint64 { return m.received.Load() }
 
+// Pause asks the ManualCommit polling loop to stop consuming; Idle
+// reports when it has parked. Pause before a checkpoint barrier, Resume
+// after. Without ManualCommit these are advisory only (the blocking Poll
+// loop keeps consuming).
+func (m *Manager) Pause()  { m.paused.Store(true) }
+func (m *Manager) Resume() { m.paused.Store(false) }
+
+// Idle reports that the polling loop is parked on a Pause: nothing is
+// being consumed or forwarded, so upstream counters are final.
+func (m *Manager) Idle() bool { return m.idle.Load() }
+
 // Run consumes the logs topic until the context is done.
 func (m *Manager) Run(ctx context.Context) error {
 	consumer, err := m.bus.NewConsumer(m.cfg.Group, agent.LogsTopic)
@@ -91,6 +120,10 @@ func (m *Manager) Run(ctx context.Context) error {
 	if m.cfg.MaxRatePerSec > 0 {
 		limiter = time.NewTicker(time.Second / time.Duration(m.cfg.MaxRatePerSec))
 		defer limiter.Stop()
+	}
+	if m.cfg.ManualCommit {
+		consumer.DisableAutoCommit()
+		return m.runPausable(ctx, consumer, limiter)
 	}
 	for {
 		msgs, err := consumer.Poll(ctx, 0)
@@ -109,6 +142,44 @@ func (m *Manager) Run(ctx context.Context) error {
 				}
 			}
 			m.handle(msg)
+		}
+		if m.cfg.OnBatch != nil {
+			m.cfg.OnBatch(msgs)
+		}
+	}
+}
+
+// runPausable is the ManualCommit consumption loop: non-blocking polls so
+// a Pause takes effect between batches, with Idle acknowledging that the
+// loop is parked.
+func (m *Manager) runPausable(ctx context.Context, consumer *bus.Consumer, limiter *time.Ticker) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if m.paused.Load() {
+			m.idle.Store(true)
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		m.idle.Store(false)
+		msgs := consumer.TryPoll(0)
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		for _, msg := range msgs {
+			if limiter != nil {
+				select {
+				case <-limiter.C:
+				case <-ctx.Done():
+					return nil
+				}
+			}
+			m.handle(msg)
+		}
+		if m.cfg.OnBatch != nil {
+			m.cfg.OnBatch(msgs)
 		}
 	}
 }

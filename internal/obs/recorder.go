@@ -47,6 +47,12 @@ const (
 	EventSourceForgotten EventType = "source-forgotten"
 	// EventShutdown: the process began an orderly shutdown (cmd).
 	EventShutdown EventType = "shutdown"
+	// EventQuarantine: a poison record exhausted its redelivery strikes
+	// and was routed to the deadletter topic (recovery).
+	EventQuarantine EventType = "quarantine"
+	// EventCheckpoint: a checkpoint generation was saved or restored
+	// (recovery).
+	EventCheckpoint EventType = "checkpoint"
 )
 
 // Event is one flight-recorder entry. All fields are fixed-shape so

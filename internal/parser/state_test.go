@@ -1,0 +1,60 @@
+package parser
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"loglens/internal/logtypes"
+)
+
+func TestParserSaveRestoreCounters(t *testing.T) {
+	set := mustSet(t,
+		"%{DATETIME} %{IP} login %{NOTSPACE}",
+		"%{DATETIME} %{IP} logout %{NOTSPACE}",
+	)
+	logs := []logtypes.Log{
+		raw("2016/02/23 09:00:31 127.0.0.1 login user1"),
+		raw("2016/02/23 09:05:00 10.0.0.9 logout admin"),
+		raw("2016/02/23 09:06:00 10.0.0.9 login admin"),
+		raw("no pattern matches this line"),
+	}
+	p := New(set, nil)
+	for _, l := range logs {
+		p.Parse(l)
+	}
+	before := p.Stats()
+	counts := p.PatternCounts()
+	if before.Parsed != 3 || before.Unmatched != 1 {
+		t.Fatalf("corpus stats = %+v", before)
+	}
+
+	data, err := json.Marshal(p.SaveState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded SavedState
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := New(set, nil)
+	p2.RestoreState(loaded)
+	if p2.Stats() != before {
+		t.Fatalf("restored stats = %+v, want %+v", p2.Stats(), before)
+	}
+	if !reflect.DeepEqual(p2.PatternCounts(), counts) {
+		t.Fatalf("restored pattern counts = %v, want %v", p2.PatternCounts(), counts)
+	}
+
+	// Restored counters keep accumulating, continuing the original run.
+	for _, l := range logs {
+		p2.Parse(l)
+	}
+	if got, want := p2.Stats().Parsed, 2*before.Parsed; got != want {
+		t.Fatalf("parsed after resume = %d, want %d", got, want)
+	}
+	if got := p2.PatternCounts()[1]; got != 2*counts[1] {
+		t.Fatalf("pattern 1 count after resume = %d, want %d", got, 2*counts[1])
+	}
+}

@@ -1,0 +1,194 @@
+package recovery
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loglens/internal/chaos"
+	"loglens/internal/fsx"
+	"loglens/internal/store"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Offsets: map[string]map[string]int64{
+			"pipeline": {"logs/0": 42, "logs/1": 17},
+		},
+		Counters:       map[string]uint64{"lines": 59, "parsed": 50, "unparsed": 9},
+		DefaultModelID: "model-7",
+		SourceModels:   map[string]string{"web": "model-8"},
+		Engines: []EngineState{{
+			Name: "main",
+			Partitions: []PartitionState{{
+				Index: 0,
+				Keys:  []KeyState{{Key: "__op@web", ModelID: "model-8"}},
+			}},
+		}},
+		Quarantine: map[string]int{"web#12": 2},
+	}
+}
+
+func sampleStore() *store.Store {
+	s := store.New()
+	s.Index("anomalies").Put("a1", store.Document{"type": "missing-end-state"})
+	s.Index("models").Put("model-7", store.Document{"body": "{}"})
+	return s
+}
+
+func TestManagerSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, dir)
+
+	gen, err := m.Save(sampleCheckpoint(), sampleStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Errorf("first generation = %d, want 1", gen)
+	}
+
+	cp, ok, err := m.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load = %v, %v", ok, err)
+	}
+	if cp.Generation != 1 || cp.Offsets["pipeline"]["logs/0"] != 42 {
+		t.Errorf("round trip lost data: %+v", cp)
+	}
+	if cp.Counters["lines"] != 59 || cp.DefaultModelID != "model-7" {
+		t.Errorf("round trip lost counters/model: %+v", cp)
+	}
+	if cp.Quarantine["web#12"] != 2 {
+		t.Errorf("round trip lost quarantine strikes: %+v", cp.Quarantine)
+	}
+
+	st := store.New()
+	if err := m.RestoreStore(cp, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Index("anomalies").Get("a1"); !ok {
+		t.Error("store snapshot not restored")
+	}
+}
+
+func TestManagerLoadEmptyDirIsFreshStart(t *testing.T) {
+	m := NewManager(nil, t.TempDir())
+	cp, ok, err := m.Load()
+	if cp != nil || ok || err != nil {
+		t.Fatalf("Load on empty dir = %v, %v, %v; want nil, false, nil", cp, ok, err)
+	}
+	// A directory that does not exist at all is also a fresh start.
+	m2 := NewManager(nil, filepath.Join(t.TempDir(), "missing"))
+	if _, ok, err := m2.Load(); ok || err != nil {
+		t.Fatalf("Load on missing dir = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestManagerCorruptCurrentPointerErrors(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, dir)
+	if _, err := m.Save(sampleCheckpoint(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, currentFile), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Load(); err == nil {
+		t.Fatal("corrupt CURRENT pointer must surface an error, not a silent fresh start")
+	}
+}
+
+func TestManagerCorruptCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, dir)
+	if _, err := m.Save(sampleCheckpoint(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointFile(1)), []byte(`{"generation": tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Load(); err == nil {
+		t.Fatal("corrupt checkpoint must surface an error")
+	}
+}
+
+func TestManagerGCKeepsWindow(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, dir)
+	for i := 0; i < 4; i++ {
+		if _, err := m.Save(sampleCheckpoint(), sampleStore()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := m.Generations()
+	if len(gens) != 2 || gens[0] != 3 || gens[1] != 4 {
+		t.Errorf("generations after GC = %v, want [3 4]", gens)
+	}
+	// The old store snapshot directories went with their checkpoints.
+	if _, err := os.Stat(filepath.Join(dir, "store-1")); !os.IsNotExist(err) {
+		t.Error("store-1 survived GC")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "store-4")); err != nil {
+		t.Error("newest store snapshot missing")
+	}
+}
+
+// TestManagerCrashMidSaveKeepsPrevious: a save that dies partway (every
+// write faulted) leaves CURRENT pointing at the previous complete
+// generation, and the next successful save never reuses the partial
+// generation number.
+func TestManagerCrashMidSaveKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	good := NewManager(nil, dir)
+	if _, err := good.Save(sampleCheckpoint(), sampleStore()); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs := chaos.NewFaultFS(fsx.OS{}, chaos.FSConfig{Seed: 3, WriteError: 1}, nil)
+	bad := NewManager(ffs, dir)
+	if _, err := bad.Save(sampleCheckpoint(), sampleStore()); !errors.Is(err, chaos.ErrInjectedWrite) {
+		t.Fatalf("faulted save err = %v, want ErrInjectedWrite", err)
+	}
+
+	cp, ok, err := good.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load after crashed save = %v, %v", ok, err)
+	}
+	if cp.Generation != 1 {
+		t.Errorf("CURRENT moved to generation %d despite crashed save", cp.Generation)
+	}
+	st := store.New()
+	if err := good.RestoreStore(cp, st); err != nil {
+		t.Fatalf("previous store snapshot unloadable: %v", err)
+	}
+
+	gen, err := good.Save(sampleCheckpoint(), sampleStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen < 2 {
+		t.Errorf("recovered save reused generation %d", gen)
+	}
+	if cp2, ok, err := good.Load(); err != nil || !ok || cp2.Generation != gen {
+		t.Errorf("Load after recovery = gen %d, %v, %v; want %d", cp2.Generation, ok, err, gen)
+	}
+}
+
+// TestManagerENOSPCMidSave: the disk filling up during the store snapshot
+// fails the save while the previous generation stays restorable.
+func TestManagerENOSPCMidSave(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(nil, dir)
+	if _, err := m.Save(sampleCheckpoint(), sampleStore()); err != nil {
+		t.Fatal(err)
+	}
+	ffs := chaos.NewFaultFS(fsx.OS{}, chaos.FSConfig{Seed: 7, ENOSPCAfter: 64}, nil)
+	if _, err := NewManager(ffs, dir).Save(sampleCheckpoint(), sampleStore()); !errors.Is(err, chaos.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	cp, ok, err := m.Load()
+	if err != nil || !ok || cp.Generation != 1 {
+		t.Fatalf("previous generation lost after ENOSPC: %v %v %+v", ok, err, cp)
+	}
+}

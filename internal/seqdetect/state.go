@@ -1,0 +1,108 @@
+package seqdetect
+
+import (
+	"sort"
+	"time"
+
+	"loglens/internal/logtypes"
+)
+
+// Checkpoint serialization of the detector's open states (§V-B windows).
+// A SavedState references automata by ID only; RestoreState re-resolves
+// them against the live model, mirroring SetModel's swap semantics —
+// states whose automaton no longer exists are dropped.
+
+// SavedEvent is the serializable form of one open (automaton, event)
+// state.
+type SavedEvent struct {
+	AutoID       int            `json:"auto_id"`
+	EventID      string         `json:"event_id"`
+	Source       string         `json:"source"`
+	Begin        time.Time      `json:"begin"`
+	Last         time.Time      `json:"last"`
+	Counts       map[int]int    `json:"counts,omitempty"`
+	Logs         []logtypes.Log `json:"logs,omitempty"`
+	FirstPattern int            `json:"first_pattern"`
+	MissingBegin bool           `json:"missing_begin,omitempty"`
+}
+
+// SavedState is the serializable form of a detector's mutable state.
+type SavedState struct {
+	Stats  Stats        `json:"stats"`
+	Events []SavedEvent `json:"events,omitempty"`
+}
+
+// SaveState snapshots the open states and counters in a deterministic
+// order (automaton ID, then event ID) — equal detector states serialize
+// to equal bytes.
+func (d *Detector) SaveState() SavedState {
+	out := SavedState{Stats: d.stats}
+	for key, st := range d.states {
+		counts := make(map[int]int, len(st.counts))
+		for k, v := range st.counts {
+			counts[k] = v
+		}
+		out.Events = append(out.Events, SavedEvent{
+			AutoID:       key.autoID,
+			EventID:      key.eventID,
+			Source:       st.source,
+			Begin:        st.begin,
+			Last:         st.last,
+			Counts:       counts,
+			Logs:         append([]logtypes.Log(nil), st.logs...),
+			FirstPattern: st.firstPattern,
+			MissingBegin: st.missingBegin,
+		})
+	}
+	sort.Slice(out.Events, func(i, j int) bool {
+		if out.Events[i].AutoID != out.Events[j].AutoID {
+			return out.Events[i].AutoID < out.Events[j].AutoID
+		}
+		return out.Events[i].EventID < out.Events[j].EventID
+	})
+	return out
+}
+
+// RestoreState replaces the detector's mutable state with a saved
+// snapshot, resolving automata by ID against the active model. Saved
+// events whose automaton is gone (the model moved on since the
+// checkpoint) are dropped, exactly as SetModel would have dropped them.
+func (d *Detector) RestoreState(s SavedState) {
+	if d.instr != nil {
+		d.instr.open.Add(int64(-len(d.states)))
+	}
+	d.states = make(map[stateKey]*openEvent)
+	d.byEvent = make(map[string]map[int]*openEvent)
+	d.stats = s.Stats
+	for _, ev := range s.Events {
+		a, ok := d.model.Get(ev.AutoID)
+		if !ok {
+			continue
+		}
+		st := &openEvent{
+			auto:         a,
+			eventID:      ev.EventID,
+			source:       ev.Source,
+			begin:        ev.Begin,
+			last:         ev.Last,
+			counts:       make(map[int]int, len(ev.Counts)),
+			logs:         append([]logtypes.Log(nil), ev.Logs...),
+			firstPattern: ev.FirstPattern,
+			missingBegin: ev.MissingBegin,
+		}
+		for k, v := range ev.Counts {
+			st.counts[k] = v
+		}
+		key := stateKey{autoID: ev.AutoID, eventID: ev.EventID}
+		d.states[key] = st
+		m := d.byEvent[ev.EventID]
+		if m == nil {
+			m = make(map[int]*openEvent)
+			d.byEvent[ev.EventID] = m
+		}
+		m[ev.AutoID] = st
+	}
+	if d.instr != nil {
+		d.instr.open.Add(int64(len(d.states)))
+	}
+}

@@ -1,0 +1,96 @@
+package seqdetect
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"loglens/internal/automata"
+)
+
+// TestSaveRestoreRoundTrip: a detector restored from a snapshot must
+// produce exactly the anomalies the original would have — the
+// checkpoint/restore equivalence the recovery subsystem depends on.
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	model := learnedModel()
+	d1 := New(model, Config{})
+	// Open a state mid-workflow: begin seen, end pending.
+	feed(d1, trace("open1", 0, 1, 2))
+	feed(d1, trace("open2", 5, 1))
+
+	saved := d1.SaveState()
+	data, err := json.Marshal(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded SavedState
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := New(model, Config{})
+	d2.RestoreState(loaded)
+	if d2.OpenStates() != d1.OpenStates() {
+		t.Fatalf("open states = %d, want %d", d2.OpenStates(), d1.OpenStates())
+	}
+	if d2.Stats() != d1.Stats() {
+		t.Fatalf("stats = %+v, want %+v", d2.Stats(), d1.Stats())
+	}
+
+	// Both detectors must now close open1 identically.
+	r1 := feed(d1, trace("open1", 0, 3))
+	r2 := feed(d2, trace("open1", 0, 3))
+	if len(r1) != len(r2) {
+		t.Fatalf("anomalies diverge: original %d, restored %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Type != r2[i].Type || r1[i].Reason != r2[i].Reason || r1[i].EventID != r2[i].EventID {
+			t.Errorf("anomaly %d diverges:\n%+v\n%+v", i, r1[i], r2[i])
+		}
+	}
+
+	// And heartbeat expiry of open2 must agree too.
+	h1 := d1.HeartbeatFor("s", t0.Add(1000*1e9))
+	h2 := d2.HeartbeatFor("s", t0.Add(1000*1e9))
+	if len(h1) != len(h2) {
+		t.Fatalf("expiry diverges: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i].Reason != h2[i].Reason {
+			t.Errorf("expiry %d diverges:\n%q\n%q", i, h1[i].Reason, h2[i].Reason)
+		}
+	}
+}
+
+func TestSaveStateDeterministicOrder(t *testing.T) {
+	d := New(learnedModel(), Config{})
+	feed(d, trace("b", 0, 1))
+	feed(d, trace("a", 2, 1, 2))
+	s1 := d.SaveState()
+	s2 := d.SaveState()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("consecutive snapshots differ")
+	}
+	for i := 1; i < len(s1.Events); i++ {
+		prev, cur := s1.Events[i-1], s1.Events[i]
+		if prev.AutoID > cur.AutoID || (prev.AutoID == cur.AutoID && prev.EventID >= cur.EventID) {
+			t.Fatalf("events not sorted: %+v", s1.Events)
+		}
+	}
+}
+
+func TestRestoreDropsUnknownAutomata(t *testing.T) {
+	d1 := New(learnedModel(), Config{})
+	feed(d1, trace("e", 0, 1, 2))
+	saved := d1.SaveState()
+	if len(saved.Events) == 0 {
+		t.Fatal("no open events to save")
+	}
+
+	// Restore against an empty model: every automaton is unknown.
+	d2 := New(automata.Learn(nil, disc()), Config{})
+	d2.RestoreState(saved)
+	if d2.OpenStates() != 0 {
+		t.Fatalf("open states = %d, want 0 (unknown automata dropped)", d2.OpenStates())
+	}
+}

@@ -1,12 +1,22 @@
 package store
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/url"
-	"os"
 	"path/filepath"
 	"strings"
+
+	"loglens/internal/fsx"
 )
+
+// validateDump checks that a snapshot payload parses as a Dump without
+// mutating anything — the pre-flight pass behind LoadDirFS's
+// all-or-nothing guarantee.
+func validateDump(data []byte) error {
+	var docs map[string]Document
+	return json.Unmarshal(data, &docs)
+}
 
 // SaveDir snapshots every index into dir, one JSON file per index
 // (Elasticsearch persists to disk; our in-memory store offers explicit
@@ -14,7 +24,20 @@ import (
 // and anomalies). Existing snapshot files for indices that no longer exist
 // are removed.
 func (s *Store) SaveDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return s.SaveDirFS(fsx.OS{}, dir)
+}
+
+// SaveDirFS is SaveDir against an explicit filesystem — the seam the
+// chaos harness injects storage faults through. Every snapshot file is
+// written atomically (temp + rename), so a crash or injected fault
+// mid-save never leaves a torn snapshot at a live path; at worst the
+// directory holds a mix of old and new generations of different indices,
+// each individually consistent.
+func (s *Store) SaveDirFS(fsys fsx.FS, dir string) error {
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
 	live := make(map[string]bool)
@@ -25,17 +48,17 @@ func (s *Store) SaveDir(dir string) error {
 		}
 		file := indexFile(name)
 		live[file] = true
-		if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+		if err := fsx.WriteFileAtomic(fsys, filepath.Join(dir, file), data, 0o644); err != nil {
 			return fmt.Errorf("store: save index %q: %w", name, err)
 		}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".index.json") && !live[e.Name()] {
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 	return nil
@@ -44,10 +67,27 @@ func (s *Store) SaveDir(dir string) error {
 // LoadDir restores every index snapshot found in dir, replacing the
 // contents of indices with matching names and creating missing ones.
 func (s *Store) LoadDir(dir string) error {
-	entries, err := os.ReadDir(dir)
+	return s.LoadDirFS(fsx.OS{}, dir)
+}
+
+// LoadDirFS is LoadDir against an explicit filesystem. The load is
+// all-or-nothing: every snapshot file is read and parsed before any
+// index is touched, so a corrupt or truncated snapshot leaves the store
+// exactly as it was — never half-replaced.
+func (s *Store) LoadDirFS(fsys fsx.FS, dir string) error {
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: load: %w", err)
 	}
+	// Phase 1: read and validate everything without mutating the store.
+	type pending struct {
+		name string
+		data []byte
+	}
+	var loads []pending
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".index.json") {
 			continue
@@ -56,11 +96,19 @@ func (s *Store) LoadDir(dir string) error {
 		if err != nil {
 			return err
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, err := fsys.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return fmt.Errorf("store: load index %q: %w", name, err)
 		}
-		if err := s.Index(name).Load(data); err != nil {
+		if err := validateDump(data); err != nil {
+			return fmt.Errorf("store: load index %q: %w", name, err)
+		}
+		loads = append(loads, pending{name: name, data: data})
+	}
+	// Phase 2: install. Every payload already validated, so Load cannot
+	// fail halfway through the set.
+	for _, p := range loads {
+		if err := s.Index(p.name).Load(p.data); err != nil {
 			return err
 		}
 	}

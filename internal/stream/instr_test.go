@@ -48,7 +48,7 @@ func TestCancelDropAccounting(t *testing.T) {
 			m.Records, m.RecordsDropped, sent)
 	}
 	snap := e.cfg.Metrics.Snapshot()
-	if got := snap.Counter("stream_records_dropped_total", "engine", "main"); got != sent {
+	if got := snap.Counter("stream_records_dropped_total", "engine", "main", "reason", "abandoned"); got != sent {
 		t.Fatalf("registry dropped counter = %d, want %d", got, sent)
 	}
 }

@@ -84,6 +84,20 @@ type Config struct {
 	// rebroadcasts, operator panics, and dropped records. Nil disables
 	// both at a nil-check's cost.
 	Ops *obs.Ops
+	// BatchHook, when set, is called from the engine loop at every
+	// micro-batch barrier — including empty ones — with the cumulative
+	// count of resolved input records (see Metrics.Resolved). The recovery
+	// layer uses it to apply offset commits only once the records they
+	// cover have been fully processed.
+	BatchHook func(resolved uint64)
+	// PanicHook, when set, is consulted when the operator panics on a
+	// record: return true to requeue the record for another attempt in
+	// the next micro-batch, false to drop it (the pre-recovery behavior).
+	// Heartbeat records are never requeued regardless of the hook's
+	// answer — they are cheap to lose and fan out to every partition.
+	// The hook must bound its retries (e.g. quarantine after K strikes)
+	// or a poisonous record would cycle forever.
+	PanicHook func(partition int, rec Record, v any) bool
 }
 
 func (c *Config) setDefaults() {
@@ -129,15 +143,27 @@ type Metrics struct {
 	// applying updates — the only blocking cost of a model update
 	// (§V-A: "the only blocking operation is the in-memory copy").
 	UpdateBlocked time.Duration
-	// OperatorPanics counts records dropped because the operator
-	// panicked on them. The partition survives: one poisonous record
-	// must not take down the zero-downtime service.
+	// OperatorPanics counts operator panics contained by the engine. The
+	// partition survives: one poisonous record must not take down the
+	// zero-downtime service. Without a PanicHook the record is dropped;
+	// with one it may be requeued (counted under Retried).
 	OperatorPanics uint64
 	// RecordsDropped counts records the engine accepted but never ran
 	// through the operator because Run was cancelled mid-batch. Together
 	// with Records it makes the engine conservative: every record Send
 	// accepted is eventually counted processed or dropped.
 	RecordsDropped uint64
+	// Retried counts records requeued by the PanicHook for another
+	// attempt. Each retry attempt is counted again in Records, so
+	// Records is "processing attempts", not unique records.
+	Retried uint64
+	// Resolved counts input records fully handled: processed to
+	// completion, dropped by panic containment, or quarantined — every
+	// outcome except "requeued for retry". A record accepted by Send
+	// increments Resolved exactly once, which makes Resolved the
+	// commit-gate watermark: when Resolved catches up with the sender's
+	// accepted count, nothing is buffered or awaiting retry.
+	Resolved uint64
 }
 
 // ErrClosed is returned by Send after Close.
@@ -171,6 +197,11 @@ type Engine struct {
 	pending  []update
 	inspects []inspectReq
 
+	// retries holds records requeued by the PanicHook; the engine loop
+	// prepends them to the next micro-batch.
+	retryMu sync.Mutex
+	retries []Record
+
 	metMu   sync.Mutex
 	metrics Metrics
 
@@ -202,11 +233,17 @@ type engineInstr struct {
 	name    string
 	batches *metrics.Counter
 	records *metrics.Counter
-	dropped *metrics.Counter
-	updates *metrics.Counter
-	panics  *metrics.Counter
-	size    *metrics.Histogram
-	latency *metrics.Histogram
+	// Dropped records carry a reason label: "abandoned" for accepted
+	// records discarded at cancellation, "send-after-close" for records
+	// rejected by Send with ErrClosed (never accepted, so excluded from
+	// the built-in Metrics.RecordsDropped conservation count).
+	droppedAbandoned *metrics.Counter
+	droppedClosed    *metrics.Counter
+	updates          *metrics.Counter
+	panics           *metrics.Counter
+	retried          *metrics.Counter
+	size             *metrics.Histogram
+	latency          *metrics.Histogram
 	// entries[p] tracks partition p's state-map size, refreshed at each
 	// micro-batch barrier.
 	entries []*metrics.Gauge
@@ -214,15 +251,17 @@ type engineInstr struct {
 
 func newEngineInstr(reg *metrics.Registry, name string, partitions int) *engineInstr {
 	in := &engineInstr{
-		reg:     reg,
-		name:    name,
-		batches: reg.Counter("stream_batches_total", "engine", name),
-		records: reg.Counter("stream_records_total", "engine", name),
-		dropped: reg.Counter("stream_records_dropped_total", "engine", name),
-		updates: reg.Counter("stream_updates_applied_total", "engine", name),
-		panics:  reg.Counter("stream_operator_panics_total", "engine", name),
-		size:    reg.Histogram("stream_batch_size", batchSizeBuckets, "engine", name),
-		latency: reg.Histogram("stream_batch_seconds", nil, "engine", name),
+		reg:              reg,
+		name:             name,
+		batches:          reg.Counter("stream_batches_total", "engine", name),
+		records:          reg.Counter("stream_records_total", "engine", name),
+		droppedAbandoned: reg.Counter("stream_records_dropped_total", "engine", name, "reason", "abandoned"),
+		droppedClosed:    reg.Counter("stream_records_dropped_total", "engine", name, "reason", "send-after-close"),
+		updates:          reg.Counter("stream_updates_applied_total", "engine", name),
+		panics:           reg.Counter("stream_operator_panics_total", "engine", name),
+		retried:          reg.Counter("stream_records_retried_total", "engine", name),
+		size:             reg.Histogram("stream_batch_size", batchSizeBuckets, "engine", name),
+		latency:          reg.Histogram("stream_batch_seconds", nil, "engine", name),
 	}
 	for i := 0; i < partitions; i++ {
 		in.entries = append(in.entries, reg.Gauge("stream_state_entries", "engine", name, "partition", strconv.Itoa(i)))
@@ -319,19 +358,31 @@ func (e *Engine) Rebroadcast(id string, value any) {
 }
 
 // Send enqueues one input record. It blocks when the input buffer is full
-// (backpressure) and fails after Close.
+// (backpressure) and returns ErrClosed after Close. Rejected records are
+// counted under stream_records_dropped_total with reason
+// "send-after-close" (they do not enter Metrics.RecordsDropped, which
+// only balances records the engine accepted).
 func (e *Engine) Send(rec Record) error {
 	select {
 	case <-e.closed:
-		return ErrClosed
+		return e.rejectClosed()
 	default:
 	}
 	select {
 	case e.input <- rec:
 		return nil
 	case <-e.closed:
-		return ErrClosed
+		return e.rejectClosed()
 	}
+}
+
+// rejectClosed accounts one record refused because the engine is closed.
+func (e *Engine) rejectClosed() error {
+	if e.instr != nil {
+		e.instr.droppedClosed.Inc()
+	}
+	e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "send after close", 1)
+	return ErrClosed
 }
 
 // Close stops input. Run drains everything already sent, then returns.
@@ -389,6 +440,11 @@ func (e *Engine) Run(ctx context.Context) error {
 	defer e.applyUpdates()
 	for {
 		batch, drained := e.collect(ctx)
+		// Records requeued by the PanicHook go to the front of the next
+		// batch, keeping redelivery close to the original attempt.
+		if retries := e.takeRetries(); len(retries) > 0 {
+			batch = append(retries, batch...)
+		}
 		if err := ctx.Err(); err != nil {
 			// The partially collected batch and anything still queued
 			// in the input buffer will never run through the operator.
@@ -406,17 +462,47 @@ func (e *Engine) Run(ctx context.Context) error {
 
 		if len(batch) > 0 {
 			e.processBatch(batch)
+		} else if e.cfg.BatchHook != nil {
+			// Empty barriers still report the watermark, so a commit
+			// gated on a batch that resolved just before registration is
+			// flushed at the next barrier instead of waiting for traffic.
+			e.metMu.Lock()
+			resolved := e.metrics.Resolved
+			e.metMu.Unlock()
+			e.cfg.BatchHook(resolved)
 		}
-		if drained {
+		if drained && !e.hasRetries() {
 			return nil
 		}
 	}
 }
 
+// takeRetries drains the retry queue.
+func (e *Engine) takeRetries() []Record {
+	e.retryMu.Lock()
+	out := e.retries
+	e.retries = nil
+	e.retryMu.Unlock()
+	return out
+}
+
+func (e *Engine) hasRetries() bool {
+	e.retryMu.Lock()
+	defer e.retryMu.Unlock()
+	return len(e.retries) > 0
+}
+
+func (e *Engine) retryLen() int {
+	e.retryMu.Lock()
+	defer e.retryMu.Unlock()
+	return len(e.retries)
+}
+
 // dropAbandoned accounts a batch that will never be processed plus
-// everything still buffered in the input channel as RecordsDropped.
+// everything still buffered in the input channel (and any records parked
+// in the retry queue) as RecordsDropped.
 func (e *Engine) dropAbandoned(batch []Record) {
-	dropped := uint64(len(batch))
+	dropped := uint64(len(batch)) + uint64(len(e.takeRetries()))
 	for {
 		select {
 		case <-e.input:
@@ -427,9 +513,10 @@ func (e *Engine) dropAbandoned(batch []Record) {
 			}
 			e.metMu.Lock()
 			e.metrics.RecordsDropped += dropped
+			e.metrics.Resolved += dropped
 			e.metMu.Unlock()
 			if e.instr != nil {
-				e.instr.dropped.Add(dropped)
+				e.instr.droppedAbandoned.Add(dropped)
 			}
 			e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "abandoned at cancellation", int64(dropped))
 			return
@@ -491,6 +578,7 @@ func (e *Engine) processBatch(batch []Record) {
 	}
 
 	outputs := make([][]any, e.cfg.Partitions)
+	retriesBefore := e.retryLen()
 	var wg sync.WaitGroup
 	for i, w := range e.workers {
 		if len(parts[i]) == 0 {
@@ -509,9 +597,17 @@ func (e *Engine) processBatch(batch []Record) {
 	}
 	wg.Wait()
 
+	// Every input record of this batch is now resolved except the ones
+	// the PanicHook requeued — those are counted when their retry attempt
+	// resolves. (Heartbeat fan-out copies are per-partition expansions of
+	// one input record and are never requeued, so the subtraction is
+	// exact in input-record units.)
+	requeued := uint64(e.retryLen() - retriesBefore)
 	e.metMu.Lock()
 	e.metrics.Batches++
 	e.metrics.Records += uint64(len(batch))
+	e.metrics.Resolved += uint64(len(batch)) - requeued
+	resolved := e.metrics.Resolved
 	e.metMu.Unlock()
 	if e.instr != nil {
 		e.instr.batches.Inc()
@@ -525,23 +621,27 @@ func (e *Engine) processBatch(batch []Record) {
 		}
 	}
 
-	if e.sink == nil {
-		batchSpan.End()
-		return
-	}
-	sinkSpan := e.spans.Start(e.cfg.Name, "sink", e.driverTid)
-	for _, outs := range outputs {
-		for _, o := range outs {
-			e.sink(o)
+	if e.sink != nil {
+		sinkSpan := e.spans.Start(e.cfg.Name, "sink", e.driverTid)
+		for _, outs := range outputs {
+			for _, o := range outs {
+				e.sink(o)
+			}
 		}
+		sinkSpan.End()
 	}
-	sinkSpan.End()
 	batchSpan.End()
+	// The commit gate fires after the sink: everything this batch covers
+	// — state mutations and emitted outputs — has landed.
+	if e.cfg.BatchHook != nil {
+		e.cfg.BatchHook(resolved)
+	}
 }
 
 // process runs the operator on one record, containing panics so a
-// poisonous record drops instead of killing the partition (and with it the
-// zero-downtime guarantee).
+// poisonous record drops — or, when the PanicHook asks for it, retries —
+// instead of killing the partition (and with it the zero-downtime
+// guarantee).
 func (e *Engine) process(c *Context, rec Record) (out []any) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -554,6 +654,17 @@ func (e *Engine) process(c *Context, rec Record) (out []any) {
 			e.events.Record(obs.EventWorkerCrash, e.cfg.Name,
 				fmt.Sprintf("partition %d operator panic: %v", c.worker.id, r), 1)
 			out = nil
+			if !rec.Heartbeat && e.cfg.PanicHook != nil && e.cfg.PanicHook(c.worker.id, rec, r) {
+				e.retryMu.Lock()
+				e.retries = append(e.retries, rec)
+				e.retryMu.Unlock()
+				e.metMu.Lock()
+				e.metrics.Retried++
+				e.metMu.Unlock()
+				if e.instr != nil {
+					e.instr.retried.Inc()
+				}
+			}
 		}
 	}()
 	return e.proc(c, rec)

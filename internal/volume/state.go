@@ -1,0 +1,32 @@
+package volume
+
+// SavedState is the serializable form of a volume detector's open
+// window — the mutable state a checkpoint must carry so a restarted
+// pipeline evaluates the same windows the dead one would have.
+type SavedState struct {
+	Bucket int64       `json:"bucket"`
+	Counts map[int]int `json:"counts,omitempty"`
+	Source string      `json:"source,omitempty"`
+	Primed bool        `json:"primed"`
+}
+
+// SaveState snapshots the open window.
+func (d *Detector) SaveState() SavedState {
+	counts := make(map[int]int, len(d.counts))
+	for k, v := range d.counts {
+		counts[k] = v
+	}
+	return SavedState{Bucket: d.bucket, Counts: counts, Source: d.source, Primed: d.primed}
+}
+
+// RestoreState replaces the open window with a saved snapshot. The
+// profile is not part of the state — it travels with the model.
+func (d *Detector) RestoreState(s SavedState) {
+	d.bucket = s.Bucket
+	d.source = s.Source
+	d.primed = s.Primed
+	d.counts = make(map[int]int, len(s.Counts))
+	for k, v := range s.Counts {
+		d.counts[k] = v
+	}
+}

@@ -1,0 +1,79 @@
+package volume
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"loglens/internal/logtypes"
+)
+
+func plog(pid int, t time.Time) *logtypes.ParsedLog {
+	return &logtypes.ParsedLog{
+		Log:          logtypes.Log{Source: "s"},
+		PatternID:    pid,
+		Timestamp:    t,
+		HasTimestamp: true,
+	}
+}
+
+// TestVolumeSaveRestoreRoundTrip: a restored detector must evaluate the
+// open window exactly as the original would have.
+func TestVolumeSaveRestoreRoundTrip(t *testing.T) {
+	base := time.Date(2016, 2, 23, 9, 0, 0, 0, time.UTC)
+	var train []*logtypes.ParsedLog
+	for w := 0; w < 20; w++ {
+		for i := 0; i < 10; i++ {
+			train = append(train, plog(1, base.Add(time.Duration(w)*time.Minute+time.Duration(i)*time.Second)))
+		}
+	}
+	prof := Learn(train, time.Minute)
+	cfg := Config{Sigma: 3}
+
+	d1 := New(prof, cfg)
+	now := base.Add(time.Hour)
+	for i := 0; i < 40; i++ { // mid-window spike in progress
+		d1.Process(plog(1, now.Add(time.Duration(i)*time.Second)))
+	}
+
+	data, err := json.Marshal(d1.SaveState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded SavedState
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(prof, cfg)
+	d2.RestoreState(loaded)
+
+	// Finish the window identically on both.
+	finish := func(d *Detector) []string {
+		var out []string
+		for i := 40; i < 60; i++ {
+			for _, r := range d.Process(plog(1, now.Add(time.Duration(i)*time.Second))) {
+				out = append(out, r.Reason)
+			}
+		}
+		for _, r := range d.Advance(now.Add(5 * time.Minute)) {
+			out = append(out, r.Reason)
+		}
+		return out
+	}
+	r1, r2 := finish(d1), finish(d2)
+	if len(r1) == 0 {
+		t.Fatal("expected the spiked window to report an anomaly")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("restored detector diverges:\n%v\n%v", r1, r2)
+	}
+}
+
+func TestVolumeRestoreUnprimed(t *testing.T) {
+	d := New(&Profile{Window: time.Minute, Stats: map[int]PatternStats{}}, Config{})
+	d.RestoreState(SavedState{})
+	if d.primed {
+		t.Fatal("restored zero state must stay unprimed")
+	}
+}

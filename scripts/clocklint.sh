@@ -12,6 +12,8 @@
 #   internal/core/pipeline.go  Drain/Stop poll real deadlines: they bound
 #                          how long the test process itself waits, and
 #                          must elapse even when fake time stands still
+#   internal/core/recovery.go  the checkpoint barrier timeout is the same
+#                          kind of real deadline as Drain's
 #   internal/testutil/wait.go  same: WaitUntil's failure deadline is real
 #   cmd/loadtest/          measures real wall-clock throughput by design
 #   examples/datacenter/   demo binary, wall-clock phase timing only
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-allowlist='^internal/clock/|^internal/core/pipeline\.go|^internal/testutil/wait\.go|^cmd/loadtest/|^examples/datacenter/'
+allowlist='^internal/clock/|^internal/core/pipeline\.go|^internal/core/recovery\.go|^internal/testutil/wait\.go|^cmd/loadtest/|^examples/datacenter/'
 
 violations=$(grep -rn --include='*.go' -E 'time\.(Now|Since)\(' \
     internal cmd examples 2>/dev/null \

@@ -1,0 +1,29 @@
+#!/bin/sh
+# recoverylint: checkpoint durability is only as good as its writes.
+#
+# Every byte the recovery subsystem persists — checkpoint manifests, the
+# CURRENT pointer, store snapshots — must go through the fsx.FS
+# abstraction, whose WriteFile is atomic (temp file + rename) and whose
+# faults the chaos harness can inject. A direct os.WriteFile / os.Create
+# in the recovery path would reintroduce torn-write windows the crash
+# tests cannot see, so this grep gate fails CI when one appears.
+#
+# Scope: the recovery package itself, the store persistence layer it
+# snapshots through, and the core recovery wiring. fsx is the one place
+# allowed to touch the real filesystem.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+paths='internal/recovery internal/store internal/core/recovery.go'
+
+violations=$(grep -rn --include='*.go' -E 'os\.(WriteFile|Create|OpenFile)\(' \
+    $paths 2>/dev/null \
+    | grep -v '_test\.go:' || true)
+
+if [ -n "$violations" ]; then
+    echo "recoverylint: direct file write in the recovery path (route it through fsx.FS for atomicity and fault injection):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "recoverylint: ok"
