@@ -1,0 +1,108 @@
+// End-to-end pipeline throughput: the headline lines/sec number of the
+// PR-5 hot-path work and the benchmark the CI benchguard job regresses
+// against. Lines from the datagen D1 corpus flow the full production
+// path — bus publish → log manager → streaming engine → parser →
+// sequence detector — and the benchmark reports ns per line plus a
+// lines/sec metric.
+//
+// Rerun with:
+//
+//	go test -run='^$' -bench=BenchmarkPipelineThroughput -benchmem -count=5 .
+package loglens
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/core"
+)
+
+// benchPipeline streams b.N D1 test lines through a full pipeline and
+// waits for them to drain. sources controls partition spread: each
+// source keys to one partition, so one source exercises the serial path
+// and several sources exercise parallel partitions.
+func benchPipeline(b *testing.B, partitions, sources int) {
+	setup(b)
+	p, err := core.New(core.Config{
+		Partitions:            partitions,
+		BatchInterval:         time.Millisecond,
+		DisableHeartbeat:      true,
+		DisableAnomalyStorage: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.InstallModel(fixtures.d1Model)
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+
+	lines := fixtures.d1.Test
+	srcNames := make([]string, sources)
+	headers := make([]map[string]string, sources)
+	for i := range srcNames {
+		srcNames[i] = "d1-" + strconv.Itoa(i)
+		headers[i] = map[string]string{agent.HeaderSource: srcNames[i]}
+	}
+	bus := p.Bus()
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		s := i % sources
+		bus.Publish(agent.LogsTopic, srcNames[s], []byte(lines[i%len(lines)]), headers[s])
+	}
+	if err := p.Drain(5 * time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "lines/sec")
+	}
+}
+
+// BenchmarkPipelineThroughput is the e2e headline benchmark: ns/op is
+// the full-pipeline cost per log line.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, c := range []struct {
+		name                string
+		partitions, sources int
+	}{
+		{"p1", 1, 1},
+		{"p4", 4, 4},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			benchPipeline(b, c.partitions, c.sources)
+		})
+	}
+}
+
+// calSink defeats dead-code elimination in BenchmarkCalibration.
+var calSink uint32
+
+// BenchmarkCalibration is a fixed, product-independent workload (FNV-1a
+// over 1 KiB) that scripts/benchguard.sh runs alongside the guarded
+// benchmarks to normalize the checked-in ns/op baseline to whatever
+// machine the guard runs on. Do not change this function: any edit
+// invalidates every recorded baseline in scripts/bench_baseline.txt.
+func BenchmarkCalibration(b *testing.B) {
+	buf := make([]byte, 1024)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		h := uint32(2166136261)
+		for _, c := range buf {
+			h ^= uint32(c)
+			h *= 16777619
+		}
+		sink += h
+	}
+	calSink = sink
+}

@@ -10,7 +10,6 @@ package bus
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"sync"
 	"time"
@@ -60,12 +59,61 @@ type topic struct {
 	rr         int // round-robin cursor for keyless publishes
 }
 
+// logChunkShift sizes the partition log's chunks (1<<logChunkShift
+// messages each). A chunked append-only log never moves published
+// messages: growth allocates a fresh chunk instead of doubling one huge
+// slice, so a hot topic does not re-copy (and re-zero) its whole history
+// every time the backing array fills.
+const (
+	logChunkShift = 10
+	logChunkSize  = 1 << logChunkShift
+	logChunkMask  = logChunkSize - 1
+)
+
 type partition struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	log  []Message
+	// chunks is the partition log: offset o lives at
+	// chunks[o>>logChunkShift][o&logChunkMask], and length is the next
+	// offset to be assigned.
+	chunks [][]Message
+	length int64
 	// produced counts appends; nil until the bus is instrumented.
 	produced *metrics.Counter
+}
+
+// appendLocked appends one message to the chunked log. Caller holds p.mu.
+func (p *partition) appendLocked(m Message) {
+	ci := int(p.length >> logChunkShift)
+	if ci == len(p.chunks) {
+		p.chunks = append(p.chunks, make([]Message, 0, logChunkSize))
+	}
+	p.chunks[ci] = append(p.chunks[ci], m)
+	p.length++
+}
+
+// copyRange returns a fresh slice holding offsets [offset, end). Caller
+// holds p.mu and guarantees the range is within the log.
+func (p *partition) copyRange(offset, end int64) []Message {
+	out := make([]Message, 0, end-offset)
+	for offset < end {
+		chunk := p.chunks[offset>>logChunkShift]
+		lo := offset & logChunkMask
+		hi := int64(len(chunk))
+		if rest := end - (offset - lo); rest < hi {
+			hi = rest
+		}
+		out = append(out, chunk[lo:hi]...)
+		offset += hi - lo
+	}
+	return out
+}
+
+// end returns the partition's end offset (the next to be assigned).
+func (p *partition) end() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.length
 }
 
 func newPartition() *partition {
@@ -187,6 +235,9 @@ func (b *Bus) topic(name string) (*topic, error) {
 
 // Publish appends a message, choosing the partition by key hash (or round
 // robin for the empty key). It returns the partition and offset assigned.
+// The bus retains value and headers without copying (as a Kafka producer
+// serializes them at send time); callers must not modify either after
+// publishing.
 func (b *Bus) Publish(topicName, key string, value []byte, headers map[string]string) (int, int64, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
@@ -199,9 +250,14 @@ func (b *Bus) Publish(topicName, key string, value []byte, headers map[string]st
 		t.rr++
 		b.mu.Unlock()
 	} else {
-		h := fnv.New32a()
-		h.Write([]byte(key))
-		pi = int(h.Sum32()) % len(t.partitions)
+		// Inline FNV-1a: a hash.Hash32 per publish would allocate on
+		// the hot producer path.
+		h := uint32(2166136261)
+		for i := 0; i < len(key); i++ {
+			h ^= uint32(key[i])
+			h *= 16777619
+		}
+		pi = int(h) % len(t.partitions)
 	}
 	off, err := b.publishTo(t, pi, key, value, headers)
 	return pi, off, err
@@ -239,21 +295,18 @@ func (b *Bus) publishTo(t *topic, pi int, key string, value []byte, headers map[
 	p := t.partitions[pi]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Value and headers are retained as passed — the Publish contract
+	// transfers ownership, so no per-message defensive copies here.
 	m := Message{
 		Topic:     t.name,
 		Partition: pi,
-		Offset:    int64(len(p.log)),
+		Offset:    p.length,
 		Key:       key,
-		Value:     append([]byte(nil), value...),
+		Value:     value,
+		Headers:   headers,
 		Time:      b.clk.Now(),
 	}
-	if len(headers) > 0 {
-		m.Headers = make(map[string]string, len(headers))
-		for k, v := range headers {
-			m.Headers[k] = v
-		}
-	}
-	p.log = append(p.log, m)
+	p.appendLocked(m)
 	if p.produced != nil {
 		p.produced.Inc()
 	}
@@ -270,10 +323,7 @@ func (b *Bus) EndOffset(topicName string, partition int) (int64, error) {
 	if partition < 0 || partition >= len(t.partitions) {
 		return 0, fmt.Errorf("bus: topic %q has no partition %d", topicName, partition)
 	}
-	p := t.partitions[partition]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int64(len(p.log)), nil
+	return t.partitions[partition].end(), nil
 }
 
 // read returns up to max messages from offset, blocking until at least one
@@ -281,7 +331,7 @@ func (b *Bus) EndOffset(topicName string, partition int) (int64, error) {
 func (p *partition) read(ctx context.Context, offset int64, max int) ([]Message, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for int64(len(p.log)) <= offset {
+	for p.length <= offset {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -300,27 +350,23 @@ func (p *partition) read(ctx context.Context, offset int64, max int) ([]Message,
 		p.cond.Wait()
 		close(done)
 	}
-	end := int64(len(p.log))
+	end := p.length
 	if int64(max) > 0 && offset+int64(max) < end {
 		end = offset + int64(max)
 	}
-	out := make([]Message, end-offset)
-	copy(out, p.log[offset:end])
-	return out, nil
+	return p.copyRange(offset, end), nil
 }
 
 // tryRead returns up to max messages from offset without blocking.
 func (p *partition) tryRead(offset int64, max int) []Message {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if int64(len(p.log)) <= offset {
+	if p.length <= offset {
 		return nil
 	}
-	end := int64(len(p.log))
+	end := p.length
 	if max > 0 && offset+int64(max) < end {
 		end = offset + int64(max)
 	}
-	out := make([]Message, end-offset)
-	copy(out, p.log[offset:end])
-	return out
+	return p.copyRange(offset, end)
 }

@@ -222,10 +222,7 @@ func (c *Consumer) lagLocked(tp topicPartition) int64 {
 		return 0
 	}
 	p := t.partitions[tp.partition]
-	p.mu.Lock()
-	end := int64(len(p.log))
-	p.mu.Unlock()
-	return end - c.group.committed[tp]
+	return p.end() - c.group.committed[tp]
 }
 
 // instrFor resolves (and caches) the consume instruments for a partition;
@@ -283,10 +280,7 @@ func (c *Consumer) Lag() int64 {
 			continue
 		}
 		for pi, p := range t.partitions {
-			p.mu.Lock()
-			end := int64(len(p.log))
-			p.mu.Unlock()
-			lag += end - c.group.committed[topicPartition{topicName, pi}]
+			lag += p.end() - c.group.committed[topicPartition{topicName, pi}]
 		}
 	}
 	return lag
@@ -305,10 +299,7 @@ func (c *Consumer) ReadLag() int64 {
 			continue
 		}
 		for pi, p := range t.partitions {
-			p.mu.Lock()
-			end := int64(len(p.log))
-			p.mu.Unlock()
-			lag += end - c.group.read[topicPartition{topicName, pi}]
+			lag += p.end() - c.group.read[topicPartition{topicName, pi}]
 		}
 	}
 	return lag

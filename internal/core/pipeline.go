@@ -270,9 +270,10 @@ func New(cfg Config) (*Pipeline, error) {
 		p.engine.SetSink(p.sink)
 	}
 	lmCfg := logmanager.Config{
-		ArchiveLogs: cfg.ArchiveLogs,
-		Metrics:     p.reg,
-		Tracer:      cfg.Tracer,
+		ArchiveLogs:  cfg.ArchiveLogs,
+		Metrics:      p.reg,
+		Tracer:       cfg.Tracer,
+		ForwardBatch: p.forwardBatch,
 	}
 	if p.commits != nil {
 		// At-least-once intake: the consumer commits nothing on its own;
@@ -879,11 +880,26 @@ func (p *Pipeline) logmgrLag() int64 {
 	return c.Lag()
 }
 
-// forward is the log manager's downstream hook.
+// forward is the log manager's per-log downstream hook (the batched
+// forwardBatch hook supersedes it on the poll path; this remains for
+// callers outside the batching loop).
 func (p *Pipeline) forward(l logtypes.Log) {
 	p.forwarded.Add(1)
 	p.linesTotal.Inc()
 	p.engine.Send(stream.Record{Key: l.Source, Value: l, Time: l.Arrival})
+}
+
+// forwardBatch hands one poll batch of logs to the engine as a single
+// pooled record-slice hand-off: one channel send per batch instead of
+// one per line. The engine takes ownership of the buffer.
+func (p *Pipeline) forwardBatch(logs []logtypes.Log) {
+	p.forwarded.Add(uint64(len(logs)))
+	p.linesTotal.Add(uint64(len(logs)))
+	buf := p.engine.RecordBuffer()
+	for _, l := range logs {
+		buf = append(buf, stream.Record{Key: l.Source, Value: l, Time: l.Arrival})
+	}
+	p.engine.SendBatch(buf)
 }
 
 // applyInstruction reacts to model-controller messages. Instructions with
@@ -922,6 +938,18 @@ type coreOpState struct {
 	parser   *parser.Parser
 	detector *seqdetect.Detector
 	volume   *volume.Detector // nil unless the model carries a profile
+
+	// modelID is the precomposed dedicated-broadcast ID for this state's
+	// source (modelIDFor(source)), so the steady-state model resolution
+	// needs no per-record string concatenation.
+	modelID string
+
+	// pl is the fused operator's parse scratch: ParseInto reuses its
+	// field buffer, and seqdetect/volume copy what they keep, so the
+	// steady-state line allocates no ParsedLog. The staged parse
+	// operator must NOT use it — there the ParsedLog is emitted
+	// downstream and outlives the record.
+	pl logtypes.ParsedLog
 }
 
 // operator is the per-record ProcessFunc: stateless parse, then stateful
@@ -933,15 +961,16 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 	if l, ok := rec.Value.(logtypes.Log); ok {
 		source = l.Source
 	}
-	m := p.effectiveModel(ctx, source)
-	if m == nil {
-		return nil // no model (yet, or deleted): detectors idle
-	}
-
-	key := "__op@" + source
-	sv, _ := ctx.States().Get(key)
+	// State-first lookup: Get does not retain its key, so the concat
+	// stays on the stack and the steady state pays no allocation for
+	// state addressing or model-ID composition.
+	sv, _ := ctx.States().Get("__op@" + source)
 	st, _ := sv.(*coreOpState)
 	if st == nil {
+		m := p.effectiveModel(ctx, source)
+		if m == nil {
+			return nil // no model (yet, or deleted): detectors idle
+		}
 		// The detection-side preprocessor must match the training
 		// side (custom delimiters, split rules, timestamp formats),
 		// with a fresh per-partition cache.
@@ -951,6 +980,7 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 		}
 		st = &coreOpState{
 			model:    m,
+			modelID:  modelIDFor(source),
 			parser:   m.NewParser(pp.Clone()),
 			detector: m.NewDetector(p.cfg.Seq),
 		}
@@ -961,7 +991,9 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
-		ctx.States().Put(key, st)
+		ctx.States().Put("__op@"+source, st)
+	} else if m := p.modelByID(ctx, st.modelID); m == nil {
+		return nil // model deleted: detectors idle
 	} else if st.model != m {
 		// Zero-downtime model swap: same parser/detector objects,
 		// state preserved, new rules.
@@ -996,8 +1028,11 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 	if p.cfg.Tracer != nil {
 		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StagePartition, "p="+strconv.Itoa(ctx.Partition()))
 	}
-	pl, err := st.parser.Parse(l)
-	if err != nil {
+	// ParseInto reuses the state's ParsedLog scratch (field buffer
+	// included): safe here because the fused downstream consumers copy
+	// what they retain, so nothing escapes the record's lifetime.
+	pl := &st.pl
+	if err := st.parser.ParseInto(l, pl); err != nil {
 		p.unparsed.Add(1)
 		p.unparsedTotal.Inc()
 		p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
@@ -1032,8 +1067,15 @@ func (p *Pipeline) operator(ctx *stream.Context, rec stream.Record) []any {
 // broadcast cache: the source-dedicated variable when present, else the
 // default.
 func (p *Pipeline) effectiveModel(ctx *stream.Context, source string) *modelmgr.Model {
-	if source != "" {
-		if v, ok := ctx.Broadcast(modelIDFor(source)); ok {
+	return p.modelByID(ctx, modelIDFor(source))
+}
+
+// modelByID is effectiveModel with the dedicated-broadcast ID already
+// composed — the operators cache it per source state so the hot path
+// skips the modelIDFor concatenation.
+func (p *Pipeline) modelByID(ctx *stream.Context, dedicatedID string) *modelmgr.Model {
+	if dedicatedID != ModelBroadcastID {
+		if v, ok := ctx.Broadcast(dedicatedID); ok {
 			if m, _ := v.(*modelmgr.Model); m != nil {
 				return m
 			}

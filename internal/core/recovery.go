@@ -609,7 +609,7 @@ func (p *Pipeline) rebuildOpState(ks recovery.KeyState) *coreOpState {
 	if m == nil {
 		return nil
 	}
-	st := &coreOpState{model: m}
+	st := &coreOpState{model: m, modelID: modelIDFor(source)}
 	if ks.Parser != nil {
 		pp := p.cfg.Builder.Preprocessor
 		if pp == nil {

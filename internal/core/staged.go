@@ -31,22 +31,22 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 	if p.ckpt != nil {
 		p.checkPoison(l)
 	}
-	m := p.effectiveModel(ctx, l.Source)
-	if m == nil {
-		return nil
-	}
-
-	key := "__op@" + l.Source
-	sv, _ := ctx.States().Get(key)
+	sv, _ := ctx.States().Get("__op@" + l.Source)
 	st, _ := sv.(*coreOpState)
 	if st == nil {
+		m := p.effectiveModel(ctx, l.Source)
+		if m == nil {
+			return nil
+		}
 		pp := p.cfg.Builder.Preprocessor
 		if pp == nil {
 			pp = preprocess.New(nil, nil)
 		}
-		st = &coreOpState{model: m, parser: m.NewParser(pp.Clone())}
+		st = &coreOpState{model: m, modelID: modelIDFor(l.Source), parser: m.NewParser(pp.Clone())}
 		st.parser.Instrument(p.reg)
-		ctx.States().Put(key, st)
+		ctx.States().Put("__op@"+l.Source, st)
+	} else if m := p.modelByID(ctx, st.modelID); m == nil {
+		return nil
 	} else if st.model != m {
 		st.parser.SetPatterns(m.Patterns)
 		st.model = m
@@ -105,23 +105,23 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 	if pl, ok := rec.Value.(*logtypes.ParsedLog); ok {
 		source = pl.Source
 	}
-	m := p.effectiveModel(ctx, source)
-	if m == nil {
-		return nil
-	}
-
-	key := "__op@" + source
-	sv, _ := ctx.States().Get(key)
+	sv, _ := ctx.States().Get("__op@" + source)
 	st, _ := sv.(*coreOpState)
 	if st == nil {
-		st = &coreOpState{model: m, detector: m.NewDetector(p.cfg.Seq)}
+		m := p.effectiveModel(ctx, source)
+		if m == nil {
+			return nil
+		}
+		st = &coreOpState{model: m, modelID: modelIDFor(source), detector: m.NewDetector(p.cfg.Seq)}
 		st.detector.Instrument(p.reg)
 		st.detector.SetTracer(p.cfg.Tracer)
 		st.detector.SetRecorder(p.events)
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
-		ctx.States().Put(key, st)
+		ctx.States().Put("__op@"+source, st)
+	} else if m := p.modelByID(ctx, st.modelID); m == nil {
+		return nil
 	} else if st.model != m {
 		st.detector.SetModel(m.Sequence)
 		switch {
@@ -183,9 +183,15 @@ func (p *Pipeline) pumpParsed(done <-chan struct{}) {
 				// Crash simulation: abandon, the checkpoint recovers.
 				return
 			}
-			// Final drain of anything already published.
-			forward(consumer.TryPoll(0))
-			return
+			// Final drain of anything already published (polls are
+			// capped, so loop until empty).
+			for {
+				msgs := consumer.TryPoll(1024)
+				if len(msgs) == 0 {
+					return
+				}
+				forward(msgs)
+			}
 		default:
 		}
 		if p.pumpPaused.Load() {
@@ -194,7 +200,7 @@ func (p *Pipeline) pumpParsed(done <-chan struct{}) {
 			continue
 		}
 		p.pumpIdle.Store(false)
-		msgs := consumer.TryPoll(0)
+		msgs := consumer.TryPoll(1024)
 		if len(msgs) == 0 {
 			time.Sleep(time.Millisecond)
 			continue

@@ -1,0 +1,114 @@
+package grok
+
+import (
+	"reflect"
+	"testing"
+
+	"loglens/internal/datatype"
+	"loglens/internal/logtypes"
+)
+
+// uncached recomputes derived state from Tokens alone, the ground truth
+// the caches must agree with.
+func uncached(p *Pattern) (sig []datatype.Type, hasAny bool, gen int) {
+	sig = make([]datatype.Type, len(p.Tokens))
+	for i, t := range p.Tokens {
+		sig[i] = t.SignatureType()
+		if t.IsField {
+			gen += t.Type.Generality()
+			if t.Type == datatype.AnyData {
+				hasAny = true
+			}
+		}
+	}
+	return sig, hasAny, gen
+}
+
+func checkCaches(t *testing.T, label string, p *Pattern) {
+	t.Helper()
+	sig, hasAny, gen := uncached(p)
+	if got := p.SignatureTypes(); !reflect.DeepEqual(got, sig) {
+		t.Errorf("%s: SignatureTypes = %v, want %v", label, got, sig)
+	}
+	if got := p.HasAnyData(); got != hasAny {
+		t.Errorf("%s: HasAnyData = %v, want %v", label, got, hasAny)
+	}
+	if got := p.Generality(); got != gen {
+		t.Errorf("%s: Generality = %d, want %d", label, got, gen)
+	}
+}
+
+// TestCachesTrackEdits: every signature-affecting mutation keeps the
+// precomputed caches consistent with a from-scratch recomputation.
+func TestCachesTrackEdits(t *testing.T) {
+	p, err := ParsePattern(1, "%{DATETIME:ts} %{IP:addr} login user1 rc %{NUMBER:rc}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCaches(t, "parsed", p)
+
+	c := p.Clone()
+	checkCaches(t, "cloned", c)
+
+	if err := p.Specialize("rc", "0"); err != nil {
+		t.Fatal(err)
+	}
+	checkCaches(t, "specialized", p)
+
+	if err := p.GeneralizeValue("user1", datatype.NotSpace, "user"); err != nil {
+		t.Fatal(err)
+	}
+	checkCaches(t, "generalized", p)
+
+	if err := p.SetFieldType("user", datatype.AnyData); err != nil {
+		t.Fatal(err)
+	}
+	checkCaches(t, "retyped-to-anydata", p)
+
+	// The clone must be unaffected by edits to the original.
+	checkCaches(t, "clone-after-edits", c)
+	if c.HasAnyData() {
+		t.Error("clone gained a wildcard from an edit to the original")
+	}
+
+	// Hand-built patterns have no caches; accessors compute on the fly.
+	hand := &Pattern{Tokens: []Token{
+		LiteralToken("x"),
+		FieldToken(datatype.AnyData, "rest"),
+	}}
+	checkCaches(t, "hand-built", hand)
+}
+
+// TestAppendMatchMatchesMatch: the append API extracts the same fields as
+// Match, and reuse of a warmed buffer is allocation-free on the
+// wildcard-free path.
+func TestAppendMatchMatchesMatch(t *testing.T) {
+	p, err := ParsePattern(1, "%{DATETIME:ts} job %{NOTSPACE:id} rc %{NUMBER:rc}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"2016/02/23 09:00:31.000", "job", "jb-1", "rc", "0"}
+	want, ok := p.Match(tokens)
+	if !ok {
+		t.Fatal("Match failed")
+	}
+	got, ok := p.AppendMatch(nil, tokens)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendMatch = %v (%v), want %v", got, ok, want)
+	}
+	if _, ok := p.AppendMatch(nil, tokens[:3]); ok {
+		t.Fatal("AppendMatch matched a truncated line")
+	}
+
+	buf := make([]logtypes.Field, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		var ok bool
+		buf, ok = p.AppendMatch(buf[:0], tokens)
+		if !ok {
+			t.Fatal("AppendMatch failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMatch allocates %v with a warm buffer, want 0", allocs)
+	}
+}

@@ -40,6 +40,7 @@ func (p *Pattern) Specialize(fieldName, value string) error {
 		return fmt.Errorf("grok: specialize %q: value must be a single token", fieldName)
 	}
 	p.Tokens[i] = LiteralToken(value)
+	p.precompute()
 	return nil
 }
 
@@ -59,6 +60,7 @@ func (p *Pattern) Generalize(idx int, typ datatype.Type, name string) error {
 		return fmt.Errorf("grok: generalize: literal %q does not conform to %v", p.Tokens[idx].Literal, typ)
 	}
 	p.Tokens[idx] = FieldToken(typ, name)
+	p.precompute()
 	return nil
 }
 
@@ -81,6 +83,7 @@ func (p *Pattern) SetFieldType(fieldName string, typ datatype.Type) error {
 		return fmt.Errorf("grok: set type: no field %q in pattern %d", fieldName, p.ID)
 	}
 	p.Tokens[i].Type = typ
+	p.precompute()
 	return nil
 }
 

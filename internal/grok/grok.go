@@ -65,6 +65,43 @@ type Pattern struct {
 	ID int
 	// Tokens is the pattern body.
 	Tokens []Token
+
+	// Cached derived state, precomputed at single-threaded points
+	// (ParsePattern, Set.Add, Clone, the edit operations) so the
+	// concurrent read-only parse path never writes to a shared Pattern.
+	// Patterns built by hand (&Pattern{Tokens: ...}) have empty caches;
+	// the accessors then compute without storing, slower but race-free.
+	sig        []datatype.Type
+	hasAny     int8 // 0 unknown, 1 no wildcard, 2 has wildcard
+	generality int  // valid when hasAny != 0
+}
+
+// precompute fills the derived-state caches. Callers must hold the only
+// reference to p or be the single goroutine mutating it.
+func (p *Pattern) precompute() {
+	sig := p.sig
+	if cap(sig) < len(p.Tokens) {
+		sig = make([]datatype.Type, len(p.Tokens))
+	}
+	sig = sig[:len(p.Tokens)]
+	hasAny := false
+	g := 0
+	for i, t := range p.Tokens {
+		sig[i] = t.SignatureType()
+		if t.IsField {
+			g += t.Type.Generality()
+			if t.Type == datatype.AnyData {
+				hasAny = true
+			}
+		}
+	}
+	p.sig = sig
+	p.generality = g
+	if hasAny {
+		p.hasAny = 2
+	} else {
+		p.hasAny = 1
+	}
 }
 
 // ParsePattern parses GROK text produced by Pattern.String (or written by
@@ -92,6 +129,7 @@ func ParsePattern(id int, text string) (*Pattern, error) {
 	if len(p.Tokens) == 0 {
 		return nil, fmt.Errorf("grok: pattern %d: empty pattern", id)
 	}
+	p.precompute()
 	return p, nil
 }
 
@@ -106,8 +144,17 @@ func (p *Pattern) String() string {
 
 // Clone returns a deep copy of the pattern.
 func (p *Pattern) Clone() *Pattern {
-	q := &Pattern{ID: p.ID, Tokens: make([]Token, len(p.Tokens))}
+	q := &Pattern{
+		ID:         p.ID,
+		Tokens:     make([]Token, len(p.Tokens)),
+		hasAny:     p.hasAny,
+		generality: p.generality,
+	}
 	copy(q.Tokens, p.Tokens)
+	if p.sig != nil {
+		q.sig = make([]datatype.Type, len(p.sig))
+		copy(q.sig, p.sig)
+	}
 	return q
 }
 
@@ -121,9 +168,14 @@ func (p *Pattern) Signature() string {
 	return strings.Join(parts, " ")
 }
 
-// SignatureTypes returns the signature as a datatype slice.
+// SignatureTypes returns the signature as a datatype slice. The caller
+// owns the returned slice.
 func (p *Pattern) SignatureTypes() []datatype.Type {
 	out := make([]datatype.Type, len(p.Tokens))
+	if p.sig != nil {
+		copy(out, p.sig)
+		return out
+	}
 	for i, t := range p.Tokens {
 		out[i] = t.SignatureType()
 	}
@@ -131,7 +183,12 @@ func (p *Pattern) SignatureTypes() []datatype.Type {
 }
 
 // HasAnyData reports whether the pattern contains an ANYDATA wildcard.
+// Called on every match attempt, so the answer is precomputed; the scan
+// below only runs for hand-built patterns with no caches.
 func (p *Pattern) HasAnyData() bool {
+	if p.hasAny != 0 {
+		return p.hasAny == 2
+	}
 	for _, t := range p.Tokens {
 		if t.IsField && t.Type == datatype.AnyData {
 			return true
@@ -145,6 +202,9 @@ func (p *Pattern) HasAnyData() bool {
 // log (§III-B step 2). It sums token generalities; literals rank below any
 // field.
 func (p *Pattern) Generality() int {
+	if p.hasAny != 0 {
+		return p.generality
+	}
 	g := 0
 	for _, t := range p.Tokens {
 		if t.IsField {
@@ -200,9 +260,27 @@ func (p *Pattern) AssignFieldIDs() {
 // tokens.
 func (p *Pattern) Match(tokens []string) ([]logtypes.Field, bool) {
 	if !p.HasAnyData() {
-		return p.matchExact(tokens)
+		fields, ok := p.appendMatchExact(nil, tokens)
+		if !ok {
+			return nil, false
+		}
+		return fields, true
 	}
 	return p.matchDP(tokens)
+}
+
+// AppendMatch is Match appending the extracted fields to dst, so a caller
+// reusing dst across lines pays zero steady-state allocations on the
+// wildcard-free path. On a failed match dst is returned unchanged.
+func (p *Pattern) AppendMatch(dst []logtypes.Field, tokens []string) ([]logtypes.Field, bool) {
+	if !p.HasAnyData() {
+		return p.appendMatchExact(dst, tokens)
+	}
+	fields, ok := p.matchDP(tokens)
+	if !ok {
+		return dst, false
+	}
+	return append(dst, fields...), true
 }
 
 // Matches reports whether the pattern matches without extracting fields.
@@ -211,28 +289,32 @@ func (p *Pattern) Matches(tokens []string) bool {
 	return ok
 }
 
-func (p *Pattern) matchExact(tokens []string) ([]logtypes.Field, bool) {
+func (p *Pattern) appendMatchExact(dst []logtypes.Field, tokens []string) ([]logtypes.Field, bool) {
 	if len(tokens) != len(p.Tokens) {
-		return nil, false
+		return dst, false
 	}
 	for i, pt := range p.Tokens {
 		if pt.IsField {
 			if !datatype.Matches(pt.Type, tokens[i]) {
-				return nil, false
+				return dst, false
 			}
 			continue
 		}
 		if pt.Literal != tokens[i] {
-			return nil, false
+			return dst, false
 		}
 	}
-	fields := make([]logtypes.Field, 0, p.FieldCount())
+	if dst == nil {
+		// One exact-size allocation for callers without a reusable
+		// buffer; the failure paths above stay allocation-free.
+		dst = make([]logtypes.Field, 0, p.FieldCount())
+	}
 	for i, pt := range p.Tokens {
 		if pt.IsField {
-			fields = append(fields, logtypes.Field{Name: pt.Name, Value: tokens[i]})
+			dst = append(dst, logtypes.Field{Name: pt.Name, Value: tokens[i]})
 		}
 	}
-	return fields, true
+	return dst, true
 }
 
 // matchDP is the wildcard-aware matcher. T[i][j] is true when the first i

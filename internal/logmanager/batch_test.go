@@ -1,0 +1,131 @@
+package logmanager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/bus"
+	"loglens/internal/logtypes"
+	"loglens/internal/store"
+)
+
+// event is one downstream hand-off observed by the batched-forward tests:
+// either a batch of logs or a heartbeat, in arrival order.
+type event struct {
+	logs []logtypes.Log
+	hb   bool
+	hbAt time.Time
+}
+
+func setupBatched(t *testing.T, cfg Config) (*bus.Bus, *Manager, *[]event) {
+	t.Helper()
+	b := bus.New()
+	var events []event
+	cfg.ForwardBatch = func(logs []logtypes.Log) {
+		// The slice is only valid for the duration of the call: copy.
+		events = append(events, event{logs: append([]logtypes.Log(nil), logs...)})
+	}
+	m := New(b, store.New(), cfg, func(l logtypes.Log) {
+		t.Errorf("per-log forward invoked with ForwardBatch set: %+v", l)
+	})
+	m.OnHeartbeat(func(source string, ts time.Time) {
+		events = append(events, event{hb: true, hbAt: ts})
+	})
+	return b, m, &events
+}
+
+// TestForwardBatchAccumulates: with ForwardBatch set, a poll batch of
+// logs arrives downstream as one call, not one per log, and the per-log
+// forward hook stays silent.
+func TestForwardBatchAccumulates(t *testing.T) {
+	b, m, events := setupBatched(t, Config{})
+	a, err := agent.New(b, agent.Config{Source: "web"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a.Send(fmt.Sprintf("line %d", i))
+	}
+	if n := m.DrainOnce(); n != 8 {
+		t.Fatalf("drained %d", n)
+	}
+	var total int
+	for _, ev := range *events {
+		if ev.hb {
+			t.Fatalf("unexpected heartbeat event")
+		}
+		total += len(ev.logs)
+	}
+	if total != 8 {
+		t.Fatalf("forwarded %d logs, want 8", total)
+	}
+	if len(*events) >= 8 {
+		t.Errorf("%d hand-offs for 8 logs: batching did not amortize", len(*events))
+	}
+	for i, l := range (*events)[0].logs {
+		if l.Raw != fmt.Sprintf("line %d", i) {
+			t.Fatalf("log %d = %+v, out of order", i, l)
+		}
+	}
+}
+
+// TestHeartbeatFlushesBatch: a heartbeat interleaved in a poll batch must
+// not overtake the logs consumed before it — the pending batch flushes
+// first, so downstream sees logs, then the heartbeat, then later logs.
+func TestHeartbeatFlushesBatch(t *testing.T) {
+	b, m, events := setupBatched(t, Config{})
+	b.CreateTopic(agent.LogsTopic, 1)
+	hbAt := time.Date(2016, 2, 23, 9, 0, 31, 0, time.UTC)
+	pub := func(raw string) {
+		b.Publish(agent.LogsTopic, "svc", []byte(raw), map[string]string{
+			agent.HeaderSource: "svc",
+		})
+	}
+	pub("before-1")
+	pub("before-2")
+	b.Publish(agent.LogsTopic, "svc", nil, map[string]string{
+		agent.HeaderSource:    "svc",
+		agent.HeaderHeartbeat: hbAt.Format(time.RFC3339Nano),
+	})
+	pub("after-1")
+	m.DrainOnce()
+
+	got := *events
+	if len(got) != 3 {
+		t.Fatalf("events = %d, want logs/heartbeat/logs: %+v", len(got), got)
+	}
+	if got[0].hb || len(got[0].logs) != 2 || got[0].logs[1].Raw != "before-2" {
+		t.Fatalf("first hand-off = %+v, want the two pre-heartbeat logs", got[0])
+	}
+	if !got[1].hb || !got[1].hbAt.Equal(hbAt) {
+		t.Fatalf("second hand-off = %+v, want the heartbeat", got[1])
+	}
+	if got[2].hb || len(got[2].logs) != 1 || got[2].logs[0].Raw != "after-1" {
+		t.Fatalf("third hand-off = %+v, want the post-heartbeat log", got[2])
+	}
+}
+
+// TestBatchBufferRecycled: the manager's accumulation buffer is reused
+// across flushes and zeroed in between, so pooled capacity cannot pin
+// raw-log payloads.
+func TestBatchBufferRecycled(t *testing.T) {
+	b, m, events := setupBatched(t, Config{})
+	a, _ := agent.New(b, agent.Config{Source: "web"})
+	a.Send("first")
+	m.DrainOnce()
+	a.Send("second")
+	m.DrainOnce()
+	if len(*events) != 2 {
+		t.Fatalf("events = %d", len(*events))
+	}
+	if len(m.batch) != 0 {
+		t.Fatalf("batch not drained: %d", len(m.batch))
+	}
+	for _, l := range m.batch[:cap(m.batch)] {
+		if l != (logtypes.Log{}) {
+			t.Fatalf("recycled batch buffer retains %+v", l)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"loglens/internal/agent"
 	"loglens/internal/bus"
@@ -50,7 +51,24 @@ type Config struct {
 	// the consumed messages — the recovery layer registers their offsets
 	// as a pending commit gated on downstream processing.
 	OnBatch func(msgs []bus.Message)
+
+	// ForwardBatch, when set, replaces the per-log forward hook: logs
+	// accumulate across a poll batch and are handed downstream in one
+	// call, amortizing the per-record channel send into a per-batch
+	// hand-off. The slice is owned by the Manager and valid only for the
+	// duration of the call. Heartbeat-tagged messages flush the pending
+	// batch first, so log/heartbeat ordering is preserved. ForwardBatch
+	// runs before OnBatch, so downstream counters include the batch when
+	// the commit gate registers it.
+	ForwardBatch func(logs []logtypes.Log)
 }
+
+// pollBatchMax caps how many messages one poll may return. Unbounded
+// polls let a momentarily lagging consumer swallow the whole backlog as
+// one giant slice — the allocation (and its zeroing) of those arrays,
+// plus the matching downstream record buffers, dwarfs the per-line work.
+// Bounded polls keep every buffer in the pipeline pool-sized.
+const pollBatchMax = 1024
 
 // Manager pumps logs from the bus into the processing pipeline.
 type Manager struct {
@@ -62,6 +80,11 @@ type Manager struct {
 
 	received atomic.Uint64
 	dropped  atomic.Uint64
+
+	// batch accumulates logs between flushes when ForwardBatch is set.
+	// It is touched only from the single consumption loop (Run XOR
+	// DrainOnce), so it needs no lock.
+	batch []logtypes.Log
 
 	// paused/idle implement checkpoint quiescence: Pause stops the
 	// ManualCommit polling loop from consuming; idle reports that the
@@ -126,7 +149,7 @@ func (m *Manager) Run(ctx context.Context) error {
 		return m.runPausable(ctx, consumer, limiter)
 	}
 	for {
-		msgs, err := consumer.Poll(ctx, 0)
+		msgs, err := consumer.Poll(ctx, pollBatchMax)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -143,6 +166,7 @@ func (m *Manager) Run(ctx context.Context) error {
 			}
 			m.handle(msg)
 		}
+		m.flushBatch()
 		if m.cfg.OnBatch != nil {
 			m.cfg.OnBatch(msgs)
 		}
@@ -163,7 +187,7 @@ func (m *Manager) runPausable(ctx context.Context, consumer *bus.Consumer, limit
 			continue
 		}
 		m.idle.Store(false)
-		msgs := consumer.TryPoll(0)
+		msgs := consumer.TryPoll(pollBatchMax)
 		if len(msgs) == 0 {
 			time.Sleep(time.Millisecond)
 			continue
@@ -178,6 +202,7 @@ func (m *Manager) runPausable(ctx context.Context, consumer *bus.Consumer, limit
 			}
 			m.handle(msg)
 		}
+		m.flushBatch()
 		if m.cfg.OnBatch != nil {
 			m.cfg.OnBatch(msgs)
 		}
@@ -193,7 +218,7 @@ func (m *Manager) DrainOnce() int {
 	}
 	n := 0
 	for {
-		msgs := consumer.TryPoll(0)
+		msgs := consumer.TryPoll(pollBatchMax)
 		if len(msgs) == 0 {
 			return n
 		}
@@ -201,7 +226,22 @@ func (m *Manager) DrainOnce() int {
 			m.handle(msg)
 			n++
 		}
+		m.flushBatch()
 	}
+}
+
+// flushBatch hands the accumulated logs downstream in one call and
+// recycles the buffer. Entries are zeroed before reuse so the backing
+// array does not pin raw-log payloads across batches.
+func (m *Manager) flushBatch() {
+	if len(m.batch) == 0 {
+		return
+	}
+	m.cfg.ForwardBatch(m.batch)
+	for i := range m.batch {
+		m.batch[i] = logtypes.Log{}
+	}
+	m.batch = m.batch[:0]
 }
 
 // handle identifies the source, archives, and forwards one message.
@@ -223,6 +263,10 @@ func (m *Manager) handle(msg bus.Message) {
 			m.hbCounter.Inc()
 		}
 		if m.forwardHB != nil {
+			// A heartbeat must not overtake logs consumed before it:
+			// expiry driven by an early heartbeat would see states the
+			// buffered logs have yet to open.
+			m.flushBatch()
 			m.forwardHB(source, t)
 		}
 		return
@@ -235,11 +279,18 @@ func (m *Manager) handle(msg bus.Message) {
 	if s := msg.Headers[agent.HeaderSeq]; s != "" {
 		seq, _ = strconv.ParseUint(s, 10, 64)
 	}
+	// Raw aliases the payload without copying: the bus's Publish contract
+	// makes message values immutable once published, so the string view
+	// is safe and the hot path saves a per-line copy.
+	var raw string
+	if len(msg.Value) > 0 {
+		raw = unsafe.String(unsafe.SliceData(msg.Value), len(msg.Value))
+	}
 	l := logtypes.Log{
 		Source:  source,
 		Seq:     seq,
 		Arrival: msg.Time,
-		Raw:     string(msg.Value),
+		Raw:     raw,
 	}
 	m.received.Add(1)
 	if m.recvCounter != nil {
@@ -257,6 +308,10 @@ func (m *Manager) handle(msg bus.Message) {
 			"arrival": l.Arrival,
 			"source":  l.Source,
 		})
+	}
+	if m.cfg.ForwardBatch != nil {
+		m.batch = append(m.batch, l)
+		return
 	}
 	if m.forward != nil {
 		m.forward(l)

@@ -55,15 +55,73 @@ const DefaultMaxGroups = 65536
 // use (the group index and preprocessor caches mutate on every Parse);
 // create one per goroutine with Clone.
 type Parser struct {
-	set       *grok.Set
-	pp        *preprocess.Preprocessor
-	groups    map[string][]*grok.Pattern
-	order     []string // insertion order, for FIFO eviction
+	set *grok.Set
+	pp  *preprocess.Preprocessor
+
+	// groups is the candidate-pattern-group index, keyed by an FNV-1a
+	// hash of the log-signature type sequence. Hash collisions chain;
+	// each entry carries an owned copy of its type sequence so lookups
+	// verify the signature instead of trusting the hash. Hash keys keep
+	// the group-hit path free of per-line signature-string allocations.
+	groups map[uint64]*groupEntry
+	// order is the FIFO eviction ring: insertion-ordered signature
+	// hashes with the live window at order[head:]. Eviction advances
+	// head (O(evicted)); the dead prefix is compacted away only once it
+	// exceeds half the slice, keeping compaction amortized O(1).
+	order []uint64
+	head  int
+	// count tracks live signatures (map entries undercount when chains
+	// form).
+	count int
+
 	maxGroups int
 	sortOff   bool
 	stats     Stats
 	perPat    map[int]uint64
 	instr     *parserInstr
+
+	// Per-goroutine hot-path scratch, reused across Parse calls.
+	scratch preprocess.Scratch
+	dpPrev  []bool
+	dpCur   []bool
+}
+
+// groupEntry is one signature's candidate-pattern-group, chained on hash
+// collision. types is an owned copy (the lookup key aliases per-line
+// scratch); new entries append at the chain tail so FIFO eviction pops
+// the oldest node first.
+type groupEntry struct {
+	types []datatype.Type
+	group []*grok.Pattern
+	next  *groupEntry
+}
+
+// fnv1aOffset and fnv1aPrime are the 64-bit FNV-1a parameters.
+const (
+	fnv1aOffset = 14695981039346656037
+	fnv1aPrime  = 1099511628211
+)
+
+// sigHash is the FNV-1a hash of a log-signature type sequence.
+func sigHash(types []datatype.Type) uint64 {
+	h := uint64(fnv1aOffset)
+	for _, t := range types {
+		h ^= uint64(t)
+		h *= fnv1aPrime
+	}
+	return h
+}
+
+func typesEqual(a, b []datatype.Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // parserInstr mirrors the per-Parse counters into a shared registry.
@@ -102,7 +160,7 @@ func New(set *grok.Set, pp *preprocess.Preprocessor, opts ...Option) *Parser {
 	p := &Parser{
 		set:       set,
 		pp:        pp,
-		groups:    make(map[string][]*grok.Pattern),
+		groups:    make(map[uint64]*groupEntry),
 		maxGroups: DefaultMaxGroups,
 		perPat:    make(map[int]uint64),
 	}
@@ -145,8 +203,10 @@ func (p *Parser) Instrument(reg *metrics.Registry) {
 // group index, which is rebuilt lazily against the new model.
 func (p *Parser) SetPatterns(set *grok.Set) {
 	p.set = set
-	p.groups = make(map[string][]*grok.Pattern)
+	p.groups = make(map[uint64]*groupEntry)
 	p.order = p.order[:0]
+	p.head = 0
+	p.count = 0
 }
 
 // Patterns returns the active pattern set.
@@ -172,30 +232,42 @@ func (p *Parser) ResetStats() { p.stats = Stats{} }
 // pattern matches it returns ErrNoMatch and the caller reports the log as
 // an anomaly.
 func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
-	res := p.pp.Process(l.Raw)
-	sig := res.Signature()
+	pl := &logtypes.ParsedLog{}
+	if err := p.ParseInto(l, pl); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
 
-	group, ok := p.groups[sig]
-	if ok {
+// ParseInto is Parse writing the structured form into a caller-owned
+// ParsedLog, reusing its Fields buffer. A caller cycling one ParsedLog
+// per goroutine pays zero allocations on the group-hit path (the field
+// values alias the immutable raw line, so they stay valid after reuse).
+// On ErrNoMatch *pl is left in an unspecified state.
+func (p *Parser) ParseInto(l logtypes.Log, pl *logtypes.ParsedLog) error {
+	res := p.pp.ProcessScratch(l.Raw, &p.scratch)
+	h := sigHash(res.Types)
+
+	entry := p.lookup(h, res.Types)
+	if entry != nil {
 		p.stats.GroupHits++
 		if p.instr != nil {
 			p.instr.hits.Inc()
 		}
 	} else {
-		group = p.buildGroup(res.Types)
-		p.cacheGroup(sig, group)
+		entry = p.cacheGroup(h, res.Types, p.buildGroup(res.Types))
 		p.stats.GroupBuilds++
 		if p.instr != nil {
 			p.instr.builds.Inc()
 		}
 	}
 
-	for _, pat := range group {
+	for _, pat := range entry.group {
 		p.stats.CandidateScans++
 		if p.instr != nil {
 			p.instr.scans.Inc()
 		}
-		fields, ok := pat.Match(res.Tokens)
+		fields, ok := pat.AppendMatch(pl.Fields[:0], res.Tokens)
 		if !ok {
 			continue
 		}
@@ -204,19 +276,31 @@ func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
 			p.instr.parsed.Inc()
 		}
 		p.perPat[pat.ID]++
-		return &logtypes.ParsedLog{
+		*pl = logtypes.ParsedLog{
 			Log:          l,
 			PatternID:    pat.ID,
 			Fields:       fields,
 			Timestamp:    res.Time,
 			HasTimestamp: res.HasTime,
-		}, nil
+		}
+		return nil
 	}
 	p.stats.Unmatched++
 	if p.instr != nil {
 		p.instr.unmatched.Inc()
 	}
-	return nil, ErrNoMatch
+	return ErrNoMatch
+}
+
+// lookup walks the hash bucket's collision chain, verifying the type
+// sequence of each entry.
+func (p *Parser) lookup(h uint64, types []datatype.Type) *groupEntry {
+	for e := p.groups[h]; e != nil; e = e.next {
+		if typesEqual(e.types, types) {
+			return e
+		}
+	}
+	return nil
 }
 
 // buildGroup assembles the candidate-pattern-group for a log-signature:
@@ -226,7 +310,7 @@ func (p *Parser) Parse(l logtypes.Log) (*logtypes.ParsedLog, error) {
 func (p *Parser) buildGroup(logSig []datatype.Type) []*grok.Pattern {
 	var group []*grok.Pattern
 	for _, pat := range p.set.Patterns() {
-		if IsMatched(logSig, pat.SignatureTypes()) {
+		if p.isMatched(logSig, pat.SignatureTypes()) {
 			group = append(group, pat)
 		}
 	}
@@ -242,25 +326,66 @@ func (p *Parser) buildGroup(logSig []datatype.Type) []*grok.Pattern {
 	return group
 }
 
-// cacheGroup stores a group under its signature, evicting the oldest
-// entries beyond the cap.
-func (p *Parser) cacheGroup(sig string, group []*grok.Pattern) {
-	if p.maxGroups > 0 && len(p.groups) >= p.maxGroups {
-		evict := len(p.order) / 4
-		if evict < 1 {
-			evict = 1
+// cacheGroup stores a group under its signature hash, evicting the
+// oldest entries beyond the cap. The just-inserted entry is returned and
+// can never be part of the eviction wave (eviction runs first).
+func (p *Parser) cacheGroup(h uint64, types []datatype.Type, group []*grok.Pattern) *groupEntry {
+	if p.maxGroups > 0 && p.count >= p.maxGroups {
+		wave := p.count / 4
+		if wave < 1 {
+			wave = 1
 		}
-		for _, old := range p.order[:evict] {
-			delete(p.groups, old)
+		for i := 0; i < wave && p.head < len(p.order); i++ {
+			old := p.order[p.head]
+			p.head++
+			if e := p.groups[old]; e != nil {
+				if e.next != nil {
+					p.groups[old] = e.next
+				} else {
+					delete(p.groups, old)
+				}
+			}
+			p.count--
 			p.stats.GroupEvictions++
 			if p.instr != nil {
 				p.instr.evictions.Inc()
 			}
 		}
-		p.order = append(p.order[:0], p.order[evict:]...)
+		if p.head > len(p.order)/2 {
+			n := copy(p.order, p.order[p.head:])
+			p.order = p.order[:n]
+			p.head = 0
+		}
 	}
-	p.groups[sig] = group
-	p.order = append(p.order, sig)
+	owned := make([]datatype.Type, len(types))
+	copy(owned, types)
+	e := &groupEntry{types: owned, group: group}
+	if head := p.groups[h]; head != nil {
+		tail := head
+		for tail.next != nil {
+			tail = tail.next
+		}
+		tail.next = e
+	} else {
+		p.groups[h] = e
+	}
+	p.order = append(p.order, h)
+	p.count++
+	return e
+}
+
+// isMatched is IsMatched using the Parser's reusable DP rows, so group
+// builds allocate nothing beyond the group slice itself.
+func (p *Parser) isMatched(logSig, patSig []datatype.Type) bool {
+	if !sigHasAnyData(patSig) {
+		return isMatchedExact(logSig, patSig)
+	}
+	need := len(patSig) + 1
+	if cap(p.dpPrev) < need {
+		p.dpPrev = make([]bool, need)
+		p.dpCur = make([]bool, need)
+	}
+	return isMatchedDP(logSig, patSig, p.dpPrev[:need], p.dpCur[:need])
 }
 
 // IsMatched is Algorithm 1: whether a log-signature can be parsed by a
@@ -268,31 +393,41 @@ func (p *Parser) cacheGroup(sig string, group []*grok.Pattern) {
 // number of log tokens and coverage follows the datatype lattice
 // (isCovered(l, p) is true when p's RegEx language includes l's).
 func IsMatched(logSig, patSig []datatype.Type) bool {
-	r, s := len(logSig), len(patSig)
-	// Fast path: no wildcard means positions align one to one.
-	hasAny := false
+	if !sigHasAnyData(patSig) {
+		return isMatchedExact(logSig, patSig)
+	}
+	s := len(patSig)
+	return isMatchedDP(logSig, patSig, make([]bool, s+1), make([]bool, s+1))
+}
+
+func sigHasAnyData(patSig []datatype.Type) bool {
 	for _, t := range patSig {
 		if t == datatype.AnyData {
-			hasAny = true
-			break
+			return true
 		}
 	}
-	if !hasAny {
-		if r != s {
+	return false
+}
+
+// isMatchedExact is the no-wildcard fast path: positions align one to
+// one.
+func isMatchedExact(logSig, patSig []datatype.Type) bool {
+	if len(logSig) != len(patSig) {
+		return false
+	}
+	for i := range logSig {
+		if logSig[i] != patSig[i] && !datatype.Covers(patSig[i], logSig[i]) {
 			return false
 		}
-		for i := 0; i < r; i++ {
-			if logSig[i] != patSig[i] && !datatype.Covers(patSig[i], logSig[i]) {
-				return false
-			}
-		}
-		return true
 	}
+	return true
+}
 
-	// Wildcard case: T[i][j] = log prefix i parsed by pattern prefix j.
-	// Two rolling rows keep it O(r*s) time, O(s) space.
-	prev := make([]bool, s+1)
-	cur := make([]bool, s+1)
+// isMatchedDP is the wildcard case: T[i][j] = log prefix i parsed by
+// pattern prefix j. Two rolling rows keep it O(r*s) time, O(s) space.
+// prev and cur must be len(patSig)+1; their contents are overwritten.
+func isMatchedDP(logSig, patSig []datatype.Type, prev, cur []bool) bool {
+	r, s := len(logSig), len(patSig)
 	prev[0] = true
 	for j := 1; j <= s; j++ {
 		prev[j] = prev[j-1] && patSig[j-1] == datatype.AnyData

@@ -56,7 +56,8 @@ func (p *Preprocessor) Clone() *Preprocessor {
 // TimestampStats exposes the identifier's work counters.
 func (p *Preprocessor) TimestampStats() timestamp.Stats { return p.ts.Stats() }
 
-// Process preprocesses one raw log line.
+// Process preprocesses one raw log line. The returned Result owns fresh
+// slices; the hot path uses ProcessScratch to reuse buffers instead.
 func (p *Preprocessor) Process(line string) Result {
 	tokens := p.tok.Split(line)
 	res := Result{Tokens: tokens}
@@ -79,6 +80,58 @@ func (p *Preprocessor) Process(line string) Result {
 	return res
 }
 
+// Scratch holds reusable preprocessing buffers for ProcessScratch. The
+// zero value is ready to use. A Scratch belongs to one goroutine.
+type Scratch struct {
+	tok    tokenize.Scratch
+	merged []string
+	types  []datatype.Type
+	uni    []byte
+}
+
+// ProcessScratch preprocesses one raw log line into s, reusing its
+// buffers. The returned Result's Tokens and Types alias s and are valid
+// until the next ProcessScratch call on the same Scratch. When the line's
+// timestamp is already in the unified layout (as the datagen corpus
+// emits), the unified token aliases the line and the call is
+// allocation-free once the buffers have warmed up.
+func (p *Preprocessor) ProcessScratch(line string, s *Scratch) Result {
+	tokens := p.tok.SplitScratch(line, &s.tok)
+	res := Result{Tokens: tokens}
+	if m, ok := p.ts.Identify(tokens); ok {
+		res.Time = m.Time
+		res.HasTime = true
+		s.uni = timestamp.AppendUnified(s.uni[:0], m.Time)
+		if m.Tokens != 1 || tokens[m.Start] != string(s.uni) {
+			// Replace the matched span with one unified token. If the
+			// raw span already spells the unified layout, alias the line
+			// instead of allocating the rendered string.
+			uniTok := ""
+			last := m.Start + m.Tokens - 1
+			if st, ls := s.tok.TokenStart(m.Start), s.tok.TokenStart(last); st >= 0 && ls >= 0 {
+				end := ls + len(tokens[last])
+				if cand := line[st:end]; cand == string(s.uni) {
+					uniTok = cand
+				}
+			}
+			if uniTok == "" {
+				uniTok = string(s.uni)
+			}
+			s.merged = s.merged[:0]
+			s.merged = append(s.merged, tokens[:m.Start]...)
+			s.merged = append(s.merged, uniTok)
+			s.merged = append(s.merged, tokens[m.Start+m.Tokens:]...)
+			res.Tokens = s.merged
+		}
+	}
+	s.types = s.types[:0]
+	for _, tok := range res.Tokens {
+		s.types = append(s.types, datatype.Detect(tok))
+	}
+	res.Types = s.types
+	return res
+}
+
 // Signature returns the log-signature: the space-joined datatype names of
 // the preprocessed tokens (§III-B step 1).
 func (r Result) Signature() string {
@@ -89,12 +142,18 @@ func (r Result) Signature() string {
 	for _, t := range r.Types {
 		n += len(t.String()) + 1
 	}
-	buf := make([]byte, 0, n)
+	return string(r.AppendSignature(make([]byte, 0, n)))
+}
+
+// AppendSignature appends the log-signature to dst and returns the
+// extended buffer, letting hot-path callers build signatures without a
+// per-line string allocation.
+func (r Result) AppendSignature(dst []byte) []byte {
 	for i, t := range r.Types {
 		if i > 0 {
-			buf = append(buf, ' ')
+			dst = append(dst, ' ')
 		}
-		buf = append(buf, t.String()...)
+		dst = append(dst, t.String()...)
 	}
-	return string(buf)
+	return dst
 }

@@ -1,0 +1,72 @@
+package preprocess
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProcessScratchMatchesProcess: the scratch path must produce the
+// same tokens, types, and timestamp as the allocating path.
+func TestProcessScratchMatchesProcess(t *testing.T) {
+	p := New(nil, nil)
+	var s Scratch
+	lines := []string{
+		"",
+		"no timestamp here at all",
+		"2016/02/23 09:00:31.000 10.0.0.1 job jb-1 completed rc 0",
+		"23/Feb/2016:09:00:31 GET /index.html 200",
+		"Feb 23 09:00:31 host kernel: eth0 link up",
+	}
+	for _, line := range lines {
+		want := p.Process(line)
+		got := p.ProcessScratch(line, &s)
+		if !reflect.DeepEqual(normalize(want), normalize(got)) {
+			t.Errorf("ProcessScratch(%q) = %+v, Process = %+v", line, got, want)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual ignores the
+// nil-vs-empty distinction between the two paths.
+func normalize(r Result) Result {
+	if len(r.Tokens) == 0 {
+		r.Tokens = nil
+	}
+	if len(r.Types) == 0 {
+		r.Types = nil
+	}
+	return r
+}
+
+// TestProcessScratchZeroAllocs: lines whose timestamp is already in the
+// unified layout — the steady-state shape after datagen or upstream
+// unification — must preprocess without allocating.
+func TestProcessScratchZeroAllocs(t *testing.T) {
+	p := New(nil, nil)
+	var s Scratch
+	line := "2016/02/23 09:00:31.000 10.0.0.1 job jb-1 completed rc 0"
+	p.ProcessScratch(line, &s) // warm buffers and the timestamp cache
+	allocs := testing.AllocsPerRun(100, func() {
+		r := p.ProcessScratch(line, &s)
+		if len(r.Tokens) != 7 || !r.HasTime {
+			t.Fatalf("unexpected result: %+v", r)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProcessScratch allocates %v per line, want 0", allocs)
+	}
+}
+
+// TestAppendSignatureMatchesSignature: the append API renders the same
+// signature as the allocating one.
+func TestAppendSignatureMatchesSignature(t *testing.T) {
+	p := New(nil, nil)
+	r := p.Process("2016/02/23 09:00:31.000 10.0.0.1 job jb-1 completed rc 0")
+	if got := string(r.AppendSignature(nil)); got != r.Signature() {
+		t.Fatalf("AppendSignature = %q, Signature = %q", got, r.Signature())
+	}
+	var empty Result
+	if got := string(empty.AppendSignature(nil)); got != "" {
+		t.Fatalf("empty AppendSignature = %q", got)
+	}
+}

@@ -87,10 +87,14 @@ type Detector struct {
 	cfg     Config
 	states  map[stateKey]*openEvent
 	byEvent map[string]map[int]*openEvent // eventID -> autoID -> state
-	stats   Stats
-	instr   *detectInstr
-	tracer  metrics.Tracer
-	events  *obs.FlightRecorder
+	// byPattern caches Model.AutomataFor per pattern ID: the model scan
+	// allocates its result slice, and the hot path asks about the same
+	// few patterns on every line. Reset on SetModel.
+	byPattern map[int][]*automata.Automaton
+	stats     Stats
+	instr     *detectInstr
+	tracer    metrics.Tracer
+	events    *obs.FlightRecorder
 }
 
 // detectInstr mirrors detector activity into a shared registry. Several
@@ -110,11 +114,24 @@ type detectInstr struct {
 func New(model *automata.Model, cfg Config) *Detector {
 	cfg.setDefaults()
 	return &Detector{
-		model:   model,
-		cfg:     cfg,
-		states:  make(map[stateKey]*openEvent),
-		byEvent: make(map[string]map[int]*openEvent),
+		model:     model,
+		cfg:       cfg,
+		states:    make(map[stateKey]*openEvent),
+		byEvent:   make(map[string]map[int]*openEvent),
+		byPattern: make(map[int][]*automata.Automaton),
 	}
+}
+
+// automataFor resolves (and caches) the automata containing a pattern.
+// Caching nil results matters too: untracked patterns hit the skip path
+// on every line.
+func (d *Detector) automataFor(patternID int) []*automata.Automaton {
+	autos, ok := d.byPattern[patternID]
+	if !ok {
+		autos = d.model.AutomataFor(patternID)
+		d.byPattern[patternID] = autos
+	}
+	return autos
 }
 
 // Model returns the active model.
@@ -151,6 +168,7 @@ func (d *Detector) SetRecorder(f *obs.FlightRecorder) { d.events = f }
 // keep their in-flight events.
 func (d *Detector) SetModel(m *automata.Model) {
 	d.model = m
+	d.byPattern = make(map[int][]*automata.Automaton)
 	for key, st := range d.states {
 		a, ok := m.Get(key.autoID)
 		if !ok {
@@ -176,7 +194,7 @@ func (d *Detector) Process(l *logtypes.ParsedLog) []anomaly.Record {
 		d.skip(l, "no-event-id")
 		return nil
 	}
-	autos := d.model.AutomataFor(l.PatternID)
+	autos := d.automataFor(l.PatternID)
 	if len(autos) == 0 {
 		d.skip(l, "no-automaton")
 		return nil

@@ -25,7 +25,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -48,6 +47,15 @@ type Record struct {
 	// Heartbeat marks the record as a heartbeat: the partitioner
 	// duplicates it to every partition.
 	Heartbeat bool
+}
+
+// inputMsg is one hand-off on the engine's input channel: either a
+// single record (batch nil) or a whole micro-batch slice from the
+// RecordBuffer pool. A single channel for both keeps Send and SendBatch
+// strictly ordered relative to each other.
+type inputMsg struct {
+	rec   Record
+	batch []Record
 }
 
 // ProcessFunc is the per-record operator. It runs serially within a
@@ -114,10 +122,14 @@ func (c *Config) setDefaults() {
 		c.InputBuffer = 8192
 	}
 	if c.Partitioner == nil {
+		// Inline FNV-1a: hash.fnv's New32a allocates a hasher per record.
 		c.Partitioner = func(rec Record, partitions int) int {
-			h := fnv.New32a()
-			h.Write([]byte(rec.Key))
-			return int(h.Sum32()) % partitions
+			h := uint32(2166136261)
+			for i := 0; i < len(rec.Key); i++ {
+				h ^= uint32(rec.Key[i])
+				h *= 16777619
+			}
+			return int(h % uint32(partitions))
 		}
 	}
 	if c.Clock == nil {
@@ -186,9 +198,28 @@ type Engine struct {
 	proc ProcessFunc
 	sink func(any)
 
-	input  chan Record
-	closed chan struct{}
-	once   sync.Once
+	// input carries single records and whole micro-batch slices through
+	// the same channel, so interleaved Send and SendBatch calls from one
+	// producer are observed in call order — a heartbeat sent after a
+	// batch of logs can never overtake it. Batch slices come from the
+	// RecordBuffer pool and are recycled once collect has absorbed them.
+	input chan inputMsg
+	// batchSem bounds in-flight batch hand-offs: without it a fast
+	// producer parks thousands of batch slices in the input buffer, the
+	// RecordBuffer pool never sees them back, and every batch becomes a
+	// fresh allocation. The shallow bound restores the backpressure (and
+	// pool cycling) a dedicated small batch channel used to provide.
+	batchSem chan struct{}
+	recPool  sync.Pool
+	closed   chan struct{}
+	once     sync.Once
+
+	// Engine-loop scratch, reused across micro-batches. The loop is
+	// single-threaded (collect → processBatch → sink), so reuse is safe;
+	// workers only write their own partition's slot.
+	batchBuf []Record
+	partsBuf [][]Record
+	outsBuf  [][]any
 
 	driver  *driver
 	workers []*worker
@@ -204,6 +235,13 @@ type Engine struct {
 
 	metMu   sync.Mutex
 	metrics Metrics
+
+	// bcHits/bcPulls are the broadcast cache counters. They are the only
+	// Metrics fields written from inside partition workers (every record
+	// consults a broadcast), so they are atomics rather than metMu-guarded
+	// — per-record mutex traffic would serialize the partitions.
+	bcHits  atomic.Uint64
+	bcPulls atomic.Uint64
 
 	// instr mirrors the built-in counters into the shared registry; nil
 	// when Config.Metrics is unset, so uninstrumented engines pay only a
@@ -299,11 +337,12 @@ type worker struct {
 func New(cfg Config, proc ProcessFunc) *Engine {
 	cfg.setDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		proc:   proc,
-		input:  make(chan Record, cfg.InputBuffer),
-		closed: make(chan struct{}),
-		driver: &driver{blocks: make(map[string]block)},
+		cfg:      cfg,
+		proc:     proc,
+		input:    make(chan inputMsg, cfg.InputBuffer),
+		batchSem: make(chan struct{}, 16),
+		closed:   make(chan struct{}),
+		driver:   &driver{blocks: make(map[string]block)},
 	}
 	e.spans = obs.SpansOf(cfg.Ops)
 	e.events = obs.EventsOf(cfg.Ops)
@@ -365,23 +404,76 @@ func (e *Engine) Rebroadcast(id string, value any) {
 func (e *Engine) Send(rec Record) error {
 	select {
 	case <-e.closed:
-		return e.rejectClosed()
+		return e.rejectClosed(1)
 	default:
 	}
 	select {
-	case e.input <- rec:
+	case e.input <- inputMsg{rec: rec}:
 		return nil
 	case <-e.closed:
-		return e.rejectClosed()
+		return e.rejectClosed(1)
 	}
 }
 
-// rejectClosed accounts one record refused because the engine is closed.
-func (e *Engine) rejectClosed() error {
-	if e.instr != nil {
-		e.instr.droppedClosed.Inc()
+// SendBatch enqueues a micro-batch of records in a single channel
+// hand-off, amortizing the per-record synchronization of Send. Ownership
+// of recs transfers to the engine, which recycles the backing array into
+// the RecordBuffer pool — callers must not touch recs afterwards. Like
+// Send it blocks on backpressure and returns ErrClosed after Close.
+func (e *Engine) SendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		e.putRecordBuffer(recs)
+		return nil
 	}
-	e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "send after close", 1)
+	select {
+	case <-e.closed:
+		return e.rejectClosed(len(recs))
+	default:
+	}
+	select {
+	case e.batchSem <- struct{}{}:
+	case <-e.closed:
+		return e.rejectClosed(len(recs))
+	}
+	select {
+	case e.input <- inputMsg{batch: recs}:
+		return nil
+	case <-e.closed:
+		<-e.batchSem
+		return e.rejectClosed(len(recs))
+	}
+}
+
+// RecordBuffer returns an empty record slice from the engine's arena for
+// use with SendBatch. Steady-state batches cycle through the pool, so
+// batching producers allocate no slices per batch.
+func (e *Engine) RecordBuffer() []Record {
+	if v := e.recPool.Get(); v != nil {
+		return (*v.(*[]Record))[:0]
+	}
+	return make([]Record, 0, 256)
+}
+
+// putRecordBuffer recycles an absorbed batch slice. Elements are zeroed
+// first so pooled arrays do not pin record payloads.
+func (e *Engine) putRecordBuffer(recs []Record) {
+	if cap(recs) == 0 {
+		return
+	}
+	recs = recs[:cap(recs)]
+	for i := range recs {
+		recs[i] = Record{}
+	}
+	recs = recs[:0]
+	e.recPool.Put(&recs)
+}
+
+// rejectClosed accounts n records refused because the engine is closed.
+func (e *Engine) rejectClosed(n int) error {
+	if e.instr != nil {
+		e.instr.droppedClosed.Add(uint64(n))
+	}
+	e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "send after close", int64(n))
 	return ErrClosed
 }
 
@@ -393,8 +485,11 @@ func (e *Engine) Close() {
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() Metrics {
 	e.metMu.Lock()
-	defer e.metMu.Unlock()
-	return e.metrics
+	m := e.metrics
+	e.metMu.Unlock()
+	m.BroadcastHits = e.bcHits.Load()
+	m.BroadcastPulls = e.bcPulls.Load()
+	return m
 }
 
 // Running reports whether the micro-batch loop is currently executing —
@@ -499,14 +594,19 @@ func (e *Engine) retryLen() int {
 }
 
 // dropAbandoned accounts a batch that will never be processed plus
-// everything still buffered in the input channel (and any records parked
+// everything still buffered in the input channels (and any records parked
 // in the retry queue) as RecordsDropped.
 func (e *Engine) dropAbandoned(batch []Record) {
 	dropped := uint64(len(batch)) + uint64(len(e.takeRetries()))
 	for {
 		select {
-		case <-e.input:
-			dropped++
+		case msg := <-e.input:
+			if msg.batch != nil {
+				dropped += uint64(len(msg.batch))
+				<-e.batchSem
+			} else {
+				dropped++
+			}
 		default:
 			if dropped == 0 {
 				return
@@ -525,16 +625,19 @@ func (e *Engine) dropAbandoned(batch []Record) {
 }
 
 // collect gathers one micro-batch: up to MaxBatch records within
-// BatchInterval. It reports drained=true when the engine is closed and the
-// input is empty.
+// BatchInterval (a batched hand-off may overshoot the cap by at most one
+// producer batch). It reports drained=true when the engine is closed and
+// the input is empty. The returned slice is engine-loop scratch, valid
+// until the next collect call.
 func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
-	var batch []Record
+	batch := e.batchBuf[:0]
+	defer func() { e.batchBuf = batch[:0] }()
 	timer := e.cfg.Clock.NewTimer(e.cfg.BatchInterval)
 	defer timer.Stop()
 	for len(batch) < e.cfg.MaxBatch {
 		select {
-		case rec := <-e.input:
-			batch = append(batch, rec)
+		case msg := <-e.input:
+			batch = e.absorb(batch, msg)
 		case <-timer.C():
 			return batch, false
 		case <-ctx.Done():
@@ -543,8 +646,8 @@ func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 			// Drain whatever has been sent, then stop.
 			for {
 				select {
-				case rec := <-e.input:
-					batch = append(batch, rec)
+				case msg := <-e.input:
+					batch = e.absorb(batch, msg)
 					if len(batch) >= e.cfg.MaxBatch {
 						return batch, false
 					}
@@ -557,13 +660,32 @@ func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 	return batch, false
 }
 
+// absorb appends one input hand-off — a single record or a pooled batch
+// slice — to the collection buffer, recycling batch slices.
+func (e *Engine) absorb(batch []Record, msg inputMsg) []Record {
+	if msg.batch == nil {
+		return append(batch, msg.rec)
+	}
+	batch = append(batch, msg.batch...)
+	e.putRecordBuffer(msg.batch)
+	<-e.batchSem
+	return batch
+}
+
 // processBatch partitions the batch, runs every partition's records
 // through the operator in parallel, waits for the barrier, and feeds
 // outputs to the sink in partition order.
 func (e *Engine) processBatch(batch []Record) {
 	start := e.cfg.Clock.Now()
 	batchSpan := e.spans.Start(e.cfg.Name, "batch", e.driverTid)
-	parts := make([][]Record, e.cfg.Partitions)
+	if e.partsBuf == nil {
+		e.partsBuf = make([][]Record, e.cfg.Partitions)
+		e.outsBuf = make([][]any, e.cfg.Partitions)
+	}
+	parts := e.partsBuf
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
 	for _, rec := range batch {
 		if rec.Heartbeat {
 			// Custom partitioner: heartbeats reach every
@@ -577,7 +699,10 @@ func (e *Engine) processBatch(batch []Record) {
 		parts[p] = append(parts[p], rec)
 	}
 
-	outputs := make([][]any, e.cfg.Partitions)
+	outputs := e.outsBuf
+	for i := range outputs {
+		outputs[i] = outputs[i][:0]
+	}
 	retriesBefore := e.retryLen()
 	var wg sync.WaitGroup
 	for i, w := range e.workers {
@@ -629,6 +754,19 @@ func (e *Engine) processBatch(batch []Record) {
 			}
 		}
 		sinkSpan.End()
+	}
+	// Zero the reused scratch so retained arrays don't pin this batch's
+	// payloads until the slots happen to be overwritten.
+	for i := range parts {
+		for j := range parts[i] {
+			parts[i][j] = Record{}
+		}
+		for j := range outputs[i] {
+			outputs[i][j] = nil
+		}
+	}
+	for i := range batch {
+		batch[i] = Record{}
 	}
 	batchSpan.End()
 	// The commit gate fires after the sink: everything this batch covers
@@ -762,9 +900,7 @@ func (c *Context) States() *StateMap { return c.worker.states }
 // driver on a miss.
 func (c *Context) Broadcast(id string) (any, bool) {
 	if b, ok := c.worker.cache[id]; ok {
-		c.engine.metMu.Lock()
-		c.engine.metrics.BroadcastHits++
-		c.engine.metMu.Unlock()
+		c.engine.bcHits.Add(1)
 		return b.value, true
 	}
 	c.engine.driver.mu.RLock()
@@ -775,9 +911,7 @@ func (c *Context) Broadcast(id string) (any, bool) {
 	}
 	c.worker.cache[id] = b
 	c.worker.pulled.Store(id, b.version)
-	c.engine.metMu.Lock()
-	c.engine.metrics.BroadcastPulls++
-	c.engine.metMu.Unlock()
+	c.engine.bcPulls.Add(1)
 	return b.value, true
 }
 

@@ -25,6 +25,13 @@ func Unify(t time.Time) string {
 	return t.Format(UnifiedLayout)
 }
 
+// AppendUnified appends t in the unified DATETIME format to dst and
+// returns the extended buffer, letting hot-path callers render without a
+// string allocation.
+func AppendUnified(dst []byte, t time.Time) []byte {
+	return t.AppendFormat(dst, UnifiedLayout)
+}
+
 // Format is one recognizable timestamp format. A format spans Tokens
 // whitespace-separated tokens (e.g. "MMM dd, yyyy HH:mm:ss" spans four).
 type Format struct {

@@ -3,6 +3,7 @@ package timestamp
 import (
 	"strings"
 	"time"
+	"unsafe"
 )
 
 // Match describes an identified timestamp inside a token slice.
@@ -50,6 +51,10 @@ type Identifier struct {
 
 	useCache  bool
 	useFilter bool
+
+	// joinBuf is the reusable buffer multi-token format tries join into,
+	// replacing a strings.Join allocation per try on the hot path.
+	joinBuf []byte
 
 	stats Stats
 }
@@ -212,7 +217,17 @@ func (id *Identifier) tryFormat(fi int, tokens []string, pos int) (Match, bool) 
 	id.stats.FormatTries++
 	text := tokens[pos]
 	if f.Tokens > 1 {
-		text = strings.Join(tokens[pos:pos+f.Tokens], " ")
+		id.joinBuf = id.joinBuf[:0]
+		for i := pos; i < pos+f.Tokens; i++ {
+			if i > pos {
+				id.joinBuf = append(id.joinBuf, ' ')
+			}
+			id.joinBuf = append(id.joinBuf, tokens[i]...)
+		}
+		// Safe: Parse never retains text past the call (time.Parse copies
+		// what it needs into the Time; errors are discarded), and joinBuf
+		// is only rewritten by the next tryFormat on this Identifier.
+		text = unsafe.String(unsafe.SliceData(id.joinBuf), len(id.joinBuf))
 	}
 	t, ok := f.Parse(text)
 	if !ok {

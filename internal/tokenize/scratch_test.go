@@ -1,0 +1,127 @@
+package tokenize
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAppendSplitMatchesSplit: the append-into-buffer API and the
+// allocating API must produce identical tokens, with and without rules.
+func TestAppendSplitMatchesSplit(t *testing.T) {
+	lines := []string{
+		"",
+		"   ",
+		"one",
+		"  a  b\tc\r\n",
+		"2016/02/23 09:00:31.000 10.0.0.1 job jb-1 completed rc 0",
+		"disk full 123KB left",
+	}
+	plain := New()
+	ruled := New(WithRules(MustRule(`(\d+)(KB|MB)`, "$1 $2")))
+	for _, tok := range []*Tokenizer{plain, ruled} {
+		var buf []string
+		var s Scratch
+		for _, line := range lines {
+			want := tok.Split(line)
+			buf = tok.AppendSplit(buf[:0], line)
+			if !sameTokens(want, buf) {
+				t.Errorf("AppendSplit(%q) = %v, Split = %v", line, buf, want)
+			}
+			got := tok.SplitScratch(line, &s)
+			if !sameTokens(want, got) {
+				t.Errorf("SplitScratch(%q) = %v, Split = %v", line, got, want)
+			}
+		}
+	}
+}
+
+func sameTokens(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDelimiterTable: every byte of a multi-character delimiter set
+// splits, including bytes of multi-byte runes (matching the previous
+// IndexByte semantics).
+func TestDelimiterTable(t *testing.T) {
+	tok := New(WithDelimiters(" ,;"))
+	got := tok.Split("a,b;c d,,e")
+	want := []string{"a", "b", "c", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Split = %v, want %v", got, want)
+	}
+}
+
+// TestSplitScratchSpans: on the no-rules path every token records its
+// byte offset in the line; with rules, rewritten tokens report -1.
+func TestSplitScratchSpans(t *testing.T) {
+	tok := New()
+	var s Scratch
+	line := "  alpha beta\tgamma"
+	toks := tok.SplitScratch(line, &s)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, want := range toks {
+		start := s.TokenStart(i)
+		if start < 0 || line[start:start+len(want)] != want {
+			t.Errorf("token %d: start %d does not locate %q in %q", i, start, want, line)
+		}
+	}
+	if s.TokenStart(3) != -1 || s.TokenStart(-1) != -1 {
+		t.Errorf("out-of-range TokenStart should be -1")
+	}
+
+	ruled := New(WithRules(MustRule(`(\d+)(KB)`, "$1 $2")))
+	toks = ruled.SplitScratch("disk 123KB", &s)
+	if !sameTokens(toks, []string{"disk", "123", "KB"}) {
+		t.Fatalf("ruled tokens = %v", toks)
+	}
+	for i := range toks {
+		if s.TokenStart(i) != -1 {
+			t.Errorf("rules path token %d: TokenStart = %d, want -1", i, s.TokenStart(i))
+		}
+	}
+}
+
+// TestSplitScratchZeroAllocs: the no-rules scratch path must not
+// allocate once warmed up — the tokenizer half of the PR-5 hot-path
+// budget, enforced in go test so a regression fails before any
+// benchmark runs.
+func TestSplitScratchZeroAllocs(t *testing.T) {
+	tok := New()
+	var s Scratch
+	line := "2016/02/23 09:00:31.000 10.0.0.1 job jb-1 scheduled on host h9"
+	tok.SplitScratch(line, &s) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		toks := tok.SplitScratch(line, &s)
+		if len(toks) != 9 {
+			t.Fatalf("tokens = %d", len(toks))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SplitScratch allocates %v per line on the no-rules path, want 0", allocs)
+	}
+}
+
+// TestAppendSplitReusesBuffer: AppendSplit into a warmed caller buffer
+// is allocation-free on the no-rules path.
+func TestAppendSplitReusesBuffer(t *testing.T) {
+	tok := New()
+	line := strings.Repeat("tok ", 16)
+	buf := tok.AppendSplit(nil, line)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = tok.AppendSplit(buf[:0], line)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSplit allocates %v with a warm buffer, want 0", allocs)
+	}
+}

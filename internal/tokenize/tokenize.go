@@ -43,6 +43,13 @@ func NewRule(pattern, replacement string) (SplitRule, error) {
 type Tokenizer struct {
 	delimiters string
 	rules      []SplitRule
+
+	// isDelim is the per-byte delimiter lookup table, built once in New.
+	// Delimiter sets are byte sets in practice (ASCII whitespace and
+	// punctuation); multi-byte runes in the delimiter string fall back to
+	// marking their constituent bytes, which matches the previous
+	// IndexByte semantics exactly.
+	isDelim [256]bool
 }
 
 // Option configures a Tokenizer.
@@ -70,60 +77,85 @@ func New(opts ...Option) *Tokenizer {
 	for _, opt := range opts {
 		opt(t)
 	}
+	for i := 0; i < len(t.delimiters); i++ {
+		t.isDelim[t.delimiters[i]] = true
+	}
 	return t
 }
 
+// HasRules reports whether any sub-token split rules are installed. When
+// false, every token produced by Split/AppendSplit is a substring of the
+// input line.
+func (t *Tokenizer) HasRules() bool { return len(t.rules) > 0 }
+
 // Split tokenizes one log line. Empty tokens are dropped, so runs of
-// delimiters collapse. The returned slice is freshly allocated.
+// delimiters collapse. The returned slice is freshly allocated; the hot
+// path uses AppendSplit or SplitScratch to reuse buffers instead.
 func (t *Tokenizer) Split(line string) []string {
-	raw := splitAny(line, t.delimiters)
+	return t.AppendSplit(nil, line)
+}
+
+// AppendSplit tokenizes line and appends the tokens to dst, returning the
+// extended slice. With no split rules installed the appended strings are
+// substrings of line and the only allocations are dst growth, so a caller
+// reusing dst across lines pays zero steady-state allocations.
+func (t *Tokenizer) AppendSplit(dst []string, line string) []string {
 	if len(t.rules) == 0 {
-		return raw
+		dst, _ = t.appendSplitSpans(dst, nil, false, line)
+		return dst
 	}
-	out := make([]string, 0, len(raw))
-	for _, tok := range raw {
-		out = append(out, t.applyRules(tok)...)
-	}
-	return out
+	return t.appendSplitRules(dst, line)
 }
 
-// applyRules applies the first matching rule to the token and re-splits
-// the replacement on spaces. Rules are not applied recursively to their
-// own output to guarantee termination.
-func (t *Tokenizer) applyRules(tok string) []string {
-	for _, r := range t.rules {
-		if r.Pattern.MatchString(tok) {
-			expanded := r.Pattern.ReplaceAllString(tok, r.Replacement)
-			parts := strings.Fields(expanded)
-			if len(parts) > 0 {
-				return parts
-			}
-			return []string{tok}
-		}
-	}
-	return []string{tok}
+// Scratch holds reusable tokenization state for SplitScratch. The zero
+// value is ready to use. A Scratch belongs to one goroutine.
+type Scratch struct {
+	tokens []string
+	// starts[i] is the byte offset of tokens[i] in the input line, or -1
+	// when the token was rewritten by a split rule and is not a substring
+	// of the line.
+	starts []int
 }
 
-// splitAny splits s on any rune contained in delims, dropping empty
-// fields. It is allocation-conscious: a single pass sizes the result.
-func splitAny(s, delims string) []string {
-	isDelim := func(c byte) bool { return strings.IndexByte(delims, c) >= 0 }
-	n := 0
-	inTok := false
-	for i := 0; i < len(s); i++ {
-		if isDelim(s[i]) {
-			inTok = false
-		} else if !inTok {
-			inTok = true
-			n++
-		}
+// TokenStart returns the byte offset of token i in the line last passed
+// to SplitScratch, or -1 when the token was produced by a split rule and
+// is not a substring of that line.
+func (s *Scratch) TokenStart(i int) int {
+	if i < 0 || i >= len(s.starts) {
+		return -1
 	}
-	out := make([]string, 0, n)
+	return s.starts[i]
+}
+
+// SplitScratch tokenizes line into s, reusing its buffers. The returned
+// slice aliases s and is valid until the next SplitScratch call on the
+// same Scratch. On the no-rules path the call is allocation-free once the
+// buffers have warmed up.
+func (t *Tokenizer) SplitScratch(line string, s *Scratch) []string {
+	if len(t.rules) == 0 {
+		s.tokens, s.starts = t.appendSplitSpans(s.tokens[:0], s.starts[:0], true, line)
+		return s.tokens
+	}
+	s.tokens = t.appendSplitRules(s.tokens[:0], line)
+	s.starts = s.starts[:0]
+	for range s.tokens {
+		s.starts = append(s.starts, -1)
+	}
+	return s.tokens
+}
+
+// appendSplitSpans is the delimiter-table splitter: one pass over line,
+// appending each token to dst and, when wantStarts is set, its byte
+// offset to starts.
+func (t *Tokenizer) appendSplitSpans(dst []string, starts []int, wantStarts bool, line string) ([]string, []int) {
 	start := -1
-	for i := 0; i < len(s); i++ {
-		if isDelim(s[i]) {
+	for i := 0; i < len(line); i++ {
+		if t.isDelim[line[i]] {
 			if start >= 0 {
-				out = append(out, s[start:i])
+				dst = append(dst, line[start:i])
+				if wantStarts {
+					starts = append(starts, start)
+				}
 				start = -1
 			}
 		} else if start < 0 {
@@ -131,7 +163,50 @@ func splitAny(s, delims string) []string {
 		}
 	}
 	if start >= 0 {
-		out = append(out, s[start:])
+		dst = append(dst, line[start:])
+		if wantStarts {
+			starts = append(starts, start)
+		}
 	}
-	return out
+	return dst, starts
+}
+
+// appendSplitRules splits on delimiters and runs each raw token through
+// the rule table. Tokens no rule matches are appended as-is (substrings
+// of line); rewritten tokens allocate their expansion.
+func (t *Tokenizer) appendSplitRules(dst []string, line string) []string {
+	start := -1
+	for i := 0; i < len(line); i++ {
+		if t.isDelim[line[i]] {
+			if start >= 0 {
+				dst = t.appendRules(dst, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = t.appendRules(dst, line[start:])
+	}
+	return dst
+}
+
+// appendRules applies the first matching rule to the token and re-splits
+// the replacement on spaces, appending the results to dst. Rules are not
+// applied recursively to their own output to guarantee termination.
+func (t *Tokenizer) appendRules(dst []string, tok string) []string {
+	for i := range t.rules {
+		r := &t.rules[i]
+		if !r.Pattern.MatchString(tok) {
+			continue
+		}
+		expanded := r.Pattern.ReplaceAllString(tok, r.Replacement)
+		parts := strings.Fields(expanded)
+		if len(parts) == 0 {
+			return append(dst, tok)
+		}
+		return append(dst, parts...)
+	}
+	return append(dst, tok)
 }

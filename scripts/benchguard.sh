@@ -1,0 +1,90 @@
+#!/bin/sh
+# benchguard: benchmark-regression gate for the hot-path benchmarks.
+#
+# Runs the guarded end-to-end throughput benchmarks with -count=5 and
+# compares the per-benchmark minimum against the checked-in baseline
+# (scripts/bench_baseline.txt):
+#
+#   - ns/op may not regress more than 10% (override with
+#     BENCHGUARD_TOLERANCE, e.g. 0.25 on a noisy shared runner);
+#   - allocs/op may not increase at all, on any guarded benchmark.
+#
+# Raw ns/op is machine-dependent, so the baseline also records
+# BenchmarkCalibration — a fixed, product-independent workload — from
+# the machine that recorded it. The guard reruns the calibration here
+# and scales the ns/op budget by the ratio, which makes the gate
+# portable across hardware while staying strict on the machine that
+# recorded the baseline. Minimum-of-5 on both sides keeps scheduler
+# noise out of the comparison; allocs/op is deterministic and compared
+# exactly.
+#
+# After an intentional perf change, re-record the baseline per the
+# instructions in scripts/bench_baseline.txt.
+set -eu
+cd "$(dirname "$0")/.."
+
+TOL="${BENCHGUARD_TOLERANCE:-0.10}"
+BASELINE=scripts/bench_baseline.txt
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test -run='^$' -bench='^BenchmarkCalibration$|^BenchmarkPipelineThroughput$' \
+	-benchmem -count=5 . | tee "$OUT"
+
+awk -v tol="$TOL" -v baseline="$BASELINE" '
+BEGIN {
+	while ((getline line < baseline) > 0) {
+		if (line ~ /^[ \t]*(#|$)/) continue
+		split(line, f, " ")
+		if (f[1] == "calibration") { cal_base = f[2]; continue }
+		base_ns[f[1]] = f[2]
+		base_allocs[f[1]] = f[3]
+	}
+	close(baseline)
+}
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+	ns = -1; allocs = -1
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns >= 0 && (!(name in min_ns) || ns < min_ns[name])) min_ns[name] = ns
+	if (allocs > max_allocs[name]) max_allocs[name] = allocs
+}
+END {
+	if (cal_base + 0 <= 0) {
+		print "benchguard: no calibration entry in " baseline; exit 1
+	}
+	if (!("BenchmarkCalibration" in min_ns)) {
+		print "benchguard: calibration benchmark did not run"; exit 1
+	}
+	scale = min_ns["BenchmarkCalibration"] / cal_base
+	printf "benchguard: machine scale %.3f (calibration %.0f ns/op vs baseline %.0f)\n", \
+		scale, min_ns["BenchmarkCalibration"], cal_base
+	fail = 0
+	for (name in base_ns) {
+		if (!(name in min_ns)) {
+			printf "benchguard: FAIL %s: guarded benchmark did not run\n", name
+			fail = 1
+			continue
+		}
+		budget = base_ns[name] * scale * (1 + tol)
+		printf "benchguard: %s ns/op %.0f (budget %.0f), allocs/op %d (budget %d)\n", \
+			name, min_ns[name], budget, max_allocs[name], base_allocs[name]
+		if (min_ns[name] > budget) {
+			printf "benchguard: FAIL %s: ns/op %.0f exceeds budget %.0f (baseline %.0f, scale %.3f, tolerance %.0f%%)\n", \
+				name, min_ns[name], budget, base_ns[name], scale, tol * 100
+			fail = 1
+		}
+		if (max_allocs[name] > base_allocs[name] + 0) {
+			printf "benchguard: FAIL %s: allocs/op %d exceeds baseline %d\n", \
+				name, max_allocs[name], base_allocs[name]
+			fail = 1
+		}
+	}
+	if (fail) exit 1
+	print "benchguard: OK"
+}
+' "$OUT"
