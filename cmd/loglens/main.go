@@ -55,6 +55,8 @@ type options struct {
 	traceOut     string
 	ckptDir      string
 	ckptInterval time.Duration
+	dataDir      string
+	retention    time.Duration
 }
 
 func main() {
@@ -76,6 +78,8 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the retained span window as Chrome trace JSON to this file at exit")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "enable crash recovery: write periodic checkpoints to this directory and restore from it at startup")
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 30*time.Second, "periodic checkpoint cadence when -checkpoint-dir is set (0 = only explicit/final checkpoints)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "persist storage to this directory with the segment engine (WAL + immutable segments; survives restarts without -state-dir snapshots)")
+	flag.DurationVar(&o.retention, "retention", 0, "with -data-dir: age log/anomaly segments out after this duration (0 keeps everything; models are always kept)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -109,6 +113,15 @@ func run(o options) error {
 		ArchiveLogs:      true,
 		Builder:          modelmgr.BuilderConfig{VolumeWindow: o.volumeWindow},
 		Recovery:         core.RecoveryConfig{Dir: o.ckptDir, Interval: o.ckptInterval},
+		Storage: core.StorageConfig{
+			Dir:       o.dataDir,
+			Retention: o.retention,
+			// Real deployment cadence: flush every 30s, consider
+			// compaction every 5m, age segments out every minute.
+			FlushInterval:     30 * time.Second,
+			CompactInterval:   5 * time.Minute,
+			RetentionInterval: time.Minute,
+		},
 	})
 	if err != nil {
 		return err

@@ -31,17 +31,25 @@ type FSConfig struct {
 	// Seed selects the fault schedule, independently of the message-path
 	// Config seed.
 	Seed int64
-	// WriteError is the probability a WriteFile fails outright, leaving
-	// the destination untouched.
+	// WriteError is the probability a WriteFile/Append fails outright,
+	// leaving the destination untouched.
 	WriteError float64
-	// ShortWrite is the probability a WriteFile persists only a seeded
-	// prefix of the data before failing — the torn write that atomic
-	// rename must mask.
+	// ShortWrite is the probability a WriteFile/Append persists only a
+	// seeded prefix of the data before failing — the torn write that
+	// atomic rename must mask (and that WAL checksums must detect).
 	ShortWrite float64
 	// ENOSPCAfter, when positive, is the total byte budget: once
 	// cumulative written bytes exceed it, every write fails with
 	// ErrNoSpace (a disk filling up mid-checkpoint).
 	ENOSPCAfter int64
+	// FailAt, when positive, deterministically faults exactly the N-th
+	// write operation (1-based over the WriteFile/Append sequence) with
+	// the FailKind fault — the crash-matrix knob that walks a fault
+	// across every fsx call site of a save sequence, one run per site.
+	FailAt int64
+	// FailKind selects the FailAt fault: "error" (default), "short"
+	// (persist a prefix, then fail), or "enospc".
+	FailKind string
 }
 
 // FSStats counts injected storage faults.
@@ -89,27 +97,63 @@ func NewFaultFS(inner fsx.FS, cfg FSConfig, events *obs.FlightRecorder) *FaultFS
 // short write (a seeded prefix reaches the disk before the error), or
 // ENOSPC once the byte budget is exhausted.
 func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	return f.faultedWrite(path, data, func(prefix []byte) error {
+		return f.inner.WriteFile(path, prefix, perm)
+	})
+}
+
+// Append routes one WAL-style append through the same fault plan and
+// write sequence as WriteFile; a short append leaves a torn tail on the
+// file for record checksums to catch.
+func (f *FaultFS) Append(path string, data []byte, perm fs.FileMode) error {
+	return f.faultedWrite(path, data, func(prefix []byte) error {
+		return f.inner.Append(path, prefix, perm)
+	})
+}
+
+// faultedWrite is the shared fault plan: each call is one operation in
+// the write sequence; write is invoked with the full data on the clean
+// path or the seeded prefix on a short write.
+func (f *FaultFS) faultedWrite(path string, data []byte, write func(prefix []byte) error) error {
 	f.mu.Lock()
 	seq := f.writes
 	f.writes++
 	f.stats.Writes++
 
-	if f.cfg.ENOSPCAfter > 0 && f.bytes+int64(len(data)) > f.cfg.ENOSPCAfter {
+	kind := ""
+	switch {
+	case f.cfg.FailAt > 0 && int64(seq)+1 == f.cfg.FailAt:
+		kind = f.cfg.FailKind
+		if kind == "" {
+			kind = "error"
+		}
+	case f.cfg.ENOSPCAfter > 0 && f.bytes+int64(len(data)) > f.cfg.ENOSPCAfter:
+		kind = "enospc"
+	}
+	cfg := Config{Seed: f.cfg.Seed}
+	if kind == "" && cfg.chance(f.cfg.WriteError, roleFSWrite, seq, 0) {
+		kind = "error"
+	}
+	if kind == "" && cfg.chance(f.cfg.ShortWrite, roleFSShort, seq, 0) {
+		kind = "short"
+	}
+	switch kind {
+	case "enospc":
 		f.stats.NoSpace++
 		f.sched = append(f.sched, fmt.Sprintf("w%d:enospc", seq))
 		f.mu.Unlock()
 		f.record(path, "enospc", seq)
 		return fmt.Errorf("chaos: write %s: %w", path, ErrNoSpace)
-	}
-	cfg := Config{Seed: f.cfg.Seed}
-	if cfg.chance(f.cfg.WriteError, roleFSWrite, seq, 0) {
+	case "error":
 		f.stats.WriteErrors++
 		f.sched = append(f.sched, fmt.Sprintf("w%d:write-error", seq))
 		f.mu.Unlock()
 		f.record(path, "write-error", seq)
 		return fmt.Errorf("chaos: write %s: %w", path, ErrInjectedWrite)
-	}
-	if cfg.chance(f.cfg.ShortWrite, roleFSShort, seq, 0) && len(data) > 0 {
+	case "short":
+		if len(data) == 0 {
+			break // nothing to tear; fall through to the clean write
+		}
 		// Persist a seeded strict prefix, then fail — the bytes are on
 		// disk, the caller sees an error.
 		n := int(cfg.magnitude(roleFSShort, seq, 1) * float64(len(data)))
@@ -120,13 +164,13 @@ func (f *FaultFS) WriteFile(path string, data []byte, perm fs.FileMode) error {
 		f.bytes += int64(n)
 		f.sched = append(f.sched, fmt.Sprintf("w%d:short=%d/%d", seq, n, len(data)))
 		f.mu.Unlock()
-		f.inner.WriteFile(path, data[:n], perm)
+		write(data[:n])
 		f.record(path, fmt.Sprintf("short write %d/%d bytes", n, len(data)), seq)
 		return fmt.Errorf("chaos: write %s: %w", path, ErrShortWrite)
 	}
 	f.bytes += int64(len(data))
 	f.mu.Unlock()
-	return f.inner.WriteFile(path, data, perm)
+	return write(data)
 }
 
 // record emits a storage-error flight event for an injected fault.
@@ -166,6 +210,7 @@ func (f *FaultFS) Reset() {
 
 func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error { return f.inner.MkdirAll(path, perm) }
 func (f *FaultFS) ReadFile(path string) ([]byte, error)         { return f.inner.ReadFile(path) }
+func (f *FaultFS) Open(path string) (fsx.File, error)           { return f.inner.Open(path) }
 func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error)   { return f.inner.ReadDir(path) }
 func (f *FaultFS) Remove(path string) error                     { return f.inner.Remove(path) }
 func (f *FaultFS) RemoveAll(path string) error                  { return f.inner.RemoveAll(path) }

@@ -108,3 +108,106 @@ func TestFaultFSAtomicWriteMasksTornWrite(t *testing.T) {
 		t.Fatalf("destination = %q, %v; want previous generation intact", got, err)
 	}
 }
+
+func TestFaultFSFailAtTargetsOneWrite(t *testing.T) {
+	for _, kind := range []string{"", "error", "short", "enospc"} {
+		kind := kind
+		t.Run("kind="+kind, func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(nil, FSConfig{Seed: 3, FailAt: 2, FailKind: kind}, nil)
+			// Write 1 is clean, write 2 faults, write 3 is clean again:
+			// FailAt is a single-shot fault, not a latch.
+			if err := ffs.WriteFile(filepath.Join(dir, "w1"), []byte("one"), 0o644); err != nil {
+				t.Fatalf("write 1: %v", err)
+			}
+			err := ffs.Append(filepath.Join(dir, "w2"), []byte("two-faulted"), 0o644)
+			if err == nil {
+				t.Fatal("FailAt=2 did not fault the second write")
+			}
+			switch kind {
+			case "", "error":
+				if !errors.Is(err, ErrInjectedWrite) {
+					t.Fatalf("err = %v, want ErrInjectedWrite", err)
+				}
+			case "short":
+				if !errors.Is(err, ErrShortWrite) {
+					t.Fatalf("err = %v, want ErrShortWrite", err)
+				}
+				// The torn tail must be a strict prefix on disk.
+				got, rerr := os.ReadFile(filepath.Join(dir, "w2"))
+				if rerr != nil && !os.IsNotExist(rerr) {
+					t.Fatal(rerr)
+				}
+				if len(got) >= len("two-faulted") {
+					t.Fatalf("short append persisted %d bytes of %d", len(got), len("two-faulted"))
+				}
+			case "enospc":
+				if !errors.Is(err, ErrNoSpace) {
+					t.Fatalf("err = %v, want ErrNoSpace", err)
+				}
+			}
+			if err := ffs.WriteFile(filepath.Join(dir, "w3"), []byte("three"), 0o644); err != nil {
+				t.Fatalf("write 3 after the FailAt fault: %v", err)
+			}
+			if s := ffs.Stats(); s.Writes != 3 {
+				t.Fatalf("stats = %+v, want 3 writes", s)
+			}
+		})
+	}
+}
+
+func TestFaultFSAppendPassesThroughClean(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(fsx.OS{}, FSConfig{}, nil)
+	path := filepath.Join(dir, "wal.log")
+	if err := ffs.Append(path, []byte("aa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Append(path, []byte("bb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aabb" {
+		t.Fatalf("Append through FaultFS produced %q", got)
+	}
+	if s := ffs.Stats(); s.Writes != 2 || s.Bytes != 4 {
+		t.Fatalf("stats = %+v, want 2 writes / 4 bytes", s)
+	}
+}
+
+func TestFaultFSReadSidePassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, FSConfig{}, nil)
+	sub := filepath.Join(dir, "sub")
+	if err := ffs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.WriteFile(filepath.Join(sub, "f"), []byte("0123"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Open(filepath.Join(sub, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 1); err != nil || string(buf) != "12" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	f.Close()
+	if err := ffs.Rename(filepath.Join(sub, "f"), filepath.Join(sub, "g")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := ffs.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g" {
+		t.Fatalf("ReadDir after rename = %v, %v", ents, err)
+	}
+	if err := ffs.RemoveAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.ReadDir(sub); err == nil {
+		t.Fatal("ReadDir succeeded on a removed directory")
+	}
+}

@@ -115,6 +115,9 @@ type Config struct {
 	// commit-gated at-least-once consumption, supervised restarts, and
 	// the poison-record quarantine. See RecoveryConfig.
 	Recovery RecoveryConfig
+	// Storage enables the persistent segment-file store. See
+	// StorageConfig; the zero value keeps storage in memory.
+	Storage StorageConfig
 }
 
 // Pipeline is a running LogLens deployment.
@@ -201,10 +204,14 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.HeartbeatStale <= 0 {
 		cfg.HeartbeatStale = 5 * time.Minute
 	}
+	st, err := openStore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pipeline{
 		cfg:      cfg,
 		bus:      bus.NewWithClock(cfg.Clock),
-		store:    store.New(),
+		store:    st,
 		bySource: make(map[string]*modelmgr.Model),
 		runErr:   make(chan error, 1),
 		reg:      cfg.Metrics,
@@ -221,7 +228,6 @@ func New(cfg Config) (*Pipeline, error) {
 	p.manager = modelmgr.NewManager(p.store, p.builder)
 	p.manager.Instrument(p.reg)
 	p.manager.SetRecorder(p.events)
-	var err error
 	p.controller, err = modelmgr.NewController(p.bus)
 	if err != nil {
 		return nil, err
@@ -392,6 +398,9 @@ func (p *Pipeline) registerProbes() {
 		}
 		return obs.ProbeResult{Status: obs.Healthy, Detail: detail}
 	})
+	if p.store.Persistent() {
+		h.Register("storage", p.storageProbe)
+	}
 	if p.ckpt != nil {
 		h.Register("checkpoint", func() obs.ProbeResult {
 			p.ckptStatusMu.Lock()
@@ -773,6 +782,11 @@ func (p *Pipeline) Stop() error {
 	p.wg.Wait()
 	if p.engineCancel != nil {
 		p.engineCancel()
+	}
+	// Everything drained: seal outstanding storage state so a clean stop
+	// leaves no WAL to replay.
+	if serr := p.store.Close(); err == nil {
+		err = serr
 	}
 	return err
 }

@@ -669,5 +669,9 @@ func (p *Pipeline) Kill() {
 	}
 	<-p.runErr
 	p.wg.Wait()
+	// Crash semantics extend to storage: release the engine without
+	// flushing — unsynced mutations die with the process, exactly what
+	// the recovery tests must survive.
+	p.store.Abort()
 	p.events.Record(obs.EventShutdown, "kill", "crash simulated: loops aborted, nothing drained", 0)
 }

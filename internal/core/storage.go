@@ -1,0 +1,76 @@
+// Persistent-storage wiring: StorageConfig turns the pipeline's store
+// into the segment-file engine (internal/store's persistent mode), which
+// in turn makes checkpoints incremental — internal/recovery records the
+// store's manifest generation instead of copying every index.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"loglens/internal/fsx"
+	"loglens/internal/modelmgr"
+	"loglens/internal/obs"
+	"loglens/internal/store"
+)
+
+// StorageConfig enables the persistent segment-file store. Persistence is
+// on when Dir is non-empty; the zero value keeps the store in memory.
+type StorageConfig struct {
+	// Dir is the data directory; non-empty enables the segment engine.
+	Dir string
+	// Retention, when positive, ages whole segments of log/anomaly
+	// storage out once they fall behind this horizon. Model storage is
+	// always exempt. Zero keeps everything.
+	Retention time.Duration
+	// FS is the filesystem the engine writes through (default the OS;
+	// the chaos harness injects storage faults here).
+	FS fsx.FS
+	// FlushInterval, CompactInterval, and RetentionInterval enable the
+	// engine's background maintenance loops on the pipeline clock when
+	// positive. Zero leaves maintenance to checkpoints and explicit
+	// calls — the default for tests driving a fake clock.
+	FlushInterval     time.Duration
+	CompactInterval   time.Duration
+	RetentionInterval time.Duration
+}
+
+func (c StorageConfig) enabled() bool { return c.Dir != "" }
+
+// openStore builds the pipeline's store: the persistent segment engine
+// when storage is configured, the in-memory engine otherwise.
+func openStore(cfg Config) (*store.Store, error) {
+	if !cfg.Storage.enabled() {
+		return store.New(), nil
+	}
+	st, err := store.Open(store.Options{
+		Dir:               cfg.Storage.Dir,
+		FS:                cfg.Storage.FS,
+		Clock:             cfg.Clock,
+		Retention:         cfg.Storage.Retention,
+		RetentionExempt:   []string{modelmgr.ModelsIndex},
+		FlushInterval:     cfg.Storage.FlushInterval,
+		CompactInterval:   cfg.Storage.CompactInterval,
+		RetentionInterval: cfg.Storage.RetentionInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: open storage: %w", err)
+	}
+	return st, nil
+}
+
+// storageProbe reports segment-engine health: degraded while the engine
+// carries an unresolved disk error, healthy otherwise.
+func (p *Pipeline) storageProbe() obs.ProbeResult {
+	st := p.store.Stats()
+	if st.LastError != "" {
+		return obs.ProbeResult{Status: obs.Degraded,
+			Detail: "storage error: " + st.LastError}
+	}
+	docs := 0
+	for _, ix := range st.Indices {
+		docs += ix.Docs
+	}
+	return obs.ProbeResult{Status: obs.Healthy, Detail: fmt.Sprintf(
+		"generation %d, %d indices, %d docs, %d flushes", st.Generation, len(st.Indices), docs, st.Flushes)}
+}

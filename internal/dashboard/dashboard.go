@@ -39,6 +39,7 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/api/patterns", s.handlePatterns)
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/storage", s.handleStorage)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 	s.registerOps()
 	return s
@@ -247,6 +248,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"eventsClosed":   det.EventsClosed,
 		"eventsExpired":  det.EventsExpired,
 	})
+}
+
+// handleStorage reports storage health: the segment engine's generation,
+// WAL/segment accounting, error state, and per-index breakdown — or just
+// the per-index document counts when storage is in memory.
+//
+//	GET /api/storage
+func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.pipeline.Store().Stats())
 }
 
 // handleMetrics exposes the pipeline's metrics registry: a JSON snapshot

@@ -264,3 +264,50 @@ func TestSourcesEndpoint(t *testing.T) {
 		t.Errorf("anomalies = %v", s0["anomalies"])
 	}
 }
+
+// TestStorageEndpoint serves /api/storage for both engines: the
+// in-memory pipeline reports persistent=false with per-index counts, and
+// a persistent pipeline reports the segment engine's generation and
+// flush accounting.
+func TestStorageEndpoint(t *testing.T) {
+	p := buildPipeline(t)
+	srv := New(p)
+	code, body := get(t, srv, "/api/storage")
+	if code != 200 {
+		t.Fatalf("GET /api/storage = %d", code)
+	}
+	if body["persistent"] != false {
+		t.Fatalf("in-memory pipeline reported persistent=%v", body["persistent"])
+	}
+
+	pp, err := core.New(core.Config{
+		DisableHeartbeat: true,
+		Storage:          core.StorageConfig{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pp.Store().Close() })
+	pp.Store().Index("anomalies").Put("a1", map[string]any{"type": "x"})
+	if err := pp.Store().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, New(pp), "/api/storage")
+	if code != 200 {
+		t.Fatalf("GET /api/storage (persistent) = %d", code)
+	}
+	if body["persistent"] != true {
+		t.Fatalf("persistent pipeline reported persistent=%v", body["persistent"])
+	}
+	if gen, ok := body["generation"].(float64); !ok || gen < 2 {
+		t.Fatalf("generation = %v, want >= 2 after a flush", body["generation"])
+	}
+	indices, ok := body["indices"].([]any)
+	if !ok || len(indices) == 0 {
+		t.Fatalf("indices = %v", body["indices"])
+	}
+	first := indices[0].(map[string]any)
+	if first["name"] != "anomalies" || first["segments"] != float64(1) {
+		t.Fatalf("index entry = %v", first)
+	}
+}

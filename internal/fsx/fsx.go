@@ -11,17 +11,34 @@ package fsx
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 )
 
-// FS is the minimal filesystem surface used by store snapshots and
-// recovery checkpoints. All paths are OS paths, not fs.FS slash paths.
+// File is an open read-only file handle: random-access reads for sealed
+// segment files, whose footers and documents are fetched by offset
+// without loading the whole file.
+type File interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// FS is the minimal filesystem surface used by store snapshots, the
+// segment-file storage engine, and recovery checkpoints. All paths are
+// OS paths, not fs.FS slash paths.
 type FS interface {
 	MkdirAll(path string, perm fs.FileMode) error
 	WriteFile(path string, data []byte, perm fs.FileMode) error
+	// Append appends data to path, creating the file when missing — the
+	// write-ahead-log seam. Unlike WriteFile it is not atomic: a fault
+	// mid-append can leave a torn tail, which WAL readers must detect
+	// (per-record checksums) and writers must repair (atomic rewrite).
+	Append(path string, data []byte, perm fs.FileMode) error
 	ReadFile(path string) ([]byte, error)
+	// Open returns a random-access read handle on path.
+	Open(path string) (File, error)
 	ReadDir(path string) ([]fs.DirEntry, error)
 	Remove(path string) error
 	RemoveAll(path string) error
@@ -35,11 +52,24 @@ func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(pat
 func (OS) WriteFile(path string, data []byte, perm fs.FileMode) error {
 	return os.WriteFile(path, data, perm)
 }
-func (OS) ReadFile(path string) ([]byte, error)      { return os.ReadFile(path) }
+func (OS) Append(path string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+func (OS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (OS) Open(path string) (File, error)             { return os.Open(path) }
 func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
-func (OS) Remove(path string) error                  { return os.Remove(path) }
-func (OS) RemoveAll(path string) error               { return os.RemoveAll(path) }
-func (OS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (OS) Remove(path string) error                   { return os.Remove(path) }
+func (OS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+func (OS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
 
 // WriteFileAtomic writes data to path via a temporary sibling file plus
 // rename, so readers (and crash recovery) observe either the old or the

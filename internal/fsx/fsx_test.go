@@ -92,3 +92,66 @@ func TestWriteFileAtomicNilFSDefaultsToOS(t *testing.T) {
 		t.Fatalf("contents = %q", data)
 	}
 }
+
+func TestOSAppendCreatesAndAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	var fsys OS
+	if err := fsys.Append(path, []byte("aaa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Append(path, []byte("bbb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaabbb" {
+		t.Fatalf("Append produced %q, want aaabbb", got)
+	}
+	// Appending into a missing directory fails rather than creating it.
+	if err := fsys.Append(filepath.Join(dir, "nodir", "wal.log"), []byte("x"), 0o644); err == nil {
+		t.Fatal("Append into a missing directory succeeded")
+	}
+}
+
+func TestOSOpenReadsAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	var fsys OS
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "3456" {
+		t.Fatalf("ReadAt = %q, want 3456", buf)
+	}
+	if _, err := fsys.Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("ReadDir saw %d entries, want 2", len(ents))
+	}
+	if err := fsys.RemoveAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub")); !os.IsNotExist(err) {
+		t.Fatalf("RemoveAll left the directory: %v", err)
+	}
+}

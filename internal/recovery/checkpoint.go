@@ -83,6 +83,12 @@ type Checkpoint struct {
 	// StoreDir names the store snapshot directory of this generation,
 	// relative to the checkpoint directory.
 	StoreDir string `json:"store_dir,omitempty"`
+	// StoreGen is the persistent store's manifest generation at the
+	// checkpoint barrier. When set, the snapshot is incremental: the
+	// store's immutable segment files back the checkpoint in place, and
+	// restore re-points the store at that generation instead of reloading
+	// a StoreDir copy.
+	StoreGen uint64 `json:"store_gen,omitempty"`
 }
 
 // currentFile is the pointer to the newest complete checkpoint.
@@ -196,13 +202,23 @@ func (m *Manager) Save(cp *Checkpoint, st *store.Store) (uint64, error) {
 	}
 	gen := m.nextGeneration()
 	cp.Generation = gen
-	cp.StoreDir = "store-" + strconv.FormatUint(gen, 10)
-	if st != nil {
+	cp.StoreDir, cp.StoreGen = "", 0
+	switch {
+	case st == nil:
+	case st.Persistent():
+		// Incremental: seal the store and pin the committed generation.
+		// The checkpoint references the store's immutable segments rather
+		// than copying every document.
+		sg, err := st.Checkpoint()
+		if err != nil {
+			return 0, fmt.Errorf("recovery: checkpoint store: %w", err)
+		}
+		cp.StoreGen = sg
+	default:
+		cp.StoreDir = "store-" + strconv.FormatUint(gen, 10)
 		if err := st.SaveDirFS(m.fs, m.path(cp.StoreDir)); err != nil {
 			return 0, fmt.Errorf("recovery: save store snapshot: %w", err)
 		}
-	} else {
-		cp.StoreDir = ""
 	}
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
@@ -220,9 +236,17 @@ func (m *Manager) Save(cp *Checkpoint, st *store.Store) (uint64, error) {
 }
 
 // RestoreStore loads the checkpoint's store snapshot into st (no-op for
-// checkpoints without one).
+// checkpoints without one). Persistent-store checkpoints re-point the
+// engine at the pinned manifest generation; in-memory checkpoints reload
+// the copied StoreDir snapshot.
 func (m *Manager) RestoreStore(cp *Checkpoint, st *store.Store) error {
-	if cp.StoreDir == "" || st == nil {
+	if st == nil {
+		return nil
+	}
+	if cp.StoreGen > 0 {
+		return st.LoadGeneration(cp.StoreGen)
+	}
+	if cp.StoreDir == "" {
 		return nil
 	}
 	return st.LoadDirFS(m.fs, m.path(cp.StoreDir))

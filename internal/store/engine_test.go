@@ -1,0 +1,635 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/testutil"
+)
+
+// openTest opens a persistent store on dir with a fake clock, failing the
+// test on error.
+func openTest(t *testing.T, dir string, clk clock.Clock, mut ...func(*Options)) *Store {
+	t.Helper()
+	opts := Options{Dir: dir, Clock: clk}
+	for _, m := range mut {
+		m(&opts)
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEngineBasicPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	s := openTest(t, dir, clk)
+	if !s.Persistent() {
+		t.Fatal("Open returned a non-persistent store")
+	}
+	ix := s.Index("logs")
+	ix.Put("a", Document{"raw": "one", "n": 1})
+	ix.Put("b", Document{"raw": "two", "n": 2})
+	ix.Put("a", Document{"raw": "one-updated", "n": 3})
+	if got, _ := ix.Get("a"); got["raw"] != "one-updated" {
+		t.Fatalf("Get after re-put = %v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, clk)
+	ix2 := s2.Index("logs")
+	if n := ix2.Count(); n != 2 {
+		t.Fatalf("Count after reopen = %d, want 2", n)
+	}
+	doc, ok := ix2.Get("a")
+	if !ok || doc["raw"] != "one-updated" {
+		t.Fatalf("Get(a) after reopen = %v, %v", doc, ok)
+	}
+	// Numbers come back as canonical JSON float64 either way.
+	if doc["n"] != float64(3) {
+		t.Fatalf("numeric field after reopen = %v (%T)", doc["n"], doc["n"])
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineSyncSurvivesAbort(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	s.Index("logs").Put("a", Document{"raw": "durable"})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Index("logs").Put("b", Document{"raw": "unsynced"})
+	s.Abort() // crash: b never reached the WAL file
+
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	if _, ok := s2.Index("logs").Get("a"); !ok {
+		t.Fatal("synced document lost by crash")
+	}
+}
+
+func TestEngineFlushMovesDocsToSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	ix := s.Index("logs")
+	for i := 0; i < 10; i++ {
+		ix.Put(fmt.Sprintf("d%02d", i), Document{"n": i})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Indices) != 1 || st.Indices[0].Segments != 1 || st.Indices[0].MemDocs != 0 {
+		t.Fatalf("after flush: %+v", st.Indices)
+	}
+	// Segment-backed reads serve the same documents.
+	for i := 0; i < 10; i++ {
+		doc, ok := ix.Get(fmt.Sprintf("d%02d", i))
+		if !ok || doc["n"] != float64(i) {
+			t.Fatalf("Get(d%02d) = %v, %v", i, doc, ok)
+		}
+	}
+	// Deleting a sealed doc tombstones it; the tombstone survives reopen.
+	ix.Delete("d03")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	if _, ok := s2.Index("logs").Get("d03"); ok {
+		t.Fatal("deleted document resurrected after reopen")
+	}
+	if n := s2.Index("logs").Count(); n != 9 {
+		t.Fatalf("Count after tombstoned reopen = %d, want 9", n)
+	}
+}
+
+func TestEngineCompactResolvesGarbage(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	ix := s.Index("logs")
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 6; i++ {
+			ix.Put(fmt.Sprintf("d%d", i), Document{"round": round, "n": i})
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Delete("d5")
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Indices[0].Segments != 1 || st.Indices[0].DeadDocs != 0 {
+		t.Fatalf("after compact: %+v", st.Indices[0])
+	}
+	if n := ix.Count(); n != 5 {
+		t.Fatalf("Count after compact = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		doc, _ := ix.Get(fmt.Sprintf("d%d", i))
+		if doc["round"] != float64(2) {
+			t.Fatalf("d%d = %v, want round 2", i, doc)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	if n := s2.Index("logs").Count(); n != 5 {
+		t.Fatalf("Count after compact+reopen = %d, want 5", n)
+	}
+}
+
+func TestEngineCountCapRetentionAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	ix := s.Index("logs")
+	ix.SetRetention(5)
+	for i := 0; i < 8; i++ {
+		ix.Put(fmt.Sprintf("d%d", i), Document{"n": i})
+		if i == 3 {
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n, ev := ix.Count(), ix.Evicted(); n != 5 || ev != 3 {
+		t.Fatalf("Count, Evicted = %d, %d; want 5, 3", n, ev)
+	}
+	if _, ok := ix.Get("d2"); ok {
+		t.Fatal("FIFO-evicted doc still visible")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Watermark persists: sealed copies of evicted docs stay dead.
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	ix2 := s2.Index("logs")
+	if n, ev := ix2.Count(), ix2.Evicted(); n != 5 || ev != 3 {
+		t.Fatalf("after reopen: Count, Evicted = %d, %d; want 5, 3", n, ev)
+	}
+	if _, ok := ix2.Get("d7"); !ok {
+		t.Fatal("retained doc lost")
+	}
+}
+
+// TestEngineRetentionDeterminism drives the fake clock through a golden
+// scenario: hourly buckets, 3h retention, one segment sealed per hour.
+// The evicted counts and segment counts at every step are fixed by the
+// engine's design; any drift is a behavior change.
+func TestEngineRetentionDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	s := openTest(t, dir, clk, func(o *Options) {
+		o.Retention = 3 * time.Hour
+		o.RetentionExempt = []string{"models"}
+		o.MaxSegments = 100 // keep compaction out of this test
+	})
+	ix := s.Index("logs")
+	mod := s.Index("models")
+	var gotSegs, gotEvicted []string
+	for hour := 0; hour < 8; hour++ {
+		ix.Put(fmt.Sprintf("h%d", hour), Document{"hour": hour})
+		mod.Put(fmt.Sprintf("m%d", hour), Document{"hour": hour})
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Hour)
+		if err := s.ApplyRetention(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		var logs, models IndexStats
+		for _, is := range st.Indices {
+			switch is.Name {
+			case "logs":
+				logs = is
+			case "models":
+				models = is
+			}
+		}
+		gotSegs = append(gotSegs, fmt.Sprintf("%d/%d", logs.Segments, models.Segments))
+		gotEvicted = append(gotEvicted, fmt.Sprintf("%d", ix.Evicted()))
+	}
+	// Hour h seals bucket h; after advancing to h+1, buckets whose window
+	// ended at or before h+1-3 are dropped: the steady state holds three
+	// hourly segments, evicting one doc per tick from hour 3 on. Models
+	// are exempt and accrete forever.
+	wantSegs := []string{"1/1", "2/2", "3/3", "3/4", "3/5", "3/6", "3/7", "3/8"}
+	wantEvicted := []string{"0", "0", "0", "1", "2", "3", "4", "5"}
+	if !reflect.DeepEqual(gotSegs, wantSegs) {
+		t.Errorf("segment counts per tick = %v, want %v", gotSegs, wantSegs)
+	}
+	if !reflect.DeepEqual(gotEvicted, wantEvicted) {
+		t.Errorf("evicted counts per tick = %v, want %v", gotEvicted, wantEvicted)
+	}
+	if n := ix.Count(); n != 3 {
+		t.Errorf("logs Count = %d, want 3", n)
+	}
+	if n := mod.Count(); n != 8 {
+		t.Errorf("models Count = %d, want 8 (exempt)", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The aged-out state is durable.
+	s2 := openTest(t, dir, clk)
+	defer s2.Close()
+	if n, ev := s2.Index("logs").Count(), s2.Index("logs").Evicted(); n != 3 || ev != 5 {
+		t.Fatalf("after reopen: Count, Evicted = %d, %d; want 3, 5", n, ev)
+	}
+}
+
+func TestEngineCheckpointLoadGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	defer s.Close()
+	ix := s.Index("logs")
+	ix.Put("a", Document{"v": 1})
+	auto1 := ix.PutAuto(Document{"v": 2})
+	gen, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen == 0 {
+		t.Fatal("Checkpoint returned generation 0")
+	}
+
+	// Post-checkpoint traffic: mutate, delete, add an index.
+	ix.Put("a", Document{"v": 10})
+	ix.Delete(auto1)
+	s.Index("extra").Put("x", Document{"v": 99})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.LoadGeneration(gen); err != nil {
+		t.Fatal(err)
+	}
+	if doc, _ := s.Index("logs").Get("a"); doc["v"] != float64(1) {
+		t.Fatalf("restored a = %v, want v=1", doc)
+	}
+	if _, ok := s.Index("logs").Get(auto1); !ok {
+		t.Fatal("restored store lost the checkpointed auto doc")
+	}
+	if n := s.Index("extra").Count(); n != 0 {
+		t.Fatalf("post-checkpoint index survived restore with %d docs", n)
+	}
+	// The sequence counter restores with the generation: new auto ids
+	// continue past the checkpointed ones instead of colliding.
+	auto2 := s.Index("logs").PutAuto(Document{"v": 2})
+	if auto2 != "logs-2" {
+		t.Fatalf("PutAuto after restore = %q, want %q (auto1 was %q)", auto2, "logs-2", auto1)
+	}
+}
+
+func TestEngineLoadGenerationSurvivesGC(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake(), func(o *Options) { o.Keep = 2 })
+	ix := s.Index("logs")
+	ix.Put("pinned", Document{"v": 1})
+	gen, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn through many generations past the keep window.
+	for i := 0; i < 10; i++ {
+		ix.Put(fmt.Sprintf("later%d", i), Document{"v": i})
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The pin is recorded in the manifest, so a fresh process still
+	// honors it.
+	s2 := openTest(t, dir, clock.NewFake(), func(o *Options) { o.Keep = 2 })
+	defer s2.Close()
+	for i := 0; i < 5; i++ {
+		s2.Index("logs").Put(fmt.Sprintf("even-later%d", i), Document{"v": i})
+		if err := s2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.LoadGeneration(gen); err != nil {
+		t.Fatalf("pinned generation GC'd: %v", err)
+	}
+	if n := s2.Index("logs").Count(); n != 1 {
+		t.Fatalf("restored Count = %d, want 1", n)
+	}
+}
+
+func TestEngineDeleteIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	s.Index("gone").Put("a", Document{"v": 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.DeleteIndex("gone") {
+		t.Fatal("DeleteIndex returned false")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	for _, name := range s2.Indices() {
+		if name == "gone" {
+			t.Fatal("deleted index resurrected after reopen")
+		}
+	}
+}
+
+func TestEngineDumpLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	ix := s.Index("logs")
+	ix.Put("a", Document{"v": 1})
+	ix.Put("b", Document{"v": 2})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix.Put("c", Document{"v": 3})
+	dump, err := ix.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Put("d", Document{"v": 4})
+	if err := ix.Load(dump); err != nil {
+		t.Fatal(err)
+	}
+	if n := ix.Count(); n != 3 {
+		t.Fatalf("Count after Load = %d, want 3", n)
+	}
+	if _, ok := ix.Get("d"); ok {
+		t.Fatal("Load did not replace contents")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Loaded state survives reopen; pre-Load sealed copies stay dead.
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	var got map[string]Document
+	data, err := s2.Index("logs").Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["a"]["v"] != float64(1) || got["c"]["v"] != float64(3) {
+		t.Fatalf("after reopen: %v", got)
+	}
+}
+
+func TestEngineWALTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	s.Index("logs").Put("a", Document{"v": 1})
+	s.Index("logs").Put("b", Document{"v": 2})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.Generation()
+	s.Abort()
+
+	// Tear the WAL mid-frame, as a crash during append would.
+	walPath := filepath.Join(dir, walName(gen))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, clock.NewFake())
+	defer s2.Close()
+	// The valid prefix (a) replays; the torn record (b) is lost — but the
+	// store opens and keeps working.
+	if _, ok := s2.Index("logs").Get("a"); !ok {
+		t.Fatal("valid WAL prefix not replayed")
+	}
+	if _, ok := s2.Index("logs").Get("b"); ok {
+		t.Fatal("torn WAL record replayed")
+	}
+	s2.Index("logs").Put("c", Document{"v": 3})
+	if err := s2.Sync(); err != nil {
+		t.Fatalf("Sync after torn-tail repair: %v", err)
+	}
+}
+
+func TestEngineSkipStatsStayConservative(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	s := openTest(t, dir, clk)
+	defer s.Close()
+	ix := s.Index("logs")
+	base := clk.Now()
+	for i := 0; i < 20; i++ {
+		ix.Put(fmt.Sprintf("d%02d", i), Document{
+			"n":    i,
+			"tag":  fmt.Sprintf("t%d", i%3),
+			"time": base.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 25; i++ {
+		ix.Put(fmt.Sprintf("d%02d", i), Document{"n": i, "tag": "t9"})
+	}
+
+	if n := ix.CountWhere(Query{Term: map[string]any{"tag": "t1"}}); n != 7 {
+		t.Fatalf("CountWhere(tag=t1) = %d, want 7", n)
+	}
+	// A term no segment holds: the segment must be skipped, not scanned.
+	before := s.Stats().SegmentsSkipped
+	if n := ix.CountWhere(Query{Term: map[string]any{"tag": "t9"}}); n != 5 {
+		t.Fatalf("CountWhere(tag=t9) = %d, want 5", n)
+	}
+	if after := s.Stats().SegmentsSkipped; after <= before {
+		t.Fatalf("segment not skipped for impossible term (skips %d -> %d)", before, after)
+	}
+	hits := ix.Search(Query{RangeField: "n", RangeMin: 18, RangeMax: 21, SortBy: "n"})
+	if len(hits) != 4 || hits[0].ID != "d18" || hits[3].ID != "d21" {
+		t.Fatalf("range straddling memtable/segment = %v", hits)
+	}
+	times, counts := ix.Histogram(Query{}, "time", time.Hour)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20 || len(times) == 0 {
+		t.Fatalf("Histogram total = %d over %d buckets, want 20", total, len(times))
+	}
+}
+
+func TestEngineRejectsCorruptCURRENT(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, clock.NewFake())
+	s.Index("logs").Put("a", Document{"v": 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "CURRENT"), []byte("MANIFEST-999999.json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Clock: clock.NewFake()}); err == nil {
+		t.Fatal("Open accepted a CURRENT pointing at a missing manifest")
+	}
+	// A garbage manifest is rejected too, with the path in the error.
+	if err := os.WriteFile(filepath.Join(dir, "CURRENT"), []byte("MANIFEST-000001.json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST-000001.json"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Options{Dir: dir, Clock: clock.NewFake()})
+	if err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("Open on corrupt manifest: %v", err)
+	}
+}
+
+// TestEngineBackgroundLoops drives the maintenance goroutine on the fake
+// clock: the flush ticker spills the WAL buffer, the compact ticker
+// applies the seal policy, and the retention ticker ages a whole bucket
+// of segments out — no wall-clock waits, ticks fire on Advance.
+func TestEngineBackgroundLoops(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	s := openTest(t, dir, clk, func(o *Options) {
+		o.FlushInterval = time.Second
+		o.CompactInterval = 2 * time.Second
+		o.RetentionInterval = 3 * time.Second
+		o.Retention = 30 * time.Minute
+		o.BucketDuration = time.Minute
+		o.RetentionExempt = []string{"models"}
+	})
+	defer s.Close()
+	ix := s.Index("logs")
+	ix.Put("a", Document{"n": 1})
+	s.Index("models").Put("m", Document{"kind": "model"})
+
+	// Flush tick: the buffered WAL record lands on disk. Re-advance in
+	// the poll loop so a tick isn't lost to the loop goroutine still
+	// starting up when the first Advance lands.
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		clk.Advance(time.Second)
+		data, err := os.ReadFile(filepath.Join(dir, walName(s.Generation())))
+		return err == nil && len(data) > 0
+	}, "flush tick never spilled the WAL")
+
+	// Force segments to exist, then age them past the horizon; the
+	// retention tick must drop the logs bucket but spare the exempt index.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		clk.Advance(31 * time.Minute) // fires all three tickers
+		for _, st := range s.Stats().Indices {
+			if st.Name == "logs" && st.Segments == 0 {
+				return true
+			}
+		}
+		return false
+	}, "retention tick never dropped the aged bucket")
+	if _, ok := ix.Get("a"); ok {
+		t.Fatal("document survived age-based retention")
+	}
+	if _, ok := s.Index("models").Get("m"); !ok {
+		t.Fatal("exempt index lost its document to age-based retention")
+	}
+	after := s.Stats()
+	if after.Generation <= before.Generation {
+		t.Fatalf("retention did not commit a generation: %d -> %d", before.Generation, after.Generation)
+	}
+	// The compact ticker keeps running without error on an idle store.
+	clk.Advance(4 * time.Second)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineWALReplayAllOps covers the crash-replay path for every WAL
+// record type at once: caps, watermarks, index deletion, and bulk loads
+// must all reconstruct from the log alone (no flush before the abort).
+func TestEngineWALReplayAllOps(t *testing.T) {
+	dir := t.TempDir()
+	clk := clock.NewFake()
+	s := openTest(t, dir, clk)
+	logs := s.Index("logs")
+	logs.SetRetention(3)
+	for i := 0; i < 6; i++ {
+		logs.Put(fmt.Sprintf("d%d", i), Document{"n": i}) // evicts d0..d2 via cap
+	}
+	logs.Delete("d4")
+	doomed := s.Index("doomed")
+	doomed.Put("x", Document{"n": 1})
+	s.DeleteIndex("doomed")
+	loaded := s.Index("loaded")
+	if err := loaded.Load([]byte(`{"l1":{"v":"one"},"l2":{"v":"two"}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort() // crash: only the WAL survives
+
+	s2 := openTest(t, dir, clk)
+	defer s2.Close()
+	l2 := s2.Index("logs")
+	if n := l2.Count(); n != 2 {
+		t.Fatalf("replayed Count = %d, want 2 (cap 3, one deleted)", n)
+	}
+	if ev := l2.Evicted(); ev != 3 {
+		t.Fatalf("replayed Evicted = %d, want 3", ev)
+	}
+	for _, gone := range []string{"d0", "d1", "d2", "d4"} {
+		if _, ok := l2.Get(gone); ok {
+			t.Fatalf("%s resurrected by WAL replay", gone)
+		}
+	}
+	if _, ok := l2.Get("d5"); !ok {
+		t.Fatal("d5 lost in WAL replay")
+	}
+	// Cap replays too: pushing past the cap still evicts the oldest.
+	l2.Put("d6", Document{"n": 6})
+	l2.Put("d7", Document{"n": 7})
+	if _, ok := l2.Get("d3"); ok {
+		t.Fatal("replayed retention cap not enforced on new puts")
+	}
+	if n := l2.Count(); n != 3 {
+		t.Fatalf("Count after pushing past the cap = %d, want 3", n)
+	}
+	for _, name := range s2.Indices() {
+		if name == "doomed" {
+			t.Fatal("deleted index resurrected by WAL replay")
+		}
+	}
+	if doc, ok := s2.Index("loaded").Get("l2"); !ok || doc["v"] != "two" {
+		t.Fatalf("bulk load lost in WAL replay: %v %v", doc, ok)
+	}
+}

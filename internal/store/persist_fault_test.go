@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -177,5 +178,171 @@ func TestSaveDirStaleCleanupSkipsTempFiles(t *testing.T) {
 	}
 	if snaps != 2 {
 		t.Errorf("snapshot count = %d, want 2", snaps)
+	}
+}
+
+// --- Segment-engine crash matrix -------------------------------------
+//
+// The tests below walk a deterministic fault across every write site of
+// the segment engine's flush/compact/manifest-swap sequences: one run
+// per (fault kind, write index) cell. The invariant in every cell is the
+// engine's durability contract: after the fault and a simulated crash,
+// reopening on a healthy disk loses no acknowledged (Sync'd) mutation,
+// keeps the pre-fault generation fully readable, and leaves the store
+// writable.
+
+// crashBaseline seeds dir with a committed generation: five log docs and
+// one model, sealed into segments.
+func crashBaseline(t *testing.T, dir string) {
+	t.Helper()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Index("logs").Put(fmt.Sprintf("b%d", i), Document{"phase": "baseline", "n": i})
+	}
+	s.Index("models").Put("m0", Document{"body": "{}"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashWorkload runs the faulted phase: a write mix crossing WAL appends,
+// seals, a compaction, and the manifest swaps between them. It returns
+// the set of acknowledged documents (present with this exact content
+// after any crash) and whether the delete of b1 was acknowledged.
+func crashWorkload(t *testing.T, dir string, fsys fsx.FS) (acked map[string]Document, delAcked bool) {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, FS: fsys})
+	if err != nil {
+		// The engine never writes while opening an existing store; an
+		// open failure here is a test-harness bug, not a crash cell.
+		t.Fatalf("faulted open: %v", err)
+	}
+	defer s.Abort() // crash at the end of the workload, whatever happened
+
+	acked = make(map[string]Document)
+	written := make(map[string]Document)
+	put := func(id string, doc Document) {
+		s.Index("logs").Put(id, doc)
+		written[id] = doc
+	}
+	sync := func() {
+		if s.Sync() == nil {
+			for id, doc := range written {
+				acked[id] = doc
+			}
+		}
+	}
+
+	put("w1", Document{"phase": "wal", "n": 101})
+	put("w2", Document{"phase": "wal", "n": 102})
+	sync()
+	deleted := s.Index("logs").Delete("b1")
+	put("w3", Document{"phase": "wal", "n": 103})
+	if s.Sync() == nil {
+		delAcked = deleted
+		for id, doc := range written {
+			acked[id] = doc
+		}
+	}
+	s.Flush() // seal: segment write + manifest + CURRENT swap
+	put("w4", Document{"phase": "post-flush", "n": 104})
+	sync()
+	s.Compact() // full rewrite: segment + manifest + CURRENT swap
+	put("w5", Document{"phase": "post-compact", "n": 105})
+	sync()
+	s.Flush()
+	return acked, delAcked
+}
+
+// crashVerify reopens dir on a healthy filesystem and checks the
+// durability contract.
+func crashVerify(t *testing.T, dir string, acked map[string]Document, delAcked bool) {
+	t.Helper()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close after verify: %v", err)
+		}
+	}()
+	ix := s.Index("logs")
+	// Baseline generation intact (b1 may be legitimately gone only once
+	// its delete happened; resurrected-after-acked-delete is a failure).
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("b%d", i)
+		doc, ok := ix.Get(id)
+		if id == "b1" {
+			if delAcked && ok {
+				t.Errorf("acknowledged delete of b1 rolled back (doc %v)", doc)
+			}
+			continue
+		}
+		if !ok || doc["phase"] != "baseline" {
+			t.Errorf("baseline doc %s lost or changed: %v, %v", id, doc, ok)
+		}
+	}
+	if _, ok := s.Index("models").Get("m0"); !ok {
+		t.Error("baseline model lost")
+	}
+	// Every acknowledged mutation survived.
+	for id, want := range acked {
+		doc, ok := ix.Get(id)
+		if !ok {
+			t.Errorf("acknowledged doc %s lost", id)
+			continue
+		}
+		if fmt.Sprint(doc["n"]) != fmt.Sprint(want["n"]) || doc["phase"] != want["phase"] {
+			t.Errorf("acknowledged doc %s changed: got %v want %v", id, doc, want)
+		}
+	}
+	// The store is fully writable after recovery.
+	ix.Put("postcrash", Document{"phase": "verify"})
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync after recovery: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Errorf("Flush after recovery: %v", err)
+	}
+	if _, ok := ix.Get("postcrash"); !ok {
+		t.Error("post-recovery write not visible")
+	}
+}
+
+// TestEngineCrashMatrix: meter the healthy workload's write-op count,
+// then replay it once per (kind, write index) with that single write
+// faulted and the process crashed at the end.
+func TestEngineCrashMatrix(t *testing.T) {
+	meterDir := t.TempDir()
+	crashBaseline(t, meterDir)
+	meter := chaos.NewFaultFS(nil, chaos.FSConfig{}, nil)
+	acked, delAcked := crashWorkload(t, meterDir, meter)
+	crashVerify(t, meterDir, acked, delAcked)
+	total := int64(meter.Stats().Writes)
+	if total < 8 {
+		t.Fatalf("workload crossed only %d write sites; the matrix has lost its coverage", total)
+	}
+	for _, kind := range []string{"error", "short", "enospc"} {
+		for at := int64(1); at <= total; at++ {
+			kind, at := kind, at
+			t.Run(fmt.Sprintf("%s-at-%d", kind, at), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				crashBaseline(t, dir)
+				ffs := chaos.NewFaultFS(nil, chaos.FSConfig{FailAt: at, FailKind: kind}, nil)
+				acked, delAcked := crashWorkload(t, dir, ffs)
+				if st := ffs.Stats(); st.WriteErrors+st.ShortWrites+st.NoSpace != 1 {
+					t.Fatalf("fault plan fired %d faults, want exactly 1 (%+v)", st.WriteErrors+st.ShortWrites+st.NoSpace, st)
+				}
+				crashVerify(t, dir, acked, delAcked)
+			})
+		}
 	}
 }

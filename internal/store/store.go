@@ -28,12 +28,17 @@ type Hit struct {
 }
 
 // Store is a collection of named indices. It is safe for concurrent use.
+// New gives the in-memory engine; Open (engine.go) the persistent one —
+// both serve the identical API, which is what lets the in-memory engine
+// double as the correctness oracle for the segment engine's tests.
 type Store struct {
 	mu      sync.RWMutex
 	indices map[string]*Index
+	// eng is the persistent segment engine; nil means in-memory.
+	eng *engine
 }
 
-// New creates an empty store.
+// New creates an empty in-memory store.
 func New() *Store {
 	return &Store{indices: make(map[string]*Index)}
 }
@@ -46,6 +51,12 @@ func (s *Store) Index(name string) *Index {
 	ix, ok := s.indices[name]
 	if !ok {
 		ix = newIndex(name)
+		if s.eng != nil {
+			s.eng.mu.Lock()
+			s.eng.attachLocked(ix)
+			s.eng.logLocked(walRecord{Op: walMkIx, Ix: name})
+			s.eng.mu.Unlock()
+		}
 		s.indices[name] = ix
 	}
 	return ix
@@ -67,8 +78,15 @@ func (s *Store) Indices() []string {
 func (s *Store) DeleteIndex(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.indices[name]; !ok {
+	ix, ok := s.indices[name]
+	if !ok {
 		return false
+	}
+	if s.eng != nil {
+		s.eng.mu.Lock()
+		s.eng.logLocked(walRecord{Op: walDelIx, Ix: name})
+		s.eng.detachLocked(ix)
+		s.eng.mu.Unlock()
 	}
 	delete(s.indices, name)
 	return true
@@ -80,11 +98,14 @@ type Index struct {
 	mu   sync.RWMutex
 	docs map[string]Document
 	// order preserves insertion order for stable unsorted scans and
-	// FIFO retention.
+	// FIFO retention. In persistent mode it is the merged scan order
+	// (ascending ord across memtable and segments).
 	order     []string
 	seq       uint64
 	retention int
 	evicted   uint64
+	// pe is the persistent-engine state; nil means in-memory.
+	pe *persistIndex
 }
 
 // SetRetention caps the index at max documents: the oldest documents are
@@ -92,6 +113,10 @@ type Index struct {
 // archives millions of logs per day and cannot keep them forever). Zero
 // disables retention.
 func (ix *Index) SetRetention(max int) {
+	if ix.pe != nil {
+		ix.pe.setRetention(ix, max)
+		return
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	ix.retention = max
@@ -128,6 +153,10 @@ func (ix *Index) Name() string { return ix.name }
 // Put stores a document under the given ID, replacing any previous
 // version.
 func (ix *Index) Put(id string, doc Document) {
+	if ix.pe != nil {
+		ix.pe.put(ix, id, doc, false)
+		return
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if _, exists := ix.docs[id]; !exists {
@@ -139,6 +168,9 @@ func (ix *Index) Put(id string, doc Document) {
 
 // PutAuto stores a document under a generated ID and returns the ID.
 func (ix *Index) PutAuto(doc Document) string {
+	if ix.pe != nil {
+		return ix.pe.put(ix, "", doc, true)
+	}
 	ix.mu.Lock()
 	ix.seq++
 	id := ix.name + "-" + strconv.FormatUint(ix.seq, 10)
@@ -155,6 +187,13 @@ func (ix *Index) PutAuto(doc Document) string {
 func (ix *Index) Get(id string) (Document, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.pe != nil {
+		r, ok := ix.pe.refs[id]
+		if !ok {
+			return nil, false
+		}
+		return ix.pe.fetch(id, r, true)
+	}
 	doc, ok := ix.docs[id]
 	if !ok {
 		return nil, false
@@ -164,6 +203,9 @@ func (ix *Index) Get(id string) (Document, bool) {
 
 // Delete removes a document and reports whether it existed.
 func (ix *Index) Delete(id string) bool {
+	if ix.pe != nil {
+		return ix.pe.del(ix, id)
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if _, ok := ix.docs[id]; !ok {
@@ -183,6 +225,9 @@ func (ix *Index) Delete(id string) bool {
 func (ix *Index) Count() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.pe != nil {
+		return len(ix.pe.refs)
+	}
 	return len(ix.docs)
 }
 
@@ -209,14 +254,25 @@ type Query struct {
 func (ix *Index) Search(q Query) []Hit {
 	ix.mu.RLock()
 	var hits []Hit
-	for _, id := range ix.order {
-		doc := ix.docs[id]
-		if matches(doc, q) {
-			hits = append(hits, Hit{ID: id, Doc: cloneDoc(doc)})
+	if ix.pe != nil {
+		ix.pe.scanLocked(ix, q, true, func(id string, doc Document) {
+			hits = append(hits, Hit{ID: id, Doc: doc})
+		})
+	} else {
+		for _, id := range ix.order {
+			doc := ix.docs[id]
+			if matches(doc, q) {
+				hits = append(hits, Hit{ID: id, Doc: cloneDoc(doc)})
+			}
 		}
 	}
 	ix.mu.RUnlock()
+	return sortAndLimitHits(hits, q)
+}
 
+// sortAndLimitHits applies the query's sort and limit to gathered hits —
+// shared by both engines so ordering semantics cannot drift.
+func sortAndLimitHits(hits []Hit, q Query) []Hit {
 	if q.SortBy != "" {
 		sort.SliceStable(hits, func(i, j int) bool {
 			less := compareValues(hits[i].Doc[q.SortBy], hits[j].Doc[q.SortBy]) < 0
@@ -238,6 +294,10 @@ func (ix *Index) CountWhere(q Query) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	n := 0
+	if ix.pe != nil {
+		ix.pe.scanLocked(ix, q, false, func(string, Document) { n++ })
+		return n
+	}
 	for _, doc := range ix.docs {
 		if matches(doc, q) {
 			n++
@@ -255,16 +315,22 @@ func (ix *Index) Histogram(q Query, timeField string, interval time.Duration) ([
 	}
 	ix.mu.RLock()
 	counts := make(map[int64]int)
-	for _, doc := range ix.docs {
-		if !matches(doc, q) {
-			continue
-		}
+	tally := func(_ string, doc Document) {
 		t, ok := asTime(doc[timeField])
 		if !ok {
-			continue
+			return
 		}
 		bucket := t.UnixNano() / int64(interval)
 		counts[bucket]++
+	}
+	if ix.pe != nil {
+		ix.pe.scanLocked(ix, q, false, tally)
+	} else {
+		for _, doc := range ix.docs {
+			if matches(doc, q) {
+				tally("", doc)
+			}
+		}
 	}
 	ix.mu.RUnlock()
 
@@ -296,15 +362,21 @@ type TermBucket struct {
 func (ix *Index) Terms(q Query, field string, limit int) []TermBucket {
 	ix.mu.RLock()
 	counts := make(map[string]int)
-	for _, doc := range ix.docs {
-		if !matches(doc, q) {
-			continue
-		}
+	tally := func(_ string, doc Document) {
 		v, ok := doc[field]
 		if !ok {
-			continue
+			return
 		}
 		counts[fmt.Sprint(v)]++
+	}
+	if ix.pe != nil {
+		ix.pe.scanLocked(ix, q, false, tally)
+	} else {
+		for _, doc := range ix.docs {
+			if matches(doc, q) {
+				tally("", doc)
+			}
+		}
 	}
 	ix.mu.RUnlock()
 
@@ -328,6 +400,17 @@ func (ix *Index) Terms(q Query, field string, limit int) []TermBucket {
 func (ix *Index) Dump() ([]byte, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.pe != nil {
+		docs := make(map[string]Document, len(ix.pe.refs))
+		for id, r := range ix.pe.refs {
+			doc, ok := ix.pe.fetch(id, r, false)
+			if !ok {
+				return nil, fmt.Errorf("store: dump index %q: unreadable document %q", ix.name, id)
+			}
+			docs[id] = doc
+		}
+		return json.Marshal(docs)
+	}
 	return json.Marshal(ix.docs)
 }
 
@@ -336,6 +419,10 @@ func (ix *Index) Load(data []byte) error {
 	var docs map[string]Document
 	if err := json.Unmarshal(data, &docs); err != nil {
 		return fmt.Errorf("store: load index %q: %w", ix.name, err)
+	}
+	if ix.pe != nil {
+		ix.pe.load(ix, data, docs)
+		return nil
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()

@@ -1,0 +1,74 @@
+// Write-ahead log: every mutation of the persistent store is framed and
+// checksummed into wal-<generation>.log before (or with) its
+// acknowledgement, so a crash between manifest commits replays to exactly
+// the acknowledged state. The WAL is the only append-in-place file in the
+// engine — everything else goes through atomic temp+rename — so it is
+// also the only place a torn tail can appear. Replay stops at the first
+// frame whose length or checksum fails: the torn suffix is discarded (it
+// was never acknowledged), and the writer repairs the file by an atomic
+// rewrite from its in-memory record log before appending again.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// WAL operation codes.
+const (
+	walPut   = "put"  // store a document: Ix, ID, Ord, Seq, Doc
+	walDel   = "del"  // delete a document: Ix, ID
+	walRetn  = "retn" // count-cap eviction: Ix, W (watermark), Ev (total)
+	walCap   = "cap"  // SetRetention: Ix, Cap
+	walLoad  = "load" // Load replaces the index: Ix, Doc ({"id": doc} map)
+	walMkIx  = "mkix" // index created: Ix
+	walDelIx = "delix" // index dropped: Ix
+)
+
+// walRecord is one logged mutation. Doc stays raw so replay re-decodes
+// it into exactly the canonical (JSON round-tripped) form queries see.
+type walRecord struct {
+	Op  string          `json:"op"`
+	Ix  string          `json:"ix"`
+	ID  string          `json:"id,omitempty"`
+	Ord uint64          `json:"ord,omitempty"`
+	Seq uint64          `json:"seq,omitempty"`
+	Doc json.RawMessage `json:"doc,omitempty"`
+	W   uint64          `json:"w,omitempty"`
+	Ev  uint64          `json:"ev,omitempty"`
+	Cap int             `json:"cap,omitempty"`
+}
+
+// encodeWAL frames records into WAL bytes.
+func encodeWAL(dst []byte, recs []walRecord) ([]byte, error) {
+	for i := range recs {
+		payload, err := json.Marshal(&recs[i])
+		if err != nil {
+			return dst, fmt.Errorf("store: wal: encode %s: %w", recs[i].Op, err)
+		}
+		dst = appendRecord(dst, payload)
+	}
+	return dst, nil
+}
+
+// decodeWAL replays WAL bytes up to the first torn or corrupt frame,
+// returning the decoded records and how many bytes formed the valid
+// prefix. A short valid length is not an error — it is the expected shape
+// of a crash mid-append — but the caller must treat the file as dirty and
+// rewrite it before appending.
+func decodeWAL(data []byte) (recs []walRecord, valid int) {
+	off := 0
+	for off < len(data) {
+		payload, next, err := readRecord(data, off)
+		if err != nil {
+			return recs, off
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Op == "" {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	return recs, off
+}

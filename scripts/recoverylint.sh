@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 paths='internal/recovery internal/store internal/core/recovery.go'
 
-violations=$(grep -rn --include='*.go' -E 'os\.(WriteFile|Create|OpenFile)\(' \
+violations=$(grep -rn --include='*.go' -E 'os\.(WriteFile|Create|OpenFile|Rename)\(' \
     $paths 2>/dev/null \
     | grep -v '_test\.go:' || true)
 
