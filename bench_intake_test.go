@@ -1,0 +1,80 @@
+// Intake front-door throughput: the per-line cost of the wire hot path —
+// RFC 6587 framing, syslog header parse, and tenant admission — measured
+// over an in-memory stream so allocs/op stays deterministic for the
+// benchguard gate (real sockets would add scheduler- and buffer-dependent
+// allocations).
+//
+// Rerun with:
+//
+//	go test -run='^$' -bench=BenchmarkIntakeThroughput -benchmem -count=5 .
+package loglens
+
+import (
+	"fmt"
+	"testing"
+
+	"loglens/internal/clock"
+	"loglens/internal/intake"
+)
+
+// loopReader replays one byte buffer forever: an endless in-memory wire
+// stream for the frame scanner.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	return n, nil
+}
+
+// benchIntakeStream scans, parses, and admits b.N frames produced by
+// frame (which must emit complete wire frames, terminator included).
+func benchIntakeStream(b *testing.B, frame func(i int) string) {
+	var data []byte
+	for i := 0; i < 512; i++ {
+		data = append(data, frame(i)...)
+	}
+	lim := intake.NewLimiter(clock.New(), 0, 0) // unlimited, but still on the path
+	sc := intake.NewFrameScanner(&loopReader{data: data}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sc.Scan() {
+			b.Fatal(sc.Err())
+		}
+		m, err := intake.ParseSyslog(sc.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenant := m.Hostname
+		if tenant == "" {
+			tenant = intake.DefaultTenant
+		}
+		if ok, _ := lim.Take(tenant); !ok {
+			b.Fatal("unlimited limiter refused a line")
+		}
+	}
+}
+
+// BenchmarkIntakeThroughput is the guarded front-door benchmark: ns/op is
+// the framing+parse+admission cost per log line on each RFC 6587
+// transport.
+func BenchmarkIntakeThroughput(b *testing.B) {
+	b.Run("newline3164", func(b *testing.B) {
+		benchIntakeStream(b, func(i int) string {
+			return fmt.Sprintf("<13>Feb  5 17:32:18 web%02d sshd[4721]: session %d opened for user app\n", i%8, i)
+		})
+	})
+	b.Run("octet5424", func(b *testing.B) {
+		benchIntakeStream(b, func(i int) string {
+			body := fmt.Sprintf("<165>1 2003-10-11T22:14:15.003Z host%02d su 1234 ID47 - request %d served", i%8, i)
+			return fmt.Sprintf("%d %s", len(body), body)
+		})
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"loglens/internal/core"
 	"loglens/internal/dashboard"
 	"loglens/internal/heartbeat"
+	"loglens/internal/intake"
 	"loglens/internal/logtypes"
 	"loglens/internal/modelmgr"
 	"loglens/internal/obs"
@@ -57,6 +58,11 @@ type options struct {
 	ckptInterval time.Duration
 	dataDir      string
 	retention    time.Duration
+	syslogUDP    string
+	syslogTCP    string
+	listenHTTP   string
+	tenantRate   int
+	intakeQueue  int
 }
 
 func main() {
@@ -80,6 +86,11 @@ func main() {
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 30*time.Second, "periodic checkpoint cadence when -checkpoint-dir is set (0 = only explicit/final checkpoints)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "persist storage to this directory with the segment engine (WAL + immutable segments; survives restarts without -state-dir snapshots)")
 	flag.DurationVar(&o.retention, "retention", 0, "with -data-dir: age log/anomaly segments out after this duration (0 keeps everything; models are always kept)")
+	flag.StringVar(&o.syslogUDP, "listen-syslog-udp", "", "accept syslog datagrams (RFC3164/RFC5424) on this UDP address (e.g. :5514)")
+	flag.StringVar(&o.syslogTCP, "listen-syslog-tcp", "", "accept syslog streams (newline or octet-counted framing) on this TCP address (e.g. :5514)")
+	flag.StringVar(&o.listenHTTP, "listen-http", "", "accept JSON log batches via POST /api/ingest on this address (e.g. :5515)")
+	flag.IntVar(&o.tenantRate, "tenant-rate", 0, "per-tenant intake rate limit in lines/sec (0 = unlimited); TCP senders over it are slowed, UDP/HTTP lines shed")
+	flag.IntVar(&o.intakeQueue, "intake-queue", 0, "bounded intake queue depth between the listeners and the bus (0 = default 8192)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -113,6 +124,14 @@ func run(o options) error {
 		ArchiveLogs:      true,
 		Builder:          modelmgr.BuilderConfig{VolumeWindow: o.volumeWindow},
 		Recovery:         core.RecoveryConfig{Dir: o.ckptDir, Interval: o.ckptInterval},
+		Intake: intake.Config{
+			SyslogUDP:   o.syslogUDP,
+			SyslogTCP:   o.syslogTCP,
+			HTTP:        o.listenHTTP,
+			TenantRate:  o.tenantRate,
+			QueueDepth:  o.intakeQueue,
+			IdleTimeout: 5 * time.Minute,
+		},
 		Storage: core.StorageConfig{
 			Dir:       o.dataDir,
 			Retention: o.retention,
@@ -209,6 +228,17 @@ func run(o options) error {
 		}
 		fmt.Fprintf(os.Stderr, "accepting remote agents on %s (shiplogs -addr %s -source ...)\n", bound, bound)
 	}
+	if svc := p.Intake(); svc != nil {
+		if a := svc.UDPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "accepting syslog datagrams on udp %s\n", a)
+		}
+		if a := svc.TCPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "accepting syslog streams on tcp %s\n", a)
+		}
+		if a := svc.HTTPAddr(); a != "" {
+			fmt.Fprintf(os.Stderr, "accepting JSON batches on http://%s/api/ingest\n", a)
+		}
+	}
 
 	var httpSrv *http.Server
 	if dashAddr != "" {
@@ -289,6 +319,18 @@ stream:
 	drainBudget := 5 * time.Minute
 	if ctx.Err() != nil {
 		drainBudget = 10 * time.Second
+	}
+	// The front door drains before anything else winds down: in-flight
+	// intake connections finish, the intake queue empties into the bus —
+	// so the Drain below (and the final checkpoint after it) sees every
+	// acked line. Before this ordering, SIGTERM only drained stdin and
+	// acked network lines could die in the intake queue.
+	if svc := p.Intake(); svc != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := svc.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "intake drain:", err)
+		}
+		cancel()
 	}
 	if err := p.Drain(drainBudget); err != nil {
 		if ctx.Err() == nil {

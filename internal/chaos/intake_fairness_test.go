@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/intake"
+	"loglens/internal/testutil"
+)
+
+// Fairness scenario: one abusive tenant floods the TCP front door at 50x
+// its rate limit while compliant tenants send exactly their allowance.
+// Multi-tenant admission must keep the compliant tenants' accepted
+// throughput within 10% of what they get with the front door to
+// themselves, and cap the abuser at its limit — the abuser's pressure
+// lands on its own socket (backpressure), never on the shared queue.
+
+const (
+	fairRate    = 20 // lines/s/tenant, also the burst
+	fairSeconds = 5  // simulated seconds of load
+)
+
+// tenantPublished reads one tenant's published count from the stats
+// snapshot.
+func tenantPublished(svc *intake.Service, tenant string) uint64 {
+	for _, ts := range svc.Stats().Tenants {
+		if ts.Tenant == tenant {
+			return ts.Published
+		}
+	}
+	return 0
+}
+
+// runFairnessLoad drives fairSeconds of compliant load from two tenants
+// — optionally with the abuser flooding alongside — on a fake clock, and
+// returns each compliant tenant's published count plus the abuser's.
+func runFairnessLoad(t *testing.T, withAbuser bool) (map[string]uint64, uint64) {
+	t.Helper()
+	fc := clock.NewFake()
+	svc := intake.New(intake.Config{
+		SyslogTCP:   "127.0.0.1:0",
+		TenantRate:  fairRate,
+		TenantBurst: fairRate,
+		Clock:       fc,
+	}, func(string, uint64, []byte) {})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	tenants := []string{"good1", "good2"}
+	conns := make(map[string]net.Conn, len(tenants))
+	for _, tn := range tenants {
+		c, err := net.Dial("tcp", svc.TCPAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[tn] = c
+	}
+
+	var wg sync.WaitGroup
+	if withAbuser {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.Dial("tcp", svc.TCPAddr())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			// 50x the whole window's allowance, offered as fast as the
+			// socket takes it. The admission layer rate-waits before
+			// enqueueing, so this blocks in the kernel send buffer —
+			// write errors after the service aborts are the expected
+			// ending.
+			var b bytes.Buffer
+			for i := 0; i < 50*fairRate*fairSeconds; i++ {
+				fmt.Fprintf(&b, "<13>Feb  5 17:32:18 abuser app: flood %d\n", i)
+			}
+			c.Write(b.Bytes())
+		}()
+	}
+
+	for sec := 1; sec <= fairSeconds; sec++ {
+		for _, tn := range tenants {
+			var b bytes.Buffer
+			for i := 0; i < fairRate; i++ {
+				fmt.Fprintf(&b, "<13>Feb  5 17:32:18 %s app: line %d-%d\n", tn, sec, i)
+			}
+			if _, err := conns[tn].Write(b.Bytes()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := uint64(fairRate * sec)
+		for _, tn := range tenants {
+			tn := tn
+			testutil.WaitUntil(t, 10*time.Second, func() bool {
+				return tenantPublished(svc, tn) >= want
+			}, fmt.Sprintf("tenant %s second-%d batch not published", tn, sec))
+		}
+		if sec < fairSeconds {
+			fc.Advance(time.Second)
+		}
+	}
+
+	out := make(map[string]uint64, len(tenants))
+	for _, tn := range tenants {
+		out[tn] = tenantPublished(svc, tn)
+	}
+	abuser := tenantPublished(svc, "abuser")
+	// Abort the front door so the abuser's parked admissions shed and its
+	// writer goroutine unblocks.
+	svc.Close()
+	wg.Wait()
+	return out, abuser
+}
+
+func TestIntakeTenantFairness(t *testing.T) {
+	solo, _ := runFairnessLoad(t, false)
+	contended, abuser := runFairnessLoad(t, true)
+
+	for tn, got := range contended {
+		base := solo[tn]
+		if base == 0 {
+			t.Fatalf("solo baseline for %s is zero", tn)
+		}
+		// Within 10% of the solo baseline: got >= 0.9 * base.
+		if got*10 < base*9 {
+			t.Errorf("tenant %s published %d under contention, solo baseline %d: degraded more than 10%%",
+				tn, got, base)
+		}
+	}
+	// The abuser offered 50x its allowance; the bucket caps what can have
+	// been admitted at burst + rate per elapsed simulated second.
+	if limit := uint64(fairRate * (fairSeconds + 1)); abuser > limit {
+		t.Errorf("abuser published %d, want <= %d: rate limit did not hold under flood", abuser, limit)
+	}
+}

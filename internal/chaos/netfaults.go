@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"loglens/internal/clock"
+)
+
+// Network faults for the intake front door. These wrap the *client* side
+// of a connection: tests dial the intake listener, wrap the conn, and
+// manufacture the three pathologies a network front door must survive —
+// a slow link trickling bytes, a reader that stalls mid-frame and holds
+// the socket hostage, and connection churn. The wrappers use the
+// injected clock for pacing, so a clock.Fake makes the slow-link
+// timeline drivable.
+
+// SlowConn throttles writes to a byte budget per interval — a client
+// behind a congested or shaped link. Reads pass through untouched.
+type SlowConn struct {
+	net.Conn
+	clk      clock.Clock
+	chunk    int           // bytes written per interval
+	interval time.Duration // pause between chunks
+}
+
+// NewSlowConn wraps conn so each Write trickles out in chunk-byte pieces
+// with interval between them (chunk <= 0 defaults to 1).
+func NewSlowConn(conn net.Conn, clk clock.Clock, chunk int, interval time.Duration) *SlowConn {
+	if clk == nil {
+		clk = clock.New()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &SlowConn{Conn: conn, clk: clk, chunk: chunk, interval: interval}
+}
+
+func (c *SlowConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := c.chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		w, err := c.Conn.Write(p[:n])
+		total += w
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		if len(p) > 0 && c.interval > 0 {
+			c.clk.Sleep(c.interval)
+		}
+	}
+	return total, nil
+}
+
+// StallConn writes normally until budget bytes have passed, then blocks
+// every further Write until Release (or Close) — a peer that sends half
+// a frame and goes silent while keeping the socket open. The intake
+// listener must isolate it: one goroutine parks, the accept loop and
+// every other connection keep moving.
+type StallConn struct {
+	net.Conn
+	mu      sync.Mutex
+	budget  int
+	stalled chan struct{} // closed by Release
+	closed  chan struct{} // closed by Close
+	once    sync.Once
+}
+
+// NewStallConn wraps conn to stall after budget written bytes.
+func NewStallConn(conn net.Conn, budget int) *StallConn {
+	return &StallConn{
+		Conn:    conn,
+		budget:  budget,
+		stalled: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+}
+
+func (c *StallConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	allowed := c.budget
+	if allowed > len(p) {
+		allowed = len(p)
+	}
+	c.budget -= allowed
+	c.mu.Unlock()
+	total := 0
+	if allowed > 0 {
+		n, err := c.Conn.Write(p[:allowed])
+		total += n
+		if err != nil || total == len(p) {
+			return total, err
+		}
+	}
+	// Out of budget: park until released or closed.
+	select {
+	case <-c.stalled:
+	case <-c.closed:
+		return total, net.ErrClosed
+	}
+	n, err := c.Conn.Write(p[total:])
+	return total + n, err
+}
+
+// Release unblocks the stall; subsequent writes pass through.
+func (c *StallConn) Release() {
+	c.once.Do(func() { close(c.stalled) })
+}
+
+func (c *StallConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return c.Conn.Close()
+}
+
+// Churn opens conns sequential short-lived TCP connections to addr, each
+// writing one payload and closing — the connect/teardown storm of a
+// flapping fleet. It returns how many connections both dialed and wrote
+// successfully; per-connection errors are expected under churn (the
+// listener may be at its connection cap) and are counted, not fatal.
+func Churn(addr string, conns int, payload func(i int) []byte) (succeeded int) {
+	for i := 0; i < conns; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		_, werr := c.Write(payload(i))
+		c.Close()
+		if werr == nil {
+			succeeded++
+		}
+	}
+	return succeeded
+}

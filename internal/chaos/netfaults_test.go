@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/intake"
+	"loglens/internal/testutil"
+)
+
+// startIntakeTCP brings up a TCP-only intake service with no rate limit
+// and a published-line counter.
+func startIntakeTCP(t *testing.T, mutate func(*intake.Config)) (*intake.Service, *atomic.Uint64) {
+	t.Helper()
+	cfg := intake.Config{SyslogTCP: "127.0.0.1:0"}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var published atomic.Uint64
+	svc := intake.New(cfg, func(string, uint64, []byte) { published.Add(1) })
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, &published
+}
+
+// TestSlowLinkDelivers: a client trickling bytes a few at a time (a
+// congested link) must still get every frame through, with no frame
+// errors and no effect on the listener.
+func TestSlowLinkDelivers(t *testing.T) {
+	svc, published := startIntakeTCP(t, nil)
+	raw, err := net.Dial("tcp", svc.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	slow := NewSlowConn(raw, clock.New(), 7, time.Millisecond)
+
+	const frames = 10
+	var b strings.Builder
+	for i := 0; i < frames; i++ {
+		fmt.Fprintf(&b, "<13>Feb  5 17:32:18 slowhost app: dribble %d\n", i)
+	}
+	if _, err := slow.Write([]byte(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return published.Load() == frames
+	}, "slow-link frames not all published")
+	if st := svc.Stats(); st.FrameErrors != 0 || st.Malformed != 0 {
+		t.Errorf("slow link produced frame errors: %+v", st)
+	}
+}
+
+// TestStalledReaderDoesNotBlockOthers: a peer that sends half a frame
+// and goes silent must hold only its own connection hostage. Other
+// tenants keep flowing; when the staller resumes, its frames complete.
+func TestStalledReaderDoesNotBlockOthers(t *testing.T) {
+	svc, published := startIntakeTCP(t, nil)
+
+	rawStall, err := net.Dial("tcp", svc.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := NewStallConn(rawStall, 10) // stalls mid-PRI of the first frame
+	defer stall.Close()
+
+	const stallFrames = 5
+	var sb strings.Builder
+	for i := 0; i < stallFrames; i++ {
+		fmt.Fprintf(&sb, "<13>Feb  5 17:32:18 staller app: held %d\n", i)
+	}
+	stallDone := make(chan error, 1)
+	go func() {
+		_, werr := stall.Write([]byte(sb.String()))
+		stallDone <- werr
+	}()
+
+	// A healthy tenant is untouched while the staller is parked.
+	healthy, err := net.Dial("tcp", svc.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	const healthyFrames = 20
+	var hb strings.Builder
+	for i := 0; i < healthyFrames; i++ {
+		fmt.Fprintf(&hb, "<13>Feb  5 17:32:18 healthy app: flow %d\n", i)
+	}
+	if _, err := healthy.Write([]byte(hb.String())); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return published.Load() == healthyFrames
+	}, "healthy tenant blocked behind a stalled peer")
+
+	// Release the stall: the held frames complete.
+	stall.Release()
+	if werr := <-stallDone; werr != nil {
+		t.Fatalf("stalled writer failed after release: %v", werr)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return published.Load() == healthyFrames+stallFrames
+	}, "stalled tenant's frames lost after release")
+}
+
+// TestConnectionChurn: a flapping fleet of short-lived connections —
+// dial, one frame, close — must neither lose lines nor leak connection
+// slots.
+func TestConnectionChurn(t *testing.T) {
+	svc, published := startIntakeTCP(t, nil)
+
+	const conns = 300
+	succeeded := Churn(svc.TCPAddr(), conns, func(i int) []byte {
+		return []byte(fmt.Sprintf("<13>Feb  5 17:32:18 churn app: conn %d\n", i))
+	})
+	if succeeded != conns {
+		t.Fatalf("churn succeeded on %d/%d connections", succeeded, conns)
+	}
+	testutil.WaitUntil(t, 30*time.Second, func() bool {
+		return published.Load() == conns
+	}, "churned lines not all published")
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return svc.Stats().ActiveConns == 0
+	}, "connection slots leaked after churn")
+	if st := svc.Stats(); st.ConnsRejected != 0 || st.FrameErrors != 0 {
+		t.Errorf("churn tripped rejections or frame errors: %+v", st)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"loglens/internal/bus"
 	"loglens/internal/clock"
 	"loglens/internal/heartbeat"
+	"loglens/internal/intake"
 	"loglens/internal/logmanager"
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
@@ -111,6 +112,11 @@ type Config struct {
 	// must stay below Heartbeat.ActivityWindow, past which the source is
 	// forgotten and the probe recovers).
 	HeartbeatStale time.Duration
+	// Intake enables the network front door: syslog UDP/TCP listeners
+	// and the HTTP bulk endpoint feeding the bus through the bounded
+	// multi-tenant admission layer. The zero value disables every
+	// listener. Clock, Metrics, and Events default to the pipeline's.
+	Intake intake.Config
 	// Recovery enables the crash-recovery plane: checkpoint/restore,
 	// commit-gated at-least-once consumption, supervised restarts, and
 	// the poison-record quarantine. See RecoveryConfig.
@@ -168,6 +174,12 @@ type Pipeline struct {
 	pumpExited chan struct{}
 
 	wireServers []*wire.Server
+
+	// intakeSvc is the network front door for the current run (nil until
+	// Start with Config.Intake enabled; a fresh service per Start so
+	// stop/restore/restart works).
+	intakeSvc *intake.Service
+	intakeCfg intake.Config
 
 	// Recovery plane (nil/zero unless Config.Recovery is enabled).
 	ckpt             *recovery.Manager
@@ -303,8 +315,38 @@ func New(cfg Config) (*Pipeline, error) {
 		p.forwarded.Add(1)
 		p.engine.Send(stream.Record{Key: source, Time: t, Heartbeat: true})
 	})
+	if cfg.Intake.Enabled() {
+		p.intakeCfg = cfg.Intake
+		if p.intakeCfg.Clock == nil {
+			p.intakeCfg.Clock = cfg.Clock
+		}
+		if p.intakeCfg.Metrics == nil {
+			p.intakeCfg.Metrics = p.reg
+		}
+		if p.intakeCfg.Events == nil {
+			p.intakeCfg.Events = p.events
+		}
+	}
 	p.registerProbes()
 	return p, nil
+}
+
+// Intake exposes the running intake service (nil until Start with
+// Config.Intake enabled). The dashboard serves its Stats at /api/intake.
+func (p *Pipeline) Intake() *intake.Service {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.intakeSvc
+}
+
+// publishIntake is the intake pump's delivery callback: admitted lines
+// enter the bus on the logs data channel exactly as agent-shipped lines
+// do, with the tenant as the source.
+func (p *Pipeline) publishIntake(tenant string, seq uint64, raw []byte) {
+	p.bus.Publish(agent.LogsTopic, tenant, raw, map[string]string{
+		agent.HeaderSource: tenant,
+		agent.HeaderSeq:    strconv.FormatUint(seq, 10),
+	})
 }
 
 // Ops exposes the pipeline's ops plane (nil when disabled). The
@@ -400,6 +442,15 @@ func (p *Pipeline) registerProbes() {
 	})
 	if p.store.Persistent() {
 		h.Register("storage", p.storageProbe)
+	}
+	if p.cfg.Intake.Enabled() {
+		h.Register("intake", func() obs.ProbeResult {
+			svc := p.Intake()
+			if svc == nil {
+				return obs.ProbeResult{Status: obs.Degraded, Detail: "intake not started"}
+			}
+			return svc.Probe()
+		})
 	}
 	if p.ckpt != nil {
 		h.Register("checkpoint", func() obs.ProbeResult {
@@ -594,6 +645,21 @@ func (p *Pipeline) Start() error {
 		return err
 	}
 
+	if p.cfg.Intake.Enabled() {
+		// A fresh service per run: intake sockets cannot be reopened after
+		// a drain, so stop/restore/restart gets new ones.
+		svc := intake.New(p.intakeCfg, p.publishIntake)
+		if err := svc.Start(); err != nil {
+			p.mu.Lock()
+			p.running = false
+			p.mu.Unlock()
+			return err
+		}
+		p.mu.Lock()
+		p.intakeSvc = svc
+		p.mu.Unlock()
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
 	// The engines get their own cancellable context: orderly Stop drains
@@ -750,6 +816,11 @@ func (p *Pipeline) InjectHeartbeat(source string, t time.Time) {
 	p.publishHeartbeat(source, t)
 }
 
+// intakeDrainTimeout bounds how long Stop waits for in-flight intake
+// connections and the intake queue to drain before shedding the rest
+// (accounted under reason "shutdown").
+const intakeDrainTimeout = 10 * time.Second
+
 // Stop shuts the pipeline down: input closes, in-flight batches finish,
 // stages drain front to back, background loops exit.
 func (p *Pipeline) Stop() error {
@@ -761,9 +832,18 @@ func (p *Pipeline) Stop() error {
 	p.running = false
 	servers := p.wireServers
 	p.wireServers = nil
+	svc := p.intakeSvc
 	p.mu.Unlock()
 	for _, srv := range servers {
 		srv.Close()
+	}
+	if svc != nil {
+		// Drain the front door before the engines: in-flight connections
+		// finish, the intake queue empties into the bus, and the stages
+		// below then see every admitted line before they close.
+		ctx, cancel := context.WithTimeout(context.Background(), intakeDrainTimeout)
+		svc.Shutdown(ctx)
+		cancel()
 	}
 	p.cancel()
 	p.engine.Close()

@@ -646,11 +646,17 @@ func (p *Pipeline) Kill() {
 	p.running = false
 	servers := p.wireServers
 	p.wireServers = nil
+	svc := p.intakeSvc
 	p.mu.Unlock()
 	p.killed.Store(true)
 	p.commitsOn.Store(false)
 	for _, srv := range servers {
 		srv.Close()
+	}
+	if svc != nil {
+		// Crash semantics: the front door aborts without draining —
+		// blocked admissions shed, connections close.
+		svc.Close()
 	}
 	// Close the engines first so racing Sends fail fast (ErrClosed)
 	// instead of queueing on input channels nobody drains, then abort

@@ -39,6 +39,7 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/api/patterns", s.handlePatterns)
 	s.mux.HandleFunc("/api/sources", s.handleSources)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/intake", s.handleIntake)
 	s.mux.HandleFunc("/api/storage", s.handleStorage)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
 	s.registerOps()
@@ -248,6 +249,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"eventsClosed":   det.EventsClosed,
 		"eventsExpired":  det.EventsExpired,
 	})
+}
+
+// handleIntake reports the intake front door's admission accounting:
+// totals, queue occupancy, connection counts, and the per-tenant
+// accepted/published/shed breakdown — the first place to look when a
+// tenant complains about missing lines.
+//
+//	GET /api/intake
+func (s *Server) handleIntake(w http.ResponseWriter, r *http.Request) {
+	svc := s.pipeline.Intake()
+	if svc == nil {
+		writeJSON(w, map[string]any{"enabled": false})
+		return
+	}
+	writeJSON(w, map[string]any{"enabled": true, "stats": svc.Stats()})
 }
 
 // handleStorage reports storage health: the segment engine's generation,

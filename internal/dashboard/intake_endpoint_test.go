@@ -1,0 +1,63 @@
+package dashboard
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"loglens/internal/core"
+	"loglens/internal/intake"
+	"loglens/internal/testutil"
+)
+
+// TestIntakeEndpoint serves /api/intake both ways: a pipeline without
+// listeners reports enabled=false, and one with the front door up
+// reports totals plus the per-tenant breakdown.
+func TestIntakeEndpoint(t *testing.T) {
+	code, body := get(t, New(buildPipeline(t)), "/api/intake")
+	if code != 200 {
+		t.Fatalf("GET /api/intake = %d", code)
+	}
+	if body["enabled"] != false {
+		t.Fatalf("pipeline without listeners reported enabled=%v", body["enabled"])
+	}
+
+	p, err := core.New(core.Config{
+		DisableHeartbeat: true,
+		Intake:           intake.Config{SyslogTCP: "127.0.0.1:0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Stop() })
+	svc := p.Intake()
+	conn, err := net.Dial("tcp", svc.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "<13>Feb  5 17:32:18 web01 app: one line\n")
+	conn.Close()
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return svc.Stats().Published == 1
+	}, "line not published")
+
+	code, body = get(t, New(p), "/api/intake")
+	if code != 200 {
+		t.Fatalf("GET /api/intake (enabled) = %d", code)
+	}
+	if body["enabled"] != true {
+		t.Fatalf("enabled = %v", body["enabled"])
+	}
+	stats := body["stats"].(map[string]any)
+	if stats["accepted"].(float64) != 1 || stats["published"].(float64) != 1 {
+		t.Errorf("stats = %v", stats)
+	}
+	tenants := stats["tenants"].([]any)
+	if len(tenants) != 1 || tenants[0].(map[string]any)["tenant"] != "web01" {
+		t.Errorf("tenants = %v", tenants)
+	}
+}

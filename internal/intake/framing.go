@@ -1,0 +1,130 @@
+package intake
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxLineBytes caps one wire frame when Config.MaxLineBytes is
+// zero. A frame larger than this is an attack or a corrupt sender, not a
+// log line.
+const DefaultMaxLineBytes = 1 << 20
+
+// maxOctetDigits bounds the length prefix of an octet-counted frame: 9
+// digits admit frames up to ~1GB, far past any sane MaxLineBytes, while
+// keeping the parse overflow-free.
+const maxOctetDigits = 9
+
+// errFrame wraps all framing violations so the listener can tell a
+// protocol error (close the connection, count it) from an I/O error.
+type frameError struct{ msg string }
+
+func (e *frameError) Error() string { return "intake: " + e.msg }
+
+// IsFrameError reports whether err is a wire-framing violation (bad octet
+// count, oversized frame, truncated frame) rather than transport I/O.
+func IsFrameError(err error) bool {
+	_, ok := err.(*frameError)
+	return ok
+}
+
+// NewFrameScanner returns a scanner over a TCP syslog stream that accepts
+// both RFC 6587 transports, deciding per frame: a frame beginning with a
+// digit is octet-counted ("123 <34>...payload"), anything else is
+// non-transparent (newline-terminated, trailing \r stripped). Frames are
+// capped at max bytes (0 = DefaultMaxLineBytes); a malformed or oversized
+// frame surfaces as a frame error from Err, never a panic — the listener
+// closes that connection and the rest of the accept loop never notices.
+func NewFrameScanner(r io.Reader, max int) *bufio.Scanner {
+	if max <= 0 {
+		max = DefaultMaxLineBytes
+	}
+	sc := bufio.NewScanner(r)
+	// The buffer must hold one max-size frame plus its length prefix.
+	sc.Buffer(make([]byte, 0, 4096), max+maxOctetDigits+1)
+	sc.Split(splitFrames(max))
+	return sc
+}
+
+// splitFrames is the dual-transport bufio.SplitFunc described above.
+func splitFrames(max int) bufio.SplitFunc {
+	return func(data []byte, atEOF bool) (advance int, token []byte, err error) {
+		// Skip frame separators so "msg\r\n" and keepalive newlines don't
+		// produce empty frames.
+		start := 0
+		for start < len(data) && (data[start] == '\n' || data[start] == '\r') {
+			start++
+		}
+		if start == len(data) {
+			if atEOF {
+				return len(data), nil, nil
+			}
+			return start, nil, nil
+		}
+		if c := data[start]; c >= '0' && c <= '9' {
+			return splitOctetCounted(data, start, max, atEOF)
+		}
+		// Non-transparent framing: up to the next newline.
+		for i := start; i < len(data); i++ {
+			if data[i] == '\n' {
+				if i-start > max {
+					return 0, nil, &frameError{fmt.Sprintf("frame exceeds %d bytes", max)}
+				}
+				return i + 1, trimCR(data[start:i]), nil
+			}
+		}
+		if len(data)-start > max {
+			return 0, nil, &frameError{fmt.Sprintf("frame exceeds %d bytes", max)}
+		}
+		if atEOF {
+			// Final unterminated frame: deliver what arrived.
+			return len(data), trimCR(data[start:]), nil
+		}
+		return start, nil, nil
+	}
+}
+
+// splitOctetCounted parses "NNN SP payload" starting at data[start].
+func splitOctetCounted(data []byte, start, max int, atEOF bool) (int, []byte, error) {
+	n := 0
+	i := start
+	for ; i < len(data); i++ {
+		c := data[i]
+		if c == ' ' {
+			break
+		}
+		if c < '0' || c > '9' {
+			return 0, nil, &frameError{fmt.Sprintf("malformed octet count %q", data[start:i+1])}
+		}
+		if i-start >= maxOctetDigits {
+			return 0, nil, &frameError{"octet count too long"}
+		}
+		n = n*10 + int(c-'0')
+	}
+	if i == len(data) {
+		if atEOF {
+			return 0, nil, &frameError{"truncated octet count"}
+		}
+		return start, nil, nil // need more data for the count itself
+	}
+	if n > max {
+		return 0, nil, &frameError{fmt.Sprintf("octet count %d exceeds %d-byte frame cap", n, max)}
+	}
+	body := i + 1
+	if len(data)-body < n {
+		if atEOF {
+			return 0, nil, &frameError{fmt.Sprintf("truncated frame: %d of %d bytes", len(data)-body, n)}
+		}
+		return start, nil, nil
+	}
+	return body + n, data[body : body+n], nil
+}
+
+// trimCR strips one trailing carriage return (CRLF line endings).
+func trimCR(b []byte) []byte {
+	if len(b) > 0 && b[len(b)-1] == '\r' {
+		return b[:len(b)-1]
+	}
+	return b
+}

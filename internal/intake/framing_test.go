@@ -1,0 +1,169 @@
+package intake
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// scanAll runs the frame scanner over input and returns every frame plus
+// the terminal error.
+func scanAll(input string, max int) ([]string, error) {
+	sc := NewFrameScanner(strings.NewReader(input), max)
+	var frames []string
+	for sc.Scan() {
+		frames = append(frames, sc.Text())
+	}
+	return frames, sc.Err()
+}
+
+func TestFramingNewline(t *testing.T) {
+	frames, err := scanAll("<34>one\n<34>two\r\n<34>three", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<34>one", "<34>two", "<34>three"}
+	if fmt.Sprint(frames) != fmt.Sprint(want) {
+		t.Errorf("frames = %q, want %q", frames, want)
+	}
+}
+
+func TestFramingOctetCounted(t *testing.T) {
+	frames, err := scanAll("7 <34>abc11 <34>defghij", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<34>abc", "<34>defghij"}
+	if fmt.Sprint(frames) != fmt.Sprint(want) {
+		t.Errorf("frames = %q, want %q", frames, want)
+	}
+}
+
+func TestFramingMixedTransports(t *testing.T) {
+	// RFC 6587 servers must take the transport per frame: a newline frame
+	// followed by an octet-counted one and back.
+	frames, err := scanAll("<34>newline framed\n9 <34>octet<34>newline again\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<34>newline framed", "<34>octet", "<34>newline again"}
+	if fmt.Sprint(frames) != fmt.Sprint(want) {
+		t.Errorf("frames = %q, want %q", frames, want)
+	}
+}
+
+func TestFramingOctetPayloadWithNewlines(t *testing.T) {
+	// Octet counting exists so payloads may contain raw newlines.
+	frames, err := scanAll("10 <34>a\nb\r\nc4 <34>", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<34>a\nb\r\nc", "<34>"}
+	if fmt.Sprint(frames) != fmt.Sprint(want) {
+		t.Errorf("frames = %q, want %q", frames, want)
+	}
+}
+
+func TestFramingErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		max   int
+	}{
+		{"oversized newline frame", strings.Repeat("x", 100), 64},
+		{"oversized octet count", "500 hello", 64},
+		{"octet count too long", "9999999999 x", 0},
+		{"truncated octet frame", "10 short", 0},
+		{"truncated count", "123", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frames, err := scanAll(tc.input, tc.max)
+			if err == nil {
+				t.Fatalf("scanAll(%q) = %q, want frame error", tc.input, frames)
+			}
+			if !IsFrameError(err) {
+				t.Fatalf("scanAll(%q) error %v is not a frame error", tc.input, err)
+			}
+		})
+	}
+}
+
+func TestFramingFinalUnterminated(t *testing.T) {
+	frames, err := scanAll("<34>complete\n<34>no trailing newline", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || frames[1] != "<34>no trailing newline" {
+		t.Errorf("frames = %q, want final unterminated frame delivered", frames)
+	}
+}
+
+func TestFramingSeparatorsOnly(t *testing.T) {
+	frames, err := scanAll("\n\r\n\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 0 {
+		t.Errorf("frames = %q, want none for separators only", frames)
+	}
+}
+
+// TestFramingDribble: frames arriving one byte at a time (the slow-link
+// case) must assemble identically to a single write.
+func TestFramingDribble(t *testing.T) {
+	input := "7 <34>abc<34>newline\n11 <34>payload"
+	sc := NewFrameScanner(iotest1ByteReader{strings.NewReader(input)}, 0)
+	var frames []string
+	for sc.Scan() {
+		frames = append(frames, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<34>abc", "<34>newline", "<34>payload"}
+	if fmt.Sprint(frames) != fmt.Sprint(want) {
+		t.Errorf("frames = %q, want %q", frames, want)
+	}
+}
+
+type iotest1ByteReader struct{ r io.Reader }
+
+func (r iotest1ByteReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return r.r.Read(p[:1])
+}
+
+// FuzzOctetCountedFraming: arbitrary byte streams may produce frames or a
+// frame error but never a panic, an over-cap frame, or a lost byte
+// budget (the scanner must always terminate).
+func FuzzOctetCountedFraming(f *testing.F) {
+	f.Add([]byte("7 <34>abc"))
+	f.Add([]byte("<34>newline\n"))
+	f.Add([]byte("999999999 x"))
+	f.Add([]byte("3 ab"))
+	f.Add([]byte("0 "))
+	f.Add([]byte("00000000000000007 payload"))
+	f.Add([]byte("\n\r\n12 <34>a\nb\r\nc"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const max = 512
+		sc := NewFrameScanner(bytes.NewReader(data), max)
+		total := 0
+		for sc.Scan() {
+			if n := len(sc.Bytes()); n > max {
+				t.Fatalf("frame of %d bytes exceeds cap %d", n, max)
+			}
+			total += len(sc.Bytes())
+			if total > len(data) {
+				t.Fatalf("frames total %d bytes from %d input bytes", total, len(data))
+			}
+		}
+		if err := sc.Err(); err != nil && !IsFrameError(err) {
+			t.Fatalf("non-frame error from in-memory stream: %v", err)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package intake
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+)
+
+// maxIngestBody caps one POST /api/ingest request body. Bulk senders
+// wanting more throughput open more requests, not bigger ones — bigger
+// bodies just move the bounded queue into the HTTP layer.
+const maxIngestBody = 8 << 20
+
+// IngestRequest is the POST /api/ingest body: a batch of raw log lines
+// for one tenant.
+type IngestRequest struct {
+	// Tenant keys rate limiting and downstream source attribution
+	// (default: the service's default tenant).
+	Tenant string `json:"tenant"`
+	// Lines are the raw log lines; empty lines are ignored.
+	Lines []string `json:"lines"`
+}
+
+// IngestResponse reports the fate of every line in the batch. Partial
+// admission is normal under rate limiting: the client re-sends the shed
+// tail after a backoff.
+type IngestResponse struct {
+	Accepted  int    `json:"accepted"`
+	Shed      int    `json:"shed"`
+	ShedRate  int    `json:"shedRate"`
+	ShedQueue int    `json:"shedQueue"`
+	Error     string `json:"error,omitempty"`
+}
+
+// httpServer wraps net/http for the ingest endpoint.
+type httpServer struct {
+	srv *http.Server
+}
+
+func newHTTPServer(s *Service) *httpServer {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/ingest", s.handleIngest)
+	return &httpServer{srv: &http.Server{Handler: mux}}
+}
+
+func (h *httpServer) serve(ln net.Listener) {
+	err := h.srv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+		// Serve only returns on listener failure; shutdown closes the
+		// listener deliberately and is filtered above.
+		_ = err
+	}
+}
+
+// shutdown waits for in-flight requests within ctx's grace; force (or an
+// expired grace) closes connections outright.
+func (h *httpServer) shutdown(ctx context.Context, force bool) {
+	if force {
+		h.srv.Close()
+		return
+	}
+	if err := h.srv.Shutdown(ctx); err != nil {
+		h.srv.Close()
+	}
+}
+
+// handleIngest is POST /api/ingest: decode the batch, admit what the
+// tenant's rate and the queue allow, and report the split. All-shed
+// batches surface as 429 (rate) or 503 (queue/shutdown) so clients back
+// off; partial admission returns 200 with the counts.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, IngestResponse{Error: "POST required"})
+		return
+	}
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	lines := req.Lines[:0]
+	for _, ln := range req.Lines {
+		if ln != "" {
+			lines = append(lines, ln)
+		}
+	}
+	if len(lines) == 0 {
+		writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "no lines"})
+		return
+	}
+	if !s.producerEnter() {
+		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Shed: len(lines), Error: "shutting down"})
+		return
+	}
+	defer s.producerExit()
+
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	ts := s.tenant(tenant)
+	s.accept(ts, len(lines))
+	for _, ln := range lines {
+		s.bytesTotal.Add(uint64(len(ln)))
+	}
+
+	var resp IngestResponse
+	granted := s.limiter.TakeN(tenant, len(lines))
+	for _, ln := range lines[:granted] {
+		if s.enqueue(tenant, ts, []byte(ln), false) {
+			resp.Accepted++
+		} else {
+			resp.ShedQueue++ // enqueue already accounted the shed
+		}
+	}
+	if over := len(lines) - granted; over > 0 {
+		resp.ShedRate = over
+		s.shed(tenant, ts, ShedRate, over)
+	}
+	resp.Shed = resp.ShedRate + resp.ShedQueue
+
+	status := http.StatusOK
+	if resp.Accepted == 0 {
+		if resp.ShedQueue > 0 {
+			status = http.StatusServiceUnavailable
+		} else {
+			status = http.StatusTooManyRequests
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,75 @@
+package intake
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/obs"
+	"loglens/internal/testutil"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	for _, cfg := range []Config{
+		{SyslogUDP: ":0"}, {SyslogTCP: ":0"}, {HTTP: ":0"},
+	} {
+		if !cfg.Enabled() {
+			t.Errorf("config %+v reports disabled", cfg)
+		}
+	}
+}
+
+func TestFrameErrorMessage(t *testing.T) {
+	_, err := scanAll("9999999999 x", 0)
+	if err == nil || !strings.HasPrefix(err.Error(), "intake: ") {
+		t.Errorf("frame error = %v, want intake: prefix", err)
+	}
+}
+
+// TestProbeLifecycle walks the intake health probe through its states:
+// not started, healthy, queue nearly full (shedding imminent), stopped.
+func TestProbeLifecycle(t *testing.T) {
+	block := make(chan struct{})
+	svc := New(Config{SyslogUDP: "127.0.0.1:0", QueueDepth: 10},
+		func(string, uint64, []byte) { <-block })
+
+	if pr := svc.Probe(); pr.Status != obs.Degraded || !strings.Contains(pr.Detail, "not started") {
+		t.Errorf("pre-start probe = %+v", pr)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if pr := svc.Probe(); pr.Status != obs.Healthy {
+		t.Errorf("started probe = %+v", pr)
+	}
+
+	// Stall the sink and fill the queue past 90%: the probe must warn
+	// before sheds begin.
+	conn, err := net.Dial("udp", svc.UDPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(conn, "<13>queue filler %d", i)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return svc.Stats().QueueDepth*10 >= svc.Stats().QueueCapacity*9
+	}, "queue never filled")
+	if pr := svc.Probe(); pr.Status != obs.Degraded || !strings.Contains(pr.Detail, "shedding imminent") {
+		t.Errorf("full-queue probe = %+v", pr)
+	}
+
+	close(block)
+	// Close is the abort path: a grace-expired error is its normal
+	// return when lines were still in flight.
+	svc.Close()
+	if pr := svc.Probe(); pr.Status != obs.Degraded || !strings.Contains(pr.Detail, "stopped") {
+		t.Errorf("stopped probe = %+v", pr)
+	}
+}

@@ -1,0 +1,101 @@
+package intake
+
+import (
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+)
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	fc := clock.NewFake()
+	l := NewLimiter(fc, 10, 5)
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Take("t1"); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, wait := l.Take("t1")
+	if ok {
+		t.Fatal("take beyond burst granted")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait = %v, want (0, 100ms] at 10 lines/sec", wait)
+	}
+	fc.Advance(wait)
+	if ok, _ := l.Take("t1"); !ok {
+		t.Fatal("take after advised wait still refused")
+	}
+}
+
+func TestLimiterTenantIsolation(t *testing.T) {
+	fc := clock.NewFake()
+	l := NewLimiter(fc, 100, 10)
+	for i := 0; i < 10; i++ {
+		l.Take("flooder")
+	}
+	if ok, _ := l.Take("flooder"); ok {
+		t.Fatal("flooder not capped")
+	}
+	// The flooder's exhaustion must not touch another tenant's bucket.
+	if ok, _ := l.Take("compliant"); !ok {
+		t.Fatal("compliant tenant refused because another tenant flooded")
+	}
+	if got := l.Tenants(); got != 2 {
+		t.Fatalf("Tenants() = %d, want 2", got)
+	}
+}
+
+func TestLimiterSteadyRate(t *testing.T) {
+	fc := clock.NewFake()
+	l := NewLimiter(fc, 50, 1)
+	granted := 0
+	// Drain the burst, then walk 2 simulated seconds in 10ms steps.
+	for ok, _ := l.Take("t"); ok; ok, _ = l.Take("t") {
+		granted++
+	}
+	for i := 0; i < 200; i++ {
+		fc.Advance(10 * time.Millisecond)
+		for {
+			ok, _ := l.Take("t")
+			if !ok {
+				break
+			}
+			granted++
+		}
+	}
+	// 1 burst token + 2s * 50/s.
+	if granted < 100 || granted > 101 {
+		t.Fatalf("granted %d tokens over 2s at 50/s burst 1, want 100-101", granted)
+	}
+}
+
+func TestLimiterTakeN(t *testing.T) {
+	fc := clock.NewFake()
+	l := NewLimiter(fc, 10, 10)
+	if got := l.TakeN("t", 7); got != 7 {
+		t.Fatalf("TakeN(7) with 10 tokens = %d", got)
+	}
+	if got := l.TakeN("t", 7); got != 3 {
+		t.Fatalf("TakeN(7) with 3 tokens = %d", got)
+	}
+	if got := l.TakeN("t", 7); got != 0 {
+		t.Fatalf("TakeN(7) with 0 tokens = %d", got)
+	}
+	fc.Advance(time.Second)
+	if got := l.TakeN("t", 100); got != 10 {
+		t.Fatalf("TakeN(100) after 1s refill = %d, want 10 (burst cap)", got)
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	l := NewLimiter(clock.NewFake(), 0, 0)
+	for i := 0; i < 10_000; i++ {
+		if ok, _ := l.Take("t"); !ok {
+			t.Fatal("rate 0 must never refuse")
+		}
+	}
+	if got := l.TakeN("t", 1<<20); got != 1<<20 {
+		t.Fatalf("TakeN unlimited = %d", got)
+	}
+}

@@ -1,0 +1,273 @@
+// Package intake is the network front door of the service: syslog
+// listeners over UDP and TCP (RFC 3164 and RFC 5424 payloads, newline and
+// RFC 6587 octet-counted TCP framing) and an HTTP/JSON bulk endpoint, all
+// feeding the pipeline through a bounded multi-tenant admission layer —
+// per-tenant token-bucket rate limits, a bounded intake queue with
+// accounted load shedding, slow-consumer isolation, and backpressure that
+// stops reading from sockets (letting TCP flow control push back on the
+// sender) instead of growing memory.
+//
+// The paper's deployment receives logs from a fleet of collector agents;
+// this package is what stands between that fleet — including its hostile,
+// misconfigured, and flooding members — and the analysis tier. Everything
+// a client does lands in one of four accounted outcomes: published
+// downstream, shed by the rate limiter, shed by the full queue, or shed at
+// shutdown. accepted == published + shed always holds, which is what lets
+// the conservation tests extend the lines-in == lines-out invariant across
+// the network boundary.
+package intake
+
+import (
+	"fmt"
+	"time"
+)
+
+// Severity names per RFC 5424 §6.2.1 (identical in RFC 3164).
+var severityNames = [8]string{
+	"emerg", "alert", "crit", "err", "warning", "notice", "info", "debug",
+}
+
+// SeverityName returns the RFC 5424 keyword for a severity code (0-7).
+func SeverityName(s int) string {
+	if s < 0 || s > 7 {
+		return "unknown"
+	}
+	return severityNames[s]
+}
+
+// Message is one parsed syslog message. The parser is deliberately
+// permissive: real fleets emit slightly-wrong syslog constantly, and a
+// front door that rejects them sheds data the analysis tier wants. Fields
+// that cannot be recovered are left zero and the raw content is preserved
+// in Msg.
+type Message struct {
+	// Facility and Severity decode the <PRI> header (facility*8+severity).
+	Facility int
+	Severity int
+	// Time is the embedded timestamp; HasTime reports whether one parsed.
+	Time    time.Time
+	HasTime bool
+	// Hostname identifies the sender — the intake layer's tenant key.
+	Hostname string
+	// App is the RFC 5424 APP-NAME or the RFC 3164 tag (when present).
+	App string
+	// Msg is the free-form message content.
+	Msg string
+	// RFC is 3164 or 5424, or 0 when the payload matched neither shape
+	// (the whole payload is then preserved in Msg).
+	RFC int
+}
+
+// rfc3164Layouts are the timestamp layouts RFC 3164 senders actually
+// emit: the canonical asctime form plus the common ISO variant many
+// daemons substitute.
+var rfc3164Layouts = []string{
+	time.Stamp, // "Jan _2 15:04:05"
+}
+
+// ParseSyslog decodes a syslog payload, accepting both RFC 3164 and
+// RFC 5424 shapes. It never panics on any input; when the payload matches
+// neither shape it returns an error and a Message whose Msg holds the
+// payload verbatim, so callers can still forward the data raw.
+func ParseSyslog(b []byte) (Message, error) {
+	var m Message
+	pri, rest, ok := parsePRI(b)
+	if !ok {
+		m.Msg = string(b)
+		return m, fmt.Errorf("intake: no <PRI> header")
+	}
+	m.Facility, m.Severity = pri/8, pri%8
+	if len(rest) >= 2 && rest[0] == '1' && rest[1] == ' ' {
+		if err := parseRFC5424(rest[2:], &m); err != nil {
+			m.Msg = string(rest)
+			return m, err
+		}
+		m.RFC = 5424
+		return m, nil
+	}
+	parseRFC3164(rest, &m)
+	m.RFC = 3164
+	return m, nil
+}
+
+// parsePRI decodes the "<NNN>" priority header, returning the value and
+// the remainder. The RFC caps PRI at 191 and three digits.
+func parsePRI(b []byte) (int, []byte, bool) {
+	if len(b) < 3 || b[0] != '<' {
+		return 0, nil, false
+	}
+	pri := 0
+	i := 1
+	for ; i < len(b) && i <= 4; i++ {
+		c := b[i]
+		if c == '>' {
+			if i == 1 {
+				return 0, nil, false
+			}
+			if pri > 191 {
+				return 0, nil, false
+			}
+			return pri, b[i+1:], true
+		}
+		if c < '0' || c > '9' {
+			return 0, nil, false
+		}
+		pri = pri*10 + int(c-'0')
+	}
+	return 0, nil, false
+}
+
+// parseRFC5424 decodes "TIMESTAMP HOSTNAME APP-NAME PROCID MSGID
+// STRUCTURED-DATA [MSG]" after the version field. Nil-value fields are
+// "-" per the RFC.
+func parseRFC5424(b []byte, m *Message) error {
+	ts, rest := nextField(b)
+	if ts == "" {
+		return fmt.Errorf("intake: rfc5424: missing timestamp")
+	}
+	if ts != "-" {
+		t, err := time.Parse(time.RFC3339Nano, ts)
+		if err != nil {
+			return fmt.Errorf("intake: rfc5424: bad timestamp %q", ts)
+		}
+		m.Time, m.HasTime = t, true
+	}
+	host, rest := nextField(rest)
+	if host != "-" {
+		m.Hostname = host
+	}
+	app, rest := nextField(rest)
+	if app != "-" {
+		m.App = app
+	}
+	_, rest = nextField(rest) // PROCID
+	_, rest = nextField(rest) // MSGID
+	rest, err := skipStructuredData(rest)
+	if err != nil {
+		return err
+	}
+	// Optional BOM before the message body.
+	if len(rest) >= 3 && rest[0] == 0xEF && rest[1] == 0xBB && rest[2] == 0xBF {
+		rest = rest[3:]
+	}
+	m.Msg = string(rest)
+	return nil
+}
+
+// nextField cuts the next space-delimited field off b.
+func nextField(b []byte) (string, []byte) {
+	for i := 0; i < len(b); i++ {
+		if b[i] == ' ' {
+			return string(b[:i]), b[i+1:]
+		}
+	}
+	return string(b), nil
+}
+
+// skipStructuredData consumes the STRUCTURED-DATA element ("-" or one or
+// more [id k="v"...] blocks, where values escape `\]` per the RFC) and
+// returns the remainder after the separating space, if any.
+func skipStructuredData(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if b[0] == '-' {
+		if len(b) > 1 && b[1] == ' ' {
+			return b[2:], nil
+		}
+		return b[1:], nil
+	}
+	if b[0] != '[' {
+		return nil, fmt.Errorf("intake: rfc5424: malformed structured data")
+	}
+	i := 0
+	for i < len(b) && b[i] == '[' {
+		i++
+		inQuote := false
+		closed := false
+		for ; i < len(b); i++ {
+			c := b[i]
+			if inQuote {
+				if c == '\\' && i+1 < len(b) {
+					i++ // escaped char inside a param value
+					continue
+				}
+				if c == '"' {
+					inQuote = false
+				}
+				continue
+			}
+			if c == '"' {
+				inQuote = true
+				continue
+			}
+			if c == ']' {
+				i++
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return nil, fmt.Errorf("intake: rfc5424: unterminated structured data")
+		}
+	}
+	if i < len(b) && b[i] == ' ' {
+		i++
+	}
+	return b[i:], nil
+}
+
+// parseRFC3164 decodes the legacy "TIMESTAMP HOSTNAME TAG: MSG" shape.
+// Every part is optional in the wild, so recovery is best-effort: a
+// missing timestamp leaves HasTime false and treats the remainder as
+// hostname + msg; a missing hostname leaves the tenant to the listener
+// default.
+func parseRFC3164(b []byte, m *Message) {
+	rest := b
+	for _, layout := range rfc3164Layouts {
+		n := len(layout)
+		if len(rest) >= n {
+			if t, err := time.Parse(layout, string(rest[:n])); err == nil {
+				m.Time, m.HasTime = t, true
+				rest = rest[n:]
+				if len(rest) > 0 && rest[0] == ' ' {
+					rest = rest[1:]
+				}
+				break
+			}
+		}
+	}
+	if m.HasTime {
+		// "HOSTNAME TAG: MSG" — hostname only follows a valid timestamp;
+		// without one the first token is almost always message content.
+		host, after := nextField(rest)
+		if host != "" && after != nil {
+			m.Hostname = host
+			rest = after
+		}
+	}
+	// Optional "tag[pid]:" prefix.
+	if i := indexByte(rest, ':'); i > 0 && i <= 32 && !containsByte(rest[:i], ' ') {
+		tag := rest[:i]
+		if j := indexByte(tag, '['); j > 0 {
+			tag = tag[:j]
+		}
+		m.App = string(tag)
+		rest = rest[i+1:]
+		if len(rest) > 0 && rest[0] == ' ' {
+			rest = rest[1:]
+		}
+	}
+	m.Msg = string(rest)
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsByte(b []byte, c byte) bool { return indexByte(b, c) >= 0 }

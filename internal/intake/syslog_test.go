@@ -1,0 +1,208 @@
+package intake
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSyslogRFC5424(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want Message
+	}{
+		{
+			name: "full",
+			in:   `<34>1 2003-10-11T22:14:15.003Z mymachine.example.com su 1234 ID47 - 'su root' failed for lonvick`,
+			want: Message{
+				Facility: 4, Severity: 2, RFC: 5424,
+				Time:    time.Date(2003, 10, 11, 22, 14, 15, 3_000_000, time.UTC),
+				HasTime: true, Hostname: "mymachine.example.com", App: "su",
+				Msg: `'su root' failed for lonvick`,
+			},
+		},
+		{
+			name: "nil fields",
+			in:   `<165>1 - - - - - - payload only`,
+			want: Message{Facility: 20, Severity: 5, RFC: 5424, Msg: "payload only"},
+		},
+		{
+			name: "structured data",
+			in:   `<165>1 2003-10-11T22:14:15Z host app - - [exampleSDID@32473 iut="3" eventSource="App \] weird"] body here`,
+			want: Message{
+				Facility: 20, Severity: 5, RFC: 5424,
+				Time:    time.Date(2003, 10, 11, 22, 14, 15, 0, time.UTC),
+				HasTime: true, Hostname: "host", App: "app", Msg: "body here",
+			},
+		},
+		{
+			name: "two SD elements no msg",
+			in:   `<165>1 - host app - - [a x="1"][b y="2"]`,
+			want: Message{Facility: 20, Severity: 5, RFC: 5424, Hostname: "host", App: "app"},
+		},
+		{
+			name: "BOM message",
+			in:   "<165>1 - host app - - - \xEF\xBB\xBFbom body",
+			want: Message{Facility: 20, Severity: 5, RFC: 5424, Hostname: "host", App: "app", Msg: "bom body"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSyslog([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("ParseSyslog(%q) error: %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseSyslog(%q)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSyslogRFC3164(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want Message
+	}{
+		{
+			name: "canonical",
+			in:   `<34>Oct 11 22:14:15 mymachine su: 'su root' failed for lonvick on /dev/pts/8`,
+			want: Message{
+				Facility: 4, Severity: 2, RFC: 3164,
+				Time:    time.Date(0, 10, 11, 22, 14, 15, 0, time.UTC),
+				HasTime: true, Hostname: "mymachine", App: "su",
+				Msg: `'su root' failed for lonvick on /dev/pts/8`,
+			},
+		},
+		{
+			name: "tag with pid",
+			in:   `<13>Feb  5 17:32:18 web01 sshd[4721]: session opened`,
+			want: Message{
+				Facility: 1, Severity: 5, RFC: 3164,
+				Time:    time.Date(0, 2, 5, 17, 32, 18, 0, time.UTC),
+				HasTime: true, Hostname: "web01", App: "sshd",
+				Msg: "session opened",
+			},
+		},
+		{
+			name: "no timestamp",
+			in:   `<13>plain message without timestamp`,
+			want: Message{Facility: 1, Severity: 5, RFC: 3164, Msg: "plain message without timestamp"},
+		},
+		{
+			name: "no tag",
+			in:   `<13>Feb  5 17:32:18 web01 free-form message`,
+			want: Message{
+				Facility: 1, Severity: 5, RFC: 3164,
+				Time:    time.Date(0, 2, 5, 17, 32, 18, 0, time.UTC),
+				HasTime: true, Hostname: "web01", Msg: "free-form message",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSyslog([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("ParseSyslog(%q) error: %v", tc.in, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseSyslog(%q)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// malformedCorpus is the deterministic malformed-input table: every entry
+// has broken syslog framing or headers, must parse without panic, and —
+// because the front door forwards rather than discards — must leave the
+// payload recoverable via Msg.
+var malformedCorpus = []string{
+	"",
+	"<",
+	"<>",
+	"<1",
+	"<abc>ok",
+	"<999>too big a priority",
+	"<1922>four digit priority",
+	"<34>",
+	"<34>1",
+	"<34>1 ",
+	"<165>1 not-a-timestamp host app - - - body",
+	"<165>1 2003-10-11T22:14:15Z host app - - [unterminated body",
+	"<165>1 2003-10-11T22:14:15Z host app - - }bad-sd body",
+	"<13>Oct 99 99:99:99 impossible timestamp",
+	"no pri at all",
+	"\x00\x01\x02 binary garbage",
+	strings.Repeat("<34>", 1000),
+	"<34>Oct 11 22:14:15 " + strings.Repeat("x", 4096),
+	"<165>1 - - - - - \xff\xfe invalid utf8 \xff",
+	"123 <34>octet count leaked into payload",
+}
+
+// TestParseSyslogMalformed: no corpus entry may panic, and entries with a
+// recoverable PRI keep their facility/severity split while the rest
+// surface the payload verbatim.
+func TestParseSyslogMalformed(t *testing.T) {
+	for _, in := range malformedCorpus {
+		m, err := ParseSyslog([]byte(in))
+		if err != nil {
+			// Unparseable: the contract is payload preservation.
+			if m.Msg == "" && in != "" && m.RFC == 0 {
+				t.Errorf("ParseSyslog(%q): error %v but payload not preserved", in, err)
+			}
+			continue
+		}
+		if m.Severity < 0 || m.Severity > 7 {
+			t.Errorf("ParseSyslog(%q): severity %d out of range", in, m.Severity)
+		}
+	}
+}
+
+func TestSeverityName(t *testing.T) {
+	if got := SeverityName(3); got != "err" {
+		t.Errorf("SeverityName(3) = %q, want err", got)
+	}
+	if got := SeverityName(42); got != "unknown" {
+		t.Errorf("SeverityName(42) = %q, want unknown", got)
+	}
+}
+
+// FuzzSyslogRFC3164 asserts ParseSyslog never panics and never loses the
+// facility/severity split on inputs shaped like legacy syslog.
+func FuzzSyslogRFC3164(f *testing.F) {
+	f.Add("<34>Oct 11 22:14:15 mymachine su: 'su root' failed")
+	f.Add("<13>Feb  5 17:32:18 web01 sshd[4721]: session opened")
+	f.Add("<13>no timestamp here")
+	f.Add("<0>")
+	for _, c := range malformedCorpus {
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ParseSyslog([]byte(in))
+		if err != nil {
+			return
+		}
+		if m.Facility < 0 || m.Facility > 23 || m.Severity < 0 || m.Severity > 7 {
+			t.Fatalf("ParseSyslog(%q): PRI out of range: %+v", in, m)
+		}
+		if m.RFC != 3164 && m.RFC != 5424 {
+			t.Fatalf("ParseSyslog(%q): nil error but RFC = %d", in, m.RFC)
+		}
+	})
+}
+
+// FuzzSyslogRFC5424 drives the structured-data and timestamp paths.
+func FuzzSyslogRFC5424(f *testing.F) {
+	f.Add(`<34>1 2003-10-11T22:14:15.003Z mymachine su 1234 ID47 - msg`)
+	f.Add(`<165>1 - - - - - -`)
+	f.Add(`<165>1 - h a - - [x k="v \] esc"][y] body`)
+	f.Add(`<165>1 - h a - - [never closed`)
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ParseSyslog([]byte(in))
+		if err == nil && m.RFC == 5424 && m.HasTime && m.Time.IsZero() {
+			t.Fatalf("ParseSyslog(%q): HasTime with zero time", in)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package intake
+
+import (
+	"net"
+
+	"loglens/internal/obs"
+)
+
+// runTCP is the syslog-TCP accept loop. Each connection gets its own
+// goroutine reading frames through NewFrameScanner, so a slow or stalled
+// peer occupies one goroutine and its socket buffers — never the accept
+// loop or another connection.
+func (s *Service) runTCP() {
+	defer s.producerExit()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+			default:
+				s.tcpDead.Store(true)
+			}
+			return
+		}
+		if s.active.Load() >= int64(s.cfg.MaxConns) {
+			// At the cap: refuse outright rather than queue accepts. The
+			// client sees a close and retries; we stay bounded.
+			s.connsRejected.Inc()
+			s.events.Record(obs.EventIntakeConnRejected, conn.RemoteAddr().String(), "conn cap", 1)
+			conn.Close()
+			continue
+		}
+		if !s.producerEnter() {
+			conn.Close()
+			return
+		}
+		s.active.Add(1)
+		s.connsActive.Set(s.active.Load())
+		s.connsTotal.Inc()
+		s.trackConn(conn)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn reads one syslog-TCP connection to completion: frame, parse,
+// admit (blocking — this read loop pausing is the backpressure), repeat.
+// Any framing violation closes the connection; the peer is misbehaving
+// and resynchronizing a length-prefixed stream is guesswork.
+func (s *Service) handleConn(conn net.Conn) {
+	defer func() {
+		s.untrackConn(conn)
+		conn.Close()
+		s.active.Add(-1)
+		s.connsActive.Set(s.active.Load())
+		s.producerExit()
+	}()
+	sc := NewFrameScanner(conn, s.cfg.MaxLineBytes)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(s.clk.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil && IsFrameError(err) {
+				s.frameErrTotal.Inc()
+			}
+			return
+		}
+		frame := sc.Bytes()
+		if len(frame) == 0 {
+			continue
+		}
+		s.bytesTotal.Add(uint64(len(frame)))
+		tenant, payload := s.resolveSyslog(frame)
+		ts := s.tenant(tenant)
+		s.accept(ts, 1)
+		if !s.admitBlocking(tenant, ts, payload) {
+			// Shutdown aborted the admission wait; the line was accounted
+			// as shed. Stop reading.
+			return
+		}
+	}
+}
+
+// resolveSyslog parses a syslog frame into (tenant, payload to publish).
+// The tenant is the syslog hostname when one parsed, else the configured
+// default. Unparseable payloads are forwarded verbatim under the default
+// tenant — the front door never discards data just for being malformed;
+// the downstream parser quarantines what it must.
+func (s *Service) resolveSyslog(frame []byte) (string, []byte) {
+	m, err := ParseSyslog(frame)
+	if err != nil || m.Msg == "" {
+		s.malformedTotal.Inc()
+		return s.cfg.DefaultTenant, append([]byte(nil), frame...)
+	}
+	tenant := m.Hostname
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	return tenant, []byte(m.Msg)
+}

@@ -1,0 +1,46 @@
+package intake
+
+// maxUDPDatagram is the largest syslog datagram we read; RFC 5426 caps
+// practical payloads well below this.
+const maxUDPDatagram = 64 * 1024
+
+// runUDP is the syslog-UDP read loop. One datagram is one message (RFC
+// 5426); there is no flow control to lean on, so over-rate or over-queue
+// datagrams are shed with accounting rather than blocked on — blocking
+// would just move the loss into the kernel's socket buffer, unaccounted.
+func (s *Service) runUDP() {
+	defer s.producerExit()
+	buf := make([]byte, maxUDPDatagram)
+	for {
+		n, _, err := s.udpConn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.closing:
+			default:
+				s.udpDead.Store(true)
+			}
+			return
+		}
+		if n == 0 {
+			continue
+		}
+		frame := trimTrailingNewlines(buf[:n])
+		if len(frame) == 0 {
+			continue
+		}
+		s.bytesTotal.Add(uint64(len(frame)))
+		tenant, payload := s.resolveSyslog(frame)
+		ts := s.tenant(tenant)
+		s.accept(ts, 1)
+		s.admitDropping(tenant, ts, payload)
+	}
+}
+
+// trimTrailingNewlines strips trailing \n/\r some senders append to
+// datagrams.
+func trimTrailingNewlines(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

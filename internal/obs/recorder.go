@@ -53,6 +53,13 @@ const (
 	// EventCheckpoint: a checkpoint generation was saved or restored
 	// (recovery).
 	EventCheckpoint EventType = "checkpoint"
+	// EventIntakeShed: the intake admission layer refused lines — Source
+	// is the tenant, Detail the shed reason, Value the line count
+	// (intake).
+	EventIntakeShed EventType = "intake-shed"
+	// EventIntakeConnRejected: a TCP connection was refused at the
+	// concurrency cap (intake).
+	EventIntakeConnRejected EventType = "intake-conn-rejected"
 )
 
 // Event is one flight-recorder entry. All fields are fixed-shape so
