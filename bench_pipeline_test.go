@@ -23,13 +23,14 @@ import (
 // waits for them to drain. sources controls partition spread: each
 // source keys to one partition, so one source exercises the serial path
 // and several sources exercise parallel partitions.
-func benchPipeline(b *testing.B, partitions, sources int) {
+func benchPipeline(b *testing.B, partitions, sources int, disableLatency bool) {
 	setup(b)
 	p, err := core.New(core.Config{
 		Partitions:            partitions,
 		BatchInterval:         time.Millisecond,
 		DisableHeartbeat:      true,
 		DisableAnomalyStorage: true,
+		DisableLatency:        disableLatency,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -66,7 +67,8 @@ func benchPipeline(b *testing.B, partitions, sources int) {
 }
 
 // BenchmarkPipelineThroughput is the e2e headline benchmark: ns/op is
-// the full-pipeline cost per log line.
+// the full-pipeline cost per log line, with the latency/freshness
+// instrumentation on (the production default).
 func BenchmarkPipelineThroughput(b *testing.B) {
 	for _, c := range []struct {
 		name                string
@@ -76,7 +78,25 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		{"p4", 4, 4},
 	} {
 		b.Run(c.name, func(b *testing.B) {
-			benchPipeline(b, c.partitions, c.sources)
+			benchPipeline(b, c.partitions, c.sources, false)
+		})
+	}
+}
+
+// BenchmarkPipelineThroughputNoLatency is the Config.DisableLatency
+// variant: diffing it against BenchmarkPipelineThroughput isolates the
+// cost of the latency/freshness plane (BENCH_PR8.txt). Not benchguard
+// gated — the guarded numbers are the enabled path.
+func BenchmarkPipelineThroughputNoLatency(b *testing.B) {
+	for _, c := range []struct {
+		name                string
+		partitions, sources int
+	}{
+		{"p1", 1, 1},
+		{"p4", 4, 4},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			benchPipeline(b, c.partitions, c.sources, true)
 		})
 	}
 }

@@ -63,9 +63,15 @@ type options struct {
 	listenHTTP   string
 	tenantRate   int
 	intakeQueue  int
+	sloE2EMs     int
 }
 
 func main() {
+	// Subcommands dispatch before flag parsing; everything else is the
+	// classic train-and-stream invocation.
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(watchMain(os.Args[2:]))
+	}
 	var o options
 	flag.StringVar(&o.trainPath, "train", "", "training log file (required unless -load-model)")
 	flag.StringVar(&o.streamPath, "stream", "", "log file to analyze ('-' for stdin; required)")
@@ -91,6 +97,7 @@ func main() {
 	flag.StringVar(&o.listenHTTP, "listen-http", "", "accept JSON log batches via POST /api/ingest on this address (e.g. :5515)")
 	flag.IntVar(&o.tenantRate, "tenant-rate", 0, "per-tenant intake rate limit in lines/sec (0 = unlimited); TCP senders over it are slowed, UDP/HTTP lines shed")
 	flag.IntVar(&o.intakeQueue, "intake-queue", 0, "bounded intake queue depth between the listeners and the bus (0 = default 8192)")
+	flag.IntVar(&o.sloE2EMs, "slo-e2e-ms", 0, "end-to-end latency SLO in milliseconds: lines slower than this count in latency_slo_breach_total and /api/latency (0 disables)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -122,6 +129,7 @@ func run(o options) error {
 		DisableHeartbeat: o.hbInterval <= 0,
 		Heartbeat:        heartbeat.Config{Interval: o.hbInterval},
 		ArchiveLogs:      true,
+		SLOE2E:           time.Duration(o.sloE2EMs) * time.Millisecond,
 		Builder:          modelmgr.BuilderConfig{VolumeWindow: o.volumeWindow},
 		Recovery:         core.RecoveryConfig{Dir: o.ckptDir, Interval: o.ckptInterval},
 		Intake: intake.Config{

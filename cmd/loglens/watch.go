@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/watch"
+)
+
+// watchMain is the `loglens watch` subcommand: a live ANSI terminal
+// dashboard over a running LogLens dashboard server. It subscribes to
+// the SSE metrics stream and re-renders one frame per server tick,
+// polling the flight recorder and health probes alongside.
+//
+//	loglens watch -addr localhost:8080
+func watchMain(args []string) int {
+	fs := flag.NewFlagSet("loglens watch", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "dashboard server address or base URL")
+	interval := fs.Duration("interval", time.Second, "refresh cadence (the SSE stream interval)")
+	frames := fs.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
+	fs.Parse(args)
+	if err := runWatch(*addr, *interval, *frames, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loglens watch:", err)
+		return 1
+	}
+	return 0
+}
+
+// runWatch drives the dashboard loop against a live server, writing one
+// ANSI frame to out per SSE tick until the stream ends or maxFrames is
+// reached.
+func runWatch(addr string, interval time.Duration, maxFrames int, out io.Writer) error {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + "/api/metrics/stream?interval=" + interval.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics stream: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("metrics stream: unexpected Content-Type %q", ct)
+	}
+
+	// Events come from the flight recorder, health from the probe
+	// registry; both tolerate error responses (503 healthz still carries
+	// the per-probe body), so fetch failures just leave the previous
+	// section contents in place.
+	fetch := func(path string) ([]byte, bool) {
+		r, err := http.Get(base + path)
+		if err != nil {
+			return nil, false
+		}
+		defer r.Body.Close()
+		body, err := io.ReadAll(r.Body)
+		return body, err == nil
+	}
+
+	m := watch.NewModel(clock.New())
+	n := 0
+	return watch.ReadStream(resp.Body, func(data []byte) bool {
+		if err := m.ApplyMetrics(data); err != nil {
+			return true // tolerate one bad frame, keep streaming
+		}
+		if body, ok := fetch("/api/events?limit=8"); ok {
+			m.ApplyEvents(body)
+		}
+		if body, ok := fetch("/healthz"); ok {
+			m.ApplyHealth(body)
+		}
+		fmt.Fprint(out, watch.ClearScreen)
+		m.Render(out)
+		n++
+		return maxFrames == 0 || n < maxFrames
+	})
+}

@@ -6,16 +6,20 @@
 //	logreplay -dataset D1 -phase train > d1-train.log
 //	logreplay -dataset D1 -phase test | loglens -train d1-train.log -stream -
 //	logreplay -dataset D4 -scale 0.05 -rate 10000 > d4.log
+//	logreplay -dataset D1 -speed 10 | loglens -train d1-train.log -stream -
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"loglens/internal/clock"
 	"loglens/internal/datagen"
+	"loglens/internal/preprocess"
 )
 
 func main() {
@@ -24,14 +28,23 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "corpus scale for D3-D6 and ss7")
 	seed := flag.Int64("seed", 42, "generator seed")
 	rate := flag.Int("rate", 0, "replay rate in logs/sec (0 = as fast as possible)")
+	speed := flag.Float64("speed", 0, "timed replay: pace lines by their embedded timestamps, N× real time (0 = off; mutually exclusive with -rate)")
 	flag.Parse()
 
+	if *rate > 0 && *speed > 0 {
+		fmt.Fprintln(os.Stderr, "logreplay: -rate and -speed are mutually exclusive")
+		os.Exit(1)
+	}
+	if *speed < 0 {
+		fmt.Fprintln(os.Stderr, "logreplay: -speed must be positive")
+		os.Exit(1)
+	}
 	lines, err := materialize(*dataset, *phase, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "logreplay:", err)
 		os.Exit(1)
 	}
-	if err := replay(lines, *rate); err != nil {
+	if err := replay(os.Stdout, lines, *rate, *speed, clock.New()); err != nil {
 		fmt.Fprintln(os.Stderr, "logreplay:", err)
 		os.Exit(1)
 	}
@@ -69,19 +82,42 @@ func materialize(dataset, phase string, scale float64, seed int64) ([]string, er
 	}
 }
 
-func replay(lines []string, rate int) error {
-	w := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer w.Flush()
-	var ticker *time.Ticker
+// replay streams lines to w, paced three ways: -rate meters a fixed
+// lines/sec cadence, -speed replays the embedded-timestamp gaps between
+// consecutive lines divided by the speedup factor (10s apart at
+// -speed 2 → 5s apart on the wire), and neither writes flat out. Time
+// comes from the injected clock, so pacing is testable on a fake.
+func replay(w io.Writer, lines []string, rate int, speed float64, clk clock.Clock) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+	var ticker clock.Ticker
 	if rate > 0 {
-		ticker = time.NewTicker(time.Second / time.Duration(rate))
+		ticker = clk.NewTicker(time.Second / time.Duration(rate))
 		defer ticker.Stop()
 	}
+	pp := preprocess.New(nil, nil)
+	var last time.Time
 	for _, line := range lines {
 		if ticker != nil {
-			<-ticker.C
+			<-ticker.C()
 		}
-		if _, err := fmt.Fprintln(w, line); err != nil {
+		if speed > 0 {
+			// Lines without a parseable timestamp (and regressions in
+			// the embedded timeline) ship immediately after their
+			// predecessor rather than stalling the replay.
+			if r := pp.Process(line); r.HasTime {
+				if !last.IsZero() && r.Time.After(last) {
+					// Flush so downstream sees everything emitted
+					// before this gap, then sleep it out.
+					if err := bw.Flush(); err != nil {
+						return err
+					}
+					clk.Sleep(time.Duration(float64(r.Time.Sub(last)) / speed))
+				}
+				last = r.Time
+			}
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
 			return err
 		}
 	}

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+	"time"
+
+	"loglens/internal/clock"
 )
 
 func TestMaterializeAllDatasets(t *testing.T) {
@@ -40,5 +45,77 @@ func TestMaterializeErrors(t *testing.T) {
 	}
 	if _, err := materialize("D1", "bogus", 1, 1); err == nil {
 		t.Error("unknown phase must fail")
+	}
+}
+
+func TestReplayUnpaced(t *testing.T) {
+	lines := []string{"alpha", "beta", "gamma"}
+	var buf bytes.Buffer
+	if err := replay(&buf, lines, 0, 0, clock.NewFake()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), strings.Join(lines, "\n")+"\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestReplaySpeedPacing(t *testing.T) {
+	fc := clock.NewFake()
+	base := fc.Now()
+	lines := []string{
+		"2016/02/23 09:00:00.000 task a start prio 1",
+		"2016/02/23 09:00:10.000 task a done code 0",
+		"no embedded timestamp on this line",
+		"2016/02/23 09:00:30.000 task b start prio 1",
+	}
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- replay(&buf, lines, 0, 2, fc) }()
+
+	// The first timestamped line emits immediately. The 10s embedded gap
+	// to the second replays as 5s at -speed 2.
+	fc.BlockUntil(1)
+	if d := fc.Deadlines(); len(d) != 1 || !d[0].Equal(base.Add(5*time.Second)) {
+		t.Fatalf("first sleep deadlines = %v, want [%v]", d, base.Add(5*time.Second))
+	}
+	fc.Advance(5 * time.Second)
+
+	// The untimed line ships without sleeping; the 20s gap between the
+	// second and fourth timestamps replays as 10s.
+	fc.BlockUntil(1)
+	if d := fc.Deadlines(); len(d) != 1 || !d[0].Equal(base.Add(15*time.Second)) {
+		t.Fatalf("second sleep deadlines = %v, want [%v]", d, base.Add(15*time.Second))
+	}
+	fc.Advance(10 * time.Second)
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), strings.Join(lines, "\n")+"\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+	if elapsed := fc.Now().Sub(base); elapsed != 15*time.Second {
+		t.Errorf("replay took %v of fake time, want 15s", elapsed)
+	}
+}
+
+func TestReplayRateTicker(t *testing.T) {
+	fc := clock.NewFake()
+	lines := []string{"one", "two"}
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- replay(&buf, lines, 10, 0, fc) }()
+
+	// Each line waits one 100ms tick at -rate 10.
+	fc.BlockUntil(1)
+	fc.Advance(100 * time.Millisecond)
+	fc.BlockUntil(1)
+	fc.Advance(100 * time.Millisecond)
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "one\ntwo\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
 	}
 }

@@ -44,10 +44,13 @@ type Consumer struct {
 }
 
 // consumeInstr is the per-(group, topic, partition) observability handle:
-// messages consumed and the committed-offset lag behind the partition end.
+// messages consumed, the committed-offset lag behind the partition end,
+// and the delivery delay (publish stamp → poll) of the newest message
+// per poll batch.
 type consumeInstr struct {
 	consumed *metrics.Counter
 	lag      *metrics.Gauge
+	delay    *metrics.Histogram
 }
 
 type group struct {
@@ -204,6 +207,11 @@ func (c *Consumer) TryPoll(max int) []Message {
 			if mi := c.instrFor(tp); mi != nil {
 				mi.consumed.Add(uint64(len(msgs)))
 				mi.lag.Set(c.lagLocked(tp))
+				// One delay observation per poll batch — the newest
+				// message — keeps the histogram off the per-message
+				// path while still bounding every message's delay from
+				// above (the batch head waited at least as long).
+				mi.delay.Observe(c.bus.clk.Now().Sub(msgs[len(msgs)-1].Time).Seconds())
 			}
 			out = append(out, msgs...)
 			if max > 0 {
@@ -242,6 +250,7 @@ func (c *Consumer) instrFor(tp topicPartition) *consumeInstr {
 	mi := &consumeInstr{
 		consumed: reg.Counter("bus_consumed_total", labels...),
 		lag:      reg.Gauge("bus_lag", labels...),
+		delay:    reg.Histogram("bus_consume_delay_seconds", nil, labels...),
 	}
 	c.instr[tp] = mi
 	return mi

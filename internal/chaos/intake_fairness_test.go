@@ -47,7 +47,7 @@ func runFairnessLoad(t *testing.T, withAbuser bool) (map[string]uint64, uint64) 
 		TenantRate:  fairRate,
 		TenantBurst: fairRate,
 		Clock:       fc,
-	}, func(string, uint64, []byte) {})
+	}, func(string, uint64, []byte, time.Time) {})
 	if err := svc.Start(); err != nil {
 		t.Fatal(err)
 	}

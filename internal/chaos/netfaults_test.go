@@ -22,7 +22,7 @@ func startIntakeTCP(t *testing.T, mutate func(*intake.Config)) (*intake.Service,
 		mutate(&cfg)
 	}
 	var published atomic.Uint64
-	svc := intake.New(cfg, func(string, uint64, []byte) { published.Add(1) })
+	svc := intake.New(cfg, func(string, uint64, []byte, time.Time) { published.Add(1) })
 	if err := svc.Start(); err != nil {
 		t.Fatal(err)
 	}

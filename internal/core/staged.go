@@ -7,6 +7,7 @@ import (
 
 	"loglens/internal/anomaly"
 	"loglens/internal/bus"
+	"loglens/internal/latency"
 	"loglens/internal/logtypes"
 	"loglens/internal/metrics"
 	"loglens/internal/preprocess"
@@ -44,6 +45,9 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 		}
 		st = &coreOpState{model: m, modelID: modelIDFor(l.Source), parser: m.NewParser(pp.Clone())}
 		st.parser.Instrument(p.reg)
+		if p.lat != nil {
+			st.lat = p.lat.Tenant(l.Source)
+		}
 		ctx.States().Put("__op@"+l.Source, st)
 	} else if m := p.modelByID(ctx, st.modelID); m == nil {
 		return nil
@@ -55,11 +59,40 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 	if p.cfg.Tracer != nil {
 		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StagePartition, "p="+strconv.Itoa(ctx.Partition()))
 	}
+	// Same instrumentation scheme as the fused operator: the deliver and
+	// parse stage histograms ride a 1-in-16 per-source sample, with
+	// deliver closing at the engine's batch pickup stamp.
+	var pickedUp time.Time
+	sampled := false
+	if p.lat != nil {
+		sampled = st.tick&15 == 0
+		st.tick++
+		if sampled {
+			p.lat.Observe(latency.StageDeliver, ctx.BatchStart().Sub(l.Arrival))
+			pickedUp = p.cfg.Clock.Now()
+		}
+	}
 	pl, err := st.parser.Parse(l)
 	if err != nil {
 		p.unparsed.Add(1)
 		p.unparsedTotal.Inc()
-		p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
+		if p.lat != nil {
+			now := p.cfg.Clock.Now()
+			if sampled {
+				p.lat.Observe(latency.StageParse, now.Sub(pickedUp))
+			}
+			e2e := now.Sub(l.Arrival)
+			p.lineSeconds.Observe(e2e.Seconds())
+			p.lat.CheckSLO(e2e)
+			// Unparsed lines end at the parse stage in the staged
+			// topology, so they advance freshness here (event time =
+			// arrival: nothing was extracted).
+			n := l.Arrival.UnixNano()
+			p.lat.Partition(ctx.Partition()).Note(n, n)
+			st.lat.Note(n, n)
+		} else {
+			p.lineSeconds.Observe(p.cfg.Clock.Since(l.Arrival).Seconds())
+		}
 		if p.cfg.Tracer != nil {
 			p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "unparsed")
 		}
@@ -73,6 +106,9 @@ func (p *Pipeline) parseOperator(ctx *stream.Context, rec stream.Record) []any {
 		}}
 	}
 	p.parsedTotal.Inc()
+	if sampled {
+		p.lat.Observe(latency.StageParse, p.cfg.Clock.Now().Sub(pickedUp))
+	}
 	if p.cfg.Tracer != nil {
 		p.cfg.Tracer.Stamp(l.Source, l.Seq, metrics.StageParser, "pattern="+strconv.Itoa(pl.PatternID))
 	}
@@ -119,6 +155,9 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 		if m.Volume != nil {
 			st.volume = volume.New(m.Volume, p.cfg.Volume)
 		}
+		if p.lat != nil {
+			st.lat = p.lat.Tenant(source)
+		}
 		ctx.States().Put("__op@"+source, st)
 	} else if m := p.modelByID(ctx, st.modelID); m == nil {
 		return nil
@@ -146,13 +185,34 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 	if !ok {
 		return nil
 	}
+	var pickedUp time.Time
+	sampled := false
+	if p.lat != nil {
+		sampled = st.tick&15 == 0
+		st.tick++
+		if sampled {
+			pickedUp = p.cfg.Clock.Now()
+		}
+	}
 	recs := st.detector.Process(pl)
 	if st.volume != nil {
 		recs = append(recs, st.volume.Process(pl)...)
 	}
 	// End-to-end latency for staged lines is closed here, after the
 	// second stage (the parse stage only observes unparsed lines).
-	p.lineSeconds.Observe(p.cfg.Clock.Since(pl.Arrival).Seconds())
+	if p.lat != nil {
+		now := p.cfg.Clock.Now()
+		if sampled {
+			p.lat.Observe(latency.StageDetect, now.Sub(pickedUp))
+		}
+		e2e := now.Sub(pl.Arrival)
+		p.lineSeconds.Observe(e2e.Seconds())
+		p.lat.CheckSLO(e2e)
+		p.lat.Partition(ctx.Partition()).Note(pl.EventTime().UnixNano(), pl.Arrival.UnixNano())
+		st.lat.Note(pl.EventTime().UnixNano(), pl.Arrival.UnixNano())
+	} else {
+		p.lineSeconds.Observe(p.cfg.Clock.Since(pl.Arrival).Seconds())
+	}
 	return wrapRecords(recs)
 }
 

@@ -42,6 +42,7 @@ func New(p *core.Pipeline) *Server {
 	s.mux.HandleFunc("/api/intake", s.handleIntake)
 	s.mux.HandleFunc("/api/storage", s.handleStorage)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/latency", s.handleLatency)
 	s.registerOps()
 	return s
 }
@@ -276,18 +277,25 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exposes the pipeline's metrics registry: a JSON snapshot
-// by default, or the expvar-style text listing with ?format=text.
+// by default, the expvar-style text listing with ?format=text, or the
+// Prometheus text exposition format with ?format=prometheus (counters,
+// gauges, and cumulative histogram _bucket/_sum/_count series).
 //
 //	GET /api/metrics
 //	GET /api/metrics?format=text
+//	GET /api/metrics?format=prometheus
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.pipeline.Metrics().Snapshot()
-	if r.URL.Query().Get("format") == "text" {
+	switch r.URL.Query().Get("format") {
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)
-		return
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	default:
+		writeJSON(w, snap)
 	}
-	writeJSON(w, snap)
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!doctype html>

@@ -1,0 +1,194 @@
+package dashboard
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/core"
+	"loglens/internal/testutil"
+)
+
+// sseClient reads data frames off a metrics-stream connection in a
+// background goroutine, delivering each decoded snapshot on Frames.
+type sseClient struct {
+	resp   *http.Response
+	Frames chan map[string]any
+}
+
+// dialStream subscribes to /api/metrics/stream on a live test server.
+func dialStream(t *testing.T, url, query string) *sseClient {
+	t.Helper()
+	resp, err := http.Get(url + "/api/metrics/stream" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	c := &sseClient{resp: resp, Frames: make(chan map[string]any, 256)}
+	go func() {
+		defer close(c.Frames)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var snap map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+				return
+			}
+			c.Frames <- snap
+		}
+	}()
+	t.Cleanup(func() { resp.Body.Close() })
+	return c
+}
+
+// next waits for one frame with a wall-clock timeout.
+func (c *sseClient) next(t *testing.T) map[string]any {
+	t.Helper()
+	select {
+	case snap, ok := <-c.Frames:
+		if !ok {
+			t.Fatal("stream closed before expected frame")
+		}
+		return snap
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for SSE frame")
+		return nil
+	}
+}
+
+// counterOf reads one counter value out of a decoded snapshot frame.
+func counterOf(snap map[string]any, name string) float64 {
+	counters, _ := snap["counters"].(map[string]any)
+	v, _ := counters[name].(float64)
+	return v
+}
+
+// TestMetricsStreamFakeClockTicks pins the stream's cadence to the
+// injected clock: the first frame arrives with no time advance at all,
+// then exactly one frame per interval tick, each a fresh snapshot
+// carrying counter increments made since the previous tick.
+func TestMetricsStreamFakeClockTicks(t *testing.T) {
+	fc := clock.NewFake()
+	p, err := core.New(core.Config{Clock: fc, DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(p)
+	srv.SetClock(fc)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	marker := p.Metrics().Counter("stream_test_marker_total")
+	marker.Inc()
+	c := dialStream(t, ts.URL, "?interval=1s")
+
+	// Frame 1 is immediate — no tick needed.
+	if got := counterOf(c.next(t), "stream_test_marker_total"); got != 1 {
+		t.Fatalf("first frame marker = %v, want 1", got)
+	}
+
+	// The handler's ticker is the only waiter on this clock (the
+	// pipeline is not started). Each advance of one interval yields
+	// exactly one fresh snapshot.
+	fc.BlockUntil(1)
+	for i := 2; i <= 4; i++ {
+		marker.Inc()
+		fc.Advance(time.Second)
+		if got := counterOf(c.next(t), "stream_test_marker_total"); got != float64(i) {
+			t.Fatalf("tick %d frame marker = %v, want %d", i-1, got, i)
+		}
+	}
+
+	// No frame without a tick: time stands still, nothing arrives.
+	select {
+	case snap := <-c.Frames:
+		t.Fatalf("unexpected frame with clock parked: %v", snap)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestMetricsStreamSlowSubscriberDrops: a burst of ticks against a
+// subscriber that is not keeping up coalesces — the ticker channel
+// holds one pending tick (time.Ticker semantics), so the stream skips
+// to fresh snapshots instead of queueing a frame per missed tick.
+func TestMetricsStreamSlowSubscriberDrops(t *testing.T) {
+	fc := clock.NewFake()
+	p, err := core.New(core.Config{Clock: fc, DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(p)
+	srv.SetClock(fc)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	marker := p.Metrics().Counter("stream_test_marker_total")
+	c := dialStream(t, ts.URL, "?interval=1s")
+	c.next(t) // initial frame
+	fc.BlockUntil(1)
+
+	// Fire 50 ticks in one Advance while the handler is between reads.
+	// Advance runs the whole firing loop under the clock's lock with
+	// non-blocking sends, so at most a tick or two land in the buffered
+	// channel; the rest drop, exactly like a lagging time.Ticker reader.
+	marker.Inc()
+	fc.Advance(50 * time.Second)
+	// A sentinel tick after the burst bounds the count: every burst
+	// frame was delivered (and counted) before the sentinel frame.
+	marker.Inc()
+	fc.BlockUntil(1)
+	fc.Advance(time.Second)
+
+	burstFrames := 0
+	for {
+		snap := c.next(t)
+		if counterOf(snap, "stream_test_marker_total") == 2 {
+			break
+		}
+		burstFrames++
+		if burstFrames > 50 {
+			t.Fatal("sentinel frame never arrived")
+		}
+	}
+	if burstFrames >= 25 {
+		t.Fatalf("burst of 50 ticks produced %d frames, want far fewer (drops)", burstFrames)
+	}
+}
+
+// TestMetricsStreamUnsubscribeStopsTicker: closing the client
+// connection tears the handler down — its ticker is removed from the
+// clock, leaving no leaked waiters behind.
+func TestMetricsStreamUnsubscribeStopsTicker(t *testing.T) {
+	fc := clock.NewFake()
+	p, err := core.New(core.Config{Clock: fc, DisableHeartbeat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(p)
+	srv.SetClock(fc)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := dialStream(t, ts.URL, "?interval=1s")
+	c.next(t)
+	fc.BlockUntil(1)
+	if n := fc.Waiters(); n != 1 {
+		t.Fatalf("waiters after subscribe = %d, want 1 (the stream ticker)", n)
+	}
+
+	c.resp.Body.Close()
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		return fc.Waiters() == 0
+	}, "stream ticker still pending after client disconnect")
+}

@@ -88,13 +88,18 @@ func (c Config) Enabled() bool {
 
 // PublishFunc receives admitted lines from the pump, in admission order,
 // from a single goroutine. seq increases per tenant from 1. The raw slice
-// is owned by the callee.
-type PublishFunc func(tenant string, seq uint64, raw []byte)
+// is owned by the callee. admitted is the injected-clock stamp taken at
+// queue admission — the anchor for the intake stage of the latency
+// plane (queue wait + pump scheduling). It is stamped on a 1-in-16
+// per-tenant sample and is the zero time otherwise: a clock read per
+// line would dominate the admission hot path.
+type PublishFunc func(tenant string, seq uint64, raw []byte, admitted time.Time)
 
 // item is one admitted line waiting in the intake queue.
 type item struct {
-	tenant string
-	raw    []byte
+	tenant   string
+	raw      []byte
+	admitted time.Time
 }
 
 // tenantStats is the per-tenant accounting behind GET /api/intake.
@@ -104,6 +109,18 @@ type tenantStats struct {
 	shedRate     atomic.Uint64
 	shedQueue    atomic.Uint64
 	shedShutdown atomic.Uint64
+	// shedCtr mirrors the shed counts into tenant-labeled registry
+	// counters (intake_tenant_shed_total{reason,tenant}) so dashboards
+	// can break shedding down per tenant without the Stats endpoint.
+	// A distinct metric name keeps sums over intake_lines_shed_total
+	// from double-counting. Indexed like shedByReason.
+	shedCtr [3]*metrics.Counter
+	// tick drives the 1-in-16 sampling of the admission stamp feeding
+	// the intake stage histogram: a clock read per admitted line would
+	// be the single biggest cost on the intake hot path, and the stage
+	// is distribution telemetry, not per-line accounting. Atomic:
+	// connections enqueue concurrently.
+	tick atomic.Uint64
 }
 
 // TenantSnapshot is one tenant's intake accounting.
@@ -189,6 +206,8 @@ type Service struct {
 	queueCap       *metrics.Gauge
 	connsActive    *metrics.Gauge
 	shedByReason   [3]*metrics.Counter // rate, queue, shutdown
+	// reg hands out the per-tenant shed counters as tenants appear.
+	reg *metrics.Registry
 }
 
 // New constructs a Service; Start binds the listeners.
@@ -238,6 +257,7 @@ func New(cfg Config, publish PublishFunc) *Service {
 		queueDepth:     reg.Gauge("intake_queue_depth"),
 		queueCap:       reg.Gauge("intake_queue_capacity"),
 		connsActive:    reg.Gauge("intake_conns_active"),
+		reg:            reg,
 	}
 	s.shedByReason[0] = reg.Counter("intake_lines_shed_total", "reason", ShedRate)
 	s.shedByReason[1] = reg.Counter("intake_lines_shed_total", "reason", ShedQueue)
@@ -333,6 +353,9 @@ func (s *Service) tenant(name string) *tenantStats {
 	ts := s.tenants[name]
 	if ts == nil {
 		ts = &tenantStats{}
+		ts.shedCtr[0] = s.reg.Counter("intake_tenant_shed_total", "reason", ShedRate, "tenant", name)
+		ts.shedCtr[1] = s.reg.Counter("intake_tenant_shed_total", "reason", ShedQueue, "tenant", name)
+		ts.shedCtr[2] = s.reg.Counter("intake_tenant_shed_total", "reason", ShedShutdown, "tenant", name)
 		s.tenants[name] = ts
 	}
 	s.tenantsMu.Unlock()
@@ -354,12 +377,15 @@ func (s *Service) shed(tenant string, ts *tenantStats, reason string, n int) {
 	switch reason {
 	case ShedRate:
 		ts.shedRate.Add(un)
+		ts.shedCtr[0].Add(un)
 		s.shedByReason[0].Add(un)
 	case ShedQueue:
 		ts.shedQueue.Add(un)
+		ts.shedCtr[1].Add(un)
 		s.shedByReason[1].Add(un)
 	default:
 		ts.shedShutdown.Add(un)
+		ts.shedCtr[2].Add(un)
 		s.shedByReason[2].Add(un)
 	}
 	s.events.Record(obs.EventIntakeShed, tenant, reason, int64(n))
@@ -370,6 +396,9 @@ func (s *Service) shed(tenant string, ts *tenantStats, reason string, n int) {
 // are copied: the caller's buffer is reused by the framing layer.
 func (s *Service) enqueue(tenant string, ts *tenantStats, raw []byte, block bool) bool {
 	it := item{tenant: tenant, raw: append([]byte(nil), raw...)}
+	if ts.tick.Add(1)&15 == 1 {
+		it.admitted = s.clk.Now()
+	}
 	if block {
 		select {
 		case s.queue <- it:
@@ -429,7 +458,7 @@ func (s *Service) pump() {
 	for it := range s.queue {
 		s.queueDepth.Set(int64(len(s.queue)))
 		seqs[it.tenant]++
-		s.publish(it.tenant, seqs[it.tenant], it.raw)
+		s.publish(it.tenant, seqs[it.tenant], it.raw, it.admitted)
 		s.tenant(it.tenant).published.Add(1)
 		s.publishedTotal.Add(1)
 	}

@@ -36,7 +36,7 @@ func TestFrameErrorMessage(t *testing.T) {
 func TestProbeLifecycle(t *testing.T) {
 	block := make(chan struct{})
 	svc := New(Config{SyslogUDP: "127.0.0.1:0", QueueDepth: 10},
-		func(string, uint64, []byte) { <-block })
+		func(string, uint64, []byte, time.Time) { <-block })
 
 	if pr := svc.Probe(); pr.Status != obs.Degraded || !strings.Contains(pr.Detail, "not started") {
 		t.Errorf("pre-start probe = %+v", pr)

@@ -32,7 +32,7 @@ func newCollector() *collector {
 	return &collector{byTenant: make(map[string][]string)}
 }
 
-func (c *collector) publish(tenant string, seq uint64, raw []byte) {
+func (c *collector) publish(tenant string, seq uint64, raw []byte, _ time.Time) {
 	if c.block != nil {
 		<-c.block
 	}
@@ -184,6 +184,9 @@ func TestServiceUDPShedsOverRate(t *testing.T) {
 	}
 	if got := reg.Snapshot().Counter("intake_lines_shed_total", "reason", ShedRate); got != n-5 {
 		t.Fatalf("intake_lines_shed_total{reason=rate} = %d, want %d", got, n-5)
+	}
+	if got := reg.Snapshot().Counter("intake_tenant_shed_total", "reason", ShedRate, "tenant", "web01"); got != n-5 {
+		t.Fatalf("intake_tenant_shed_total{rate,web01} = %d, want %d", got, n-5)
 	}
 	shedEvents := events.Events(obs.EventQuery{Type: obs.EventIntakeShed})
 	if len(shedEvents) != n-5 {

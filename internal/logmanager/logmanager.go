@@ -61,6 +61,12 @@ type Config struct {
 	// runs before OnBatch, so downstream counters include the batch when
 	// the commit gate registers it.
 	ForwardBatch func(logs []logtypes.Log)
+
+	// OnAdmit, when set, receives the newest Arrival stamp of every
+	// forwarded poll batch — the admission watermark of the freshness
+	// plane. One scan per batch (≤ pollBatchMax logs) keeps the cost
+	// off the per-line path.
+	OnAdmit func(newest time.Time)
 }
 
 // pollBatchMax caps how many messages one poll may return. Unbounded
@@ -238,6 +244,15 @@ func (m *Manager) flushBatch() {
 		return
 	}
 	m.cfg.ForwardBatch(m.batch)
+	if m.cfg.OnAdmit != nil {
+		newest := m.batch[0].Arrival
+		for _, l := range m.batch[1:] {
+			if l.Arrival.After(newest) {
+				newest = l.Arrival
+			}
+		}
+		m.cfg.OnAdmit(newest)
+	}
 	for i := range m.batch {
 		m.batch[i] = logtypes.Log{}
 	}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family,
+// series sorted within the family, families sorted by name. It differs
+// from WriteText in the two ways a scraper cares about: histogram
+// `_bucket` series carry *cumulative* counts (each le bucket includes
+// everything below it, and le="+Inf" equals `_count`), and every family
+// declares its type so counters survive restarts as rates. Bucket lines
+// are emitted in ascending bound order — not lexically sorted, which
+// would put le="10" before le="2.5". Canonical keys already hold labels
+// sorted and %q-quoted, which is exactly the exposition-format label
+// syntax, so series lines reuse them verbatim.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// family name -> instrument type -> sorted member keys.
+	fams := make(map[string]string)
+	members := make(map[string][]string)
+	collect := func(k, typ string) {
+		name := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			name = k[:i]
+		}
+		if _, ok := fams[name]; !ok {
+			fams[name] = typ
+		}
+		members[name] = append(members[name], k)
+	}
+	for k := range s.Counters {
+		collect(k, "counter")
+	}
+	for k := range s.Gauges {
+		collect(k, "gauge")
+	}
+	for k := range s.Histograms {
+		collect(k, "histogram")
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		typ := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		keys := members[name]
+		sort.Strings(keys)
+		for _, k := range keys {
+			var err error
+			switch typ {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s %d\n", k, s.Counters[k])
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s %d\n", k, s.Gauges[k])
+			case "histogram":
+				err = writePromHistogram(w, name, k, s.Histograms[k])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram series as cumulative _bucket
+// lines in bound order, then _sum and _count.
+func writePromHistogram(w io.Writer, name, k string, hv HistogramValue) error {
+	suffix := ""
+	if i := strings.IndexByte(k, '{'); i >= 0 {
+		suffix = k[i:]
+	}
+	var cum uint64
+	for i, b := range hv.Bounds {
+		cum += hv.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSuffix(suffix, fmt.Sprintf("%g", b)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSuffix(suffix, "+Inf"), hv.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, hv.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, hv.Count)
+	return err
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lines_total", "tenant", "a").Add(5)
+	r.Counter("lines_total", "tenant", "b").Add(7)
+	r.Gauge("queue_depth").Set(42)
+	h := r.Histogram("op_seconds", []float64{0.01, 0.1}, "stage", "parse")
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5) // overflow
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lines_total counter
+lines_total{tenant="a"} 5
+lines_total{tenant="b"} 7
+# TYPE op_seconds histogram
+op_seconds_bucket{stage="parse",le="0.01"} 2
+op_seconds_bucket{stage="parse",le="0.1"} 3
+op_seconds_bucket{stage="parse",le="+Inf"} 4
+op_seconds_sum{stage="parse"} 5.06
+op_seconds_count{stage="parse"} 4
+# TYPE queue_depth gauge
+queue_depth 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("WritePrometheus mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusBucketOrder pins the property that bucket lines
+// come out in ascending bound order, not lexical order (le="10" must
+// follow le="2.5"), and that the +Inf bucket equals the series count.
+func TestWritePrometheusBucketOrder(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wide_seconds", []float64{0.5, 2.5, 10})
+	h.Observe(1)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	i25 := strings.Index(out, `le="2.5"`)
+	i10 := strings.Index(out, `le="10"`)
+	iInf := strings.Index(out, `le="+Inf"`)
+	if i25 < 0 || i10 < 0 || iInf < 0 {
+		t.Fatalf("missing bucket lines:\n%s", out)
+	}
+	if !(i25 < i10 && i10 < iInf) {
+		t.Errorf("bucket lines out of ascending order:\n%s", out)
+	}
+	if !strings.Contains(out, `wide_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket should equal count:\n%s", out)
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import "math"
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket that contains
+// the target rank — the same estimator Prometheus's histogram_quantile
+// uses. The estimate is exact when all observations in the target
+// bucket are uniformly distributed, and always within one bucket width
+// of the true value otherwise; choose bucket bounds accordingly.
+//
+// Edge cases: an empty histogram returns NaN (there is no distribution
+// to query); q < 0 returns -Inf and q > 1 returns +Inf, mirroring
+// Prometheus; ranks landing in the overflow bucket clamp to the last
+// finite bound, which is the most honest answer a bounded histogram can
+// give.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		return math.Inf(-1)
+	}
+	if q > 1 {
+		return math.Inf(+1)
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, bound := range h.Bounds {
+		n := float64(h.Buckets[i])
+		if n > 0 && cum+n >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			return lower + (bound-lower)*(rank-cum)/n
+		}
+		cum += n
+	}
+	// Rank falls in the overflow bucket (or every counted bucket was
+	// empty, which cannot happen when Count > 0 and the snapshot is
+	// consistent): clamp to the largest finite bound.
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}

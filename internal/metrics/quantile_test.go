@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// hv builds a HistogramValue from bounds and per-bucket counts (the
+// last count is the overflow bucket).
+func hv(bounds []float64, counts ...uint64) HistogramValue {
+	if len(counts) != len(bounds)+1 {
+		panic("hv: counts must be len(bounds)+1")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	return HistogramValue{Count: total, Bounds: bounds, Buckets: counts}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	bounds := []float64{0.01, 0.05, 0.1}
+	cases := []struct {
+		name string
+		h    HistogramValue
+		q    float64
+		want float64
+	}{
+		// 100 observations all in (0.05, 0.1]: p50 interpolates to the
+		// bucket midpoint, p0 to its lower edge, p100 to its upper edge.
+		{"mid", hv(bounds, 0, 0, 100, 0), 0.50, 0.075},
+		{"lower-edge", hv(bounds, 0, 0, 100, 0), 0, 0.05},
+		{"upper-edge", hv(bounds, 0, 0, 100, 0), 1, 0.1},
+		// First bucket interpolates from zero.
+		{"first-bucket", hv(bounds, 10, 0, 0, 0), 0.5, 0.005},
+		// Split across buckets: 10 in (0,0.01], 90 in (0.05,0.1].
+		// p50: rank 50 lands 40/90 into the third bucket.
+		{"split-p50", hv(bounds, 10, 0, 90, 0), 0.50, 0.05 + 0.05*40/90},
+		{"split-p95", hv(bounds, 10, 0, 90, 0), 0.95, 0.05 + 0.05*85/90},
+		// Rank in the overflow bucket clamps to the last finite bound.
+		{"overflow", hv(bounds, 0, 0, 0, 5), 0.99, 0.1},
+		{"overflow-tail", hv(bounds, 50, 0, 0, 50), 0.99, 0.1},
+	}
+	for _, c := range cases {
+		if got := c.h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := HistogramValue{Bounds: DefBuckets, Buckets: make([]uint64, len(DefBuckets)+1)}
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h := hv([]float64{1}, 10, 0)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := h.Quantile(-0.1); !math.IsInf(got, -1) {
+		t.Errorf("Quantile(-0.1) = %v, want -Inf", got)
+	}
+	if got := h.Quantile(1.1); !math.IsInf(got, +1) {
+		t.Errorf("Quantile(1.1) = %v, want +Inf", got)
+	}
+}
+
+// TestQuantileAgainstObservations drives a live histogram through
+// Observe and checks the estimator lands inside the right bucket for a
+// known distribution.
+func TestQuantileAgainstObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", nil)
+	for i := 0; i < 900; i++ {
+		h.Observe(0.003) // (0.0025, 0.005]
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.2) // (0.1, 0.25]
+	}
+	snap := r.Snapshot()
+	val, ok := snap.Histogram("q_test_seconds")
+	if !ok || val.Count != 1000 {
+		t.Fatalf("histogram lookup ok=%v count=%d", ok, val.Count)
+	}
+	p50 := val.Quantile(0.5)
+	if p50 <= 0.0025 || p50 > 0.005 {
+		t.Errorf("p50 = %v, want within (0.0025, 0.005]", p50)
+	}
+	p99 := val.Quantile(0.99)
+	if p99 <= 0.1 || p99 > 0.25 {
+		t.Errorf("p99 = %v, want within (0.1, 0.25]", p99)
+	}
+}

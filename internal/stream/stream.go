@@ -98,6 +98,13 @@ type Config struct {
 	// layer uses it to apply offset commits only once the records they
 	// cover have been fully processed.
 	BatchHook func(resolved uint64)
+	// OnBarrier, when set, is called from the engine loop at every
+	// micro-batch barrier — including empty ones — after the batch (if
+	// any) has fully resolved. The latency plane uses it to re-age the
+	// freshness watermark gauges on the batch cadence, so a partition
+	// that stops making progress shows growing lag instead of a frozen
+	// gauge.
+	OnBarrier func()
 	// PanicHook, when set, is consulted when the operator panics on a
 	// record: return true to requeue the record for another attempt in
 	// the next micro-batch, false to drop it (the pre-recovery behavior).
@@ -557,14 +564,20 @@ func (e *Engine) Run(ctx context.Context) error {
 
 		if len(batch) > 0 {
 			e.processBatch(batch)
-		} else if e.cfg.BatchHook != nil {
-			// Empty barriers still report the watermark, so a commit
-			// gated on a batch that resolved just before registration is
-			// flushed at the next barrier instead of waiting for traffic.
-			e.metMu.Lock()
-			resolved := e.metrics.Resolved
-			e.metMu.Unlock()
-			e.cfg.BatchHook(resolved)
+		} else {
+			if e.cfg.BatchHook != nil {
+				// Empty barriers still report the watermark, so a commit
+				// gated on a batch that resolved just before registration
+				// is flushed at the next barrier instead of waiting for
+				// traffic.
+				e.metMu.Lock()
+				resolved := e.metrics.Resolved
+				e.metMu.Unlock()
+				e.cfg.BatchHook(resolved)
+			}
+			if e.cfg.OnBarrier != nil {
+				e.cfg.OnBarrier()
+			}
 		}
 		if drained && !e.hasRetries() {
 			return nil
@@ -714,7 +727,7 @@ func (e *Engine) processBatch(batch []Record) {
 			defer wg.Done()
 			span := e.spans.Start(e.cfg.Name, "p"+strconv.Itoa(w.id)+" process", w.tid)
 			defer span.End()
-			c := &Context{engine: e, worker: w}
+			c := &Context{engine: e, worker: w, batchStart: start}
 			for _, rec := range recs {
 				*out = append(*out, e.process(c, rec)...)
 			}
@@ -773,6 +786,9 @@ func (e *Engine) processBatch(batch []Record) {
 	// — state mutations and emitted outputs — has landed.
 	if e.cfg.BatchHook != nil {
 		e.cfg.BatchHook(resolved)
+	}
+	if e.cfg.OnBarrier != nil {
+		e.cfg.OnBarrier()
 	}
 }
 
@@ -885,10 +901,21 @@ func (e *Engine) applyUpdates() {
 type Context struct {
 	engine *Engine
 	worker *worker
+
+	// batchStart is the engine's pickup stamp for the micro-batch this
+	// context is processing — taken once per batch in processBatch, so
+	// operators can close delivery-latency measurements without paying a
+	// per-record clock read.
+	batchStart time.Time
 }
 
 // Partition returns the partition index.
 func (c *Context) Partition() int { return c.worker.id }
+
+// BatchStart returns the engine's clock stamp from the moment this
+// micro-batch was picked up for processing. All records of the batch
+// share it.
+func (c *Context) BatchStart() time.Time { return c.batchStart }
 
 // States returns the partition's state map — the getParentStateMap()
 // analog of §V-B, letting heartbeat handling enumerate open states without

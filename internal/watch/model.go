@@ -1,0 +1,172 @@
+package watch
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"loglens/internal/clock"
+	"loglens/internal/metrics"
+	"loglens/internal/obs"
+)
+
+// sparkWidth is how many throughput samples the sparkline keeps.
+const sparkWidth = 30
+
+// Model accumulates the dashboard's state from the server's responses.
+// It is a pure state machine: feed it response bodies with the Apply
+// methods (in any order, at any cadence) and render frames with Render.
+// Time comes from the injected clock, so a test driving recorded
+// fixtures under a fake clock produces byte-identical frames.
+type Model struct {
+	clk clock.Clock
+
+	snap     metrics.Snapshot
+	haveSnap bool
+
+	// Throughput is derived by differencing core_lines_total between
+	// metrics frames against the clock.
+	lastLines uint64
+	lastAt    time.Time
+	rates     []float64
+
+	health healthBody
+	events []obs.Event
+}
+
+// healthBody mirrors the /healthz response.
+type healthBody struct {
+	Status string                `json:"status"`
+	Probes map[string]probeState `json:"probes"`
+}
+
+type probeState struct {
+	Status string `json:"status"`
+	Detail string `json:"detail"`
+}
+
+// eventsBody mirrors the /api/events response.
+type eventsBody struct {
+	Events []obs.Event `json:"events"`
+}
+
+// NewModel builds an empty dashboard model on the given clock.
+func NewModel(clk clock.Clock) *Model {
+	if clk == nil {
+		clk = clock.New()
+	}
+	return &Model{clk: clk}
+}
+
+// ApplyMetrics ingests one SSE metrics frame (a JSON-encoded
+// metrics.Snapshot) and pushes a throughput sample derived from the
+// core_lines_total delta since the previous frame.
+func (m *Model) ApplyMetrics(data []byte) error {
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	now := m.clk.Now()
+	lines := snap.Counter("core_lines_total")
+	if m.haveSnap && lines >= m.lastLines {
+		if dt := now.Sub(m.lastAt).Seconds(); dt > 0 {
+			m.rates = append(m.rates, float64(lines-m.lastLines)/dt)
+			if len(m.rates) > sparkWidth {
+				m.rates = m.rates[len(m.rates)-sparkWidth:]
+			}
+		}
+	}
+	m.snap, m.haveSnap = snap, true
+	m.lastLines, m.lastAt = lines, now
+	return nil
+}
+
+// ApplyEvents ingests a /api/events response body (newest first).
+func (m *Model) ApplyEvents(data []byte) error {
+	var body eventsBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		return err
+	}
+	m.events = body.Events
+	return nil
+}
+
+// ApplyHealth ingests a /healthz (or /readyz) response body.
+func (m *Model) ApplyHealth(data []byte) error {
+	return json.Unmarshal(data, &m.health)
+}
+
+// parseKey splits a canonical metric key "name{k=\"v\",...}" into its
+// name and label map. Keys without labels return a nil map.
+func parseKey(key string) (string, map[string]string) {
+	brace := strings.IndexByte(key, '{')
+	if brace < 0 {
+		return key, nil
+	}
+	name := key[:brace]
+	body := strings.TrimSuffix(key[brace+1:], "}")
+	labels := make(map[string]string)
+	for _, pair := range strings.Split(body, "\",") {
+		eq := strings.Index(pair, "=\"")
+		if eq < 0 {
+			continue
+		}
+		labels[pair[:eq]] = strings.TrimSuffix(pair[eq+2:], "\"")
+	}
+	return name, labels
+}
+
+// gaugeSeries collects every series of one gauge family keyed by the
+// value of the given label, skipping series without it.
+func (m *Model) gaugeSeries(family, label string) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range m.snap.Gauges {
+		name, labels := parseKey(k)
+		if name != family {
+			continue
+		}
+		if lv, ok := labels[label]; ok {
+			out[lv] = v
+		}
+	}
+	return out
+}
+
+// counterSumBy sums a counter family grouped by one label's value.
+func (m *Model) counterSumBy(family, label string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range m.snap.Counters {
+		name, labels := parseKey(k)
+		if name != family {
+			continue
+		}
+		if lv, ok := labels[label]; ok {
+			out[lv] += v
+		}
+	}
+	return out
+}
+
+// sortedKeys returns map keys sorted, numerically when all keys are
+// integers (partition indices) and lexically otherwise.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	numeric := true
+	for k := range m {
+		keys = append(keys, k)
+		if _, err := strconv.Atoi(k); err != nil {
+			numeric = false
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if numeric {
+			a, _ := strconv.Atoi(keys[i])
+			b, _ := strconv.Atoi(keys[j])
+			return a < b
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,60 @@
+// Package watch is the terminal operator dashboard behind the
+// `loglens watch` subcommand: a dependency-free ANSI renderer over the
+// dashboard server's public endpoints. It subscribes to the SSE metrics
+// stream (GET /api/metrics/stream) for live snapshots and polls the
+// flight recorder (GET /api/events) and health probes (GET /healthz)
+// alongside, deriving everything it displays — throughput sparkline,
+// per-stage latency percentiles, freshness watermark lag tables,
+// per-tenant shed counts — client-side from the metrics snapshot, so it
+// works against any LogLens build that serves the stream.
+//
+// The package splits the pure parts (SSE frame parsing, the Model state
+// machine, frame rendering) from the network loop in cmd/loglens, so
+// the whole dashboard is testable against a recorded SSE fixture with
+// no live server.
+package watch
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// ReadStream parses a text/event-stream body, calling fn with the
+// payload of each complete data frame. Multi-line data fields are
+// joined with newlines per the SSE spec; comment and non-data fields
+// are ignored. ReadStream returns when the stream ends, when fn returns
+// false, or on a read error.
+func ReadStream(r io.Reader, fn func(data []byte) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var data []byte
+	have := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			// Blank line dispatches the accumulated frame.
+			if have {
+				if !fn(data) {
+					return nil
+				}
+				data, have = nil, false
+			}
+			continue
+		}
+		rest, ok := bytes.CutPrefix(line, []byte("data:"))
+		if !ok {
+			continue // event:, id:, retry:, or a ":" comment
+		}
+		rest = bytes.TrimPrefix(rest, []byte(" "))
+		if have {
+			data = append(data, '\n')
+		}
+		data = append(data, rest...)
+		have = true
+	}
+	if have && sc.Err() == nil {
+		fn(data)
+	}
+	return sc.Err()
+}

@@ -1,0 +1,75 @@
+#!/bin/sh
+# metricslint: the metric namespace is an API — name it once, name it well.
+#
+# Dashboards, alerts, and the Prometheus exposition all key off metric
+# names, so drift (a counter without _total, a histogram without a unit,
+# a camelCase label) is a breaking change that no compiler catches. This
+# grep gate enforces the house conventions over every registration site:
+#
+#   - counters end in _total (rate()-able without reading the code);
+#   - histograms end in a unit suffix, _seconds or _ms;
+#   - metric names and label literals are lowercase snake_case;
+#   - every registered metric name appears in DESIGN.md's metrics table,
+#     so the catalog cannot silently fall behind the code.
+#
+# Scope: non-test Go files under internal/ and cmd/. Only literal names
+# are checked — the registry has no dynamic-name call sites today.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# stream_batch_size predates the unit-suffix rule and is a dimensionless
+# record count; renaming it would break recorded dashboards.
+histogram_allow='stream_batch_size'
+
+fail=0
+
+sites=$(grep -rnoE '\.(Counter|Gauge|Histogram)\("[a-zA-Z_0-9]+"' \
+    --include='*.go' internal cmd | grep -v '_test\.go:' || true)
+
+bad=$(echo "$sites" | grep '\.Counter("' | grep -v '_total"$' || true)
+if [ -n "$bad" ]; then
+    echo "metricslint: counter names must end in _total:" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+bad=$(echo "$sites" | grep '\.Histogram("' \
+    | grep -vE '_(seconds|ms)"$' | grep -v "\"$histogram_allow\"" || true)
+if [ -n "$bad" ]; then
+    echo "metricslint: histogram names must carry a unit suffix (_seconds or _ms):" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+bad=$(echo "$sites" | grep -E '"[^"]*[A-Z]' || true)
+if [ -n "$bad" ]; then
+    echo "metricslint: metric names must be lowercase snake_case:" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+# Label keys and literal label values live on the same call lines as the
+# registration; any uppercase string literal there is a convention break.
+bad=$(grep -rnE '\.(Counter|Gauge|Histogram)\("' --include='*.go' internal cmd \
+    | grep -v '_test\.go:' | grep -E '"[a-z_0-9]*[A-Z][a-zA-Z_0-9]*"' || true)
+if [ -n "$bad" ]; then
+    echo "metricslint: label keys and literal label values must be lowercase:" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+# Catalog completeness: every registered name must be documented in the
+# DESIGN.md metrics table.
+names=$(echo "$sites" | sed 's/.*("\(.*\)"/\1/' | sort -u)
+for name in $names; do
+    if ! grep -q "$name" DESIGN.md; then
+        echo "metricslint: $name is registered but missing from the DESIGN.md metrics table" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "metricslint: ok"
