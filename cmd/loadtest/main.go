@@ -14,10 +14,18 @@
 //
 //	loadtest -mode tcp -conns 64 -rate 50000 -duration 15s
 //	loadtest -mode http -conns 16 -tenant-rate 1000
+//
+// The bus mode measures the netbus transport itself: N concurrent TCP
+// publishers against a broker (an in-process one by default, or an
+// external `loglens broker` via -bus), reporting publish round-trips/s.
+//
+//	loadtest -mode bus -conns 32 -duration 10s
+//	loadtest -mode bus -bus broker-host:7070 -conns 32
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,10 +38,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"loglens/internal/bus"
 	"loglens/internal/core"
 	"loglens/internal/datagen"
 	"loglens/internal/experiments"
 	"loglens/internal/intake"
+	"loglens/internal/netbus"
 )
 
 func main() {
@@ -47,6 +57,7 @@ func main() {
 	rate := flag.Int("rate", 0, "target aggregate lines/s across all clients, 0 = unpaced (tcp/http modes)")
 	duration := flag.Duration("duration", 10*time.Second, "load duration (tcp/http modes)")
 	tenantRate := flag.Int("tenant-rate", 0, "per-tenant admission limit lines/s, 0 = unlimited (tcp/http modes)")
+	busAddr := flag.String("bus", "", "external broker address for -mode bus (default: in-process broker)")
 	flag.Parse()
 
 	var err error
@@ -55,6 +66,8 @@ func main() {
 		err = run(*partList, *logCount, *sources, *staged, *seed)
 	case "tcp", "http":
 		err = runNet(*mode, *conns, *rate, *duration, *tenantRate, *seed)
+	case "bus":
+		err = runBusLoad(*busAddr, *conns, *rate, *duration, *seed)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -141,6 +154,111 @@ func runNet(mode string, conns, rate int, dur time.Duration, tenantRate int, see
 	for _, ts := range st.Tenants {
 		fmt.Printf("  tenant %-10s accepted %-10d published %-10d shed %d (rate %d, queue %d)\n",
 			ts.Tenant, ts.Accepted, ts.Published, ts.Shed, ts.ShedRate, ts.ShedQueue)
+	}
+	return nil
+}
+
+// runBusLoad hammers a netbus broker with conns concurrent TCP
+// publishers, each on its own connection with its own (source, seq)
+// identity, and reports publish round-trips per second. With -bus it
+// targets an external `loglens broker`; otherwise it spins one up
+// in-process so the numbers isolate the transport.
+func runBusLoad(busAddr string, conns, rate int, dur time.Duration, seed int64) error {
+	if conns <= 0 {
+		return fmt.Errorf("need at least one connection")
+	}
+	corpus := datagen.D1(seed)
+	if busAddr == "" {
+		srv := netbus.NewServer(bus.New())
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		busAddr = addr
+	}
+
+	const topic = "loadtest"
+	var sent, failed atomic.Uint64
+	deadline := time.Now().Add(dur)
+	perConnRate := 0
+	if rate > 0 {
+		perConnRate = rate / conns
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := busClient(busAddr, topic, id, perConnRate, deadline, corpus.Test, &sent, &failed); err != nil {
+				errs <- fmt.Errorf("publisher %d: %w", id, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		fmt.Fprintln(os.Stderr, "loadtest:", e)
+	}
+	elapsed := time.Since(start)
+
+	// Count what actually landed, straight from the broker.
+	check := netbus.Dial(busAddr, netbus.Options{})
+	defer check.Close()
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	cerr := check.WaitConnected(cctx)
+	ccancel()
+	if cerr != nil {
+		return fmt.Errorf("verify landed count: %w", cerr)
+	}
+	var landed int64
+	if parts, err := check.Partitions(topic); err == nil {
+		for pi := 0; pi < parts; pi++ {
+			if off, err := check.EndOffset(topic, pi); err == nil {
+				landed += off
+			}
+		}
+	}
+
+	fmt.Printf("%-8s %-7s %-12s %-10s %-10s %-10s %-12s\n",
+		"mode", "conns", "elapsed", "sent", "failed", "landed", "publish/sec")
+	fmt.Printf("%-8s %-7d %-12v %-10d %-10d %-10d %-12.0f\n",
+		"bus", conns, elapsed.Round(time.Millisecond), sent.Load(), failed.Load(),
+		landed, float64(sent.Load())/elapsed.Seconds())
+	return nil
+}
+
+// busClient publishes lines over one netbus connection until deadline.
+// Every publish is a full round-trip (the broker acks each frame), so
+// the reported rate is end-to-end RPC throughput, not socket bandwidth.
+func busClient(addr, topic string, id, rate int, deadline time.Time, lines []string, sent, failed *atomic.Uint64) error {
+	client := netbus.Dial(addr, netbus.Options{Role: "loadtest"})
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := client.WaitConnected(ctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if err := client.CreateTopic(topic, 4); err != nil {
+		return err
+	}
+	source := fmt.Sprintf("lt-%d", id)
+	i := 0
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		for j := 0; j < clientBatch; j++ {
+			line := lines[i%len(lines)]
+			i++
+			if _, _, err := client.Publish(topic, source, []byte(line), map[string]string{"source": source}); err != nil {
+				failed.Add(1)
+				continue
+			}
+			sent.Add(1)
+		}
+		pace(&next, rate)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"loglens/internal/anomaly"
+	"loglens/internal/bus"
 	"loglens/internal/clock"
 	"loglens/internal/core"
 	"loglens/internal/dashboard"
@@ -34,6 +35,7 @@ import (
 	"loglens/internal/intake"
 	"loglens/internal/logtypes"
 	"loglens/internal/modelmgr"
+	"loglens/internal/netbus"
 	"loglens/internal/obs"
 	"loglens/internal/preprocess"
 )
@@ -64,6 +66,7 @@ type options struct {
 	tenantRate   int
 	intakeQueue  int
 	sloE2EMs     int
+	busAddr      string
 }
 
 func main() {
@@ -71,6 +74,9 @@ func main() {
 	// classic train-and-stream invocation.
 	if len(os.Args) > 1 && os.Args[1] == "watch" {
 		os.Exit(watchMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "broker" {
+		os.Exit(brokerMain(os.Args[2:]))
 	}
 	var o options
 	flag.StringVar(&o.trainPath, "train", "", "training log file (required unless -load-model)")
@@ -98,6 +104,7 @@ func main() {
 	flag.IntVar(&o.tenantRate, "tenant-rate", 0, "per-tenant intake rate limit in lines/sec (0 = unlimited); TCP senders over it are slowed, UDP/HTTP lines shed")
 	flag.IntVar(&o.intakeQueue, "intake-queue", 0, "bounded intake queue depth between the listeners and the bus (0 = default 8192)")
 	flag.IntVar(&o.sloE2EMs, "slo-e2e-ms", 0, "end-to-end latency SLO in milliseconds: lines slower than this count in latency_slo_breach_total and /api/latency (0 disables)")
+	flag.StringVar(&o.busAddr, "bus", "", "run against an external broker at this address (see `loglens broker`) instead of the in-process bus")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -123,7 +130,22 @@ func run(o options) error {
 		stop()
 	}()
 
+	var extBus bus.Broker
+	if o.busAddr != "" {
+		client := netbus.Dial(o.busAddr, netbus.Options{Clock: clk, Role: "worker"})
+		defer client.Close()
+		wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+		err := client.WaitConnected(wctx)
+		wcancel()
+		if err != nil {
+			return fmt.Errorf("connect to broker %s: %w", o.busAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "connected to broker %s\n", o.busAddr)
+		extBus = client
+	}
+
 	p, err := core.New(core.Config{
+		Bus:              extBus,
 		Clock:            clk,
 		Ops:              ops,
 		DisableHeartbeat: o.hbInterval <= 0,

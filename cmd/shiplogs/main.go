@@ -3,6 +3,12 @@
 //
 //	shiplogs -addr loglens-host:5044 -source web-1 -file access.log
 //	tail -f app.log | shiplogs -addr :5044 -source app
+//
+// With -bus it ships to a broker (`loglens broker`) over the netbus
+// protocol instead, writing every line through a bounded CRC-framed disk
+// spool first so broker outages shorter than the spool cap lose nothing:
+//
+//	shiplogs -bus broker-host:7070 -source web-1 -file access.log
 package main
 
 import (
@@ -10,28 +16,40 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"loglens/internal/agent"
+	"loglens/internal/clock"
+	"loglens/internal/fsx"
+	"loglens/internal/netbus"
 	"loglens/internal/wire"
 )
 
 func main() {
-	addr := flag.String("addr", "", "LogLens service address (required)")
+	addr := flag.String("addr", "", "LogLens service address (mutually exclusive with -bus)")
+	busAddr := flag.String("bus", "", "broker address to publish through (see `loglens broker`)")
 	source := flag.String("source", "", "log source name (required)")
 	file := flag.String("file", "-", "log file to ship ('-' for stdin)")
 	rate := flag.Int("rate", 0, "ship rate in logs/sec (0 = unthrottled)")
+	spoolDir := flag.String("spool-dir", "", "directory for the -bus disk spool (default: os temp dir)")
+	spoolMax := flag.Int64("spool-max-bytes", netbus.DefaultSpoolMaxBytes, "spool capacity; oldest lines shed beyond this")
 	flag.Parse()
 
-	if err := run(*addr, *source, *file, *rate); err != nil {
+	if err := run(*addr, *busAddr, *source, *file, *rate, *spoolDir, *spoolMax); err != nil {
 		fmt.Fprintln(os.Stderr, "shiplogs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, source, file string, rate int) error {
-	if addr == "" || source == "" {
-		return fmt.Errorf("-addr and -source are required")
+func run(addr, busAddr, source, file string, rate int, spoolDir string, spoolMax int64) error {
+	if (addr == "") == (busAddr == "") {
+		return fmt.Errorf("exactly one of -addr or -bus is required, plus -source")
+	}
+	if source == "" {
+		return fmt.Errorf("-source is required")
 	}
 	in := os.Stdin
 	if file != "-" {
@@ -41,6 +59,9 @@ func run(addr, source, file string, rate int) error {
 		}
 		defer f.Close()
 		in = f
+	}
+	if busAddr != "" {
+		return runBus(busAddr, source, file, in, rate, spoolDir, spoolMax)
 	}
 
 	client, err := wire.Dial(addr, source)
@@ -55,8 +76,7 @@ func run(addr, source, file string, rate int) error {
 		defer limiter.Stop()
 	}
 
-	scanner := bufio.NewScanner(in)
-	scanner.Buffer(make([]byte, 0, 64*1024), wire.MaxFrameBytes)
+	scanner := newLineScanner(in)
 	ctx := context.Background()
 	var n uint64
 	for scanner.Scan() {
@@ -88,4 +108,81 @@ func run(addr, source, file string, rate int) error {
 	}
 	fmt.Fprintf(os.Stderr, "shipped %d logs from %s as source %q\n", n, file, source)
 	return nil
+}
+
+// runBus ships through a netbus broker: every line lands in the disk
+// spool first, the publisher drains it to the broker in order, and the
+// (source, seq) identity makes replays after a crash or reconnect
+// idempotent on the broker side.
+func runBus(busAddr, source, file string, in io.Reader, rate int, spoolDir string, spoolMax int64) error {
+	if spoolDir == "" {
+		spoolDir = os.TempDir()
+	}
+	spoolPath := filepath.Join(spoolDir, "shiplogs-"+source+".spool")
+	spool, err := netbus.OpenSpool(netbus.SpoolOptions{
+		FS:       fsx.OS{},
+		Path:     spoolPath,
+		MaxBytes: spoolMax,
+	})
+	if err != nil {
+		return fmt.Errorf("open spool %s: %w", spoolPath, err)
+	}
+
+	// The broker dedups on (source, seq) with a max-based high-water
+	// mark, so a restarted agent that counted from 1 again would have
+	// every fresh line silently swallowed as a replay. The seq file
+	// persists the counter across incarnations (block-reserved, so a
+	// crash skips numbers but never reuses them).
+	seqFile, err := netbus.OpenSeqFile(fsx.OS{}, spoolPath+".seq", 0)
+	if err != nil {
+		return fmt.Errorf("open seq file: %w", err)
+	}
+
+	client := netbus.Dial(busAddr, netbus.Options{Clock: clock.New(), Role: "agent"})
+	defer client.Close()
+	pub := netbus.NewPublisher(client, agent.LogsTopic, spool)
+	defer pub.Close()
+
+	var limiter *time.Ticker
+	if rate > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(rate))
+		defer limiter.Stop()
+	}
+
+	scanner := newLineScanner(in)
+	var n uint64
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		if limiter != nil {
+			<-limiter.C
+		}
+		seq, err := seqFile.Next()
+		if err != nil {
+			return fmt.Errorf("reserve seq: %w", err)
+		}
+		if err := pub.Send(source, seq, line); err != nil {
+			return fmt.Errorf("spool %s: %w", spoolPath, err)
+		}
+		n++
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := pub.Drain(ctx); err != nil {
+		return fmt.Errorf("drain spool (%d lines still queued): %w", spool.Len(), err)
+	}
+	fmt.Fprintf(os.Stderr, "shipped %d logs from %s as source %q via broker %s (%d shed)\n",
+		n, file, source, busAddr, spool.Shed())
+	return nil
+}
+
+func newLineScanner(in io.Reader) *bufio.Scanner {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), wire.MaxFrameBytes)
+	return scanner
 }

@@ -60,13 +60,13 @@ type Config struct {
 // Agent ships logs from a reader (file, pipe, generator) to the bus.
 type Agent struct {
 	cfg  Config
-	bus  *bus.Bus
+	bus  bus.Broker
 	seq  uint64
 	sent uint64
 }
 
 // New constructs an Agent and declares the logs topic.
-func New(b *bus.Bus, cfg Config) (*Agent, error) {
+func New(b bus.Broker, cfg Config) (*Agent, error) {
 	if cfg.Source == "" {
 		return nil, fmt.Errorf("agent: source must be set")
 	}

@@ -78,6 +78,20 @@ func (b *Bus) SeekGroup(groupName, topicName string, partition int, offset int64
 		fmt.Sprintf("%s/%d restore-seek", topicName, partition), offset)
 }
 
+// CommitGroup advances one partition's committed offset for a consumer
+// group, creating the group if needed. Like Consumer.Commit it never
+// regresses; unlike it, no subscribed consumer instance is required —
+// the networked broker commits on behalf of remote readers.
+func (b *Bus) CommitGroup(groupName, topicName string, partition int, offset int64) {
+	g := b.groupByName(groupName)
+	tp := topicPartition{topicName, partition}
+	g.mu.Lock()
+	if offset > g.committed[tp] {
+		g.committed[tp] = offset
+	}
+	g.mu.Unlock()
+}
+
 // ReadFrom returns up to max messages of one partition starting at
 // offset without touching any group state — a side-effect-free peek used
 // by the deadletter API and tests.

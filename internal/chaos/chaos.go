@@ -154,7 +154,7 @@ type Stats struct {
 // the deterministic schedule assumes publishes arrive in a fixed order.
 type Producer struct {
 	mu     sync.Mutex
-	bus    *bus.Bus
+	bus    bus.Broker
 	topic  string
 	clk    clock.Clock
 	cfg    Config
@@ -176,7 +176,7 @@ type heldMsg struct {
 
 // NewProducer wraps publishing to topic on b with the fault plan cfg,
 // timing delays against clk.
-func NewProducer(b *bus.Bus, topic string, clk clock.Clock, cfg Config) *Producer {
+func NewProducer(b bus.Broker, topic string, clk clock.Clock, cfg Config) *Producer {
 	cfg.setDefaults()
 	if clk == nil {
 		clk = clock.New()
@@ -387,7 +387,7 @@ func WrapOperator(cfg Config, stats *Stats, proc stream.ProcessFunc) stream.Proc
 // once.
 type Consumer struct {
 	mu    sync.Mutex
-	c     *bus.Consumer
+	c     bus.Reader
 	cfg   Config
 	polls uint64
 	// frontier is the highest delivered offset per partition.
@@ -406,7 +406,7 @@ type partitionKey struct {
 }
 
 // NewConsumer wraps c with the fault plan cfg.
-func NewConsumer(c *bus.Consumer, cfg Config) *Consumer {
+func NewConsumer(c bus.Reader, cfg Config) *Consumer {
 	cfg.setDefaults()
 	return &Consumer{
 		c:        c,

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -119,6 +120,200 @@ func (c *StallConn) Close() error {
 		close(c.closed)
 	}
 	return c.Conn.Close()
+}
+
+// Proxy is a TCP man-in-the-middle for cluster chaos: nodes connect to
+// the proxy instead of the broker, and the test flips faults on the
+// link between them. Partition severs every proxied connection and
+// refuses new ones until Heal; SetSlowLink throttles both directions of
+// every connection established afterwards. Unlike the conn wrappers
+// above, the Proxy faults a live, reconnecting client mid-run — the
+// shape of failure the netbus transport must absorb.
+type Proxy struct {
+	target string
+	clk    clock.Clock
+
+	mu          sync.Mutex
+	ln          net.Listener
+	pairs       map[net.Conn]net.Conn // downstream -> upstream
+	partitioned bool
+	slowChunk   int
+	slowEvery   time.Duration
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// NewProxy starts a proxy on loopback forwarding to target.
+func NewProxy(target string, clk clock.Clock) (*Proxy, error) {
+	if clk == nil {
+		clk = clock.New()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		clk:    clk,
+		ln:     ln,
+		pairs:  make(map[net.Conn]net.Conn),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return p, nil
+}
+
+// Addr returns the address nodes should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition cuts the link: live connections drop, new ones are refused
+// until Heal. The listener stays up — a partition is not a dead peer,
+// and the dialing side must keep retrying into it.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	pairs := p.pairs
+	p.pairs = make(map[net.Conn]net.Conn)
+	p.mu.Unlock()
+	for down, up := range pairs {
+		down.Close()
+		up.Close()
+	}
+}
+
+// Heal ends a partition; the next dial goes through.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// SetSlowLink throttles every subsequently established connection to
+// chunk bytes per interval in both directions (0 chunk restores full
+// speed). Existing connections are untouched; pair with Partition to
+// force traffic onto the slow path.
+func (p *Proxy) SetSlowLink(chunk int, interval time.Duration) {
+	p.mu.Lock()
+	p.slowChunk = chunk
+	p.slowEvery = interval
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy and every proxied connection down.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pairs := p.pairs
+	p.pairs = make(map[net.Conn]net.Conn)
+	p.mu.Unlock()
+	p.ln.Close()
+	for down, up := range pairs {
+		down.Close()
+		up.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		chunk, interval := p.slowChunk, p.slowEvery
+		p.mu.Unlock()
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			continue
+		}
+		p.pairs[conn] = up
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(conn, up, chunk, interval)
+		go p.pipe(up, conn, chunk, interval)
+	}
+}
+
+// pipe copies src to dst until either side dies, throttling writes when
+// a slow link is configured, then tears the pair down.
+func (p *Proxy) pipe(dst, src net.Conn, chunk int, interval time.Duration) {
+	defer p.wg.Done()
+	var w io.Writer = dst
+	if chunk > 0 && interval > 0 {
+		w = NewSlowConn(dst, p.clk, chunk, interval)
+	}
+	io.Copy(w, src)
+	dst.Close()
+	src.Close()
+	p.mu.Lock()
+	delete(p.pairs, dst)
+	delete(p.pairs, src)
+	p.mu.Unlock()
+}
+
+// Restartable is the broker surface BrokerKill drives: netbus.Server
+// satisfies it (Stop severs the network face, Listen resurrects it on
+// the same durable state).
+type Restartable interface {
+	Addr() string
+	Stop()
+	Listen(addr string) (string, error)
+}
+
+// BrokerKill is the crash/restart primitive for a broker node: Kill
+// remembers the address and severs it, Restart brings the same broker
+// back there. The log, group offsets, and dedup state survive — the
+// durable-log crash model the storage engine's tests pin down, applied
+// to the transport tier.
+type BrokerKill struct {
+	srv  Restartable
+	addr string
+	down bool
+}
+
+// NewBrokerKill wraps a running broker.
+func NewBrokerKill(srv Restartable) *BrokerKill {
+	return &BrokerKill{srv: srv, addr: srv.Addr()}
+}
+
+// Kill severs the broker's network face. No-op if already down.
+func (k *BrokerKill) Kill() {
+	if k.down {
+		return
+	}
+	k.down = true
+	k.srv.Stop()
+}
+
+// Restart brings the broker back on its original address.
+func (k *BrokerKill) Restart() error {
+	if !k.down {
+		return nil
+	}
+	if _, err := k.srv.Listen(k.addr); err != nil {
+		return err
+	}
+	k.down = false
+	return nil
 }
 
 // Churn opens conns sequential short-lived TCP connections to addr, each

@@ -139,14 +139,25 @@ type Config struct {
 	// stream.Config.MaxBatch). The fake-clock latency tests use it to
 	// close batches on an exact record count instead of the timer.
 	MaxBatch int
+	// Bus, when set, replaces the pipeline's private in-process bus with
+	// an external broker — typically a netbus.Client pointed at a
+	// `loglens broker` process (the -bus flag), turning this pipeline
+	// into the worker tier of a multi-node deployment. The log manager,
+	// the staged parsed-topic pump, the recovery commit gate, and the
+	// control watcher all run unchanged against it. Nil keeps the
+	// in-process bus (the single-node default).
+	Bus bus.Broker
 }
 
 // Pipeline is a running LogLens deployment.
 type Pipeline struct {
 	cfg Config
 
-	bus    *bus.Bus
-	store  *store.Store
+	bus bus.Broker
+	// localBus is the in-process broker backing bus when Config.Bus is
+	// unset (nil when an external broker is plugged in).
+	localBus *bus.Bus
+	store    *store.Store
 	engine *stream.Engine
 	// detectEngine is the second stage of the staged topology (nil when
 	// fused).
@@ -241,12 +252,16 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	p := &Pipeline{
 		cfg:      cfg,
-		bus:      bus.NewWithClock(cfg.Clock),
+		bus:      cfg.Bus,
 		store:    st,
 		bySource: make(map[string]*modelmgr.Model),
 		runErr:   make(chan error, 1),
 		reg:      cfg.Metrics,
 		events:   obs.EventsOf(cfg.Ops),
+	}
+	if p.bus == nil {
+		p.localBus = bus.NewWithClock(cfg.Clock)
+		p.bus = p.localBus
 	}
 	p.linesTotal = p.reg.Counter("core_lines_total")
 	p.hbTotal = p.reg.Counter("core_heartbeats_total")
@@ -260,8 +275,15 @@ func New(cfg Config) (*Pipeline, error) {
 		}
 		p.lat = latency.New(p.reg, cfg.Clock, parts, cfg.SLOE2E)
 	}
-	p.bus.SetMetrics(p.reg)
-	p.bus.SetRecorder(p.events)
+	// Instrumentation hooks are optional broker capabilities: the
+	// in-process bus and the netbus client both expose them, but the
+	// Broker interface stays transport-minimal.
+	if mb, ok := p.bus.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		mb.SetMetrics(p.reg)
+	}
+	if rb, ok := p.bus.(interface{ SetRecorder(*obs.FlightRecorder) }); ok {
+		rb.SetRecorder(p.events)
+	}
 	p.builder = modelmgr.NewBuilder(cfg.Builder)
 	p.manager = modelmgr.NewManager(p.store, p.builder)
 	p.manager.Instrument(p.reg)
@@ -490,6 +512,11 @@ func (p *Pipeline) registerProbes() {
 		}
 		return obs.ProbeResult{Status: obs.Healthy, Detail: detail}
 	})
+	if prober, ok := p.bus.(interface{ Probe() obs.ProbeResult }); ok {
+		// An external broker (netbus.Client) reports its connectivity —
+		// connected, backing off between reconnect attempts, or down.
+		h.Register("netbus", prober.Probe)
+	}
 	if p.store.Persistent() {
 		h.Register("storage", p.storageProbe)
 	}
@@ -520,8 +547,14 @@ func (p *Pipeline) registerProbes() {
 	}
 }
 
-// Bus exposes the message bus (for agents and tools).
-func (p *Pipeline) Bus() *bus.Bus { return p.bus }
+// Bus exposes the in-process message bus (for agents and tools). Nil
+// when the pipeline runs against an external broker (Config.Bus); use
+// Broker for the transport-neutral handle.
+func (p *Pipeline) Bus() *bus.Bus { return p.localBus }
+
+// Broker exposes the broker the pipeline runs against — the in-process
+// bus, or the external one installed via Config.Bus.
+func (p *Pipeline) Broker() bus.Broker { return p.bus }
 
 // Store exposes the log/model/anomaly storage (for the dashboard and
 // tools).
@@ -1017,7 +1050,7 @@ func (p *Pipeline) OpenStates() int {
 }
 
 func (p *Pipeline) logmgrLag() int64 {
-	c, err := p.bus.NewConsumer("log-manager", agent.LogsTopic)
+	c, err := p.bus.Subscribe("log-manager", agent.LogsTopic)
 	if err != nil {
 		return 0
 	}

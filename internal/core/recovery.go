@@ -92,14 +92,14 @@ type pendingCommit struct {
 // records they cover are fully processed — a crash in between redelivers
 // them.
 type commitTracker struct {
-	b     *bus.Bus
+	b     bus.Broker
 	group string
 	topic string
 	on    *atomic.Bool // pipeline-level gate; Kill flips it off
 
 	mu       sync.Mutex
 	pending  []pendingCommit
-	consumer *bus.Consumer
+	consumer bus.Reader
 }
 
 // register queues a consumed batch's offsets behind the watermark.
@@ -141,7 +141,7 @@ func (t *commitTracker) flush(resolved uint64) {
 	t.pending = t.pending[n:]
 	c := t.consumer
 	if c == nil && merged != nil {
-		if nc, err := t.b.NewConsumer(t.group, t.topic); err == nil {
+		if nc, err := t.b.Subscribe(t.group, t.topic); err == nil {
 			t.consumer = nc
 			c = nc
 		}
@@ -357,7 +357,7 @@ func (p *Pipeline) quiesce(timeout time.Duration) error {
 
 // parsedCommitLag is the parsed-pump group's committed lag.
 func (p *Pipeline) parsedCommitLag() int64 {
-	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	c, err := p.bus.Subscribe(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return 0
 	}
@@ -372,7 +372,7 @@ func (p *Pipeline) resumeIntake() {
 // parsedReadLag is the parsed-pump group's read-frontier lag: messages
 // published to the parsed topic the pump has not yet consumed.
 func (p *Pipeline) parsedReadLag() int64 {
-	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	c, err := p.bus.Subscribe(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return 0
 	}

@@ -221,7 +221,7 @@ func (p *Pipeline) detectOperator(ctx *stream.Context, rec stream.Record) []any 
 // with auto-commit off (the detect engine's commit gate advances the
 // group) and honors checkpoint pauses.
 func (p *Pipeline) pumpParsed(done <-chan struct{}) {
-	consumer, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	consumer, err := p.bus.Subscribe(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return
 	}
@@ -280,7 +280,7 @@ func (p *Pipeline) forwardParsed(data []byte) {
 
 // parsedLag reports unconsumed parsed-topic messages.
 func (p *Pipeline) parsedLag() int64 {
-	c, err := p.bus.NewConsumer(parsedPumpGroup, ParsedTopic)
+	c, err := p.bus.Subscribe(parsedPumpGroup, ParsedTopic)
 	if err != nil {
 		return 0
 	}

@@ -79,7 +79,7 @@ const pollBatchMax = 1024
 // Manager pumps logs from the bus into the processing pipeline.
 type Manager struct {
 	cfg       Config
-	bus       *bus.Bus
+	bus       bus.Broker
 	store     *store.Store
 	forward   func(logtypes.Log)
 	forwardHB func(source string, t time.Time)
@@ -106,7 +106,7 @@ type Manager struct {
 
 // New constructs a Manager. forward is the downstream hook (the parser
 // stage); st may be nil when ArchiveLogs is false.
-func New(b *bus.Bus, st *store.Store, cfg Config, forward func(logtypes.Log)) *Manager {
+func New(b bus.Broker, st *store.Store, cfg Config, forward func(logtypes.Log)) *Manager {
 	if cfg.Group == "" {
 		cfg.Group = "log-manager"
 	}
@@ -141,7 +141,7 @@ func (m *Manager) Idle() bool { return m.idle.Load() }
 
 // Run consumes the logs topic until the context is done.
 func (m *Manager) Run(ctx context.Context) error {
-	consumer, err := m.bus.NewConsumer(m.cfg.Group, agent.LogsTopic)
+	consumer, err := m.bus.Subscribe(m.cfg.Group, agent.LogsTopic)
 	if err != nil {
 		return err
 	}
@@ -182,7 +182,7 @@ func (m *Manager) Run(ctx context.Context) error {
 // runPausable is the ManualCommit consumption loop: non-blocking polls so
 // a Pause takes effect between batches, with Idle acknowledging that the
 // loop is parked.
-func (m *Manager) runPausable(ctx context.Context, consumer *bus.Consumer, limiter *time.Ticker) error {
+func (m *Manager) runPausable(ctx context.Context, consumer bus.Reader, limiter *time.Ticker) error {
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -218,7 +218,7 @@ func (m *Manager) runPausable(ctx context.Context, consumer *bus.Consumer, limit
 // DrainOnce consumes and forwards everything currently pending, without
 // blocking — used by batch-mode harnesses that replay a finite corpus.
 func (m *Manager) DrainOnce() int {
-	consumer, err := m.bus.NewConsumer(m.cfg.Group, agent.LogsTopic)
+	consumer, err := m.bus.Subscribe(m.cfg.Group, agent.LogsTopic)
 	if err != nil {
 		return 0
 	}

@@ -40,12 +40,12 @@ type Instruction struct {
 // notifies it of model changes, and running detectors watch for
 // instructions and act on them.
 type Controller struct {
-	bus *bus.Bus
+	bus bus.Broker
 	reg *metrics.Registry
 }
 
 // NewController constructs a Controller, declaring the control topic.
-func NewController(b *bus.Bus) (*Controller, error) {
+func NewController(b bus.Broker) (*Controller, error) {
 	if err := b.CreateTopic(ControlTopic, 1); err != nil {
 		return nil, err
 	}
@@ -76,7 +76,7 @@ func (c *Controller) Announce(ins Instruction) error {
 // Watch delivers control instructions to fn until the context is done.
 // Each watcher group sees every instruction once.
 func (c *Controller) Watch(ctx context.Context, group string, fn func(Instruction)) error {
-	consumer, err := c.bus.NewConsumer(group, ControlTopic)
+	consumer, err := c.bus.Subscribe(group, ControlTopic)
 	if err != nil {
 		return err
 	}

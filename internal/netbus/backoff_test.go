@@ -1,0 +1,152 @@
+package netbus
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"loglens/internal/clock"
+)
+
+// TestBackoffSchedule pins the exact backoff computation: exponential
+// doubling from base to cap, plus splitmix64(seed^attempt) jitter in
+// [0, delay/2]. Same seed, same schedule — chaos runs are replayable.
+func TestBackoffSchedule(t *testing.T) {
+	c := &Client{opt: Options{
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+		Seed:        7,
+	}}
+	want := func(attempt uint64, base time.Duration) time.Duration {
+		return base + time.Duration(splitmix64(7^attempt)%uint64(base/2+1))
+	}
+	cases := []struct {
+		attempt uint64
+		base    time.Duration
+	}{
+		{0, 50 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 400 * time.Millisecond}, // capped
+		{9, 400 * time.Millisecond}, // stays capped
+	}
+	for _, tc := range cases {
+		got := c.backoff(tc.attempt)
+		if got != want(tc.attempt, tc.base) {
+			t.Errorf("backoff(%d) = %v, want %v", tc.attempt, got, want(tc.attempt, tc.base))
+		}
+		if got < tc.base || got > tc.base+tc.base/2 {
+			t.Errorf("backoff(%d) = %v outside [%v, %v]", tc.attempt, got, tc.base, tc.base+tc.base/2)
+		}
+	}
+	// Determinism: identical inputs, identical delays.
+	if c.backoff(3) != c.backoff(3) {
+		t.Error("backoff not deterministic")
+	}
+	// Different seeds decorrelate the jitter.
+	c2 := &Client{opt: Options{
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+		Seed:        8,
+	}}
+	same := 0
+	for a := uint64(0); a < 6; a++ {
+		if c.backoff(a) == c2.backoff(a) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Error("jitter identical across seeds")
+	}
+}
+
+// TestReconnectDeadlines drives the manager loop on a fake clock through
+// three failed dials and asserts the exact sleep deadlines the backoff
+// schedule demands — the same style of proof cmd/logreplay uses for its
+// pacing.
+func TestReconnectDeadlines(t *testing.T) {
+	fc := clock.NewFake()
+	start := fc.Now()
+
+	var mu sync.Mutex
+	dials := 0
+	dialErr := errors.New("refused")
+	opt := Options{
+		Clock: fc,
+		Dialer: func(addr string) (net.Conn, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			dials++
+			return nil, dialErr
+		},
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+		Seed:        42,
+	}
+	c := Dial("fake:1", opt)
+	defer c.Close()
+
+	expectedElapsed := time.Duration(0)
+	for attempt := uint64(0); attempt < 3; attempt++ {
+		fc.BlockUntil(1) // manager parked in clk.Sleep after a failed dial
+		delay := c.backoff(attempt)
+		wantDeadline := start.Add(expectedElapsed + delay)
+		dl := fc.Deadlines()
+		if len(dl) != 1 || !dl[0].Equal(wantDeadline) {
+			t.Fatalf("attempt %d: deadlines = %v, want [%v]", attempt, dl, wantDeadline)
+		}
+		expectedElapsed += delay
+		fc.Advance(delay)
+	}
+	fc.BlockUntil(1) // fourth dial failed and parked again
+	mu.Lock()
+	n := dials
+	mu.Unlock()
+	if n != 4 {
+		t.Fatalf("dials = %d, want 4", n)
+	}
+	if c.Connected() {
+		t.Fatal("Connected with a failing dialer")
+	}
+}
+
+// TestDialerRecovery proves the loop connects as soon as the dialer
+// succeeds and resets its attempt counter.
+func TestDialerRecovery(t *testing.T) {
+	srv, _ := startBroker(t, Options{}) // broker to actually land on
+	addr := srv.Addr()
+
+	fc := clock.NewFake()
+	var mu sync.Mutex
+	failures := 2
+	opt := Options{
+		Clock: fc,
+		Dialer: func(a string) (net.Conn, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if failures > 0 {
+				failures--
+				return nil, errors.New("refused")
+			}
+			return net.Dial("tcp", addr)
+		},
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  400 * time.Millisecond,
+		Seed:        1,
+	}
+	c := Dial(addr, opt)
+	defer c.Close()
+	for attempt := uint64(0); attempt < 2; attempt++ {
+		fc.BlockUntil(1)
+		fc.Advance(c.backoff(attempt))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitConnected(ctx); err != nil {
+		t.Fatalf("WaitConnected after dialer recovery: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package netbus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzRPCDecode hammers the frame decoder with arbitrary bytes. The
+// decoder must never panic, never allocate for an unannounced payload,
+// and classify every rejection as one of its typed errors. A pinned
+// malformed-frame corpus lives in testdata/fuzz/FuzzRPCDecode.
+func FuzzRPCDecode(f *testing.F) {
+	// Well-formed seeds across the op range.
+	ping, _ := EncodeFrame(OpPing, 1, Request{})
+	f.Add(ping)
+	pub, _ := EncodeFrame(OpPublish, 42, Request{Topic: "logs", Key: "k", Value: []byte("x"), Source: "s", Seq: 7})
+	f.Add(pub)
+	poll, _ := EncodeFrame(OpPoll, 99, Request{Group: "g", Topics: []string{"logs"}, Max: 10, WaitMs: 50})
+	f.Add(poll)
+	two := append(append([]byte{}, ping...), pub...)
+	f.Add(two)
+	// Malformed seeds: wrong magic, wrong version, zero op, out-of-range
+	// op, oversize length, bad CRC, truncated header and payload.
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+	f.Add([]byte{'L', 'B', 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{'L', 'B', 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{'L', 'B', 1, byte(opMax), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	big := []byte{'L', 'B', 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+	f.Add(big)
+	badcrc := append([]byte{}, ping...)
+	badcrc[len(badcrc)-1] ^= 0xFF
+	f.Add(badcrc)
+	f.Add(ping[:3])
+	f.Add(ping[:headerSize-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, id, payload, rest, err := DecodeFrame(data)
+		if err != nil {
+			// Every rejection must be a typed protocol error, and the
+			// input must be handed back untouched for the caller's error
+			// path.
+			if !errors.Is(err, ErrProtoMismatch) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrFrameTooBig) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrBadOp) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			if !bytes.Equal(rest, data) {
+				t.Fatalf("error path consumed input")
+			}
+			return
+		}
+		// Accepted frame: every invariant the protocol promises.
+		if op == 0 || op >= opMax {
+			t.Fatalf("accepted op %d out of range", op)
+		}
+		if len(payload) > MaxPayloadBytes {
+			t.Fatalf("accepted %d byte payload", len(payload))
+		}
+		if len(rest) != len(data)-headerSize-len(payload) {
+			t.Fatalf("rest length wrong: %d", len(rest))
+		}
+		// Round-trip: re-framing the decoded parts must reproduce the
+		// consumed bytes exactly.
+		reframed := AppendFrame(nil, op, id, payload)
+		if !bytes.Equal(reframed, data[:len(data)-len(rest)]) {
+			t.Fatalf("re-encode mismatch")
+		}
+		// And the stream reader must agree with the pure decoder.
+		sop, sid, spayload, serr := readFrame(bytes.NewReader(data))
+		if serr != nil || sop != op || sid != id || !bytes.Equal(spayload, payload) {
+			t.Fatalf("readFrame disagrees: op=%d id=%d err=%v", sop, sid, serr)
+		}
+	})
+}
+
+// TestDecodeFrameErrors pins each malformed shape to its exact error —
+// the classification the fuzz target only checks membership of.
+func TestDecodeFrameErrors(t *testing.T) {
+	valid, _ := EncodeFrame(OpPing, 1, Request{})
+	header := func(mut func(h []byte)) []byte {
+		h := append([]byte{}, valid[:headerSize]...)
+		mut(h)
+		return h
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"one byte", []byte{'L'}, ErrTruncated},
+		{"wrong magic early", []byte("HT"), ErrProtoMismatch},
+		{"wrong magic full", header(func(h []byte) { h[0] = 'X' }), ErrProtoMismatch},
+		{"future version", header(func(h []byte) { h[2] = Version + 1 }), ErrProtoMismatch},
+		{"zero op", header(func(h []byte) { h[3] = 0 }), ErrBadOp},
+		{"op out of range", header(func(h []byte) { h[3] = byte(opMax) }), ErrBadOp},
+		{"short header", valid[:headerSize-1], ErrTruncated},
+		{"short payload", header(func(h []byte) {
+			binary.LittleEndian.PutUint32(h[12:16], 100)
+		}), ErrTruncated},
+		{"oversize", header(func(h []byte) {
+			binary.LittleEndian.PutUint32(h[12:16], MaxPayloadBytes+1)
+		}), ErrFrameTooBig},
+		{"bad crc", func() []byte {
+			d := append([]byte{}, valid...)
+			d[len(d)-1] ^= 0xFF
+			return d
+		}(), ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, _, _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Control: the valid frame decodes.
+	op, id, payload, rest, err := DecodeFrame(valid)
+	if err != nil || op != OpPing || id != 1 || len(rest) != 0 {
+		t.Fatalf("valid frame: op=%d id=%d payload=%q rest=%d err=%v", op, id, payload, len(rest), err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(valid[16:20]) {
+		t.Fatal("payload does not match its checksum")
+	}
+}

@@ -1,0 +1,291 @@
+// Package netbus puts the bus on TCP: a broker server exposing the
+// in-process bus's topic/partition/consumer-group API as a length-framed
+// RPC protocol, and a resilient client implementing the same bus
+// interfaces (bus.Broker, bus.Reader) so the pipeline, the log manager,
+// and the intake tier run unchanged against a remote broker — the
+// paper's Kafka deployment shape (§II) over our own wire format.
+//
+// Frame layout (little-endian, CRC-framed like the storage WAL):
+//
+//	[0:2]   magic "LB"
+//	[2]     protocol version (1)
+//	[3]     op code
+//	[4:12]  request id (echoed in the response)
+//	[12:16] payload length
+//	[16:20] CRC32 (IEEE) of the payload
+//	[20:..] JSON payload (Request on the way in, Response on the way out)
+//
+// The magic and version bytes are checked before anything else is
+// touched, so a peer speaking a different protocol (or a future
+// incompatible revision) fails with ErrProtoMismatch at decode time
+// instead of mis-parsing garbage lengths.
+package netbus
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"loglens/internal/bus"
+)
+
+// Protocol constants.
+const (
+	magic0  = 'L'
+	magic1  = 'B'
+	Version = 1
+
+	// headerSize is the fixed frame header length.
+	headerSize = 20
+
+	// MaxPayloadBytes bounds one frame's payload (matching the wire
+	// package's maximum log-line length, so any legal publish fits).
+	MaxPayloadBytes = 16 << 20
+)
+
+// Op codes. Responses echo the request's op.
+const (
+	OpPublish byte = iota + 1
+	OpPublishTo
+	OpBroadcast
+	OpCreateTopic
+	OpPartitions
+	OpEndOffset
+	OpPoll
+	OpCommit
+	OpSeek
+	OpSeekGroup
+	OpGroupOffsets
+	OpLag
+	OpReadLag
+	OpReadFrom
+	// OpResume rewinds a group's read frontier to its committed offsets —
+	// sent by a reconnecting client so in-flight batches that died with
+	// the old connection are redelivered (at-least-once).
+	OpResume
+	// OpPing is the connection liveness probe.
+	OpPing
+	opMax
+)
+
+// opNames maps op codes to the metric label values of
+// netbus_request_seconds{op}.
+var opNames = [opMax]string{
+	OpPublish:      "publish",
+	OpPublishTo:    "publish_to",
+	OpBroadcast:    "broadcast",
+	OpCreateTopic:  "create_topic",
+	OpPartitions:   "partitions",
+	OpEndOffset:    "end_offset",
+	OpPoll:         "poll",
+	OpCommit:       "commit",
+	OpSeek:         "seek",
+	OpSeekGroup:    "seek_group",
+	OpGroupOffsets: "group_offsets",
+	OpLag:          "lag",
+	OpReadLag:      "read_lag",
+	OpReadFrom:     "read_from",
+	OpResume:       "resume",
+	OpPing:         "ping",
+}
+
+// Decode-time protocol errors.
+var (
+	// ErrProtoMismatch reports a frame whose magic or version byte does
+	// not match this implementation.
+	ErrProtoMismatch = errors.New("netbus: protocol magic/version mismatch")
+	// ErrFrameTooBig reports a header announcing a payload beyond
+	// MaxPayloadBytes.
+	ErrFrameTooBig = errors.New("netbus: frame exceeds max payload size")
+	// ErrChecksum reports a payload whose CRC32 does not match the header.
+	ErrChecksum = errors.New("netbus: payload checksum mismatch")
+	// ErrTruncated reports a buffer shorter than its header announces.
+	ErrTruncated = errors.New("netbus: truncated frame")
+	// ErrBadOp reports an op code outside the protocol's range.
+	ErrBadOp = errors.New("netbus: unknown op code")
+)
+
+// Request is the RPC request payload. Fields are op-specific; unused
+// ones stay at their zero value and are omitted from the JSON.
+type Request struct {
+	Topic      string            `json:"topic,omitempty"`
+	Partition  int               `json:"partition,omitempty"`
+	Partitions int               `json:"partitions,omitempty"`
+	Key        string            `json:"key,omitempty"`
+	Value      []byte            `json:"value,omitempty"`
+	Headers    map[string]string `json:"headers,omitempty"`
+	Group      string            `json:"group,omitempty"`
+	Topics     []string          `json:"topics,omitempty"`
+	Offset     int64             `json:"offset,omitempty"`
+	Max        int               `json:"max,omitempty"`
+	// Manual runs the server-side consumer with auto-commit disabled
+	// (OpPoll).
+	Manual bool `json:"manual,omitempty"`
+	// WaitMs bounds how long an OpPoll may block broker-side before
+	// returning an empty batch (0 = non-blocking TryPoll).
+	WaitMs int64 `json:"waitMs,omitempty"`
+	// Source and Seq carry the publisher's idempotence identity
+	// (OpPublish): the broker drops a publish whose per-(topic, source)
+	// sequence it has already appended, so a spooling agent may re-send
+	// after a lost ack without duplicating lines. Seq 0 disables dedup.
+	Source string `json:"source,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+}
+
+// WireMessage is one bus message in transit.
+type WireMessage struct {
+	Topic     string            `json:"topic"`
+	Partition int               `json:"partition"`
+	Offset    int64             `json:"offset"`
+	Key       string            `json:"key,omitempty"`
+	Value     []byte            `json:"value,omitempty"`
+	Headers   map[string]string `json:"headers,omitempty"`
+	TimeNanos int64             `json:"time"`
+}
+
+// toWire converts a bus message for transit.
+func toWire(m bus.Message) WireMessage {
+	return WireMessage{
+		Topic:     m.Topic,
+		Partition: m.Partition,
+		Offset:    m.Offset,
+		Key:       m.Key,
+		Value:     m.Value,
+		Headers:   m.Headers,
+		TimeNanos: m.Time.UnixNano(),
+	}
+}
+
+// fromWire converts a transit message back to a bus message.
+func fromWire(w WireMessage) bus.Message {
+	return bus.Message{
+		Topic:     w.Topic,
+		Partition: w.Partition,
+		Offset:    w.Offset,
+		Key:       w.Key,
+		Value:     w.Value,
+		Headers:   w.Headers,
+		Time:      time.Unix(0, w.TimeNanos),
+	}
+}
+
+// Response is the RPC response payload.
+type Response struct {
+	// Err carries a broker-side error as text ("" = success).
+	Err string `json:"err,omitempty"`
+	// Partition/Offset answer publishes and offset queries; Offset also
+	// carries lag answers.
+	Partition int   `json:"partition,omitempty"`
+	Offset    int64 `json:"offset,omitempty"`
+	// Count answers OpPartitions.
+	Count int `json:"count,omitempty"`
+	// Offsets answers OpGroupOffsets.
+	Offsets map[string]int64 `json:"offsets,omitempty"`
+	// Msgs answers OpPoll/OpReadFrom.
+	Msgs []WireMessage `json:"msgs,omitempty"`
+	// Dup marks a publish the broker deduplicated (already-seen Seq):
+	// acknowledged, nothing appended.
+	Dup bool `json:"dup,omitempty"`
+}
+
+// errResponse wraps a broker-side error for transit.
+func errResponse(err error) Response {
+	if err == nil {
+		return Response{}
+	}
+	return Response{Err: err.Error()}
+}
+
+// AppendFrame appends one framed message to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, op byte, id uint64, payload []byte) []byte {
+	var h [headerSize]byte
+	h[0], h[1], h[2], h[3] = magic0, magic1, Version, op
+	binary.LittleEndian.PutUint64(h[4:12], id)
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[16:20], crc32.ChecksumIEEE(payload))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// EncodeFrame marshals v and frames it.
+func EncodeFrame(op byte, id uint64, v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("netbus: encode op %d: %w", op, err)
+	}
+	if len(payload) > MaxPayloadBytes {
+		return nil, ErrFrameTooBig
+	}
+	return AppendFrame(make([]byte, 0, headerSize+len(payload)), op, id, payload), nil
+}
+
+// DecodeFrame decodes one frame from the front of data, returning the
+// remainder. The magic and version bytes are validated before anything
+// else; a short buffer returns ErrTruncated (callers streaming from a
+// socket read more and retry).
+func DecodeFrame(data []byte) (op byte, id uint64, payload, rest []byte, err error) {
+	if len(data) < 4 {
+		// Not even magic+version+op yet: mismatch beats truncation so a
+		// wrong-protocol peer fails fast on its first bytes.
+		if len(data) >= 2 && (data[0] != magic0 || data[1] != magic1) {
+			return 0, 0, nil, data, ErrProtoMismatch
+		}
+		return 0, 0, nil, data, ErrTruncated
+	}
+	if data[0] != magic0 || data[1] != magic1 || data[2] != Version {
+		return 0, 0, nil, data, ErrProtoMismatch
+	}
+	op = data[3]
+	if op == 0 || op >= opMax {
+		return 0, 0, nil, data, ErrBadOp
+	}
+	if len(data) < headerSize {
+		return 0, 0, nil, data, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(data[12:16])
+	if n > MaxPayloadBytes {
+		return 0, 0, nil, data, ErrFrameTooBig
+	}
+	if len(data) < headerSize+int(n) {
+		return 0, 0, nil, data, ErrTruncated
+	}
+	payload = data[headerSize : headerSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[16:20]) {
+		return 0, 0, nil, data, ErrChecksum
+	}
+	id = binary.LittleEndian.Uint64(data[4:12])
+	return op, id, payload, data[headerSize+int(n):], nil
+}
+
+// readFrame reads one frame from a stream. Unlike DecodeFrame a short
+// read is an I/O error: the connection died mid-frame.
+func readFrame(r io.Reader) (op byte, id uint64, payload []byte, err error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if h[0] != magic0 || h[1] != magic1 || h[2] != Version {
+		return 0, 0, nil, ErrProtoMismatch
+	}
+	op = h[3]
+	if op == 0 || op >= opMax {
+		return 0, 0, nil, ErrBadOp
+	}
+	n := binary.LittleEndian.Uint32(h[12:16])
+	if n > MaxPayloadBytes {
+		return 0, 0, nil, ErrFrameTooBig
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(h[16:20]) {
+		return 0, 0, nil, ErrChecksum
+	}
+	return op, binary.LittleEndian.Uint64(h[4:12]), payload, nil
+}

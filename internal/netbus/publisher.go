@@ -1,0 +1,156 @@
+package netbus
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"loglens/internal/agent"
+	"loglens/internal/wire"
+)
+
+// publishRetryDelay paces the drainer's retries while the broker is
+// unreachable.
+const publishRetryDelay = 50 * time.Millisecond
+
+// Publisher is the agent-side shipping path: lines land in the spool
+// first (disk-backed when configured), and a single drainer goroutine
+// moves them to the broker in order, surviving outages by simply
+// retrying the head. Each line carries its per-source sequence as the
+// broker's idempotence identity, so a re-send after a lost ack is
+// acknowledged without being appended — at-least-once transport,
+// exactly-once append.
+type Publisher struct {
+	c     *Client
+	topic string
+	spool *Spool
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	acked uint64
+}
+
+// NewPublisher wires a publisher to a client and starts its drainer.
+func NewPublisher(c *Client, topic string, spool *Spool) *Publisher {
+	p := &Publisher{
+		c:     c,
+		topic: topic,
+		spool: spool,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.drain()
+	if spool.Len() > 0 {
+		p.nudge() // backlog replayed from disk: start shipping now
+	}
+	return p
+}
+
+// Send queues one log line. It returns once the line is spooled (and on
+// disk, when the spool is file-backed) — broker delivery is the
+// drainer's business.
+func (p *Publisher) Send(source string, seq uint64, raw string) error {
+	if err := p.spool.Append(wire.Frame{Source: source, Seq: seq, Raw: raw}); err != nil {
+		return err
+	}
+	p.nudge()
+	return nil
+}
+
+// SendHeartbeat queues a heartbeat-tagged message on the data channel
+// (§V-B: heartbeats travel where the logs travel).
+func (p *Publisher) SendHeartbeat(source string, t time.Time) error {
+	if err := p.spool.Append(wire.Frame{Source: source, HB: true, Time: t}); err != nil {
+		return err
+	}
+	p.nudge()
+	return nil
+}
+
+// Acked returns the number of frames the broker has acknowledged.
+func (p *Publisher) Acked() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acked
+}
+
+// Drain blocks until the spool is empty (every queued frame acked) or
+// ctx is done.
+func (p *Publisher) Drain(ctx context.Context) error {
+	for p.spool.Len() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-p.c.clk.After(10 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Close stops the drainer. Spooled frames stay put (and on disk), ready
+// for the next session's replay.
+func (p *Publisher) Close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	p.wg.Wait()
+}
+
+func (p *Publisher) nudge() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// drain ships the spool head until closed: ack pops it, any failure
+// retries the same head after a pause. Order is preserved per spool by
+// construction; the broker's sequence dedup absorbs re-sends.
+func (p *Publisher) drain() {
+	defer p.wg.Done()
+	for {
+		f, ok := p.spool.Head()
+		if !ok {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+				continue
+			}
+		}
+		if err := p.ship(f); err != nil {
+			select {
+			case <-p.done:
+				return
+			case <-p.c.clk.After(publishRetryDelay):
+			}
+			continue
+		}
+		p.spool.AckHead()
+		p.mu.Lock()
+		p.acked++
+		p.mu.Unlock()
+	}
+}
+
+// ship publishes one frame with the agent header convention the log
+// manager routes by.
+func (p *Publisher) ship(f wire.Frame) error {
+	if f.HB {
+		return p.c.publishSeq(p.topic, f.Source, nil, map[string]string{
+			agent.HeaderSource:    f.Source,
+			agent.HeaderHeartbeat: f.Time.Format(time.RFC3339Nano),
+		}, "", 0) // heartbeats are idempotent by content; no seq identity
+	}
+	return p.c.publishSeq(p.topic, f.Source, []byte(f.Raw), map[string]string{
+		agent.HeaderSource: f.Source,
+		agent.HeaderSeq:    strconv.FormatUint(f.Seq, 10),
+	}, f.Source, f.Seq)
+}

@@ -1,0 +1,84 @@
+package netbus
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
+	"sync"
+
+	"loglens/internal/fsx"
+)
+
+// DefaultSeqBlock is how many sequence numbers a SeqFile reserves per
+// write. Larger blocks mean fewer fsyncs and bigger (harmless) gaps
+// after a crash.
+const DefaultSeqBlock = 1024
+
+// SeqFile persists a publisher's sequence identity across process
+// restarts. The broker's idempotence table remembers the highest seq it
+// has accepted per (topic, source), so a restarted publisher that
+// counts from 1 again would have every fresh line silently swallowed as
+// a replay of the previous run. SeqFile hands out monotonic sequence
+// numbers and persists a reservation ceiling BEFORE any number under it
+// is used: a crash can waste the rest of a reserved block (harmless —
+// the dedup table is max-based, gaps just advance it), but no sequence
+// number is ever handed out twice across incarnations.
+type SeqFile struct {
+	fsys  fsx.FS
+	path  string
+	block uint64
+
+	mu      sync.Mutex
+	next    uint64 // next seq to hand out
+	ceiling uint64 // highest seq covered by the persisted reservation
+}
+
+// OpenSeqFile opens (or starts) the sequence state at path. block <= 0
+// uses DefaultSeqBlock. The file holds one decimal number: the first
+// sequence the next incarnation may use.
+func OpenSeqFile(fsys fsx.FS, path string, block uint64) (*SeqFile, error) {
+	if fsys == nil {
+		fsys = fsx.OS{}
+	}
+	if block == 0 {
+		block = DefaultSeqBlock
+	}
+	s := &SeqFile{fsys: fsys, path: path, block: block, next: 1}
+	data, err := fsys.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh publisher: start at 1.
+	case err != nil:
+		return nil, fmt.Errorf("netbus: read seq file %s: %w", path, err)
+	default:
+		start, perr := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+		if perr != nil || start == 0 {
+			return nil, fmt.Errorf("netbus: corrupt seq file %s: %q", path, data)
+		}
+		s.next = start
+	}
+	s.ceiling = s.next - 1 // nothing reserved yet; first Next reserves
+	return s, nil
+}
+
+// Next returns the next sequence number, persisting a new reservation
+// block first when the current one is exhausted. The write is atomic
+// (temp + rename), so a crash mid-reservation leaves the previous
+// ceiling intact and the numbers under it were never used.
+func (s *SeqFile) Next() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next > s.ceiling {
+		ceiling := s.next + s.block - 1
+		data := []byte(strconv.FormatUint(ceiling+1, 10) + "\n")
+		if err := fsx.WriteFileAtomic(s.fsys, s.path, data, 0o644); err != nil {
+			return 0, fmt.Errorf("netbus: reserve seq block: %w", err)
+		}
+		s.ceiling = ceiling
+	}
+	v := s.next
+	s.next++
+	return v, nil
+}

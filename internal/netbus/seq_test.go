@@ -1,0 +1,133 @@
+package netbus
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loglens/internal/fsx"
+)
+
+// TestSeqFileNeverReuses pins the property the broker dedup depends on:
+// across any sequence of reopens — clean or mid-block — no sequence
+// number is handed out twice.
+func TestSeqFileNeverReuses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pub.seq")
+	seen := make(map[uint64]bool)
+	var last uint64
+	take := func(s *SeqFile, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			v, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[v] {
+				t.Fatalf("seq %d handed out twice", v)
+			}
+			if v <= last {
+				t.Fatalf("seq went backwards: %d after %d", v, last)
+			}
+			seen[v] = true
+			last = v
+		}
+	}
+
+	s1, err := OpenSeqFile(fsx.OS{}, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	take(s1, 3) // mid-block "crash": 4..8 reserved but unused
+
+	s2, err := OpenSeqFile(fsx.OS{}, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	take(s2, 20) // crosses several block boundaries
+
+	s3, err := OpenSeqFile(fsx.OS{}, path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	take(s3, 1)
+}
+
+// TestSeqFileFreshStartsAtOne pins the first-incarnation contract.
+func TestSeqFileFreshStartsAtOne(t *testing.T) {
+	s, err := OpenSeqFile(fsx.OS{}, filepath.Join(t.TempDir(), "pub.seq"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Next()
+	if err != nil || v != 1 {
+		t.Fatalf("first seq = %d, err %v; want 1", v, err)
+	}
+}
+
+// TestSeqFileCorruptRejected: garbage in the file is an error, not a
+// silent restart from 1 (which would resurrect the reuse bug).
+func TestSeqFileCorruptRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pub.seq")
+	if err := (fsx.OS{}).WriteFile(path, []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSeqFile(fsx.OS{}, path, 0); err == nil {
+		t.Fatal("corrupt seq file accepted")
+	}
+	if err := (fsx.OS{}).WriteFile(path, []byte("0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSeqFile(fsx.OS{}, path, 0); err == nil {
+		t.Fatal("zero seq file accepted")
+	}
+}
+
+// TestPublisherRestartWithSeqFileShipsFreshLines is the end-to-end
+// regression for the silent-drop trap: a publisher restarting with the
+// same source must not have its NEW lines deduped as replays of the
+// previous incarnation.
+func TestPublisherRestartWithSeqFileShipsFreshLines(t *testing.T) {
+	srv, client := startBroker(t, Options{})
+	if err := client.CreateTopic("logs", 1); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seqPath := filepath.Join(dir, "pub.seq")
+
+	shipRun := func(lines []string) {
+		t.Helper()
+		sf, err := OpenSeqFile(fsx.OS{}, seqPath, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := memSpool(t, 1<<20)
+		pub := NewPublisher(client, "logs", sp)
+		defer pub.Close()
+		for _, l := range lines {
+			seq, err := sf.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pub.Send("agent-1", seq, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := pub.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shipRun([]string{"run1-a", "run1-b", "run1-c"})
+	shipRun([]string{"run2-a", "run2-b"}) // fresh incarnation, same source
+
+	end, err := srv.Bus().EndOffset("logs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 5 {
+		t.Fatalf("broker log has %d lines, want 5 (second run deduped as replay?)", end)
+	}
+}

@@ -1,0 +1,357 @@
+package netbus
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"loglens/internal/bus"
+	"loglens/internal/metrics"
+)
+
+// maxServerWait bounds how long one OpPoll may block broker-side, so a
+// dead client cannot pin a handler goroutine forever even if its WaitMs
+// is enormous.
+const maxServerWait = 5 * time.Second
+
+// Server is the broker: it owns an in-process bus (the authoritative
+// log) and serves the RPC protocol over TCP. Stop tears down the
+// listener and every connection while keeping the bus and the publisher
+// dedup state — modeling a broker crash with a durable log, which is
+// what the chaos BrokerKill primitive exercises. Listen again to
+// "restart" it on the same state.
+type Server struct {
+	bus *bus.Bus
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	serving bool
+
+	// consumers caches one server-side consumer per group; group offset
+	// state lives in the bus, so the cache survives Stop/Listen cycles.
+	consumersMu sync.Mutex
+	consumers   map[string]*bus.Consumer
+
+	// dedup is the idempotent-producer table: highest sequence appended
+	// per (topic, source). A re-sent publish at or below it is
+	// acknowledged without appending, so a spooling agent that lost an
+	// ack cannot duplicate lines.
+	dedupMu sync.Mutex
+	dedup   map[dedupKey]uint64
+
+	served *metrics.Counter // netbus_requests_served_total (nil = off)
+}
+
+type dedupKey struct {
+	topic  string
+	source string
+}
+
+// NewServer builds a broker around b.
+func NewServer(b *bus.Bus) *Server {
+	return &Server{
+		bus:       b,
+		conns:     make(map[net.Conn]struct{}),
+		consumers: make(map[string]*bus.Consumer),
+		dedup:     make(map[dedupKey]uint64),
+	}
+}
+
+// Bus exposes the broker's authoritative bus (tests and the broker
+// process's own dashboard).
+func (s *Server) Bus() *bus.Bus { return s.bus }
+
+// SetMetrics counts served requests into reg.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.served = reg.Counter("netbus_requests_served_total")
+}
+
+// Listen starts accepting broker connections on addr and returns the
+// bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("netbus: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.serving {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("netbus: server already listening")
+	}
+	s.serving = true
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" when stopped).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stop severs the network face — listener and every live connection —
+// and waits for handlers to exit. Bus contents, group offsets, and the
+// dedup table stay put, so a later Listen resumes the broker exactly
+// where it died (the durable-log crash model).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.serving = false
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Close is a permanent Stop (alias; the state-keeping distinction only
+// matters to the chaos harness, which restarts via Listen).
+func (s *Server) Close() { s.Stop() }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if !s.serving {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn reads frames off one connection and dispatches each request
+// on its own goroutine (polls block; publishes must not queue behind
+// them). Responses are serialized by a per-connection write lock.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var wmu sync.Mutex
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		op, id, payload, err := readFrame(br)
+		if err != nil {
+			return // disconnect, or a protocol violation: drop the conn
+		}
+		var req Request
+		if err := unmarshalStrictEnough(payload, &req); err != nil {
+			s.respond(conn, &wmu, op, id, errResponse(err))
+			continue
+		}
+		hwg.Add(1)
+		go func(op byte, id uint64, req Request) {
+			defer hwg.Done()
+			resp := s.handle(op, req)
+			s.respond(conn, &wmu, op, id, resp)
+		}(op, id, req)
+	}
+}
+
+// unmarshalStrictEnough decodes a request payload. JSON keeps the
+// protocol debuggable; the CRC in the frame already guards integrity.
+func unmarshalStrictEnough(payload []byte, req *Request) error {
+	if err := json.Unmarshal(payload, req); err != nil {
+		return fmt.Errorf("netbus: bad request payload: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) respond(conn net.Conn, wmu *sync.Mutex, op byte, id uint64, resp Response) {
+	frame, err := EncodeFrame(op, id, resp)
+	if err != nil {
+		frame, _ = EncodeFrame(op, id, Response{Err: err.Error()})
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	conn.Write(frame)
+}
+
+// handle executes one request against the bus.
+func (s *Server) handle(op byte, req Request) Response {
+	if s.served != nil {
+		s.served.Inc()
+	}
+	switch op {
+	case OpPing:
+		return Response{}
+	case OpPublish:
+		if req.Seq > 0 && req.Source != "" {
+			key := dedupKey{req.Topic, req.Source}
+			s.dedupMu.Lock()
+			if req.Seq <= s.dedup[key] {
+				s.dedupMu.Unlock()
+				return Response{Dup: true}
+			}
+			// Claim the sequence before publishing: a concurrent re-send
+			// of the same seq dedups against the claim. The publisher
+			// drains serially per source, so a failed publish after a
+			// claim cannot strand a gap.
+			s.dedup[key] = req.Seq
+			s.dedupMu.Unlock()
+		}
+		part, off, err := s.bus.Publish(req.Topic, req.Key, req.Value, req.Headers)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Partition: part, Offset: off}
+	case OpPublishTo:
+		off, err := s.bus.PublishTo(req.Topic, req.Partition, req.Key, req.Value, req.Headers)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Partition: req.Partition, Offset: off}
+	case OpBroadcast:
+		return errResponse(s.bus.Broadcast(req.Topic, req.Key, req.Value, req.Headers))
+	case OpCreateTopic:
+		return errResponse(s.bus.CreateTopic(req.Topic, req.Partitions))
+	case OpPartitions:
+		n, err := s.bus.Partitions(req.Topic)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Count: n}
+	case OpEndOffset:
+		off, err := s.bus.EndOffset(req.Topic, req.Partition)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Offset: off}
+	case OpPoll:
+		return s.handlePoll(req)
+	case OpCommit:
+		s.bus.CommitGroup(req.Group, req.Topic, req.Partition, req.Offset)
+		return Response{}
+	case OpSeek:
+		c, err := s.consumer(req.Group, req.Topics, req.Manual)
+		if err != nil {
+			return errResponse(err)
+		}
+		return errResponse(c.Seek(req.Topic, req.Partition, req.Offset))
+	case OpSeekGroup:
+		s.bus.SeekGroup(req.Group, req.Topic, req.Partition, req.Offset)
+		return Response{}
+	case OpGroupOffsets:
+		return Response{Offsets: s.bus.GroupOffsets(req.Group)}
+	case OpLag:
+		c, err := s.consumer(req.Group, req.Topics, req.Manual)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Offset: c.Lag()}
+	case OpReadLag:
+		c, err := s.consumer(req.Group, req.Topics, req.Manual)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Offset: c.ReadLag()}
+	case OpReadFrom:
+		msgs, err := s.bus.ReadFrom(req.Topic, req.Partition, req.Offset, req.Max)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Msgs: wireMsgs(msgs)}
+	case OpResume:
+		s.bus.ResetReadToCommitted(req.Group)
+		return Response{}
+	}
+	return Response{Err: ErrBadOp.Error()}
+}
+
+func (s *Server) handlePoll(req Request) Response {
+	c, err := s.consumer(req.Group, req.Topics, req.Manual)
+	if err != nil {
+		return errResponse(err)
+	}
+	if req.WaitMs <= 0 {
+		return Response{Msgs: wireMsgs(c.TryPoll(req.Max))}
+	}
+	wait := time.Duration(req.WaitMs) * time.Millisecond
+	if wait > maxServerWait {
+		wait = maxServerWait
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	msgs, err := c.Poll(ctx, req.Max)
+	if err != nil {
+		return Response{} // long-poll timeout: empty batch, client re-polls
+	}
+	return Response{Msgs: wireMsgs(msgs)}
+}
+
+// consumer resolves (creating on first use) the server-side consumer for
+// a group. Offset state lives in the bus's group, so the instance is
+// interchangeable across connections and broker restarts.
+func (s *Server) consumer(group string, topics []string, manual bool) (*bus.Consumer, error) {
+	if group == "" {
+		return nil, fmt.Errorf("netbus: request names no consumer group")
+	}
+	s.consumersMu.Lock()
+	defer s.consumersMu.Unlock()
+	if c, ok := s.consumers[group]; ok {
+		if manual {
+			c.DisableAutoCommit()
+		}
+		return c, nil
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("netbus: group %q has no subscription on this broker", group)
+	}
+	c, err := s.bus.NewConsumer(group, topics...)
+	if err != nil {
+		return nil, err
+	}
+	if manual {
+		c.DisableAutoCommit()
+	}
+	s.consumers[group] = c
+	return c, nil
+}
+
+func wireMsgs(msgs []bus.Message) []WireMessage {
+	if len(msgs) == 0 {
+		return nil
+	}
+	out := make([]WireMessage, len(msgs))
+	for i, m := range msgs {
+		out[i] = toWire(m)
+	}
+	return out
+}

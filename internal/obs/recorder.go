@@ -60,6 +60,14 @@ const (
 	// EventIntakeConnRejected: a TCP connection was refused at the
 	// concurrency cap (intake).
 	EventIntakeConnRejected EventType = "intake-conn-rejected"
+	// EventNetbusReconnect: the broker link state changed — Source is the
+	// client role, Detail says lost vs re-established, Value the number of
+	// consumer groups resumed (netbus).
+	EventNetbusReconnect EventType = "netbus-reconnect"
+	// EventSpoolShed: the publisher disk spool hit its byte cap and
+	// dropped its oldest unacked lines — Source is the spool path, Value
+	// the lines shed (netbus).
+	EventSpoolShed EventType = "spool-shed"
 )
 
 // Event is one flight-recorder entry. All fields are fixed-shape so

@@ -36,7 +36,7 @@ const DefaultStrikes = 3
 // — operator panics surface from parallel partition workers.
 type Quarantine struct {
 	k      int
-	bus    *bus.Bus
+	bus    bus.Broker
 	events *obs.FlightRecorder
 
 	mu      sync.Mutex
@@ -48,7 +48,7 @@ type Quarantine struct {
 // when <= 0) publishing to b's deadletter topic. The topic is declared
 // here so consumers and the dashboard can subscribe before the first
 // poison record.
-func NewQuarantine(k int, b *bus.Bus, events *obs.FlightRecorder) (*Quarantine, error) {
+func NewQuarantine(k int, b bus.Broker, events *obs.FlightRecorder) (*Quarantine, error) {
 	if k <= 0 {
 		k = DefaultStrikes
 	}

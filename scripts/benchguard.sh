@@ -28,7 +28,7 @@ BASELINE=scripts/bench_baseline.txt
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
-go test -run='^$' -bench='^BenchmarkCalibration$|^BenchmarkPipelineThroughput$|^BenchmarkIntakeThroughput$' \
+go test -run='^$' -bench='^BenchmarkCalibration$|^BenchmarkPipelineThroughput$|^BenchmarkIntakeThroughput$|^BenchmarkNetbusRoundTrip$' \
 	-benchmem -count=5 . | tee "$OUT"
 
 awk -v tol="$TOL" -v baseline="$BASELINE" '

@@ -15,6 +15,9 @@
 #   internal/core/recovery.go  the checkpoint barrier timeout is the same
 #                          kind of real deadline as Drain's
 #   internal/testutil/wait.go  same: WaitUntil's failure deadline is real
+#   internal/netbus/       socket Set{Read,Write}Deadline needs absolute
+#                          wall-clock times; all retry/backoff pacing in
+#                          the package still runs on the injected clock
 #   cmd/loadtest/          measures real wall-clock throughput by design
 #   examples/datacenter/   demo binary, wall-clock phase timing only
 #
@@ -23,7 +26,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-allowlist='^internal/clock/|^internal/core/pipeline\.go|^internal/core/recovery\.go|^internal/testutil/wait\.go|^cmd/loadtest/|^examples/datacenter/'
+allowlist='^internal/clock/|^internal/core/pipeline\.go|^internal/core/recovery\.go|^internal/testutil/wait\.go|^internal/netbus/|^cmd/loadtest/|^examples/datacenter/'
 
 violations=$(grep -rn --include='*.go' -E 'time\.(Now|Since)\(' \
     internal cmd examples 2>/dev/null \
