@@ -76,6 +76,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}{
 		{"p1", 1, 1},
 		{"p4", 4, 4},
+		{"p8", 8, 8},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			benchPipeline(b, c.partitions, c.sources, false)
@@ -94,6 +95,7 @@ func BenchmarkPipelineThroughputNoLatency(b *testing.B) {
 	}{
 		{"p1", 1, 1},
 		{"p4", 4, 4},
+		{"p8", 8, 8},
 	} {
 		b.Run(c.name, func(b *testing.B) {
 			benchPipeline(b, c.partitions, c.sources, true)

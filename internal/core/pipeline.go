@@ -197,11 +197,12 @@ type Pipeline struct {
 	// Config.DisableLatency is set; every method no-ops on nil).
 	lat *latency.Tracker
 
-	cancel     context.CancelFunc
-	wg         sync.WaitGroup
-	runErr     chan error
-	pumpDone   chan struct{}
-	pumpExited chan struct{}
+	cancel       context.CancelFunc
+	wg           sync.WaitGroup
+	runErr       chan error
+	pumpDone     chan struct{}
+	pumpExited   chan struct{}
+	logmgrExited chan struct{}
 
 	wireServers []*wire.Server
 
@@ -359,8 +360,13 @@ func New(cfg Config) (*Pipeline, error) {
 		// every poll batch becomes a pending commit gated on the engine's
 		// resolved watermark.
 		lmCfg.ManualCommit = true
+		// The watermark must be in the engine's frontier unit (accepted
+		// seqs): heartbeats increment p.forwarded but are seq-less in the
+		// engine, so a forwarded-based watermark would sit permanently
+		// above the frontier after the first live heartbeat and the
+		// offsets behind it would never commit.
 		lmCfg.OnBatch = func(msgs []bus.Message) {
-			p.commits.register(msgs, p.forwarded.Load())
+			p.commits.register(msgs, p.engine.Accepted())
 		}
 	}
 	p.logmgr = logmanager.New(p.bus, p.store, lmCfg, p.forward)
@@ -579,8 +585,9 @@ func (p *Pipeline) AnomalyCount() uint64 { return p.anomalies.Load() }
 // UnparsedCount returns the stateless (unparsed-log) anomaly count.
 func (p *Pipeline) UnparsedCount() uint64 { return p.unparsed.Load() }
 
-// OnAnomaly registers a callback invoked (from the engine loop, serially)
-// for every anomaly.
+// OnAnomaly registers a callback invoked for every anomaly. Calls are
+// serialized (the engine's sink barrier) but may run on any partition
+// worker's goroutine.
 func (p *Pipeline) OnAnomaly(fn func(anomaly.Record)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -784,9 +791,11 @@ func (p *Pipeline) Start() error {
 		}()
 	}
 
+	p.logmgrExited = make(chan struct{})
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		defer close(p.logmgrExited)
 		p.runSupervised("log-manager", ctx, p.logmgr.Run)
 	}()
 
@@ -929,6 +938,13 @@ func (p *Pipeline) Stop() error {
 		cancel()
 	}
 	p.cancel()
+	// Front-to-back: the log manager must finish its in-flight poll
+	// batch and exit before the engine closes, or a batch counted as
+	// forwarded could land on an already-closed engine and be rejected —
+	// silently breaking the lines == parsed + unparsed balance.
+	if p.logmgrExited != nil {
+		<-p.logmgrExited
+	}
 	p.engine.Close()
 	err := <-p.runErr
 	if p.detectEngine != nil {
@@ -1066,9 +1082,11 @@ func (p *Pipeline) forward(l logtypes.Log) {
 	p.engine.Send(stream.Record{Key: l.Source, Value: l, Time: l.Arrival})
 }
 
-// forwardBatch hands one poll batch of logs to the engine as a single
-// pooled record-slice hand-off: one channel send per batch instead of
-// one per line. The engine takes ownership of the buffer.
+// forwardBatch hands one poll batch of logs to the engine as a pooled
+// record-slice hand-off: the engine splits it into per-partition slices
+// at enqueue time and delivers each directly to that partition's worker
+// queue — one queue send per touched partition instead of one per line.
+// The engine takes ownership of the buffer.
 func (p *Pipeline) forwardBatch(logs []logtypes.Log) {
 	p.forwarded.Add(uint64(len(logs)))
 	p.linesTotal.Add(uint64(len(logs)))

@@ -81,16 +81,21 @@ const quiesceTimeout = 30 * time.Second
 // resolve the records that came out of it.
 type pendingCommit struct {
 	offsets   map[int]int64 // partition -> next offset to consume
-	watermark uint64        // commit when engine Resolved reaches this
+	watermark uint64        // commit when the engine frontier reaches this
 }
 
 // commitTracker implements the at-least-once commit gate for one
 // (group, topic): the log manager registers each consumed poll batch
-// with the sender-side watermark (records forwarded so far), and the
+// with the engine's accepted-seq watermark (Engine.Accepted after the
+// batch's records were sent — the commit frontier's unit, which
+// excludes seq-less heartbeats), and the
 // engine's BatchHook flushes every pending batch whose watermark the
-// resolved count has passed. Offsets therefore only ever commit once the
-// records they cover are fully processed — a crash in between redelivers
-// them.
+// engine's merged commit frontier has passed. The frontier is the
+// longest prefix of accepted records — in acceptance order — that every
+// partition worker has fully processed and sunk, so with partitions
+// progressing at independent paces an offset still only commits once
+// everything consumed before it has cleared the sink, whichever worker
+// was last. A crash in between redelivers the uncommitted suffix.
 type commitTracker struct {
 	b     bus.Broker
 	group string
@@ -118,9 +123,10 @@ func (t *commitTracker) register(msgs []bus.Message, watermark uint64) {
 	t.mu.Unlock()
 }
 
-// flush commits every pending batch whose watermark resolved has
-// reached. Wired as the engine's BatchHook, so it runs at every
-// micro-batch barrier.
+// flush commits every pending batch whose watermark the engine's
+// commit frontier has reached. Wired as the engine's BatchHook, so it
+// runs at every partition worker's micro-batch barrier (serialized by
+// the engine's barrier lock).
 func (t *commitTracker) flush(resolved uint64) {
 	if t == nil || !t.on.Load() {
 		return
@@ -324,11 +330,13 @@ func (p *Pipeline) quiesce(timeout time.Duration) error {
 	}, "engine resolution"); err != nil {
 		return err
 	}
-	// Resolved advances before the batch's sink runs, so it alone cannot
-	// certify that emitted outputs (parsed-topic publishes, stored
-	// anomalies) have landed. The commit gate fires after the sink at
-	// every barrier — empty ones included — so zero committed lag means
-	// the final sink has run and every consumed offset is committed.
+	// Resolved advances after the batch's outputs drain through the sink
+	// (the engine's merged commit frontier), but an observer can see it
+	// move before that barrier's commit hook has returned — so it alone
+	// cannot certify the offsets are committed. The commit gate fires
+	// under the same barrier lock at every barrier — empty ones included
+	// — so zero committed lag means the final sink has run and every
+	// consumed offset is committed.
 	// Negative lag (committed ahead of the topic) also counts as drained:
 	// a restored group's offsets can exceed a rebuilt in-memory topic
 	// when heartbeat interleaving shifted absolute positions.

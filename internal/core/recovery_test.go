@@ -253,6 +253,67 @@ func TestCrashRecoveryStaged(t *testing.T) {
 	assertSameResult(t, res, golden)
 }
 
+// TestCommitGateWithLiveHeartbeats pins the watermark-unit contract of
+// the commit gate: heartbeats increment the forwarded counters but are
+// seq-less in the engine, so commit watermarks must be taken from
+// Engine.Accepted (the frontier's unit). A watermark based on the
+// forwarded count would sit permanently above the frontier after the
+// first heartbeat and the offsets registered behind it would never
+// commit — Drain and every later Checkpoint would hang on committed
+// lag. Regression for a hang found driving the full binary, where the
+// wall-clock heartbeat controller interleaves with file replay.
+func TestCommitGateWithLiveHeartbeats(t *testing.T) {
+	for _, staged := range []bool{false, true} {
+		t.Run(fmt.Sprintf("staged=%v", staged), func(t *testing.T) {
+			const nParsed, nUnparsed = 20, 4
+			training, prod := conservationCorpus(nParsed, nUnparsed)
+			hbAt := time.Date(2016, 2, 23, 10, 0, 30, 0, time.UTC)
+
+			p := newRecoveryPipeline(t, t.TempDir(), staged, func(cfg *Config) {
+				cfg.Partitions = 4
+			})
+			if _, _, err := p.Train("recovery", training); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Start(); err != nil {
+				t.Fatal(err)
+			}
+			ag, err := p.Agent("web", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Heartbeats before, between, and after the log traffic: each
+			// poll batch around them registers offsets that must still
+			// commit even though the heartbeat advanced no frontier seq.
+			p.InjectHeartbeat("web", hbAt)
+			feed(t, ag, prod[:len(prod)/2])
+			p.InjectHeartbeat("web", hbAt.Add(time.Second))
+			feed(t, ag, prod[len(prod)/2:])
+			p.InjectHeartbeat("web", hbAt.Add(2*time.Second))
+			if err := p.Drain(30 * time.Second); err != nil {
+				t.Fatalf("drain with live heartbeats: %v", err)
+			}
+			if _, err := p.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint with live heartbeats: %v", err)
+			}
+			// The gate itself: every consumed offset commits once the
+			// engine retires the records around the heartbeats.
+			deadline := time.Now().Add(10 * time.Second)
+			for p.logmgrLag() > 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("committed lag stuck at %d with live heartbeats", p.logmgrLag())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			res := collectResult(p)
+			assertConservation(t, res, uint64(len(prod)))
+			if err := p.Stop(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPoisonQuarantineEndToEnd: a record that panics the operator on
 // every delivery must land on the deadletter topic after exactly K
 // strikes — queryable with its error context — while every other record

@@ -233,7 +233,11 @@ func (p *Pipeline) pumpParsed(done <-chan struct{}) {
 			p.forwardParsed(msg.Value)
 		}
 		if p.parsedCommits != nil {
-			p.parsedCommits.register(msgs, p.parsedForwarded.Load())
+			// Watermark in the detect engine's frontier unit (accepted
+			// seqs), not parsedForwarded: heartbeats count toward the
+			// latter but carry no frontier seq, so a forwarded-based
+			// watermark would never be reached once a heartbeat flows.
+			p.parsedCommits.register(msgs, p.detectEngine.Accepted())
 		}
 	}
 	for {

@@ -13,10 +13,6 @@ import (
 type Set struct {
 	patterns map[int]*Pattern
 	nextID   int
-
-	// ordered caches the Patterns() ID-sorted order; nil after any
-	// Add/Delete until the next Patterns() call rebuilds it.
-	ordered []*Pattern
 }
 
 // NewSet returns an empty pattern set with IDs starting at 1.
@@ -37,7 +33,6 @@ func (s *Set) Add(p *Pattern) int {
 	p.AssignFieldIDs()
 	p.precompute()
 	s.patterns[p.ID] = p
-	s.ordered = nil
 	return p.ID
 }
 
@@ -48,7 +43,6 @@ func (s *Set) Delete(id int) bool {
 		return false
 	}
 	delete(s.patterns, id)
-	s.ordered = nil
 	return true
 }
 
@@ -61,18 +55,16 @@ func (s *Set) Get(id int) (*Pattern, bool) {
 // Len returns the number of patterns.
 func (s *Set) Len() int { return len(s.patterns) }
 
-// Patterns returns all patterns ordered by ID. The caller owns the
-// returned slice; the sorted order itself is cached across calls.
+// Patterns returns all patterns ordered by ID in a fresh slice the
+// caller owns. It is read-only on the set, so parsers on different
+// partition workers may call it concurrently against a shared model
+// (it is a cold path: candidate-group builds and serialization).
 func (s *Set) Patterns() []*Pattern {
-	if s.ordered == nil {
-		s.ordered = make([]*Pattern, 0, len(s.patterns))
-		for _, p := range s.patterns {
-			s.ordered = append(s.ordered, p)
-		}
-		sort.Slice(s.ordered, func(i, j int) bool { return s.ordered[i].ID < s.ordered[j].ID })
+	out := make([]*Pattern, 0, len(s.patterns))
+	for _, p := range s.patterns {
+		out = append(out, p)
 	}
-	out := make([]*Pattern, len(s.ordered))
-	copy(out, s.ordered)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -117,7 +109,6 @@ func (s *Set) UnmarshalJSON(data []byte) error {
 	}
 	s.patterns = make(map[int]*Pattern, len(in.Patterns))
 	s.nextID = 1
-	s.ordered = nil
 	for _, pj := range in.Patterns {
 		p, err := ParsePattern(pj.ID, pj.Grok)
 		if err != nil {

@@ -256,8 +256,9 @@ func (t *Tracker) IngestWatermark() time.Time {
 }
 
 // Refresh recomputes every lag-age gauge from the current clock. The
-// stream engine calls it at every micro-batch barrier — including empty
-// ones — so lag ages keep growing while a partition is idle or stuck
+// stream engine calls it at every micro-batch barrier — each partition
+// worker's own, including empty ones, serialized by the engine's barrier
+// lock — so lag ages keep growing while a partition is idle or stuck
 // instead of freezing at their last value. Allocation-free for a fixed
 // tenant set.
 func (t *Tracker) Refresh() {

@@ -54,12 +54,13 @@ type Config struct {
 
 	// ForwardBatch, when set, replaces the per-log forward hook: logs
 	// accumulate across a poll batch and are handed downstream in one
-	// call, amortizing the per-record channel send into a per-batch
-	// hand-off. The slice is owned by the Manager and valid only for the
-	// duration of the call. Heartbeat-tagged messages flush the pending
-	// batch first, so log/heartbeat ordering is preserved. ForwardBatch
-	// runs before OnBatch, so downstream counters include the batch when
-	// the commit gate registers it.
+	// call, amortizing the per-record hand-off into per-partition batch
+	// slices on the engine's worker queues. The slice is owned by the
+	// Manager and valid only for the duration of the call.
+	// Heartbeat-tagged messages flush the pending batch first, so
+	// log/heartbeat ordering is preserved. ForwardBatch runs before
+	// OnBatch, so downstream counters include the batch when the commit
+	// gate registers it.
 	ForwardBatch func(logs []logtypes.Log)
 
 	// OnAdmit, when set, receives the newest Arrival stamp of every

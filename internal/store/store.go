@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -434,6 +435,21 @@ func (ix *Index) Load(data []byte) error {
 	}
 	sort.Strings(ids)
 	ix.order = ids
+	// Rebase the auto-ID sequence past every loaded generated ID, so
+	// PutAuto after a snapshot restore never reuses (and silently
+	// overwrites) an ID the snapshot already holds — matching the
+	// persistent engine, which restores its sequence counters.
+	ix.seq = 0
+	prefix := ix.name + "-"
+	for id := range docs {
+		suffix, ok := strings.CutPrefix(id, prefix)
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseUint(suffix, 10, 64); err == nil && n > ix.seq {
+			ix.seq = n
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSlowPartitionDoesNotStallOthers: with persistent per-partition
+// workers there is no global batch barrier, so one partition's slow (or
+// wedged) operator must not block the other partitions' progress. The
+// old fan-out engine joined every partition at a per-batch barrier; this
+// pins the independence property the per-core sharding exists for.
+func TestSlowPartitionDoesNotStallOthers(t *testing.T) {
+	const parts = 4
+	const perPart = 50
+
+	// Partition 0's operator parks on the gate; the others run free with
+	// small seeded jitter so their batch boundaries interleave unevenly.
+	gate := make(chan struct{})
+	var fastDone [parts]atomic.Uint64
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(7))
+	jitter := func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Intn(200)) * time.Microsecond
+	}
+
+	e := New(Config{
+		Partitions:    parts,
+		BatchInterval: time.Millisecond,
+		Partitioner: func(rec Record, partitions int) int {
+			p, _ := strconv.Atoi(rec.Key)
+			return p % partitions
+		},
+	}, func(ctx *Context, rec Record) []any {
+		if ctx.Partition() == 0 {
+			<-gate
+		} else {
+			time.Sleep(jitter())
+		}
+		fastDone[ctx.Partition()].Add(1)
+		return []any{rec.Value}
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background()) }()
+
+	for i := 0; i < perPart; i++ {
+		for p := 0; p < parts; p++ {
+			if err := e.Send(Record{Key: strconv.Itoa(p), Value: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Every fast partition must finish all its records while partition 0
+	// is still parked on its first one.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := fastDone[1].Load() + fastDone[2].Load() + fastDone[3].Load()
+		if got == 3*perPart {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fast partitions stalled behind the slow one: %d/%d processed "+
+				"(p1=%d p2=%d p3=%d, slow p0=%d)", got, 3*perPart,
+				fastDone[1].Load(), fastDone[2].Load(), fastDone[3].Load(), fastDone[0].Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := fastDone[0].Load(); n != 0 {
+		t.Fatalf("slow partition processed %d records with the gate held", n)
+	}
+
+	// Release the slow partition; everything drains and conservation
+	// closes exactly.
+	close(gate)
+	e.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Records != parts*perPart || m.Resolved != parts*perPart {
+		t.Fatalf("conservation broken: records=%d resolved=%d, want %d", m.Records, m.Resolved, parts*perPart)
+	}
+	if m.RecordsDropped != 0 {
+		t.Fatalf("records dropped = %d, want 0", m.RecordsDropped)
+	}
+	for p := 0; p < parts; p++ {
+		if n := fastDone[p].Load(); n != perPart {
+			t.Errorf("partition %d processed %d, want %d", p, n, perPart)
+		}
+	}
+}

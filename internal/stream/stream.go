@@ -2,9 +2,9 @@
 // the substitution for Spark Streaming (§II, §V). It reproduces the
 // execution model the paper's Section V contributions modify:
 //
-//   - Input records are collected into micro-batches and partitioned by
-//     key across N workers; each partition's records are processed
-//     serially by an operator, so per-key state needs no locking.
+//   - Input records are partitioned by key across N workers; each worker
+//     collects its own micro-batches and processes its partition's
+//     records serially, so per-key state needs no locking.
 //   - Broadcast variables live on the driver; workers keep local cached
 //     copies and pull from the driver on a cache miss (the getValue()
 //     protocol of §V-A).
@@ -19,6 +19,17 @@
 //     enumerate and expire open states they have no key for.
 //   - Heartbeat records are fanned to every partition by the custom
 //     partitioner (§V-B), regardless of key.
+//
+// Execution model: every partition is a persistent worker goroutine that
+// owns a bounded input queue, its own micro-batch timer on the injected
+// clock, its state map and broadcast cache, and its retry queue. Records
+// are routed to worker queues at enqueue time (Send/SendBatch), so a hot
+// partition backs up only its own queue — other partitions keep batching
+// independently instead of stalling at a global per-batch barrier. The
+// cross-partition synchronization that remains is intentionally narrow: a
+// barrier lock serializing sink emission and the shared commit frontier,
+// and a control lock serializing rebroadcast installs and state
+// inspections.
 package stream
 
 import (
@@ -47,13 +58,50 @@ type Record struct {
 	// Heartbeat marks the record as a heartbeat: the partitioner
 	// duplicates it to every partition.
 	Heartbeat bool
+
+	// fan is the shared countdown for a heartbeat's per-partition copies:
+	// the engine accepts one heartbeat but delivers Partitions copies, and
+	// only the copy that decrements the token to zero carries the record's
+	// Records/Resolved/RecordsDropped count — so conservation stays exact
+	// in input-record units.
+	fan *hbFan
+	// seq is the record's acceptance sequence number, assigned at
+	// enqueue. Workers retire their records in seq order (queues are
+	// FIFO, retries block the frontier), which is what lets the commit
+	// frontier reported to BatchHook be computed from one watermark per
+	// worker. Heartbeats are seq-less (zero): commit watermarks count
+	// forwarded log records only.
+	seq uint64
 }
 
-// inputMsg is one hand-off on the engine's input channel: either a
-// single record (batch nil) or a whole micro-batch slice from the
-// RecordBuffer pool. A single channel for both keeps Send and SendBatch
-// strictly ordered relative to each other.
-type inputMsg struct {
+// hbFan is the fan-out token shared by a heartbeat's partition copies.
+type hbFan struct {
+	left atomic.Int32
+	// void marks a heartbeat whose fan-out was interrupted by Close after
+	// some copies were already queued. The delivered copies still run
+	// (expiry sweeps are idempotent) but the record was reported rejected
+	// to the sender, so no copy may count it as accepted.
+	void atomic.Bool
+}
+
+// resolveCopy reports whether this copy of the record carries its
+// conservation count: always for plain records, and for heartbeats only
+// on the copy that retires the fan-out token.
+func (rec *Record) resolveCopy() bool {
+	if rec.fan == nil {
+		return true
+	}
+	if rec.fan.left.Add(-1) != 0 {
+		return false
+	}
+	return !rec.fan.void.Load()
+}
+
+// workerMsg is one hand-off on a worker's input queue: either a single
+// record (batch nil) or a whole batch slice from the RecordBuffer pool.
+// A single queue for both keeps Send and SendBatch strictly ordered
+// relative to each other per partition.
+type workerMsg struct {
 	rec   Record
 	batch []Record
 }
@@ -67,18 +115,20 @@ type Config struct {
 	// Partitions is the worker count (default 4).
 	Partitions int
 	// BatchInterval is the micro-batch collection window (default
-	// 10ms).
+	// 10ms). Each worker runs its own window timer.
 	BatchInterval time.Duration
-	// MaxBatch caps records per micro-batch (default 4096).
+	// MaxBatch caps records per micro-batch (default 4096), applied per
+	// worker.
 	MaxBatch int
-	// InputBuffer is the Send channel capacity (default 8192).
+	// InputBuffer is the total queued-record capacity (default 8192),
+	// divided evenly across the per-worker queues.
 	InputBuffer int
 	// Partitioner overrides key-hash partitioning for non-heartbeat
 	// records.
 	Partitioner func(rec Record, partitions int) int
 	// Clock is the engine's time source (default the wall clock). A fake
 	// clock makes the micro-batch cadence manually drivable: batches
-	// close when Advance crosses the BatchInterval deadline.
+	// close when Advance crosses a worker's BatchInterval deadline.
 	Clock clock.Clock
 	// Name labels this engine's metrics (the "engine" label value);
 	// default "stream". Pipelines running several engines (the staged
@@ -88,17 +138,24 @@ type Config struct {
 	// uninstrumented: only the built-in Metrics struct is maintained.
 	Metrics *metrics.Registry
 	// Ops is the ops plane: span tracing of the micro-batch hierarchy
-	// (driver batch → partition → sink) and flight-recorder events for
-	// rebroadcasts, operator panics, and dropped records. Nil disables
-	// both at a nil-check's cost.
+	// (per-partition process and sink lanes) and flight-recorder events
+	// for rebroadcasts, operator panics, and dropped records. Nil
+	// disables both at a nil-check's cost.
 	Ops *obs.Ops
-	// BatchHook, when set, is called from the engine loop at every
-	// micro-batch barrier — including empty ones — with the cumulative
-	// count of resolved input records (see Metrics.Resolved). The recovery
-	// layer uses it to apply offset commits only once the records they
-	// cover have been fully processed.
+	// BatchHook, when set, is called under the engine's barrier lock at
+	// every micro-batch barrier — including empty ones — with the
+	// engine's resolved frontier: the length of the longest prefix of
+	// accepted records (in acceptance order, heartbeats counted once)
+	// that are all fully resolved. The frontier is monotone across
+	// calls, and a record enters it only after the micro-batch that
+	// retired it has drained its outputs through the sink — so the
+	// recovery layer can commit offsets for the first N accepted records
+	// the moment the hook reports N, no matter how partition workers
+	// interleaved. Out-of-order resolution across partitions (a fast
+	// partition racing ahead of a backed-up one) holds the frontier back
+	// instead of inflating it.
 	BatchHook func(resolved uint64)
-	// OnBarrier, when set, is called from the engine loop at every
+	// OnBarrier, when set, is called under the barrier lock at every
 	// micro-batch barrier — including empty ones — after the batch (if
 	// any) has fully resolved. The latency plane uses it to re-age the
 	// freshness watermark gauges on the batch cadence, so a partition
@@ -107,11 +164,12 @@ type Config struct {
 	OnBarrier func()
 	// PanicHook, when set, is consulted when the operator panics on a
 	// record: return true to requeue the record for another attempt in
-	// the next micro-batch, false to drop it (the pre-recovery behavior).
-	// Heartbeat records are never requeued regardless of the hook's
-	// answer — they are cheap to lose and fan out to every partition.
-	// The hook must bound its retries (e.g. quarantine after K strikes)
-	// or a poisonous record would cycle forever.
+	// the partition's next micro-batch, false to drop it (the
+	// pre-recovery behavior). Heartbeat records are never requeued
+	// regardless of the hook's answer — they are cheap to lose and fan
+	// out to every partition. The hook must bound its retries (e.g.
+	// quarantine after K strikes) or a poisonous record would cycle
+	// forever.
 	PanicHook func(partition int, rec Record, v any) bool
 }
 
@@ -150,6 +208,8 @@ func (c *Config) setDefaults() {
 // Metrics counts engine activity. Snapshot via Engine.Metrics.
 type Metrics struct {
 	// Batches and Records count processed micro-batches and records.
+	// Batches are per-partition: each worker's closed collection window
+	// counts one.
 	Batches uint64
 	Records uint64
 	// UpdatesApplied counts rebroadcasts applied between batches.
@@ -177,11 +237,13 @@ type Metrics struct {
 	// Records is "processing attempts", not unique records.
 	Retried uint64
 	// Resolved counts input records fully handled: processed to
-	// completion, dropped by panic containment, or quarantined — every
-	// outcome except "requeued for retry". A record accepted by Send
-	// increments Resolved exactly once, which makes Resolved the
-	// commit-gate watermark: when Resolved catches up with the sender's
-	// accepted count, nothing is buffered or awaiting retry.
+	// completion (outputs drained through the sink), dropped by panic
+	// containment, or quarantined — every outcome except "requeued for
+	// retry". A record accepted by Send increments Resolved exactly
+	// once, and only after the micro-batch that retired it has emitted
+	// its outputs, which makes Resolved the commit-gate watermark: when
+	// Resolved catches up with the sender's accepted count, nothing is
+	// buffered, processing, or awaiting retry.
 	Resolved uint64
 }
 
@@ -193,9 +255,15 @@ type update struct {
 	value any
 }
 
+// inspectReq is one queued Inspect. visited/remaining/completed are
+// guarded by Engine.updMu: each worker runs fn for its own partition at
+// most once, at its own barrier; whoever completes the set closes done.
 type inspectReq struct {
-	fn   func(partition int, states *StateMap)
-	done chan struct{}
+	fn        func(partition int, states *StateMap)
+	done      chan struct{}
+	visited   []bool
+	remaining int
+	completed bool
 }
 
 // Engine is the micro-batch engine. Configure (operator, broadcasts)
@@ -205,48 +273,55 @@ type Engine struct {
 	proc ProcessFunc
 	sink func(any)
 
-	// input carries single records and whole micro-batch slices through
-	// the same channel, so interleaved Send and SendBatch calls from one
-	// producer are observed in call order — a heartbeat sent after a
-	// batch of logs can never overtake it. Batch slices come from the
-	// RecordBuffer pool and are recycled once collect has absorbed them.
-	input chan inputMsg
-	// batchSem bounds in-flight batch hand-offs: without it a fast
-	// producer parks thousands of batch slices in the input buffer, the
-	// RecordBuffer pool never sees them back, and every batch becomes a
-	// fresh allocation. The shallow bound restores the backpressure (and
-	// pool cycling) a dedicated small batch channel used to provide.
-	batchSem chan struct{}
-	recPool  sync.Pool
-	closed   chan struct{}
-	once     sync.Once
-
-	// Engine-loop scratch, reused across micro-batches. The loop is
-	// single-threaded (collect → processBatch → sink), so reuse is safe;
-	// workers only write their own partition's slot.
-	batchBuf []Record
-	partsBuf [][]Record
-	outsBuf  [][]any
+	// batchSem bounds in-flight batch hand-offs across all worker
+	// queues: without it a fast producer parks thousands of batch slices
+	// in the queues, the RecordBuffer pool never sees them back, and
+	// every batch becomes a fresh allocation. The shallow bound restores
+	// the backpressure (and pool cycling) a dedicated small batch
+	// channel used to provide.
+	batchSem  chan struct{}
+	recPool   sync.Pool
+	partsPool sync.Pool
+	closed    chan struct{}
+	once      sync.Once
 
 	driver  *driver
 	workers []*worker
 
+	// ctrlSeq versions the control plane: it is bumped whenever a
+	// rebroadcast or inspection is queued. Workers compare it against a
+	// local cursor at every barrier — one atomic load on the hot path —
+	// and take updMu only when it moved.
+	ctrlSeq  atomic.Uint64
 	updMu    sync.Mutex
 	pending  []update
-	inspects []inspectReq
+	inspects []*inspectReq
 
-	// retries holds records requeued by the PanicHook; the engine loop
-	// prepends them to the next micro-batch.
-	retryMu sync.Mutex
-	retries []Record
+	// barrierMu is the merged commit frontier: each worker takes it at
+	// its own micro-batch barrier to drain its outputs (sink calls stay
+	// serialized, in per-partition order) and advance the shared
+	// Resolved watermark, so BatchHook observes monotone, post-sink
+	// values no matter which partitions are active.
+	barrierMu sync.Mutex
+	// seqCtr assigns acceptance sequence numbers (Record.seq); the
+	// sender bumps the target worker's enq counter before taking a seq,
+	// so any seq visible to a frontier snapshot is already reflected in
+	// its owner's pending count.
+	seqCtr atomic.Uint64
+	// frontierHi (guarded by barrierMu) is the high-water frontier
+	// reported to BatchHook. Retirement is irreversible, so once a
+	// prefix was certified resolved it stays certified even when an
+	// idle worker's stale per-worker watermark would momentarily drag
+	// the instantaneous minimum back down.
+	frontierHi uint64
 
 	metMu   sync.Mutex
 	metrics Metrics
 
 	// bcHits/bcPulls are the broadcast cache counters. They are the only
-	// Metrics fields written from inside partition workers (every record
-	// consults a broadcast), so they are atomics rather than metMu-guarded
-	// — per-record mutex traffic would serialize the partitions.
+	// Metrics fields written per record (every record consults a
+	// broadcast), so they are atomics rather than metMu-guarded —
+	// per-record mutex traffic would serialize the partitions.
 	bcHits  atomic.Uint64
 	bcPulls atomic.Uint64
 
@@ -256,8 +331,8 @@ type Engine struct {
 	instr *engineInstr
 
 	// spans/events are the ops-plane recorders (nil when Config.Ops is
-	// unset). driverTid is the span thread for the engine loop; workers
-	// carry their own tids.
+	// unset). driverTid is the span thread for driver-side work
+	// (rebroadcast installs); workers carry their own tids.
 	spans     *obs.SpanRecorder
 	events    *obs.FlightRecorder
 	driverTid int
@@ -289,8 +364,8 @@ type engineInstr struct {
 	retried          *metrics.Counter
 	size             *metrics.Histogram
 	latency          *metrics.Histogram
-	// entries[p] tracks partition p's state-map size, refreshed at each
-	// micro-batch barrier.
+	// entries[p] tracks partition p's state-map size, refreshed by each
+	// worker at its own micro-batch barrier.
 	entries []*metrics.Gauge
 }
 
@@ -326,12 +401,49 @@ type block struct {
 	version uint64
 }
 
-// worker is one partition executor: its state map and broadcast cache.
+// worker is one partition executor: a persistent goroutine owning its
+// input queue, micro-batch timer, state map, broadcast cache, and retry
+// queue.
 type worker struct {
 	id     int
 	states *StateMap
 	cache  map[string]block
 	tid    int // span thread for this partition's lane
+
+	// queue carries this partition's records; wake (capacity 1) nudges
+	// the worker to close its collection window early so a queued
+	// inspection is served without waiting out the batch interval.
+	queue chan workerMsg
+	wake  chan struct{}
+
+	// Owned by the worker goroutine, no locking: requeued records,
+	// collect scratch, output scratch, and the control-plane cursor.
+	retries  []Record
+	batchBuf []Record
+	outBuf   []any
+	seenSeq  uint64
+
+	// Frontier bookkeeping. enq counts records assigned to this worker
+	// (bumped by the sender before the seq is even taken); done counts
+	// records the worker has retired post-sink (dropped ones included).
+	// While they differ the worker constrains the engine frontier to
+	// front — the highest seq with every lower-or-equal seq this worker
+	// owns retired. front is only meaningful while the worker is
+	// constrained, which sidesteps staleness when it sat idle.
+	enq   atomic.Uint64
+	done  atomic.Uint64
+	front atomic.Uint64
+
+	// inval lists broadcast IDs whose cached copies this worker must
+	// drop: appended by whichever worker installs a rebroadcast and
+	// drained by the owner at its next barrier, both under Engine.updMu,
+	// so the unsynchronized cache map is only ever touched by its owner.
+	inval []string
+
+	// procLabel/sinkLabel are this partition's span labels, precomputed
+	// at construction so processing a batch does not rebuild the strings.
+	procLabel string
+	sinkLabel string
 
 	// pulled mirrors the versions this worker has actually fetched from
 	// the driver (written only on the rare cache-miss path) so the
@@ -346,7 +458,6 @@ func New(cfg Config, proc ProcessFunc) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		proc:     proc,
-		input:    make(chan inputMsg, cfg.InputBuffer),
 		batchSem: make(chan struct{}, 16),
 		closed:   make(chan struct{}),
 		driver:   &driver{blocks: make(map[string]block)},
@@ -354,12 +465,21 @@ func New(cfg Config, proc ProcessFunc) *Engine {
 	e.spans = obs.SpansOf(cfg.Ops)
 	e.events = obs.EventsOf(cfg.Ops)
 	e.driverTid = e.spans.Thread(cfg.Name + " driver")
+	queueCap := cfg.InputBuffer / cfg.Partitions
+	if queueCap < 64 {
+		queueCap = 64
+	}
 	for i := 0; i < cfg.Partitions; i++ {
+		label := strconv.Itoa(i)
 		e.workers = append(e.workers, &worker{
-			id:     i,
-			states: NewStateMap(),
-			cache:  make(map[string]block),
-			tid:    e.spans.Thread(cfg.Name + " p" + strconv.Itoa(i)),
+			id:        i,
+			states:    NewStateMap(),
+			cache:     make(map[string]block),
+			tid:       e.spans.Thread(cfg.Name + " p" + label),
+			queue:     make(chan workerMsg, queueCap),
+			wake:      make(chan struct{}, 1),
+			procLabel: "p" + label + " process",
+			sinkLabel: "p" + label + " sink",
 		})
 	}
 	if cfg.Metrics != nil {
@@ -368,8 +488,10 @@ func New(cfg Config, proc ProcessFunc) *Engine {
 	return e
 }
 
-// SetSink installs the output consumer, called serially from the engine
-// loop after each micro-batch barrier. Must be set before Run.
+// SetSink installs the output consumer. It is called under the engine's
+// barrier lock — never concurrently, with each partition's outputs in
+// processing order — but may run on any worker goroutine. Must be set
+// before Run.
 func (e *Engine) SetSink(sink func(any)) { e.sink = sink }
 
 // Partitions returns the partition count.
@@ -393,19 +515,22 @@ func (e *Engine) Broadcast(id string, value any) {
 }
 
 // Rebroadcast queues a runtime update of a broadcast variable. It is
-// applied between micro-batches: the driver installs the new value under
-// the same variable ID, every worker's locally cached copy is invalidated,
-// and subsequent getValue() calls pull the fresh value. The stream never
+// applied at the next micro-batch barrier any worker reaches: the driver
+// installs the new value under the same variable ID, every worker
+// invalidates its locally cached copy at its own next barrier, and
+// subsequent getValue() calls pull the fresh value. The stream never
 // stops and no partition state is lost (§V-A).
 func (e *Engine) Rebroadcast(id string, value any) {
 	e.updMu.Lock()
 	e.pending = append(e.pending, update{id: id, value: value})
 	e.updMu.Unlock()
+	e.ctrlSeq.Add(1)
 }
 
-// Send enqueues one input record. It blocks when the input buffer is full
-// (backpressure) and returns ErrClosed after Close. Rejected records are
-// counted under stream_records_dropped_total with reason
+// Send enqueues one input record onto its partition's worker queue
+// (heartbeats fan a copy to every queue). It blocks when the queue is
+// full (backpressure) and returns ErrClosed after Close. Rejected records
+// are counted under stream_records_dropped_total with reason
 // "send-after-close" (they do not enter Metrics.RecordsDropped, which
 // only balances records the engine accepted).
 func (e *Engine) Send(rec Record) error {
@@ -414,19 +539,69 @@ func (e *Engine) Send(rec Record) error {
 		return e.rejectClosed(1)
 	default:
 	}
+	if rec.Heartbeat {
+		if err := e.fanHeartbeat(rec); err != nil {
+			return e.rejectClosed(1)
+		}
+		return nil
+	}
+	w := e.workers[e.cfg.Partitioner(rec, len(e.workers))]
+	w.enq.Add(1)
+	rec.seq = e.seqCtr.Add(1)
 	select {
-	case e.input <- inputMsg{rec: rec}:
+	case w.queue <- workerMsg{rec: rec}:
 		return nil
 	case <-e.closed:
+		// The seq was assigned but the record never delivered: its
+		// owner stays constrained below it, so the frontier can never
+		// certify a prefix containing a rejected record. The engine is
+		// closed; commits correctly stop at the rejection point.
 		return e.rejectClosed(1)
 	}
 }
 
-// SendBatch enqueues a micro-batch of records in a single channel
-// hand-off, amortizing the per-record synchronization of Send. Ownership
-// of recs transfers to the engine, which recycles the backing array into
-// the RecordBuffer pool — callers must not touch recs afterwards. Like
-// Send it blocks on backpressure and returns ErrClosed after Close.
+// fanHeartbeat delivers one copy of a heartbeat to every worker queue
+// (§V-B custom partitioner), sharing a fan-out token so the heartbeat is
+// counted once no matter how many partitions process it.
+func (e *Engine) fanHeartbeat(rec Record) error {
+	// Heartbeats carry no frontier seq (seq 0): the commit watermarks
+	// compared against the frontier count forwarded log records only, so
+	// a heartbeat must neither advance nor constrain the certified
+	// prefix.
+	if len(e.workers) == 1 {
+		select {
+		case e.workers[0].queue <- workerMsg{rec: rec}:
+			return nil
+		case <-e.closed:
+			return ErrClosed
+		}
+	}
+	fan := &hbFan{}
+	fan.left.Store(int32(len(e.workers)))
+	rec.fan = fan
+	for i, w := range e.workers {
+		select {
+		case w.queue <- workerMsg{rec: rec}:
+		case <-e.closed:
+			// Interrupted mid-fan: void the token so the already-queued
+			// copies run without counting a record the sender was told
+			// was rejected, and retire the undelivered copies' shares.
+			fan.void.Store(true)
+			fan.left.Add(int32(-(len(e.workers) - i)))
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// SendBatch enqueues a micro-batch of records, split at enqueue time into
+// per-partition slices handed directly to the worker queues. Ownership of
+// recs transfers to the engine, which recycles the backing array into the
+// RecordBuffer pool — callers must not touch recs afterwards. Like Send
+// it blocks on backpressure and returns ErrClosed after Close. If Close
+// lands mid-delivery the batch may be partially accepted: slices already
+// queued are processed and counted, the remainder is rejected under the
+// send-after-close label.
 func (e *Engine) SendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		e.putRecordBuffer(recs)
@@ -437,18 +612,108 @@ func (e *Engine) SendBatch(recs []Record) error {
 		return e.rejectClosed(len(recs))
 	default:
 	}
-	select {
-	case e.batchSem <- struct{}{}:
-	case <-e.closed:
-		return e.rejectClosed(len(recs))
+	if len(e.workers) == 1 {
+		// Single partition: the batch slice passes straight through to
+		// the worker, no splitting. Frontier seqs are reserved as one
+		// range (two atomic ops per batch, not per record); heartbeats
+		// inside the batch stay seq-less.
+		w := e.workers[0]
+		n := uint64(0)
+		for i := range recs {
+			if !recs[i].Heartbeat {
+				n++
+			}
+		}
+		w.enq.Add(n)
+		seq := e.seqCtr.Add(n) - n
+		for i := range recs {
+			if !recs[i].Heartbeat {
+				seq++
+				recs[i].seq = seq
+			}
+		}
+		select {
+		case e.batchSem <- struct{}{}:
+		case <-e.closed:
+			return e.rejectClosed(len(recs))
+		}
+		select {
+		case w.queue <- workerMsg{batch: recs}:
+			return nil
+		case <-e.closed:
+			<-e.batchSem
+			return e.rejectClosed(len(recs))
+		}
 	}
-	select {
-	case e.input <- inputMsg{batch: recs}:
-		return nil
-	case <-e.closed:
-		<-e.batchSem
-		return e.rejectClosed(len(recs))
+	parts := e.getParts()
+	rejected := 0
+	for i := 0; i < len(recs); i++ {
+		rec := recs[i]
+		if !rec.Heartbeat {
+			p := e.cfg.Partitioner(rec, len(e.workers))
+			e.workers[p].enq.Add(1)
+			rec.seq = e.seqCtr.Add(1)
+			if parts[p] == nil {
+				parts[p] = e.RecordBuffer()
+			}
+			parts[p] = append(parts[p], rec)
+			continue
+		}
+		// A heartbeat inside the batch: per-queue FIFO is the ordering
+		// guarantee, so everything before it must land in the worker
+		// queues before its copies fan out.
+		if u := e.flushParts(parts); u > 0 {
+			rejected = u + len(recs) - i
+			break
+		}
+		if err := e.fanHeartbeat(rec); err != nil {
+			rejected = len(recs) - i
+			break
+		}
 	}
+	if rejected == 0 {
+		rejected = e.flushParts(parts)
+	}
+	e.putParts(parts)
+	e.putRecordBuffer(recs)
+	if rejected > 0 {
+		return e.rejectClosed(rejected)
+	}
+	return nil
+}
+
+// flushParts hands the accumulated per-partition slices to their worker
+// queues, returning how many records went undelivered because Close
+// interrupted the hand-off (undelivered slices are recycled).
+func (e *Engine) flushParts(parts [][]Record) (undelivered int) {
+	for p := range parts {
+		buf := parts[p]
+		if buf == nil {
+			continue
+		}
+		parts[p] = nil
+		if len(buf) == 0 || undelivered > 0 {
+			undelivered += len(buf)
+			e.putRecordBuffer(buf)
+			continue
+		}
+		ok := false
+		select {
+		case e.batchSem <- struct{}{}:
+			select {
+			case e.workers[p].queue <- workerMsg{batch: buf}:
+				ok = true
+			case <-e.closed:
+				<-e.batchSem
+			}
+		case <-e.closed:
+		}
+		if !ok {
+			undelivered += len(buf)
+			e.putRecordBuffer(buf)
+		}
+	}
+	return undelivered
 }
 
 // RecordBuffer returns an empty record slice from the engine's arena for
@@ -475,6 +740,22 @@ func (e *Engine) putRecordBuffer(recs []Record) {
 	e.recPool.Put(&recs)
 }
 
+// getParts returns a per-partition split scratch (len == Partitions, all
+// slots nil) from the engine's pool.
+func (e *Engine) getParts() [][]Record {
+	if v := e.partsPool.Get(); v != nil {
+		return *(v.(*[][]Record))
+	}
+	return make([][]Record, len(e.workers))
+}
+
+func (e *Engine) putParts(parts [][]Record) {
+	for i := range parts {
+		parts[i] = nil
+	}
+	e.partsPool.Put(&parts)
+}
+
 // rejectClosed accounts n records refused because the engine is closed.
 func (e *Engine) rejectClosed(n int) error {
 	if e.instr != nil {
@@ -489,6 +770,17 @@ func (e *Engine) Close() {
 	e.once.Do(func() { close(e.closed) })
 }
 
+// Accepted returns the number of frontier seqs assigned so far — every
+// non-heartbeat record accepted by Send/SendBatch. This is the unit of
+// the commit frontier reported to BatchHook: a commit watermark taken
+// from Accepted after a batch of sends is certain to be reached once
+// those records (and everything accepted before them) retire.
+// Heartbeats are seq-less by design, so watermarks must come from here,
+// not from a sender-side count that includes them.
+func (e *Engine) Accepted() uint64 {
+	return e.seqCtr.Load()
+}
+
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() Metrics {
 	e.metMu.Lock()
@@ -499,9 +791,8 @@ func (e *Engine) Metrics() Metrics {
 	return m
 }
 
-// Running reports whether the micro-batch loop is currently executing —
-// true between Run's entry and return. The ops-plane liveness probe
-// reads it.
+// Running reports whether the worker pool is currently executing — true
+// between Run's entry and return. The ops-plane liveness probe reads it.
 func (e *Engine) Running() bool { return e.running.Load() }
 
 // BroadcastVersions reports the driver's current version of a broadcast
@@ -531,135 +822,138 @@ func (e *Engine) StateMap(p int) (*StateMap, error) {
 	return e.workers[p].states, nil
 }
 
-// Run executes the micro-batch loop until the context is cancelled or
-// Close has been called and the input is drained. Queued rebroadcasts are
-// applied between micro-batches.
+// Run executes the worker pool until the context is cancelled or Close
+// has been called and every queue is drained. Queued rebroadcasts are
+// applied at micro-batch barriers.
 func (e *Engine) Run(ctx context.Context) error {
 	e.running.Store(true)
 	defer e.running.Store(false)
 	// Flush pending updates/inspections at exit so nothing blocks
 	// forever when Run stops via context cancellation.
-	defer e.applyUpdates()
+	defer e.flushCtrl()
+	var wg sync.WaitGroup
+	errs := make([]error, len(e.workers))
+	// A panic escaping a worker (a sink or hook blowing up — operator
+	// panics are contained per record) must surface to Run's caller so a
+	// restart supervisor can recover it. The first panic wins; the abort
+	// channel parks the other workers with their queues and scratch
+	// intact, so the restarted Run resumes where this one stopped.
+	abort := make(chan struct{})
+	var panicOnce sync.Once
+	var panicVal any
+	for i, w := range e.workers {
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicVal = r
+						close(abort)
+					})
+				}
+			}()
+			errs[i] = e.runWorker(ctx, w, abort)
+		}(i, w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWorker is one partition's persistent loop: collect a micro-batch
+// from the partition's own queue, sync with the control plane, process,
+// and hit the barrier — independent of every other partition's pace.
+func (e *Engine) runWorker(ctx context.Context, w *worker, abort <-chan struct{}) error {
 	for {
-		batch, drained := e.collect(ctx)
+		batch, drained := e.collectWorker(ctx, w, abort)
 		// Records requeued by the PanicHook go to the front of the next
-		// batch, keeping redelivery close to the original attempt.
-		if retries := e.takeRetries(); len(retries) > 0 {
-			batch = append(retries, batch...)
+		// batch, keeping redelivery close to the original attempt (and on
+		// the same partition, preserving key affinity).
+		if len(w.retries) > 0 {
+			r := w.retries
+			w.retries = nil
+			batch = append(r, batch...)
+		}
+		select {
+		case <-abort:
+			// Another worker panicked and Run is unwinding toward its
+			// supervisor. Park the collected records in the retry queue
+			// (append to nil copies off the collect scratch) so the
+			// restarted Run processes them; nothing is dropped.
+			w.retries = append(w.retries, batch...)
+			return nil
+		default:
 		}
 		if err := ctx.Err(); err != nil {
-			// The partially collected batch and anything still queued
-			// in the input buffer will never run through the operator.
-			// Count them dropped so conservation (accepted == processed
-			// + dropped) holds at shutdown. Records Sent concurrently
-			// with the cancellation may still race past this drain;
-			// orderly shutdown (Close before cancel) is exact.
-			e.dropAbandoned(batch)
+			// The partially collected batch and anything still queued will
+			// never run through the operator. Count them dropped so
+			// conservation (accepted == processed + dropped) holds at
+			// shutdown. Records Sent concurrently with the cancellation
+			// may still race past this drain; orderly shutdown (Close
+			// before cancel) is exact.
+			e.dropWorker(w, batch)
 			return err
 		}
 
-		// Model updates run between micro-batches in a serialized
-		// lock step (§V-A).
-		e.applyUpdates()
+		// Model updates and inspections run at the barrier in a
+		// serialized lock step (§V-A); the atomic compare keeps the
+		// no-op case off the mutex.
+		if e.ctrlSeq.Load() != w.seenSeq {
+			e.syncWorker(w)
+		}
 
 		if len(batch) > 0 {
-			e.processBatch(batch)
+			e.processWorkerBatch(w, batch)
 		} else {
-			if e.cfg.BatchHook != nil {
-				// Empty barriers still report the watermark, so a commit
-				// gated on a batch that resolved just before registration
-				// is flushed at the next barrier instead of waiting for
-				// traffic.
-				e.metMu.Lock()
-				resolved := e.metrics.Resolved
-				e.metMu.Unlock()
-				e.cfg.BatchHook(resolved)
-			}
-			if e.cfg.OnBarrier != nil {
-				e.cfg.OnBarrier()
-			}
+			e.emptyBarrier()
 		}
-		if drained && !e.hasRetries() {
+		// Zero the processed scratch so retained arrays don't pin this
+		// batch's payloads until the slots happen to be overwritten.
+		for i := range batch {
+			batch[i] = Record{}
+		}
+		if drained && len(w.retries) == 0 {
 			return nil
 		}
 	}
 }
 
-// takeRetries drains the retry queue.
-func (e *Engine) takeRetries() []Record {
-	e.retryMu.Lock()
-	out := e.retries
-	e.retries = nil
-	e.retryMu.Unlock()
-	return out
-}
-
-func (e *Engine) hasRetries() bool {
-	e.retryMu.Lock()
-	defer e.retryMu.Unlock()
-	return len(e.retries) > 0
-}
-
-func (e *Engine) retryLen() int {
-	e.retryMu.Lock()
-	defer e.retryMu.Unlock()
-	return len(e.retries)
-}
-
-// dropAbandoned accounts a batch that will never be processed plus
-// everything still buffered in the input channels (and any records parked
-// in the retry queue) as RecordsDropped.
-func (e *Engine) dropAbandoned(batch []Record) {
-	dropped := uint64(len(batch)) + uint64(len(e.takeRetries()))
-	for {
-		select {
-		case msg := <-e.input:
-			if msg.batch != nil {
-				dropped += uint64(len(msg.batch))
-				<-e.batchSem
-			} else {
-				dropped++
-			}
-		default:
-			if dropped == 0 {
-				return
-			}
-			e.metMu.Lock()
-			e.metrics.RecordsDropped += dropped
-			e.metrics.Resolved += dropped
-			e.metMu.Unlock()
-			if e.instr != nil {
-				e.instr.droppedAbandoned.Add(dropped)
-			}
-			e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "abandoned at cancellation", int64(dropped))
-			return
-		}
-	}
-}
-
-// collect gathers one micro-batch: up to MaxBatch records within
-// BatchInterval (a batched hand-off may overshoot the cap by at most one
-// producer batch). It reports drained=true when the engine is closed and
-// the input is empty. The returned slice is engine-loop scratch, valid
-// until the next collect call.
-func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
-	batch := e.batchBuf[:0]
-	defer func() { e.batchBuf = batch[:0] }()
+// collectWorker gathers one micro-batch from the worker's queue: up to
+// MaxBatch records within BatchInterval (a batched hand-off may overshoot
+// the cap by at most one producer batch). It reports drained=true when
+// the engine is closed and the queue is empty. The returned slice is
+// worker scratch, valid until the next collect call.
+func (e *Engine) collectWorker(ctx context.Context, w *worker, abort <-chan struct{}) ([]Record, bool) {
+	batch := w.batchBuf[:0]
+	defer func() { w.batchBuf = batch[:0] }()
 	timer := e.cfg.Clock.NewTimer(e.cfg.BatchInterval)
 	defer timer.Stop()
 	for len(batch) < e.cfg.MaxBatch {
 		select {
-		case msg := <-e.input:
+		case msg := <-w.queue:
 			batch = e.absorb(batch, msg)
 		case <-timer.C():
+			return batch, false
+		case <-w.wake:
+			// An inspection wants the barrier: close the window early.
+			return batch, false
+		case <-abort:
 			return batch, false
 		case <-ctx.Done():
 			return batch, false
 		case <-e.closed:
-			// Drain whatever has been sent, then stop.
+			// Drain whatever has been queued, then stop.
 			for {
 				select {
-				case msg := <-e.input:
+				case msg := <-w.queue:
 					batch = e.absorb(batch, msg)
 					if len(batch) >= e.cfg.MaxBatch {
 						return batch, false
@@ -673,9 +967,9 @@ func (e *Engine) collect(ctx context.Context) ([]Record, bool) {
 	return batch, false
 }
 
-// absorb appends one input hand-off — a single record or a pooled batch
+// absorb appends one queue hand-off — a single record or a pooled batch
 // slice — to the collection buffer, recycling batch slices.
-func (e *Engine) absorb(batch []Record, msg inputMsg) []Record {
+func (e *Engine) absorb(batch []Record, msg workerMsg) []Record {
 	if msg.batch == nil {
 		return append(batch, msg.rec)
 	}
@@ -685,111 +979,199 @@ func (e *Engine) absorb(batch []Record, msg inputMsg) []Record {
 	return batch
 }
 
-// processBatch partitions the batch, runs every partition's records
-// through the operator in parallel, waits for the barrier, and feeds
-// outputs to the sink in partition order.
-func (e *Engine) processBatch(batch []Record) {
-	start := e.cfg.Clock.Now()
-	batchSpan := e.spans.Start(e.cfg.Name, "batch", e.driverTid)
-	if e.partsBuf == nil {
-		e.partsBuf = make([][]Record, e.cfg.Partitions)
-		e.outsBuf = make([][]any, e.cfg.Partitions)
-	}
-	parts := e.partsBuf
-	for i := range parts {
-		parts[i] = parts[i][:0]
-	}
-	for _, rec := range batch {
-		if rec.Heartbeat {
-			// Custom partitioner: heartbeats reach every
-			// partition (§V-B).
-			for i := range parts {
-				parts[i] = append(parts[i], rec)
-			}
-			continue
+// dropWorker accounts a batch that will never be processed plus
+// everything still buffered in the worker's queue (and any records parked
+// in its retry queue) as RecordsDropped.
+func (e *Engine) dropWorker(w *worker, batch []Record) {
+	var dropped, copies uint64
+	count := func(rec *Record) {
+		if rec.seq != 0 {
+			copies++
 		}
-		p := e.cfg.Partitioner(rec, e.cfg.Partitions)
-		parts[p] = append(parts[p], rec)
-	}
-
-	outputs := e.outsBuf
-	for i := range outputs {
-		outputs[i] = outputs[i][:0]
-	}
-	retriesBefore := e.retryLen()
-	var wg sync.WaitGroup
-	for i, w := range e.workers {
-		if len(parts[i]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w *worker, recs []Record, out *[]any) {
-			defer wg.Done()
-			span := e.spans.Start(e.cfg.Name, "p"+strconv.Itoa(w.id)+" process", w.tid)
-			defer span.End()
-			c := &Context{engine: e, worker: w, batchStart: start}
-			for _, rec := range recs {
-				*out = append(*out, e.process(c, rec)...)
-			}
-		}(w, parts[i], &outputs[i])
-	}
-	wg.Wait()
-
-	// Every input record of this batch is now resolved except the ones
-	// the PanicHook requeued — those are counted when their retry attempt
-	// resolves. (Heartbeat fan-out copies are per-partition expansions of
-	// one input record and are never requeued, so the subtraction is
-	// exact in input-record units.)
-	requeued := uint64(e.retryLen() - retriesBefore)
-	e.metMu.Lock()
-	e.metrics.Batches++
-	e.metrics.Records += uint64(len(batch))
-	e.metrics.Resolved += uint64(len(batch)) - requeued
-	resolved := e.metrics.Resolved
-	e.metMu.Unlock()
-	if e.instr != nil {
-		e.instr.batches.Inc()
-		e.instr.records.Add(uint64(len(batch)))
-		e.instr.size.Observe(float64(len(batch)))
-		e.instr.latency.Observe(e.cfg.Clock.Since(start).Seconds())
-		// Workers are quiescent at the barrier: state maps are safe to
-		// read from the engine loop.
-		for i, w := range e.workers {
-			e.instr.entries[i].Set(int64(w.states.Len()))
-		}
-	}
-
-	if e.sink != nil {
-		sinkSpan := e.spans.Start(e.cfg.Name, "sink", e.driverTid)
-		for _, outs := range outputs {
-			for _, o := range outs {
-				e.sink(o)
-			}
-		}
-		sinkSpan.End()
-	}
-	// Zero the reused scratch so retained arrays don't pin this batch's
-	// payloads until the slots happen to be overwritten.
-	for i := range parts {
-		for j := range parts[i] {
-			parts[i][j] = Record{}
-		}
-		for j := range outputs[i] {
-			outputs[i][j] = nil
+		if rec.resolveCopy() {
+			dropped++
 		}
 	}
 	for i := range batch {
-		batch[i] = Record{}
+		count(&batch[i])
 	}
-	batchSpan.End()
-	// The commit gate fires after the sink: everything this batch covers
-	// — state mutations and emitted outputs — has landed.
+	for i := range w.retries {
+		count(&w.retries[i])
+	}
+	w.retries = nil
+	for {
+		select {
+		case msg := <-w.queue:
+			if msg.batch != nil {
+				for i := range msg.batch {
+					count(&msg.batch[i])
+				}
+				e.putRecordBuffer(msg.batch)
+				<-e.batchSem
+			} else {
+				count(&msg.rec)
+			}
+			continue
+		default:
+		}
+		break
+	}
+	// Dropped copies retire for frontier purposes (parity with the old
+	// engine, where cancellation advanced Resolved past them): with its
+	// pending count settled the worker stops constraining the frontier.
+	w.done.Add(copies)
+	if dropped == 0 {
+		return
+	}
+	e.metMu.Lock()
+	e.metrics.RecordsDropped += dropped
+	e.metrics.Resolved += dropped
+	e.metMu.Unlock()
+	if e.instr != nil {
+		e.instr.droppedAbandoned.Add(dropped)
+	}
+	e.events.Record(obs.EventRecordsDropped, e.cfg.Name, "abandoned at cancellation", int64(dropped))
+}
+
+// processWorkerBatch runs one partition's micro-batch through the
+// operator serially, then takes the barrier lock to drain outputs and
+// advance the shared commit frontier.
+func (e *Engine) processWorkerBatch(w *worker, batch []Record) {
+	start := e.cfg.Clock.Now()
+	span := e.spans.Start(e.cfg.Name, w.procLabel, w.tid)
+	c := &Context{engine: e, worker: w, batchStart: start}
+	outs := w.outBuf[:0]
+	retriesBefore := len(w.retries)
+	var counted, seqCopies, lastSeq uint64
+	for i := range batch {
+		outs = append(outs, e.process(c, batch[i])...)
+		// Heartbeat fan-out copies share one count: only the copy that
+		// retires the token counts, so the subtraction below stays exact
+		// in input-record units.
+		if batch[i].resolveCopy() {
+			counted++
+		}
+		// Frontier bookkeeping tracks seq-bearing records only; the
+		// batch is in ascending seq order, so the running value is this
+		// worker's high seq.
+		if s := batch[i].seq; s != 0 {
+			seqCopies++
+			lastSeq = s
+		}
+	}
+	span.End()
+	requeued := uint64(len(w.retries) - retriesBefore)
+	// This worker's frontier contribution: with requeued records the
+	// oldest retry pins it (batches process in seq order, so everything
+	// below the oldest retry is retired); otherwise the whole batch
+	// retired through its last seq. An all-heartbeat batch leaves the
+	// watermark untouched.
+	fw := lastSeq
+	if len(w.retries) > retriesBefore {
+		fw = w.retries[retriesBefore].seq - 1
+	}
+
+	// The merged commit frontier: outputs drain inside the barrier lock
+	// (sink calls stay serialized, each partition's outputs in order) and
+	// only then do the shared Resolved count and this worker's frontier
+	// watermark advance — a commit gated on this batch can never run
+	// before its outputs have landed, and BatchHook frontiers are
+	// monotone across partitions.
+	e.barrierMu.Lock()
+	retired := false
+	retire := func() {
+		retired = true
+		e.metMu.Lock()
+		e.metrics.Batches++
+		e.metrics.Records += counted
+		e.metrics.Resolved += counted - requeued
+		e.metMu.Unlock()
+		w.done.Add(seqCopies - requeued)
+		if fw > 0 {
+			w.front.Store(fw)
+		}
+	}
+	func() {
+		defer func() {
+			// A sink or hook panic unwinds toward the restart supervisor:
+			// release the barrier and retire the batch anyway (the paid
+			// price is the pre-sink advance the old engine always had) so
+			// conservation and the drain watermark survive the restart.
+			if !retired {
+				retire()
+			}
+			e.barrierMu.Unlock()
+		}()
+		if e.sink != nil && len(outs) > 0 {
+			sinkSpan := e.spans.Start(e.cfg.Name, w.sinkLabel, w.tid)
+			for _, o := range outs {
+				e.sink(o)
+			}
+			sinkSpan.End()
+		}
+		retire()
+		if e.cfg.BatchHook != nil {
+			e.cfg.BatchHook(e.frontierLocked())
+		}
+		if e.cfg.OnBarrier != nil {
+			e.cfg.OnBarrier()
+		}
+	}()
+
+	if e.instr != nil {
+		e.instr.batches.Inc()
+		e.instr.records.Add(counted)
+		e.instr.size.Observe(float64(len(batch)))
+		e.instr.latency.Observe(e.cfg.Clock.Since(start).Seconds())
+		// The worker is at its own barrier: its state map is quiescent.
+		e.instr.entries[w.id].Set(int64(w.states.Len()))
+	}
+	for i := range outs {
+		outs[i] = nil
+	}
+	w.outBuf = outs[:0]
+}
+
+// emptyBarrier fires the barrier hooks for a window that collected
+// nothing, so a commit gated on a batch that resolved just before
+// registration is flushed at the next barrier instead of waiting for
+// traffic, and freshness gauges keep re-aging.
+func (e *Engine) emptyBarrier() {
+	if e.cfg.BatchHook == nil && e.cfg.OnBarrier == nil {
+		return
+	}
+	e.barrierMu.Lock()
 	if e.cfg.BatchHook != nil {
-		e.cfg.BatchHook(resolved)
+		e.cfg.BatchHook(e.frontierLocked())
 	}
 	if e.cfg.OnBarrier != nil {
 		e.cfg.OnBarrier()
 	}
+	e.barrierMu.Unlock()
+}
+
+// frontierLocked (barrierMu held) certifies the resolved frontier: the
+// highest seq S such that every accepted record with seq ≤ S is retired.
+// A worker whose pending count is zero has retired everything it owns;
+// one with pending work bounds S by its own watermark. Reading done
+// before enq keeps a concurrent enqueue conservative (it can only make
+// the worker look busier), and the high-water clamp keeps the reported
+// value monotone when an idle worker with a stale watermark becomes busy
+// again — retirement is irreversible, so an earlier certification stays
+// true.
+func (e *Engine) frontierLocked() uint64 {
+	f := e.seqCtr.Load()
+	for _, w := range e.workers {
+		if w.done.Load() != w.enq.Load() {
+			if wf := w.front.Load(); wf < f {
+				f = wf
+			}
+		}
+	}
+	if f > e.frontierHi {
+		e.frontierHi = f
+	}
+	return e.frontierHi
 }
 
 // process runs the operator on one record, containing panics so a
@@ -809,9 +1191,7 @@ func (e *Engine) process(c *Context, rec Record) (out []any) {
 				fmt.Sprintf("partition %d operator panic: %v", c.worker.id, r), 1)
 			out = nil
 			if !rec.Heartbeat && e.cfg.PanicHook != nil && e.cfg.PanicHook(c.worker.id, rec, r) {
-				e.retryMu.Lock()
-				e.retries = append(e.retries, rec)
-				e.retryMu.Unlock()
+				c.worker.retries = append(c.worker.retries, rec)
 				e.metMu.Lock()
 				e.metrics.Retried++
 				e.metMu.Unlock()
@@ -824,11 +1204,13 @@ func (e *Engine) process(c *Context, rec Record) (out []any) {
 	return e.proc(c, rec)
 }
 
-// Inspect runs fn against every partition's state map at the next
-// micro-batch barrier — the same serialized lock step model updates use —
-// and blocks until it has run. It is the race-free way to observe
-// partition state (open-event counts, state-map sizes) while the engine is
-// live. If Run is not active the inspection executes immediately.
+// Inspect runs fn against every partition's state map, each partition at
+// its own next micro-batch barrier — the same serialized lock step model
+// updates use — and blocks until all partitions have run it. It is the
+// race-free way to observe partition state (open-event counts, state-map
+// sizes) while the engine is live; invocations for different partitions
+// are serialized but may interleave with other partitions' batches. If
+// Run is not active the inspection executes immediately.
 func (e *Engine) Inspect(fn func(partition int, states *StateMap)) {
 	select {
 	case <-e.closed:
@@ -839,39 +1221,94 @@ func (e *Engine) Inspect(fn func(partition int, states *StateMap)) {
 		return
 	default:
 	}
-	req := inspectReq{fn: fn, done: make(chan struct{})}
+	req := &inspectReq{
+		fn:        fn,
+		done:      make(chan struct{}),
+		visited:   make([]bool, len(e.workers)),
+		remaining: len(e.workers),
+	}
 	e.updMu.Lock()
 	e.inspects = append(e.inspects, req)
 	e.updMu.Unlock()
+	e.ctrlSeq.Add(1)
+	// Nudge parked workers so the inspection is served promptly even
+	// when no traffic or timer would otherwise close their windows.
+	for _, w := range e.workers {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
 	select {
 	case <-req.done:
 	case <-e.closed:
-		// Run exited without draining the queue; partitions are
-		// quiescent now.
-		for _, w := range e.workers {
-			fn(w.id, w.states)
+		// Run exited (or is draining) without serving the request; cover
+		// the partitions no worker visited. The completed flag keeps this
+		// exactly-once against a racing worker barrier.
+		e.updMu.Lock()
+		if !req.completed {
+			req.completed = true
+			for i, r := range e.inspects {
+				if r == req {
+					e.inspects = append(e.inspects[:i], e.inspects[i+1:]...)
+					break
+				}
+			}
+			for _, w := range e.workers {
+				if !req.visited[w.id] {
+					fn(w.id, w.states)
+				}
+			}
+			close(req.done)
 		}
+		e.updMu.Unlock()
 	}
 }
 
-// applyUpdates installs queued rebroadcasts and runs queued inspections:
-// new driver blocks under the same IDs, all worker caches invalidated.
-func (e *Engine) applyUpdates() {
+// syncWorker is the control-plane barrier: under updMu the worker
+// installs any queued rebroadcasts (first arriver wins), serves queued
+// inspections for its own partition, and collects its cache
+// invalidations; outside the lock it applies them to its own cache.
+func (e *Engine) syncWorker(w *worker) {
 	e.updMu.Lock()
-	pending := e.pending
-	inspects := e.inspects
-	e.pending = nil
-	e.inspects = nil
-	e.updMu.Unlock()
-	for _, req := range inspects {
-		for _, w := range e.workers {
+	seq := e.ctrlSeq.Load()
+	e.installLocked()
+	for i := 0; i < len(e.inspects); {
+		req := e.inspects[i]
+		if !req.visited[w.id] {
+			req.visited[w.id] = true
+			req.remaining--
 			req.fn(w.id, w.states)
 		}
-		close(req.done)
+		if req.remaining == 0 {
+			req.completed = true
+			close(req.done)
+			e.inspects = append(e.inspects[:i], e.inspects[i+1:]...)
+			continue
+		}
+		i++
 	}
-	if len(pending) == 0 {
+	inval := w.inval
+	w.inval = nil
+	e.updMu.Unlock()
+	w.seenSeq = seq
+	for _, id := range inval {
+		delete(w.cache, id)
+	}
+}
+
+// installLocked (updMu held) installs queued rebroadcasts: new driver
+// blocks under the same IDs, with every worker's cached copy queued for
+// invalidation at that worker's own barrier. Between the install and a
+// worker's next barrier that worker may still serve the previous version
+// — at most one batch of skew, the §V-A eventual-pull window the
+// version-skew probe tolerates.
+func (e *Engine) installLocked() {
+	if len(e.pending) == 0 {
 		return
 	}
+	pending := e.pending
+	e.pending = nil
 	start := e.cfg.Clock.Now()
 	span := e.spans.Start(e.cfg.Name, "rebroadcast", e.driverTid)
 	for _, u := range pending {
@@ -883,7 +1320,7 @@ func (e *Engine) applyUpdates() {
 			e.instr.reg.Gauge("stream_broadcast_version", "engine", e.instr.name, "id", u.id).Set(int64(b.version + 1))
 		}
 		for _, w := range e.workers {
-			delete(w.cache, u.id)
+			w.inval = append(w.inval, u.id)
 		}
 		e.events.Record(obs.EventRebroadcastApplied, u.id, "installed at micro-batch barrier", int64(b.version+1))
 	}
@@ -897,15 +1334,45 @@ func (e *Engine) applyUpdates() {
 	}
 }
 
+// flushCtrl completes the control plane at Run exit, when every worker is
+// quiescent: pending rebroadcasts install, unserved inspections run over
+// the partitions no worker visited, and worker cache invalidations apply.
+func (e *Engine) flushCtrl() {
+	e.updMu.Lock()
+	e.installLocked()
+	for _, req := range e.inspects {
+		if req.completed {
+			continue
+		}
+		req.completed = true
+		for _, w := range e.workers {
+			if !req.visited[w.id] {
+				req.visited[w.id] = true
+				req.fn(w.id, w.states)
+			}
+		}
+		close(req.done)
+	}
+	e.inspects = nil
+	for _, w := range e.workers {
+		for _, id := range w.inval {
+			delete(w.cache, id)
+		}
+		w.inval = nil
+		w.seenSeq = e.ctrlSeq.Load()
+	}
+	e.updMu.Unlock()
+}
+
 // Context is the operator's view of its partition.
 type Context struct {
 	engine *Engine
 	worker *worker
 
-	// batchStart is the engine's pickup stamp for the micro-batch this
-	// context is processing — taken once per batch in processBatch, so
-	// operators can close delivery-latency measurements without paying a
-	// per-record clock read.
+	// batchStart is the worker's pickup stamp for the micro-batch this
+	// context is processing — taken once per batch, so operators can
+	// close delivery-latency measurements without paying a per-record
+	// clock read.
 	batchStart time.Time
 }
 

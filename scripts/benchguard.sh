@@ -7,7 +7,13 @@
 #
 #   - ns/op may not regress more than 10% (override with
 #     BENCHGUARD_TOLERANCE, e.g. 0.25 on a noisy shared runner);
-#   - allocs/op may not increase at all, on any guarded benchmark.
+#   - allocs/op may not increase at all, on any guarded benchmark;
+#   - the partition-scaling ratio (p4 lines/sec over p1 lines/sec) may
+#     not fall below a floor. With more than one core the persistent
+#     per-partition workers must make p4 at least match p1 (floor 1.0);
+#     on a single-core runner parallel speedup is physically impossible
+#     and p4 only pays sharding overhead, so the floor relaxes to 0.55.
+#     Override with BENCHGUARD_SCALE_MIN.
 #
 # Raw ns/op is machine-dependent, so the baseline also records
 # BenchmarkCalibration — a fixed, product-independent workload — from
@@ -24,6 +30,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 TOL="${BENCHGUARD_TOLERANCE:-0.10}"
+SCALE_MIN="${BENCHGUARD_SCALE_MIN:-}"
 BASELINE=scripts/bench_baseline.txt
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
@@ -31,7 +38,7 @@ trap 'rm -f "$OUT"' EXIT
 go test -run='^$' -bench='^BenchmarkCalibration$|^BenchmarkPipelineThroughput$|^BenchmarkIntakeThroughput$|^BenchmarkNetbusRoundTrip$' \
 	-benchmem -count=5 . | tee "$OUT"
 
-awk -v tol="$TOL" -v baseline="$BASELINE" '
+awk -v tol="$TOL" -v baseline="$BASELINE" -v scale_min="$SCALE_MIN" '
 BEGIN {
 	while ((getline line < baseline) > 0) {
 		if (line ~ /^[ \t]*(#|$)/) continue
@@ -44,16 +51,20 @@ BEGIN {
 }
 /^Benchmark/ {
 	name = $1
+	if (match(name, /-[0-9]+$/)) gomaxprocs = substr(name, RSTART + 1) + 0
 	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-	ns = -1; allocs = -1
+	ns = -1; allocs = -1; ls = -1
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i - 1)
 		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "lines/sec") ls = $(i - 1)
 	}
 	if (ns >= 0 && (!(name in min_ns) || ns < min_ns[name])) min_ns[name] = ns
 	if (allocs > max_allocs[name]) max_allocs[name] = allocs
+	if (ls > best_ls[name]) best_ls[name] = ls
 }
 END {
+	if (gomaxprocs + 0 < 1) gomaxprocs = 1  # no -N suffix means GOMAXPROCS=1
 	if (cal_base + 0 <= 0) {
 		print "benchguard: no calibration entry in " baseline; exit 1
 	}
@@ -83,6 +94,25 @@ END {
 				name, max_allocs[name], base_allocs[name]
 			fail = 1
 		}
+	}
+	# Partition-scaling gate: the sharded pipeline must not scale
+	# backwards. Best-of-5 lines/sec keeps scheduler noise out, same as
+	# the ns/op minima.
+	p1 = best_ls["BenchmarkPipelineThroughput/p1"]
+	p4 = best_ls["BenchmarkPipelineThroughput/p4"]
+	if (p1 > 0 && p4 > 0) {
+		floor = (scale_min != "") ? scale_min + 0 : (gomaxprocs > 1 ? 1.0 : 0.55)
+		ratio = p4 / p1
+		printf "benchguard: scaling p4/p1 = %.2f (floor %.2f at GOMAXPROCS=%d)\n", \
+			ratio, floor, gomaxprocs
+		if (ratio < floor) {
+			printf "benchguard: FAIL scaling: p4 %.0f lines/sec is %.2fx p1 %.0f lines/sec (floor %.2f)\n", \
+				p4, ratio, p1, floor
+			fail = 1
+		}
+	} else {
+		print "benchguard: FAIL scaling: p1/p4 lines/sec metrics missing"
+		fail = 1
 	}
 	if (fail) exit 1
 	print "benchguard: OK"

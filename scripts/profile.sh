@@ -1,0 +1,36 @@
+#!/bin/sh
+# profile: capture CPU and block profiles of the pipeline throughput
+# benchmark, the raw material for hot-path and contention work on the
+# per-partition sharded engine.
+#
+# Usage:
+#   scripts/profile.sh [case] [outdir]
+#
+#   case    benchmark sub-case regex, default p4 (p1, p4, p8, ...)
+#   outdir  where the profiles land, default ./profiles
+#
+# Writes <outdir>/cpu_<case>.pprof, <outdir>/block_<case>.pprof and the
+# matching test binary <outdir>/bench.test (pprof needs the binary for
+# symbolization). Inspect with:
+#   go tool pprof -top profiles/bench.test profiles/cpu_p4.pprof
+#   go tool pprof -top profiles/bench.test profiles/block_p4.pprof
+#
+# The block profile is the one that shows barrier/queue contention: time
+# partition workers spend parked on their queues, the barrier lock, or
+# the batch semaphore.
+set -eu
+cd "$(dirname "$0")/.."
+
+CASE="${1:-p4}"
+OUT="${2:-profiles}"
+mkdir -p "$OUT"
+
+go test -run='^$' -bench="^BenchmarkPipelineThroughput\$/^${CASE}\$" \
+	-benchmem -count=1 \
+	-cpuprofile "$OUT/cpu_${CASE}.pprof" \
+	-blockprofile "$OUT/block_${CASE}.pprof" \
+	-o "$OUT/bench.test" .
+
+echo "profile: wrote $OUT/cpu_${CASE}.pprof and $OUT/block_${CASE}.pprof"
+echo "profile: top CPU consumers:"
+go tool pprof -top -nodecount=15 "$OUT/bench.test" "$OUT/cpu_${CASE}.pprof" | sed -n '1,20p'
